@@ -1,0 +1,179 @@
+//! The exhaustive-search Oracle.
+//!
+//! Not one of the paper's methods: this is the "optimal solution" the paper
+//! claims CLIP performs close to (§I, §V-C observation 2). It enumerates
+//! node count × even concurrency × affinity × DRAM share, *executes* each
+//! candidate on a cloned cluster, and keeps the fastest plan whose caps fit
+//! the budget. The search is embarrassingly parallel and uses
+//! [`cluster_sim::sweep::parallel_map`].
+//!
+//! The Oracle is expensive by construction (hundreds of real runs versus
+//! CLIP's three profile samples); the EXPERIMENTS.md gap table and the
+//! `summary_claims` harness report CLIP's distance from it.
+
+use clip_core::{execute_plan, PowerScheduler, SchedulePlan};
+use cluster_sim::{sweep::parallel_map, Cluster};
+use simkit::Power;
+use simnode::{AffinityPolicy, PowerCaps};
+use workload::AppModel;
+
+/// DRAM shares of the per-node budget the Oracle sweeps.
+const DRAM_SHARES: [f64; 6] = [0.04, 0.08, 0.12, 0.18, 0.25, 0.35];
+
+/// Exhaustive-search scheduler (the evaluation's optimum reference).
+#[derive(Debug, Clone)]
+pub struct Oracle {
+    /// Iterations per candidate evaluation (1 is enough for the analytic
+    /// simulator; kept configurable for noise studies).
+    pub eval_iterations: usize,
+}
+
+impl Default for Oracle {
+    fn default() -> Self {
+        Self { eval_iterations: 1 }
+    }
+}
+
+/// One point of the Oracle's search grid.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    nodes: usize,
+    threads: usize,
+    policy: AffinityPolicy,
+    dram_share: f64,
+}
+
+impl Oracle {
+    fn candidates(&self, cluster: &Cluster, app: &AppModel) -> Vec<Candidate> {
+        let n_total = cluster.len();
+        let total_cores = cluster.node(0).topology().total_cores();
+        let node_counts: Vec<usize> = if app.preferred_node_counts().is_empty() {
+            (1..=n_total).collect()
+        } else {
+            app.preferred_node_counts()
+                .iter()
+                .copied()
+                .filter(|&n| n <= n_total)
+                .collect()
+        };
+        let mut threads: Vec<usize> = (2..=total_cores).step_by(2).collect();
+        if !threads.contains(&total_cores) {
+            threads.push(total_cores);
+        }
+        let mut out = Vec::new();
+        for &nodes in &node_counts {
+            for &t in &threads {
+                for policy in AffinityPolicy::ALL {
+                    for &dram_share in &DRAM_SHARES {
+                        out.push(Candidate { nodes, threads: t, policy, dram_share });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn plan_of(candidate: &Candidate, budget: Power) -> SchedulePlan {
+        let per_node = budget / candidate.nodes as f64;
+        let dram = (per_node.as_watts() * candidate.dram_share).max(1.0);
+        let cpu = (per_node.as_watts() - dram).max(1.0);
+        SchedulePlan {
+            scheduler: "Oracle".to_string(),
+            node_ids: (0..candidate.nodes).collect(),
+            threads_per_node: candidate.threads,
+            policy: candidate.policy,
+            caps: vec![
+                PowerCaps::new(Power::watts(cpu), Power::watts(dram));
+                candidate.nodes
+            ],
+        }
+    }
+}
+
+impl PowerScheduler for Oracle {
+    fn name(&self) -> &str {
+        "Oracle"
+    }
+
+    fn plan(&mut self, cluster: &mut Cluster, app: &AppModel, budget: Power) -> SchedulePlan {
+        let candidates = self.candidates(cluster, app);
+        let iterations = self.eval_iterations;
+        let base = cluster.clone();
+        let scored: Vec<(f64, SchedulePlan)> = parallel_map(candidates, |cand| {
+            let plan = Self::plan_of(&cand, budget);
+            let mut trial = base.clone();
+            let report = execute_plan(&mut trial, app, &plan, iterations);
+            (report.performance(), plan)
+        });
+        scored
+            .into_iter()
+            .max_by(|a, b| a.0.partial_cmp(&b.0).expect("finite performance"))
+            .expect("non-empty candidate grid")
+            .1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::suite;
+
+    fn oracle_plan(app: &AppModel, budget_w: f64) -> SchedulePlan {
+        let mut cluster = Cluster::homogeneous(8);
+        Oracle::default().plan(&mut cluster, app, Power::watts(budget_w))
+    }
+
+    #[test]
+    fn oracle_respects_budget() {
+        let plan = oracle_plan(&suite::comd(), 1200.0);
+        assert!(plan.within_budget(Power::watts(1200.0)));
+    }
+
+    #[test]
+    fn oracle_uses_all_nodes_for_linear_apps_at_high_budget() {
+        let plan = oracle_plan(&suite::comd(), 2400.0);
+        assert_eq!(plan.nodes(), 8);
+        assert_eq!(plan.threads_per_node, 24);
+    }
+
+    #[test]
+    fn oracle_throttles_concurrency_for_parabolic_apps() {
+        let plan = oracle_plan(&suite::sp_mz(), 1900.0);
+        assert!(
+            plan.threads_per_node < 24,
+            "oracle picked {} threads",
+            plan.threads_per_node
+        );
+    }
+
+    #[test]
+    fn oracle_beats_or_matches_naive_execution() {
+        // The oracle's plan must outperform an All-In-style plan, since
+        // that plan is inside its search grid (up to grid granularity).
+        let app = suite::tea_leaf();
+        let budget = Power::watts(1400.0);
+        let mut cluster = Cluster::homogeneous(8);
+        let oplan = Oracle::default().plan(&mut cluster, &app, budget);
+        let operf = execute_plan(&mut cluster.clone(), &app, &oplan, 1).performance();
+
+        let naive = SchedulePlan {
+            scheduler: "naive".into(),
+            node_ids: (0..8).collect(),
+            threads_per_node: 24,
+            policy: AffinityPolicy::Compact,
+            caps: vec![crate::naive_split(budget / 8.0); 8],
+        };
+        let nperf = execute_plan(&mut cluster.clone(), &app, &naive, 1).performance();
+        assert!(
+            operf >= nperf * 0.999,
+            "oracle {operf:.4} vs naive {nperf:.4}"
+        );
+    }
+
+    #[test]
+    fn oracle_respects_decomposition_counts() {
+        let app = suite::comd(); // preferred counts 1,2,4,8
+        let plan = oracle_plan(&app, 1000.0);
+        assert!([1usize, 2, 4, 8].contains(&plan.nodes()));
+    }
+}

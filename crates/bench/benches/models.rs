@@ -1,0 +1,87 @@
+//! Criterion benchmarks for the modelling layer: MLR training and
+//! prediction, power-model fitting, and the piecewise breakpoint search —
+//! the analytic machinery whose cheapness justifies "without exhaustively
+//! searching the configuration space".
+
+use clip_bench::HARNESS_SEED;
+use clip_core::mlr::InflectionPredictor;
+use clip_core::pwl::best_breakpoint;
+use clip_core::{FittedPowerModel, NodePerfModel, SmartProfiler};
+use criterion::{criterion_group, criterion_main, Criterion};
+use simnode::Node;
+use std::hint::black_box;
+use workload::suite;
+
+fn bench_mlr_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mlr_train");
+    group.sample_size(10);
+    group.bench_function("corpus_20_per_class", |b| {
+        b.iter(|| black_box(InflectionPredictor::train_default(HARNESS_SEED)));
+    });
+    group.finish();
+}
+
+fn bench_mlr_predict(c: &mut Criterion) {
+    let predictor = InflectionPredictor::train_default(HARNESS_SEED);
+    let mut node = Node::haswell();
+    let profile = SmartProfiler::default().profile(&mut node, &suite::lu_mz());
+    c.bench_function("mlr_predict", |b| {
+        b.iter(|| black_box(predictor.predict(black_box(&profile))));
+    });
+}
+
+fn bench_power_fit(c: &mut Criterion) {
+    let mut node = Node::haswell();
+    let profile = SmartProfiler::default().profile(&mut node, &suite::amg());
+    c.bench_function("power_model_fit", |b| {
+        b.iter(|| black_box(FittedPowerModel::fit(black_box(&profile))));
+    });
+}
+
+fn bench_perf_model(c: &mut Criterion) {
+    let mut node = Node::haswell();
+    let profile = SmartProfiler::default().profile(&mut node, &suite::sp_mz());
+    let model = NodePerfModel::from_profile(&profile, 14);
+    c.bench_function("perf_model_predict", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for n in (2..=24).step_by(2) {
+                acc += model.predict_time(n, 1.9);
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_piecewise(c: &mut Criterion) {
+    let xs: Vec<f64> = (1..=24).map(|i| i as f64).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|&x| if x <= 10.0 { x } else { 10.0 + 0.2 * (x - 10.0) })
+        .collect();
+    c.bench_function("piecewise_breakpoint_24pts", |b| {
+        b.iter(|| black_box(best_breakpoint(black_box(&xs), black_box(&ys), 3)));
+    });
+}
+
+fn bench_smart_profile(c: &mut Criterion) {
+    let profiler = SmartProfiler::default();
+    let app = suite::bt_mz();
+    c.bench_function("smart_profile", |b| {
+        b.iter(|| {
+            let mut node = Node::haswell();
+            black_box(profiler.profile(&mut node, &app))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_mlr_training,
+    bench_mlr_predict,
+    bench_power_fit,
+    bench_perf_model,
+    bench_piecewise,
+    bench_smart_profile
+);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion benchmarks for scheduler decision latency: the paper claims
+//! CLIP "provides a solution with a low overhead" versus exhaustive search
+//! (Conductor-style). These benchmarks quantify the planning cost of every
+//! method, separating the one-off profiling (cache miss) from the steady
+//! state (knowledge-database hit).
+
+use baselines::{AllIn, Coordinated, LowerLimit, Oracle};
+use clip_bench::{clip_scheduler, HARNESS_SEED};
+use clip_core::PowerScheduler;
+use cluster_sim::Cluster;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use simkit::Power;
+use std::hint::black_box;
+use workload::suite;
+
+fn bench_plan_cached(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_cached");
+    let budget = Power::watts(1400.0);
+    let app = suite::lu_mz();
+
+    group.bench_function("all_in", |b| {
+        let mut cluster = Cluster::paper_testbed(HARNESS_SEED);
+        let mut s = AllIn;
+        b.iter(|| black_box(s.plan(&mut cluster, &app, budget)));
+    });
+    group.bench_function("lower_limit", |b| {
+        let mut cluster = Cluster::paper_testbed(HARNESS_SEED);
+        let mut s = LowerLimit::default();
+        b.iter(|| black_box(s.plan(&mut cluster, &app, budget)));
+    });
+    group.bench_function("coordinated", |b| {
+        let mut cluster = Cluster::paper_testbed(HARNESS_SEED);
+        let mut s = Coordinated::new();
+        s.plan(&mut cluster, &app, budget); // warm the knowledge DB
+        b.iter(|| black_box(s.plan(&mut cluster, &app, budget)));
+    });
+    group.bench_function("clip", |b| {
+        let mut cluster = Cluster::paper_testbed(HARNESS_SEED);
+        let mut s = clip_scheduler();
+        s.plan(&mut cluster, &app, budget); // warm the knowledge DB
+        b.iter(|| black_box(s.plan(&mut cluster, &app, budget)));
+    });
+    group.finish();
+}
+
+fn bench_plan_cold(c: &mut Criterion) {
+    // Cache miss: includes the smart-profiling sample executions.
+    let budget = Power::watts(1400.0);
+    let app = suite::sp_mz();
+    c.bench_function("clip_plan_cold_profile", |b| {
+        b.iter_batched(
+            || (Cluster::paper_testbed(HARNESS_SEED), clip_scheduler()),
+            |(mut cluster, mut s)| black_box(s.plan(&mut cluster, &app, budget)),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_oracle_search(c: &mut Criterion) {
+    // The exhaustive alternative CLIP avoids; sample_size kept low because
+    // a single search evaluates >1000 cluster executions.
+    let budget = Power::watts(1400.0);
+    let app = suite::tea_leaf();
+    let mut group = c.benchmark_group("oracle");
+    group.sample_size(10);
+    group.bench_function("exhaustive_search", |b| {
+        b.iter_batched(
+            || Cluster::paper_testbed(HARNESS_SEED),
+            |mut cluster| {
+                black_box(Oracle::default().plan(&mut cluster, &app, budget))
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan_cached, bench_plan_cold, bench_oracle_search);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion micro-benchmarks for the simulation substrate: how fast can
+//! the harness evaluate node executions and cluster jobs? These bound the
+//! cost of the exhaustive Oracle and of every figure harness.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use cluster_sim::{run_job, Cluster, JobSpec};
+use simkit::Power;
+use simnode::{AffinityPolicy, Node, PowerCaps};
+use std::hint::black_box;
+use workload::suite;
+
+fn bench_node_execute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("node_execute");
+    for (label, app) in [
+        ("compute_comd", suite::comd()),
+        ("memory_lu_mz", suite::lu_mz()),
+        ("parabolic_sp_mz", suite::sp_mz()),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                Node::haswell,
+                |mut node| {
+                    black_box(node.execute(&app, 24, AffinityPolicy::Scatter, 1))
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_node_resolve_under_cap(c: &mut Criterion) {
+    let app = suite::comd();
+    let mut node = Node::haswell();
+    node.set_caps(PowerCaps::new(Power::watts(150.0), Power::watts(25.0)));
+    c.bench_function("node_resolve_capped", |b| {
+        b.iter(|| black_box(node.resolve(&app, black_box(24), AffinityPolicy::Compact)));
+    });
+}
+
+fn bench_cluster_job(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_job");
+    for nodes in [2usize, 4, 8] {
+        let app = suite::amg();
+        group.bench_function(format!("amg_{nodes}_nodes"), |b| {
+            b.iter_batched(
+                || Cluster::paper_testbed(5),
+                |mut cluster| {
+                    let spec = JobSpec::on_first_nodes(
+                        &app,
+                        nodes,
+                        24,
+                        AffinityPolicy::Scatter,
+                        1,
+                    );
+                    black_box(run_job(&mut cluster, &spec))
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_concurrency_sweep(c: &mut Criterion) {
+    // The unit of work behind `actual_inflection`: a full 1..=24 sweep.
+    let app = suite::sp_mz();
+    c.bench_function("full_concurrency_sweep", |b| {
+        b.iter_batched(
+            Node::haswell,
+            |mut node| {
+                let perfs: Vec<f64> = (1..=24)
+                    .map(|n| node.execute(&app, n, AffinityPolicy::Scatter, 1).performance())
+                    .collect();
+                black_box(perfs)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_node_execute,
+    bench_node_resolve_under_cap,
+    bench_cluster_job,
+    bench_concurrency_sweep
+);
+criterion_main!(benches);

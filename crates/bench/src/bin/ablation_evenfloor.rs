@@ -1,0 +1,54 @@
+//! Ablation: flooring predicted inflection points to even values (§V-B2).
+//!
+//! The paper observes that odd-value concurrency underperforms nearby even
+//! values (uneven per-socket resource split) and therefore floors MLR
+//! predictions to even numbers. This harness compares CLIP with and
+//! without the even-floor across the non-linear benchmarks on a single
+//! node, where the concurrency choice lands directly.
+
+use clip_bench::{emit, EVAL_ITERATIONS, HARNESS_SEED};
+use clip_core::{execute_plan, ClipScheduler, InflectionPredictor, PowerScheduler};
+use cluster_sim::Cluster;
+use simkit::table::Table;
+use simkit::Power;
+use workload::suite::table2_suite;
+use workload::ScalabilityClass;
+
+fn main() {
+    let budget = Power::watts(250.0); // single node, generous
+    let mut table = Table::new(
+        "Ablation: even-floor of predicted NP (single node, 250 W)",
+        &["benchmark", "threads even", "threads raw", "perf even", "perf raw", "delta"],
+    );
+
+    for entry in table2_suite() {
+        if entry.expected_class == ScalabilityClass::Linear {
+            continue;
+        }
+        let cluster = Cluster::homogeneous(1);
+        let run = |floor_even: bool| {
+            let mut clip =
+                ClipScheduler::new(InflectionPredictor::train_default(HARNESS_SEED));
+            clip.floor_even = floor_even;
+            clip.coordinate_variability = false;
+            let mut planning = cluster.clone();
+            let plan = clip.plan(&mut planning, &entry.app, budget);
+            let mut exec = cluster.clone();
+            let perf = execute_plan(&mut exec, &entry.app, &plan, EVAL_ITERATIONS)
+                .performance();
+            (plan.threads_per_node, perf)
+        };
+        let (t_even, p_even) = run(true);
+        let (t_raw, p_raw) = run(false);
+        table.row(&[
+            entry.app.name().to_string(),
+            t_even.to_string(),
+            t_raw.to_string(),
+            format!("{p_even:.4}"),
+            format!("{p_raw:.4}"),
+            format!("{:+.2}%", (p_even / p_raw - 1.0) * 100.0),
+        ]);
+    }
+    emit(&table);
+    println!("\nexpected: even never loses; it wins when the raw prediction is odd");
+}

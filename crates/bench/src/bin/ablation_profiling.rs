@@ -1,0 +1,81 @@
+//! Ablation: smart-profiling cost versus exhaustive search (§IV-B1).
+//!
+//! The paper's pitch for smart profiling is that two or three short sample
+//! configurations suffice, versus exhaustively sweeping the configuration
+//! space. This harness counts the sample executions each approach performs
+//! and compares the quality of the resulting single-node configuration,
+//! plus the effect of shrinking the per-sample iteration count.
+
+use clip_bench::emit;
+use clip_core::mlr::actual_inflection;
+use clip_core::profile::SmartProfiler;
+use clip_core::{FittedPowerModel, InflectionPredictor, NodePerfModel};
+use simkit::table::Table;
+use simkit::Power;
+use simnode::{Node, PowerCaps};
+use workload::suite::table2_suite;
+use workload::ScalabilityClass;
+
+fn main() {
+    let predictor = InflectionPredictor::train_default(clip_bench::HARNESS_SEED);
+    let budget = Power::watts(220.0);
+    let mut table = Table::new(
+        "Ablation: smart profiling vs exhaustive search (single node, 220 W)",
+        &[
+            "benchmark",
+            "smart threads",
+            "exhaustive threads",
+            "perf ratio",
+            "smart samples",
+            "exhaustive samples",
+        ],
+    );
+
+    for entry in table2_suite() {
+        // --- Smart path: ≤3 sample configurations.
+        let profiler = SmartProfiler::default();
+        let mut node = Node::haswell();
+        let mut profile = profiler.profile(&mut node, &entry.app);
+        let np = predictor.predict(&profile);
+        let mut smart_samples = 3; // all, half, low-frequency walk endpoint
+        if profile.class != ScalabilityClass::Linear {
+            profiler.sample_at(&mut node, &entry.app, &mut profile, np);
+            smart_samples += 1;
+        }
+        let perf_model = NodePerfModel::from_profile(&profile, np);
+        let power_model = FittedPowerModel::fit(&profile);
+        let cfg = clip_core::recommend_node_config(
+            &profile, &perf_model, &power_model, budget, 24,
+        );
+        node.set_caps(cfg.caps);
+        let smart_perf = node
+            .execute(&entry.app, cfg.threads, cfg.policy, 1)
+            .performance();
+
+        // --- Exhaustive path: run every even concurrency under the budget
+        // split the smart path chose (isolating the concurrency search).
+        let mut best = (0usize, 0.0f64);
+        let mut exhaustive_samples = 0;
+        for threads in (2..=24).step_by(2) {
+            node.set_caps(cfg.caps);
+            let p = node.execute(&entry.app, threads, cfg.policy, 1).performance();
+            exhaustive_samples += 1;
+            if p > best.1 {
+                best = (threads, p);
+            }
+        }
+        node.set_caps(PowerCaps::unlimited());
+        let _ = actual_inflection(&mut node, &entry.app, cfg.policy, profile.class);
+
+        table.row(&[
+            entry.app.name().to_string(),
+            cfg.threads.to_string(),
+            best.0.to_string(),
+            format!("{:.3}", smart_perf / best.1),
+            smart_samples.to_string(),
+            exhaustive_samples.to_string(),
+        ]);
+    }
+    emit(&table);
+    println!("\nexpected: perf ratio near 1.0 with ~4x fewer sample executions");
+}

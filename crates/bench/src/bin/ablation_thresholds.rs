@@ -1,0 +1,56 @@
+//! Ablation: sensitivity of the classification thresholds (0.7 / 1.0).
+//!
+//! The paper fixes the linear/logarithmic boundary at 0.7 and the
+//! logarithmic/parabolic boundary at 1.0 on the half/all performance ratio
+//! (§III-A1) without a sensitivity analysis. This harness sweeps the linear
+//! threshold and reports how many Table II benchmarks keep their published
+//! class — quantifying how much slack the rule has before CLIP starts
+//! treating logarithmic applications as linear (losing concurrency
+//! throttling) or vice versa.
+
+use clip_bench::emit;
+use clip_core::SmartProfiler;
+use simkit::table::Table;
+use simnode::Node;
+use workload::suite::table2_suite;
+use workload::ScalabilityClass;
+
+fn main() {
+    let profiler = SmartProfiler::default();
+    // Measure each benchmark's ratio once.
+    let measured: Vec<(String, f64, ScalabilityClass)> = table2_suite()
+        .iter()
+        .map(|entry| {
+            let mut node = Node::haswell();
+            let p = profiler.profile(&mut node, &entry.app);
+            (entry.app.name().to_string(), p.half_all_ratio(), entry.expected_class)
+        })
+        .collect();
+
+    let mut table = Table::new(
+        "Ablation: classification-threshold sensitivity (paper uses 0.70 / 1.00)",
+        &["linear thr", "parabolic thr", "correct/10", "misclassified"],
+    );
+    for &lin_t in &[0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85] {
+        for &par_t in &[0.95, 1.00, 1.10] {
+            let mut correct = 0;
+            let mut wrong = Vec::new();
+            for (name, ratio, expected) in &measured {
+                let class =
+                    ScalabilityClass::from_ratio_with_thresholds(*ratio, lin_t, par_t);
+                if class == *expected {
+                    correct += 1;
+                } else {
+                    wrong.push(name.clone());
+                }
+            }
+            table.row(&[
+                format!("{lin_t:.2}"),
+                format!("{par_t:.2}"),
+                format!("{correct}/10"),
+                if wrong.is_empty() { "-".to_string() } else { wrong.join(",") },
+            ]);
+        }
+    }
+    emit(&table);
+}

@@ -1,0 +1,54 @@
+//! Extension harness: phase-aware concurrency (paper §V-B, generalized).
+//!
+//! The paper changes BT-MZ's concurrency phase-by-phase because its
+//! `exch_qbc` exchange stalls beyond half-core. This harness compares, for
+//! every multi-phase benchmark (BT-MZ is the only one in Table II):
+//! uniform all-core execution, the CLIP node-level single-count
+//! recommendation, the phase-aware recommendation, and the exhaustive
+//! per-phase optimum.
+
+use clip_bench::{emit, HARNESS_SEED};
+use clip_core::phased::{exhaustive_phase_plan, recommend_phase_plan};
+use clip_core::{InflectionPredictor, SmartProfiler};
+use simkit::table::Table;
+use simnode::Node;
+use workload::{execute_phased, suite, PhasePlan};
+
+fn main() {
+    let predictor = InflectionPredictor::train_default(HARNESS_SEED);
+    let profiler = SmartProfiler::default();
+
+    let mut table = Table::new(
+        "Extension: phase-aware concurrency (single node, no power bound)",
+        &["benchmark", "plan", "threads per phase", "perf (it/s)", "vs uniform"],
+    );
+
+    for app in [suite::bt_mz()] {
+        let mut node = Node::haswell();
+        let phases = app.phases().len();
+
+        let rec = recommend_phase_plan(&mut node, &app, &profiler, &predictor);
+        let uniform = PhasePlan::uniform(phases, 24, rec.policy);
+        let best = exhaustive_phase_plan(&mut node, &app);
+
+        let perf_uniform = execute_phased(&mut node, &app, &uniform, 2).performance();
+        let perf_rec = execute_phased(&mut node, &app, &rec, 2).performance();
+        let perf_best = execute_phased(&mut node, &app, &best, 2).performance();
+
+        for (label, plan, perf) in [
+            ("uniform all-core", &uniform, perf_uniform),
+            ("CLIP phase-aware", &rec, perf_rec),
+            ("exhaustive", &best, perf_best),
+        ] {
+            table.row(&[
+                app.name().to_string(),
+                label.to_string(),
+                format!("{:?}", plan.threads),
+                format!("{perf:.4}"),
+                format!("{:+.1}%", (perf / perf_uniform - 1.0) * 100.0),
+            ]);
+        }
+    }
+    emit(&table);
+    println!("\nexpected: phase-aware recovers most of the exhaustive gain over uniform");
+}

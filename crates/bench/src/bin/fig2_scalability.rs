@@ -1,0 +1,65 @@
+//! Figure 2 regeneration: the three scalability trends.
+//!
+//! Speedup versus core count at several fixed processor frequencies, one
+//! panel per class — (a) linear: EP-like, (b) logarithmic: STREAM-like,
+//! (c) parabolic: SP-MZ-like. Expected shapes: (a) straight lines through
+//! the origin whose slope scales with frequency; (b) linear up to the
+//! inflection point, flatter beyond; (c) rising to an interior optimum and
+//! falling beyond it. Frequencies are fixed by setting the package cap to
+//! exactly the power the target P-state needs (observable-only control,
+//! like `cpufreq` pinning).
+
+use clip_bench::emit;
+use clip_core::tools::DvfsController;
+use simkit::table::Table;
+use simkit::Frequency;
+use simnode::{AffinityPolicy, Node};
+use workload::{suite, AppModel};
+
+const FREQS_GHZ: [f64; 4] = [1.2, 1.5, 1.9, 2.3];
+const CORES: [usize; 8] = [1, 2, 4, 8, 12, 16, 20, 24];
+
+/// Pin the node to a P-state via the §IV-B4 DVFS helper tool.
+fn pin_frequency(node: &mut Node, app: &AppModel, threads: usize, f: f64) {
+    DvfsController::pin_frequency(
+        node,
+        app,
+        threads,
+        AffinityPolicy::Scatter,
+        Frequency::ghz(f),
+    );
+}
+
+fn panel(title: &str, app: &AppModel) {
+    let mut header = vec!["cores".to_string()];
+    header.extend(FREQS_GHZ.iter().map(|f| format!("{f:.1} GHz")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(title, &header_refs);
+
+    // Baseline: 1 core at the lowest frequency (the paper's perf(1)).
+    let mut node = Node::haswell();
+    pin_frequency(&mut node, app, 1, FREQS_GHZ[0]);
+    let base = node.execute(app, 1, AffinityPolicy::Scatter, 1).performance();
+
+    for &cores in &CORES {
+        let mut row = Vec::new();
+        for &f in &FREQS_GHZ {
+            pin_frequency(&mut node, app, cores, f);
+            let r = node.execute(app, cores, AffinityPolicy::Scatter, 1);
+            debug_assert!((r.op.frequency().as_ghz() - f).abs() < 1e-9);
+            row.push(r.performance() / base);
+        }
+        table.row_numeric(&cores.to_string(), &row, 2);
+    }
+    emit(&table);
+    println!();
+}
+
+fn main() {
+    panel("Figure 2a: linear (EP-like) speedup vs cores", &suite::ep_like());
+    panel(
+        "Figure 2b: logarithmic (STREAM-like) speedup vs cores",
+        &suite::stream_like(),
+    );
+    panel("Figure 2c: parabolic (SP-MZ) speedup vs cores", &suite::sp_mz());
+}

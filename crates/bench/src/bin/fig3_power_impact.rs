@@ -1,0 +1,64 @@
+//! Figure 3 regeneration: performance impact of the processor power budget
+//! per scalability class.
+//!
+//! Performance versus concurrency under a sweep of package power caps, one
+//! panel per class. Expected shapes (paper §II): (a) linear — maximum
+//! concurrency stays optimal unless the budget is very low; (b) logarithmic
+//! — the optimal concurrency decreases with the budget; (c) parabolic — the
+//! gap between the optimal and the all-core configuration widens as the
+//! budget shrinks.
+
+use clip_bench::emit;
+use simkit::table::Table;
+use simkit::Power;
+use simnode::{AffinityPolicy, Node, PowerCaps};
+use workload::{suite, AppModel};
+
+const PKG_CAPS_W: [f64; 5] = [80.0, 120.0, 160.0, 200.0, 240.0];
+const CORES: [usize; 7] = [2, 4, 8, 12, 16, 20, 24];
+
+fn panel(title: &str, app: &AppModel) {
+    let mut header = vec!["cores".to_string()];
+    header.extend(PKG_CAPS_W.iter().map(|w| format!("{w:.0} W")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(title, &header_refs);
+
+    let mut node = Node::haswell();
+    let mut best_per_cap: Vec<(usize, f64)> = vec![(0, 0.0); PKG_CAPS_W.len()];
+    for &cores in &CORES {
+        let mut row = Vec::new();
+        for (j, &cap) in PKG_CAPS_W.iter().enumerate() {
+            node.set_caps(PowerCaps::new(Power::watts(cap), Power::watts(1e9)));
+            let perf = node
+                .execute(app, cores, AffinityPolicy::Scatter, 1)
+                .performance();
+            if perf > best_per_cap[j].1 {
+                best_per_cap[j] = (cores, perf);
+            }
+            row.push(perf);
+        }
+        table.row_numeric(&cores.to_string(), &row, 4);
+    }
+    emit(&table);
+    let optima: Vec<String> = PKG_CAPS_W
+        .iter()
+        .zip(&best_per_cap)
+        .map(|(w, (c, _))| format!("{w:.0}W→{c}"))
+        .collect();
+    println!("optimal concurrency per cap: {}\n", optima.join("  "));
+}
+
+fn main() {
+    panel(
+        "Figure 3a: linear (EP-like) perf (iter/s) vs cores under PKG caps",
+        &suite::ep_like(),
+    );
+    panel(
+        "Figure 3b: logarithmic (STREAM-like) perf vs cores under PKG caps",
+        &suite::stream_like(),
+    );
+    panel(
+        "Figure 3c: parabolic (SP-MZ) perf vs cores under PKG caps",
+        &suite::sp_mz(),
+    );
+}

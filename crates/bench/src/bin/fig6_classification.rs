@@ -1,0 +1,40 @@
+//! Figure 6 regeneration: parallel speedup ratio (half-core / all-core) per
+//! benchmark, with the resulting classification.
+//!
+//! The paper colors bars green (linear), blue (logarithmic) and red
+//! (parabolic) using thresholds 0.7 and 1.0 on the measured ratio. The
+//! `matches` column checks the measured class against Table II's published
+//! class — the reproduction requires all ten to agree.
+
+use clip_bench::emit;
+use clip_core::SmartProfiler;
+use simkit::table::Table;
+use simnode::Node;
+use workload::suite::table2_suite;
+
+fn main() {
+    let mut table = Table::new(
+        "Figure 6: Perf_half / Perf_all ratio and classification",
+        &["benchmark", "ratio", "class", "paper class", "matches"],
+    );
+    let profiler = SmartProfiler::default();
+    let mut all_match = true;
+    for entry in table2_suite() {
+        let mut node = Node::haswell();
+        let p = profiler.profile(&mut node, &entry.app);
+        let matches = p.class == entry.expected_class;
+        all_match &= matches;
+        table.row(&[
+            entry.app.name().to_string(),
+            format!("{:.3}", p.half_all_ratio()),
+            p.class.to_string(),
+            entry.expected_class.to_string(),
+            if matches { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    emit(&table);
+    println!(
+        "\nall classifications match the paper: {}",
+        if all_match { "yes" } else { "NO" }
+    );
+}

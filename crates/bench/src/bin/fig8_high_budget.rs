@@ -1,0 +1,38 @@
+//! Figure 8 regeneration: relative performance of the four coordination
+//! methods under HIGH cluster power budgets.
+//!
+//! The paper plots two high budgets (panels a and b); our simulated node's
+//! managed power tops out near 290 W, so "high" for the 8-node testbed is
+//! ~70–90% of the 2320 W fleet maximum. Values are normalized by the
+//! All-In method with no power bound, exactly as in the paper.
+//!
+//! Expected shape (paper observations 1–2): CLIP ≈ All-In for linear
+//! applications, and CLIP ≥ 40% better for the parabolic ones (SP-MZ,
+//! miniAero, TeaLeaf) even when power is plentiful.
+
+use clip_bench::{compare_suite, comparison_methods, emit};
+use simkit::table::Table;
+use simkit::Power;
+use workload::suite::table2_suite;
+
+fn main() {
+    let entries = table2_suite();
+    let method_names: Vec<String> = comparison_methods()
+        .iter()
+        .map(|m| m.name().to_string())
+        .collect();
+
+    for (panel, budget_w) in [("a", 2000.0), ("b", 1600.0)] {
+        let mut header: Vec<&str> = vec!["benchmark"];
+        header.extend(method_names.iter().map(String::as_str));
+        let mut table = Table::new(
+            &format!("Figure 8{panel}: relative performance, cluster budget {budget_w} W"),
+            &header,
+        );
+        for row in compare_suite(&entries, Power::watts(budget_w)) {
+            table.row_numeric(&row.app, &row.relative, 3);
+        }
+        emit(&table);
+        println!();
+    }
+}

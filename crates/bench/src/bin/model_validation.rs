@@ -1,0 +1,41 @@
+//! Model-validation harness: k-fold cross-validation of the MLR
+//! inflection-point predictor (supporting §III-A2's modelling choice).
+//!
+//! The paper prefers plain MLR because the training set is small and
+//! "more sophisticated machine learning methods may generate overfit".
+//! This harness quantifies the regression's out-of-fold quality per class
+//! and against the predict-the-mean baseline, for several corpus sizes.
+
+use clip_bench::{emit, HARNESS_SEED};
+use clip_core::validate::cross_validate;
+use clip_core::SmartProfiler;
+use simkit::table::Table;
+use workload::corpus::training_corpus;
+
+fn main() {
+    let mut table = Table::new(
+        "MLR 4-fold cross-validation on the synthetic corpus",
+        &["corpus/class", "class", "samples", "MAE", "RMSE", "R2", "mean-baseline MAE"],
+    );
+    for per_class in [8usize, 16, 32] {
+        let corpus = training_corpus(HARNESS_SEED, per_class);
+        for v in cross_validate(&corpus, &SmartProfiler::default(), 4) {
+            table.row(&[
+                per_class.to_string(),
+                v.class.to_string(),
+                v.samples.to_string(),
+                format!("{:.2}", v.mae),
+                format!("{:.2}", v.rmse),
+                format!("{:.2}", v.r2),
+                format!("{:.2}", v.mean_baseline_mae),
+            ]);
+        }
+    }
+    emit(&table);
+    println!(
+        "\ninterpretation: parabolic NP is identifiable from the event rates (R² well\n\
+         above 0); logarithmic NP is weakly identifiable because both profile samples\n\
+         run bandwidth-saturated — its regression hugs the class mean, which is why\n\
+         the paper validates the prediction with a third sample configuration."
+    );
+}

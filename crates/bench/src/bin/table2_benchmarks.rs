@@ -1,0 +1,33 @@
+//! Table II regeneration: the benchmark suite with *measured* scalability
+//! types.
+//!
+//! Description/parameters/pattern columns are the paper's Table II; the
+//! scalability column is measured on the simulated node by the paper's
+//! half/all classification rule, so the table doubles as the end-to-end
+//! check that every analytic stand-in reproduces its application's class.
+
+use clip_bench::emit;
+use clip_core::SmartProfiler;
+use simkit::table::Table;
+use simnode::Node;
+use workload::suite::table2_suite;
+
+fn main() {
+    let mut table = Table::new(
+        "Table II: List of Benchmarks Used in This Study",
+        &["Benchmark", "Description", "Parameters", "Workload Pattern", "Scalability (measured)"],
+    );
+    let profiler = SmartProfiler::default();
+    for entry in table2_suite() {
+        let mut node = Node::haswell();
+        let p = profiler.profile(&mut node, &entry.app);
+        table.row(&[
+            entry.app.name().to_string(),
+            entry.description.to_string(),
+            entry.parameters.to_string(),
+            entry.pattern.to_string(),
+            p.class.to_string(),
+        ]);
+    }
+    emit(&table);
+}

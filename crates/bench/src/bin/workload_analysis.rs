@@ -1,0 +1,46 @@
+//! Workload-characterization harness: the roofline-style quantities behind
+//! the §II classes, for the full Table II suite at all-core/nominal.
+//!
+//! Linear benchmarks should show high arithmetic intensity and negligible
+//! memory/contention shares; logarithmic ones low intensity and ~full
+//! bandwidth utilization; parabolic ones a growing contention share.
+
+use clip_bench::emit;
+use simkit::table::Table;
+use simnode::{AffinityPolicy, Node};
+use workload::suite::table2_suite;
+use workload::Characterization;
+
+fn main() {
+    let node = Node::haswell();
+    let mut table = Table::new(
+        "Workload characterization (24 threads, uncapped, scatter)",
+        &[
+            "benchmark",
+            "class",
+            "instr/byte",
+            "mem share",
+            "bw util",
+            "serial share",
+            "contention share",
+        ],
+    );
+    for entry in table2_suite() {
+        let op = node.resolve(&entry.app, 24, AffinityPolicy::Scatter);
+        let c = Characterization::of_model(&entry.app, &op);
+        table.row(&[
+            entry.app.name().to_string(),
+            entry.expected_class.to_string(),
+            if c.arithmetic_intensity.is_finite() {
+                format!("{:.1}", c.arithmetic_intensity)
+            } else {
+                "inf".into()
+            },
+            format!("{:.2}", c.memory_time_share),
+            format!("{:.2}", c.bandwidth_utilization),
+            format!("{:.2}", c.serial_share),
+            format!("{:.2}", c.contention_share),
+        ]);
+    }
+    emit(&table);
+}

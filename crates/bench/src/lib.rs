@@ -1,0 +1,165 @@
+#![warn(missing_docs)]
+
+//! # clip-bench — figure/table regeneration harnesses
+//!
+//! One binary per exhibit of the paper's evaluation (see DESIGN.md §5 for
+//! the full index):
+//!
+//! | Binary | Paper exhibit |
+//! |--------|---------------|
+//! | `fig1_coordination`  | Fig. 1 — power-split × core-count impact at 120 W |
+//! | `fig2_scalability`   | Fig. 2 — speedup vs cores at several frequencies |
+//! | `fig3_power_impact`  | Fig. 3 — concurrency vs CPU power budget |
+//! | `fig6_classification`| Fig. 6 — half/all speedup ratio per benchmark |
+//! | `fig7_inflection`    | Fig. 7 — predicted vs actual inflection points |
+//! | `fig8_high_budget`   | Fig. 8 — method comparison, high budgets |
+//! | `fig9_low_budget`    | Fig. 9 — method comparison, low budgets |
+//! | `table1_events`      | Table I — MLR hardware-event predictors |
+//! | `table2_benchmarks`  | Table II — benchmark suite with measured classes |
+//! | `summary_claims`     | §V/§VII headline numbers (≥20% average, near-Oracle) |
+//! | `ablation_*`         | design-choice ablations (DESIGN.md §6) |
+//!
+//! Every binary prints an aligned table (pass `--csv` for CSV). This
+//! library holds the shared comparison harness.
+
+use baselines::{AllIn, Coordinated, LowerLimit, Oracle};
+use clip_core::{execute_plan, ClipScheduler, InflectionPredictor, PowerScheduler};
+use cluster_sim::Cluster;
+use simkit::Power;
+use workload::{suite::BenchmarkEntry, AppModel};
+
+/// Seed used everywhere so every harness run reproduces exactly.
+pub const HARNESS_SEED: u64 = 5;
+
+/// Iterations per evaluated job.
+pub const EVAL_ITERATIONS: usize = 2;
+
+/// A very large budget standing in for "no power bound".
+pub fn unbounded_budget() -> Power {
+    Power::watts(1e6)
+}
+
+/// The paper's 8-node near-homogeneous testbed.
+pub fn testbed() -> Cluster {
+    Cluster::paper_testbed(HARNESS_SEED)
+}
+
+/// Build the trained CLIP scheduler used by all harnesses.
+pub fn clip_scheduler() -> ClipScheduler {
+    ClipScheduler::new(InflectionPredictor::train_default(HARNESS_SEED))
+}
+
+/// The four comparison methods of §V-C, in figure order.
+pub fn comparison_methods() -> Vec<Box<dyn PowerScheduler>> {
+    vec![
+        Box::new(AllIn),
+        Box::new(LowerLimit::default()),
+        Box::new(Coordinated::new()),
+        Box::new(clip_scheduler()),
+    ]
+}
+
+/// Performance of a scheduler on `app` at `budget`, in iterations/second.
+/// Plans against a clone of `cluster` and executes on another clone so
+/// repeated calls are independent.
+pub fn measure(
+    scheduler: &mut dyn PowerScheduler,
+    cluster: &Cluster,
+    app: &AppModel,
+    budget: Power,
+) -> f64 {
+    let mut planning = cluster.clone();
+    let plan = scheduler.plan(&mut planning, app, budget);
+    assert!(
+        plan.within_budget(budget),
+        "{} exceeded budget on {}",
+        scheduler.name(),
+        app.name()
+    );
+    let mut execution = cluster.clone();
+    execute_plan(&mut execution, app, &plan, EVAL_ITERATIONS).performance()
+}
+
+/// The Figures 8–9 normalization reference: All-In with no power bound.
+pub fn allin_unbounded_reference(cluster: &Cluster, app: &AppModel) -> f64 {
+    measure(&mut AllIn, cluster, app, unbounded_budget())
+}
+
+/// One row of a Figures 8/9-style comparison.
+#[derive(Debug, Clone)]
+pub struct ComparisonRow {
+    /// Benchmark name.
+    pub app: String,
+    /// Relative performance per method, in `comparison_methods()` order
+    /// (normalized by the All-In-unbounded reference).
+    pub relative: Vec<f64>,
+}
+
+/// Run the §V-C comparison for every Table II benchmark at one budget.
+pub fn compare_suite(entries: &[BenchmarkEntry], budget: Power) -> Vec<ComparisonRow> {
+    let cluster = testbed();
+    let mut methods = comparison_methods();
+    entries
+        .iter()
+        .map(|entry| {
+            let reference = allin_unbounded_reference(&cluster, &entry.app);
+            let relative = methods
+                .iter_mut()
+                .map(|m| measure(m.as_mut(), &cluster, &entry.app, budget) / reference)
+                .collect();
+            ComparisonRow { app: entry.app.name().to_string(), relative }
+        })
+        .collect()
+}
+
+/// Performance of the exhaustive Oracle (the optimum reference).
+pub fn oracle_performance(cluster: &Cluster, app: &AppModel, budget: Power) -> f64 {
+    measure(&mut Oracle::default(), cluster, app, budget)
+}
+
+/// True when the process args ask for CSV output.
+pub fn csv_requested() -> bool {
+    std::env::args().any(|a| a == "--csv")
+}
+
+/// Print a table in the requested format.
+pub fn emit(table: &simkit::table::Table) {
+    if csv_requested() {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::suite;
+
+    #[test]
+    fn measure_is_deterministic() {
+        let cluster = testbed();
+        let app = suite::comd();
+        let a = measure(&mut AllIn, &cluster, &app, Power::watts(1500.0));
+        let b = measure(&mut AllIn, &cluster, &app, Power::watts(1500.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reference_is_an_upper_bound_for_allin() {
+        let cluster = testbed();
+        let app = suite::amg();
+        let capped = measure(&mut AllIn, &cluster, &app, Power::watts(1000.0));
+        let reference = allin_unbounded_reference(&cluster, &app);
+        assert!(capped <= reference * 1.0001);
+    }
+
+    #[test]
+    fn comparison_methods_have_paper_names() {
+        let names: Vec<String> = comparison_methods()
+            .iter()
+            .map(|m| m.name().to_string())
+            .collect();
+        assert_eq!(names, vec!["All-In", "Lower-Limit", "Coordinated", "CLIP"]);
+    }
+}

@@ -1,0 +1,169 @@
+//! The node fleet.
+//!
+//! A [`Cluster`] is an ordered set of simulated nodes, each with its own
+//! manufacturing-variability factor and individually programmable RAPL
+//! caps — the machine the schedulers in `clip-core` and `baselines` operate
+//! on. The paper's testbed shape (8 × dual-socket Haswell) is the default.
+
+use crate::variability::VariabilityModel;
+use simnode::{Node, PowerCaps};
+
+/// An ordered fleet of simulated compute nodes.
+///
+/// ```
+/// use cluster_sim::{run_job, Cluster, JobSpec};
+/// use simnode::AffinityPolicy;
+///
+/// let mut cluster = Cluster::paper_testbed(42); // 8 Haswell nodes, σ = 3%
+/// let app = workload::suite::amg();
+/// let spec = JobSpec::on_first_nodes(&app, 4, 24, AffinityPolicy::Scatter, 2);
+/// let report = run_job(&mut cluster, &spec);
+/// assert_eq!(report.nodes_used, 4);
+/// assert!(report.performance() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    nodes: Vec<Node>,
+    efficiencies: Vec<f64>,
+}
+
+impl Cluster {
+    /// A fleet of `n` identical nominal nodes.
+    pub fn homogeneous(n: usize) -> Self {
+        Self::with_variability(n, &VariabilityModel::homogeneous(), 0)
+    }
+
+    /// A fleet of `n` nodes with sampled manufacturing variability.
+    pub fn with_variability(n: usize, var: &VariabilityModel, seed: u64) -> Self {
+        assert!(n > 0, "cluster needs at least one node");
+        let efficiencies = var.sample(n, seed);
+        let nodes = efficiencies
+            .iter()
+            .map(|&e| Node::haswell_with_efficiency(e))
+            .collect();
+        Self { nodes, efficiencies }
+    }
+
+    /// The paper's testbed: 8 nodes, near-homogeneous (σ = 3%).
+    pub fn paper_testbed(seed: u64) -> Self {
+        Self::with_variability(8, &VariabilityModel::default(), seed)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the fleet is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Immutable access to node `i`.
+    pub fn node(&self, i: usize) -> &Node {
+        &self.nodes[i]
+    }
+
+    /// Mutable access to node `i` (to program caps or execute).
+    pub fn node_mut(&mut self, i: usize) -> &mut Node {
+        &mut self.nodes[i]
+    }
+
+    /// The sampled per-node efficiency factors.
+    pub fn efficiencies(&self) -> &[f64] {
+        &self.efficiencies
+    }
+
+    /// Program the same caps on every node.
+    pub fn set_uniform_caps(&mut self, caps: PowerCaps) {
+        for n in &mut self.nodes {
+            n.set_caps(caps);
+        }
+    }
+
+    /// Program per-node caps; `caps.len()` must equal the fleet size.
+    pub fn set_caps(&mut self, caps: &[PowerCaps]) {
+        assert_eq!(caps.len(), self.nodes.len(), "one cap set per node");
+        for (n, c) in self.nodes.iter_mut().zip(caps) {
+            n.set_caps(*c);
+        }
+    }
+
+    /// Node indices sorted most-efficient-first (lowest factor first) —
+    /// the order a variability-aware scheduler prefers to activate them in.
+    pub fn nodes_by_efficiency(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.nodes.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.efficiencies[a]
+                .partial_cmp(&self.efficiencies[b])
+                .expect("finite efficiency factors")
+        });
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::Power;
+
+    #[test]
+    fn paper_testbed_shape() {
+        let c = Cluster::paper_testbed(42);
+        assert_eq!(c.len(), 8);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn homogeneous_fleet_all_nominal() {
+        let c = Cluster::homogeneous(4);
+        assert!(c.efficiencies().iter().all(|&e| e == 1.0));
+    }
+
+    #[test]
+    fn variability_is_seed_deterministic() {
+        let a = Cluster::paper_testbed(1);
+        let b = Cluster::paper_testbed(1);
+        assert_eq!(a.efficiencies(), b.efficiencies());
+        let c = Cluster::paper_testbed(2);
+        assert_ne!(a.efficiencies(), c.efficiencies());
+    }
+
+    #[test]
+    fn uniform_caps_programmed_everywhere() {
+        let mut c = Cluster::homogeneous(3);
+        let caps = PowerCaps::new(Power::watts(150.0), Power::watts(40.0));
+        c.set_uniform_caps(caps);
+        for i in 0..3 {
+            assert_eq!(c.node(i).caps(), caps);
+        }
+    }
+
+    #[test]
+    fn per_node_caps() {
+        let mut c = Cluster::homogeneous(2);
+        let caps = vec![
+            PowerCaps::new(Power::watts(100.0), Power::watts(30.0)),
+            PowerCaps::new(Power::watts(200.0), Power::watts(40.0)),
+        ];
+        c.set_caps(&caps);
+        assert_eq!(c.node(0).caps(), caps[0]);
+        assert_eq!(c.node(1).caps(), caps[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one cap set per node")]
+    fn cap_count_mismatch_rejected() {
+        let mut c = Cluster::homogeneous(2);
+        c.set_caps(&[PowerCaps::unlimited()]);
+    }
+
+    #[test]
+    fn efficiency_ordering() {
+        let c = Cluster::paper_testbed(9);
+        let order = c.nodes_by_efficiency();
+        for w in order.windows(2) {
+            assert!(c.efficiencies()[w[0]] <= c.efficiencies()[w[1]]);
+        }
+    }
+}

@@ -1,0 +1,422 @@
+//! Bulk-synchronous MPI-style job execution.
+//!
+//! A job runs one MPI rank per participating node; each rank executes the
+//! strong-scaled application with the node's OpenMP thread count and
+//! affinity under that node's RAPL caps. Ranks synchronize every iteration
+//! (halo exchange / collective), so:
+//!
+//! ```text
+//! t_iter = max_i t_node_i + t_comm(N)
+//! ```
+//!
+//! Power accounting follows the hardware: while a fast node waits at the
+//! barrier it idles (package C-state + DRAM background), so its *average*
+//! power over the iteration blends busy and idle power by its wait
+//! fraction. The managed cluster power CLIP budgets against is the sum of
+//! the participating nodes' averages; idle (non-participating) nodes are
+//! reported separately.
+
+use crate::fleet::Cluster;
+use serde::{Deserialize, Serialize};
+use simkit::{Power, TimeSpan};
+use simnode::{AffinityPolicy, ExecutionReport};
+use workload::AppModel;
+
+/// What to run and how.
+#[derive(Debug, Clone)]
+pub struct JobSpec<'a> {
+    /// The (unscaled) application.
+    pub app: &'a AppModel,
+    /// Indices of the participating nodes.
+    pub node_ids: Vec<usize>,
+    /// OpenMP threads per node.
+    pub threads_per_node: usize,
+    /// Thread affinity policy on every node.
+    pub policy: AffinityPolicy,
+    /// Iterations to execute.
+    pub iterations: usize,
+}
+
+impl<'a> JobSpec<'a> {
+    /// Run on the first `nodes` nodes of the cluster.
+    pub fn on_first_nodes(
+        app: &'a AppModel,
+        nodes: usize,
+        threads_per_node: usize,
+        policy: AffinityPolicy,
+        iterations: usize,
+    ) -> Self {
+        Self {
+            app,
+            node_ids: (0..nodes).collect(),
+            threads_per_node,
+            policy,
+            iterations,
+        }
+    }
+}
+
+/// Per-node outcome within a job.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeOutcome {
+    /// Cluster index of the node.
+    pub node_id: usize,
+    /// The node-local execution report (busy time only).
+    pub report: ExecutionReport,
+    /// Fraction of each iteration this node spent waiting at the barrier.
+    pub wait_fraction: f64,
+    /// Barrier-blended average power of this node over the iteration.
+    pub avg_power: Power,
+}
+
+/// Outcome of a cluster job.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobReport {
+    /// Application name.
+    pub app_name: String,
+    /// Participating node count.
+    pub nodes_used: usize,
+    /// Threads per node.
+    pub threads_per_node: usize,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Synchronized per-iteration time (slowest rank + communication).
+    pub iteration_time: TimeSpan,
+    /// Communication time per iteration.
+    pub comm_time: TimeSpan,
+    /// Total wall time.
+    pub total_time: TimeSpan,
+    /// Managed cluster power: sum of participating nodes' blended averages.
+    pub cluster_power: Power,
+    /// The highest single-node blended average power.
+    pub max_node_power: Power,
+    /// Per-node outcomes.
+    pub per_node: Vec<NodeOutcome>,
+}
+
+impl JobReport {
+    /// Performance as iterations per second (the paper's cluster `perf`).
+    pub fn performance(&self) -> f64 {
+        self.iterations as f64 / self.total_time.as_secs()
+    }
+
+    /// Managed energy consumed by the job (participating nodes, CPU+DRAM).
+    pub fn energy(&self) -> simkit::Energy {
+        self.cluster_power * self.total_time
+    }
+
+    /// Energy per iteration, joules — the power-efficiency metric of the
+    /// paper's first contribution claim ("improves both performance and
+    /// power efficiency").
+    pub fn energy_per_iteration(&self) -> f64 {
+        self.energy().as_joules() / self.iterations as f64
+    }
+
+    /// Energy-delay product per iteration (J·s): lower is better on both
+    /// axes at once.
+    pub fn edp_per_iteration(&self) -> f64 {
+        self.energy_per_iteration() * self.iteration_time.as_secs()
+    }
+
+    /// Barrier imbalance: `(t_max − t_min) / t_max` over participating
+    /// nodes' busy times. Zero on a perfectly balanced fleet.
+    pub fn imbalance(&self) -> f64 {
+        let times: Vec<f64> = self
+            .per_node
+            .iter()
+            .map(|n| n.report.total_time.as_secs())
+            .collect();
+        let max = times.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+        if max > 0.0 {
+            (max - min) / max
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Execute a job on the cluster. Panics on an empty node set, a node index
+/// out of range, or zero iterations.
+pub fn run_job(cluster: &mut Cluster, spec: &JobSpec<'_>) -> JobReport {
+    assert!(!spec.node_ids.is_empty(), "job needs at least one node");
+    assert!(spec.iterations > 0, "job needs at least one iteration");
+    for &id in &spec.node_ids {
+        assert!(id < cluster.len(), "node {id} out of range");
+    }
+    let n_nodes = spec.node_ids.len();
+    let scaled = spec.app.strong_scale(n_nodes);
+
+    // Execute every rank under its own node's caps.
+    let reports: Vec<(usize, ExecutionReport)> = spec
+        .node_ids
+        .iter()
+        .map(|&id| {
+            let r = cluster.node_mut(id).execute(
+                &scaled,
+                spec.threads_per_node,
+                spec.policy,
+                spec.iterations,
+            );
+            (id, r)
+        })
+        .collect();
+
+    // Synchronize: the slowest rank sets the pace.
+    let busy_max = reports
+        .iter()
+        .map(|(_, r)| r.total_time)
+        .fold(TimeSpan::ZERO, TimeSpan::max);
+    let comm_per_iter = TimeSpan::secs(spec.app.comm().time_secs(n_nodes));
+    let total_time = busy_max + comm_per_iter * spec.iterations as f64;
+    let iteration_time = total_time / spec.iterations as f64;
+
+    // Blend busy and wait power per node.
+    let per_node: Vec<NodeOutcome> = reports
+        .into_iter()
+        .map(|(id, report)| {
+            let busy_frac = if total_time.as_secs() > 0.0 {
+                (report.total_time / total_time).clamp(0.0, 1.0)
+            } else {
+                1.0
+            };
+            let pm = cluster.node(id).power_model();
+            let sockets = cluster.node(id).topology().sockets() as f64;
+            let idle_power =
+                (pm.socket_idle + pm.dram_base) * sockets * pm.efficiency;
+            let busy_power = report.avg_total_power();
+            let avg_power = busy_power * busy_frac + idle_power * (1.0 - busy_frac);
+            NodeOutcome {
+                node_id: id,
+                report,
+                wait_fraction: 1.0 - busy_frac,
+                avg_power,
+            }
+        })
+        .collect();
+
+    let cluster_power: Power = per_node.iter().map(|n| n.avg_power).sum();
+    let max_node_power = per_node
+        .iter()
+        .map(|n| n.avg_power)
+        .fold(Power::ZERO, Power::max);
+
+    JobReport {
+        app_name: spec.app.name().to_string(),
+        nodes_used: n_nodes,
+        threads_per_node: spec.threads_per_node,
+        iterations: spec.iterations,
+        iteration_time,
+        comm_time: comm_per_iter,
+        total_time,
+        cluster_power,
+        max_node_power,
+        per_node,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variability::VariabilityModel;
+    use simnode::PowerCaps;
+    use workload::suite;
+
+    #[test]
+    fn single_node_job_matches_node_execution() {
+        let mut cluster = Cluster::homogeneous(4);
+        let app = suite::comd();
+        let spec = JobSpec::on_first_nodes(&app, 1, 24, AffinityPolicy::Compact, 2);
+        let job = run_job(&mut cluster, &spec);
+        assert_eq!(job.nodes_used, 1);
+        assert_eq!(job.comm_time, TimeSpan::ZERO);
+        assert_eq!(job.per_node.len(), 1);
+        assert!(job.performance() > 0.0);
+    }
+
+    #[test]
+    fn more_nodes_speed_up_scalable_apps() {
+        let mut cluster = Cluster::homogeneous(8);
+        let app = suite::comd();
+        let p1 = run_job(
+            &mut cluster,
+            &JobSpec::on_first_nodes(&app, 1, 24, AffinityPolicy::Compact, 1),
+        )
+        .performance();
+        let p8 = run_job(
+            &mut cluster,
+            &JobSpec::on_first_nodes(&app, 8, 24, AffinityPolicy::Compact, 1),
+        )
+        .performance();
+        assert!(p8 > 4.0 * p1, "8-node speedup {:.2}", p8 / p1);
+    }
+
+    #[test]
+    fn communication_grows_with_node_count() {
+        let mut cluster = Cluster::homogeneous(8);
+        let app = suite::amg();
+        let j2 = run_job(
+            &mut cluster,
+            &JobSpec::on_first_nodes(&app, 2, 24, AffinityPolicy::Scatter, 1),
+        );
+        let j8 = run_job(
+            &mut cluster,
+            &JobSpec::on_first_nodes(&app, 8, 24, AffinityPolicy::Scatter, 1),
+        );
+        assert!(j8.comm_time > j2.comm_time);
+    }
+
+    #[test]
+    fn homogeneous_fleet_has_no_imbalance() {
+        let mut cluster = Cluster::homogeneous(4);
+        let app = suite::comd();
+        let job = run_job(
+            &mut cluster,
+            &JobSpec::on_first_nodes(&app, 4, 24, AffinityPolicy::Compact, 1),
+        );
+        assert!(job.imbalance() < 1e-12);
+        // Identical nodes wait only for communication, and equally so.
+        let w0 = job.per_node[0].wait_fraction;
+        assert!(job.per_node.iter().all(|n| (n.wait_fraction - w0).abs() < 1e-12));
+        let comm_share = job.comm_time.as_secs() * job.iterations as f64
+            / job.total_time.as_secs();
+        assert!((w0 - comm_share).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variability_under_uniform_caps_creates_waits() {
+        let mut cluster =
+            Cluster::with_variability(4, &VariabilityModel::with_sigma(0.08), 3);
+        cluster.set_uniform_caps(PowerCaps::new(
+            Power::watts(160.0),
+            Power::watts(40.0),
+        ));
+        let app = suite::comd();
+        let job = run_job(
+            &mut cluster,
+            &JobSpec::on_first_nodes(&app, 4, 24, AffinityPolicy::Compact, 1),
+        );
+        assert!(job.imbalance() > 0.0, "imbalance {}", job.imbalance());
+        let waiting = job.per_node.iter().filter(|n| n.wait_fraction > 1e-6).count();
+        assert!(waiting >= 1, "some node must wait at the barrier");
+    }
+
+    #[test]
+    fn cluster_power_sums_participants() {
+        let mut cluster = Cluster::homogeneous(8);
+        let app = suite::lu_mz();
+        let job = run_job(
+            &mut cluster,
+            &JobSpec::on_first_nodes(&app, 3, 24, AffinityPolicy::Scatter, 1),
+        );
+        let sum: Power = job.per_node.iter().map(|n| n.avg_power).sum();
+        assert!((job.cluster_power.as_watts() - sum.as_watts()).abs() < 1e-9);
+        assert!(job.max_node_power <= job.cluster_power);
+    }
+
+    #[test]
+    fn waiting_node_power_below_busy_power() {
+        let mut cluster =
+            Cluster::with_variability(2, &VariabilityModel::with_sigma(0.10), 11);
+        cluster.set_uniform_caps(PowerCaps::new(
+            Power::watts(150.0),
+            Power::watts(40.0),
+        ));
+        let app = suite::comd();
+        let job = run_job(
+            &mut cluster,
+            &JobSpec::on_first_nodes(&app, 2, 24, AffinityPolicy::Compact, 1),
+        );
+        for n in &job.per_node {
+            if n.wait_fraction > 1e-6 {
+                assert!(n.avg_power < n.report.avg_total_power());
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_node_ids_respected() {
+        let mut cluster = Cluster::homogeneous(4);
+        let app = suite::mini_md();
+        let spec = JobSpec {
+            app: &app,
+            node_ids: vec![1, 3],
+            threads_per_node: 12,
+            policy: AffinityPolicy::Compact,
+            iterations: 1,
+        };
+        let job = run_job(&mut cluster, &spec);
+        let ids: Vec<usize> = job.per_node.iter().map(|n| n.node_id).collect();
+        assert_eq!(ids, vec![1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_node_id_rejected() {
+        let mut cluster = Cluster::homogeneous(2);
+        let app = suite::comd();
+        let spec = JobSpec {
+            app: &app,
+            node_ids: vec![5],
+            threads_per_node: 4,
+            policy: AffinityPolicy::Compact,
+            iterations: 1,
+        };
+        run_job(&mut cluster, &spec);
+    }
+
+    #[test]
+    fn energy_metrics_consistent() {
+        let mut cluster = Cluster::homogeneous(4);
+        let app = suite::amg();
+        let job = run_job(
+            &mut cluster,
+            &JobSpec::on_first_nodes(&app, 4, 24, AffinityPolicy::Scatter, 5),
+        );
+        let e = job.energy().as_joules();
+        assert!((e - job.cluster_power.as_watts() * job.total_time.as_secs()).abs() < 1e-6);
+        assert!((job.energy_per_iteration() - e / 5.0).abs() < 1e-9);
+        assert!(
+            (job.edp_per_iteration()
+                - job.energy_per_iteration() * job.iteration_time.as_secs())
+            .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn slower_run_costs_more_energy_per_iteration_when_power_static() {
+        // Capping CPU power saves watts but stretches time; with a large
+        // static share, energy per iteration worsens for compute apps —
+        // the effect the paper's efficiency claim is about.
+        let app = suite::comd();
+        let mut fast = Cluster::homogeneous(1);
+        let jf = run_job(
+            &mut fast,
+            &JobSpec::on_first_nodes(&app, 1, 24, AffinityPolicy::Compact, 1),
+        );
+        let mut slow = Cluster::homogeneous(1);
+        slow.set_uniform_caps(PowerCaps::new(Power::watts(90.0), Power::watts(30.0)));
+        let js = run_job(
+            &mut slow,
+            &JobSpec::on_first_nodes(&app, 1, 24, AffinityPolicy::Compact, 1),
+        );
+        assert!(js.performance() < jf.performance());
+        assert!(js.edp_per_iteration() > jf.edp_per_iteration());
+    }
+
+    #[test]
+    fn parabolic_app_cluster_scaling_reflects_node_behaviour() {
+        // Strong-scaling a parabolic app: per-node work shrinks, so the
+        // per-node contention optimum shifts — the job still completes and
+        // reports sane numbers.
+        let mut cluster = Cluster::homogeneous(8);
+        let app = suite::sp_mz();
+        let job = run_job(
+            &mut cluster,
+            &JobSpec::on_first_nodes(&app, 8, 12, AffinityPolicy::Scatter, 2),
+        );
+        assert!(job.performance() > 0.0);
+        assert!(job.iteration_time.as_secs() > 0.0);
+    }
+}

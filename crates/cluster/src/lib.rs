@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! # cluster-sim — the simulated power-bounded cluster
+//!
+//! Stand-in for the paper's 8-node Haswell testbed. Provides:
+//!
+//! - [`variability`]: per-node manufacturing-variability sampling — the
+//!   lognormal efficiency factors that make identical caps yield different
+//!   frequencies across nodes (paper §III-B2, after Inadomi et al.).
+//! - [`fleet`]: the [`Cluster`] — an array of [`simnode::Node`]s with
+//!   individually programmable RAPL caps.
+//! - [`job`]: bulk-synchronous MPI-style job execution — strong-scale the
+//!   application over the participating nodes, run every rank, synchronize
+//!   on the slowest, add the communication term, account power including
+//!   barrier-wait idling.
+//! - [`sweep`]: a small fork-join helper for parallel configuration sweeps
+//!   (used by the exhaustive Oracle baseline and the figure harnesses).
+
+pub mod fleet;
+pub mod job;
+pub mod sweep;
+pub mod variability;
+
+pub use fleet::Cluster;
+pub use job::{run_job, JobReport, JobSpec, NodeOutcome};
+pub use variability::VariabilityModel;

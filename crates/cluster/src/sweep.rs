@@ -1,0 +1,89 @@
+//! Fork-join helper for configuration sweeps.
+//!
+//! The exhaustive Oracle baseline and several figure harnesses evaluate
+//! hundreds of (nodes, threads, power-split) configurations; each
+//! evaluation clones the cluster, so they are embarrassingly parallel.
+//! [`parallel_map`] fans the work out over a bounded number of OS threads
+//! with crossbeam's scoped threads (no `'static` bound on the closure) and
+//! returns results in input order.
+
+use crossbeam::thread;
+use parking_lot::Mutex;
+
+/// Map `f` over `items` in parallel, preserving order. Falls back to a
+/// sequential loop for small inputs where spawning would dominate.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n <= 4 {
+        return items.into_iter().map(f).collect();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+
+    // Work queue of (index, item); results gathered by index.
+    let queue = Mutex::new(items.into_iter().enumerate().collect::<Vec<_>>());
+    let results = Mutex::new(Vec::with_capacity(n));
+
+    thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let task = queue.lock().pop();
+                match task {
+                    Some((idx, item)) => {
+                        let r = f(item);
+                        results.lock().push((idx, r));
+                    }
+                    None => break,
+                }
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    let mut out = results.into_inner();
+    out.sort_by_key(|(idx, _)| *idx);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(items.clone(), |x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn small_inputs_run_sequentially() {
+        let out = parallel_map(vec![1, 2, 3], |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn every_item_processed_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = parallel_map((0..500).collect::<Vec<_>>(), |x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 500);
+        assert_eq!(counter.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = parallel_map(Vec::<u32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+}

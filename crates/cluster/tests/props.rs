@@ -1,0 +1,118 @@
+//! Property-based tests for the cluster simulator: job-report invariants
+//! across random fleets, caps, and decompositions.
+
+use proptest::prelude::*;
+use cluster_sim::{run_job, Cluster, JobSpec, VariabilityModel};
+use simkit::{Power, SimRng};
+use simnode::{AffinityPolicy, PowerCaps};
+use workload::corpus;
+
+fn policy_strategy() -> impl Strategy<Value = AffinityPolicy> {
+    prop_oneof![Just(AffinityPolicy::Compact), Just(AffinityPolicy::Scatter)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The synchronized iteration time is never shorter than any
+    /// participant's own busy time, and the report is self-consistent.
+    #[test]
+    fn barrier_dominates(seed in any::<u64>(),
+                         nodes in 1usize..=8,
+                         threads in 1usize..=24,
+                         policy in policy_strategy(),
+                         sigma in 0.0f64..0.1)
+    {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let app = corpus::gen_linear(&mut rng, 0);
+        let mut cluster =
+            Cluster::with_variability(8, &VariabilityModel::with_sigma(sigma), seed);
+        let spec = JobSpec::on_first_nodes(&app, nodes, threads, policy, 2);
+        let job = run_job(&mut cluster, &spec);
+
+        prop_assert_eq!(job.per_node.len(), nodes);
+        for outcome in &job.per_node {
+            prop_assert!(outcome.report.total_time <= job.total_time + simkit::TimeSpan::secs(1e-12));
+            prop_assert!((0.0..=1.0).contains(&outcome.wait_fraction));
+        }
+        prop_assert!(job.imbalance() >= 0.0 && job.imbalance() < 1.0);
+        prop_assert!(job.performance() > 0.0);
+    }
+
+    /// Cluster power equals the sum of per-node blended powers and every
+    /// node's blended power is at most its busy power.
+    #[test]
+    fn power_accounting(seed in any::<u64>(), nodes in 1usize..=8,
+                        cap_cpu in 80.0f64..260.0, cap_dram in 10.0f64..40.0)
+    {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let app = corpus::gen_logarithmic(&mut rng, 0);
+        let mut cluster = Cluster::paper_testbed(seed);
+        cluster.set_uniform_caps(PowerCaps::new(
+            Power::watts(cap_cpu),
+            Power::watts(cap_dram),
+        ));
+        let spec = JobSpec::on_first_nodes(&app, nodes, 24, AffinityPolicy::Scatter, 1);
+        let job = run_job(&mut cluster, &spec);
+
+        let sum: Power = job.per_node.iter().map(|n| n.avg_power).sum();
+        prop_assert!((job.cluster_power.as_watts() - sum.as_watts()).abs() < 1e-6);
+        for n in &job.per_node {
+            prop_assert!(n.avg_power <= n.report.avg_total_power() + Power::watts(1e-9));
+        }
+        prop_assert!(job.max_node_power <= job.cluster_power + Power::watts(1e-9));
+    }
+
+    /// Under uniform caps, total cluster power never exceeds nodes × caps.
+    #[test]
+    fn budget_bound(seed in any::<u64>(), nodes in 1usize..=8,
+                    cap_cpu in 60.0f64..250.0, cap_dram in 8.0f64..40.0)
+    {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let app = corpus::gen_parabolic(&mut rng, 0);
+        let mut cluster = Cluster::homogeneous(8);
+        let caps = PowerCaps::new(Power::watts(cap_cpu), Power::watts(cap_dram));
+        cluster.set_uniform_caps(caps);
+        let spec = JobSpec::on_first_nodes(&app, nodes, 24, AffinityPolicy::Scatter, 1);
+        let job = run_job(&mut cluster, &spec);
+        // Allow the static floor to exceed very small caps.
+        let floor = {
+            let pm = cluster.node(0).power_model();
+            (pm.socket_base * 2.0
+                + pm.core_static * 24.0
+                + pm.dram_base * 2.0
+                + Power::watts(1.0))
+                * nodes as f64
+        };
+        let bound = (caps.total() * nodes as f64).max(floor);
+        prop_assert!(
+            job.cluster_power <= bound + Power::watts(1e-6),
+            "cluster {} vs bound {}", job.cluster_power, bound
+        );
+    }
+
+    /// Variability factors sampled for a fleet always average to 1 and the
+    /// fleet is reproducible from its seed.
+    #[test]
+    fn fleet_reproducible(seed in any::<u64>(), sigma in 0.0f64..0.2, n in 1usize..32) {
+        let a = Cluster::with_variability(n, &VariabilityModel::with_sigma(sigma), seed);
+        let b = Cluster::with_variability(n, &VariabilityModel::with_sigma(sigma), seed);
+        prop_assert_eq!(a.efficiencies(), b.efficiencies());
+        let mean: f64 = a.efficiencies().iter().sum::<f64>() / n as f64;
+        prop_assert!((mean - 1.0).abs() < 1e-9);
+    }
+
+    /// Job reports are deterministic given the same cluster and spec.
+    #[test]
+    fn job_deterministic(seed in any::<u64>(), nodes in 1usize..=8) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let app = corpus::gen_linear(&mut rng, 0);
+        let spec = JobSpec::on_first_nodes(&app, nodes, 12, AffinityPolicy::Compact, 1);
+        let mut c1 = Cluster::paper_testbed(seed);
+        let mut c2 = Cluster::paper_testbed(seed);
+        let j1 = run_job(&mut c1, &spec);
+        let j2 = run_job(&mut c2, &spec);
+        prop_assert_eq!(j1.total_time, j2.total_time);
+        prop_assert_eq!(j1.cluster_power, j2.cluster_power);
+    }
+}

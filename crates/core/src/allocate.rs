@@ -1,0 +1,276 @@
+//! Cluster-level power allocation (paper §III-B, Algorithm 1).
+//!
+//! Two layers:
+//!
+//! - [`NodeBudgetRange`]: the application's acceptable per-node power range
+//!   `[P_cpu,L2 + P_mem,L2, P_cpu,L1 + P_mem,L1]`, reconstructed from the
+//!   fitted power model at the class's reference concurrency. A node budget
+//!   below the range means crippling throttling; above it, stranded watts.
+//! - [`allocate_cluster`]: choose the node count. Following §III-B1, the
+//!   scheduler enumerates the node counts whose per-node share stays inside
+//!   the acceptable range (honoring the application's data-decomposition
+//!   counts), *predicts* the cluster performance of each using the
+//!   node-level models — per-node work scales as `1/N` under strong
+//!   scaling — and takes the best. [`choose_node_count`] is the literal
+//!   Algorithm 1 arithmetic, kept for reference and the ablation harness.
+
+use crate::perfmodel::NodePerfModel;
+use crate::powerfit::FittedPowerModel;
+use crate::profile::ProfileData;
+use crate::recommend::{bandwidth_estimate, recommend_node_config, NodeConfig};
+use serde::{Deserialize, Serialize};
+use simkit::Power;
+use workload::ScalabilityClass;
+
+/// Acceptable per-node power range for an application.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeBudgetRange {
+    /// Below this, the node drops under its lowest P-state (unacceptable).
+    pub lo: Power,
+    /// Above this, additional watts buy nothing at this concurrency.
+    pub hi: Power,
+}
+
+impl NodeBudgetRange {
+    /// Reconstruct the range from the fitted models. The reference
+    /// concurrency is the class rule's: all cores for linear, `NP` for the
+    /// non-linear classes.
+    pub fn from_models(
+        profile: &ProfileData,
+        perf_model: &NodePerfModel,
+        power_model: &FittedPowerModel,
+        total_cores: usize,
+    ) -> Self {
+        let n_ref = match profile.class {
+            ScalabilityClass::Linear => total_cores,
+            _ => perf_model.np().clamp(2, total_cores),
+        };
+        let bw = bandwidth_estimate(profile, n_ref);
+        let lo = power_model.cpu_power(n_ref, power_model.f_min)
+            + power_model.mem_power(bw * power_model.f_min / power_model.f_max);
+        let hi = power_model.cpu_power(n_ref, power_model.f_max) + power_model.mem_power(bw);
+        Self { lo, hi: hi.max(lo + Power::watts(1.0)) }
+    }
+}
+
+/// The literal Algorithm 1 node-count arithmetic.
+///
+/// With a predefined decomposition set, pick the largest `N_def` whose
+/// per-node share stays at or above the range floor; otherwise size by the
+/// range ceiling (`N = ⌊budget / hi⌋`, all nodes if the budget exceeds
+/// `N_total · hi`). Always returns at least 1 and at most `n_total`.
+pub fn choose_node_count(
+    budget: Power,
+    n_total: usize,
+    range: &NodeBudgetRange,
+    preferred: &[usize],
+) -> usize {
+    assert!(n_total >= 1, "cluster has at least one node");
+    if !preferred.is_empty() {
+        let feasible = preferred
+            .iter()
+            .copied()
+            .filter(|&n| n <= n_total && budget / n as f64 >= range.lo)
+            .max();
+        return feasible.unwrap_or_else(|| {
+            preferred
+                .iter()
+                .copied()
+                .filter(|&n| n <= n_total)
+                .min()
+                .unwrap_or(1)
+        });
+    }
+    if budget > range.hi * n_total as f64 {
+        n_total
+    } else {
+        ((budget.as_watts() / range.hi.as_watts()).floor() as usize).clamp(1, n_total)
+    }
+}
+
+/// Outcome of the cluster-level allocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterAllocation {
+    /// Number of participating nodes.
+    pub nodes: usize,
+    /// The recommended per-node configuration at `budget / nodes`.
+    pub node_config: NodeConfig,
+    /// Predicted cluster performance score (relative; higher is better).
+    pub predicted_score: f64,
+}
+
+/// Choose the node count by predicting cluster performance across the
+/// feasible counts (§III-B1) and recommending the node configuration at
+/// the winning per-node budget.
+///
+/// `preferred` is the application's data-decomposition set (Algorithm 1's
+/// `N_def`); pass an empty slice when any node count works.
+pub fn allocate_cluster(
+    budget: Power,
+    n_total: usize,
+    preferred: &[usize],
+    profile: &ProfileData,
+    perf_model: &NodePerfModel,
+    power_model: &FittedPowerModel,
+    total_cores: usize,
+) -> ClusterAllocation {
+    assert!(budget.as_watts() > 0.0, "budget must be positive");
+    let range = NodeBudgetRange::from_models(profile, perf_model, power_model, total_cores);
+
+    let preferred: Vec<usize> = if preferred.is_empty() {
+        (1..=n_total).collect()
+    } else {
+        preferred.iter().copied().filter(|&n| n <= n_total).collect()
+    };
+    assert!(!preferred.is_empty(), "no usable node count");
+    let mut feasible: Vec<usize> = preferred
+        .iter()
+        .copied()
+        .filter(|&n| budget / n as f64 >= range.lo)
+        .collect();
+    if feasible.is_empty() {
+        // Even one node is below the acceptable floor: run on the smallest
+        // decomposition anyway (the job must execute).
+        feasible.push(*preferred.first().expect("non-empty candidate set"));
+    }
+
+    let mut best: Option<ClusterAllocation> = None;
+    for n in feasible {
+        let per_node = budget / n as f64;
+        let cfg =
+            recommend_node_config(profile, perf_model, power_model, per_node, total_cores);
+        // Strong scaling: per-node work is 1/n of the profiled problem, so
+        // cluster performance scales as n / t_node(config).
+        let score = n as f64 / cfg.predicted_time;
+        let candidate = ClusterAllocation { nodes: n, node_config: cfg, predicted_score: score };
+        let better = match &best {
+            None => true,
+            // Strictly better score wins; ties go to fewer nodes (less
+            // communication, which the node model cannot see).
+            Some(b) => {
+                candidate.predicted_score > b.predicted_score * 1.0001
+                    || (candidate.predicted_score > b.predicted_score * 0.9999
+                        && candidate.nodes < b.nodes)
+            }
+        };
+        if better {
+            best = Some(candidate);
+        }
+    }
+    best.expect("at least one feasible node count")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlr::actual_inflection;
+    use crate::profile::SmartProfiler;
+    use simnode::Node;
+    use workload::{suite, AppModel};
+
+    fn models(app: &AppModel) -> (ProfileData, NodePerfModel, FittedPowerModel) {
+        let mut node = Node::haswell();
+        let profiler = SmartProfiler::default();
+        let mut profile = profiler.profile(&mut node, app);
+        let np = actual_inflection(&mut node, app, profile.policy, profile.class);
+        if profile.class != ScalabilityClass::Linear {
+            profiler.sample_at(&mut node, app, &mut profile, np);
+        }
+        let perf = NodePerfModel::from_profile(&profile, np);
+        let power = FittedPowerModel::fit(&profile);
+        (profile, perf, power)
+    }
+
+    #[test]
+    fn range_is_ordered_and_physical() {
+        for app in [suite::comd(), suite::lu_mz(), suite::sp_mz()] {
+            let (p, perf, pw) = models(&app);
+            let r = NodeBudgetRange::from_models(&p, &perf, &pw, 24);
+            assert!(r.lo.as_watts() > 0.0, "{}", app.name());
+            assert!(r.hi > r.lo, "{}", app.name());
+            // A Haswell node cannot need more than ~300 managed watts.
+            assert!(r.hi.as_watts() < 320.0, "{}: hi {}", app.name(), r.hi);
+        }
+    }
+
+    #[test]
+    fn algorithm1_generous_budget_uses_all_nodes() {
+        let range = NodeBudgetRange { lo: Power::watts(100.0), hi: Power::watts(250.0) };
+        assert_eq!(choose_node_count(Power::watts(5000.0), 8, &range, &[]), 8);
+    }
+
+    #[test]
+    fn algorithm1_tight_budget_drops_nodes() {
+        let range = NodeBudgetRange { lo: Power::watts(100.0), hi: Power::watts(250.0) };
+        assert_eq!(choose_node_count(Power::watts(1000.0), 8, &range, &[]), 4);
+        assert_eq!(choose_node_count(Power::watts(50.0), 8, &range, &[]), 1);
+    }
+
+    #[test]
+    fn algorithm1_respects_decomposition_counts() {
+        let range = NodeBudgetRange { lo: Power::watts(100.0), hi: Power::watts(250.0) };
+        // budget/lo = 7.0 → largest preferred ≤ 7 is 4.
+        let n = choose_node_count(Power::watts(700.0), 8, &range, &[1, 2, 4, 8]);
+        assert_eq!(n, 4);
+        // Infeasible everywhere → smallest decomposition.
+        let n = choose_node_count(Power::watts(50.0), 8, &range, &[2, 4, 8]);
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn predictive_allocation_scales_out_linear_apps() {
+        let (p, perf, pw) = models(&suite::comd());
+        let alloc = allocate_cluster(Power::watts(2000.0), 8, &[], &p, &perf, &pw, 24);
+        assert_eq!(alloc.nodes, 8, "generous budget: use the whole cluster");
+    }
+
+    #[test]
+    fn predictive_allocation_shrinks_under_low_budget() {
+        let (p, perf, pw) = models(&suite::comd());
+        let generous = allocate_cluster(Power::watts(2200.0), 8, &[], &p, &perf, &pw, 24);
+        let tight = allocate_cluster(Power::watts(700.0), 8, &[], &p, &perf, &pw, 24);
+        assert!(
+            tight.nodes < generous.nodes,
+            "tight {} vs generous {}",
+            tight.nodes,
+            generous.nodes
+        );
+        assert!(tight.nodes >= 1);
+    }
+
+    #[test]
+    fn per_node_budget_stays_in_range_when_feasible() {
+        let (p, perf, pw) = models(&suite::lu_mz());
+        let range = NodeBudgetRange::from_models(&p, &perf, &pw, 24);
+        let budget = Power::watts(1200.0);
+        let alloc = allocate_cluster(budget, 8, &[], &p, &perf, &pw, 24);
+        let per_node = budget / alloc.nodes as f64;
+        assert!(
+            per_node >= range.lo,
+            "per-node {} below floor {}",
+            per_node,
+            range.lo
+        );
+    }
+
+    #[test]
+    fn allocation_caps_sum_to_budget() {
+        let (p, perf, pw) = models(&suite::sp_mz());
+        let budget = Power::watts(1500.0);
+        let alloc = allocate_cluster(budget, 8, &[], &p, &perf, &pw, 24);
+        let total = alloc.node_config.caps.total() * alloc.nodes as f64;
+        assert!(
+            total <= budget + Power::watts(1e-6),
+            "caps {} exceed budget {}",
+            total,
+            budget
+        );
+    }
+
+    #[test]
+    fn score_is_positive_and_finite() {
+        let (p, perf, pw) = models(&suite::tea_leaf());
+        let alloc = allocate_cluster(Power::watts(900.0), 8, &[], &p, &perf, &pw, 24);
+        assert!(alloc.predicted_score.is_finite() && alloc.predicted_score > 0.0);
+    }
+}

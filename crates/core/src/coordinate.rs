@@ -1,0 +1,161 @@
+//! Inter-node power coordination for manufacturing variability (§III-B2).
+//!
+//! Nominally identical nodes draw different power at the same frequency
+//! (process variation), so a uniform per-node cap lands them on different
+//! P-states and the bulk-synchronous job pays the slowest one. Following
+//! Inadomi et al., CLIP measures each node's relative power appetite with a
+//! short fixed probe and — when the spread exceeds a threshold, since the
+//! paper's own testbed is "quite homogeneous" — shifts CPU budget from
+//! thrifty to leaky nodes so everyone sustains the same frequency. The
+//! total budget is preserved exactly.
+
+use cluster_sim::Cluster;
+use simkit::Power;
+use simnode::{AffinityPolicy, PowerCaps};
+use workload::suite;
+
+/// Measure each listed node's relative power appetite: run a short,
+/// identical compute-bound probe uncapped and compare package powers.
+/// Returns mean-normalized factors (1.0 = average node).
+pub fn measure_efficiencies(cluster: &mut Cluster, node_ids: &[usize]) -> Vec<f64> {
+    assert!(!node_ids.is_empty(), "need at least one node to measure");
+    let probe = suite::ep_like();
+    let threads = cluster.node(node_ids[0]).topology().total_cores();
+    let mut powers = Vec::with_capacity(node_ids.len());
+    for &id in node_ids {
+        let node = cluster.node_mut(id);
+        let saved = node.caps();
+        node.set_caps(PowerCaps::unlimited());
+        let report = node.execute(&probe, threads, AffinityPolicy::Compact, 1);
+        node.set_caps(saved);
+        powers.push(report.avg_pkg_power.as_watts());
+    }
+    let mean = powers.iter().sum::<f64>() / powers.len() as f64;
+    powers.into_iter().map(|p| p / mean).collect()
+}
+
+/// Relative spread `(max − min)/min` of measured factors.
+pub fn spread(factors: &[f64]) -> f64 {
+    cluster_sim::VariabilityModel::spread(factors)
+}
+
+/// Redistribute per-node CPU caps proportionally to the measured power
+/// factors when the spread exceeds `threshold`; otherwise return the
+/// uniform caps unchanged. DRAM caps are not shifted (DRAM power does not
+/// vary with core process variation). The sum of CPU caps is preserved.
+pub fn coordinate_caps(
+    uniform: PowerCaps,
+    factors: &[f64],
+    threshold: f64,
+) -> Vec<PowerCaps> {
+    assert!(!factors.is_empty());
+    assert!(threshold >= 0.0);
+    if spread(factors) <= threshold {
+        return vec![uniform; factors.len()];
+    }
+    let mean = factors.iter().sum::<f64>() / factors.len() as f64;
+    factors
+        .iter()
+        .map(|&f| {
+            let cpu = uniform.cpu * (f / mean);
+            PowerCaps::new(cpu.max(Power::watts(1.0)), uniform.dram)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster_sim::VariabilityModel;
+
+    #[test]
+    fn homogeneous_fleet_measures_flat() {
+        let mut cluster = Cluster::homogeneous(4);
+        let f = measure_efficiencies(&mut cluster, &[0, 1, 2, 3]);
+        assert!(f.iter().all(|&x| (x - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn measurement_recovers_true_ordering() {
+        let mut cluster =
+            Cluster::with_variability(6, &VariabilityModel::with_sigma(0.08), 17);
+        let ids: Vec<usize> = (0..6).collect();
+        let measured = measure_efficiencies(&mut cluster, &ids);
+        let truth = cluster.efficiencies().to_vec();
+        // Rank order of measured factors matches the ground-truth factors.
+        let mut m_rank: Vec<usize> = (0..6).collect();
+        m_rank.sort_by(|&a, &b| measured[a].partial_cmp(&measured[b]).unwrap());
+        let mut t_rank: Vec<usize> = (0..6).collect();
+        t_rank.sort_by(|&a, &b| truth[a].partial_cmp(&truth[b]).unwrap());
+        assert_eq!(m_rank, t_rank);
+    }
+
+    #[test]
+    fn below_threshold_stays_uniform() {
+        let uniform = PowerCaps::new(Power::watts(150.0), Power::watts(40.0));
+        let caps = coordinate_caps(uniform, &[1.0, 1.005, 0.995], 0.02);
+        assert!(caps.iter().all(|&c| c == uniform));
+    }
+
+    #[test]
+    fn above_threshold_shifts_toward_leaky_nodes() {
+        let uniform = PowerCaps::new(Power::watts(150.0), Power::watts(40.0));
+        let factors = [0.95, 1.05];
+        let caps = coordinate_caps(uniform, &factors, 0.02);
+        assert!(caps[1].cpu > caps[0].cpu, "leaky node gets more budget");
+        assert_eq!(caps[0].dram, uniform.dram);
+        assert_eq!(caps[1].dram, uniform.dram);
+    }
+
+    #[test]
+    fn total_cpu_budget_preserved() {
+        let uniform = PowerCaps::new(Power::watts(160.0), Power::watts(30.0));
+        let factors = [0.9, 1.0, 1.1, 1.0];
+        let caps = coordinate_caps(uniform, &factors, 0.01);
+        let total: f64 = caps.iter().map(|c| c.cpu.as_watts()).sum();
+        assert!((total - 4.0 * 160.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coordination_equalizes_frequencies() {
+        // The point of the exercise: after coordination, a leaky and a
+        // thrifty node land on (nearly) the same P-state.
+        let mut cluster =
+            Cluster::with_variability(2, &VariabilityModel::with_sigma(0.10), 23);
+        let uniform = PowerCaps::new(Power::watts(150.0), Power::watts(40.0));
+        let probe = suite::ep_like();
+
+        cluster.set_uniform_caps(uniform);
+        let f_uniform: Vec<f64> = (0..2)
+            .map(|i| {
+                cluster
+                    .node_mut(i)
+                    .execute(&probe, 24, AffinityPolicy::Compact, 1)
+                    .op
+                    .frequency()
+                    .as_ghz()
+            })
+            .collect();
+
+        let factors = measure_efficiencies(&mut cluster, &[0, 1]);
+        let coordinated = coordinate_caps(uniform, &factors, 0.01);
+        cluster.set_caps(&coordinated);
+        let f_coord: Vec<f64> = (0..2)
+            .map(|i| {
+                cluster
+                    .node_mut(i)
+                    .execute(&probe, 24, AffinityPolicy::Compact, 1)
+                    .op
+                    .frequency()
+                    .as_ghz()
+            })
+            .collect();
+
+        let gap_uniform = (f_uniform[0] - f_uniform[1]).abs();
+        let gap_coord = (f_coord[0] - f_coord[1]).abs();
+        assert!(
+            gap_coord <= gap_uniform,
+            "coordination must not widen the gap ({gap_uniform:.2} → {gap_coord:.2})"
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! The knowledge database (§IV-B3).
+//!
+//! The application execution module first checks whether a program has been
+//! profiled before; only on a miss does it invoke the smart profiler. This
+//! module is that cache: profile + predicted inflection point keyed by
+//! application name, with JSON persistence so the knowledge survives across
+//! scheduler processes.
+
+use crate::profile::ProfileData;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+
+/// One remembered application.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KnowledgeRecord {
+    /// The smart profile (samples, class, affinity).
+    pub profile: ProfileData,
+    /// The predicted inflection point used for this application.
+    pub np: usize,
+}
+
+/// In-memory knowledge database with JSON persistence.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct KnowledgeDb {
+    records: HashMap<String, KnowledgeRecord>,
+}
+
+impl KnowledgeDb {
+    /// Empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up an application by name.
+    pub fn get(&self, app_name: &str) -> Option<&KnowledgeRecord> {
+        self.records.get(app_name)
+    }
+
+    /// Insert or replace a record.
+    pub fn insert(&mut self, record: KnowledgeRecord) {
+        self.records.insert(record.profile.app_name.clone(), record);
+    }
+
+    /// Number of remembered applications.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been profiled yet.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Remembered application names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.records.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Persist to a JSON file.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        std::fs::write(path, json)
+    }
+
+    /// Load from a JSON file written by [`KnowledgeDb::save`].
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::SmartProfiler;
+    use simnode::Node;
+    use workload::suite;
+
+    fn record_for(app: &workload::AppModel, np: usize) -> KnowledgeRecord {
+        let mut node = Node::haswell();
+        let profile = SmartProfiler::default().profile(&mut node, app);
+        KnowledgeRecord { profile, np }
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut db = KnowledgeDb::new();
+        assert!(db.is_empty());
+        db.insert(record_for(&suite::comd(), 24));
+        assert_eq!(db.len(), 1);
+        let r = db.get("CoMD").expect("hit");
+        assert_eq!(r.np, 24);
+        assert!(db.get("unknown-app").is_none());
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut db = KnowledgeDb::new();
+        db.insert(record_for(&suite::comd(), 24));
+        db.insert(record_for(&suite::comd(), 22));
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.get("CoMD").unwrap().np, 22);
+    }
+
+    #[test]
+    fn names_sorted() {
+        let mut db = KnowledgeDb::new();
+        db.insert(record_for(&suite::lu_mz(), 8));
+        db.insert(record_for(&suite::comd(), 24));
+        assert_eq!(db.names(), vec!["CoMD", "LU-MZ"]);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut db = KnowledgeDb::new();
+        db.insert(record_for(&suite::sp_mz(), 12));
+        db.insert(record_for(&suite::amg(), 24));
+
+        let dir = std::env::temp_dir().join("clip-knowledge-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.json");
+        db.save(&path).unwrap();
+        let loaded = KnowledgeDb::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(loaded.len(), 2);
+        let r = loaded.get("SP-MZ").unwrap();
+        assert_eq!(r.np, 12);
+        assert_eq!(r.profile.class, workload::ScalabilityClass::Parabolic);
+        // Measurements survive the round trip.
+        let orig = db.get("SP-MZ").unwrap();
+        assert!(
+            (r.profile.half_all_ratio() - orig.profile.half_all_ratio()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let missing = std::env::temp_dir().join("clip-knowledge-missing-xyz.json");
+        assert!(KnowledgeDb::load(&missing).is_err());
+    }
+}

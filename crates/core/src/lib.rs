@@ -1,0 +1,66 @@
+#![warn(missing_docs)]
+
+//! # clip-core — Cluster-Level Intelligent Power coordination
+//!
+//! The paper's contribution: an application-aware, hierarchical power
+//! coordination framework for power-bounded clusters (Zou et al., IEEE
+//! CLUSTER 2017). The pipeline mirrors the paper's four steps (§I):
+//!
+//! 1. **Smart profiling** ([`profile`]): ≤3 short sample executions — all
+//!    cores (affinity chosen from measured memory intensity), half cores,
+//!    and a forced-lowest-frequency run — collecting Table I event rates and
+//!    RAPL powers.
+//! 2. **Classification** ([`workload::ScalabilityClass`], applied in
+//!    [`profile`]): linear / logarithmic / parabolic from the half/all
+//!    performance ratio.
+//! 3. **Inflection-point prediction** ([`mlr`]): per-class multivariate
+//!    linear regression over the eight event-rate predictors, trained on a
+//!    synthetic corpus; predictions floored to even concurrency (§V-B2).
+//! 4. **Hierarchical allocation**: [`powerfit`] inverts measured powers into
+//!    an application-specific power model (Eqs. 5–9); [`perfmodel`] is the
+//!    piecewise performance predictor (Eqs. 1–3); [`recommend`] picks the
+//!    node-level concurrency/affinity/power split; [`allocate`] picks the
+//!    node count and per-node budgets (Algorithm 1); [`coordinate`]
+//!    rebalances budgets across nodes when manufacturing variability
+//!    exceeds a threshold (§III-B2).
+//!
+//! [`scheduler::ClipScheduler`] glues everything behind the
+//! [`scheduler::PowerScheduler`] trait that the baseline schedulers (in the
+//! `baselines` crate) also implement, and [`knowledge::KnowledgeDb`] caches
+//! profiles so repeat jobs skip the profiling runs (§IV-B3).
+//!
+//! Three extensions go beyond the paper's evaluation while staying inside
+//! its design space: [`phased`] recommends per-phase concurrency (the §V-B
+//! BT-MZ treatment, generalized); [`runtime`] coordinates power for jobs
+//! with user-pinned node/thread counts (the §VII future-work item); and
+//! [`multijob`] shares one budget across concurrent jobs (the POWshed
+//! scenario of §VI, driven by CLIP's models).
+
+pub mod allocate;
+pub mod coordinate;
+pub mod dispatch;
+pub mod knowledge;
+pub mod mlr;
+pub mod multijob;
+pub mod perfmodel;
+pub mod phased;
+pub mod powerfit;
+pub mod profile;
+pub mod pwl;
+pub mod recommend;
+pub mod runtime;
+pub mod scheduler;
+pub mod tools;
+pub mod validate;
+
+pub use allocate::{choose_node_count, NodeBudgetRange};
+pub use dispatch::{Dispatcher, DispatchReport, QueuedJob};
+pub use knowledge::KnowledgeDb;
+pub use multijob::{execute_concurrent, MultiJobScheduler};
+pub use mlr::InflectionPredictor;
+pub use perfmodel::NodePerfModel;
+pub use powerfit::FittedPowerModel;
+pub use profile::{ProfileData, SampleRun, SmartProfiler};
+pub use recommend::{recommend_node_config, NodeConfig};
+pub use runtime::{FixedLaunch, RuntimeCoordinator};
+pub use scheduler::{execute_plan, ClipScheduler, PowerScheduler, SchedulePlan};

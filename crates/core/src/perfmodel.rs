@@ -1,0 +1,355 @@
+//! Piecewise performance prediction (paper Eqs. 1–3).
+//!
+//! From the ≤3 profiled samples plus a predicted inflection point `NP`, the
+//! model predicts the iteration time at any `(threads, frequency)` target —
+//! the quantity the configuration-recommendation module minimizes.
+//!
+//! Structure, per class (§III-A2):
+//!
+//! - **linear** (Eq. 1): one scaling law through the two anchors:
+//!   `T(n) = T_all · (n_all/n)^p` with `p = log₂(T_half/T_all)` — a linear
+//!   relation between sample and target times, as in the paper's
+//!   `T_t = Σ T_i·α(t,i) + λ_t`.
+//! - **logarithmic** (Eq. 2): linear speedup up to `NP`
+//!   (`T(n) = T_NP·NP/n`), then a second, flatter linear segment
+//!   interpolating to the all-core anchor.
+//! - **parabolic** (Eq. 3): the `n ≤ NP` segment only; the paper explicitly
+//!   disregards the degrading `n > NP` region (we pin it at the `NP` value
+//!   so queries stay total).
+//!
+//! Frequency extension: profiled times split into a cycle-bound share, which
+//! stretches by `f_ref/f`, and a bandwidth-saturated share, which does not.
+//! The split is estimated from the observed all-core bandwidth against the
+//! node ceiling, i.e. purely from measurements.
+
+use crate::profile::ProfileData;
+use serde::{Deserialize, Serialize};
+use workload::ScalabilityClass;
+
+/// Per-application performance predictor derived from a smart profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodePerfModel {
+    class: ScalabilityClass,
+    np: usize,
+    n_all: usize,
+    n_half: usize,
+    /// Iteration time of the all-core sample, seconds.
+    t_all: f64,
+    /// Iteration time of the half-core sample, seconds.
+    t_half: f64,
+    /// Iteration time at `NP` (measured if a third sample exists, else
+    /// inferred from the anchors).
+    t_np: f64,
+    /// Reference frequency the anchors were measured at, GHz.
+    f_ref: f64,
+    /// Share of the all-core iteration spent bandwidth-saturated (does not
+    /// scale with frequency).
+    mem_share: f64,
+    /// Parabolic-class coefficients of `t(n) = a/n + b·n² + c`, fit through
+    /// the three anchors (the paper's Eq. 3 as a linear combination of the
+    /// sample times). `None` for other classes or degenerate anchors.
+    parabolic_fit: Option<(f64, f64, f64)>,
+}
+
+impl NodePerfModel {
+    /// Build from a profile and the predicted inflection point.
+    pub fn from_profile(profile: &ProfileData, np: usize) -> Self {
+        let n_all = profile.all_core.threads;
+        let n_half = profile.half_core.threads;
+        let t_all = iter_time(&profile.all_core);
+        let t_half = iter_time(&profile.half_core);
+        let f_ref = profile.all_core.report.op.frequency().as_ghz();
+
+        // Bandwidth-saturated share from the all-core sample: if measured
+        // bandwidth is at the ceiling, the memory phase cannot stretch with
+        // frequency; estimate its time share as bytes/ceiling over T.
+        let rep = &profile.all_core.report;
+        let bw = profile.allcore_bandwidth_gbps();
+        let ceiling = rep.op.bw_ceiling.as_gbps();
+        let saturated = ceiling > 0.0 && bw >= 0.9 * ceiling;
+        let mem_share = if saturated {
+            let bytes =
+                (rep.counters.bytes_read + rep.counters.bytes_written) / rep.iterations as f64;
+            ((bytes / 1e9 / ceiling) / t_all).clamp(0.0, 0.95)
+        } else {
+            0.0
+        };
+
+        let np = np.clamp(1, n_all);
+        let t_np = match &profile.np_sample {
+            Some(s) if s.threads == np => iter_time(s),
+            _ => infer_np_anchor(np, n_all, n_half, t_all, t_half),
+        };
+
+        let parabolic_fit = if profile.class == ScalabilityClass::Parabolic {
+            fit_parabolic(&[
+                (n_half as f64, t_half),
+                (np as f64, t_np),
+                (n_all as f64, t_all),
+            ])
+        } else {
+            None
+        };
+
+        Self {
+            class: profile.class,
+            np,
+            n_all,
+            n_half,
+            t_all,
+            t_half,
+            t_np,
+            f_ref,
+            mem_share,
+            parabolic_fit,
+        }
+    }
+
+    /// The inflection point the model was built with.
+    pub fn np(&self) -> usize {
+        self.np
+    }
+
+    /// The class the model was built for.
+    pub fn class(&self) -> ScalabilityClass {
+        self.class
+    }
+
+    /// Predicted iteration time at `threads` and frequency `f_ghz`.
+    pub fn predict_time(&self, threads: usize, f_ghz: f64) -> f64 {
+        assert!(threads >= 1 && threads <= self.n_all, "threads out of range");
+        assert!(f_ghz > 0.0, "frequency must be positive");
+        let t_ref = self.time_at_ref_freq(threads);
+        // Split into frequency-elastic and saturated shares.
+        let stretch = self.f_ref / f_ghz;
+        t_ref * ((1.0 - self.mem_share) * stretch + self.mem_share)
+    }
+
+    /// Predicted performance (1/time), the paper's `perf`.
+    pub fn predict_perf(&self, threads: usize, f_ghz: f64) -> f64 {
+        1.0 / self.predict_time(threads, f_ghz)
+    }
+
+    fn time_at_ref_freq(&self, n: usize) -> f64 {
+        match self.class {
+            ScalabilityClass::Linear => {
+                // Power-law through the two anchors.
+                let p = (self.t_half / self.t_all).log2();
+                self.t_all * (self.n_all as f64 / n as f64).powf(p)
+            }
+            ScalabilityClass::Logarithmic => {
+                if n <= self.np {
+                    self.t_np * self.np as f64 / n as f64
+                } else {
+                    // Flatter second segment: linear in n between the NP
+                    // and all-core anchors.
+                    let w = (n - self.np) as f64 / (self.n_all - self.np).max(1) as f64;
+                    self.t_np + (self.t_all - self.t_np) * w
+                }
+            }
+            ScalabilityClass::Parabolic => {
+                let n = n.min(self.np);
+                match self.parabolic_fit {
+                    Some((a, b, c)) => a / n as f64 + b * (n * n) as f64 + c,
+                    None => self.t_np * self.np as f64 / n as f64,
+                }
+            }
+        }
+    }
+}
+
+fn iter_time(sample: &crate::profile::SampleRun) -> f64 {
+    sample.report.total_time.as_secs() / sample.report.iterations as f64
+}
+
+/// Fit `t(n) = a/n + b·n² + c` through three `(n, t)` anchors — the
+/// parabolic class's compute-plus-contention shape. Returns `None` when the
+/// anchors are degenerate (coincident n) or yield a negative contention
+/// coefficient; predictions must stay physical.
+fn fit_parabolic(anchors: &[(f64, f64); 3]) -> Option<(f64, f64, f64)> {
+    // Deduplicate coincident concurrencies (the NP sample often lands on
+    // the half-core count).
+    let mut unique: Vec<(f64, f64)> = Vec::with_capacity(3);
+    for &(n, t) in anchors {
+        if !unique.iter().any(|&(un, _)| un == n) {
+            unique.push((n, t));
+        }
+    }
+    let sol = match unique.len() {
+        3 => {
+            let rows: Vec<Vec<f64>> =
+                unique.iter().map(|&(n, _)| vec![1.0 / n, n * n, 1.0]).collect();
+            let ys: Vec<f64> = unique.iter().map(|&(_, t)| t).collect();
+            simkit::Matrix::from_rows(&rows).solve(&ys)?
+        }
+        2 => {
+            // Two distinct anchors: drop the constant term.
+            let rows: Vec<Vec<f64>> =
+                unique.iter().map(|&(n, _)| vec![1.0 / n, n * n]).collect();
+            let ys: Vec<f64> = unique.iter().map(|&(_, t)| t).collect();
+            let mut s = simkit::Matrix::from_rows(&rows).solve(&ys)?;
+            s.push(0.0);
+            s
+        }
+        _ => return None,
+    };
+    let (a, b, c) = (sol[0], sol[1], sol[2]);
+    if !(a.is_finite() && b.is_finite() && c.is_finite()) || a < 0.0 || b < 0.0 {
+        return None;
+    }
+    Some((a, b, c))
+}
+
+/// Estimate the iteration time at `np` from the half/all anchors when no
+/// third sample was run: linear speedup below the nearest anchor, linear
+/// interpolation between anchors.
+fn infer_np_anchor(np: usize, n_all: usize, n_half: usize, t_all: f64, t_half: f64) -> f64 {
+    if np <= n_half {
+        t_half * n_half as f64 / np as f64
+    } else if np >= n_all {
+        t_all
+    } else {
+        let w = (np - n_half) as f64 / (n_all - n_half) as f64;
+        t_half + (t_all - t_half) * w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlr::actual_inflection;
+    use crate::profile::SmartProfiler;
+    use simnode::{Node, PowerCaps};
+    use simkit::Power;
+    use workload::{suite, AppModel};
+
+    fn model_for(app: &AppModel) -> (NodePerfModel, ProfileData, Node) {
+        let mut node = Node::haswell();
+        let profiler = SmartProfiler::default();
+        let mut profile = profiler.profile(&mut node, app);
+        let np = actual_inflection(&mut node, app, profile.policy, profile.class);
+        if profile.class != ScalabilityClass::Linear {
+            profiler.sample_at(&mut node, app, &mut profile, np);
+        }
+        (NodePerfModel::from_profile(&profile, np), profile, node)
+    }
+
+    /// Relative error of the model against a real run at (n, uncapped).
+    fn relative_error(
+        model: &NodePerfModel,
+        profile: &ProfileData,
+        node: &mut Node,
+        app: &AppModel,
+        n: usize,
+    ) -> f64 {
+        node.set_caps(PowerCaps::unlimited());
+        let r = node.execute(app, n, profile.policy, 1);
+        let actual = r.total_time.as_secs();
+        let predicted = model.predict_time(n, r.op.frequency().as_ghz());
+        (predicted - actual).abs() / actual
+    }
+
+    #[test]
+    fn linear_model_accurate_across_concurrency() {
+        let app = suite::comd();
+        let (model, profile, mut node) = model_for(&app);
+        for n in [4, 8, 16, 20, 24] {
+            let e = relative_error(&model, &profile, &mut node, &app, n);
+            assert!(e < 0.15, "CoMD n={n} error {e:.3}");
+        }
+    }
+
+    #[test]
+    fn logarithmic_model_tracks_both_segments() {
+        let app = suite::lu_mz();
+        let (model, profile, mut node) = model_for(&app);
+        for n in [4, 8, 12, 18, 24] {
+            let e = relative_error(&model, &profile, &mut node, &app, n);
+            assert!(e < 0.25, "LU-MZ n={n} error {e:.3}");
+        }
+    }
+
+    #[test]
+    fn parabolic_model_accurate_below_np() {
+        let app = suite::sp_mz();
+        let (model, profile, mut node) = model_for(&app);
+        for n in [4, 8, model.np()] {
+            let e = relative_error(&model, &profile, &mut node, &app, n);
+            assert!(e < 0.25, "SP-MZ n={n} error {e:.3}");
+        }
+    }
+
+    #[test]
+    fn frequency_scaling_compute_bound() {
+        // A compute-bound app stretches ~linearly with 1/f.
+        let app = suite::ep_like();
+        let (model, _, _) = model_for(&app);
+        let fast = model.predict_time(24, 2.3);
+        let slow = model.predict_time(24, 1.2);
+        assert!((slow / fast - 2.3 / 1.2).abs() < 0.05);
+    }
+
+    #[test]
+    fn frequency_scaling_memory_bound_is_damped() {
+        // A saturated memory app must stretch far less than 1/f.
+        let app = suite::stream_like();
+        let (model, _, _) = model_for(&app);
+        let fast = model.predict_time(24, 2.3);
+        let slow = model.predict_time(24, 1.2);
+        let stretch = slow / fast;
+        assert!(
+            stretch < 1.6,
+            "memory-bound stretch {stretch:.2} should be well under 1.92"
+        );
+    }
+
+    #[test]
+    fn frequency_prediction_matches_capped_run() {
+        let app = suite::comd();
+        let (model, profile, mut node) = model_for(&app);
+        node.set_caps(PowerCaps::new(Power::watts(160.0), Power::watts(50.0)));
+        let r = node.execute(&app, 24, profile.policy, 1);
+        let f = r.op.frequency().as_ghz();
+        let predicted = model.predict_time(24, f);
+        let actual = r.total_time.as_secs();
+        let e = (predicted - actual).abs() / actual;
+        assert!(e < 0.15, "capped prediction error {e:.3} at f={f}");
+    }
+
+    #[test]
+    fn parabolic_beyond_np_pinned() {
+        let app = suite::tea_leaf();
+        let (model, _, _) = model_for(&app);
+        let at_np = model.predict_time(model.np(), 2.3);
+        let beyond = model.predict_time(24, 2.3);
+        assert_eq!(at_np, beyond, "paper disregards the n > NP segment");
+    }
+
+    #[test]
+    fn perf_is_reciprocal_of_time() {
+        let app = suite::amg();
+        let (model, _, _) = model_for(&app);
+        let t = model.predict_time(16, 2.0);
+        assert!((model.predict_perf(16, 2.0) - 1.0 / t).abs() < 1e-12);
+    }
+
+    #[test]
+    fn np_anchor_inference_without_third_sample() {
+        let app = suite::lu_mz();
+        let mut node = Node::haswell();
+        let profile = SmartProfiler::default().profile(&mut node, &app);
+        // No np_sample attached: the anchor is inferred, model still sane.
+        let model = NodePerfModel::from_profile(&profile, 8);
+        let t8 = model.predict_time(8, 2.3);
+        let t4 = model.predict_time(4, 2.3);
+        assert!(t4 > t8, "fewer threads below NP must be slower");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_threads_rejected() {
+        let app = suite::comd();
+        let (model, _, _) = model_for(&app);
+        model.predict_time(0, 2.3);
+    }
+}

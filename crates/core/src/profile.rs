@@ -1,0 +1,329 @@
+//! The smart profiling module (paper §IV-B1).
+//!
+//! Profiles an application with at most three short sample executions on
+//! one node, instead of the hundreds of iterations of a production run:
+//!
+//! 1. **All-core run**, uncapped. Its measured memory bandwidth decides the
+//!    core/memory affinity (scatter when demand exceeds one socket's
+//!    controllers, compact otherwise) — paper step "distinguish mapping
+//!    preference".
+//! 2. **Half-core run** with that affinity, uncapped. Together with run 1
+//!    this yields the `Perf_half/Perf_all` classification ratio and the
+//!    second power/bandwidth anchor for model fitting.
+//! 3. **Low-frequency run**: all cores again, but with the package cap
+//!    walked down until the measured effective frequency reaches the bottom
+//!    P-state — giving the `(P_cpu,L2, P_mem,L2)` anchor of the acceptable
+//!    power range without any hardware knowledge beyond RAPL itself.
+//!
+//! The profiler only uses observable interfaces (execute, read counters,
+//! set caps) — never the simulator's internal model parameters — so the
+//! same logic would run unchanged against real RAPL/perf interfaces.
+
+use serde::{Deserialize, Serialize};
+use simkit::Power;
+use simnode::{AffinityPolicy, ExecutionReport, Node, PowerCaps};
+use workload::{AppModel, ScalabilityClass};
+
+/// One sample execution: configuration plus measured report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SampleRun {
+    /// Threads used.
+    pub threads: usize,
+    /// Affinity used.
+    pub policy: AffinityPolicy,
+    /// Caps programmed during the run.
+    pub caps: PowerCaps,
+    /// The measured execution report.
+    pub report: ExecutionReport,
+}
+
+/// Everything CLIP knows about an application after smart profiling.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProfileData {
+    /// Application name (knowledge-database key).
+    pub app_name: String,
+    /// Chosen affinity for this application.
+    pub policy: AffinityPolicy,
+    /// All-core uncapped sample.
+    pub all_core: SampleRun,
+    /// Half-core uncapped sample.
+    pub half_core: SampleRun,
+    /// All-core sample at the lowest P-state (cap-forced).
+    pub low_freq: SampleRun,
+    /// Optional third sample at the predicted inflection point.
+    pub np_sample: Option<SampleRun>,
+    /// Classification from the half/all performance ratio.
+    pub class: ScalabilityClass,
+}
+
+impl ProfileData {
+    /// The classification ratio `Perf_half / Perf_all`.
+    pub fn half_all_ratio(&self) -> f64 {
+        self.half_core.report.performance() / self.all_core.report.performance()
+    }
+
+    /// The eight MLR predictors of Table I: the seven all-core event rates
+    /// plus the full/half performance ratio (Event 7).
+    pub fn features(&self) -> [f64; 8] {
+        let r = self.all_core.report.counters.rate_features();
+        [
+            r[0],
+            r[1],
+            r[2],
+            r[3],
+            r[4],
+            r[5],
+            r[6],
+            self.all_core.report.performance() / self.half_core.report.performance(),
+        ]
+    }
+
+    /// Measured total managed node power (PKG + DRAM) of the all-core
+    /// uncapped sample — the `P_cpu,L1 + P_mem,L1` anchor.
+    pub fn high_power(&self) -> Power {
+        self.all_core.report.avg_total_power()
+    }
+
+    /// Measured total managed node power of the lowest-frequency sample —
+    /// the `P_cpu,L2 + P_mem,L2` anchor.
+    pub fn low_power(&self) -> Power {
+        self.low_freq.report.avg_total_power()
+    }
+
+    /// Measured aggregate memory bandwidth of the all-core sample, GB/s.
+    pub fn allcore_bandwidth_gbps(&self) -> f64 {
+        let c = &self.all_core.report.counters;
+        c.read_bandwidth().as_gbps() + c.write_bandwidth().as_gbps()
+    }
+}
+
+/// The smart profiler: short sample runs + affinity/classification logic.
+#[derive(Debug, Clone)]
+pub struct SmartProfiler {
+    /// Iterations per sample run (the paper uses "several").
+    pub iterations: usize,
+    /// Memory-intensity threshold, as a fraction of one socket's peak
+    /// bandwidth, above which scatter affinity is chosen.
+    pub scatter_threshold: f64,
+}
+
+impl Default for SmartProfiler {
+    fn default() -> Self {
+        Self { iterations: 3, scatter_threshold: 0.8 }
+    }
+}
+
+impl SmartProfiler {
+    /// Profile `app` on `node`. The node's caps are saved and restored.
+    pub fn profile(&self, node: &mut Node, app: &AppModel) -> ProfileData {
+        let saved_caps = node.caps();
+        let total = node.topology().total_cores();
+        let half = node.topology().half_cores();
+
+        // Sample 1: all cores, uncapped. (At full occupancy compact and
+        // scatter coincide, so the policy choice is made *from* this run.)
+        node.set_caps(PowerCaps::unlimited());
+        let all_report = node.execute(app, total, AffinityPolicy::Scatter, self.iterations);
+
+        // Mapping preference from the measured *burst* bandwidth demand:
+        // bursty phases need both memory controllers even when the
+        // iteration-average rate looks modest.
+        let bw = all_report.burst_bandwidth.as_gbps();
+        let socket_peak = node.memory().peak_per_socket.as_gbps();
+        let policy = if bw > self.scatter_threshold * socket_peak {
+            AffinityPolicy::Scatter
+        } else {
+            AffinityPolicy::Compact
+        };
+
+        // Sample 2: half cores with the chosen affinity, uncapped.
+        let half_report = node.execute(app, half, policy, self.iterations);
+
+        // Sample 3: all cores with the cap walked down to the bottom
+        // P-state (observable: effective frequency), to measure the
+        // low-power anchor.
+        let low_run = self.force_lowest_frequency(node, app, total, policy);
+
+        node.set_caps(saved_caps);
+
+        let ratio = half_report.performance() / all_report.performance();
+        let class = ScalabilityClass::from_half_all_ratio(ratio);
+
+        ProfileData {
+            app_name: app.name().to_string(),
+            policy,
+            all_core: SampleRun {
+                threads: total,
+                policy: AffinityPolicy::Scatter,
+                caps: PowerCaps::unlimited(),
+                report: all_report,
+            },
+            half_core: SampleRun {
+                threads: half,
+                policy,
+                caps: PowerCaps::unlimited(),
+                report: half_report,
+            },
+            low_freq: low_run,
+            np_sample: None,
+            class,
+        }
+    }
+
+    /// Run one extra sample at a predicted concurrency (the paper's third
+    /// profile configuration) and attach it to the profile.
+    pub fn sample_at(
+        &self,
+        node: &mut Node,
+        app: &AppModel,
+        profile: &mut ProfileData,
+        threads: usize,
+    ) {
+        let saved_caps = node.caps();
+        node.set_caps(PowerCaps::unlimited());
+        let report = node.execute(app, threads, profile.policy, self.iterations);
+        node.set_caps(saved_caps);
+        profile.np_sample = Some(SampleRun {
+            threads,
+            policy: profile.policy,
+            caps: PowerCaps::unlimited(),
+            report,
+        });
+    }
+
+    /// Walk the package cap down until the node reports the lowest P-state
+    /// as its effective frequency; return that sample.
+    fn force_lowest_frequency(
+        &self,
+        node: &mut Node,
+        app: &AppModel,
+        threads: usize,
+        policy: AffinityPolicy,
+    ) -> SampleRun {
+        let f_min = node.pstates().f_min();
+        // Start from the measured uncapped power and walk down in 5 W
+        // steps; the first cap whose run lands on f_min (not throttled
+        // below it) is the anchor.
+        node.set_caps(PowerCaps::unlimited());
+        let probe = node.execute(app, threads, policy, 1);
+        let mut cap = probe.avg_pkg_power;
+        let dram_cap = Power::watts(1e9);
+        loop {
+            let caps = PowerCaps::new(cap, dram_cap);
+            node.set_caps(caps);
+            let report = node.execute(app, threads, policy, self.iterations);
+            let freq = report.op.frequency();
+            if freq <= f_min {
+                return SampleRun { threads, policy, caps, report };
+            }
+            cap -= Power::watts(5.0);
+            assert!(
+                cap.as_watts() > 0.0,
+                "cap walk failed to reach the bottom P-state"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::suite;
+
+    fn profile_of(app: &AppModel) -> ProfileData {
+        let mut node = Node::haswell();
+        SmartProfiler::default().profile(&mut node, app)
+    }
+
+    #[test]
+    fn classifies_the_suite_correctly() {
+        for entry in suite::table2_suite() {
+            let p = profile_of(&entry.app);
+            assert_eq!(
+                p.class,
+                entry.expected_class,
+                "{} ratio {:.3}",
+                entry.app.name(),
+                p.half_all_ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn memory_intensive_apps_get_scatter() {
+        let p = profile_of(&suite::lu_mz());
+        assert_eq!(p.policy, AffinityPolicy::Scatter);
+        let p = profile_of(&suite::stream_like());
+        assert_eq!(p.policy, AffinityPolicy::Scatter);
+    }
+
+    #[test]
+    fn compute_apps_get_compact() {
+        let p = profile_of(&suite::comd());
+        assert_eq!(p.policy, AffinityPolicy::Compact);
+        let p = profile_of(&suite::ep_like());
+        assert_eq!(p.policy, AffinityPolicy::Compact);
+    }
+
+    #[test]
+    fn low_freq_sample_is_at_fmin() {
+        let node = Node::haswell();
+        let f_min = node.pstates().f_min();
+        let p = profile_of(&suite::comd());
+        assert!(p.low_freq.report.op.frequency() <= f_min);
+        // And it is not duty-cycled far below f_min either.
+        assert!(p.low_freq.report.op.frequency() >= f_min * 0.5);
+    }
+
+    #[test]
+    fn power_anchors_ordered() {
+        let p = profile_of(&suite::amg());
+        assert!(
+            p.high_power() > p.low_power(),
+            "high {} vs low {}",
+            p.high_power(),
+            p.low_power()
+        );
+    }
+
+    #[test]
+    fn features_are_finite_and_shaped() {
+        let p = profile_of(&suite::bt_mz());
+        let f = p.features();
+        assert_eq!(f.len(), 8);
+        assert!(f.iter().all(|x| x.is_finite()));
+        // Event 7 is the full/half ratio: > 1 for anything that scales.
+        assert!(f[7] > 0.0);
+    }
+
+    #[test]
+    fn caps_restored_after_profiling() {
+        let mut node = Node::haswell();
+        let caps = PowerCaps::new(Power::watts(123.0), Power::watts(33.0));
+        node.set_caps(caps);
+        SmartProfiler::default().profile(&mut node, &suite::mini_md());
+        assert_eq!(node.caps(), caps);
+    }
+
+    #[test]
+    fn np_sample_attaches() {
+        let mut node = Node::haswell();
+        let app = suite::sp_mz();
+        let profiler = SmartProfiler::default();
+        let mut p = profiler.profile(&mut node, &app);
+        assert!(p.np_sample.is_none());
+        profiler.sample_at(&mut node, &app, &mut p, 12);
+        let s = p.np_sample.as_ref().unwrap();
+        assert_eq!(s.threads, 12);
+        assert!(s.report.performance() > 0.0);
+    }
+
+    #[test]
+    fn profile_is_cheap() {
+        // The point of smart profiling: a handful of iterations, not a
+        // production run.
+        let p = profile_of(&suite::tea_leaf());
+        assert!(p.all_core.report.iterations <= 5);
+        assert!(p.half_core.report.iterations <= 5);
+    }
+}

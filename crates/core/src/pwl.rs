@@ -1,0 +1,123 @@
+//! Two-segment piecewise-linear fitting.
+//!
+//! The paper approximates logarithmic and parabolic scalability curves with
+//! two linear segments joined at the inflection point `NP` (§III-A2b). This
+//! module finds the breakpoint that minimizes the total squared error of
+//! such a fit — used to extract the *actual* inflection point from an
+//! exhaustive concurrency sweep (the ground truth in Figure 7) and to
+//! verify the MLR predictions.
+
+use simkit::stats::{linear_fit, LineFit};
+
+/// Result of a two-segment fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseFit {
+    /// Index into the input arrays where the second segment starts; the
+    /// breakpoint x-value is `xs[break_index]`.
+    pub break_index: usize,
+    /// Fit of the left segment `xs[..=break_index]`.
+    pub left: LineFit,
+    /// Fit of the right segment `xs[break_index..]`.
+    pub right: LineFit,
+    /// Total sum of squared residuals over both segments.
+    pub sse: f64,
+}
+
+fn segment_sse(xs: &[f64], ys: &[f64], fit: &LineFit) -> f64 {
+    xs.iter()
+        .zip(ys)
+        .map(|(x, y)| {
+            let e = y - (fit.slope * x + fit.intercept);
+            e * e
+        })
+        .sum()
+}
+
+/// Fit two joined-at-an-index linear segments, scanning all breakpoints
+/// that leave at least `min_seg` points on each side. Panics if the data is
+/// too short for any valid breakpoint.
+pub fn best_breakpoint(xs: &[f64], ys: &[f64], min_seg: usize) -> PiecewiseFit {
+    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+    let n = xs.len();
+    assert!(min_seg >= 2, "segments need ≥2 points");
+    assert!(n >= 2 * min_seg, "need at least {} points", 2 * min_seg);
+
+    let mut best: Option<PiecewiseFit> = None;
+    // The breakpoint sample belongs to both segments (the segments join).
+    for k in (min_seg - 1)..=(n - min_seg) {
+        let left = linear_fit(&xs[..=k], &ys[..=k]);
+        let right = linear_fit(&xs[k..], &ys[k..]);
+        let sse = segment_sse(&xs[..=k], &ys[..=k], &left)
+            + segment_sse(&xs[k..], &ys[k..], &right);
+        if best.as_ref().is_none_or(|b| sse < b.sse) {
+            best = Some(PiecewiseFit { break_index: k, left, right, sse });
+        }
+    }
+    best.expect("at least one breakpoint candidate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_breakpoint() {
+        // y = x up to x=10, then y = 10 + 0.2(x-10).
+        let xs: Vec<f64> = (1..=24).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| if x <= 10.0 { x } else { 10.0 + 0.2 * (x - 10.0) })
+            .collect();
+        let fit = best_breakpoint(&xs, &ys, 3);
+        let bp = xs[fit.break_index];
+        assert!((bp - 10.0).abs() <= 1.0, "breakpoint {bp}");
+        assert!((fit.left.slope - 1.0).abs() < 0.05);
+        assert!((fit.right.slope - 0.2).abs() < 0.05);
+        assert!(fit.sse < 1e-12);
+    }
+
+    #[test]
+    fn parabolic_shape_breaks_near_peak() {
+        // Rising then falling: y = x to 12, then 12 - 0.8(x-12).
+        let xs: Vec<f64> = (1..=24).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| if x <= 12.0 { x } else { 12.0 - 0.8 * (x - 12.0) })
+            .collect();
+        let fit = best_breakpoint(&xs, &ys, 3);
+        assert!((xs[fit.break_index] - 12.0).abs() <= 1.0);
+        assert!(fit.right.slope < 0.0, "second segment must fall");
+    }
+
+    #[test]
+    fn straight_line_fits_everywhere() {
+        let xs: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 2.0 * x).collect();
+        let fit = best_breakpoint(&xs, &ys, 2);
+        // Any break of a perfect line is perfect; slopes must agree.
+        assert!(fit.sse < 1e-18);
+        assert!((fit.left.slope - fit.right.slope).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_data_still_close() {
+        let xs: Vec<f64> = (1..=24).map(|i| i as f64).collect();
+        // Deterministic "noise" from a simple hash-like wobble.
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                let base = if x <= 14.0 { x } else { 14.0 + 0.1 * (x - 14.0) };
+                base + 0.05 * ((i * 2654435761) % 7) as f64 / 7.0
+            })
+            .collect();
+        let fit = best_breakpoint(&xs, &ys, 3);
+        assert!((xs[fit.break_index] - 14.0).abs() <= 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least")]
+    fn too_short_rejected() {
+        best_breakpoint(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0], 2);
+    }
+}

@@ -1,0 +1,335 @@
+//! Node-level configuration recommendation (§III-A, §IV-B2).
+//!
+//! Given a node power budget, pick the OpenMP thread count, the affinity,
+//! and the CPU/DRAM power split — using only the fitted models, never a new
+//! execution (the paper's "identify a (near) optimal configuration without
+//! exhaustively searching the configuration space").
+//!
+//! Candidate concurrency sets follow the class rules of §II/§III:
+//! linear applications keep all cores; logarithmic applications consider
+//! even counts from `NP` up to all cores (high frequency is preferred over
+//! high concurrency once bandwidth has saturated); parabolic applications
+//! consider even counts up to `NP` (beyond it performance only degrades).
+//! For each candidate the DRAM budget is sized from the fitted memory-power
+//! line at the expected bandwidth, the remaining budget buys the highest
+//! frequency the fitted CPU model affords, and the piecewise performance
+//! model scores the result.
+
+use crate::perfmodel::NodePerfModel;
+use crate::powerfit::FittedPowerModel;
+use crate::profile::ProfileData;
+use serde::{Deserialize, Serialize};
+use simkit::Power;
+use simnode::{AffinityPolicy, PowerCaps};
+use workload::ScalabilityClass;
+
+/// Minimum CPU cap we will ever program (keeps caps physical).
+const MIN_CPU_CAP_W: f64 = 10.0;
+/// Headroom added to the DRAM demand estimate, watts.
+const DRAM_HEADROOM_W: f64 = 1.0;
+/// Multiplicative burst margin on the bandwidth estimate: the effective
+/// ceiling sits below the power-derived ceiling (NUMA penalty, QPI), so the
+/// cap must buy a little more than the observed burst.
+const BURST_MARGIN: f64 = 1.15;
+
+/// Size a DRAM cap that keeps the bandwidth ceiling above an expected
+/// burst rate, using only the fitted (measurement-derived) memory line.
+pub fn dram_cap_for(power_model: &FittedPowerModel, burst_gbps: f64) -> f64 {
+    (power_model.mem_power(burst_gbps * BURST_MARGIN).as_watts() + DRAM_HEADROOM_W).max(1.0)
+}
+
+/// A resolved CPU/DRAM split for one node budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetSplit {
+    /// The caps (sum equals the node budget).
+    pub caps: PowerCaps,
+    /// Effective frequency the fitted model expects under `caps.cpu`
+    /// (below `f_min` means duty-cycling).
+    pub freq: f64,
+}
+
+/// Split a node budget between CPU and DRAM by fixed point: the DRAM cap is
+/// sized for the burst bandwidth *at the frequency the remaining CPU budget
+/// buys* (demand scales with frequency), so a tight budget is not wasted on
+/// memory headroom the slowed-down cores can never use.
+///
+/// `saturated` signals that the measured burst was ceiling-clipped: the
+/// real demand is higher than the measurement, so the frequency scaling is
+/// skipped and the full observed burst is provisioned.
+pub fn split_node_budget(
+    power_model: &FittedPowerModel,
+    burst_at_fmax_gbps: f64,
+    saturated: bool,
+    threads: usize,
+    node_budget: Power,
+) -> BudgetSplit {
+    assert!(node_budget.as_watts() > 0.0, "budget must be positive");
+    if saturated {
+        // Ceiling-clipped measurement: the app will consume any bandwidth a
+        // cap buys, and frequency is secondary. Hold the CPU at its lowest
+        // P-state's power and give the remainder to DRAM, capped at full
+        // provisioning (the budget-tight arm of the paper's cross-component
+        // coordination [15]).
+        let cpu_fmin = power_model.cpu_power(threads, power_model.f_min).as_watts();
+        let full = dram_cap_for(power_model, burst_at_fmax_gbps);
+        let min_mem = power_model.mem_base + 1.0;
+        let mem_w = (node_budget.as_watts() - cpu_fmin)
+            .clamp(min_mem, full)
+            .min(node_budget.as_watts() - MIN_CPU_CAP_W)
+            .max(1.0);
+        let cpu_w = (node_budget.as_watts() - mem_w).max(1.0);
+        let caps = PowerCaps::new(Power::watts(cpu_w), Power::watts(mem_w));
+        let freq = power_model.effective_freq_for_budget(threads, caps.cpu);
+        return BudgetSplit { caps, freq };
+    }
+
+    // Unsaturated: fixed point — demand scales with the frequency the CPU
+    // budget buys.
+    let mut freq = power_model.f_max;
+    let mut caps = PowerCaps::new(node_budget * 0.9, node_budget * 0.1);
+    for _ in 0..4 {
+        let scale = freq.min(power_model.f_max) / power_model.f_max;
+        let bw = burst_at_fmax_gbps * scale;
+        let mem_w = dram_cap_for(power_model, bw);
+        let mut cpu_w = node_budget.as_watts() - mem_w;
+        let mem_w = if cpu_w < MIN_CPU_CAP_W {
+            let shrunk = (node_budget.as_watts() - MIN_CPU_CAP_W).max(1.0);
+            cpu_w = node_budget.as_watts() - shrunk;
+            shrunk
+        } else {
+            mem_w
+        };
+        caps = PowerCaps::new(Power::watts(cpu_w.max(1.0)), Power::watts(mem_w));
+        let next = power_model.effective_freq_for_budget(threads, caps.cpu);
+        if (next - freq).abs() < 0.01 {
+            freq = next;
+            break;
+        }
+        freq = next;
+    }
+    BudgetSplit { caps, freq }
+}
+
+/// A recommended node-level execution configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeConfig {
+    /// Recommended OpenMP thread count.
+    pub threads: usize,
+    /// Recommended affinity.
+    pub policy: AffinityPolicy,
+    /// Recommended CPU/DRAM caps (sums to the node budget).
+    pub caps: PowerCaps,
+    /// Frequency the fitted power model expects under these caps, GHz.
+    pub predicted_freq: f64,
+    /// Iteration time the performance model predicts, seconds.
+    pub predicted_time: f64,
+}
+
+/// Estimated *burst* (memory-phase) bandwidth demand at `threads`, GB/s.
+///
+/// DRAM caps bind against the instantaneous phase rate, not the
+/// iteration-average rate, so the estimate is built from the profiled
+/// samples' short-window burst observations: per-thread demand from the
+/// half-core sample (less likely ceiling-clipped), bounded by the largest
+/// burst either sample actually achieved.
+pub fn bandwidth_estimate(profile: &ProfileData, threads: usize) -> f64 {
+    let burst_all = profile.all_core.report.burst_bandwidth.as_gbps();
+    let burst_half = profile.half_core.report.burst_bandwidth.as_gbps();
+    let per_thread = burst_half / profile.half_core.threads as f64;
+    (threads as f64 * per_thread).min(burst_all.max(burst_half))
+}
+
+/// True when the profiled all-core burst was clipped by the bandwidth
+/// ceiling — the raw demand is then unobservable and certainly higher, so
+/// demand estimates must not be scaled down with frequency.
+pub fn is_bandwidth_saturated(profile: &ProfileData) -> bool {
+    let rep = &profile.all_core.report;
+    let ceiling = rep.op.bw_ceiling.as_gbps();
+    ceiling > 0.0 && rep.burst_bandwidth.as_gbps() >= 0.9 * ceiling
+}
+
+/// Recommend the node configuration for a budget. `total_cores` is the
+/// node's core count.
+pub fn recommend_node_config(
+    profile: &ProfileData,
+    perf_model: &NodePerfModel,
+    power_model: &FittedPowerModel,
+    node_budget: Power,
+    total_cores: usize,
+) -> NodeConfig {
+    assert!(node_budget.as_watts() > 0.0, "budget must be positive");
+    let np = perf_model.np().clamp(2, total_cores);
+    let candidates: Vec<usize> = match profile.class {
+        ScalabilityClass::Linear => vec![total_cores],
+        ScalabilityClass::Logarithmic => {
+            let lo = (np / 2) * 2;
+            let mut v: Vec<usize> = (lo.max(2)..=total_cores).step_by(2).collect();
+            if !v.contains(&total_cores) {
+                v.push(total_cores);
+            }
+            v
+        }
+        ScalabilityClass::Parabolic => {
+            let hi = (np / 2) * 2;
+            (2..=hi.max(2)).step_by(2).collect()
+        }
+    };
+
+    let mut best: Option<NodeConfig> = None;
+    for threads in candidates {
+        let bw = bandwidth_estimate(profile, threads);
+        let saturated = is_bandwidth_saturated(profile);
+        let split = split_node_budget(power_model, bw, saturated, threads, node_budget);
+        let time = perf_model.predict_time(threads, split.freq);
+        let cfg = NodeConfig {
+            threads,
+            policy: profile.policy,
+            caps: split.caps,
+            predicted_freq: split.freq,
+            predicted_time: time,
+        };
+        if best
+            .as_ref()
+            .is_none_or(|b| cfg.predicted_time < b.predicted_time)
+        {
+            best = Some(cfg);
+        }
+    }
+    best.expect("candidate set is never empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlr::actual_inflection;
+    use crate::profile::SmartProfiler;
+    use simnode::Node;
+    use workload::{suite, AppModel};
+
+    fn setup(app: &AppModel) -> (ProfileData, NodePerfModel, FittedPowerModel) {
+        let mut node = Node::haswell();
+        let profiler = SmartProfiler::default();
+        let mut profile = profiler.profile(&mut node, app);
+        let np = actual_inflection(&mut node, app, profile.policy, profile.class);
+        if profile.class != ScalabilityClass::Linear {
+            profiler.sample_at(&mut node, app, &mut profile, np);
+        }
+        let perf = NodePerfModel::from_profile(&profile, np);
+        let power = FittedPowerModel::fit(&profile);
+        (profile, perf, power)
+    }
+
+    #[test]
+    fn linear_app_keeps_all_cores() {
+        let (p, perf, pw) = setup(&suite::comd());
+        for budget in [120.0, 180.0, 280.0] {
+            let cfg = recommend_node_config(&p, &perf, &pw, Power::watts(budget), 24);
+            assert_eq!(cfg.threads, 24, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn parabolic_app_capped_at_np() {
+        let (p, perf, pw) = setup(&suite::sp_mz());
+        let cfg = recommend_node_config(&p, &perf, &pw, Power::watts(280.0), 24);
+        assert!(cfg.threads <= perf.np(), "threads {} np {}", cfg.threads, perf.np());
+        assert!(cfg.threads >= perf.np().saturating_sub(4));
+    }
+
+    #[test]
+    fn logarithmic_app_drops_concurrency_under_tight_budget() {
+        let (p, perf, pw) = setup(&suite::lu_mz());
+        let generous = recommend_node_config(&p, &perf, &pw, Power::watts(290.0), 24);
+        let tight = recommend_node_config(&p, &perf, &pw, Power::watts(120.0), 24);
+        assert!(
+            tight.threads <= generous.threads,
+            "tight {} vs generous {}",
+            tight.threads,
+            generous.threads
+        );
+        assert!(tight.threads >= (perf.np() / 2) * 2);
+    }
+
+    #[test]
+    fn caps_sum_to_budget() {
+        for app in [suite::comd(), suite::lu_mz(), suite::tea_leaf()] {
+            let (p, perf, pw) = setup(&app);
+            for budget in [80.0, 140.0, 220.0] {
+                let cfg = recommend_node_config(&p, &perf, &pw, Power::watts(budget), 24);
+                let sum = cfg.caps.total().as_watts();
+                assert!(
+                    (sum - budget).abs() < 1e-6,
+                    "{}: caps sum {sum} vs budget {budget}",
+                    app.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn memory_app_gets_more_dram_budget_than_compute_app() {
+        let (pm, perfm, pwm) = setup(&suite::lu_mz());
+        let (pc, perfc, pwc) = setup(&suite::comd());
+        let budget = Power::watts(180.0);
+        let mem_cfg = recommend_node_config(&pm, &perfm, &pwm, budget, 24);
+        let cpu_cfg = recommend_node_config(&pc, &perfc, &pwc, budget, 24);
+        assert!(
+            mem_cfg.caps.dram > cpu_cfg.caps.dram,
+            "mem app dram {} vs compute app dram {}",
+            mem_cfg.caps.dram,
+            cpu_cfg.caps.dram
+        );
+    }
+
+    #[test]
+    fn recommended_threads_even_for_nonlinear() {
+        for app in [suite::lu_mz(), suite::sp_mz(), suite::tea_leaf()] {
+            let (p, perf, pw) = setup(&app);
+            let cfg = recommend_node_config(&p, &perf, &pw, Power::watts(160.0), 24);
+            assert_eq!(cfg.threads % 2, 0, "{}", app.name());
+        }
+    }
+
+    #[test]
+    fn starved_budget_still_physical() {
+        let (p, perf, pw) = setup(&suite::tea_leaf());
+        let cfg = recommend_node_config(&p, &perf, &pw, Power::watts(40.0), 24);
+        assert!(cfg.caps.cpu.as_watts() > 0.0);
+        assert!(cfg.caps.dram.as_watts() > 0.0);
+        assert!(cfg.predicted_time.is_finite() && cfg.predicted_time > 0.0);
+    }
+
+    #[test]
+    fn higher_budget_never_predicts_slower() {
+        let (p, perf, pw) = setup(&suite::lu_mz());
+        let mut last = f64::INFINITY;
+        for budget in [80.0, 120.0, 160.0, 200.0, 240.0, 280.0] {
+            let cfg = recommend_node_config(&p, &perf, &pw, Power::watts(budget), 24);
+            assert!(
+                cfg.predicted_time <= last + 1e-9,
+                "budget {budget} predicted slower than smaller budget"
+            );
+            last = cfg.predicted_time;
+        }
+    }
+
+    #[test]
+    fn bandwidth_estimate_monotone_and_capped() {
+        let (p, _, _) = setup(&suite::lu_mz());
+        let b4 = bandwidth_estimate(&p, 4);
+        let b12 = bandwidth_estimate(&p, 12);
+        let b24 = bandwidth_estimate(&p, 24);
+        assert!(b4 < b12);
+        assert!(b12 <= b24);
+        // Never above the largest burst the machine actually delivered.
+        let burst_cap = p
+            .all_core
+            .report
+            .burst_bandwidth
+            .as_gbps()
+            .max(p.half_core.report.burst_bandwidth.as_gbps());
+        assert!(b24 <= burst_cap + 1e-9);
+        // And always at least the iteration-average figure.
+        assert!(b24 >= p.allcore_bandwidth_gbps() - 1e-9);
+    }
+}

@@ -1,0 +1,228 @@
+//! Runtime power coordination for fixed launch configurations.
+//!
+//! The paper's stated limitation (§VII): "CLIP doesn't directly support
+//! jobs launched with predefined node and core counts. We plan to develop a
+//! runtime system to address this issue." This module is that runtime: when
+//! the user's `mpirun -np N` / `OMP_NUM_THREADS=t` is non-negotiable, the
+//! only remaining degrees of freedom are the per-node budgets, the CPU/DRAM
+//! split, the affinity, and inter-node variability shifting — and those are
+//! still worth coordinating.
+//!
+//! The runtime reuses CLIP's profile → fitted-models machinery but pins the
+//! node and thread counts to the launch specification.
+
+use crate::coordinate;
+use crate::knowledge::{KnowledgeDb, KnowledgeRecord};
+use crate::powerfit::FittedPowerModel;
+use crate::profile::SmartProfiler;
+use crate::recommend::{bandwidth_estimate, is_bandwidth_saturated, split_node_budget};
+use crate::scheduler::SchedulePlan;
+use cluster_sim::Cluster;
+use serde::{Deserialize, Serialize};
+use simkit::Power;
+use simnode::AffinityPolicy;
+use workload::AppModel;
+
+/// A user-pinned launch configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FixedLaunch {
+    /// MPI ranks = nodes (non-negotiable).
+    pub nodes: usize,
+    /// OpenMP threads per node (non-negotiable).
+    pub threads_per_node: usize,
+    /// Affinity; `None` lets the runtime pick from the profile.
+    pub policy: Option<AffinityPolicy>,
+}
+
+/// The runtime coordinator: power-only decisions under fixed launches.
+#[derive(Debug, Clone)]
+pub struct RuntimeCoordinator {
+    profiler: SmartProfiler,
+    db: KnowledgeDb,
+    /// Inter-node variability shifting (as in the full scheduler).
+    pub coordinate_variability: bool,
+    /// Spread threshold for engaging coordination.
+    pub variability_threshold: f64,
+}
+
+impl Default for RuntimeCoordinator {
+    fn default() -> Self {
+        Self {
+            profiler: SmartProfiler::default(),
+            db: KnowledgeDb::new(),
+            coordinate_variability: true,
+            variability_threshold: 0.02,
+        }
+    }
+}
+
+impl RuntimeCoordinator {
+    /// Fresh coordinator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read access to the knowledge cache.
+    pub fn knowledge(&self) -> &KnowledgeDb {
+        &self.db
+    }
+
+    /// Coordinate power for a fixed launch under a cluster budget. The
+    /// plan honors `launch` exactly; only budgets/split/affinity are chosen.
+    pub fn plan_fixed(
+        &mut self,
+        cluster: &mut Cluster,
+        app: &AppModel,
+        budget: Power,
+        launch: FixedLaunch,
+    ) -> SchedulePlan {
+        assert!(launch.nodes >= 1 && launch.nodes <= cluster.len(), "invalid node count");
+        let total_cores = cluster.node(0).topology().total_cores();
+        assert!(
+            launch.threads_per_node >= 1 && launch.threads_per_node <= total_cores,
+            "invalid thread count"
+        );
+
+        let record = match self.db.get(app.name()) {
+            Some(r) => r.clone(),
+            None => {
+                let profile = self.profiler.profile(cluster.node_mut(0), app);
+                let r = KnowledgeRecord { profile, np: launch.threads_per_node };
+                self.db.insert(r.clone());
+                r
+            }
+        };
+        let power_model = FittedPowerModel::fit(&record.profile);
+        let policy = launch.policy.unwrap_or(record.profile.policy);
+
+        // Per-node budget and CPU/DRAM split at the pinned concurrency.
+        let per_node = budget / launch.nodes as f64;
+        let bw = bandwidth_estimate(&record.profile, launch.threads_per_node);
+        let saturated = is_bandwidth_saturated(&record.profile);
+        let split =
+            split_node_budget(&power_model, bw, saturated, launch.threads_per_node, per_node);
+
+        // Node selection + variability shifting, same policy as the full
+        // scheduler.
+        let (node_ids, caps) = if self.coordinate_variability {
+            let all_ids: Vec<usize> = (0..cluster.len()).collect();
+            let factors = coordinate::measure_efficiencies(cluster, &all_ids);
+            let mut order: Vec<usize> = (0..cluster.len()).collect();
+            order.sort_by(|&a, &b| factors[a].partial_cmp(&factors[b]).expect("finite"));
+            let selected: Vec<usize> = order.into_iter().take(launch.nodes).collect();
+            let sel: Vec<f64> = selected.iter().map(|&i| factors[i]).collect();
+            let caps =
+                coordinate::coordinate_caps(split.caps, &sel, self.variability_threshold);
+            (selected, caps)
+        } else {
+            ((0..launch.nodes).collect(), vec![split.caps; launch.nodes])
+        };
+
+        SchedulePlan {
+            scheduler: "CLIP-runtime".to_string(),
+            node_ids,
+            threads_per_node: launch.threads_per_node,
+            policy,
+            caps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::execute_plan;
+    use workload::suite;
+
+    #[test]
+    fn launch_configuration_is_honored() {
+        let mut cluster = Cluster::homogeneous(8);
+        let mut rt = RuntimeCoordinator::new();
+        let launch = FixedLaunch { nodes: 6, threads_per_node: 18, policy: None };
+        let plan = rt.plan_fixed(&mut cluster, &suite::sp_mz(), Power::watts(1300.0), launch);
+        assert_eq!(plan.nodes(), 6);
+        assert_eq!(plan.threads_per_node, 18);
+    }
+
+    #[test]
+    fn budget_respected() {
+        let mut cluster = Cluster::homogeneous(8);
+        let mut rt = RuntimeCoordinator::new();
+        let launch = FixedLaunch { nodes: 8, threads_per_node: 24, policy: None };
+        let budget = Power::watts(1100.0);
+        let plan = rt.plan_fixed(&mut cluster, &suite::lu_mz(), budget, launch);
+        assert!(plan.within_budget(budget));
+        let report = execute_plan(&mut cluster, &suite::lu_mz(), &plan, 2);
+        assert!(report.cluster_power <= budget + Power::watts(1.0));
+    }
+
+    #[test]
+    fn runtime_split_beats_naive_split_for_memory_apps() {
+        // Even with everything pinned, coordinating the CPU/DRAM split
+        // matters: compare against a naive 30 W DRAM pin.
+        let cluster = Cluster::homogeneous(4);
+        let app = suite::lu_mz();
+        let budget = Power::watts(500.0);
+        let launch = FixedLaunch { nodes: 4, threads_per_node: 24, policy: None };
+
+        let mut rt = RuntimeCoordinator::new();
+        rt.coordinate_variability = false;
+        let mut planning = cluster.clone();
+        let plan = rt.plan_fixed(&mut planning, &app, budget, launch);
+        let mut exec = cluster.clone();
+        let coordinated = execute_plan(&mut exec, &app, &plan, 2).performance();
+
+        let naive_caps = simnode::PowerCaps::new(
+            Power::watts(budget.as_watts() / 4.0 - 30.0),
+            Power::watts(30.0),
+        );
+        let naive_plan = SchedulePlan {
+            scheduler: "naive".into(),
+            node_ids: (0..4).collect(),
+            threads_per_node: 24,
+            policy: plan.policy,
+            caps: vec![naive_caps; 4],
+        };
+        let mut exec = cluster.clone();
+        let naive = execute_plan(&mut exec, &app, &naive_plan, 2).performance();
+        assert!(
+            coordinated >= naive * 0.98,
+            "coordinated {coordinated:.4} vs naive {naive:.4}"
+        );
+    }
+
+    #[test]
+    fn explicit_policy_override() {
+        let mut cluster = Cluster::homogeneous(8);
+        let mut rt = RuntimeCoordinator::new();
+        let launch = FixedLaunch {
+            nodes: 2,
+            threads_per_node: 8,
+            policy: Some(AffinityPolicy::Compact),
+        };
+        let plan = rt.plan_fixed(&mut cluster, &suite::lu_mz(), Power::watts(500.0), launch);
+        assert_eq!(plan.policy, AffinityPolicy::Compact);
+    }
+
+    #[test]
+    fn knowledge_cache_shared_across_launches() {
+        let mut cluster = Cluster::homogeneous(8);
+        let mut rt = RuntimeCoordinator::new();
+        let app = suite::amg();
+        let l1 = FixedLaunch { nodes: 4, threads_per_node: 24, policy: None };
+        let l2 = FixedLaunch { nodes: 8, threads_per_node: 12, policy: None };
+        rt.plan_fixed(&mut cluster, &app, Power::watts(900.0), l1);
+        assert_eq!(rt.knowledge().len(), 1);
+        rt.plan_fixed(&mut cluster, &app, Power::watts(1400.0), l2);
+        assert_eq!(rt.knowledge().len(), 1, "second launch reuses the profile");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid node count")]
+    fn oversubscription_rejected() {
+        let mut cluster = Cluster::homogeneous(4);
+        let mut rt = RuntimeCoordinator::new();
+        let launch = FixedLaunch { nodes: 5, threads_per_node: 24, policy: None };
+        rt.plan_fixed(&mut cluster, &suite::comd(), Power::watts(900.0), launch);
+    }
+}

@@ -1,0 +1,428 @@
+//! The CLIP scheduler and the common scheduler interface.
+//!
+//! [`PowerScheduler`] is the contract every coordination method in the
+//! evaluation implements (CLIP here; All-In, Lower-Limit, Coordinated and
+//! the Oracle in the `baselines` crate): given a cluster, an application
+//! and a total power budget, produce a [`SchedulePlan`] — which nodes, how
+//! many threads, which affinity, and the per-node RAPL caps.
+//!
+//! [`ClipScheduler`] implements the full Algorithm 1 pipeline:
+//! knowledge-database lookup → smart profiling → classification → MLR
+//! inflection prediction (+ the third sample at the predicted point) →
+//! model fitting → cluster allocation → node selection → optional
+//! variability coordination. [`execute_plan`] programs the caps and runs
+//! the job, returning the measured [`JobReport`].
+
+use crate::allocate::allocate_cluster;
+use crate::coordinate;
+use crate::knowledge::{KnowledgeDb, KnowledgeRecord};
+use crate::mlr::InflectionPredictor;
+use crate::perfmodel::NodePerfModel;
+use crate::powerfit::FittedPowerModel;
+use crate::profile::SmartProfiler;
+use cluster_sim::{run_job, Cluster, JobReport, JobSpec};
+use serde::{Deserialize, Serialize};
+use simkit::Power;
+use simnode::{AffinityPolicy, PowerCaps};
+use workload::{AppModel, ScalabilityClass};
+
+/// A fully resolved scheduling decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedulePlan {
+    /// Which scheduler produced this plan.
+    pub scheduler: String,
+    /// Participating node indices.
+    pub node_ids: Vec<usize>,
+    /// OpenMP threads on every node.
+    pub threads_per_node: usize,
+    /// Affinity on every node.
+    pub policy: AffinityPolicy,
+    /// Per-node caps, parallel to `node_ids`.
+    pub caps: Vec<PowerCaps>,
+}
+
+impl SchedulePlan {
+    /// Participating node count.
+    pub fn nodes(&self) -> usize {
+        self.node_ids.len()
+    }
+
+    /// Sum of all programmed caps (the budget the plan can draw).
+    pub fn total_caps(&self) -> Power {
+        self.caps.iter().map(|c| c.total()).sum()
+    }
+
+    /// True when the plan cannot draw more than `budget`.
+    pub fn within_budget(&self, budget: Power) -> bool {
+        self.total_caps() <= budget + Power::watts(1e-6)
+    }
+}
+
+/// Common interface for every power-bounded scheduling method.
+pub trait PowerScheduler {
+    /// Scheduler name as used in the paper's figures.
+    fn name(&self) -> &str;
+
+    /// Decide node count, concurrency, affinity and caps for `app` under
+    /// a total cluster power budget.
+    fn plan(&mut self, cluster: &mut Cluster, app: &AppModel, budget: Power) -> SchedulePlan;
+}
+
+/// Program a plan's caps and execute the job.
+pub fn execute_plan(
+    cluster: &mut Cluster,
+    app: &AppModel,
+    plan: &SchedulePlan,
+    iterations: usize,
+) -> JobReport {
+    for (idx, &node_id) in plan.node_ids.iter().enumerate() {
+        cluster.node_mut(node_id).set_caps(plan.caps[idx]);
+    }
+    let spec = JobSpec {
+        app,
+        node_ids: plan.node_ids.clone(),
+        threads_per_node: plan.threads_per_node,
+        policy: plan.policy,
+        iterations,
+    };
+    run_job(cluster, &spec)
+}
+
+/// The CLIP scheduler (paper Algorithm 1).
+///
+/// ```
+/// use clip_core::{ClipScheduler, InflectionPredictor, PowerScheduler, execute_plan};
+/// use cluster_sim::Cluster;
+/// use simkit::Power;
+///
+/// let mut cluster = Cluster::paper_testbed(42);
+/// let mut clip = ClipScheduler::new(InflectionPredictor::train_default(42));
+/// let app = workload::suite::tea_leaf();
+/// let budget = Power::watts(1200.0);
+/// let plan = clip.plan(&mut cluster, &app, budget);
+/// assert!(plan.within_budget(budget));
+/// let report = execute_plan(&mut cluster, &app, &plan, 5);
+/// assert!(report.cluster_power <= budget);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClipScheduler {
+    profiler: SmartProfiler,
+    predictor: InflectionPredictor,
+    db: KnowledgeDb,
+    /// Enable inter-node variability coordination (§III-B2).
+    pub coordinate_variability: bool,
+    /// Spread threshold above which coordination engages.
+    pub variability_threshold: f64,
+    /// Floor predicted inflection points to even values (§V-B2); the
+    /// ablation harness disables this.
+    pub floor_even: bool,
+    profiles_performed: usize,
+}
+
+impl ClipScheduler {
+    /// Build with a trained inflection predictor.
+    pub fn new(predictor: InflectionPredictor) -> Self {
+        Self {
+            profiler: SmartProfiler::default(),
+            predictor,
+            db: KnowledgeDb::new(),
+            coordinate_variability: true,
+            variability_threshold: 0.02,
+            floor_even: true,
+            profiles_performed: 0,
+        }
+    }
+
+    /// Build with a pre-populated knowledge database.
+    pub fn with_knowledge_db(mut self, db: KnowledgeDb) -> Self {
+        self.db = db;
+        self
+    }
+
+    /// Read access to the knowledge database.
+    pub fn knowledge(&self) -> &KnowledgeDb {
+        &self.db
+    }
+
+    /// How many smart-profiling passes have run (cache misses).
+    pub fn profiles_performed(&self) -> usize {
+        self.profiles_performed
+    }
+
+    /// Profile on the given cluster's node 0 (or return the cached record)
+    /// and predict the inflection point.
+    fn record_for(&mut self, cluster: &mut Cluster, app: &AppModel) -> KnowledgeRecord {
+        if let Some(r) = self.db.get(app.name()) {
+            return r.clone();
+        }
+        self.profiles_performed += 1;
+        let node = cluster.node_mut(0);
+        let mut profile = self.profiler.profile(node, app);
+        let np = if self.floor_even {
+            self.predictor.predict(&profile)
+        } else {
+            let raw = self.predictor.predict_raw(&profile);
+            (raw.floor() as i64).clamp(2, self.predictor.total_cores() as i64) as usize
+        };
+        if profile.class != ScalabilityClass::Linear {
+            // Third sample configuration at the predicted point (§IV-B1).
+            self.profiler
+                .sample_at(cluster.node_mut(0), app, &mut profile, np);
+        }
+        let record = KnowledgeRecord { profile, np };
+        self.db.insert(record.clone());
+        record
+    }
+}
+
+impl ClipScheduler {
+    /// Plan against a *subset* of the cluster: only `allowed_nodes` may be
+    /// used and only `budget` may be drawn. This is the entry point the
+    /// queue dispatcher uses when part of the machine is already busy.
+    ///
+    /// Variability coordination measures only the allowed nodes (the busy
+    /// ones cannot run probes).
+    pub fn plan_constrained(
+        &mut self,
+        cluster: &mut Cluster,
+        app: &AppModel,
+        budget: Power,
+        allowed_nodes: &[usize],
+    ) -> SchedulePlan {
+        assert!(!allowed_nodes.is_empty(), "no nodes available");
+        for &id in allowed_nodes {
+            assert!(id < cluster.len(), "node {id} out of range");
+        }
+        let total_cores = cluster.node(0).topology().total_cores();
+        let record = self.record_for(cluster, app);
+        let perf_model = NodePerfModel::from_profile(&record.profile, record.np);
+        let power_model = FittedPowerModel::fit(&record.profile);
+
+        let allocation = allocate_cluster(
+            budget,
+            allowed_nodes.len(),
+            app.preferred_node_counts(),
+            &record.profile,
+            &perf_model,
+            &power_model,
+            total_cores,
+        );
+        let n = allocation.nodes;
+        let uniform = allocation.node_config.caps;
+
+        let (node_ids, caps) = if self.coordinate_variability {
+            let factors = coordinate::measure_efficiencies(cluster, allowed_nodes);
+            let mut order: Vec<usize> = (0..allowed_nodes.len()).collect();
+            order.sort_by(|&a, &b| factors[a].partial_cmp(&factors[b]).expect("finite"));
+            let selected: Vec<usize> =
+                order.iter().take(n).map(|&i| allowed_nodes[i]).collect();
+            let sel_factors: Vec<f64> = order.iter().take(n).map(|&i| factors[i]).collect();
+            let caps =
+                coordinate::coordinate_caps(uniform, &sel_factors, self.variability_threshold);
+            (selected, caps)
+        } else {
+            (allowed_nodes[..n].to_vec(), vec![uniform; n])
+        };
+
+        SchedulePlan {
+            scheduler: self.name().to_string(),
+            node_ids,
+            threads_per_node: allocation.node_config.threads,
+            policy: allocation.node_config.policy,
+            caps,
+        }
+    }
+}
+
+impl PowerScheduler for ClipScheduler {
+    fn name(&self) -> &str {
+        "CLIP"
+    }
+
+    fn plan(&mut self, cluster: &mut Cluster, app: &AppModel, budget: Power) -> SchedulePlan {
+        let total_cores = cluster.node(0).topology().total_cores();
+        let record = self.record_for(cluster, app);
+        let perf_model = NodePerfModel::from_profile(&record.profile, record.np);
+        let power_model = FittedPowerModel::fit(&record.profile);
+
+        let allocation = allocate_cluster(
+            budget,
+            cluster.len(),
+            app.preferred_node_counts(),
+            &record.profile,
+            &perf_model,
+            &power_model,
+            total_cores,
+        );
+        let n = allocation.nodes;
+        let uniform = allocation.node_config.caps;
+
+        let (node_ids, caps) = if self.coordinate_variability {
+            // Measure the whole fleet, activate the thriftiest nodes, and
+            // shift CPU budget onto leaky ones if the spread warrants it.
+            let all_ids: Vec<usize> = (0..cluster.len()).collect();
+            let factors = coordinate::measure_efficiencies(cluster, &all_ids);
+            let mut order: Vec<usize> = (0..cluster.len()).collect();
+            order.sort_by(|&a, &b| factors[a].partial_cmp(&factors[b]).expect("finite"));
+            let selected: Vec<usize> = order.into_iter().take(n).collect();
+            let sel_factors: Vec<f64> = selected.iter().map(|&i| factors[i]).collect();
+            let caps =
+                coordinate::coordinate_caps(uniform, &sel_factors, self.variability_threshold);
+            (selected, caps)
+        } else {
+            ((0..n).collect(), vec![uniform; n])
+        };
+
+        SchedulePlan {
+            scheduler: self.name().to_string(),
+            node_ids,
+            threads_per_node: allocation.node_config.threads,
+            policy: allocation.node_config.policy,
+            caps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::suite;
+
+    fn scheduler() -> ClipScheduler {
+        ClipScheduler::new(InflectionPredictor::train_default(5))
+    }
+
+    fn plan_for(app: &AppModel, budget_w: f64) -> (SchedulePlan, Cluster) {
+        let mut cluster = Cluster::homogeneous(8);
+        let mut clip = scheduler();
+        let plan = clip.plan(&mut cluster, app, Power::watts(budget_w));
+        (plan, cluster)
+    }
+
+    #[test]
+    fn plan_respects_budget() {
+        for app in [suite::comd(), suite::lu_mz(), suite::sp_mz()] {
+            for budget in [800.0, 1200.0, 1800.0] {
+                let (plan, _) = plan_for(&app, budget);
+                assert!(
+                    plan.within_budget(Power::watts(budget)),
+                    "{} at {budget} W: caps {}",
+                    app.name(),
+                    plan.total_caps()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generous_budget_uses_whole_cluster_for_linear_apps() {
+        let (plan, _) = plan_for(&suite::comd(), 2400.0);
+        assert_eq!(plan.nodes(), 8);
+        assert_eq!(plan.threads_per_node, 24);
+    }
+
+    #[test]
+    fn tight_budget_reduces_node_count() {
+        let (generous, _) = plan_for(&suite::comd(), 2400.0);
+        let (tight, _) = plan_for(&suite::comd(), 600.0);
+        assert!(tight.nodes() < generous.nodes());
+        assert!(tight.nodes() >= 1);
+    }
+
+    #[test]
+    fn parabolic_apps_do_not_use_all_cores() {
+        let (plan, _) = plan_for(&suite::sp_mz(), 1800.0);
+        assert!(plan.threads_per_node <= 16, "threads {}", plan.threads_per_node);
+        assert!(plan.threads_per_node >= 6);
+    }
+
+    #[test]
+    fn memory_apps_get_scatter_affinity() {
+        let (plan, _) = plan_for(&suite::lu_mz(), 1600.0);
+        assert_eq!(plan.policy, AffinityPolicy::Scatter);
+    }
+
+    #[test]
+    fn knowledge_db_prevents_reprofiling() {
+        let mut cluster = Cluster::homogeneous(8);
+        let mut clip = scheduler();
+        let app = suite::tea_leaf();
+        clip.plan(&mut cluster, &app, Power::watts(1500.0));
+        assert_eq!(clip.profiles_performed(), 1);
+        clip.plan(&mut cluster, &app, Power::watts(900.0));
+        assert_eq!(clip.profiles_performed(), 1, "second plan must hit the DB");
+        assert_eq!(clip.knowledge().len(), 1);
+    }
+
+    #[test]
+    fn executed_plan_power_within_budget() {
+        let mut cluster = Cluster::paper_testbed(7);
+        let mut clip = scheduler();
+        let app = suite::amg();
+        let budget = Power::watts(1400.0);
+        let plan = clip.plan(&mut cluster, &app, budget);
+        let report = execute_plan(&mut cluster, &app, &plan, 2);
+        assert!(
+            report.cluster_power <= budget + Power::watts(1.0),
+            "measured {} vs budget {}",
+            report.cluster_power,
+            budget
+        );
+        assert!(report.performance() > 0.0);
+    }
+
+    #[test]
+    fn variability_coordination_selects_efficient_nodes() {
+        let mut cluster = Cluster::with_variability(
+            8,
+            &cluster_sim::VariabilityModel::with_sigma(0.08),
+            21,
+        );
+        let mut clip = scheduler();
+        let app = suite::comd();
+        let plan = clip.plan(&mut cluster, &app, Power::watts(900.0));
+        assert!(plan.nodes() < 8, "tight budget drops nodes");
+        // Selected nodes must be the most efficient ones.
+        let eff = cluster.efficiencies();
+        let mut sorted: Vec<usize> = (0..8).collect();
+        sorted.sort_by(|&a, &b| eff[a].partial_cmp(&eff[b]).unwrap());
+        let expected: std::collections::HashSet<usize> =
+            sorted[..plan.nodes()].iter().copied().collect();
+        let got: std::collections::HashSet<usize> = plan.node_ids.iter().copied().collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn coordination_preserves_total_budget() {
+        let mut cluster = Cluster::with_variability(
+            4,
+            &cluster_sim::VariabilityModel::with_sigma(0.10),
+            31,
+        );
+        let mut clip = scheduler();
+        let app = suite::mini_md();
+        let budget = Power::watts(800.0);
+        let plan = clip.plan(&mut cluster, &app, budget);
+        assert!(plan.within_budget(budget));
+        // With 10% sigma the spread exceeds the threshold: caps differ.
+        if plan.nodes() >= 2 {
+            let all_same = plan.caps.windows(2).all(|w| w[0] == w[1]);
+            assert!(!all_same, "coordination should differentiate caps");
+        }
+    }
+
+    #[test]
+    fn disabled_coordination_gives_uniform_caps() {
+        let mut cluster = Cluster::with_variability(
+            4,
+            &cluster_sim::VariabilityModel::with_sigma(0.10),
+            31,
+        );
+        let mut clip = scheduler();
+        clip.coordinate_variability = false;
+        let app = suite::mini_md();
+        let plan = clip.plan(&mut cluster, &app, Power::watts(800.0));
+        assert!(plan.caps.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(plan.node_ids, (0..plan.nodes()).collect::<Vec<_>>());
+    }
+}

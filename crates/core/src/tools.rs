@@ -1,0 +1,249 @@
+//! System-interface helper tools (paper §IV-B4).
+//!
+//! "It includes several customized system tools such as a power meter
+//! reader, a RAPL and DVFS power controller, and a performance event
+//! collector." These are the small utilities the smart-profiling and
+//! application-execution modules script against:
+//!
+//! - [`PowerMeterReader`]: windowed average power from raw RAPL energy
+//!   registers, wraparound included — the measurement loop a daemon would
+//!   run against `/sys/class/powercap`.
+//! - [`DvfsController`]: pin an application to a target P-state through the
+//!   cap interface (pick the cap that makes the resolved frequency equal
+//!   the target) — how the profiler collects fixed-frequency samples
+//!   (Figure 2) without a `cpufreq` backdoor.
+//! - [`EventCollector`]: accumulate PMU counters across executions and
+//!   expose aggregate rates.
+
+use cluster_sim::Cluster;
+use simkit::{Frequency, Power, TimeSpan};
+use simnode::{AffinityPolicy, EventCounters, Node, NodeWorkload, PowerCaps};
+
+/// Windowed power measurement from raw RAPL energy registers.
+#[derive(Debug, Clone)]
+pub struct PowerMeterReader {
+    last_pkg_raw: u32,
+    last_dram_raw: u32,
+    last_elapsed: TimeSpan,
+}
+
+/// One power reading window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerReading {
+    /// Average package power over the window.
+    pub pkg: Power,
+    /// Average DRAM power over the window.
+    pub dram: Power,
+    /// Window length.
+    pub window: TimeSpan,
+}
+
+impl PowerMeterReader {
+    /// Latch the current registers of a node as the window start.
+    pub fn attach(node: &Node) -> Self {
+        Self {
+            last_pkg_raw: node.rapl_pkg_raw(),
+            last_dram_raw: node.rapl_dram_raw(),
+            last_elapsed: node.rapl_elapsed(),
+        }
+    }
+
+    /// Read the window since the last call (or attach) and re-latch.
+    /// Returns `None` when no simulated time has passed.
+    pub fn read(&mut self, node: &Node) -> Option<PowerReading> {
+        let window = node.rapl_elapsed() - self.last_elapsed;
+        if window.as_secs() <= 0.0 {
+            return None;
+        }
+        let pkg = simnode::rapl::RaplController::average_power(
+            self.last_pkg_raw,
+            node.rapl_pkg_raw(),
+            window,
+        );
+        let dram = simnode::rapl::RaplController::average_power(
+            self.last_dram_raw,
+            node.rapl_dram_raw(),
+            window,
+        );
+        self.last_pkg_raw = node.rapl_pkg_raw();
+        self.last_dram_raw = node.rapl_dram_raw();
+        self.last_elapsed = node.rapl_elapsed();
+        Some(PowerReading { pkg, dram, window })
+    }
+}
+
+/// Frequency pinning through the cap interface.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DvfsController;
+
+impl DvfsController {
+    /// Program caps on `node` such that `workload` at `threads`/`policy`
+    /// resolves to exactly the target P-state. Returns the programmed caps.
+    /// Panics if the target is not on the node's ladder.
+    pub fn pin_frequency<W: NodeWorkload + ?Sized>(
+        node: &mut Node,
+        workload: &W,
+        threads: usize,
+        policy: AffinityPolicy,
+        target: Frequency,
+    ) -> PowerCaps {
+        assert!(
+            node.pstates().states().contains(&target),
+            "{target} is not a P-state of this node"
+        );
+        // Binary-search-free: the cap that admits exactly `target` is the
+        // package power at `target` (the controller picks the highest
+        // feasible state). A hair of headroom absorbs float noise.
+        let placement =
+            simnode::Placement::resolve(node.topology(), threads, policy);
+        let pkg = node.power_model().pkg_power(
+            placement.active_per_socket(),
+            target,
+            workload.cpu_activity(),
+        );
+        let caps = PowerCaps::new(pkg + Power::watts(0.01), Power::watts(1e9));
+        node.set_caps(caps);
+        caps
+    }
+
+    /// Release any pin: restore unlimited caps.
+    pub fn unpin(node: &mut Node) {
+        node.set_caps(PowerCaps::unlimited());
+    }
+
+    /// Pin every node of a cluster.
+    pub fn pin_cluster<W: NodeWorkload + ?Sized>(
+        cluster: &mut Cluster,
+        workload: &W,
+        threads: usize,
+        policy: AffinityPolicy,
+        target: Frequency,
+    ) {
+        for i in 0..cluster.len() {
+            Self::pin_frequency(cluster.node_mut(i), workload, threads, policy, target);
+        }
+    }
+}
+
+/// Accumulates PMU counters across executions (§IV-B4's "performance event
+/// collector").
+#[derive(Debug, Clone, Default)]
+pub struct EventCollector {
+    total: EventCounters,
+    runs: usize,
+}
+
+impl EventCollector {
+    /// Fresh collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one execution's counters in.
+    pub fn record(&mut self, counters: &EventCounters) {
+        self.total.accumulate(counters);
+        self.runs += 1;
+    }
+
+    /// Number of recorded executions.
+    pub fn runs(&self) -> usize {
+        self.runs
+    }
+
+    /// The accumulated counters.
+    pub fn total(&self) -> &EventCounters {
+        &self.total
+    }
+
+    /// Aggregate Table-I rate features over everything recorded.
+    pub fn rates(&self) -> [f64; 7] {
+        self.total.rate_features()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::suite;
+
+    #[test]
+    fn power_meter_matches_report() {
+        let mut node = Node::haswell();
+        let app = suite::amg();
+        let mut meter = PowerMeterReader::attach(&node);
+        let report = node.execute(&app, 24, AffinityPolicy::Scatter, 3);
+        let reading = meter.read(&node).expect("time passed");
+        assert!(
+            (reading.pkg.as_watts() - report.avg_pkg_power.as_watts()).abs() < 0.1,
+            "meter {} vs report {}",
+            reading.pkg,
+            report.avg_pkg_power
+        );
+        assert!(
+            (reading.dram.as_watts() - report.avg_dram_power.as_watts()).abs() < 0.1
+        );
+        // Window re-latches: a second read with no execution is None.
+        assert!(meter.read(&node).is_none());
+    }
+
+    #[test]
+    fn power_meter_across_multiple_runs() {
+        let mut node = Node::haswell();
+        let app = suite::comd();
+        let mut meter = PowerMeterReader::attach(&node);
+        node.execute(&app, 24, AffinityPolicy::Compact, 1);
+        node.execute(&app, 12, AffinityPolicy::Compact, 1);
+        let reading = meter.read(&node).expect("time passed");
+        // The blended average sits between the two runs' powers.
+        assert!(reading.pkg.as_watts() > 100.0 && reading.pkg.as_watts() < 250.0);
+    }
+
+    #[test]
+    fn dvfs_pin_hits_every_ladder_state() {
+        let mut node = Node::haswell();
+        let app = suite::ep_like();
+        for &f in node.pstates().clone().states() {
+            DvfsController::pin_frequency(&mut node, &app, 24, AffinityPolicy::Compact, f);
+            let op = node.resolve(&app, 24, AffinityPolicy::Compact);
+            assert_eq!(op.frequency(), f, "pin missed {f}");
+        }
+        DvfsController::unpin(&mut node);
+        let op = node.resolve(&app, 24, AffinityPolicy::Compact);
+        assert_eq!(op.frequency(), node.pstates().f_max());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a P-state")]
+    fn pin_rejects_off_ladder_targets() {
+        let mut node = Node::haswell();
+        let app = suite::ep_like();
+        DvfsController::pin_frequency(
+            &mut node,
+            &app,
+            24,
+            AffinityPolicy::Compact,
+            Frequency::ghz(2.35),
+        );
+    }
+
+    #[test]
+    fn collector_accumulates() {
+        let mut node = Node::haswell();
+        let app = suite::lu_mz();
+        let mut collector = EventCollector::new();
+        let r1 = node.execute(&app, 24, AffinityPolicy::Scatter, 1);
+        let r2 = node.execute(&app, 24, AffinityPolicy::Scatter, 1);
+        collector.record(&r1.counters);
+        collector.record(&r2.counters);
+        assert_eq!(collector.runs(), 2);
+        let total = collector.total();
+        assert!(
+            (total.instructions - r1.counters.instructions - r2.counters.instructions)
+                .abs()
+                < 1.0
+        );
+        // Rates over identical runs equal the single-run rates.
+        let rates = collector.rates();
+        assert!((rates[1] - r1.counters.rate_features()[1]).abs() < 1e-9);
+    }
+}

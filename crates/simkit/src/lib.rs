@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # simkit — shared substrate for the CLIP reproduction
+//!
+//! Small, dependency-light building blocks used by every other crate in the
+//! workspace:
+//!
+//! - [`units`]: strongly-typed physical quantities (watts, joules, seconds,
+//!   gigahertz, gigabytes/second) so power/performance arithmetic cannot mix
+//!   dimensions silently.
+//! - [`rng`]: a deterministic, seedable random-number facade plus the handful
+//!   of distributions the simulators need (uniform, normal, lognormal).
+//! - [`stats`]: descriptive statistics and simple regression helpers shared by
+//!   the model-fitting and reporting code.
+//! - [`linalg`]: a dense matrix type with Gaussian elimination and
+//!   least-squares solving — enough to implement the paper's multivariate
+//!   linear regression (MLR) from scratch.
+//! - [`table`]: aligned ASCII table and CSV emission for the figure/table
+//!   regeneration harnesses.
+//!
+//! Everything here is deterministic; none of it knows anything about power
+//! scheduling.
+
+pub mod linalg;
+pub mod rng;
+pub mod stats;
+pub mod table;
+pub mod units;
+
+pub use linalg::Matrix;
+pub use rng::SimRng;
+pub use units::{Bandwidth, Energy, Frequency, Power, TimeSpan};

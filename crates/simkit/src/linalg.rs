@@ -1,0 +1,269 @@
+//! Minimal dense linear algebra: just enough to solve the paper's
+//! multivariate linear regression (MLR) from scratch.
+//!
+//! CLIP predicts the inflection point `NP` of non-linear workloads with an
+//! MLR over eight hardware-event rates (Table I). We solve the least-squares
+//! problem via ridge-regularized normal equations
+//! `(XᵀX + λI) β = Xᵀy`, using Gaussian elimination with partial pivoting.
+//! The tiny ridge term keeps the system well-posed when event rates are
+//! collinear (which synthetic corpora easily produce).
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from rows; every row must have equal length.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        assert!(rows.iter().all(|row| row.len() == c), "ragged rows");
+        Self { rows: r, cols: c, data: rows.concat() }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * rhs`. Panics on dimension mismatch.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "matmul: dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product. Panics on dimension mismatch.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, v.len(), "matvec: dimension mismatch");
+        (0..self.rows)
+            .map(|i| (0..self.cols).map(|j| self[(i, j)] * v[j]).sum())
+            .collect()
+    }
+
+    /// Solve the square system `self * x = b` by Gaussian elimination with
+    /// partial pivoting. Returns `None` if the matrix is (numerically)
+    /// singular.
+    pub fn solve(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(self.rows, self.cols, "solve: matrix must be square");
+        assert_eq!(self.rows, b.len(), "solve: rhs length mismatch");
+        let n = self.rows;
+        // Augmented working copy.
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+
+        for col in 0..n {
+            // Partial pivot: largest magnitude in this column at/below row.
+            let pivot_row = (col..n)
+                .max_by(|&r1, &r2| {
+                    a[r1 * n + col]
+                        .abs()
+                        .partial_cmp(&a[r2 * n + col].abs())
+                        .expect("NaN in matrix")
+                })
+                .expect("non-empty range");
+            if a[pivot_row * n + col].abs() < 1e-12 {
+                return None;
+            }
+            if pivot_row != col {
+                for j in 0..n {
+                    a.swap(col * n + j, pivot_row * n + j);
+                }
+                x.swap(col, pivot_row);
+            }
+            let pivot = a[col * n + col];
+            for row in (col + 1)..n {
+                let factor = a[row * n + col] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in col..n {
+                    a[row * n + j] -= factor * a[col * n + j];
+                }
+                x[row] -= factor * x[col];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut acc = x[col];
+            for j in (col + 1)..n {
+                acc -= a[col * n + j] * x[j];
+            }
+            x[col] = acc / a[col * n + col];
+        }
+        Some(x)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Ridge-regularized least squares: minimize `||X β − y||² + λ||β||²`.
+///
+/// `xs` holds one feature row per observation (a column of ones must be
+/// appended by the caller if an intercept is wanted — the MLR code does this).
+/// Returns `None` only if the regularized normal matrix is singular, which
+/// with `lambda > 0` cannot happen for finite inputs.
+pub fn least_squares(xs: &Matrix, y: &[f64], lambda: f64) -> Option<Vec<f64>> {
+    assert_eq!(xs.nrows(), y.len(), "least_squares: row/target mismatch");
+    let xt = xs.transpose();
+    let mut xtx = xt.matmul(xs);
+    for i in 0..xtx.nrows() {
+        xtx[(i, i)] += lambda;
+    }
+    let xty = xt.matvec(y);
+    xtx.solve(&xty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let m = Matrix::identity(4);
+        let b = [1.0, 2.0, 3.0, 4.0];
+        assert_close(&m.solve(&b).unwrap(), &b, 1e-12);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5 ; x + 3y = 10  →  x = 1, y = 3
+        let m = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        assert_close(&m.solve(&[5.0, 10.0]).unwrap(), &[1.0, 3.0], 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero on the leading diagonal forces a row swap.
+        let m = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        assert_close(&m.solve(&[2.0, 3.0]).unwrap(), &[3.0, 2.0], 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(m.solve(&[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn matmul_and_transpose() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c[(0, 0)], 19.0);
+        assert_eq!(c[(0, 1)], 22.0);
+        assert_eq!(c[(1, 0)], 43.0);
+        assert_eq!(c[(1, 1)], 50.0);
+        let at = a.transpose();
+        assert_eq!(at[(0, 1)], 3.0);
+        assert_eq!(at[(1, 0)], 2.0);
+    }
+
+    #[test]
+    fn least_squares_recovers_plane() {
+        // y = 2*x0 - 1*x1 + 0.5, with intercept column appended.
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                let x0 = i as f64;
+                let x1 = j as f64 * 0.7;
+                rows.push(vec![x0, x1, 1.0]);
+                ys.push(2.0 * x0 - 1.0 * x1 + 0.5);
+            }
+        }
+        let beta = least_squares(&Matrix::from_rows(&rows), &ys, 1e-9).unwrap();
+        assert_close(&beta, &[2.0, -1.0, 0.5], 1e-6);
+    }
+
+    #[test]
+    fn least_squares_ridge_handles_collinear_features() {
+        // Second feature is an exact copy of the first; plain normal
+        // equations would be singular, ridge must still return something
+        // finite whose predictions match.
+        let rows: Vec<Vec<f64>> =
+            (0..20).map(|i| vec![i as f64, i as f64, 1.0]).collect();
+        let ys: Vec<f64> = (0..20).map(|i| 3.0 * i as f64 + 1.0).collect();
+        let x = Matrix::from_rows(&rows);
+        let beta = least_squares(&x, &ys, 1e-6).unwrap();
+        assert!(beta.iter().all(|b| b.is_finite()));
+        let pred = x.matvec(&beta);
+        for (p, y) in pred.iter().zip(&ys) {
+            assert!((p - y).abs() < 1e-3, "pred {p} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let v = [1.0, 0.5, -1.0];
+        assert_close(&a.matvec(&v), &[-1.0, 0.5], 1e-12);
+    }
+}

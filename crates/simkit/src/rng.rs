@@ -1,0 +1,203 @@
+//! Deterministic random numbers for the simulators.
+//!
+//! Every stochastic element in the reproduction (manufacturing variability,
+//! workload-corpus generation, measurement noise) draws from a [`SimRng`]
+//! seeded explicitly by the caller, so every figure harness and test is
+//! exactly reproducible. The core generator is splitmix64 — tiny, fast, and
+//! with provably full period over `u64` — which is plenty for simulation
+//! jitter (this is not a cryptographic context).
+
+/// A small deterministic PRNG (splitmix64) with the distribution helpers the
+/// simulators need.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    state: u64,
+    /// Cached second normal variate from the Box–Muller pair.
+    spare_normal: Option<f64>,
+}
+
+impl SimRng {
+    /// Create a generator from an explicit seed. Equal seeds yield equal
+    /// streams on every platform.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self {
+            state: seed,
+            spare_normal: None,
+        }
+    }
+
+    /// Derive an independent child generator; used to give each simulated
+    /// node / workload its own stream without coupling their draws.
+    pub fn fork(&mut self, tag: u64) -> Self {
+        let s = self.next_u64() ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Self::seed_from_u64(s)
+    }
+
+    /// Next raw 64-bit value (splitmix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        // 53 high-quality mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(hi >= lo, "uniform_range: hi < lo");
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive).
+    pub fn uniform_usize(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(hi >= lo, "uniform_usize: hi < lo");
+        let span = (hi - lo) as u64 + 1;
+        lo + (self.next_u64() % span) as usize
+    }
+
+    /// Standard normal via Box–Muller (pairs cached).
+    pub fn normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Avoid log(0) by shifting u1 away from zero.
+        let u1 = (self.uniform()).max(1e-300);
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f64, sd: f64) -> f64 {
+        mean + sd * self.normal()
+    }
+
+    /// Lognormal: `exp(N(mu, sigma))`. Used for manufacturing-variability
+    /// efficiency factors (always positive, right-skewed).
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal_with(mu, sigma).exp()
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+
+    /// Pick a uniformly random element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "choose: empty slice");
+        &items[self.uniform_usize(0, items.len() - 1)]
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.uniform_usize(0, i);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut r = SimRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let u = r.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_near_half() {
+        let mut r = SimRng::seed_from_u64(7);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| r.uniform()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = SimRng::seed_from_u64(11);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.03, "var={var}");
+    }
+
+    #[test]
+    fn lognormal_positive() {
+        let mut r = SimRng::seed_from_u64(13);
+        for _ in 0..1000 {
+            assert!(r.lognormal(0.0, 0.05) > 0.0);
+        }
+    }
+
+    #[test]
+    fn uniform_usize_inclusive_bounds() {
+        let mut r = SimRng::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            let v = r.uniform_usize(2, 6);
+            assert!((2..=6).contains(&v));
+            seen[v - 2] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of a small range hit");
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut parent = SimRng::seed_from_u64(99);
+        let mut c1 = parent.fork(1);
+        let mut c2 = parent.fork(2);
+        let same = (0..32).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::seed_from_u64(17);
+        assert!((0..100).all(|_| !r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+}

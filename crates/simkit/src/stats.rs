@@ -1,0 +1,196 @@
+//! Descriptive statistics and simple regression helpers.
+//!
+//! Used by the model-fitting code (inflection-point MLR, power-model
+//! calibration) and by the reporting harnesses (geomean speedups, error
+//! summaries).
+
+/// Arithmetic mean. Returns 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance. Returns 0 for slices shorter than 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn stdev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Geometric mean of strictly positive values. Returns 0 for an empty slice.
+///
+/// The evaluation summaries follow HPC convention and use geomean to
+/// aggregate relative performance across benchmarks.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    debug_assert!(xs.iter().all(|&x| x > 0.0), "geomean needs positive values");
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Linear interpolated percentile, `p` in `[0, 100]`. Returns 0 for empty.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("percentile: NaN in data"));
+    let rank = (p / 100.0) * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let w = rank - lo as f64;
+        v[lo] * (1.0 - w) + v[hi] * w
+    }
+}
+
+/// Minimum of a non-empty slice (NaN-free data assumed).
+pub fn min(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Maximum of a non-empty slice (NaN-free data assumed).
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Result of an ordinary least-squares fit of `y = slope*x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]` (1 = perfect fit).
+    pub r2: f64,
+}
+
+/// Simple linear regression. Panics if `xs`/`ys` lengths differ; returns a
+/// flat line through the mean when the x-variance is zero.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> LineFit {
+    assert_eq!(xs.len(), ys.len(), "linear_fit: length mismatch");
+    let n = xs.len() as f64;
+    if xs.is_empty() {
+        return LineFit { slope: 0.0, intercept: 0.0, r2: 0.0 };
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    if sxx == 0.0 {
+        return LineFit { slope: 0.0, intercept: my, r2: 0.0 };
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| {
+            let e = y - (slope * x + intercept);
+            e * e
+        })
+        .sum();
+    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let _ = n;
+    LineFit { slope, intercept, r2 }
+}
+
+/// Mean absolute percentage error between predictions and truth, in percent.
+/// Entries with `|truth| < 1e-12` are skipped.
+pub fn mape(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "mape: length mismatch");
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (p, t) in pred.iter().zip(truth) {
+        if t.abs() > 1e-12 {
+            total += ((p - t) / t).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        100.0 * total / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((stdev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_slices_are_safe() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(geomean(&[]), 0.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn geomean_of_ratios() {
+        let xs = [1.0, 4.0];
+        assert!((geomean(&xs) - 2.0).abs() < 1e-12);
+        // geomean is invariant to reciprocal symmetry.
+        let ys = [0.5, 2.0];
+        assert!((geomean(&ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((percentile(&xs, 0.0) - 1.0).abs() < 1e-12);
+        assert!((percentile(&xs, 100.0) - 4.0).abs() < 1e-12);
+        assert!((percentile(&xs, 50.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 7.0).collect();
+        let fit = linear_fit(&xs, &ys);
+        assert!((fit.slope - 3.0).abs() < 1e-9);
+        assert!((fit.intercept + 7.0).abs() < 1e-9);
+        assert!((fit.r2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_degenerate_x() {
+        let fit = linear_fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(fit.slope, 0.0);
+        assert!((fit.intercept - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_basic() {
+        let e = mape(&[110.0, 90.0], &[100.0, 100.0]);
+        assert!((e - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_max() {
+        let xs = [3.0, -1.0, 7.5];
+        assert_eq!(min(&xs), -1.0);
+        assert_eq!(max(&xs), 7.5);
+    }
+}

@@ -1,0 +1,165 @@
+//! Aligned ASCII tables and CSV emission for the figure/table harnesses.
+//!
+//! Every `fig*`/`table*` binary in `clip-bench` prints its exhibit both as an
+//! aligned human-readable table (for eyeballing against the paper) and,
+//! optionally, as CSV (for replotting). [`Table`] collects rows of cells and
+//! renders both.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title line and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row of pre-formatted cells. Panics if the width differs from
+    /// the header.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "table row width mismatch (header {} cols)",
+            self.header.len()
+        );
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Convenience: first cell is a label, remaining cells are numbers
+    /// rendered with `prec` decimal places.
+    pub fn row_numeric(&mut self, label: &str, values: &[f64], prec: usize) {
+        let mut cells = vec![label.to_string()];
+        cells.extend(values.iter().map(|v| format!("{v:.prec$}")));
+        self.row(&cells);
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as an aligned ASCII table.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (j, cell) in row.iter().enumerate() {
+                widths[j] = widths[j].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "== {} ==", self.title);
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (j, cell) in cells.iter().enumerate() {
+                if j > 0 {
+                    line.push_str("  ");
+                }
+                let _ = write!(line, "{cell:>width$}", width = widths[j]);
+            }
+            line
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Render as CSV (header + rows). Cells containing commas are quoted.
+    pub fn to_csv(&self) -> String {
+        let esc = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["longer".into(), "22".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        let lines: Vec<&str> = s.lines().collect();
+        // header, rule, two rows
+        assert_eq!(lines.len(), 5);
+        // all data lines share the same width
+        assert_eq!(lines[2].len(), lines[3].len().max(lines[2].len()));
+    }
+
+    #[test]
+    fn numeric_rows_respect_precision() {
+        let mut t = Table::new("", &["label", "x", "y"]);
+        t.row_numeric("r1", &[1.23456, 2.0], 2);
+        assert!(t.render().contains("1.23"));
+        assert!(t.render().contains("2.00"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("", &["k", "v"]);
+        t.row(&["a,b".into(), "1".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.lines().count() == 2);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = Table::new("", &["c"]);
+        assert!(t.is_empty());
+        t.row(&["x".into()]);
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,300 @@
+//! Strongly-typed physical quantities.
+//!
+//! The simulators juggle watts, joules, seconds, gigahertz and GB/s in the
+//! same expressions; newtypes keep the dimensions straight while staying
+//! `Copy` and cheap. Each type stores its canonical SI-ish unit as `f64`
+//! (watts, joules, seconds, GHz, GB/s) and exposes constructor/accessor pairs
+//! plus only the physically meaningful operator overloads:
+//!
+//! - `Power * TimeSpan = Energy` (and `Energy / TimeSpan = Power`)
+//! - same-type addition/subtraction and scalar scaling everywhere.
+//!
+//! Ratios of the same dimension deliberately return plain `f64`.
+
+//!
+//! ```
+//! use simkit::{Power, TimeSpan, Energy};
+//!
+//! let cap = Power::watts(120.0);
+//! let energy: Energy = cap * TimeSpan::secs(10.0);
+//! assert_eq!(energy, Energy::joules(1200.0));
+//! let ratio: f64 = cap / Power::watts(60.0); // same-dimension ratio is bare f64
+//! assert_eq!(ratio, 2.0);
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal, $ctor:ident, $get:ident) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            #[doc = concat!("Construct from a value in ", $unit, ".")]
+            #[inline]
+            pub const fn $ctor(v: f64) -> Self {
+                Self(v)
+            }
+
+            #[doc = concat!("The value in ", $unit, ".")]
+            #[inline]
+            pub const fn $get(self) -> f64 {
+                self.0
+            }
+
+            /// `true` if the value is finite (not NaN/inf).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Element-wise minimum.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Element-wise maximum.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Clamp into `[lo, hi]`.
+            #[inline]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// Absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        /// Same-dimension ratio: returns a dimensionless `f64`.
+        impl Div for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                iter.fold(Self::ZERO, |a, b| a + b)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:.3} {}", self.0, $unit)
+            }
+        }
+    };
+}
+
+quantity!(
+    /// Electrical power in watts.
+    Power, "W", watts, as_watts
+);
+quantity!(
+    /// Energy in joules.
+    Energy, "J", joules, as_joules
+);
+quantity!(
+    /// Wall-clock duration in seconds.
+    TimeSpan, "s", secs, as_secs
+);
+quantity!(
+    /// Clock frequency in gigahertz.
+    Frequency, "GHz", ghz, as_ghz
+);
+quantity!(
+    /// Memory bandwidth in gigabytes per second.
+    Bandwidth, "GB/s", gbps, as_gbps
+);
+
+impl Mul<TimeSpan> for Power {
+    type Output = Energy;
+    #[inline]
+    fn mul(self, rhs: TimeSpan) -> Energy {
+        Energy::joules(self.as_watts() * rhs.as_secs())
+    }
+}
+
+impl Mul<Power> for TimeSpan {
+    type Output = Energy;
+    #[inline]
+    fn mul(self, rhs: Power) -> Energy {
+        rhs * self
+    }
+}
+
+impl Div<TimeSpan> for Energy {
+    type Output = Power;
+    #[inline]
+    fn div(self, rhs: TimeSpan) -> Power {
+        Power::watts(self.as_joules() / rhs.as_secs())
+    }
+}
+
+impl Div<Power> for Energy {
+    type Output = TimeSpan;
+    #[inline]
+    fn div(self, rhs: Power) -> TimeSpan {
+        TimeSpan::secs(self.as_joules() / rhs.as_watts())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e = Power::watts(100.0) * TimeSpan::secs(2.5);
+        assert_eq!(e, Energy::joules(250.0));
+    }
+
+    #[test]
+    fn energy_over_time_is_power() {
+        let p = Energy::joules(250.0) / TimeSpan::secs(2.5);
+        assert_eq!(p, Power::watts(100.0));
+    }
+
+    #[test]
+    fn energy_over_power_is_time() {
+        let t = Energy::joules(250.0) / Power::watts(100.0);
+        assert!((t.as_secs() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_dimension_ratio_is_dimensionless() {
+        let r: f64 = Power::watts(120.0) / Power::watts(60.0);
+        assert_eq!(r, 2.0);
+    }
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let a = Power::watts(50.0);
+        let b = Power::watts(70.0);
+        assert_eq!(a + b, Power::watts(120.0));
+        assert_eq!(b - a, Power::watts(20.0));
+        assert_eq!(a * 2.0, Power::watts(100.0));
+        assert_eq!(2.0 * a, Power::watts(100.0));
+        assert_eq!(b / 2.0, Power::watts(35.0));
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn clamp_and_abs() {
+        let p = Power::watts(-5.0);
+        assert_eq!(p.abs(), Power::watts(5.0));
+        assert_eq!(
+            Power::watts(300.0).clamp(Power::ZERO, Power::watts(120.0)),
+            Power::watts(120.0)
+        );
+    }
+
+    #[test]
+    fn sum_of_quantities() {
+        let total: Power = (1..=4).map(|i| Power::watts(i as f64)).sum();
+        assert_eq!(total, Power::watts(10.0));
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(format!("{}", Frequency::ghz(2.3)), "2.300 GHz");
+        assert_eq!(format!("{}", Bandwidth::gbps(59.7)), "59.700 GB/s");
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Power::default(), Power::ZERO);
+        assert_eq!(TimeSpan::default(), TimeSpan::ZERO);
+    }
+
+    #[test]
+    fn neg_and_assign_ops() {
+        let mut p = Power::watts(10.0);
+        p += Power::watts(5.0);
+        assert_eq!(p, Power::watts(15.0));
+        p -= Power::watts(20.0);
+        assert_eq!(p, Power::watts(-5.0));
+        assert_eq!(-p, Power::watts(5.0));
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the simkit substrate.
+
+use proptest::prelude::*;
+use simkit::linalg::{least_squares, Matrix};
+use simkit::units::{Energy, Power, TimeSpan};
+use simkit::{stats, SimRng};
+
+proptest! {
+    /// Solving `A x = b` and multiplying back reproduces `b` for random
+    /// diagonally-dominant (hence well-conditioned) systems.
+    #[test]
+    fn solve_roundtrip(rows in proptest::collection::vec(
+        proptest::collection::vec(-10.0f64..10.0, 4), 4), diag in 50.0f64..100.0,
+        b in proptest::collection::vec(-100.0f64..100.0, 4))
+    {
+        let mut m = Matrix::from_rows(&rows);
+        for i in 0..4 {
+            m[(i, i)] += diag; // dominance → invertible
+        }
+        let x = m.solve(&b).expect("dominant matrix is invertible");
+        let back = m.matvec(&x);
+        for (bb, orig) in back.iter().zip(&b) {
+            prop_assert!((bb - orig).abs() < 1e-6, "{bb} vs {orig}");
+        }
+    }
+
+    /// Ridge least squares always returns finite coefficients whose
+    /// residual is no worse than the zero solution.
+    #[test]
+    fn least_squares_never_worse_than_zero(
+        xs in proptest::collection::vec(proptest::collection::vec(-5.0f64..5.0, 3), 8..20),
+        ys in proptest::collection::vec(-50.0f64..50.0, 20))
+    {
+        let n = xs.len();
+        let ys = &ys[..n];
+        let m = Matrix::from_rows(&xs);
+        let beta = least_squares(&m, ys, 1e-3).expect("ridge always solvable");
+        prop_assert!(beta.iter().all(|b| b.is_finite()));
+        let pred = m.matvec(&beta);
+        let res: f64 = pred.iter().zip(ys).map(|(p, y)| (p - y) * (p - y)).sum();
+        let zero_res: f64 = ys.iter().map(|y| y * y).sum();
+        prop_assert!(res <= zero_res + 1e-6);
+    }
+
+    /// Power × time = energy is consistent with division in both orders.
+    #[test]
+    fn unit_arithmetic_consistent(w in 0.1f64..1000.0, s in 0.001f64..10_000.0) {
+        let e = Power::watts(w) * TimeSpan::secs(s);
+        prop_assert!((e.as_joules() - w * s).abs() < 1e-6 * w * s);
+        let p = e / TimeSpan::secs(s);
+        prop_assert!((p.as_watts() - w).abs() < 1e-9 * w.max(1.0));
+        let t = e / Power::watts(w);
+        prop_assert!((t.as_secs() - s).abs() < 1e-9 * s.max(1.0));
+    }
+
+    /// Clamp always lands inside the interval.
+    #[test]
+    fn clamp_in_bounds(x in -1e6f64..1e6, lo in -100.0f64..0.0, hi in 0.0f64..100.0) {
+        let c = Power::watts(x).clamp(Power::watts(lo), Power::watts(hi));
+        prop_assert!(c.as_watts() >= lo && c.as_watts() <= hi);
+    }
+
+    /// Geomean of positive values lies between min and max.
+    #[test]
+    fn geomean_between_extremes(xs in proptest::collection::vec(0.01f64..100.0, 1..20)) {
+        let g = stats::geomean(&xs);
+        prop_assert!(g >= stats::min(&xs) - 1e-12);
+        prop_assert!(g <= stats::max(&xs) + 1e-12);
+    }
+
+    /// Percentile is monotone in p.
+    #[test]
+    fn percentile_monotone(xs in proptest::collection::vec(-100.0f64..100.0, 2..30),
+                           p1 in 0.0f64..100.0, p2 in 0.0f64..100.0) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(stats::percentile(&xs, lo) <= stats::percentile(&xs, hi) + 1e-12);
+    }
+
+    /// A perfect line is recovered exactly regardless of slope/intercept.
+    #[test]
+    fn linear_fit_exact(slope in -100.0f64..100.0, intercept in -100.0f64..100.0) {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
+        let fit = stats::linear_fit(&xs, &ys);
+        prop_assert!((fit.slope - slope).abs() < 1e-6);
+        prop_assert!((fit.intercept - intercept).abs() < 1e-6);
+    }
+
+    /// RNG uniform_range stays in range; fork determinism.
+    #[test]
+    fn rng_range_and_fork(seed in any::<u64>(), lo in -100.0f64..0.0, hi in 0.0f64..100.0) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let v = rng.uniform_range(lo, hi);
+            prop_assert!(v >= lo && v < hi.max(lo + f64::EPSILON));
+        }
+        let mut a = SimRng::seed_from_u64(seed);
+        let mut b = SimRng::seed_from_u64(seed);
+        prop_assert_eq!(a.fork(7).next_u64(), b.fork(7).next_u64());
+    }
+
+    /// Summing quantities matches the analytic total.
+    #[test]
+    fn energy_sum_matches_scalar_sum(parts in proptest::collection::vec(0.0f64..10.0, 1..50)) {
+        let total: Energy = parts.iter().map(|&j| Energy::joules(j)).sum();
+        let expect: f64 = parts.iter().sum();
+        prop_assert!((total.as_joules() - expect).abs() < 1e-9);
+    }
+}

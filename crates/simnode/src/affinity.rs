@@ -1,0 +1,197 @@
+//! Core-thread affinity policies and their NUMA consequences.
+//!
+//! CLIP's node-level step 3 chooses "core and memory affinity based on
+//! application memory access intensity" (§I). The two canonical OpenMP
+//! mappings are modeled:
+//!
+//! - **Compact**: fill socket 0 before touching socket 1. Keeps all traffic
+//!   on local memory (no remote accesses while one socket suffices) but only
+//!   one memory controller serves the threads.
+//! - **Scatter**: round-robin threads across sockets. Both memory
+//!   controllers serve the application (double bandwidth) at the price of a
+//!   remote-access fraction on shared data.
+//!
+//! [`Placement`] resolves a policy + thread count into per-socket occupancy
+//! and exposes the two quantities the performance model needs: how many
+//! memory controllers feed the app, and what fraction of misses go remote.
+
+use crate::topology::NodeTopology;
+use serde::{Deserialize, Serialize};
+
+/// Thread-to-core mapping policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AffinityPolicy {
+    /// Fill sockets one at a time (OMP_PROC_BIND=close).
+    Compact,
+    /// Round-robin across sockets (OMP_PROC_BIND=spread).
+    Scatter,
+}
+
+impl AffinityPolicy {
+    /// All policies, for exhaustive sweeps.
+    pub const ALL: [AffinityPolicy; 2] = [AffinityPolicy::Compact, AffinityPolicy::Scatter];
+}
+
+impl std::fmt::Display for AffinityPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AffinityPolicy::Compact => write!(f, "compact"),
+            AffinityPolicy::Scatter => write!(f, "scatter"),
+        }
+    }
+}
+
+/// A resolved thread placement on a node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    policy: AffinityPolicy,
+    /// Busy cores on each socket; sums to the thread count.
+    active_per_socket: Vec<usize>,
+}
+
+impl Placement {
+    /// Place `threads` threads on `topo` under `policy`. Panics if the node
+    /// has fewer cores than threads or if `threads` is zero.
+    pub fn resolve(topo: &NodeTopology, threads: usize, policy: AffinityPolicy) -> Self {
+        assert!(threads >= 1, "placement needs at least one thread");
+        assert!(
+            threads <= topo.total_cores(),
+            "{} threads exceed {} cores",
+            threads,
+            topo.total_cores()
+        );
+        let ns = topo.sockets();
+        let cps = topo.cores_per_socket();
+        let mut active = vec![0usize; ns];
+        match policy {
+            AffinityPolicy::Compact => {
+                let mut left = threads;
+                for slot in active.iter_mut() {
+                    let take = left.min(cps);
+                    *slot = take;
+                    left -= take;
+                    if left == 0 {
+                        break;
+                    }
+                }
+            }
+            AffinityPolicy::Scatter => {
+                for t in 0..threads {
+                    active[t % ns] += 1;
+                }
+            }
+        }
+        Self { policy, active_per_socket: active }
+    }
+
+    /// The policy this placement was resolved from.
+    pub fn policy(&self) -> AffinityPolicy {
+        self.policy
+    }
+
+    /// Busy-core count per socket.
+    pub fn active_per_socket(&self) -> &[usize] {
+        &self.active_per_socket
+    }
+
+    /// Total threads placed.
+    pub fn threads(&self) -> usize {
+        self.active_per_socket.iter().sum()
+    }
+
+    /// Number of sockets with at least one busy core — these are the memory
+    /// controllers that serve the application's local allocations.
+    pub fn sockets_used(&self) -> usize {
+        self.active_per_socket.iter().filter(|&&n| n > 0).count()
+    }
+
+    /// Fraction of last-level-cache misses served by a *remote* NUMA domain.
+    ///
+    /// `shared_frac` is the application's fraction of accesses that touch
+    /// data shared across all threads (workload property). With first-touch
+    /// allocation, private data is always local; shared data is spread over
+    /// the used sockets, so a thread finds `1 − 1/sockets_used` of it remote.
+    pub fn remote_fraction(&self, shared_frac: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&shared_frac));
+        let s = self.sockets_used();
+        if s <= 1 {
+            0.0
+        } else {
+            shared_frac * (1.0 - 1.0 / s as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> NodeTopology {
+        NodeTopology::haswell_2x12()
+    }
+
+    #[test]
+    fn compact_fills_first_socket() {
+        let p = Placement::resolve(&topo(), 8, AffinityPolicy::Compact);
+        assert_eq!(p.active_per_socket(), &[8, 0]);
+        assert_eq!(p.sockets_used(), 1);
+    }
+
+    #[test]
+    fn compact_spills_to_second_socket() {
+        let p = Placement::resolve(&topo(), 16, AffinityPolicy::Compact);
+        assert_eq!(p.active_per_socket(), &[12, 4]);
+        assert_eq!(p.sockets_used(), 2);
+    }
+
+    #[test]
+    fn scatter_round_robins() {
+        let p = Placement::resolve(&topo(), 8, AffinityPolicy::Scatter);
+        assert_eq!(p.active_per_socket(), &[4, 4]);
+        assert_eq!(p.sockets_used(), 2);
+        let odd = Placement::resolve(&topo(), 7, AffinityPolicy::Scatter);
+        assert_eq!(odd.active_per_socket(), &[4, 3]);
+    }
+
+    #[test]
+    fn all_cores_identical_under_both_policies() {
+        let c = Placement::resolve(&topo(), 24, AffinityPolicy::Compact);
+        let s = Placement::resolve(&topo(), 24, AffinityPolicy::Scatter);
+        assert_eq!(c.active_per_socket(), s.active_per_socket());
+    }
+
+    #[test]
+    fn threads_roundtrip() {
+        for t in 1..=24 {
+            for pol in AffinityPolicy::ALL {
+                assert_eq!(Placement::resolve(&topo(), t, pol).threads(), t);
+            }
+        }
+    }
+
+    #[test]
+    fn remote_fraction_zero_on_single_socket() {
+        let p = Placement::resolve(&topo(), 6, AffinityPolicy::Compact);
+        assert_eq!(p.remote_fraction(0.8), 0.0);
+    }
+
+    #[test]
+    fn remote_fraction_grows_with_sharing() {
+        let p = Placement::resolve(&topo(), 6, AffinityPolicy::Scatter);
+        assert!((p.remote_fraction(1.0) - 0.5).abs() < 1e-12);
+        assert!((p.remote_fraction(0.4) - 0.2).abs() < 1e-12);
+        assert_eq!(p.remote_fraction(0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn too_many_threads_rejected() {
+        Placement::resolve(&topo(), 25, AffinityPolicy::Compact);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(AffinityPolicy::Compact.to_string(), "compact");
+        assert_eq!(AffinityPolicy::Scatter.to_string(), "scatter");
+    }
+}

@@ -1,0 +1,282 @@
+//! PMU events (paper Table I) and their synthesized counters.
+//!
+//! The paper's MLR inflection-point predictor consumes eight Haswell event
+//! rates collected during smart profiling. Our simulated node synthesizes
+//! the same counters from the analytic execution model: instruction and
+//! memory-traffic totals come from the workload, cycles from the resolved
+//! operating point, and the local/remote L3-miss split from the placement's
+//! remote-access fraction. Event 7 (the full/half performance ratio) is not
+//! a hardware counter — the profiling layer computes it — so it is listed
+//! here for Table I completeness but not stored in [`EventCounters`].
+
+use serde::{Deserialize, Serialize};
+use simkit::{Bandwidth, TimeSpan};
+
+/// The hardware events of paper Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HwEvent {
+    /// Event0: instruction-cache misses.
+    IcacheMisses,
+    /// Event1: memory read bandwidth.
+    MemReadBandwidth,
+    /// Event2: memory write bandwidth.
+    MemWriteBandwidth,
+    /// Event3: L3 misses served from local DRAM.
+    L3MissLocal,
+    /// Event4: L3 misses served from remote DRAM.
+    L3MissRemote,
+    /// Event5: active cycles.
+    CyclesActive,
+    /// Event6: instructions retired.
+    InstructionsRetired,
+    /// Event7: performance ratio of full-core to half-core configuration
+    /// (computed by the profiler, not counted by the PMU).
+    PerfRatioFullHalf,
+}
+
+impl HwEvent {
+    /// Table I order.
+    pub const ALL: [HwEvent; 8] = [
+        HwEvent::IcacheMisses,
+        HwEvent::MemReadBandwidth,
+        HwEvent::MemWriteBandwidth,
+        HwEvent::L3MissLocal,
+        HwEvent::L3MissRemote,
+        HwEvent::CyclesActive,
+        HwEvent::InstructionsRetired,
+        HwEvent::PerfRatioFullHalf,
+    ];
+
+    /// The predictor id used in Table I ("Event0" … "Event7").
+    pub fn predictor_id(self) -> &'static str {
+        match self {
+            HwEvent::IcacheMisses => "Event0",
+            HwEvent::MemReadBandwidth => "Event1",
+            HwEvent::MemWriteBandwidth => "Event2",
+            HwEvent::L3MissLocal => "Event3",
+            HwEvent::L3MissRemote => "Event4",
+            HwEvent::CyclesActive => "Event5",
+            HwEvent::InstructionsRetired => "Event6",
+            HwEvent::PerfRatioFullHalf => "Event7",
+        }
+    }
+
+    /// The Table I description.
+    pub fn description(self) -> &'static str {
+        match self {
+            HwEvent::IcacheMisses => "Instruction Cache (ICACHE) Misses",
+            HwEvent::MemReadBandwidth => "Memory Access Read Bandwidth",
+            HwEvent::MemWriteBandwidth => "Memory Access Write Bandwidth",
+            HwEvent::L3MissLocal => "L3 Cache Miss from Local DRAM",
+            HwEvent::L3MissRemote => "L3 Cache Miss from Remote DRAM",
+            HwEvent::CyclesActive => "Cycles Active",
+            HwEvent::InstructionsRetired => "Instructions Retired",
+            HwEvent::PerfRatioFullHalf => "Performance ratio by full cores and half cores",
+        }
+    }
+}
+
+/// Synthesized PMU counters for one measured execution interval.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EventCounters {
+    /// Wall time of the measured interval.
+    pub wall_time: TimeSpan,
+    /// Instructions retired (absolute count).
+    pub instructions: f64,
+    /// Core-cycles spent active, summed over cores.
+    pub cycles_active: f64,
+    /// Instruction-cache misses.
+    pub icache_misses: f64,
+    /// Bytes read from DRAM.
+    pub bytes_read: f64,
+    /// Bytes written to DRAM.
+    pub bytes_written: f64,
+    /// L3 misses served from the local NUMA domain.
+    pub l3_miss_local: f64,
+    /// L3 misses served from a remote NUMA domain.
+    pub l3_miss_remote: f64,
+}
+
+/// Cache-line size used to convert DRAM traffic into L3-miss counts.
+pub const CACHE_LINE_BYTES: f64 = 64.0;
+
+impl EventCounters {
+    /// Synthesize counters from model-level quantities.
+    ///
+    /// * `wall_time` — measured interval.
+    /// * `instructions` — retired instructions over the interval.
+    /// * `freq_ghz`, `threads` — to account active cycles.
+    /// * `bytes_read`/`bytes_written` — DRAM traffic over the interval.
+    /// * `remote_frac` — share of misses served remotely.
+    /// * `icache_mpki` — workload's icache misses per kilo-instruction.
+    #[allow(clippy::too_many_arguments)]
+    pub fn synthesize(
+        wall_time: TimeSpan,
+        instructions: f64,
+        freq_ghz: f64,
+        threads: usize,
+        bytes_read: f64,
+        bytes_written: f64,
+        remote_frac: f64,
+        icache_mpki: f64,
+    ) -> Self {
+        debug_assert!(wall_time.as_secs() > 0.0, "interval must have duration");
+        let cycles = wall_time.as_secs() * freq_ghz * 1e9 * threads as f64;
+        let misses = (bytes_read + bytes_written) / CACHE_LINE_BYTES;
+        Self {
+            wall_time,
+            instructions,
+            cycles_active: cycles,
+            icache_misses: icache_mpki * instructions / 1e3,
+            bytes_read,
+            bytes_written,
+            l3_miss_local: misses * (1.0 - remote_frac),
+            l3_miss_remote: misses * remote_frac,
+        }
+    }
+
+    /// Read bandwidth over the interval.
+    pub fn read_bandwidth(&self) -> Bandwidth {
+        Bandwidth::gbps(self.bytes_read / 1e9 / self.wall_time.as_secs())
+    }
+
+    /// Write bandwidth over the interval.
+    pub fn write_bandwidth(&self) -> Bandwidth {
+        Bandwidth::gbps(self.bytes_written / 1e9 / self.wall_time.as_secs())
+    }
+
+    /// Instructions per active cycle (aggregate IPC).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles_active > 0.0 {
+            self.instructions / self.cycles_active
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of L3 misses served remotely.
+    pub fn remote_miss_fraction(&self) -> f64 {
+        let total = self.l3_miss_local + self.l3_miss_remote;
+        if total > 0.0 {
+            self.l3_miss_remote / total
+        } else {
+            0.0
+        }
+    }
+
+    /// The event-rate feature vector used by the MLR predictor, in Table I
+    /// order (Events 0–6; Event 7 is appended by the profiler). Rates are
+    /// normalized per second of wall time, bandwidths in GB/s.
+    pub fn rate_features(&self) -> [f64; 7] {
+        let t = self.wall_time.as_secs();
+        [
+            self.icache_misses / t / 1e6,        // M misses/s
+            self.read_bandwidth().as_gbps(),     // GB/s
+            self.write_bandwidth().as_gbps(),    // GB/s
+            self.l3_miss_local / t / 1e6,        // M misses/s
+            self.l3_miss_remote / t / 1e6,       // M misses/s
+            self.cycles_active / t / 1e9,        // G cycles/s
+            self.instructions / t / 1e9,         // G instr/s
+        ]
+    }
+
+    /// Element-wise accumulation (e.g. summing per-iteration counters).
+    pub fn accumulate(&mut self, other: &EventCounters) {
+        self.wall_time += other.wall_time;
+        self.instructions += other.instructions;
+        self.cycles_active += other.cycles_active;
+        self.icache_misses += other.icache_misses;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.l3_miss_local += other.l3_miss_local;
+        self.l3_miss_remote += other.l3_miss_remote;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EventCounters {
+        EventCounters::synthesize(
+            TimeSpan::secs(2.0),
+            4e9,   // instructions
+            2.0,   // GHz
+            8,     // threads
+            20e9,  // bytes read
+            10e9,  // bytes written
+            0.25,  // remote fraction
+            1.5,   // icache MPKI
+        )
+    }
+
+    #[test]
+    fn bandwidth_derivation() {
+        let c = sample();
+        assert!((c.read_bandwidth().as_gbps() - 10.0).abs() < 1e-9);
+        assert!((c.write_bandwidth().as_gbps() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cycles_account_for_threads_and_frequency() {
+        let c = sample();
+        assert!((c.cycles_active - 2.0 * 2.0e9 * 8.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn miss_split_matches_remote_fraction() {
+        let c = sample();
+        let total = (20e9 + 10e9) / CACHE_LINE_BYTES;
+        assert!((c.l3_miss_local - total * 0.75).abs() < 1.0);
+        assert!((c.l3_miss_remote - total * 0.25).abs() < 1.0);
+        assert!((c.remote_miss_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn icache_misses_follow_mpki() {
+        let c = sample();
+        assert!((c.icache_misses - 1.5 * 4e9 / 1e3).abs() < 1.0);
+    }
+
+    #[test]
+    fn ipc_is_instructions_over_cycles() {
+        let c = sample();
+        assert!((c.ipc() - 4e9 / (2.0 * 2.0e9 * 8.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_features_shape_and_units() {
+        let c = sample();
+        let f = c.rate_features();
+        assert_eq!(f.len(), 7);
+        assert!((f[1] - 10.0).abs() < 1e-9); // read GB/s
+        assert!((f[6] - 2.0).abs() < 1e-9); // G instr/s
+    }
+
+    #[test]
+    fn accumulate_sums_fields() {
+        let mut a = sample();
+        let b = sample();
+        a.accumulate(&b);
+        assert!((a.wall_time.as_secs() - 4.0).abs() < 1e-12);
+        assert!((a.instructions - 8e9).abs() < 1.0);
+        // Bandwidth is invariant when accumulating identical intervals.
+        assert!((a.read_bandwidth().as_gbps() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table1_metadata_complete() {
+        assert_eq!(HwEvent::ALL.len(), 8);
+        for (i, e) in HwEvent::ALL.iter().enumerate() {
+            assert_eq!(e.predictor_id(), format!("Event{i}"));
+            assert!(!e.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let c = EventCounters::default();
+        assert_eq!(c.ipc(), 0.0);
+        assert_eq!(c.remote_miss_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,226 @@
+//! RAPL-like power capping and energy measurement.
+//!
+//! Intel's Running Average Power Limit exposes, per power domain, a settable
+//! power cap and a free-running energy counter. The CLIP tooling only ever
+//! (a) writes PKG and DRAM caps and (b) reads energies and divides by wall
+//! time — so that is the contract this module reproduces:
+//!
+//! - [`PowerCaps`] is the pair of node-level caps (the enforcement layer in
+//!   [`crate::node`] splits them across sockets implicitly, since the power
+//!   model sums over sockets).
+//! - [`EnergyCounter`] mimics the MSR behaviour: a 32-bit register counting
+//!   in units of 1/2¹⁴ J (~61 µJ) that silently wraps; readers must take
+//!   wraparound-aware deltas, exactly like real RAPL readers do.
+//! - [`RaplController`] owns caps and counters for the PKG and DRAM domains
+//!   and answers windowed average-power queries.
+//!
+//! Cap *enforcement* (frequency selection / duty-cycling / bandwidth
+//! throttling) lives in [`crate::power::PowerModel`]; this module is the
+//! bookkeeping surface the scheduler talks to.
+
+use serde::{Deserialize, Serialize};
+use simkit::{Energy, Power, TimeSpan};
+
+/// Node-level power caps for the two RAPL domains CLIP manages.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerCaps {
+    /// Package (CPU + uncore) cap, whole node.
+    pub cpu: Power,
+    /// DRAM cap, whole node.
+    pub dram: Power,
+}
+
+impl PowerCaps {
+    /// Caps high enough to never bind (used for uncapped reference runs).
+    pub fn unlimited() -> Self {
+        Self { cpu: Power::watts(1e9), dram: Power::watts(1e9) }
+    }
+
+    /// Construct caps; both must be positive.
+    pub fn new(cpu: Power, dram: Power) -> Self {
+        assert!(cpu.as_watts() > 0.0 && dram.as_watts() > 0.0, "caps must be positive");
+        Self { cpu, dram }
+    }
+
+    /// Total managed node budget (CPU + DRAM).
+    pub fn total(&self) -> Power {
+        self.cpu + self.dram
+    }
+}
+
+/// Energy unit of the simulated MSR: 1/2¹⁴ joule, as on Haswell.
+pub const ENERGY_UNIT_JOULES: f64 = 1.0 / 16384.0;
+
+/// A wrapping 32-bit energy counter in RAPL energy units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EnergyCounter {
+    raw: u32,
+    /// Sub-unit residue kept so tiny increments are not lost.
+    #[serde(skip)]
+    residue: u64,
+}
+
+impl EnergyCounter {
+    /// Add consumed energy; the register wraps modulo 2³².
+    pub fn add(&mut self, e: Energy) {
+        debug_assert!(e.as_joules() >= 0.0, "energy increments are non-negative");
+        // Work in femto-units to keep residue exact enough.
+        let units = e.as_joules() / ENERGY_UNIT_JOULES;
+        let scaled = (units * 1e6) as u64 + self.residue;
+        let whole = scaled / 1_000_000;
+        self.residue = scaled % 1_000_000;
+        self.raw = self.raw.wrapping_add(whole as u32);
+    }
+
+    /// Current raw register value.
+    pub fn raw(&self) -> u32 {
+        self.raw
+    }
+
+    /// Wraparound-aware difference `now − prev`, in joules.
+    pub fn delta(prev: u32, now: u32) -> Energy {
+        let units = now.wrapping_sub(prev);
+        Energy::joules(units as f64 * ENERGY_UNIT_JOULES)
+    }
+}
+
+/// The per-node RAPL surface: caps plus PKG/DRAM energy accounting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RaplController {
+    caps: PowerCaps,
+    pkg: EnergyCounter,
+    dram: EnergyCounter,
+    /// Total wall time accounted so far (simulation bookkeeping, not an MSR).
+    elapsed: TimeSpan,
+}
+
+impl RaplController {
+    /// Fresh controller with the given caps and zeroed counters.
+    pub fn new(caps: PowerCaps) -> Self {
+        Self {
+            caps,
+            pkg: EnergyCounter::default(),
+            dram: EnergyCounter::default(),
+            elapsed: TimeSpan::ZERO,
+        }
+    }
+
+    /// Current caps.
+    pub fn caps(&self) -> PowerCaps {
+        self.caps
+    }
+
+    /// Write new caps (takes effect on the next resolved interval).
+    pub fn set_caps(&mut self, caps: PowerCaps) {
+        self.caps = caps;
+    }
+
+    /// Account an execution interval at the given average domain powers.
+    pub fn account(&mut self, pkg_power: Power, dram_power: Power, dt: TimeSpan) {
+        debug_assert!(dt.as_secs() >= 0.0);
+        self.pkg.add(pkg_power * dt);
+        self.dram.add(dram_power * dt);
+        self.elapsed += dt;
+    }
+
+    /// Raw PKG energy register (wraps like the MSR).
+    pub fn pkg_energy_raw(&self) -> u32 {
+        self.pkg.raw()
+    }
+
+    /// Raw DRAM energy register (wraps like the MSR).
+    pub fn dram_energy_raw(&self) -> u32 {
+        self.dram.raw()
+    }
+
+    /// Total accounted wall time.
+    pub fn elapsed(&self) -> TimeSpan {
+        self.elapsed
+    }
+
+    /// Average power over a window bracketed by two raw readings.
+    pub fn average_power(prev_raw: u32, now_raw: u32, window: TimeSpan) -> Power {
+        assert!(window.as_secs() > 0.0, "window must be positive");
+        EnergyCounter::delta(prev_raw, now_raw) / window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_energy() {
+        let mut c = EnergyCounter::default();
+        c.add(Energy::joules(1.0));
+        let units = c.raw();
+        assert!((units as f64 * ENERGY_UNIT_JOULES - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn counter_small_increments_not_lost() {
+        let mut c = EnergyCounter::default();
+        // 10_000 increments of 10 µJ = 0.1 J; each is a fraction of a unit.
+        for _ in 0..10_000 {
+            c.add(Energy::joules(1e-5));
+        }
+        let j = c.raw() as f64 * ENERGY_UNIT_JOULES;
+        assert!((j - 0.1).abs() < 1e-3, "accumulated {j} J");
+    }
+
+    #[test]
+    fn delta_handles_wraparound() {
+        let prev = u32::MAX - 10;
+        let now = 5u32;
+        let d = EnergyCounter::delta(prev, now);
+        assert!((d.as_joules() - 16.0 * ENERGY_UNIT_JOULES).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counter_wraps_like_the_msr() {
+        let mut c = EnergyCounter::default();
+        // Push the register almost to the top, then beyond.
+        let nearly_full = Energy::joules((u32::MAX as f64 - 100.0) * ENERGY_UNIT_JOULES);
+        c.add(nearly_full);
+        let before = c.raw();
+        c.add(Energy::joules(200.0 * ENERGY_UNIT_JOULES));
+        let after = c.raw();
+        assert!(after < before, "register must wrap");
+        let d = EnergyCounter::delta(before, after);
+        assert!((d.as_joules() - 200.0 * ENERGY_UNIT_JOULES).abs() < 1e-6);
+    }
+
+    #[test]
+    fn controller_accounts_both_domains() {
+        let mut r = RaplController::new(PowerCaps::new(Power::watts(200.0), Power::watts(40.0)));
+        let p0 = r.pkg_energy_raw();
+        let d0 = r.dram_energy_raw();
+        r.account(Power::watts(150.0), Power::watts(30.0), TimeSpan::secs(2.0));
+        let pkg = EnergyCounter::delta(p0, r.pkg_energy_raw());
+        let dram = EnergyCounter::delta(d0, r.dram_energy_raw());
+        assert!((pkg.as_joules() - 300.0).abs() < 0.01);
+        assert!((dram.as_joules() - 60.0).abs() < 0.01);
+        assert!((r.elapsed().as_secs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_power_over_window() {
+        let mut c = EnergyCounter::default();
+        let before = c.raw();
+        c.add(Energy::joules(500.0));
+        let p = RaplController::average_power(before, c.raw(), TimeSpan::secs(5.0));
+        assert!((p.as_watts() - 100.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn caps_total() {
+        let caps = PowerCaps::new(Power::watts(180.0), Power::watts(40.0));
+        assert_eq!(caps.total(), Power::watts(220.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_caps_rejected() {
+        PowerCaps::new(Power::ZERO, Power::watts(30.0));
+    }
+}

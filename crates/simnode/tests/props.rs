@@ -1,0 +1,196 @@
+//! Property-based tests for the node hardware simulator: the invariants
+//! RAPL-style capping must uphold for any workload, placement, and cap.
+
+use proptest::prelude::*;
+use simkit::{Bandwidth, Power, TimeSpan};
+use simnode::{AffinityPolicy, Node, NodeWorkload, OperatingPoint, PowerCaps};
+
+/// A randomly-parameterized synthetic kernel for adversarial testing.
+#[derive(Debug, Clone)]
+struct RandKernel {
+    gcycles: f64,
+    mem_gb: f64,
+    per_thread_bw: f64,
+    activity: f64,
+    shared: f64,
+}
+
+impl NodeWorkload for RandKernel {
+    fn name(&self) -> &str {
+        "rand-kernel"
+    }
+    fn iteration_time(&self, op: &OperatingPoint) -> TimeSpan {
+        let f = op.frequency().as_ghz();
+        let n = op.threads() as f64;
+        let t_c = self.gcycles / (n * f);
+        let rate = (n * self.per_thread_bw).min(op.bw_ceiling.as_gbps()).max(1e-6);
+        TimeSpan::secs(t_c + self.mem_gb / rate)
+    }
+    fn traffic_per_iteration(&self, _op: &OperatingPoint) -> (f64, f64) {
+        (self.mem_gb * 0.7e9, self.mem_gb * 0.3e9)
+    }
+    fn instructions_per_iteration(&self, _threads: usize) -> f64 {
+        self.gcycles * 1.2e9
+    }
+    fn cpu_activity(&self) -> f64 {
+        self.activity
+    }
+    fn shared_data_fraction(&self) -> f64 {
+        self.shared
+    }
+    fn icache_mpki(&self) -> f64 {
+        0.5
+    }
+    fn burst_bandwidth_demand(&self, op: &OperatingPoint) -> Bandwidth {
+        Bandwidth::gbps(op.threads() as f64 * self.per_thread_bw)
+    }
+}
+
+fn kernel_strategy() -> impl Strategy<Value = RandKernel> {
+    (
+        10.0f64..500.0,
+        0.0f64..200.0,
+        0.1f64..15.0,
+        0.3f64..1.0,
+        0.0f64..1.0,
+    )
+        .prop_map(|(gcycles, mem_gb, per_thread_bw, activity, shared)| RandKernel {
+            gcycles,
+            mem_gb,
+            per_thread_bw,
+            activity,
+            shared,
+        })
+}
+
+fn policy_strategy() -> impl Strategy<Value = AffinityPolicy> {
+    prop_oneof![Just(AffinityPolicy::Compact), Just(AffinityPolicy::Scatter)]
+}
+
+proptest! {
+    /// Measured package power never exceeds the programmed cap, unless the
+    /// hardware is at its static floor (which the model exposes).
+    #[test]
+    fn pkg_cap_respected(kernel in kernel_strategy(),
+                         threads in 1usize..=24,
+                         policy in policy_strategy(),
+                         cap_w in 40.0f64..400.0,
+                         dram_w in 5.0f64..60.0)
+    {
+        let mut node = Node::haswell();
+        node.set_caps(PowerCaps::new(Power::watts(cap_w), Power::watts(dram_w)));
+        let r = node.execute(&kernel, threads, policy, 1);
+        let floor = node.power_model().pkg_floor(
+            r.op.placement.active_per_socket(),
+            node.pstates().f_min(),
+            kernel.cpu_activity(),
+        );
+        prop_assert!(
+            r.avg_pkg_power <= Power::watts(cap_w).max(floor) + Power::watts(1e-9),
+            "pkg {} cap {} floor {}", r.avg_pkg_power, cap_w, floor
+        );
+    }
+
+    /// DRAM power never exceeds its cap plus the base floor.
+    #[test]
+    fn dram_cap_respected(kernel in kernel_strategy(),
+                          threads in 1usize..=24,
+                          dram_w in 4.0f64..60.0)
+    {
+        let mut node = Node::haswell();
+        node.set_caps(PowerCaps::new(Power::watts(300.0), Power::watts(dram_w)));
+        let r = node.execute(&kernel, threads, AffinityPolicy::Scatter, 1);
+        // The hardware floor: background power plus the 2% minimum
+        // bandwidth the memory always delivers (refresh cannot be capped).
+        let floor_bw = node.memory().peak_per_socket * 2.0 * 0.02;
+        let floor = node.power_model().dram_power(floor_bw, 2);
+        prop_assert!(
+            r.avg_dram_power <= Power::watts(dram_w).max(floor) + Power::watts(0.5),
+            "dram {} cap {}", r.avg_dram_power, dram_w
+        );
+    }
+
+    /// Execution is always finite, positive, and energy-consistent.
+    #[test]
+    fn execution_sane(kernel in kernel_strategy(),
+                      threads in 1usize..=24,
+                      policy in policy_strategy(),
+                      iters in 1usize..5)
+    {
+        let mut node = Node::haswell();
+        let r = node.execute(&kernel, threads, policy, iters);
+        prop_assert!(r.total_time.as_secs() > 0.0 && r.total_time.is_finite());
+        prop_assert!(r.performance() > 0.0);
+        let expect = r.avg_pkg_power * r.total_time;
+        let rel = (r.pkg_energy.as_joules() - expect.as_joules()).abs()
+            / expect.as_joules().max(1.0);
+        prop_assert!(rel < 1e-2, "counter energy off by {rel}");
+    }
+
+    /// Loosening the package cap never slows the kernel down.
+    #[test]
+    fn monotone_in_cap(kernel in kernel_strategy(),
+                       threads in 1usize..=24,
+                       lo_w in 50.0f64..150.0,
+                       extra_w in 1.0f64..200.0)
+    {
+        let mut node = Node::haswell();
+        node.set_caps(PowerCaps::new(Power::watts(lo_w), Power::watts(60.0)));
+        let slow = node.execute(&kernel, threads, AffinityPolicy::Compact, 1);
+        node.set_caps(PowerCaps::new(Power::watts(lo_w + extra_w), Power::watts(60.0)));
+        let fast = node.execute(&kernel, threads, AffinityPolicy::Compact, 1);
+        prop_assert!(
+            fast.performance() >= slow.performance() * (1.0 - 1e-9),
+            "more power must not hurt: {} -> {}", slow.performance(), fast.performance()
+        );
+    }
+
+    /// The resolved frequency is monotone non-increasing in thread count
+    /// under a fixed cap (more cores share the same budget).
+    #[test]
+    fn frequency_monotone_in_threads(kernel in kernel_strategy(), cap_w in 60.0f64..250.0) {
+        let mut node = Node::haswell();
+        node.set_caps(PowerCaps::new(Power::watts(cap_w), Power::watts(60.0)));
+        let mut last = f64::INFINITY;
+        for threads in [1usize, 4, 8, 12, 16, 20, 24] {
+            let op = node.resolve(&kernel, threads, AffinityPolicy::Compact);
+            let f = op.frequency().as_ghz();
+            prop_assert!(f <= last + 1e-12, "f grew with threads");
+            last = f;
+        }
+    }
+
+    /// Event counters are internally consistent: bandwidth × time = bytes,
+    /// local+remote misses cover all traffic.
+    #[test]
+    fn counters_consistent(kernel in kernel_strategy(),
+                           threads in 1usize..=24,
+                           policy in policy_strategy())
+    {
+        let mut node = Node::haswell();
+        let r = node.execute(&kernel, threads, policy, 2);
+        let c = &r.counters;
+        let bytes = c.read_bandwidth().as_gbps() * 1e9 * c.wall_time.as_secs();
+        prop_assert!((bytes - c.bytes_read).abs() < 1.0 + 1e-6 * c.bytes_read);
+        let misses = (c.bytes_read + c.bytes_written) / 64.0;
+        prop_assert!(
+            ((c.l3_miss_local + c.l3_miss_remote) - misses).abs() < 1.0 + 1e-6 * misses
+        );
+        prop_assert!(c.remote_miss_fraction() >= 0.0 && c.remote_miss_fraction() <= 1.0);
+    }
+
+    /// Caps written are caps read, and resolve() never mutates state.
+    #[test]
+    fn caps_roundtrip_and_resolve_pure(cap_w in 20.0f64..400.0, dram_w in 2.0f64..60.0,
+                                       kernel in kernel_strategy())
+    {
+        let mut node = Node::haswell();
+        let caps = PowerCaps::new(Power::watts(cap_w), Power::watts(dram_w));
+        node.set_caps(caps);
+        prop_assert_eq!(node.caps(), caps);
+        let a = node.resolve(&kernel, 12, AffinityPolicy::Scatter);
+        let b = node.resolve(&kernel, 12, AffinityPolicy::Scatter);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(node.caps(), caps);
+    }
+}

@@ -1,0 +1,163 @@
+//! Workload characterization: the roofline-style quantities behind the
+//! paper's intuition.
+//!
+//! §II explains the three scalability classes through compute/memory
+//! balance and contention; this module computes those quantities explicitly
+//! for any application model, from either the model parameters (exact,
+//! white-box) or a measured execution report (black-box, as a tool user
+//! would). The `workload_analysis` harness prints the characterization for
+//! the whole suite.
+
+use crate::app::AppModel;
+use serde::{Deserialize, Serialize};
+use simnode::{ExecutionReport, OperatingPoint};
+
+/// Roofline-style characterization of an application at an operating point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Characterization {
+    /// Arithmetic intensity: retired instructions per DRAM byte.
+    pub arithmetic_intensity: f64,
+    /// Fraction of iteration time in the (possibly saturated) memory terms.
+    pub memory_time_share: f64,
+    /// Achieved fraction of the effective bandwidth ceiling.
+    pub bandwidth_utilization: f64,
+    /// Fraction of iteration time in serial (non-parallel) terms.
+    pub serial_share: f64,
+    /// Fraction of iteration time in the contention term.
+    pub contention_share: f64,
+}
+
+impl Characterization {
+    /// White-box characterization straight from the model terms.
+    pub fn of_model(app: &AppModel, op: &OperatingPoint) -> Self {
+        let f = op.frequency().as_ghz();
+        let n = op.threads() as f64;
+        let mut t_serial = 0.0;
+        let mut t_mem = 0.0;
+        let mut t_cont = 0.0;
+        let mut total = 0.0;
+        let mut bytes = 0.0;
+        let mut instructions = 0.0;
+        let mut demand_peak: f64 = 0.0;
+        for p in app.phases() {
+            let t = p.time_secs(op);
+            total += t;
+            t_serial += p.serial_gcycles / f;
+            if p.mem_gbytes > 0.0 {
+                let demand = p.bandwidth_demand_gbps(op.threads(), f);
+                let rate = demand.min(op.bw_ceiling.as_gbps()).max(1e-6);
+                t_mem += p.mem_gbytes / rate;
+                demand_peak = demand_peak.max(demand.min(op.bw_ceiling.as_gbps()));
+            }
+            if p.contention_gcycles > 0.0 {
+                t_cont += p.contention_gcycles * n.powf(p.contention_exp) / f;
+            }
+            bytes += p.mem_gbytes * 1e9;
+            instructions += p.instructions();
+        }
+        Self {
+            arithmetic_intensity: if bytes > 0.0 { instructions / bytes } else { f64::INFINITY },
+            memory_time_share: (t_mem / total).clamp(0.0, 1.0),
+            bandwidth_utilization: (demand_peak / op.bw_ceiling.as_gbps()).clamp(0.0, 1.0),
+            serial_share: (t_serial / total).clamp(0.0, 1.0),
+            contention_share: (t_cont / total).clamp(0.0, 1.0),
+        }
+    }
+
+    /// Black-box characterization from a measured execution report, using
+    /// only PMU/RAPL observables (the tool-user view; serial/contention
+    /// shares are unobservable and reported as zero).
+    pub fn of_report(report: &ExecutionReport) -> Self {
+        let c = &report.counters;
+        let bytes = c.bytes_read + c.bytes_written;
+        let ceiling = report.op.bw_ceiling.as_gbps();
+        Self {
+            arithmetic_intensity: if bytes > 0.0 { c.instructions / bytes } else { f64::INFINITY },
+            memory_time_share: if ceiling > 0.0 {
+                ((bytes / 1e9 / ceiling) / report.total_time.as_secs()).clamp(0.0, 1.0)
+            } else {
+                0.0
+            },
+            bandwidth_utilization: if ceiling > 0.0 {
+                (report.burst_bandwidth.as_gbps() / ceiling).clamp(0.0, 1.0)
+            } else {
+                0.0
+            },
+            serial_share: 0.0,
+            contention_share: 0.0,
+        }
+    }
+
+    /// Compute-bound by the roofline rule of thumb (≥ 8 instructions/byte
+    /// on this machine's balance point).
+    pub fn is_compute_bound(&self) -> bool {
+        self.arithmetic_intensity >= 8.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite;
+    use simnode::{AffinityPolicy, Node};
+
+    fn characterize(app: &AppModel, threads: usize) -> Characterization {
+        let node = Node::haswell();
+        let op = node.resolve(app, threads, AffinityPolicy::Scatter);
+        Characterization::of_model(app, &op)
+    }
+
+    #[test]
+    fn compute_apps_have_high_intensity() {
+        let c = characterize(&suite::comd(), 24);
+        assert!(c.is_compute_bound(), "CoMD intensity {}", c.arithmetic_intensity);
+        assert!(c.memory_time_share < 0.1);
+        assert!(c.contention_share == 0.0);
+    }
+
+    #[test]
+    fn memory_apps_have_low_intensity_high_bw() {
+        let c = characterize(&suite::lu_mz(), 24);
+        assert!(!c.is_compute_bound(), "LU-MZ intensity {}", c.arithmetic_intensity);
+        assert!(c.memory_time_share > 0.4, "share {}", c.memory_time_share);
+        assert!(c.bandwidth_utilization > 0.9, "util {}", c.bandwidth_utilization);
+    }
+
+    #[test]
+    fn parabolic_apps_show_contention_at_scale() {
+        let at_4 = characterize(&suite::sp_mz(), 4);
+        let at_24 = characterize(&suite::sp_mz(), 24);
+        assert!(at_24.contention_share > at_4.contention_share);
+        assert!(at_24.contention_share > 0.15, "share {}", at_24.contention_share);
+    }
+
+    #[test]
+    fn shares_bounded() {
+        for entry in suite::table2_suite() {
+            for threads in [4usize, 12, 24] {
+                let c = characterize(&entry.app, threads);
+                for v in [
+                    c.memory_time_share,
+                    c.bandwidth_utilization,
+                    c.serial_share,
+                    c.contention_share,
+                ] {
+                    assert!((0.0..=1.0).contains(&v), "{}: {v}", entry.app.name());
+                }
+                assert!(c.arithmetic_intensity > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn blackbox_view_agrees_on_intensity() {
+        let mut node = Node::haswell();
+        let app = suite::amg();
+        let report = node.execute(&app, 24, AffinityPolicy::Scatter, 1);
+        let white = characterize(&app, 24);
+        let black = Characterization::of_report(&report);
+        let rel = (white.arithmetic_intensity - black.arithmetic_intensity).abs()
+            / white.arithmetic_intensity;
+        assert!(rel < 0.05, "white {} black {}", white.arithmetic_intensity, black.arithmetic_intensity);
+    }
+}

@@ -1,0 +1,111 @@
+//! The three scalability classes of paper §II and the classification rule.
+//!
+//! The paper classifies a parallel application by the performance ratio of
+//! its half-core configuration to its all-core configuration, measured with
+//! no power bound (§III-A1):
+//!
+//! ```text
+//! ratio = Perf_half / Perf_all
+//! ratio <  0.7          → linear       (still scaling strongly)
+//! 0.7 ≤ ratio < 1.0     → logarithmic  (diminishing returns)
+//! ratio ≥ 1.0           → parabolic    (all-core is already past the peak)
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// Scalability trend of a parallel application (paper Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScalabilityClass {
+    /// Speedup grows proportionally with core count.
+    Linear,
+    /// Speedup grows linearly up to an inflection point, then with a
+    /// reduced slope.
+    Logarithmic,
+    /// Performance peaks at an interior concurrency and degrades beyond it.
+    Parabolic,
+}
+
+/// The paper's linear/logarithmic boundary on `Perf_half / Perf_all`.
+pub const LINEAR_THRESHOLD: f64 = 0.7;
+
+/// The paper's logarithmic/parabolic boundary on `Perf_half / Perf_all`.
+pub const PARABOLIC_THRESHOLD: f64 = 1.0;
+
+impl ScalabilityClass {
+    /// Classify from the measured half-core/all-core performance ratio with
+    /// the paper's default thresholds.
+    pub fn from_half_all_ratio(ratio: f64) -> Self {
+        Self::from_ratio_with_thresholds(ratio, LINEAR_THRESHOLD, PARABOLIC_THRESHOLD)
+    }
+
+    /// Classification with explicit thresholds (used by the threshold
+    /// ablation study).
+    pub fn from_ratio_with_thresholds(ratio: f64, linear_t: f64, parabolic_t: f64) -> Self {
+        assert!(ratio.is_finite() && ratio >= 0.0, "ratio must be finite and non-negative");
+        assert!(linear_t < parabolic_t, "thresholds must be ordered");
+        if ratio < linear_t {
+            ScalabilityClass::Linear
+        } else if ratio < parabolic_t {
+            ScalabilityClass::Logarithmic
+        } else {
+            ScalabilityClass::Parabolic
+        }
+    }
+
+    /// All classes, in paper order.
+    pub const ALL: [ScalabilityClass; 3] = [
+        ScalabilityClass::Linear,
+        ScalabilityClass::Logarithmic,
+        ScalabilityClass::Parabolic,
+    ];
+}
+
+impl std::fmt::Display for ScalabilityClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScalabilityClass::Linear => write!(f, "linear"),
+            ScalabilityClass::Logarithmic => write!(f, "logarithmic"),
+            ScalabilityClass::Parabolic => write!(f, "parabolic"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_match_paper() {
+        assert_eq!(ScalabilityClass::from_half_all_ratio(0.5), ScalabilityClass::Linear);
+        assert_eq!(ScalabilityClass::from_half_all_ratio(0.69), ScalabilityClass::Linear);
+        assert_eq!(ScalabilityClass::from_half_all_ratio(0.7), ScalabilityClass::Logarithmic);
+        assert_eq!(ScalabilityClass::from_half_all_ratio(0.99), ScalabilityClass::Logarithmic);
+        assert_eq!(ScalabilityClass::from_half_all_ratio(1.0), ScalabilityClass::Parabolic);
+        assert_eq!(ScalabilityClass::from_half_all_ratio(1.8), ScalabilityClass::Parabolic);
+    }
+
+    #[test]
+    fn custom_thresholds() {
+        let c = ScalabilityClass::from_ratio_with_thresholds(0.75, 0.8, 1.0);
+        assert_eq!(c, ScalabilityClass::Linear);
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn inverted_thresholds_rejected() {
+        ScalabilityClass::from_ratio_with_thresholds(0.5, 1.0, 0.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_ratio_rejected() {
+        ScalabilityClass::from_half_all_ratio(f64::NAN);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ScalabilityClass::Linear.to_string(), "linear");
+        assert_eq!(ScalabilityClass::Logarithmic.to_string(), "logarithmic");
+        assert_eq!(ScalabilityClass::Parabolic.to_string(), "parabolic");
+    }
+}

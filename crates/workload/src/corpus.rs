@@ -1,0 +1,229 @@
+//! Synthetic training corpus.
+//!
+//! The paper trains its inflection-point MLR on benchmarks drawn from NPB,
+//! HPCC, STREAM and PolyBench (§V-B2). Standing in for those, this module
+//! generates randomized application models spanning the three scalability
+//! classes, with parameter ranges bracketing the Table II suite. The
+//! generator is seeded, so a training corpus is exactly reproducible.
+//!
+//! For parabolic models the contention coefficient is solved from a sampled
+//! target optimum `NP`: minimizing
+//! `t(n) = (P/f + M/b)/n + (κ/f)·n²` over `n` gives
+//! `κ = f·(P/f + M/b) / (2·NP³)`, so the corpus has a controlled spread of
+//! ground-truth inflection points for the regression to learn.
+
+use crate::app::AppModel;
+use crate::class::ScalabilityClass;
+use crate::phase::{Phase, NOMINAL_FREQ_GHZ};
+use simkit::SimRng;
+
+/// Generate a linear-class model (compute-dominated, no contention).
+pub fn gen_linear(rng: &mut SimRng, idx: usize) -> AppModel {
+    let phase = Phase {
+        parallel_gcycles: rng.uniform_range(100.0, 300.0),
+        mem_gbytes: rng.uniform_range(0.5, 8.0),
+        per_thread_bw_gbps: rng.uniform_range(0.3, 1.5),
+        ipc: rng.uniform_range(1.2, 2.0),
+        write_fraction: rng.uniform_range(0.1, 0.4),
+        cpu_activity: rng.uniform_range(0.9, 1.0),
+        shared_frac: rng.uniform_range(0.05, 0.3),
+        icache_mpki: rng.uniform_range(0.1, 1.0),
+        ..Phase::default()
+    };
+    AppModel::new(format!("synth-lin-{idx:02}"), vec![phase])
+}
+
+/// Generate a logarithmic-class model (bandwidth saturation inside the
+/// node's concurrency range).
+pub fn gen_logarithmic(rng: &mut SimRng, idx: usize) -> AppModel {
+    let phase = Phase {
+        serial_gcycles: rng.uniform_range(0.1, 0.5),
+        parallel_gcycles: rng.uniform_range(15.0, 55.0),
+        mem_gbytes: rng.uniform_range(60.0, 180.0),
+        per_thread_bw_gbps: rng.uniform_range(9.0, 15.0),
+        ipc: rng.uniform_range(0.7, 1.2),
+        write_fraction: rng.uniform_range(0.3, 0.5),
+        cpu_activity: rng.uniform_range(0.55, 0.8),
+        shared_frac: rng.uniform_range(0.3, 0.5),
+        icache_mpki: rng.uniform_range(0.3, 1.2),
+        ..Phase::default()
+    };
+    AppModel::new(format!("synth-log-{idx:02}"), vec![phase])
+}
+
+/// Generate a parabolic-class model with a ground-truth optimum sampled in
+/// `[8, 16]` threads at nominal frequency.
+pub fn gen_parabolic(rng: &mut SimRng, idx: usize) -> AppModel {
+    let parallel = rng.uniform_range(60.0, 200.0);
+    let mem = rng.uniform_range(10.0, 60.0);
+    let ptbw = rng.uniform_range(1.0, 6.0);
+    let target_np = rng.uniform_range(8.0, 16.0);
+    // κ from the interior-minimum condition (see module docs).
+    let per_n = parallel / NOMINAL_FREQ_GHZ + mem / ptbw;
+    let kappa = NOMINAL_FREQ_GHZ * per_n / (2.0 * target_np.powi(3));
+    let phase = Phase {
+        parallel_gcycles: parallel,
+        mem_gbytes: mem,
+        per_thread_bw_gbps: ptbw,
+        contention_gcycles: kappa,
+        contention_exp: 2.0,
+        ipc: rng.uniform_range(1.0, 1.6),
+        write_fraction: rng.uniform_range(0.2, 0.45),
+        cpu_activity: rng.uniform_range(0.75, 0.95),
+        shared_frac: rng.uniform_range(0.2, 0.45),
+        icache_mpki: rng.uniform_range(0.3, 1.2),
+        ..Phase::default()
+    };
+    AppModel::new(format!("synth-par-{idx:02}"), vec![phase])
+}
+
+/// Generate a two-phase mixed application: a compute-dominant solve phase
+/// plus a bandwidth-heavy exchange phase (BT-MZ-shaped). The aggregate
+/// class depends on the sampled balance — these stress the classifier and
+/// the phase-aware extension with realistic multi-phase structure.
+pub fn gen_mixed(rng: &mut SimRng, idx: usize) -> AppModel {
+    let solve = Phase {
+        serial_gcycles: rng.uniform_range(0.1, 0.5),
+        parallel_gcycles: rng.uniform_range(20.0, 60.0),
+        mem_gbytes: rng.uniform_range(2.0, 8.0),
+        per_thread_bw_gbps: rng.uniform_range(0.5, 1.5),
+        ipc: rng.uniform_range(1.2, 1.8),
+        write_fraction: rng.uniform_range(0.2, 0.4),
+        cpu_activity: rng.uniform_range(0.9, 1.0),
+        shared_frac: rng.uniform_range(0.1, 0.3),
+        icache_mpki: rng.uniform_range(0.2, 1.0),
+        ..Phase::default()
+    };
+    let exchange = Phase {
+        serial_gcycles: rng.uniform_range(0.1, 0.3),
+        parallel_gcycles: rng.uniform_range(5.0, 15.0),
+        mem_gbytes: rng.uniform_range(60.0, 140.0),
+        per_thread_bw_gbps: rng.uniform_range(9.0, 13.0),
+        contention_gcycles: rng.uniform_range(0.001, 0.005),
+        contention_exp: 2.0,
+        ipc: rng.uniform_range(0.6, 1.0),
+        write_fraction: rng.uniform_range(0.35, 0.5),
+        cpu_activity: rng.uniform_range(0.55, 0.75),
+        shared_frac: rng.uniform_range(0.4, 0.6),
+        icache_mpki: rng.uniform_range(0.4, 1.2),
+    };
+    AppModel::new(format!("synth-mix-{idx:02}"), vec![solve, exchange])
+}
+
+/// A balanced corpus: `per_class` models of each scalability class.
+pub fn training_corpus(seed: u64, per_class: usize) -> Vec<(AppModel, ScalabilityClass)> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(per_class * 3);
+    for i in 0..per_class {
+        out.push((gen_linear(&mut rng, i), ScalabilityClass::Linear));
+        out.push((gen_logarithmic(&mut rng, i), ScalabilityClass::Logarithmic));
+        out.push((gen_parabolic(&mut rng, i), ScalabilityClass::Parabolic));
+    }
+    out
+}
+
+/// A corpus of multi-phase mixed applications (class label not predefined —
+/// it emerges from the sampled phase balance).
+pub fn mixed_corpus(seed: u64, count: usize) -> Vec<AppModel> {
+    let mut rng = SimRng::seed_from_u64(seed ^ 0xA5A5_5A5A);
+    (0..count).map(|i| gen_mixed(&mut rng, i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnode::{AffinityPolicy, Node};
+
+    fn measured_class(app: &AppModel) -> ScalabilityClass {
+        let mut node = Node::haswell();
+        let all = node.execute(app, 24, AffinityPolicy::Scatter, 1).performance();
+        let half = node.execute(app, 12, AffinityPolicy::Scatter, 1).performance();
+        ScalabilityClass::from_half_all_ratio(half / all)
+    }
+
+    #[test]
+    fn corpus_is_reproducible() {
+        let a = training_corpus(42, 4);
+        let b = training_corpus(42, 4);
+        for ((m1, _), (m2, _)) in a.iter().zip(&b) {
+            assert_eq!(m1, m2);
+        }
+    }
+
+    #[test]
+    fn corpus_is_balanced() {
+        let corpus = training_corpus(1, 5);
+        assert_eq!(corpus.len(), 15);
+        for class in ScalabilityClass::ALL {
+            assert_eq!(corpus.iter().filter(|(_, c)| *c == class).count(), 5);
+        }
+    }
+
+    #[test]
+    fn generated_models_measure_into_their_class() {
+        // The generator ranges were chosen so the measured half/all ratio
+        // lands in the intended class for the overwhelming majority of
+        // draws; demand ≥ 90% on a fixed seed.
+        let corpus = training_corpus(7, 10);
+        let correct = corpus
+            .iter()
+            .filter(|(app, class)| measured_class(app) == *class)
+            .count();
+        assert!(
+            correct * 10 >= corpus.len() * 9,
+            "only {correct}/{} corpus models in class",
+            corpus.len()
+        );
+    }
+
+    #[test]
+    fn parabolic_targets_control_the_optimum() {
+        let mut node = Node::haswell();
+        let mut rng = SimRng::seed_from_u64(11);
+        for i in 0..8 {
+            let app = gen_parabolic(&mut rng, i);
+            let best = (1..=24)
+                .map(|n| (n, node.execute(&app, n, AffinityPolicy::Scatter, 1).performance()))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .unwrap()
+                .0;
+            assert!(
+                (6..=18).contains(&best),
+                "{}: optimum {best} outside target band",
+                app.name()
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = training_corpus(1, 2);
+        let b = training_corpus(2, 2);
+        assert_ne!(a[0].0, b[0].0);
+    }
+
+    #[test]
+    fn mixed_corpus_is_two_phase_and_executable() {
+        let mut node = Node::haswell();
+        for app in corpus_mixed() {
+            assert_eq!(app.phases().len(), 2, "{}", app.name());
+            let r = node.execute(&app, 24, AffinityPolicy::Scatter, 1);
+            assert!(r.performance() > 0.0);
+        }
+    }
+
+    #[test]
+    fn mixed_apps_classify_into_some_valid_class() {
+        // Mixed apps have no predefined class; the classifier must still
+        // produce a sane, deterministic answer for each.
+        for app in corpus_mixed() {
+            let c1 = measured_class(&app);
+            let c2 = measured_class(&app);
+            assert_eq!(c1, c2);
+        }
+    }
+
+    fn corpus_mixed() -> Vec<AppModel> {
+        crate::corpus::mixed_corpus(3, 6)
+    }
+}

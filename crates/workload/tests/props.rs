@@ -1,0 +1,141 @@
+//! Property-based tests for the application models: every random draw from
+//! the corpus generators must behave like its declared scalability class,
+//! and the model algebra (strong scaling, traffic, instructions) must stay
+//! self-consistent.
+
+use proptest::prelude::*;
+use simkit::SimRng;
+use simnode::{AffinityPolicy, Node, NodeWorkload};
+use workload::{corpus, ScalabilityClass};
+
+fn perf(node: &mut Node, app: &workload::AppModel, threads: usize) -> f64 {
+    node.execute(app, threads, AffinityPolicy::Scatter, 1).performance()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Linear corpus draws: speedup from 6 to 12 threads stays near 2x.
+    #[test]
+    fn linear_models_scale(seed in any::<u64>()) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let app = corpus::gen_linear(&mut rng, 0);
+        let mut node = Node::haswell();
+        let s = perf(&mut node, &app, 12) / perf(&mut node, &app, 6);
+        prop_assert!(s > 1.7, "linear speedup 6→12 was {s:.2}");
+    }
+
+    /// Logarithmic corpus draws: growth flattens but never reverses before
+    /// all-core.
+    #[test]
+    fn logarithmic_models_flatten(seed in any::<u64>()) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let app = corpus::gen_logarithmic(&mut rng, 0);
+        let mut node = Node::haswell();
+        let p4 = perf(&mut node, &app, 4);
+        let p8 = perf(&mut node, &app, 8);
+        let p16 = perf(&mut node, &app, 16);
+        let p24 = perf(&mut node, &app, 24);
+        prop_assert!(p24 >= p16 * 0.999, "log app must not regress at all-core");
+        let early = p8 / p4;
+        let late = p24 / p16;
+        prop_assert!(late < early, "growth must flatten: early {early:.2} late {late:.2}");
+    }
+
+    /// Parabolic corpus draws: the all-core configuration is strictly worse
+    /// than the best interior one.
+    #[test]
+    fn parabolic_models_peak(seed in any::<u64>()) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let app = corpus::gen_parabolic(&mut rng, 0);
+        let mut node = Node::haswell();
+        let best = (2..=22)
+            .map(|n| perf(&mut node, &app, n))
+            .fold(f64::NEG_INFINITY, f64::max);
+        let all = perf(&mut node, &app, 24);
+        prop_assert!(all < best, "all-core {all:.4} must be below peak {best:.4}");
+    }
+
+    /// Strong scaling conserves total work: N ranks each do 1/N of the
+    /// parallel cycles and memory volume.
+    #[test]
+    fn strong_scaling_conserves_work(seed in any::<u64>(), nodes in 1usize..=8) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let app = corpus::gen_logarithmic(&mut rng, 0);
+        let scaled = app.strong_scale(nodes);
+        for (orig, part) in app.phases().iter().zip(scaled.phases()) {
+            let back = part.parallel_gcycles * nodes as f64;
+            prop_assert!((back - orig.parallel_gcycles).abs() < 1e-9);
+            let mem_back = part.mem_gbytes * nodes as f64;
+            prop_assert!((mem_back - orig.mem_gbytes).abs() < 1e-9);
+        }
+    }
+
+    /// Per-node time improves when the work is split across more ranks.
+    #[test]
+    fn more_ranks_less_node_time(seed in any::<u64>()) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let app = corpus::gen_linear(&mut rng, 0);
+        let mut node = Node::haswell();
+        let t1 = node.execute(&app.strong_scale(1), 24, AffinityPolicy::Scatter, 1).total_time;
+        let t4 = node.execute(&app.strong_scale(4), 24, AffinityPolicy::Scatter, 1).total_time;
+        prop_assert!(t4 < t1);
+    }
+
+    /// Traffic accounting: read + write equals the declared volume.
+    #[test]
+    fn traffic_conserved(seed in any::<u64>()) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let app = corpus::gen_logarithmic(&mut rng, 0);
+        let node = Node::haswell();
+        let op = node.resolve(&app, 8, AffinityPolicy::Scatter);
+        let (r, w) = app.traffic_per_iteration(&op);
+        let declared: f64 = app.phases().iter().map(|p| p.mem_gbytes).sum::<f64>() * 1e9;
+        prop_assert!(((r + w) - declared).abs() < 1.0);
+    }
+
+    /// The odd-concurrency penalty: an odd count never beats both even
+    /// neighbours for any corpus draw.
+    #[test]
+    fn odd_concurrency_never_best(seed in any::<u64>(), odd_half in 2usize..=11) {
+        let odd = odd_half * 2 + 1; // 5..=23
+        let mut rng = SimRng::seed_from_u64(seed);
+        let app = corpus::gen_linear(&mut rng, 0);
+        let mut node = Node::haswell();
+        let p_odd = perf(&mut node, &app, odd);
+        let p_up = perf(&mut node, &app, odd + 1);
+        prop_assert!(p_odd <= p_up * (1.0 + 1e-9), "odd {odd} beat even {}", odd + 1);
+    }
+
+    /// Communication model: non-negative and non-decreasing in node count.
+    #[test]
+    fn comm_monotone(seed in any::<u64>()) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let app = corpus::gen_parabolic(&mut rng, 0);
+        let mut last = -1.0f64;
+        for n in 1..=16 {
+            let t = app.comm().time_secs(n);
+            prop_assert!(t >= 0.0);
+            prop_assert!(t >= last - 1e-12);
+            last = t;
+        }
+    }
+
+    /// The classification of a model is invariant under iteration count
+    /// (perf ratio is a rate, not a total).
+    #[test]
+    fn classification_iteration_invariant(seed in any::<u64>()) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let app = corpus::gen_logarithmic(&mut rng, 0);
+        let mut node = Node::haswell();
+        let ratio_of = |node: &mut Node, iters: usize| {
+            let all = node.execute(&app, 24, AffinityPolicy::Scatter, iters).performance();
+            let half = node.execute(&app, 12, AffinityPolicy::Scatter, iters).performance();
+            half / all
+        };
+        let r1 = ratio_of(&mut node, 1);
+        let r5 = ratio_of(&mut node, 5);
+        prop_assert!((r1 - r5).abs() < 1e-9);
+        let _ = ScalabilityClass::from_half_all_ratio(r1);
+    }
+}

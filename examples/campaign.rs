@@ -1,0 +1,77 @@
+//! A day on a power-bounded cluster: run the whole Table II campaign
+//! back-to-back under one site budget.
+//!
+//! Exercises the knowledge database the way the paper's application
+//! execution module does (§IV-B3): the first encounter with each
+//! application triggers smart profiling; re-submissions hit the cache. The
+//! example runs every benchmark twice, persists the database to JSON
+//! between "days", and reports campaign-level statistics.
+//!
+//! Run with: `cargo run --release --example campaign`
+
+use clip_core::{execute_plan, ClipScheduler, InflectionPredictor, KnowledgeDb, PowerScheduler};
+use cluster_sim::Cluster;
+use simkit::stats::geomean;
+use simkit::table::Table;
+use simkit::Power;
+use workload::suite::table2_suite;
+
+fn main() {
+    let budget = Power::watts(1400.0);
+    let cluster = Cluster::paper_testbed(42);
+    let db_path = std::env::temp_dir().join("clip_campaign_knowledge.json");
+
+    // Day 1: empty knowledge database — every job pays for profiling.
+    let mut clip = ClipScheduler::new(InflectionPredictor::train_default(42));
+    let mut table = Table::new(
+        "Campaign day 1 (cold knowledge DB, 1400 W site budget)",
+        &["job", "class", "nodes", "threads", "perf (it/s)", "power (W)"],
+    );
+    let mut perfs = Vec::new();
+    for entry in table2_suite() {
+        let mut planning = cluster.clone();
+        let plan = clip.plan(&mut planning, &entry.app, budget);
+        let mut exec = cluster.clone();
+        let report = execute_plan(&mut exec, &entry.app, &plan, 5);
+        let record = clip.knowledge().get(entry.app.name()).expect("profiled");
+        perfs.push(report.performance());
+        table.row(&[
+            entry.app.name().to_string(),
+            record.profile.class.to_string(),
+            plan.nodes().to_string(),
+            plan.threads_per_node.to_string(),
+            format!("{:.4}", report.performance()),
+            format!("{:.0}", report.cluster_power.as_watts()),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "profiling passes: {} (one per unseen application)\n",
+        clip.profiles_performed()
+    );
+
+    // Persist what the cluster learned.
+    clip.knowledge().save(&db_path).expect("persist knowledge DB");
+
+    // Day 2: a fresh scheduler process loads the database — zero profiling.
+    let db = KnowledgeDb::load(&db_path).expect("reload knowledge DB");
+    std::fs::remove_file(&db_path).ok();
+    let mut clip2 =
+        ClipScheduler::new(InflectionPredictor::train_default(42)).with_knowledge_db(db);
+    let mut day2 = Vec::new();
+    for entry in table2_suite() {
+        let mut planning = cluster.clone();
+        let plan = clip2.plan(&mut planning, &entry.app, budget);
+        let mut exec = cluster.clone();
+        day2.push(execute_plan(&mut exec, &entry.app, &plan, 5).performance());
+    }
+    println!("campaign summary:");
+    println!("  geomean perf day 1 : {:.4} it/s", geomean(&perfs));
+    println!("  geomean perf day 2 : {:.4} it/s", geomean(&day2));
+    println!(
+        "  profiling on day 2 : {} passes (knowledge DB hits for all {} jobs)",
+        clip2.profiles_performed(),
+        table2_suite().len()
+    );
+    assert_eq!(clip2.profiles_performed(), 0);
+}

@@ -1,0 +1,65 @@
+//! Quickstart: schedule one application on a power-bounded cluster.
+//!
+//! Walks the whole CLIP pipeline on the simulated 8-node Haswell testbed:
+//! train the inflection predictor, profile the application, plan under a
+//! 1200 W cluster budget, execute, and verify the budget held.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use clip_core::{execute_plan, ClipScheduler, InflectionPredictor, PowerScheduler};
+use cluster_sim::Cluster;
+use simkit::Power;
+use workload::suite;
+
+fn main() {
+    // 1. Train the MLR inflection-point predictor on the synthetic corpus
+    //    (stands in for the paper's NPB/HPCC/STREAM/PolyBench training set).
+    println!("training inflection predictor on the synthetic corpus...");
+    let predictor = InflectionPredictor::train_default(42);
+
+    // 2. The target machine: 8 dual-socket Haswell nodes with ~3%
+    //    manufacturing variability, like the paper's testbed.
+    let mut cluster = Cluster::paper_testbed(42);
+
+    // 3. The job: the SP-MZ proxy (parabolic scalability — the class where
+    //    application-aware coordination pays off most).
+    let app = suite::sp_mz();
+    let budget = Power::watts(1200.0);
+
+    // 4. Plan. The first call smart-profiles the application (3–4 short
+    //    sample runs) and caches the result in the knowledge database.
+    let mut clip = ClipScheduler::new(predictor);
+    let plan = clip.plan(&mut cluster, &app, budget);
+
+    let record = clip.knowledge().get(app.name()).expect("profiled");
+    println!("\napplication : {}", app.name());
+    println!("class       : {}", record.profile.class);
+    println!("half/all    : {:.3}", record.profile.half_all_ratio());
+    println!("predicted NP: {} threads", record.np);
+    println!("\nplan ({}):", plan.scheduler);
+    println!("  nodes        : {} of {}", plan.nodes(), cluster.len());
+    println!("  threads/node : {}", plan.threads_per_node);
+    println!("  affinity     : {}", plan.policy);
+    for (i, caps) in plan.caps.iter().enumerate() {
+        println!(
+            "  node {:>2} caps : CPU {:>6.1} W  DRAM {:>5.1} W",
+            plan.node_ids[i],
+            caps.cpu.as_watts(),
+            caps.dram.as_watts()
+        );
+    }
+    println!(
+        "  total caps   : {:.1} W (budget {:.1} W)",
+        plan.total_caps().as_watts(),
+        budget.as_watts()
+    );
+
+    // 5. Execute and report.
+    let report = execute_plan(&mut cluster, &app, &plan, 10);
+    println!("\nexecution:");
+    println!("  performance  : {:.4} iterations/s", report.performance());
+    println!("  cluster power: {:.1} W", report.cluster_power.as_watts());
+    println!("  imbalance    : {:.2}%", report.imbalance() * 100.0);
+    assert!(report.cluster_power <= budget, "budget must hold");
+    println!("\nbudget respected ✓");
+}

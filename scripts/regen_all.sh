@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Regenerate every paper exhibit, ablation and extension table into OUT_DIR
+# (default: ./results). Pass --csv to emit CSV instead of aligned tables.
+set -euo pipefail
+OUT_DIR="${OUT_DIR:-results}"
+FLAG="${1:-}"
+mkdir -p "$OUT_DIR"
+BINS=(
+  fig1_coordination fig2_scalability fig3_power_impact fig6_classification
+  fig7_inflection fig8_high_budget fig9_low_budget table1_events
+  table2_benchmarks summary_claims power_efficiency
+  ablation_thresholds ablation_variability ablation_evenfloor ablation_profiling
+  ext_phased ext_runtime ext_multijob ext_queue
+  model_validation workload_analysis
+)
+cargo build --release -p clip-bench --bins
+for bin in "${BINS[@]}"; do
+  echo "=== $bin"
+  cargo run --release -q -p clip-bench --bin "$bin" -- $FLAG > "$OUT_DIR/$bin.txt"
+done
+echo "wrote ${#BINS[@]} exhibits to $OUT_DIR/"

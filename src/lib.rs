@@ -1,0 +1,14 @@
+#![warn(missing_docs)]
+
+//! Umbrella crate for the CLIP reproduction workspace.
+//!
+//! Re-exports every member crate so examples and integration tests can use a
+//! single dependency. See `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+
+pub use baselines;
+pub use clip_core;
+pub use cluster_sim;
+pub use simkit;
+pub use simnode;
+pub use workload;

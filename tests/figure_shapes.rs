@@ -1,0 +1,161 @@
+//! Programmatic assertions of the figure shapes (Figures 1–3 of the
+//! paper's motivation) — the curves the harness binaries print, verified
+//! as properties so a refactor cannot silently bend them.
+
+use clip_core::tools::DvfsController;
+use cluster_sim::Cluster;
+use simkit::{Frequency, Power};
+use simnode::{AffinityPolicy, Node, PowerCaps};
+use workload::suite;
+
+fn speedup_curve(app: &workload::AppModel, f_ghz: f64) -> Vec<f64> {
+    let mut node = Node::haswell();
+    let base = {
+        DvfsController::pin_frequency(
+            &mut node,
+            app,
+            1,
+            AffinityPolicy::Scatter,
+            Frequency::ghz(f_ghz),
+        );
+        node.execute(app, 1, AffinityPolicy::Scatter, 1).performance()
+    };
+    (1..=24)
+        .map(|n| {
+            DvfsController::pin_frequency(
+                &mut node,
+                app,
+                n,
+                AffinityPolicy::Scatter,
+                Frequency::ghz(f_ghz),
+            );
+            node.execute(app, n, AffinityPolicy::Scatter, 1).performance() / base
+        })
+        .collect()
+}
+
+/// Figure 2a: linear speedup is within 10% of ideal at every even count.
+#[test]
+fn fig2a_linear_speedup_is_ideal() {
+    let s = speedup_curve(&suite::ep_like(), 2.3);
+    for n in (2..=24).step_by(2) {
+        let ideal = n as f64;
+        assert!(
+            (s[n - 1] - ideal).abs() / ideal < 0.10,
+            "EP-like speedup at {n} cores: {:.2}",
+            s[n - 1]
+        );
+    }
+}
+
+/// Figure 2b: logarithmic speedup is near-linear early, then the marginal
+/// gain collapses but stays non-negative.
+#[test]
+fn fig2b_logarithmic_bends_without_reversing() {
+    let s = speedup_curve(&suite::stream_like(), 2.3);
+    assert!((s[3] - 4.0).abs() / 4.0 < 0.15, "early segment linear, got {:.2}", s[3]);
+    let early_slope = (s[7] - s[3]) / 4.0;
+    let late_slope = (s[23] - s[15]) / 8.0;
+    assert!(
+        late_slope < 0.35 * early_slope,
+        "slope must collapse: early {early_slope:.2} late {late_slope:.2}"
+    );
+    for w in s.windows(2).skip(12) {
+        assert!(w[1] >= w[0] * 0.98, "no real reversals for the log class");
+    }
+}
+
+/// Figure 2c: parabolic speedup peaks strictly inside the range and loses
+/// ≥15% by all-core.
+#[test]
+fn fig2c_parabolic_peaks_interior() {
+    let s = speedup_curve(&suite::sp_mz(), 2.3);
+    let (peak_idx, peak) = s
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, v)| (i + 1, *v))
+        .unwrap();
+    assert!((8..=18).contains(&peak_idx), "peak at {peak_idx}");
+    assert!(
+        s[23] < peak * 0.85,
+        "all-core {:.2} vs peak {:.2}",
+        s[23],
+        peak
+    );
+}
+
+/// Figure 2, cross-panel: at fixed concurrency, speedup grows with
+/// frequency for every class (frequency always helps).
+#[test]
+fn fig2_frequency_always_helps() {
+    for app in [suite::ep_like(), suite::stream_like(), suite::sp_mz()] {
+        let slow = speedup_curve(&app, 1.2);
+        let fast = speedup_curve(&app, 2.3);
+        // Normalize out the shared 1-core baseline: compare absolute perf
+        // via the ratio of curves times the baseline ratio; simpler: the
+        // 12-core point of the fast curve must beat the slow curve's when
+        // both are referenced to the same baseline run.
+        let mut node = Node::haswell();
+        DvfsController::pin_frequency(&mut node, &app, 12, AffinityPolicy::Scatter, Frequency::ghz(1.2));
+        let p_slow = node.execute(&app, 12, AffinityPolicy::Scatter, 1).performance();
+        DvfsController::pin_frequency(&mut node, &app, 12, AffinityPolicy::Scatter, Frequency::ghz(2.3));
+        let p_fast = node.execute(&app, 12, AffinityPolicy::Scatter, 1).performance();
+        assert!(p_fast > p_slow, "{}: frequency must help", app.name());
+        let _ = (slow, fast);
+    }
+}
+
+/// Figure 3c: the parabolic optimum concurrency is non-decreasing in the
+/// package power budget.
+#[test]
+fn fig3c_parabolic_optimum_tracks_budget() {
+    let app = suite::sp_mz();
+    let mut node = Node::haswell();
+    let mut last_best = 0usize;
+    for cap_w in [80.0, 120.0, 160.0, 200.0, 240.0] {
+        node.set_caps(PowerCaps::new(Power::watts(cap_w), Power::watts(1e9)));
+        let best = (2..=24)
+            .step_by(2)
+            .map(|n| (n, node.execute(&app, n, AffinityPolicy::Scatter, 1).performance()))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(
+            best >= last_best,
+            "optimum fell from {last_best} to {best} as the budget grew"
+        );
+        last_best = best;
+    }
+    assert!(last_best >= 14, "generous-budget optimum");
+}
+
+/// Figure 1: at a 120 W node budget, the coordination space spans ≥ 1.5×
+/// between the worst and best (split × cores) configuration.
+#[test]
+fn fig1_coordination_space_is_wide() {
+    let mut cluster = Cluster::homogeneous(1);
+    let app = suite::sp_mz();
+    let mut perfs = Vec::new();
+    for dram_w in [10.0, 20.0, 30.0] {
+        for cores in [8usize, 16, 24] {
+            cluster.node_mut(0).set_caps(PowerCaps::new(
+                Power::watts(120.0 - dram_w),
+                Power::watts(dram_w),
+            ));
+            perfs.push(
+                cluster
+                    .node_mut(0)
+                    .execute(&app, cores, AffinityPolicy::Scatter, 1)
+                    .performance(),
+            );
+        }
+    }
+    let best = perfs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let worst = perfs.iter().copied().fold(f64::INFINITY, f64::min);
+    assert!(
+        best / worst > 1.5,
+        "coordination spread only {:.2}x",
+        best / worst
+    );
+}

@@ -1,0 +1,109 @@
+//! Serialization round-trips for every externally visible artifact: plans,
+//! reports, profiles and the knowledge database must survive JSON without
+//! losing measurement fidelity (the knowledge DB persists across scheduler
+//! processes, so this is a correctness property, not a convenience).
+
+use clip_core::knowledge::{KnowledgeDb, KnowledgeRecord};
+use clip_core::{ClipScheduler, InflectionPredictor, PowerScheduler, SchedulePlan, SmartProfiler};
+use cluster_sim::{run_job, Cluster, JobSpec};
+use simkit::Power;
+use simnode::{AffinityPolicy, Node};
+use workload::suite;
+
+#[test]
+fn schedule_plan_roundtrip() {
+    let mut cluster = Cluster::paper_testbed(5);
+    let mut clip = ClipScheduler::new(InflectionPredictor::train_default(5));
+    let plan = clip.plan(&mut cluster, &suite::lu_mz(), Power::watts(1400.0));
+    let json = serde_json::to_string(&plan).expect("serialize plan");
+    let back: SchedulePlan = serde_json::from_str(&json).expect("deserialize plan");
+    assert_eq!(plan.scheduler, back.scheduler);
+    assert_eq!(plan.node_ids, back.node_ids);
+    assert_eq!(plan.threads_per_node, back.threads_per_node);
+    assert_eq!(plan.policy, back.policy);
+    for (a, b) in plan.caps.iter().zip(&back.caps) {
+        // JSON may shorten the float by one ULP; measurements must agree
+        // to far better than a microwatt.
+        assert!((a.cpu.as_watts() - b.cpu.as_watts()).abs() < 1e-9);
+        assert!((a.dram.as_watts() - b.dram.as_watts()).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn job_report_roundtrip_preserves_measurements() {
+    let mut cluster = Cluster::paper_testbed(5);
+    let app = suite::amg();
+    let spec = JobSpec::on_first_nodes(&app, 4, 24, AffinityPolicy::Scatter, 3);
+    let report = run_job(&mut cluster, &spec);
+    let json = serde_json::to_string(&report).expect("serialize report");
+    let back: cluster_sim::JobReport = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(report.total_time, back.total_time);
+    assert_eq!(report.cluster_power, back.cluster_power);
+    assert_eq!(report.per_node.len(), back.per_node.len());
+    assert!((report.performance() - back.performance()).abs() < 1e-12);
+}
+
+#[test]
+fn profile_roundtrip_preserves_features() {
+    let mut node = Node::haswell();
+    let profile = SmartProfiler::default().profile(&mut node, &suite::bt_mz());
+    let json = serde_json::to_string(&profile).expect("serialize profile");
+    let back: clip_core::ProfileData = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(profile.class, back.class);
+    assert_eq!(profile.policy, back.policy);
+    let f1 = profile.features();
+    let f2 = back.features();
+    for (a, b) in f1.iter().zip(&f2) {
+        assert!((a - b).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn predictor_roundtrip_predicts_identically() {
+    let predictor = InflectionPredictor::train_default(5);
+    let json = serde_json::to_string(&predictor).expect("serialize predictor");
+    let back: InflectionPredictor = serde_json::from_str(&json).expect("deserialize");
+
+    let mut node = Node::haswell();
+    let profile = SmartProfiler::default().profile(&mut node, &suite::tea_leaf());
+    assert_eq!(predictor.predict(&profile), back.predict(&profile));
+}
+
+#[test]
+fn knowledge_db_file_roundtrip_supports_scheduling() {
+    // Profile with one scheduler instance, persist, schedule with another.
+    let mut cluster = Cluster::paper_testbed(5);
+    let mut first = ClipScheduler::new(InflectionPredictor::train_default(5));
+    let app = suite::sp_mz();
+    let plan1 = first.plan(&mut cluster, &app, Power::watts(1200.0));
+
+    let dir = std::env::temp_dir().join("clip-serialization-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("kdb.json");
+    first.knowledge().save(&path).unwrap();
+
+    let db = KnowledgeDb::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let mut second =
+        ClipScheduler::new(InflectionPredictor::train_default(5)).with_knowledge_db(db);
+    let plan2 = second.plan(&mut cluster, &app, Power::watts(1200.0));
+
+    assert_eq!(second.profiles_performed(), 0, "DB hit must skip profiling");
+    assert_eq!(plan1.threads_per_node, plan2.threads_per_node);
+    assert_eq!(plan1.nodes(), plan2.nodes());
+}
+
+#[test]
+fn knowledge_record_json_shape_is_stable() {
+    // Guard the on-disk schema: key fields must appear under their
+    // documented names, so external tooling can read the database.
+    let mut node = Node::haswell();
+    let profile = SmartProfiler::default().profile(&mut node, &suite::comd());
+    let record = KnowledgeRecord { profile, np: 24 };
+    let json = serde_json::to_value(&record).expect("to_value");
+    assert!(json.get("np").is_some());
+    let profile = json.get("profile").expect("profile field");
+    for field in ["app_name", "policy", "all_core", "half_core", "low_freq", "class"] {
+        assert!(profile.get(field).is_some(), "missing field {field}");
+    }
+}
