@@ -7,6 +7,7 @@
 //! also the normalization reference of Figures 8–9.
 
 use crate::naive_split;
+use clip_core::audit::BudgetLedger;
 use clip_core::{PowerScheduler, SchedulePlan};
 use cluster_sim::Cluster;
 use simkit::Power;
@@ -26,13 +27,15 @@ impl PowerScheduler for AllIn {
         let n = cluster.len();
         let per_node = budget / n as f64;
         let caps = naive_split(per_node);
-        SchedulePlan {
+        let plan = SchedulePlan {
             scheduler: self.name().to_string(),
             node_ids: (0..n).collect(),
             threads_per_node: cluster.node(0).topology().total_cores(),
             policy: AffinityPolicy::Compact,
             caps: vec![caps; n],
-        }
+        };
+        BudgetLedger::new(self.name(), budget).audit_plan(&plan);
+        plan
     }
 }
 

@@ -13,12 +13,11 @@
 //! and CLIP is therefore exactly the paper's contribution (class-aware
 //! concurrency), which Figures 8–9 quantify.
 
-use clip_core::profile::SmartProfiler;
-use clip_core::{
-    FittedPowerModel, KnowledgeDb, PowerScheduler, SchedulePlan,
-};
+use clip_core::audit::BudgetLedger;
 use clip_core::knowledge::KnowledgeRecord;
+use clip_core::profile::SmartProfiler;
 use clip_core::recommend::{bandwidth_estimate, is_bandwidth_saturated, split_node_budget};
+use clip_core::{FittedPowerModel, KnowledgeDb, PowerScheduler, SchedulePlan};
 use cluster_sim::Cluster;
 use simkit::Power;
 use workload::AppModel;
@@ -32,7 +31,10 @@ pub struct Coordinated {
 
 impl Default for Coordinated {
     fn default() -> Self {
-        Self { profiler: SmartProfiler::default(), db: KnowledgeDb::new() }
+        Self {
+            profiler: SmartProfiler::default(),
+            db: KnowledgeDb::new(),
+        }
     }
 }
 
@@ -54,7 +56,10 @@ impl PowerScheduler for Coordinated {
             Some(r) => r.clone(),
             None => {
                 let profile = self.profiler.profile(cluster.node_mut(0), app);
-                let r = KnowledgeRecord { profile, np: total_cores };
+                let r = KnowledgeRecord {
+                    profile,
+                    np: total_cores,
+                };
                 self.db.insert(r.clone());
                 r
             }
@@ -78,13 +83,15 @@ impl PowerScheduler for Coordinated {
         let saturated = is_bandwidth_saturated(&record.profile);
         let caps = split_node_budget(&power_model, bw_all, saturated, total_cores, per_node).caps;
 
-        SchedulePlan {
+        let plan = SchedulePlan {
             scheduler: self.name().to_string(),
             node_ids: (0..n).collect(),
             threads_per_node: total_cores,
             policy: record.profile.policy,
             caps: vec![caps; n],
-        }
+        };
+        BudgetLedger::new(self.name(), budget).audit_plan(&plan);
+        plan
     }
 }
 

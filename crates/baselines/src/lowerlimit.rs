@@ -7,6 +7,7 @@
 //! all cores on each active node and allocates 30 watts to memory."
 
 use crate::naive_split;
+use clip_core::audit::BudgetLedger;
 use clip_core::{PowerScheduler, SchedulePlan};
 use cluster_sim::Cluster;
 use simkit::Power;
@@ -22,7 +23,9 @@ pub struct LowerLimit {
 
 impl Default for LowerLimit {
     fn default() -> Self {
-        Self { preset: Power::watts(180.0) }
+        Self {
+            preset: Power::watts(180.0),
+        }
     }
 }
 
@@ -37,13 +40,15 @@ impl PowerScheduler for LowerLimit {
         let n = affordable.clamp(1, n_total);
         let per_node = budget / n as f64;
         let caps = naive_split(per_node);
-        SchedulePlan {
+        let plan = SchedulePlan {
             scheduler: self.name().to_string(),
             node_ids: (0..n).collect(),
             threads_per_node: cluster.node(0).topology().total_cores(),
             policy: AffinityPolicy::Compact,
             caps: vec![caps; n],
-        }
+        };
+        BudgetLedger::new(self.name(), budget).audit_plan(&plan);
+        plan
     }
 }
 
@@ -90,7 +95,9 @@ mod tests {
     #[test]
     fn custom_preset_respected() {
         let mut cluster = Cluster::homogeneous(8);
-        let mut s = LowerLimit { preset: Power::watts(250.0) };
+        let mut s = LowerLimit {
+            preset: Power::watts(250.0),
+        };
         let plan = s.plan(&mut cluster, &suite::comd(), Power::watts(1000.0));
         assert_eq!(plan.nodes(), 4);
     }

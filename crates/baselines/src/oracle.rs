@@ -11,6 +11,7 @@
 //! CLIP's three profile samples); the EXPERIMENTS.md gap table and the
 //! `summary_claims` harness report CLIP's distance from it.
 
+use clip_core::audit::BudgetLedger;
 use clip_core::{execute_plan, PowerScheduler, SchedulePlan};
 use cluster_sim::{sweep::parallel_map, Cluster};
 use simkit::Power;
@@ -65,7 +66,12 @@ impl Oracle {
             for &t in &threads {
                 for policy in AffinityPolicy::ALL {
                     for &dram_share in &DRAM_SHARES {
-                        out.push(Candidate { nodes, threads: t, policy, dram_share });
+                        out.push(Candidate {
+                            nodes,
+                            threads: t,
+                            policy,
+                            dram_share,
+                        });
                     }
                 }
             }
@@ -82,10 +88,7 @@ impl Oracle {
             node_ids: (0..candidate.nodes).collect(),
             threads_per_node: candidate.threads,
             policy: candidate.policy,
-            caps: vec![
-                PowerCaps::new(Power::watts(cpu), Power::watts(dram));
-                candidate.nodes
-            ],
+            caps: vec![PowerCaps::new(Power::watts(cpu), Power::watts(dram)); candidate.nodes],
         }
     }
 }
@@ -105,11 +108,33 @@ impl PowerScheduler for Oracle {
             let report = execute_plan(&mut trial, app, &plan, iterations);
             (report.performance(), plan)
         });
-        scored
-            .into_iter()
-            .max_by(|a, b| a.0.partial_cmp(&b.0).expect("finite performance"))
-            .expect("non-empty candidate grid")
-            .1
+        // The grid is non-empty by construction (>= 1 node count, thread
+        // count, policy and DRAM share each); fold instead of `max_by` so
+        // no panic path survives into release builds.
+        let mut best: Option<(f64, SchedulePlan)> = None;
+        for (perf, plan) in scored {
+            let replace = match &best {
+                None => true,
+                Some((b, _)) => perf.total_cmp(b).is_gt(),
+            };
+            if replace {
+                best = Some((perf, plan));
+            }
+        }
+        let plan = match best {
+            Some((_, plan)) => plan,
+            None => Self::plan_of(
+                &Candidate {
+                    nodes: 1,
+                    threads: cluster.node(0).topology().total_cores(),
+                    policy: AffinityPolicy::Compact,
+                    dram_share: 0.12,
+                },
+                budget,
+            ),
+        };
+        BudgetLedger::new(self.name(), budget).audit_plan(&plan);
+        plan
     }
 }
 

@@ -2,10 +2,10 @@
 //! and application, every method must produce a legal, budget-compliant,
 //! executable plan — the preconditions the comparison harness relies on.
 
-use proptest::prelude::*;
 use baselines::{AllIn, Coordinated, LowerLimit};
 use clip_core::{execute_plan, PowerScheduler};
 use cluster_sim::Cluster;
+use proptest::prelude::*;
 use simkit::{Power, SimRng};
 use workload::corpus;
 
@@ -26,7 +26,12 @@ fn check_plan_legal(
     let mut cluster = Cluster::homogeneous(8);
     let budget = Power::watts(budget_w);
     let plan = scheduler.plan(&mut cluster, app, budget);
-    prop_assert!(plan.within_budget(budget), "{}: caps {}", scheduler.name(), plan.total_caps());
+    prop_assert!(
+        plan.within_budget(budget),
+        "{}: caps {}",
+        scheduler.name(),
+        plan.total_caps()
+    );
     prop_assert!(plan.nodes() >= 1 && plan.nodes() <= 8);
     prop_assert!(plan.threads_per_node >= 1 && plan.threads_per_node <= 24);
     prop_assert_eq!(plan.caps.len(), plan.nodes());

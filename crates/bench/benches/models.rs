@@ -57,7 +57,13 @@ fn bench_piecewise(c: &mut Criterion) {
     let xs: Vec<f64> = (1..=24).map(|i| i as f64).collect();
     let ys: Vec<f64> = xs
         .iter()
-        .map(|&x| if x <= 10.0 { x } else { 10.0 + 0.2 * (x - 10.0) })
+        .map(|&x| {
+            if x <= 10.0 {
+                x
+            } else {
+                10.0 + 0.2 * (x - 10.0)
+            }
+        })
         .collect();
     c.bench_function("piecewise_breakpoint_24pts", |b| {
         b.iter(|| black_box(best_breakpoint(black_box(&xs), black_box(&ys), 3)));

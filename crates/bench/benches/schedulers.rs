@@ -66,14 +66,17 @@ fn bench_oracle_search(c: &mut Criterion) {
     group.bench_function("exhaustive_search", |b| {
         b.iter_batched(
             || Cluster::paper_testbed(HARNESS_SEED),
-            |mut cluster| {
-                black_box(Oracle::default().plan(&mut cluster, &app, budget))
-            },
+            |mut cluster| black_box(Oracle::default().plan(&mut cluster, &app, budget)),
             BatchSize::SmallInput,
         );
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_plan_cached, bench_plan_cold, bench_oracle_search);
+criterion_group!(
+    benches,
+    bench_plan_cached,
+    bench_plan_cold,
+    bench_oracle_search
+);
 criterion_main!(benches);

@@ -2,8 +2,8 @@
 //! the harness evaluate node executions and cluster jobs? These bound the
 //! cost of the exhaustive Oracle and of every figure harness.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use cluster_sim::{run_job, Cluster, JobSpec};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use simkit::Power;
 use simnode::{AffinityPolicy, Node, PowerCaps};
 use std::hint::black_box;
@@ -19,9 +19,7 @@ fn bench_node_execute(c: &mut Criterion) {
         group.bench_function(label, |b| {
             b.iter_batched(
                 Node::haswell,
-                |mut node| {
-                    black_box(node.execute(&app, 24, AffinityPolicy::Scatter, 1))
-                },
+                |mut node| black_box(node.execute(&app, 24, AffinityPolicy::Scatter, 1)),
                 BatchSize::SmallInput,
             );
         });
@@ -46,13 +44,7 @@ fn bench_cluster_job(c: &mut Criterion) {
             b.iter_batched(
                 || Cluster::paper_testbed(5),
                 |mut cluster| {
-                    let spec = JobSpec::on_first_nodes(
-                        &app,
-                        nodes,
-                        24,
-                        AffinityPolicy::Scatter,
-                        1,
-                    );
+                    let spec = JobSpec::on_first_nodes(&app, nodes, 24, AffinityPolicy::Scatter, 1);
                     black_box(run_job(&mut cluster, &spec))
                 },
                 BatchSize::SmallInput,
@@ -70,7 +62,10 @@ fn bench_concurrency_sweep(c: &mut Criterion) {
             Node::haswell,
             |mut node| {
                 let perfs: Vec<f64> = (1..=24)
-                    .map(|n| node.execute(&app, n, AffinityPolicy::Scatter, 1).performance())
+                    .map(|n| {
+                        node.execute(&app, n, AffinityPolicy::Scatter, 1)
+                            .performance()
+                    })
                     .collect();
                 black_box(perfs)
             },

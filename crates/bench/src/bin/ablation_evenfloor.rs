@@ -18,7 +18,14 @@ fn main() {
     let budget = Power::watts(250.0); // single node, generous
     let mut table = Table::new(
         "Ablation: even-floor of predicted NP (single node, 250 W)",
-        &["benchmark", "threads even", "threads raw", "perf even", "perf raw", "delta"],
+        &[
+            "benchmark",
+            "threads even",
+            "threads raw",
+            "perf even",
+            "perf raw",
+            "delta",
+        ],
     );
 
     for entry in table2_suite() {
@@ -27,15 +34,13 @@ fn main() {
         }
         let cluster = Cluster::homogeneous(1);
         let run = |floor_even: bool| {
-            let mut clip =
-                ClipScheduler::new(InflectionPredictor::train_default(HARNESS_SEED));
+            let mut clip = ClipScheduler::new(InflectionPredictor::train_default(HARNESS_SEED));
             clip.floor_even = floor_even;
             clip.coordinate_variability = false;
             let mut planning = cluster.clone();
             let plan = clip.plan(&mut planning, &entry.app, budget);
             let mut exec = cluster.clone();
-            let perf = execute_plan(&mut exec, &entry.app, &plan, EVAL_ITERATIONS)
-                .performance();
+            let perf = execute_plan(&mut exec, &entry.app, &plan, EVAL_ITERATIONS).performance();
             (plan.threads_per_node, perf)
         };
         let (t_even, p_even) = run(true);

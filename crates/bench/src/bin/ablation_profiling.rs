@@ -44,9 +44,7 @@ fn main() {
         }
         let perf_model = NodePerfModel::from_profile(&profile, np);
         let power_model = FittedPowerModel::fit(&profile);
-        let cfg = clip_core::recommend_node_config(
-            &profile, &perf_model, &power_model, budget, 24,
-        );
+        let cfg = clip_core::recommend_node_config(&profile, &perf_model, &power_model, budget, 24);
         node.set_caps(cfg.caps);
         let smart_perf = node
             .execute(&entry.app, cfg.threads, cfg.policy, 1)
@@ -58,7 +56,9 @@ fn main() {
         let mut exhaustive_samples = 0;
         for threads in (2..=24).step_by(2) {
             node.set_caps(cfg.caps);
-            let p = node.execute(&entry.app, threads, cfg.policy, 1).performance();
+            let p = node
+                .execute(&entry.app, threads, cfg.policy, 1)
+                .performance();
             exhaustive_samples += 1;
             if p > best.1 {
                 best = (threads, p);

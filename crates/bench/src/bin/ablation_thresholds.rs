@@ -23,7 +23,11 @@ fn main() {
         .map(|entry| {
             let mut node = Node::haswell();
             let p = profiler.profile(&mut node, &entry.app);
-            (entry.app.name().to_string(), p.half_all_ratio(), entry.expected_class)
+            (
+                entry.app.name().to_string(),
+                p.half_all_ratio(),
+                entry.expected_class,
+            )
         })
         .collect();
 
@@ -36,8 +40,7 @@ fn main() {
             let mut correct = 0;
             let mut wrong = Vec::new();
             for (name, ratio, expected) in &measured {
-                let class =
-                    ScalabilityClass::from_ratio_with_thresholds(*ratio, lin_t, par_t);
+                let class = ScalabilityClass::from_ratio_with_thresholds(*ratio, lin_t, par_t);
                 if class == *expected {
                     correct += 1;
                 } else {
@@ -48,7 +51,11 @@ fn main() {
                 format!("{lin_t:.2}"),
                 format!("{par_t:.2}"),
                 format!("{correct}/10"),
-                if wrong.is_empty() { "-".to_string() } else { wrong.join(",") },
+                if wrong.is_empty() {
+                    "-".to_string()
+                } else {
+                    wrong.join(",")
+                },
             ]);
         }
     }

@@ -43,29 +43,40 @@ fn parse_args() -> Result<Args, String> {
     let mut i = 0;
     let value = |i: &mut usize| -> Result<String, String> {
         *i += 1;
-        argv.get(*i).cloned().ok_or_else(|| format!("missing value for {}", argv[*i - 1]))
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value for {}", argv[*i - 1]))
     };
     while i < argv.len() {
         match argv[i].as_str() {
             "--app" => args.app = Some(value(&mut i)?),
             "--budget" => {
-                args.budget_w =
-                    value(&mut i)?.parse().map_err(|e| format!("bad --budget: {e}"))?
+                args.budget_w = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --budget: {e}"))?
             }
             "--nodes" => {
-                args.nodes = value(&mut i)?.parse().map_err(|e| format!("bad --nodes: {e}"))?
+                args.nodes = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --nodes: {e}"))?
             }
             "--iterations" => {
-                args.iterations =
-                    value(&mut i)?.parse().map_err(|e| format!("bad --iterations: {e}"))?
+                args.iterations = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --iterations: {e}"))?
             }
             "--fixed-nodes" => {
-                args.fixed_nodes =
-                    Some(value(&mut i)?.parse().map_err(|e| format!("bad --fixed-nodes: {e}"))?)
+                args.fixed_nodes = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad --fixed-nodes: {e}"))?,
+                )
             }
             "--fixed-threads" => {
                 args.fixed_threads = Some(
-                    value(&mut i)?.parse().map_err(|e| format!("bad --fixed-threads: {e}"))?,
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad --fixed-threads: {e}"))?,
                 )
             }
             "--list" => args.list = true,
@@ -138,7 +149,11 @@ fn main() {
                 &mut cluster,
                 &app,
                 budget,
-                FixedLaunch { nodes: n, threads_per_node: t, policy: None },
+                FixedLaunch {
+                    nodes: n,
+                    threads_per_node: t,
+                    policy: None,
+                },
             )
         }
         (None, None) => {
@@ -182,7 +197,11 @@ fn main() {
     println!(
         "  budget        : {:.1} W ({})",
         args.budget_w,
-        if report.cluster_power <= budget { "respected" } else { "EXCEEDED" }
+        if report.cluster_power <= budget {
+            "respected"
+        } else {
+            "EXCEEDED"
+        }
     );
     println!("  imbalance     : {:.2}%", report.imbalance() * 100.0);
 }

@@ -43,13 +43,27 @@ fn main() {
         ("memory+compute", vec![suite::lu_mz(), suite::mini_md()]),
         (
             "four-way mix",
-            vec![suite::comd(), suite::sp_mz(), suite::lu_mz(), suite::tea_leaf()],
+            vec![
+                suite::comd(),
+                suite::sp_mz(),
+                suite::lu_mz(),
+                suite::tea_leaf(),
+            ],
         ),
     ];
 
     let mut table = Table::new(
         "Extension: multi-job power sharing vs equal share (8 nodes)",
-        &["mix", "budget (W)", "job", "nodes", "threads", "CLIP it/s", "equal it/s", "gain"],
+        &[
+            "mix",
+            "budget (W)",
+            "job",
+            "nodes",
+            "threads",
+            "CLIP it/s",
+            "equal it/s",
+            "gain",
+        ],
     );
     let mut all_gains = Vec::new();
 
@@ -58,9 +72,8 @@ fn main() {
             let budget = Power::watts(budget_w);
             let cluster = Cluster::homogeneous(8);
 
-            let mut sched = MultiJobScheduler::new(InflectionPredictor::train_default(
-                HARNESS_SEED,
-            ));
+            let mut sched =
+                MultiJobScheduler::new(InflectionPredictor::train_default(HARNESS_SEED));
             let mut planning = cluster.clone();
             let plans = sched.plan_concurrent(&mut planning, jobs, budget);
             let mut exec = cluster.clone();

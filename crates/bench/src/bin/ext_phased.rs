@@ -20,7 +20,13 @@ fn main() {
 
     let mut table = Table::new(
         "Extension: phase-aware concurrency (single node, no power bound)",
-        &["benchmark", "plan", "threads per phase", "perf (it/s)", "vs uniform"],
+        &[
+            "benchmark",
+            "plan",
+            "threads per phase",
+            "perf (it/s)",
+            "vs uniform",
+        ],
     );
 
     for app in [suite::bt_mz()] {

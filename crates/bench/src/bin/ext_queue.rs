@@ -48,7 +48,15 @@ fn main() {
 
     let mut table = Table::new(
         "Extension: CLIP queue dispatch (1500 W, 8 nodes)",
-        &["job", "arrive", "start", "finish", "nodes", "threads", "grant (W)"],
+        &[
+            "job",
+            "arrive",
+            "start",
+            "finish",
+            "nodes",
+            "threads",
+            "grant (W)",
+        ],
     );
     for o in &report.outcomes {
         table.row(&[
@@ -82,7 +90,12 @@ fn main() {
     println!();
     let mut summary = Table::new(
         "Queue summary",
-        &["dispatcher", "makespan (s)", "mean wait (s)", "mean turnaround (s)"],
+        &[
+            "dispatcher",
+            "makespan (s)",
+            "mean wait (s)",
+            "mean turnaround (s)",
+        ],
     );
     summary.row(&[
         "CLIP space-sharing".into(),

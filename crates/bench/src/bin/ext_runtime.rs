@@ -24,7 +24,11 @@ fn main() {
     for (nodes, threads) in [(8usize, 24usize), (4, 24), (8, 12), (6, 16)] {
         for budget_w in [900.0, 1400.0] {
             let budget = Power::watts(budget_w);
-            let launch = FixedLaunch { nodes, threads_per_node: threads, policy: None };
+            let launch = FixedLaunch {
+                nodes,
+                threads_per_node: threads,
+                policy: None,
+            };
 
             let mut rt = RuntimeCoordinator::new();
             let mut planning = cluster.clone();
@@ -49,8 +53,7 @@ fn main() {
                 ],
             };
             let mut exec = cluster.clone();
-            let naive =
-                execute_plan(&mut exec, &app, &naive_plan, EVAL_ITERATIONS).performance();
+            let naive = execute_plan(&mut exec, &app, &naive_plan, EVAL_ITERATIONS).performance();
 
             table.row(&[
                 format!("{nodes}n x {threads}t"),

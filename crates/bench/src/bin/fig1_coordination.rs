@@ -28,8 +28,7 @@ fn main() {
     for &dram in &DRAM_CAPS_W {
         let mut row = Vec::new();
         for &cores in &CORE_COUNTS {
-            let caps =
-                PowerCaps::new(Power::watts(NODE_BUDGET_W - dram), Power::watts(dram));
+            let caps = PowerCaps::new(Power::watts(NODE_BUDGET_W - dram), Power::watts(dram));
             cluster.node_mut(0).set_caps(caps);
             let perf = cluster
                 .node_mut(0)
@@ -54,15 +53,15 @@ fn main() {
     );
     for (i, &dram) in DRAM_CAPS_W.iter().enumerate() {
         let rel: Vec<f64> = perfs[i].iter().map(|p| p / worst).collect();
-        table.row_numeric(
-            &format!("{:.0}/{:.0}", NODE_BUDGET_W - dram, dram),
-            &rel,
-            3,
-        );
+        table.row_numeric(&format!("{:.0}/{:.0}", NODE_BUDGET_W - dram, dram), &rel, 3);
     }
     emit(&table);
 
-    let best = perfs.iter().flatten().copied().fold(f64::NEG_INFINITY, f64::max);
+    let best = perfs
+        .iter()
+        .flatten()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
     println!(
         "\nbest/worst spread: {:.2}x (paper reports coordination worth up to 1.75x)",
         best / worst

@@ -39,7 +39,9 @@ fn panel(title: &str, app: &AppModel) {
     // Baseline: 1 core at the lowest frequency (the paper's perf(1)).
     let mut node = Node::haswell();
     pin_frequency(&mut node, app, 1, FREQS_GHZ[0]);
-    let base = node.execute(app, 1, AffinityPolicy::Scatter, 1).performance();
+    let base = node
+        .execute(app, 1, AffinityPolicy::Scatter, 1)
+        .performance();
 
     for &cores in &CORES {
         let mut row = Vec::new();
@@ -56,10 +58,16 @@ fn panel(title: &str, app: &AppModel) {
 }
 
 fn main() {
-    panel("Figure 2a: linear (EP-like) speedup vs cores", &suite::ep_like());
+    panel(
+        "Figure 2a: linear (EP-like) speedup vs cores",
+        &suite::ep_like(),
+    );
     panel(
         "Figure 2b: logarithmic (STREAM-like) speedup vs cores",
         &suite::stream_like(),
     );
-    panel("Figure 2c: parabolic (SP-MZ) speedup vs cores", &suite::sp_mz());
+    panel(
+        "Figure 2c: parabolic (SP-MZ) speedup vs cores",
+        &suite::sp_mz(),
+    );
 }

@@ -15,7 +15,15 @@ use workload::corpus::training_corpus;
 fn main() {
     let mut table = Table::new(
         "MLR 4-fold cross-validation on the synthetic corpus",
-        &["corpus/class", "class", "samples", "MAE", "RMSE", "R2", "mean-baseline MAE"],
+        &[
+            "corpus/class",
+            "class",
+            "samples",
+            "MAE",
+            "RMSE",
+            "R2",
+            "mean-baseline MAE",
+        ],
     );
     for per_class in [8usize, 16, 32] {
         let corpus = training_corpus(HARNESS_SEED, per_class);

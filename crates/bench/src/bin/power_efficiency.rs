@@ -17,7 +17,13 @@ fn main() {
     let cluster = testbed();
     let mut table = Table::new(
         "Power efficiency at 1200 W: performance and energy per iteration",
-        &["benchmark", "method", "perf (it/s)", "energy/iter (kJ)", "EDP (kJ·s)"],
+        &[
+            "benchmark",
+            "method",
+            "perf (it/s)",
+            "energy/iter (kJ)",
+            "EDP (kJ·s)",
+        ],
     );
 
     let mut clip_wins_energy = 0usize;

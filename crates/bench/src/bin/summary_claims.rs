@@ -13,8 +13,7 @@
 //! per benchmark × budget).
 
 use clip_bench::{
-    allin_unbounded_reference, comparison_methods, emit, measure, oracle_performance,
-    testbed,
+    allin_unbounded_reference, comparison_methods, emit, measure, oracle_performance, testbed,
 };
 use simkit::stats::geomean;
 use simkit::table::Table;
@@ -30,7 +29,11 @@ fn main() {
 
     let mut table = Table::new(
         "Headline claims: CLIP vs best baseline and vs Oracle",
-        &["budget (W)", "geomean CLIP/best-baseline", "geomean CLIP/Oracle"],
+        &[
+            "budget (W)",
+            "geomean CLIP/best-baseline",
+            "geomean CLIP/Oracle",
+        ],
     );
 
     let mut low_budget_wins = Vec::new();
@@ -77,10 +80,7 @@ fn main() {
     );
 
     // Per-observation spot checks from §V-C.
-    let mut spot = Table::new(
-        "§V-C spot checks",
-        &["observation", "measured", "holds"],
-    );
+    let mut spot = Table::new("§V-C spot checks", &["observation", "measured", "holds"]);
     let budget = Power::watts(2000.0);
     let mut clip = clip_bench::clip_scheduler();
     let mut coord = baselines::Coordinated::new();
@@ -106,7 +106,12 @@ fn main() {
     let mut no_bound_ratio = Vec::new();
     for entry in &entries {
         let reference = allin_unbounded_reference(&cluster, &entry.app);
-        let c = measure(&mut clip, &cluster, &entry.app, clip_bench::unbounded_budget());
+        let c = measure(
+            &mut clip,
+            &cluster,
+            &entry.app,
+            clip_bench::unbounded_budget(),
+        );
         no_bound_ratio.push(c / reference);
     }
     let nb = geomean(&no_bound_ratio);

@@ -28,7 +28,12 @@ fn main() {
 
     let mut table = Table::new(
         "Table I: Haswell hardware events used in sample configurations for prediction",
-        &["Predictor", "Description", "sample (LU-MZ all-core)", "unit"],
+        &[
+            "Predictor",
+            "Description",
+            "sample (LU-MZ all-core)",
+            "unit",
+        ],
     );
     for (i, event) in HwEvent::ALL.iter().enumerate() {
         table.row(&[

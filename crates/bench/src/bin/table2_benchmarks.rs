@@ -15,7 +15,13 @@ use workload::suite::table2_suite;
 fn main() {
     let mut table = Table::new(
         "Table II: List of Benchmarks Used in This Study",
-        &["Benchmark", "Description", "Parameters", "Workload Pattern", "Scalability (measured)"],
+        &[
+            "Benchmark",
+            "Description",
+            "Parameters",
+            "Workload Pattern",
+            "Scalability (measured)",
+        ],
     );
     let profiler = SmartProfiler::default();
     for entry in table2_suite() {

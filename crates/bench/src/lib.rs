@@ -107,7 +107,10 @@ pub fn compare_suite(entries: &[BenchmarkEntry], budget: Power) -> Vec<Compariso
                 .iter_mut()
                 .map(|m| measure(m.as_mut(), &cluster, &entry.app, budget) / reference)
                 .collect();
-            ComparisonRow { app: entry.app.name().to_string(), relative }
+            ComparisonRow {
+                app: entry.app.name().to_string(),
+                relative,
+            }
         })
         .collect()
 }

@@ -41,7 +41,10 @@ impl Cluster {
             .iter()
             .map(|&e| Node::haswell_with_efficiency(e))
             .collect();
-        Self { nodes, efficiencies }
+        Self {
+            nodes,
+            efficiencies,
+        }
     }
 
     /// The paper's testbed: 8 nodes, near-homogeneous (σ = 3%).
@@ -92,13 +95,9 @@ impl Cluster {
     /// Node indices sorted most-efficient-first (lowest factor first) —
     /// the order a variability-aware scheduler prefers to activate them in.
     pub fn nodes_by_efficiency(&self) -> Vec<usize> {
-        let mut idx: Vec<usize> = (0..self.nodes.len()).collect();
-        idx.sort_by(|&a, &b| {
-            self.efficiencies[a]
-                .partial_cmp(&self.efficiencies[b])
-                .expect("finite efficiency factors")
-        });
-        idx
+        let mut ranked: Vec<(usize, f64)> = self.efficiencies.iter().copied().enumerate().collect();
+        ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
+        ranked.into_iter().map(|(i, _)| i).collect()
     }
 }
 

@@ -182,8 +182,7 @@ pub fn run_job(cluster: &mut Cluster, spec: &JobSpec<'_>) -> JobReport {
             };
             let pm = cluster.node(id).power_model();
             let sockets = cluster.node(id).topology().sockets() as f64;
-            let idle_power =
-                (pm.socket_idle + pm.dram_base) * sockets * pm.efficiency;
+            let idle_power = (pm.socket_idle + pm.dram_base) * sockets * pm.efficiency;
             let busy_power = report.avg_total_power();
             let avg_power = busy_power * busy_frac + idle_power * (1.0 - busy_frac);
             NodeOutcome {
@@ -277,27 +276,29 @@ mod tests {
         assert!(job.imbalance() < 1e-12);
         // Identical nodes wait only for communication, and equally so.
         let w0 = job.per_node[0].wait_fraction;
-        assert!(job.per_node.iter().all(|n| (n.wait_fraction - w0).abs() < 1e-12));
-        let comm_share = job.comm_time.as_secs() * job.iterations as f64
-            / job.total_time.as_secs();
+        assert!(job
+            .per_node
+            .iter()
+            .all(|n| (n.wait_fraction - w0).abs() < 1e-12));
+        let comm_share = job.comm_time.as_secs() * job.iterations as f64 / job.total_time.as_secs();
         assert!((w0 - comm_share).abs() < 1e-9);
     }
 
     #[test]
     fn variability_under_uniform_caps_creates_waits() {
-        let mut cluster =
-            Cluster::with_variability(4, &VariabilityModel::with_sigma(0.08), 3);
-        cluster.set_uniform_caps(PowerCaps::new(
-            Power::watts(160.0),
-            Power::watts(40.0),
-        ));
+        let mut cluster = Cluster::with_variability(4, &VariabilityModel::with_sigma(0.08), 3);
+        cluster.set_uniform_caps(PowerCaps::new(Power::watts(160.0), Power::watts(40.0)));
         let app = suite::comd();
         let job = run_job(
             &mut cluster,
             &JobSpec::on_first_nodes(&app, 4, 24, AffinityPolicy::Compact, 1),
         );
         assert!(job.imbalance() > 0.0, "imbalance {}", job.imbalance());
-        let waiting = job.per_node.iter().filter(|n| n.wait_fraction > 1e-6).count();
+        let waiting = job
+            .per_node
+            .iter()
+            .filter(|n| n.wait_fraction > 1e-6)
+            .count();
         assert!(waiting >= 1, "some node must wait at the barrier");
     }
 
@@ -316,12 +317,8 @@ mod tests {
 
     #[test]
     fn waiting_node_power_below_busy_power() {
-        let mut cluster =
-            Cluster::with_variability(2, &VariabilityModel::with_sigma(0.10), 11);
-        cluster.set_uniform_caps(PowerCaps::new(
-            Power::watts(150.0),
-            Power::watts(40.0),
-        ));
+        let mut cluster = Cluster::with_variability(2, &VariabilityModel::with_sigma(0.10), 11);
+        cluster.set_uniform_caps(PowerCaps::new(Power::watts(150.0), Power::watts(40.0)));
         let app = suite::comd();
         let job = run_job(
             &mut cluster,
@@ -377,9 +374,8 @@ mod tests {
         assert!((e - job.cluster_power.as_watts() * job.total_time.as_secs()).abs() < 1e-6);
         assert!((job.energy_per_iteration() - e / 5.0).abs() < 1e-9);
         assert!(
-            (job.edp_per_iteration()
-                - job.energy_per_iteration() * job.iteration_time.as_secs())
-            .abs()
+            (job.edp_per_iteration() - job.energy_per_iteration() * job.iteration_time.as_secs())
+                .abs()
                 < 1e-9
         );
     }

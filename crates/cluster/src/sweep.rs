@@ -4,11 +4,10 @@
 //! hundreds of (nodes, threads, power-split) configurations; each
 //! evaluation clones the cluster, so they are embarrassingly parallel.
 //! [`parallel_map`] fans the work out over a bounded number of OS threads
-//! with crossbeam's scoped threads (no `'static` bound on the closure) and
+//! with `std::thread::scope` (no `'static` bound on the closure) and
 //! returns results in input order.
 
-use crossbeam::thread;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Map `f` over `items` in parallel, preserving order. Falls back to a
 /// sequential loop for small inputs where spawning would dominate.
@@ -27,29 +26,40 @@ where
         .unwrap_or(4)
         .min(n);
 
-    // Work queue of (index, item); results gathered by index.
+    // Work queue of (index, item); results gathered by index. A poisoned
+    // lock means a worker panicked mid-item; propagate the panic rather
+    // than return a partial sweep.
     let queue = Mutex::new(items.into_iter().enumerate().collect::<Vec<_>>());
     let results = Mutex::new(Vec::with_capacity(n));
 
-    thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|_| loop {
-                let task = queue.lock().pop();
+            s.spawn(|| loop {
+                let task = lock_or_panic(&queue).pop();
                 match task {
                     Some((idx, item)) => {
                         let r = f(item);
-                        results.lock().push((idx, r));
+                        lock_or_panic(&results).push((idx, r));
                     }
                     None => break,
                 }
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
 
-    let mut out = results.into_inner();
+    let mut out = match results.into_inner() {
+        Ok(out) => out,
+        Err(poisoned) => poisoned.into_inner(),
+    };
     out.sort_by_key(|(idx, _)| *idx);
     out.into_iter().map(|(_, r)| r).collect()
+}
+
+fn lock_or_panic<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(_) => panic!("sweep worker panicked while holding the queue lock"),
+    }
 }
 
 #[cfg(test)]

@@ -1,8 +1,8 @@
 //! Property-based tests for the cluster simulator: job-report invariants
 //! across random fleets, caps, and decompositions.
 
-use proptest::prelude::*;
 use cluster_sim::{run_job, Cluster, JobSpec, VariabilityModel};
+use proptest::prelude::*;
 use simkit::{Power, SimRng};
 use simnode::{AffinityPolicy, PowerCaps};
 use workload::corpus;
@@ -114,5 +114,61 @@ proptest! {
         let j2 = run_job(&mut c2, &spec);
         prop_assert_eq!(j1.total_time, j2.total_time);
         prop_assert_eq!(j1.cluster_power, j2.cluster_power);
+    }
+}
+
+/// One shared predictor for the ledger properties (training dominates).
+fn predictor() -> &'static clip_core::InflectionPredictor {
+    use std::sync::OnceLock;
+    static PRED: OnceLock<clip_core::InflectionPredictor> = OnceLock::new();
+    PRED.get_or_init(|| clip_core::InflectionPredictor::train_default(5))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every scheduler's plan passes the budget-ledger audit: the summed
+    /// per-node caps stay within the cluster budget, for CLIP and all
+    /// three baselines, across random fleets, apps and budgets.
+    #[test]
+    fn ledger_accepts_every_schedulers_plan(
+        seed in any::<u64>(),
+        class_pick in 0u8..3,
+        n_nodes in 2usize..=8,
+        budget_w in 300.0f64..2400.0,
+        sigma in 0.0f64..0.08,
+    ) {
+        use baselines::{AllIn, Coordinated, LowerLimit};
+        use clip_core::{BudgetLedger, ClipScheduler, PowerScheduler};
+
+        let mut rng = SimRng::seed_from_u64(seed);
+        let app = match class_pick % 3 {
+            0 => corpus::gen_linear(&mut rng, 0),
+            1 => corpus::gen_logarithmic(&mut rng, 0),
+            _ => corpus::gen_parabolic(&mut rng, 0),
+        };
+        let budget = Power::watts(budget_w);
+        let mut schedulers: Vec<Box<dyn PowerScheduler>> = vec![
+            Box::new(AllIn),
+            Box::new(LowerLimit::default()),
+            Box::new(Coordinated::new()),
+            Box::new(ClipScheduler::new(predictor().clone())),
+        ];
+        for sched in schedulers.iter_mut() {
+            let mut cluster = Cluster::with_variability(
+                n_nodes,
+                &VariabilityModel::with_sigma(sigma),
+                seed,
+            );
+            let plan = sched.plan(&mut cluster, &app, budget);
+            let ledger = BudgetLedger::new(sched.name(), budget);
+            prop_assert!(
+                ledger.try_audit_plan(&plan).is_ok(),
+                "{}: {:?}", sched.name(), ledger.try_audit_plan(&plan)
+            );
+            prop_assert!(plan.within_budget(budget),
+                "{}: caps {} vs budget {}", sched.name(), plan.total_caps(), budget);
+            prop_assert_eq!(plan.caps.len(), plan.node_ids.len());
+        }
     }
 }

@@ -43,13 +43,18 @@ impl NodeBudgetRange {
     ) -> Self {
         let n_ref = match profile.class {
             ScalabilityClass::Linear => total_cores,
-            _ => perf_model.np().clamp(2, total_cores),
+            ScalabilityClass::Logarithmic | ScalabilityClass::Parabolic => {
+                perf_model.np().clamp(2, total_cores)
+            }
         };
         let bw = bandwidth_estimate(profile, n_ref);
         let lo = power_model.cpu_power(n_ref, power_model.f_min)
             + power_model.mem_power(bw * power_model.f_min / power_model.f_max);
         let hi = power_model.cpu_power(n_ref, power_model.f_max) + power_model.mem_power(bw);
-        Self { lo, hi: hi.max(lo + Power::watts(1.0)) }
+        Self {
+            lo,
+            hi: hi.max(lo + Power::watts(1.0)),
+        }
     }
 }
 
@@ -120,44 +125,51 @@ pub fn allocate_cluster(
     let preferred: Vec<usize> = if preferred.is_empty() {
         (1..=n_total).collect()
     } else {
-        preferred.iter().copied().filter(|&n| n <= n_total).collect()
+        preferred
+            .iter()
+            .copied()
+            .filter(|&n| n <= n_total)
+            .collect()
     };
     assert!(!preferred.is_empty(), "no usable node count");
-    let mut feasible: Vec<usize> = preferred
+    let feasible: Vec<usize> = preferred
         .iter()
         .copied()
         .filter(|&n| budget / n as f64 >= range.lo)
         .collect();
-    if feasible.is_empty() {
-        // Even one node is below the acceptable floor: run on the smallest
-        // decomposition anyway (the job must execute).
-        feasible.push(*preferred.first().expect("non-empty candidate set"));
-    }
+    // When even one node is below the acceptable floor, run on the
+    // smallest decomposition anyway (the job must execute).
+    let (first_n, rest) = match feasible.split_first() {
+        Some((&f, r)) => (f, r.to_vec()),
+        None => (preferred.first().copied().unwrap_or(1), Vec::new()),
+    };
 
-    let mut best: Option<ClusterAllocation> = None;
-    for n in feasible {
+    let evaluate = |n: usize| -> ClusterAllocation {
         let per_node = budget / n as f64;
-        let cfg =
-            recommend_node_config(profile, perf_model, power_model, per_node, total_cores);
+        let cfg = recommend_node_config(profile, perf_model, power_model, per_node, total_cores);
         // Strong scaling: per-node work is 1/n of the profiled problem, so
         // cluster performance scales as n / t_node(config).
         let score = n as f64 / cfg.predicted_time;
-        let candidate = ClusterAllocation { nodes: n, node_config: cfg, predicted_score: score };
-        let better = match &best {
-            None => true,
-            // Strictly better score wins; ties go to fewer nodes (less
-            // communication, which the node model cannot see).
-            Some(b) => {
-                candidate.predicted_score > b.predicted_score * 1.0001
-                    || (candidate.predicted_score > b.predicted_score * 0.9999
-                        && candidate.nodes < b.nodes)
-            }
-        };
+        ClusterAllocation {
+            nodes: n,
+            node_config: cfg,
+            predicted_score: score,
+        }
+    };
+
+    let mut best = evaluate(first_n);
+    for n in rest {
+        let candidate = evaluate(n);
+        // Strictly better score wins; ties go to fewer nodes (less
+        // communication, which the node model cannot see).
+        let better = candidate.predicted_score > best.predicted_score * 1.0001
+            || (candidate.predicted_score > best.predicted_score * 0.9999
+                && candidate.nodes < best.nodes);
         if better {
-            best = Some(candidate);
+            best = candidate;
         }
     }
-    best.expect("at least one feasible node count")
+    best
 }
 
 #[cfg(test)]
@@ -195,20 +207,29 @@ mod tests {
 
     #[test]
     fn algorithm1_generous_budget_uses_all_nodes() {
-        let range = NodeBudgetRange { lo: Power::watts(100.0), hi: Power::watts(250.0) };
+        let range = NodeBudgetRange {
+            lo: Power::watts(100.0),
+            hi: Power::watts(250.0),
+        };
         assert_eq!(choose_node_count(Power::watts(5000.0), 8, &range, &[]), 8);
     }
 
     #[test]
     fn algorithm1_tight_budget_drops_nodes() {
-        let range = NodeBudgetRange { lo: Power::watts(100.0), hi: Power::watts(250.0) };
+        let range = NodeBudgetRange {
+            lo: Power::watts(100.0),
+            hi: Power::watts(250.0),
+        };
         assert_eq!(choose_node_count(Power::watts(1000.0), 8, &range, &[]), 4);
         assert_eq!(choose_node_count(Power::watts(50.0), 8, &range, &[]), 1);
     }
 
     #[test]
     fn algorithm1_respects_decomposition_counts() {
-        let range = NodeBudgetRange { lo: Power::watts(100.0), hi: Power::watts(250.0) };
+        let range = NodeBudgetRange {
+            lo: Power::watts(100.0),
+            hi: Power::watts(250.0),
+        };
         // budget/lo = 7.0 → largest preferred ≤ 7 is 4.
         let n = choose_node_count(Power::watts(700.0), 8, &range, &[1, 2, 4, 8]);
         assert_eq!(n, 4);

@@ -18,9 +18,11 @@ use workload::suite;
 /// identical compute-bound probe uncapped and compare package powers.
 /// Returns mean-normalized factors (1.0 = average node).
 pub fn measure_efficiencies(cluster: &mut Cluster, node_ids: &[usize]) -> Vec<f64> {
-    assert!(!node_ids.is_empty(), "need at least one node to measure");
+    let Some(&first_id) = node_ids.first() else {
+        return Vec::new();
+    };
     let probe = suite::ep_like();
-    let threads = cluster.node(node_ids[0]).topology().total_cores();
+    let threads = cluster.node(first_id).topology().total_cores();
     let mut powers = Vec::with_capacity(node_ids.len());
     for &id in node_ids {
         let node = cluster.node_mut(id);
@@ -43,11 +45,7 @@ pub fn spread(factors: &[f64]) -> f64 {
 /// factors when the spread exceeds `threshold`; otherwise return the
 /// uniform caps unchanged. DRAM caps are not shifted (DRAM power does not
 /// vary with core process variation). The sum of CPU caps is preserved.
-pub fn coordinate_caps(
-    uniform: PowerCaps,
-    factors: &[f64],
-    threshold: f64,
-) -> Vec<PowerCaps> {
+pub fn coordinate_caps(uniform: PowerCaps, factors: &[f64], threshold: f64) -> Vec<PowerCaps> {
     assert!(!factors.is_empty());
     assert!(threshold >= 0.0);
     if spread(factors) <= threshold {
@@ -77,8 +75,7 @@ mod tests {
 
     #[test]
     fn measurement_recovers_true_ordering() {
-        let mut cluster =
-            Cluster::with_variability(6, &VariabilityModel::with_sigma(0.08), 17);
+        let mut cluster = Cluster::with_variability(6, &VariabilityModel::with_sigma(0.08), 17);
         let ids: Vec<usize> = (0..6).collect();
         let measured = measure_efficiencies(&mut cluster, &ids);
         let truth = cluster.efficiencies().to_vec();
@@ -120,8 +117,7 @@ mod tests {
     fn coordination_equalizes_frequencies() {
         // The point of the exercise: after coordination, a leaky and a
         // thrifty node land on (nearly) the same P-state.
-        let mut cluster =
-            Cluster::with_variability(2, &VariabilityModel::with_sigma(0.10), 23);
+        let mut cluster = Cluster::with_variability(2, &VariabilityModel::with_sigma(0.10), 23);
         let uniform = PowerCaps::new(Power::watts(150.0), Power::watts(40.0));
         let probe = suite::ep_like();
 

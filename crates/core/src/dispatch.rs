@@ -108,7 +108,11 @@ struct Running {
 impl Dispatcher {
     /// New dispatcher over a shared budget.
     pub fn new(scheduler: ClipScheduler, budget: Power) -> Self {
-        Self { scheduler, budget, backfill: false }
+        Self {
+            scheduler,
+            budget,
+            backfill: false,
+        }
     }
 
     /// Trim a plan's caps to what the job can actually draw: stranded
@@ -120,8 +124,7 @@ impl Dispatcher {
             return;
         };
         let pm = FittedPowerModel::fit(&record.profile);
-        let cpu_need =
-            pm.cpu_power(plan.threads_per_node, pm.f_max) * 1.10 + Power::watts(2.0);
+        let cpu_need = pm.cpu_power(plan.threads_per_node, pm.f_max) * 1.10 + Power::watts(2.0);
         for caps in &mut plan.caps {
             *caps = simnode::PowerCaps::new(caps.cpu.min(cpu_need), caps.dram);
         }
@@ -163,12 +166,9 @@ impl Dispatcher {
                     break; // nothing can start until something finishes
                 }
                 let job = &jobs[job_idx];
-                let mut plan = self.scheduler.plan_constrained(
-                    cluster,
-                    &job.app,
-                    free_power,
-                    &free_nodes,
-                );
+                let mut plan =
+                    self.scheduler
+                        .plan_constrained(cluster, &job.app, free_power, &free_nodes);
                 debug_assert!(plan.within_budget(free_power));
                 self.trim_grant(&mut plan, &job.app);
                 // A plan always fits by construction; start the job.
@@ -213,7 +213,7 @@ impl Dispatcher {
             running.retain(|r| r.finish > now);
         }
 
-        outcomes.sort_by(|a, b| a.finish.partial_cmp(&b.finish).expect("finite"));
+        outcomes.sort_by(|a, b| a.finish.as_secs().total_cmp(&b.finish.as_secs()));
         let makespan = outcomes
             .iter()
             .map(|o| o.finish)
@@ -236,7 +236,11 @@ mod tests {
 
     fn batch(apps: Vec<AppModel>) -> Vec<QueuedJob> {
         apps.into_iter()
-            .map(|app| QueuedJob { app, arrival: TimeSpan::ZERO, iterations: 3 })
+            .map(|app| QueuedJob {
+                app,
+                arrival: TimeSpan::ZERO,
+                iterations: 3,
+            })
             .collect()
     }
 
@@ -290,8 +294,16 @@ mod tests {
         let mut cluster = Cluster::homogeneous(2);
         // Two all-machine jobs back to back: the second must queue.
         let jobs = vec![
-            QueuedJob { app: suite::comd(), arrival: TimeSpan::ZERO, iterations: 4 },
-            QueuedJob { app: suite::mini_md(), arrival: TimeSpan::secs(0.1), iterations: 2 },
+            QueuedJob {
+                app: suite::comd(),
+                arrival: TimeSpan::ZERO,
+                iterations: 4,
+            },
+            QueuedJob {
+                app: suite::mini_md(),
+                arrival: TimeSpan::secs(0.1),
+                iterations: 2,
+            },
         ];
         let report = dispatcher(520.0).run(&mut cluster, &jobs);
         let second = report
@@ -321,8 +333,16 @@ mod tests {
     fn arrival_order_enforced() {
         let mut cluster = Cluster::homogeneous(4);
         let jobs = vec![
-            QueuedJob { app: suite::comd(), arrival: TimeSpan::secs(5.0), iterations: 1 },
-            QueuedJob { app: suite::amg(), arrival: TimeSpan::ZERO, iterations: 1 },
+            QueuedJob {
+                app: suite::comd(),
+                arrival: TimeSpan::secs(5.0),
+                iterations: 1,
+            },
+            QueuedJob {
+                app: suite::amg(),
+                arrival: TimeSpan::ZERO,
+                iterations: 1,
+            },
         ];
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             dispatcher(1000.0).run(&mut cluster, &jobs)

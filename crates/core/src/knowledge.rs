@@ -134,9 +134,7 @@ mod tests {
         assert_eq!(r.profile.class, workload::ScalabilityClass::Parabolic);
         // Measurements survive the round trip.
         let orig = db.get("SP-MZ").unwrap();
-        assert!(
-            (r.profile.half_all_ratio() - orig.profile.half_all_ratio()).abs() < 1e-12
-        );
+        assert!((r.profile.half_all_ratio() - orig.profile.half_all_ratio()).abs() < 1e-12);
     }
 
     #[test]

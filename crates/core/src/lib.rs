@@ -37,6 +37,7 @@
 //! scenario of §VI, driven by CLIP's models).
 
 pub mod allocate;
+pub mod audit;
 pub mod coordinate;
 pub mod dispatch;
 pub mod knowledge;
@@ -54,10 +55,11 @@ pub mod tools;
 pub mod validate;
 
 pub use allocate::{choose_node_count, NodeBudgetRange};
-pub use dispatch::{Dispatcher, DispatchReport, QueuedJob};
+pub use audit::BudgetLedger;
+pub use dispatch::{DispatchReport, Dispatcher, QueuedJob};
 pub use knowledge::KnowledgeDb;
-pub use multijob::{execute_concurrent, MultiJobScheduler};
 pub use mlr::InflectionPredictor;
+pub use multijob::{execute_concurrent, MultiJobScheduler};
 pub use perfmodel::NodePerfModel;
 pub use powerfit::FittedPowerModel;
 pub use profile::{ProfileData, SampleRun, SmartProfiler};

@@ -81,10 +81,7 @@ impl InflectionPredictor {
     /// model on a fresh nominal node, extracts the actual inflection point
     /// by exhaustive sweep, and fits one MLR per non-linear class (the
     /// measured class decides membership, as in the paper's pipeline).
-    pub fn train(
-        corpus: &[(AppModel, ScalabilityClass)],
-        profiler: &SmartProfiler,
-    ) -> Self {
+    pub fn train(corpus: &[(AppModel, ScalabilityClass)], profiler: &SmartProfiler) -> Self {
         let total_cores = Node::haswell().topology().total_cores();
         let mut log_rows = Vec::new();
         let mut log_np = Vec::new();
@@ -173,13 +170,13 @@ pub fn actual_inflection(
     match class {
         ScalabilityClass::Linear => total,
         ScalabilityClass::Parabolic => {
-            perfs
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite perf"))
-                .expect("non-empty sweep")
-                .0
-                + 1
+            let mut best = (0usize, f64::NEG_INFINITY);
+            for (i, &p) in perfs.iter().enumerate() {
+                if p.total_cmp(&best.1).is_gt() {
+                    best = (i, p);
+                }
+            }
+            best.0 + 1
         }
         ScalabilityClass::Logarithmic => {
             let xs: Vec<f64> = (1..=total).map(|n| n as f64).collect();
@@ -248,7 +245,7 @@ mod tests {
         for entry in suite::table2_suite() {
             let (p, _) = profile_on_fresh_node(&entry.app);
             let np = pred.predict(&p);
-            assert!(np >= 2 && np <= 24, "{}: {np}", entry.app.name());
+            assert!((2..=24).contains(&np), "{}: {np}", entry.app.name());
             assert_eq!(np % 2, 0, "{}: {np} not even", entry.app.name());
         }
     }
@@ -269,7 +266,10 @@ mod tests {
             let raw = pred.predict_raw(&p);
             errs.push((raw - actual).abs());
         }
-        assert!(!errs.is_empty(), "held-out corpus must contain non-linear apps");
+        assert!(
+            !errs.is_empty(),
+            "held-out corpus must contain non-linear apps"
+        );
         let mae = simkit::stats::mean(&errs);
         assert!(mae < 4.0, "held-out MAE {mae:.2}");
     }

@@ -42,7 +42,11 @@ pub struct MultiJobScheduler {
 impl MultiJobScheduler {
     /// Build with a trained inflection predictor.
     pub fn new(predictor: InflectionPredictor) -> Self {
-        Self { profiler: SmartProfiler::default(), predictor, db: KnowledgeDb::new() }
+        Self {
+            profiler: SmartProfiler::default(),
+            predictor,
+            db: KnowledgeDb::new(),
+        }
     }
 
     fn models_for(&mut self, cluster: &mut Cluster, app: &AppModel) -> JobModels {
@@ -62,7 +66,11 @@ impl MultiJobScheduler {
         };
         let perf = NodePerfModel::from_profile(&record.profile, record.np);
         let power = FittedPowerModel::fit(&record.profile);
-        JobModels { record, perf, power }
+        JobModels {
+            record,
+            perf,
+            power,
+        }
     }
 
     /// Predicted relative throughput of one job given `nodes` at `per_node`
@@ -248,8 +256,7 @@ mod tests {
         let mut cluster = Cluster::homogeneous(8);
         // CoMD scales linearly; SP-MZ is parabolic with a per-node optimum.
         let jobs = vec![suite::comd(), suite::sp_mz()];
-        let plans =
-            scheduler().plan_concurrent(&mut cluster, &jobs, Power::watts(1800.0));
+        let plans = scheduler().plan_concurrent(&mut cluster, &jobs, Power::watts(1800.0));
         assert!(
             plans[0].nodes() >= plans[1].nodes(),
             "CoMD {} vs SP-MZ {}",
@@ -330,8 +337,7 @@ mod tests {
     fn overlapping_plans_rejected() {
         let mut cluster = Cluster::homogeneous(4);
         let jobs = vec![suite::comd(), suite::amg()];
-        let mut plans =
-            scheduler().plan_concurrent(&mut cluster, &jobs, Power::watts(900.0));
+        let mut plans = scheduler().plan_concurrent(&mut cluster, &jobs, Power::watts(900.0));
         plans[1].node_ids = plans[0].node_ids.clone();
         execute_concurrent(&mut cluster, &jobs, &plans, 1);
     }

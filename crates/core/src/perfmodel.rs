@@ -117,7 +117,10 @@ impl NodePerfModel {
 
     /// Predicted iteration time at `threads` and frequency `f_ghz`.
     pub fn predict_time(&self, threads: usize, f_ghz: f64) -> f64 {
-        assert!(threads >= 1 && threads <= self.n_all, "threads out of range");
+        assert!(
+            threads >= 1 && threads <= self.n_all,
+            "threads out of range"
+        );
         assert!(f_ghz > 0.0, "frequency must be positive");
         let t_ref = self.time_at_ref_freq(threads);
         // Split into frequency-elastic and saturated shares.
@@ -177,15 +180,16 @@ fn fit_parabolic(anchors: &[(f64, f64); 3]) -> Option<(f64, f64, f64)> {
     }
     let sol = match unique.len() {
         3 => {
-            let rows: Vec<Vec<f64>> =
-                unique.iter().map(|&(n, _)| vec![1.0 / n, n * n, 1.0]).collect();
+            let rows: Vec<Vec<f64>> = unique
+                .iter()
+                .map(|&(n, _)| vec![1.0 / n, n * n, 1.0])
+                .collect();
             let ys: Vec<f64> = unique.iter().map(|&(_, t)| t).collect();
             simkit::Matrix::from_rows(&rows).solve(&ys)?
         }
         2 => {
             // Two distinct anchors: drop the constant term.
-            let rows: Vec<Vec<f64>> =
-                unique.iter().map(|&(n, _)| vec![1.0 / n, n * n]).collect();
+            let rows: Vec<Vec<f64>> = unique.iter().map(|&(n, _)| vec![1.0 / n, n * n]).collect();
             let ys: Vec<f64> = unique.iter().map(|&(_, t)| t).collect();
             let mut s = simkit::Matrix::from_rows(&rows).solve(&ys)?;
             s.push(0.0);
@@ -219,8 +223,8 @@ mod tests {
     use super::*;
     use crate::mlr::actual_inflection;
     use crate::profile::SmartProfiler;
-    use simnode::{Node, PowerCaps};
     use simkit::Power;
+    use simnode::{Node, PowerCaps};
     use workload::{suite, AppModel};
 
     fn model_for(app: &AppModel) -> (NodePerfModel, ProfileData, Node) {

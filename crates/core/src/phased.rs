@@ -38,11 +38,8 @@ pub fn recommend_phase_plan(
         .iter()
         .enumerate()
         .map(|(i, phase)| {
-            let single = AppModel::new(
-                format!("{}#p{}", app.name(), i),
-                vec![phase.clone()],
-            )
-            .with_odd_penalty(app.odd_penalty());
+            let single = AppModel::new(format!("{}#p{}", app.name(), i), vec![phase.clone()])
+                .with_odd_penalty(app.odd_penalty());
             let mut profile = profiler.profile(node, &single);
             if profile.class == ScalabilityClass::Linear {
                 return total;
@@ -53,24 +50,21 @@ pub fn recommend_phase_plan(
             // all cores — actually performed best.
             let np = predictor.predict(&profile);
             profiler.sample_at(node, &single, &mut profile, np);
-            let np_perf = profile
-                .np_sample
-                .as_ref()
-                .expect("sample attached")
-                .report
-                .performance();
             let half_perf = profile.half_core.report.performance();
             let all_perf = profile.all_core.report.performance();
-            let candidates = [
-                (np, np_perf),
-                (profile.half_core.threads, half_perf),
-                (total, all_perf),
-            ];
-            candidates
-                .into_iter()
-                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
-                .expect("non-empty")
-                .0
+            let mut best = (profile.half_core.threads, half_perf);
+            if all_perf.total_cmp(&best.1).is_ge() {
+                best = (total, all_perf);
+            }
+            // `sample_at` attaches the sample; if it ever did not, the
+            // half/all measurements above still decide.
+            if let Some(sample) = profile.np_sample.as_ref() {
+                let np_perf = sample.report.performance();
+                if np_perf.total_cmp(&best.1).is_gt() {
+                    best = (np, np_perf);
+                }
+            }
+            best.0
         })
         .collect();
 
@@ -87,16 +81,16 @@ pub fn exhaustive_phase_plan(node: &mut Node, app: &AppModel) -> PhasePlan {
         .iter()
         .enumerate()
         .map(|(i, phase)| {
-            let single = AppModel::new(
-                format!("{}#p{}", app.name(), i),
-                vec![phase.clone()],
-            )
-            .with_odd_penalty(app.odd_penalty());
-            (1..=node.topology().total_cores())
-                .map(|n| (n, node.execute(&single, n, policy, 1).performance()))
-                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
-                .expect("non-empty")
-                .0
+            let single = AppModel::new(format!("{}#p{}", app.name(), i), vec![phase.clone()])
+                .with_odd_penalty(app.odd_penalty());
+            let mut best = (1usize, node.execute(&single, 1, policy, 1).performance());
+            for n in 2..=node.topology().total_cores() {
+                let perf = node.execute(&single, n, policy, 1).performance();
+                if perf.total_cmp(&best.1).is_gt() {
+                    best = (n, perf);
+                }
+            }
+            best.0
         })
         .collect();
     PhasePlan { threads, policy }
@@ -105,8 +99,8 @@ pub fn exhaustive_phase_plan(node: &mut Node, app: &AppModel) -> PhasePlan {
 /// Convenience: the inflection point of a single phase, via sweep.
 pub fn phase_inflection(node: &mut Node, app: &AppModel, phase_idx: usize) -> usize {
     let phase = &app.phases()[phase_idx];
-    let single = AppModel::new("phase-probe", vec![phase.clone()])
-        .with_odd_penalty(app.odd_penalty());
+    let single =
+        AppModel::new("phase-probe", vec![phase.clone()]).with_odd_penalty(app.odd_penalty());
     let profile = SmartProfiler::default().profile(node, &single);
     actual_inflection(node, &single, profile.policy, profile.class)
 }
@@ -123,8 +117,12 @@ mod tests {
     #[test]
     fn bt_mz_gets_heterogeneous_counts() {
         let mut node = Node::haswell();
-        let plan =
-            recommend_phase_plan(&mut node, &suite::bt_mz(), &SmartProfiler::default(), &predictor());
+        let plan = recommend_phase_plan(
+            &mut node,
+            &suite::bt_mz(),
+            &SmartProfiler::default(),
+            &predictor(),
+        );
         assert_eq!(plan.threads.len(), 2);
         assert_eq!(plan.threads[0], 24, "solve phase scales — all cores");
         assert!(
@@ -138,16 +136,10 @@ mod tests {
     fn phased_plan_beats_uniform_for_bt_mz() {
         let mut node = Node::haswell();
         let app = suite::bt_mz();
-        let plan =
-            recommend_phase_plan(&mut node, &app, &SmartProfiler::default(), &predictor());
+        let plan = recommend_phase_plan(&mut node, &app, &SmartProfiler::default(), &predictor());
         let tuned = execute_phased(&mut node, &app, &plan, 1).performance();
-        let uniform = execute_phased(
-            &mut node,
-            &app,
-            &WPhasePlan::uniform(2, 24, plan.policy),
-            1,
-        )
-        .performance();
+        let uniform = execute_phased(&mut node, &app, &WPhasePlan::uniform(2, 24, plan.policy), 1)
+            .performance();
         assert!(
             tuned > uniform * 1.03,
             "phase-aware {tuned:.4} vs uniform {uniform:.4}"
@@ -171,8 +163,12 @@ mod tests {
     #[test]
     fn single_phase_apps_reduce_to_class_rule() {
         let mut node = Node::haswell();
-        let plan =
-            recommend_phase_plan(&mut node, &suite::comd(), &SmartProfiler::default(), &predictor());
+        let plan = recommend_phase_plan(
+            &mut node,
+            &suite::comd(),
+            &SmartProfiler::default(),
+            &predictor(),
+        );
         assert_eq!(plan.threads, vec![24]);
     }
 

@@ -78,7 +78,15 @@ impl FittedPowerModel {
         ];
         let (mem_base, mem_slope) = fit_dram_line(&samples);
 
-        Self { base, c0, c1, mem_base, mem_slope, f_min: f_low, f_max }
+        Self {
+            base,
+            c0,
+            c1,
+            mem_base,
+            mem_slope,
+            f_min: f_low,
+            f_max,
+        }
     }
 
     /// Predicted CPU (package) power at `threads` cores and `f_ghz`.
@@ -95,7 +103,8 @@ impl FittedPowerModel {
     /// clamped to the observed frequency range.
     pub fn freq_for_budget(&self, threads: usize, cpu_budget: Power) -> f64 {
         let n = threads as f64;
-        let dyn_budget = (cpu_budget.as_watts() - self.base - n * self.c0) / (n * self.c1.max(1e-9));
+        let dyn_budget =
+            (cpu_budget.as_watts() - self.base - n * self.c0) / (n * self.c1.max(1e-9));
         if dyn_budget <= 0.0 {
             return self.f_min;
         }
@@ -116,8 +125,7 @@ impl FittedPowerModel {
         }
         let static_part = self.base + n * self.c0;
         let dyn_fmin = (n * self.c1 * self.f_min.powi(3)).max(1e-9);
-        let duty =
-            ((cpu_budget.as_watts() - static_part) / dyn_fmin).clamp(0.02, 1.0);
+        let duty = ((cpu_budget.as_watts() - static_part) / dyn_fmin).clamp(0.02, 1.0);
         self.f_min * duty
     }
 
@@ -175,7 +183,9 @@ mod tests {
         let p = SmartProfiler::default().profile(&mut node, &app);
         let fit = FittedPowerModel::fit(&p);
         let measured = p.all_core.report.avg_pkg_power.as_watts();
-        let predicted = fit.cpu_power(24, p.all_core.report.op.frequency().as_ghz()).as_watts();
+        let predicted = fit
+            .cpu_power(24, p.all_core.report.op.frequency().as_ghz())
+            .as_watts();
         assert!(
             (predicted - measured).abs() / measured < 0.02,
             "predicted {predicted:.1} vs measured {measured:.1}"
@@ -205,10 +215,16 @@ mod tests {
         let p = SmartProfiler::default().profile(&mut node, &app);
         let fit = FittedPowerModel::fit(&p);
         // Cap the node so it lands on an intermediate P-state.
-        node.set_caps(simnode::PowerCaps::new(Power::watts(170.0), Power::watts(60.0)));
+        node.set_caps(simnode::PowerCaps::new(
+            Power::watts(170.0),
+            Power::watts(60.0),
+        ));
         let r = node.execute(&app, 24, p.policy, 1);
         let f = r.op.frequency().as_ghz();
-        assert!(f > fit.f_min && f < fit.f_max, "intermediate state, got {f}");
+        assert!(
+            f > fit.f_min && f < fit.f_max,
+            "intermediate state, got {f}"
+        );
         let predicted = fit.cpu_power(24, f).as_watts();
         let measured = r.avg_pkg_power.as_watts();
         assert!(

@@ -109,7 +109,10 @@ pub struct SmartProfiler {
 
 impl Default for SmartProfiler {
     fn default() -> Self {
-        Self { iterations: 3, scatter_threshold: 0.8 }
+        Self {
+            iterations: 3,
+            scatter_threshold: 0.8,
+        }
     }
 }
 
@@ -214,7 +217,12 @@ impl SmartProfiler {
             let report = node.execute(app, threads, policy, self.iterations);
             let freq = report.op.frequency();
             if freq <= f_min {
-                return SampleRun { threads, policy, caps, report };
+                return SampleRun {
+                    threads,
+                    policy,
+                    caps,
+                    report,
+                };
             }
             cap -= Power::watts(5.0);
             assert!(

@@ -42,18 +42,28 @@ pub fn best_breakpoint(xs: &[f64], ys: &[f64], min_seg: usize) -> PiecewiseFit {
     assert!(min_seg >= 2, "segments need ≥2 points");
     assert!(n >= 2 * min_seg, "need at least {} points", 2 * min_seg);
 
-    let mut best: Option<PiecewiseFit> = None;
     // The breakpoint sample belongs to both segments (the segments join).
-    for k in (min_seg - 1)..=(n - min_seg) {
+    // The candidate range is non-empty because `n >= 2 * min_seg`.
+    let evaluate = |k: usize| -> PiecewiseFit {
         let left = linear_fit(&xs[..=k], &ys[..=k]);
         let right = linear_fit(&xs[k..], &ys[k..]);
-        let sse = segment_sse(&xs[..=k], &ys[..=k], &left)
-            + segment_sse(&xs[k..], &ys[k..], &right);
-        if best.as_ref().is_none_or(|b| sse < b.sse) {
-            best = Some(PiecewiseFit { break_index: k, left, right, sse });
+        let sse =
+            segment_sse(&xs[..=k], &ys[..=k], &left) + segment_sse(&xs[k..], &ys[k..], &right);
+        PiecewiseFit {
+            break_index: k,
+            left,
+            right,
+            sse,
+        }
+    };
+    let mut best = evaluate(min_seg - 1);
+    for k in min_seg..=(n - min_seg) {
+        let candidate = evaluate(k);
+        if candidate.sse.total_cmp(&best.sse).is_lt() {
+            best = candidate;
         }
     }
-    best.expect("at least one breakpoint candidate")
+    best
 }
 
 #[cfg(test)]
@@ -66,7 +76,13 @@ mod tests {
         let xs: Vec<f64> = (1..=24).map(|i| i as f64).collect();
         let ys: Vec<f64> = xs
             .iter()
-            .map(|&x| if x <= 10.0 { x } else { 10.0 + 0.2 * (x - 10.0) })
+            .map(|&x| {
+                if x <= 10.0 {
+                    x
+                } else {
+                    10.0 + 0.2 * (x - 10.0)
+                }
+            })
             .collect();
         let fit = best_breakpoint(&xs, &ys, 3);
         let bp = xs[fit.break_index];
@@ -82,7 +98,13 @@ mod tests {
         let xs: Vec<f64> = (1..=24).map(|i| i as f64).collect();
         let ys: Vec<f64> = xs
             .iter()
-            .map(|&x| if x <= 12.0 { x } else { 12.0 - 0.8 * (x - 12.0) })
+            .map(|&x| {
+                if x <= 12.0 {
+                    x
+                } else {
+                    12.0 - 0.8 * (x - 12.0)
+                }
+            })
             .collect();
         let fit = best_breakpoint(&xs, &ys, 3);
         assert!((xs[fit.break_index] - 12.0).abs() <= 1.0);
@@ -107,7 +129,11 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, &x)| {
-                let base = if x <= 14.0 { x } else { 14.0 + 0.1 * (x - 14.0) };
+                let base = if x <= 14.0 {
+                    x
+                } else {
+                    14.0 + 0.1 * (x - 14.0)
+                };
                 base + 0.05 * ((i * 2654435761) % 7) as f64 / 7.0
             })
             .collect();

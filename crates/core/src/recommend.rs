@@ -159,43 +159,46 @@ pub fn recommend_node_config(
 ) -> NodeConfig {
     assert!(node_budget.as_watts() > 0.0, "budget must be positive");
     let np = perf_model.np().clamp(2, total_cores);
-    let candidates: Vec<usize> = match profile.class {
-        ScalabilityClass::Linear => vec![total_cores],
+    // The candidate set is (first, rest) so it is non-empty by
+    // construction and no "never empty" escape hatch is needed at the end.
+    let (first, rest): (usize, Vec<usize>) = match profile.class {
+        ScalabilityClass::Linear => (total_cores, Vec::new()),
         ScalabilityClass::Logarithmic => {
-            let lo = (np / 2) * 2;
-            let mut v: Vec<usize> = (lo.max(2)..=total_cores).step_by(2).collect();
-            if !v.contains(&total_cores) {
+            let lo = ((np / 2) * 2).max(2);
+            let mut v: Vec<usize> = (lo..=total_cores).step_by(2).skip(1).collect();
+            if lo != total_cores && !v.contains(&total_cores) {
                 v.push(total_cores);
             }
-            v
+            (lo, v)
         }
         ScalabilityClass::Parabolic => {
-            let hi = (np / 2) * 2;
-            (2..=hi.max(2)).step_by(2).collect()
+            let hi = ((np / 2) * 2).max(2);
+            (2, (4..=hi).step_by(2).collect())
         }
     };
 
-    let mut best: Option<NodeConfig> = None;
-    for threads in candidates {
+    let evaluate = |threads: usize| -> NodeConfig {
         let bw = bandwidth_estimate(profile, threads);
         let saturated = is_bandwidth_saturated(profile);
         let split = split_node_budget(power_model, bw, saturated, threads, node_budget);
         let time = perf_model.predict_time(threads, split.freq);
-        let cfg = NodeConfig {
+        NodeConfig {
             threads,
             policy: profile.policy,
             caps: split.caps,
             predicted_freq: split.freq,
             predicted_time: time,
-        };
-        if best
-            .as_ref()
-            .is_none_or(|b| cfg.predicted_time < b.predicted_time)
-        {
-            best = Some(cfg);
+        }
+    };
+
+    let mut best = evaluate(first);
+    for threads in rest {
+        let cfg = evaluate(threads);
+        if cfg.predicted_time.total_cmp(&best.predicted_time).is_lt() {
+            best = cfg;
         }
     }
-    best.expect("candidate set is never empty")
+    best
 }
 
 #[cfg(test)]
@@ -232,7 +235,12 @@ mod tests {
     fn parabolic_app_capped_at_np() {
         let (p, perf, pw) = setup(&suite::sp_mz());
         let cfg = recommend_node_config(&p, &perf, &pw, Power::watts(280.0), 24);
-        assert!(cfg.threads <= perf.np(), "threads {} np {}", cfg.threads, perf.np());
+        assert!(
+            cfg.threads <= perf.np(),
+            "threads {} np {}",
+            cfg.threads,
+            perf.np()
+        );
         assert!(cfg.threads >= perf.np().saturating_sub(4));
     }
 

@@ -11,6 +11,7 @@
 //! The runtime reuses CLIP's profile → fitted-models machinery but pins the
 //! node and thread counts to the launch specification.
 
+use crate::audit::BudgetLedger;
 use crate::coordinate;
 use crate::knowledge::{KnowledgeDb, KnowledgeRecord};
 use crate::powerfit::FittedPowerModel;
@@ -76,7 +77,10 @@ impl RuntimeCoordinator {
         budget: Power,
         launch: FixedLaunch,
     ) -> SchedulePlan {
-        assert!(launch.nodes >= 1 && launch.nodes <= cluster.len(), "invalid node count");
+        assert!(
+            launch.nodes >= 1 && launch.nodes <= cluster.len(),
+            "invalid node count"
+        );
         let total_cores = cluster.node(0).topology().total_cores();
         assert!(
             launch.threads_per_node >= 1 && launch.threads_per_node <= total_cores,
@@ -87,7 +91,10 @@ impl RuntimeCoordinator {
             Some(r) => r.clone(),
             None => {
                 let profile = self.profiler.profile(cluster.node_mut(0), app);
-                let r = KnowledgeRecord { profile, np: launch.threads_per_node };
+                let r = KnowledgeRecord {
+                    profile,
+                    np: launch.threads_per_node,
+                };
                 self.db.insert(r.clone());
                 r
             }
@@ -99,32 +106,45 @@ impl RuntimeCoordinator {
         let per_node = budget / launch.nodes as f64;
         let bw = bandwidth_estimate(&record.profile, launch.threads_per_node);
         let saturated = is_bandwidth_saturated(&record.profile);
-        let split =
-            split_node_budget(&power_model, bw, saturated, launch.threads_per_node, per_node);
+        let split = split_node_budget(
+            &power_model,
+            bw,
+            saturated,
+            launch.threads_per_node,
+            per_node,
+        );
 
         // Node selection + variability shifting, same policy as the full
         // scheduler.
+        let ledger = BudgetLedger::new("CLIP-runtime", budget);
         let (node_ids, caps) = if self.coordinate_variability {
             let all_ids: Vec<usize> = (0..cluster.len()).collect();
             let factors = coordinate::measure_efficiencies(cluster, &all_ids);
-            let mut order: Vec<usize> = (0..cluster.len()).collect();
-            order.sort_by(|&a, &b| factors[a].partial_cmp(&factors[b]).expect("finite"));
-            let selected: Vec<usize> = order.into_iter().take(launch.nodes).collect();
-            let sel: Vec<f64> = selected.iter().map(|&i| factors[i]).collect();
-            let caps =
-                coordinate::coordinate_caps(split.caps, &sel, self.variability_threshold);
+            let mut ranked: Vec<(usize, f64)> = all_ids.into_iter().zip(factors).collect();
+            ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
+            let selected: Vec<usize> = ranked
+                .iter()
+                .take(launch.nodes)
+                .map(|&(id, _)| id)
+                .collect();
+            let sel: Vec<f64> = ranked.iter().take(launch.nodes).map(|&(_, f)| f).collect();
+            let before = vec![split.caps; sel.len()];
+            let caps = coordinate::coordinate_caps(split.caps, &sel, self.variability_threshold);
+            ledger.audit_shift(&before, &caps);
             (selected, caps)
         } else {
             ((0..launch.nodes).collect(), vec![split.caps; launch.nodes])
         };
 
-        SchedulePlan {
+        let plan = SchedulePlan {
             scheduler: "CLIP-runtime".to_string(),
             node_ids,
             threads_per_node: launch.threads_per_node,
             policy,
             caps,
-        }
+        };
+        ledger.audit_plan(&plan);
+        plan
     }
 }
 
@@ -138,7 +158,11 @@ mod tests {
     fn launch_configuration_is_honored() {
         let mut cluster = Cluster::homogeneous(8);
         let mut rt = RuntimeCoordinator::new();
-        let launch = FixedLaunch { nodes: 6, threads_per_node: 18, policy: None };
+        let launch = FixedLaunch {
+            nodes: 6,
+            threads_per_node: 18,
+            policy: None,
+        };
         let plan = rt.plan_fixed(&mut cluster, &suite::sp_mz(), Power::watts(1300.0), launch);
         assert_eq!(plan.nodes(), 6);
         assert_eq!(plan.threads_per_node, 18);
@@ -148,7 +172,11 @@ mod tests {
     fn budget_respected() {
         let mut cluster = Cluster::homogeneous(8);
         let mut rt = RuntimeCoordinator::new();
-        let launch = FixedLaunch { nodes: 8, threads_per_node: 24, policy: None };
+        let launch = FixedLaunch {
+            nodes: 8,
+            threads_per_node: 24,
+            policy: None,
+        };
         let budget = Power::watts(1100.0);
         let plan = rt.plan_fixed(&mut cluster, &suite::lu_mz(), budget, launch);
         assert!(plan.within_budget(budget));
@@ -163,7 +191,11 @@ mod tests {
         let cluster = Cluster::homogeneous(4);
         let app = suite::lu_mz();
         let budget = Power::watts(500.0);
-        let launch = FixedLaunch { nodes: 4, threads_per_node: 24, policy: None };
+        let launch = FixedLaunch {
+            nodes: 4,
+            threads_per_node: 24,
+            policy: None,
+        };
 
         let mut rt = RuntimeCoordinator::new();
         rt.coordinate_variability = false;
@@ -209,8 +241,16 @@ mod tests {
         let mut cluster = Cluster::homogeneous(8);
         let mut rt = RuntimeCoordinator::new();
         let app = suite::amg();
-        let l1 = FixedLaunch { nodes: 4, threads_per_node: 24, policy: None };
-        let l2 = FixedLaunch { nodes: 8, threads_per_node: 12, policy: None };
+        let l1 = FixedLaunch {
+            nodes: 4,
+            threads_per_node: 24,
+            policy: None,
+        };
+        let l2 = FixedLaunch {
+            nodes: 8,
+            threads_per_node: 12,
+            policy: None,
+        };
         rt.plan_fixed(&mut cluster, &app, Power::watts(900.0), l1);
         assert_eq!(rt.knowledge().len(), 1);
         rt.plan_fixed(&mut cluster, &app, Power::watts(1400.0), l2);
@@ -222,7 +262,11 @@ mod tests {
     fn oversubscription_rejected() {
         let mut cluster = Cluster::homogeneous(4);
         let mut rt = RuntimeCoordinator::new();
-        let launch = FixedLaunch { nodes: 5, threads_per_node: 24, policy: None };
+        let launch = FixedLaunch {
+            nodes: 5,
+            threads_per_node: 24,
+            policy: None,
+        };
         rt.plan_fixed(&mut cluster, &suite::comd(), Power::watts(900.0), launch);
     }
 }

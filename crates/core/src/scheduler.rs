@@ -14,6 +14,7 @@
 //! the job, returning the measured [`JobReport`].
 
 use crate::allocate::allocate_cluster;
+use crate::audit::BudgetLedger;
 use crate::coordinate;
 use crate::knowledge::{KnowledgeDb, KnowledgeRecord};
 use crate::mlr::InflectionPredictor;
@@ -75,8 +76,8 @@ pub fn execute_plan(
     plan: &SchedulePlan,
     iterations: usize,
 ) -> JobReport {
-    for (idx, &node_id) in plan.node_ids.iter().enumerate() {
-        cluster.node_mut(node_id).set_caps(plan.caps[idx]);
+    for (&node_id, &caps) in plan.node_ids.iter().zip(&plan.caps) {
+        cluster.node_mut(node_id).set_caps(caps);
     }
     let spec = JobSpec {
         app,
@@ -209,28 +210,36 @@ impl ClipScheduler {
         );
         let n = allocation.nodes;
         let uniform = allocation.node_config.caps;
+        let ledger = BudgetLedger::new(self.name(), budget);
 
         let (node_ids, caps) = if self.coordinate_variability {
             let factors = coordinate::measure_efficiencies(cluster, allowed_nodes);
-            let mut order: Vec<usize> = (0..allowed_nodes.len()).collect();
-            order.sort_by(|&a, &b| factors[a].partial_cmp(&factors[b]).expect("finite"));
-            let selected: Vec<usize> =
-                order.iter().take(n).map(|&i| allowed_nodes[i]).collect();
-            let sel_factors: Vec<f64> = order.iter().take(n).map(|&i| factors[i]).collect();
+            let mut ranked: Vec<(usize, f64)> =
+                allowed_nodes.iter().copied().zip(factors).collect();
+            ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
+            let selected: Vec<usize> = ranked.iter().take(n).map(|&(id, _)| id).collect();
+            let sel_factors: Vec<f64> = ranked.iter().take(n).map(|&(_, f)| f).collect();
+            let before = vec![uniform; sel_factors.len()];
             let caps =
                 coordinate::coordinate_caps(uniform, &sel_factors, self.variability_threshold);
+            ledger.audit_shift(&before, &caps);
             (selected, caps)
         } else {
-            (allowed_nodes[..n].to_vec(), vec![uniform; n])
+            (
+                allowed_nodes.iter().copied().take(n).collect(),
+                vec![uniform; n],
+            )
         };
 
-        SchedulePlan {
+        let plan = SchedulePlan {
             scheduler: self.name().to_string(),
             node_ids,
             threads_per_node: allocation.node_config.threads,
             policy: allocation.node_config.policy,
             caps,
-        }
+        };
+        ledger.audit_plan(&plan);
+        plan
     }
 }
 
@@ -256,30 +265,35 @@ impl PowerScheduler for ClipScheduler {
         );
         let n = allocation.nodes;
         let uniform = allocation.node_config.caps;
+        let ledger = BudgetLedger::new(self.name(), budget);
 
         let (node_ids, caps) = if self.coordinate_variability {
             // Measure the whole fleet, activate the thriftiest nodes, and
             // shift CPU budget onto leaky ones if the spread warrants it.
             let all_ids: Vec<usize> = (0..cluster.len()).collect();
             let factors = coordinate::measure_efficiencies(cluster, &all_ids);
-            let mut order: Vec<usize> = (0..cluster.len()).collect();
-            order.sort_by(|&a, &b| factors[a].partial_cmp(&factors[b]).expect("finite"));
-            let selected: Vec<usize> = order.into_iter().take(n).collect();
-            let sel_factors: Vec<f64> = selected.iter().map(|&i| factors[i]).collect();
+            let mut ranked: Vec<(usize, f64)> = all_ids.into_iter().zip(factors).collect();
+            ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
+            let selected: Vec<usize> = ranked.iter().take(n).map(|&(id, _)| id).collect();
+            let sel_factors: Vec<f64> = ranked.iter().take(n).map(|&(_, f)| f).collect();
+            let before = vec![uniform; sel_factors.len()];
             let caps =
                 coordinate::coordinate_caps(uniform, &sel_factors, self.variability_threshold);
+            ledger.audit_shift(&before, &caps);
             (selected, caps)
         } else {
             ((0..n).collect(), vec![uniform; n])
         };
 
-        SchedulePlan {
+        let plan = SchedulePlan {
             scheduler: self.name().to_string(),
             node_ids,
             threads_per_node: allocation.node_config.threads,
             policy: allocation.node_config.policy,
             caps,
-        }
+        };
+        ledger.audit_plan(&plan);
+        plan
     }
 }
 
@@ -332,7 +346,11 @@ mod tests {
     #[test]
     fn parabolic_apps_do_not_use_all_cores() {
         let (plan, _) = plan_for(&suite::sp_mz(), 1800.0);
-        assert!(plan.threads_per_node <= 16, "threads {}", plan.threads_per_node);
+        assert!(
+            plan.threads_per_node <= 16,
+            "threads {}",
+            plan.threads_per_node
+        );
         assert!(plan.threads_per_node >= 6);
     }
 
@@ -373,11 +391,8 @@ mod tests {
 
     #[test]
     fn variability_coordination_selects_efficient_nodes() {
-        let mut cluster = Cluster::with_variability(
-            8,
-            &cluster_sim::VariabilityModel::with_sigma(0.08),
-            21,
-        );
+        let mut cluster =
+            Cluster::with_variability(8, &cluster_sim::VariabilityModel::with_sigma(0.08), 21);
         let mut clip = scheduler();
         let app = suite::comd();
         let plan = clip.plan(&mut cluster, &app, Power::watts(900.0));
@@ -394,11 +409,8 @@ mod tests {
 
     #[test]
     fn coordination_preserves_total_budget() {
-        let mut cluster = Cluster::with_variability(
-            4,
-            &cluster_sim::VariabilityModel::with_sigma(0.10),
-            31,
-        );
+        let mut cluster =
+            Cluster::with_variability(4, &cluster_sim::VariabilityModel::with_sigma(0.10), 31);
         let mut clip = scheduler();
         let app = suite::mini_md();
         let budget = Power::watts(800.0);
@@ -413,11 +425,8 @@ mod tests {
 
     #[test]
     fn disabled_coordination_gives_uniform_caps() {
-        let mut cluster = Cluster::with_variability(
-            4,
-            &cluster_sim::VariabilityModel::with_sigma(0.10),
-            31,
-        );
+        let mut cluster =
+            Cluster::with_variability(4, &cluster_sim::VariabilityModel::with_sigma(0.10), 31);
         let mut clip = scheduler();
         clip.coordinate_variability = false;
         let app = suite::mini_md();

@@ -94,8 +94,7 @@ impl DvfsController {
         // Binary-search-free: the cap that admits exactly `target` is the
         // package power at `target` (the controller picks the highest
         // feasible state). A hair of headroom absorbs float noise.
-        let placement =
-            simnode::Placement::resolve(node.topology(), threads, policy);
+        let placement = simnode::Placement::resolve(node.topology(), threads, policy);
         let pkg = node.power_model().pkg_power(
             placement.active_per_socket(),
             target,
@@ -179,9 +178,7 @@ mod tests {
             reading.pkg,
             report.avg_pkg_power
         );
-        assert!(
-            (reading.dram.as_watts() - report.avg_dram_power.as_watts()).abs() < 0.1
-        );
+        assert!((reading.dram.as_watts() - report.avg_dram_power.as_watts()).abs() < 0.1);
         // Window re-latches: a second read with no execution is None.
         assert!(meter.read(&node).is_none());
     }
@@ -238,9 +235,7 @@ mod tests {
         assert_eq!(collector.runs(), 2);
         let total = collector.total();
         assert!(
-            (total.instructions - r1.counters.instructions - r2.counters.instructions)
-                .abs()
-                < 1.0
+            (total.instructions - r1.counters.instructions - r2.counters.instructions).abs() < 1.0
         );
         // Rates over identical runs equal the single-run rates.
         let rates = collector.rates();

@@ -58,7 +58,11 @@ fn collect_samples(
                 return None;
             }
             let np = actual_inflection(&mut node, app, profile.policy, profile.class);
-            Some(Sample { class: profile.class, profile, np: np as f64 })
+            Some(Sample {
+                class: profile.class,
+                profile,
+                np: np as f64,
+            })
         })
         .collect()
 }
@@ -77,8 +81,7 @@ pub fn cross_validate(
     [ScalabilityClass::Logarithmic, ScalabilityClass::Parabolic]
         .into_iter()
         .map(|class| {
-            let of_class: Vec<&Sample> =
-                samples.iter().filter(|s| s.class == class).collect();
+            let of_class: Vec<&Sample> = samples.iter().filter(|s| s.class == class).collect();
             assert!(
                 of_class.len() >= folds,
                 "{class}: {} samples for {folds} folds",
@@ -129,7 +132,11 @@ pub fn cross_validate(
             let mae = simkit::stats::mean(&abs_errs);
             let rmse = simkit::stats::mean(&sq_errs).sqrt();
             let ss_res: f64 = sq_errs.iter().sum();
-            let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 0.0 };
+            let r2 = if ss_tot > 0.0 {
+                1.0 - ss_res / ss_tot
+            } else {
+                0.0
+            };
             ClassValidation {
                 class,
                 samples: of_class.len(),
@@ -168,7 +175,12 @@ mod tests {
         for c in validation() {
             assert!(c.mae.is_finite() && c.mae >= 0.0);
             assert!(c.rmse >= c.mae - 1e-9, "RMSE ≥ MAE always");
-            assert!(c.mae < 6.0, "{}: held-out MAE {:.2} too large", c.class, c.mae);
+            assert!(
+                c.mae < 6.0,
+                "{}: held-out MAE {:.2} too large",
+                c.class,
+                c.mae
+            );
         }
     }
 

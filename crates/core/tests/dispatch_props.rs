@@ -1,10 +1,10 @@
 //! Property-based stress tests for the queue dispatcher: random job
 //! streams must never violate the resource invariants.
 
-use proptest::prelude::*;
 use clip_core::dispatch::{Dispatcher, QueuedJob};
 use clip_core::{ClipScheduler, InflectionPredictor};
 use cluster_sim::Cluster;
+use proptest::prelude::*;
 use simkit::{Power, SimRng, TimeSpan};
 use workload::corpus;
 
@@ -28,7 +28,11 @@ fn stream(seed: u64, count: usize, max_gap: f64) -> Vec<QueuedJob> {
             // Unique names keep the knowledge DB per-job.
             let app = app.with_preferred_node_counts(vec![1, 2, 4]);
             t += rng.uniform_range(0.0, max_gap);
-            QueuedJob { app, arrival: TimeSpan::secs(t), iterations: 2 }
+            QueuedJob {
+                app,
+                arrival: TimeSpan::secs(t),
+                iterations: 2,
+            }
         })
         .collect()
 }

@@ -1,13 +1,13 @@
 //! Property-based tests for the CLIP framework: scheduler-level invariants
 //! that must hold for any application drawn from the corpus and any budget.
 
-use proptest::prelude::*;
-use clip_core::{
-    execute_plan, recommend_node_config, ClipScheduler, FittedPowerModel,
-    InflectionPredictor, NodePerfModel, PowerScheduler, SmartProfiler,
-};
 use clip_core::mlr::actual_inflection;
+use clip_core::{
+    execute_plan, recommend_node_config, ClipScheduler, FittedPowerModel, InflectionPredictor,
+    NodePerfModel, PowerScheduler, SmartProfiler,
+};
 use cluster_sim::Cluster;
+use proptest::prelude::*;
 use simkit::{Power, SimRng};
 use simnode::Node;
 use workload::{corpus, AppModel, ScalabilityClass};
@@ -121,7 +121,7 @@ proptest! {
         let mut node = Node::haswell();
         let profile = SmartProfiler::default().profile(&mut node, &app);
         let np = predictor().predict(&profile);
-        prop_assert!(np >= 2 && np <= 24);
+        prop_assert!((2..=24).contains(&np));
         if profile.class != ScalabilityClass::Linear {
             prop_assert_eq!(np % 2, 0);
         }

@@ -1,0 +1,307 @@
+#![warn(missing_docs)]
+
+//! # clip-lint — workspace-specific static analysis
+//!
+//! `cargo clippy` enforces general Rust hygiene; this crate enforces the
+//! three invariants that are specific to a power-coordination codebase and
+//! that no general-purpose linter knows about:
+//!
+//! 1. **Unit safety** — power, energy and time values cross function and
+//!    struct boundaries as `simkit` quantities, never as bare `f64` (a watt
+//!    added to a joule must not type-check).
+//! 2. **Panic freedom** — library code reachable from a long sweep must
+//!    not contain `unwrap`/`expect`/`panic!`/indexing panics.
+//! 3. **Exhaustiveness** — matches over the domain enums
+//!    (`ScalabilityClass`, `HwEvent`, …) list every variant, so adding a
+//!    variant is a compile error at every decision point rather than a
+//!    silent fall-through.
+//!
+//! The binary walks `crates/*/src`, lexes each file with the hand-rolled
+//! token scanner in [`lexer`] (the build container has no `syn`), applies
+//! the rules in [`rules`], subtracts the reasoned allowlist
+//! (`clip-lint.allow` at the workspace root), and reports findings as
+//! `file:line` diagnostics or a machine-readable JSON document.
+//!
+//! Intentional escapes go in the allowlist, one per line:
+//!
+//! ```text
+//! panic-freedom crates/simkit/src/linalg.rs index  # dimensions asserted at entry
+//! ```
+//!
+//! (rule, file suffix, violation name, and a `#` reason — the reason is
+//! required.)
+
+pub mod lexer;
+pub mod rules;
+
+use rules::{FileRules, Rule, Violation};
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+
+/// Crates whose API surfaces must use quantity types (the unit-safety
+/// rule). `simkit` is excluded by design: it is the boundary where
+/// quantities wrap raw numbers.
+pub const UNIT_SAFETY_CRATES: [&str; 4] = ["core", "cluster", "simnode", "baselines"];
+
+/// Format version of the JSON report.
+pub const REPORT_VERSION: u32 = 1;
+
+/// One allowlist entry: `rule file-suffix name  # reason`.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule name the entry silences.
+    pub rule: String,
+    /// Workspace-relative file path suffix.
+    pub file: String,
+    /// Violation name (`unwrap`, `index`, a parameter name, an enum name).
+    pub name: String,
+    /// Why the escape is intentional.
+    pub reason: String,
+}
+
+/// Parse the allowlist format. Lines that are blank or pure comments are
+/// skipped; entries missing a `#` reason are rejected (returned in the
+/// error list) so escapes stay justified.
+pub fn parse_allowlist(text: &str) -> (Vec<AllowEntry>, Vec<String>) {
+    let mut entries = Vec::new();
+    let mut errors = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (spec, reason) = match line.split_once('#') {
+            Some((s, r)) => (s.trim(), r.trim().to_string()),
+            None => {
+                errors.push(format!(
+                    "allowlist line {}: missing `# reason` — every escape needs a justification",
+                    idx + 1
+                ));
+                continue;
+            }
+        };
+        let mut fields = spec.split_whitespace();
+        match (fields.next(), fields.next(), fields.next(), fields.next()) {
+            (Some(rule), Some(file), Some(name), None) => entries.push(AllowEntry {
+                rule: rule.to_string(),
+                file: file.to_string(),
+                name: name.to_string(),
+                reason,
+            }),
+            _ => errors.push(format!(
+                "allowlist line {}: expected `rule file name  # reason`, got `{line}`",
+                idx + 1
+            )),
+        }
+    }
+    (entries, errors)
+}
+
+/// Rule counts for the report summary.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct Summary {
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Violations after allowlisting.
+    pub total: usize,
+    /// unit-safety violations.
+    pub unit_safety: usize,
+    /// panic-freedom violations.
+    pub panic_freedom: usize,
+    /// exhaustiveness violations.
+    pub exhaustiveness: usize,
+    /// Findings silenced by the allowlist.
+    pub allowlisted: usize,
+}
+
+/// The machine-readable report (`clip-lint --json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Format version ([`REPORT_VERSION`]).
+    pub version: u32,
+    /// Surviving violations, ordered by file then line.
+    pub violations: Vec<Violation>,
+    /// Aggregate counts.
+    pub summary: Summary,
+}
+
+/// Build a report from raw findings and the allowlist. Returns the report
+/// plus the indices of allowlist entries that silenced nothing (stale).
+pub fn build_report(
+    mut findings: Vec<Violation>,
+    files_scanned: usize,
+    allow: &[AllowEntry],
+) -> (Report, Vec<usize>) {
+    findings.sort_by(|a, b| {
+        a.file
+            .cmp(&b.file)
+            .then(a.line.cmp(&b.line))
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    let mut used = vec![false; allow.len()];
+    let mut allowlisted = 0usize;
+    let mut violations = Vec::new();
+    for v in findings {
+        let hit = allow.iter().enumerate().find(|(_, e)| {
+            e.rule == v.rule.name() && v.file.ends_with(&e.file) && e.name == v.name
+        });
+        match hit {
+            Some((idx, _)) => {
+                if let Some(flag) = used.get_mut(idx) {
+                    *flag = true;
+                }
+                allowlisted += 1;
+            }
+            None => violations.push(v),
+        }
+    }
+    let mut summary = Summary {
+        files_scanned,
+        total: violations.len(),
+        allowlisted,
+        ..Summary::default()
+    };
+    for v in &violations {
+        match v.rule {
+            Rule::UnitSafety => summary.unit_safety += 1,
+            Rule::PanicFreedom => summary.panic_freedom += 1,
+            Rule::Exhaustiveness => summary.exhaustiveness += 1,
+        }
+    }
+    let stale = used
+        .iter()
+        .enumerate()
+        .filter(|(_, &u)| !u)
+        .map(|(i, _)| i)
+        .collect();
+    (
+        Report {
+            version: REPORT_VERSION,
+            violations,
+            summary,
+        },
+        stale,
+    )
+}
+
+/// Scan one source string as if it were the file `rel_path` (the testable
+/// core of the binary).
+pub fn scan_source(rel_path: &str, source: &str, rules: FileRules) -> Vec<Violation> {
+    rules::check_tokens(rel_path, &lexer::lex(source), rules)
+}
+
+/// Which rules apply to a workspace-relative path. `None` means the file
+/// is out of scope (tests, benches, examples, shims, generated output).
+pub fn rules_for_path(rel: &str) -> Option<FileRules> {
+    let unix = rel.replace('\\', "/");
+    if !unix.starts_with("crates/") {
+        return None;
+    }
+    let mut parts = unix.split('/');
+    let (_, crate_name, tree) = (parts.next(), parts.next()?, parts.next()?);
+    if tree != "src" {
+        return None; // tests/, benches/, examples/ are not library code
+    }
+    let rest = parts.next();
+    if rest == Some("bin") || rest == Some("main.rs") {
+        return None; // binary entry points may parse args and panic
+    }
+    Some(FileRules {
+        unit_safety: UNIT_SAFETY_CRATES.contains(&crate_name),
+        library_rules: true,
+    })
+}
+
+/// All `.rs` files under `root/crates/*/src`, workspace-relative, sorted.
+pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut stack: Vec<PathBuf> = Vec::new();
+    for entry in std::fs::read_dir(&crates_dir)? {
+        let src = entry?.path().join("src");
+        if src.is_dir() {
+            stack.push(src);
+        }
+    }
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                if let Ok(rel) = path.strip_prefix(root) {
+                    out.push(rel.to_path_buf());
+                }
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allowlist_roundtrip() {
+        let text = "\n# comment\npanic-freedom crates/x/src/a.rs unwrap  # checked above\n";
+        let (entries, errors) = parse_allowlist(text);
+        assert!(errors.is_empty(), "{errors:?}");
+        assert_eq!(entries.len(), 1);
+        let e = entries.first().expect("one entry");
+        assert_eq!(e.rule, "panic-freedom");
+        assert_eq!(e.name, "unwrap");
+        assert_eq!(e.reason, "checked above");
+    }
+
+    #[test]
+    fn allowlist_requires_reason() {
+        let (entries, errors) = parse_allowlist("panic-freedom a.rs unwrap\n");
+        assert!(entries.is_empty());
+        assert_eq!(errors.len(), 1);
+    }
+
+    #[test]
+    fn report_applies_allowlist_and_reports_stale() {
+        let findings = scan_source(
+            "crates/core/src/x.rs",
+            "fn f() { a.unwrap(); b.unwrap(); }",
+            FileRules {
+                unit_safety: false,
+                library_rules: true,
+            },
+        );
+        assert_eq!(findings.len(), 2);
+        let allow = vec![
+            AllowEntry {
+                rule: "panic-freedom".into(),
+                file: "crates/core/src/x.rs".into(),
+                name: "unwrap".into(),
+                reason: "test".into(),
+            },
+            AllowEntry {
+                rule: "panic-freedom".into(),
+                file: "crates/core/src/gone.rs".into(),
+                name: "expect".into(),
+                reason: "stale".into(),
+            },
+        ];
+        let (report, stale) = build_report(findings, 1, &allow);
+        assert_eq!(report.summary.total, 0);
+        assert_eq!(report.summary.allowlisted, 2);
+        assert_eq!(stale, vec![1]);
+    }
+
+    #[test]
+    fn path_scoping() {
+        assert!(rules_for_path("crates/core/src/scheduler.rs")
+            .is_some_and(|r| r.unit_safety && r.library_rules));
+        assert!(rules_for_path("crates/simkit/src/units.rs").is_some_and(|r| !r.unit_safety));
+        assert!(rules_for_path("crates/core/tests/props.rs").is_none());
+        assert!(rules_for_path("shims/serde/src/lib.rs").is_none());
+        assert!(rules_for_path("crates/bench/benches/sweep.rs").is_none());
+        assert!(rules_for_path("crates/bench/src/bin/clip_sched.rs").is_none());
+        assert!(rules_for_path("crates/lint/src/main.rs").is_none());
+    }
+}

@@ -1,0 +1,143 @@
+//! The `clip-lint` CLI: scan the workspace, apply the allowlist, report.
+//!
+//! ```text
+//! clip-lint [--json] [--allowlist PATH] [ROOT]
+//! ```
+//!
+//! Exits 0 when no violations survive the allowlist, 1 otherwise, 2 on
+//! usage or I/O errors. `scripts/check.sh` runs it as a hard gate.
+
+use clip_lint::{
+    build_report, parse_allowlist, rules_for_path, scan_source, workspace_sources, AllowEntry,
+};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Args {
+    json: bool,
+    allowlist: Option<PathBuf>,
+    root: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        json: false,
+        allowlist: None,
+        root: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => args.json = true,
+            "--allowlist" => {
+                let path = it.next().ok_or("--allowlist needs a path")?;
+                args.allowlist = Some(PathBuf::from(path));
+            }
+            "--help" | "-h" => {
+                return Err("usage: clip-lint [--json] [--allowlist PATH] [ROOT]".to_string())
+            }
+            other if !other.starts_with('-') && args.root.is_none() => {
+                args.root = Some(PathBuf::from(other));
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// The nearest ancestor of `start` containing a workspace `Cargo.toml`.
+fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let root = match args.root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            find_workspace_root(&cwd).ok_or("no workspace Cargo.toml above cwd")?
+        }
+    };
+
+    let allow_path = args
+        .allowlist
+        .unwrap_or_else(|| root.join("clip-lint.allow"));
+    let allow: Vec<AllowEntry> = if allow_path.is_file() {
+        let text = std::fs::read_to_string(&allow_path).map_err(|e| e.to_string())?;
+        let (entries, errors) = parse_allowlist(&text);
+        if let Some(first) = errors.first() {
+            return Err(format!("{}: {first}", allow_path.display()));
+        }
+        entries
+    } else {
+        Vec::new()
+    };
+
+    let mut findings = Vec::new();
+    let mut files_scanned = 0usize;
+    for rel in
+        workspace_sources(&root).map_err(|e| format!("{}: {e}", root.join("crates").display()))?
+    {
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        let Some(rules) = rules_for_path(&rel_str) else {
+            continue;
+        };
+        let source =
+            std::fs::read_to_string(root.join(&rel)).map_err(|e| format!("{rel_str}: {e}"))?;
+        files_scanned += 1;
+        findings.extend(scan_source(&rel_str, &source, rules));
+    }
+
+    let (report, stale) = build_report(findings, files_scanned, &allow);
+    for idx in &stale {
+        if let Some(e) = allow.get(*idx) {
+            eprintln!(
+                "clip-lint: warning: stale allowlist entry `{} {} {}` matched nothing",
+                e.rule, e.file, e.name
+            );
+        }
+    }
+
+    if args.json {
+        let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        println!("{json}");
+    } else {
+        for v in &report.violations {
+            println!("{}:{}: [{}] {}", v.file, v.line, v.rule.name(), v.message);
+        }
+        let s = &report.summary;
+        println!(
+            "clip-lint: {} file(s), {} violation(s) ({} unit-safety, {} panic-freedom, \
+             {} exhaustiveness), {} allowlisted",
+            s.files_scanned,
+            s.total,
+            s.unit_safety,
+            s.panic_freedom,
+            s.exhaustiveness,
+            s.allowlisted
+        );
+    }
+    Ok(report.summary.total == 0)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("clip-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

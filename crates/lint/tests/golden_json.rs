@@ -1,0 +1,73 @@
+//! Golden test pinning the `clip-lint --json` report shape.
+//!
+//! Downstream tooling parses this document; any field rename, reorder or
+//! type change must show up here as a deliberate diff (and a bump of
+//! `REPORT_VERSION`).
+
+use clip_lint::rules::FileRules;
+use clip_lint::{build_report, parse_allowlist, scan_source};
+
+/// A fixture with one violation of each rule.
+const FIXTURE: &str = r#"
+pub fn drive(power_watts: f64, states: &[f64]) -> f64 {
+    let first = states.first().unwrap();
+    match class {
+        ScalabilityClass::Linear => first + power_watts,
+        _ => states[1],
+    }
+}
+"#;
+
+const GOLDEN: &str = r#"{
+  "version": 1,
+  "violations": [
+    {
+      "rule": "unit-safety",
+      "file": "crates/core/src/fixture.rs",
+      "line": 2,
+      "name": "power_watts",
+      "message": "parameter `power_watts` is a bare f64; use a simkit quantity (Power/Energy/TimeSpan) or allowlist with a reason"
+    },
+    {
+      "rule": "exhaustiveness",
+      "file": "crates/core/src/fixture.rs",
+      "line": 6,
+      "name": "ScalabilityClass",
+      "message": "wildcard `_` arm in a match over `ScalabilityClass`; list every variant so new ones fail to compile"
+    },
+    {
+      "rule": "panic-freedom",
+      "file": "crates/core/src/fixture.rs",
+      "line": 6,
+      "name": "index",
+      "message": "`states[…]` indexing can panic; use .get()/iterators or allowlist with a bounds argument"
+    }
+  ],
+  "summary": {
+    "files_scanned": 1,
+    "total": 3,
+    "unit_safety": 1,
+    "panic_freedom": 1,
+    "exhaustiveness": 1,
+    "allowlisted": 1
+  }
+}"#;
+
+#[test]
+fn json_report_shape_is_stable() {
+    let findings = scan_source(
+        "crates/core/src/fixture.rs",
+        FIXTURE,
+        FileRules {
+            unit_safety: true,
+            library_rules: true,
+        },
+    );
+    let (allow, errors) =
+        parse_allowlist("panic-freedom crates/core/src/fixture.rs unwrap  # fixture escape\n");
+    assert!(errors.is_empty(), "{errors:?}");
+    let (report, stale) = build_report(findings, 1, &allow);
+    assert!(stale.is_empty(), "allowlist entry should match the fixture");
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    assert_eq!(json, GOLDEN);
+}

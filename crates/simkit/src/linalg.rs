@@ -19,7 +19,11 @@ pub struct Matrix {
 impl Matrix {
     /// All-zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Identity matrix of order `n`.
@@ -36,7 +40,11 @@ impl Matrix {
         let r = rows.len();
         let c = rows.first().map_or(0, Vec::len);
         assert!(rows.iter().all(|row| row.len() == c), "ragged rows");
-        Self { rows: r, cols: c, data: rows.concat() }
+        Self {
+            rows: r,
+            cols: c,
+            data: rows.concat(),
+        }
     }
 
     /// Number of rows.
@@ -99,14 +107,12 @@ impl Matrix {
 
         for col in 0..n {
             // Partial pivot: largest magnitude in this column at/below row.
-            let pivot_row = (col..n)
-                .max_by(|&r1, &r2| {
-                    a[r1 * n + col]
-                        .abs()
-                        .partial_cmp(&a[r2 * n + col].abs())
-                        .expect("NaN in matrix")
-                })
-                .expect("non-empty range");
+            let mut pivot_row = col;
+            for r in (col + 1)..n {
+                if a[r * n + col].abs() >= a[pivot_row * n + col].abs() {
+                    pivot_row = r;
+                }
+            }
             if a[pivot_row * n + col].abs() < 1e-12 {
                 return None;
             }
@@ -248,8 +254,7 @@ mod tests {
         // Second feature is an exact copy of the first; plain normal
         // equations would be singular, ridge must still return something
         // finite whose predictions match.
-        let rows: Vec<Vec<f64>> =
-            (0..20).map(|i| vec![i as f64, i as f64, 1.0]).collect();
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, i as f64, 1.0]).collect();
         let ys: Vec<f64> = (0..20).map(|i| 3.0 * i as f64 + 1.0).collect();
         let x = Matrix::from_rows(&rows);
         let beta = least_squares(&x, &ys, 1e-6).unwrap();

@@ -44,7 +44,7 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
         return 0.0;
     }
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("percentile: NaN in data"));
+    v.sort_by(f64::total_cmp);
     let rank = (p / 100.0) * (v.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -83,14 +83,22 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> LineFit {
     assert_eq!(xs.len(), ys.len(), "linear_fit: length mismatch");
     let n = xs.len() as f64;
     if xs.is_empty() {
-        return LineFit { slope: 0.0, intercept: 0.0, r2: 0.0 };
+        return LineFit {
+            slope: 0.0,
+            intercept: 0.0,
+            r2: 0.0,
+        };
     }
     let mx = mean(xs);
     let my = mean(ys);
     let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
     let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
     if sxx == 0.0 {
-        return LineFit { slope: 0.0, intercept: my, r2: 0.0 };
+        return LineFit {
+            slope: 0.0,
+            intercept: my,
+            r2: 0.0,
+        };
     }
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
@@ -103,9 +111,17 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> LineFit {
             e * e
         })
         .sum();
-    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r2 = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     let _ = n;
-    LineFit { slope, intercept, r2 }
+    LineFit {
+        slope,
+        intercept,
+        r2,
+    }
 }
 
 /// Mean absolute percentage error between predictions and truth, in percent.

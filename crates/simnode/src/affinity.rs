@@ -81,7 +81,10 @@ impl Placement {
                 }
             }
         }
-        Self { policy, active_per_socket: active }
+        Self {
+            policy,
+            active_per_socket: active,
+        }
     }
 
     /// The policy this placement was resolved from.

@@ -74,18 +74,18 @@ impl PStateTable {
 
     /// Snap to the nearest state (ties resolve downward).
     pub fn nearest(&self, f: Frequency) -> Frequency {
-        self.states
-            .iter()
-            .copied()
-            .min_by(|a, b| {
-                let da = (a.as_ghz() - f.as_ghz()).abs();
-                let db = (b.as_ghz() - f.as_ghz()).abs();
-                da.partial_cmp(&db).expect("finite frequencies").then(
-                    // tie → lower frequency wins (conservative under a cap)
-                    a.partial_cmp(b).expect("finite"),
-                )
-            })
-            .expect("non-empty")
+        // Ascending iteration with a strict improvement test: on a distance
+        // tie the earlier (lower) frequency wins — conservative under a cap.
+        let mut best = self.f_min();
+        let mut best_d = (best.as_ghz() - f.as_ghz()).abs();
+        for &s in &self.states {
+            let d = (s.as_ghz() - f.as_ghz()).abs();
+            if d.total_cmp(&best_d).is_lt() {
+                best = s;
+                best_d = d;
+            }
+        }
+        best
     }
 }
 
@@ -168,7 +168,10 @@ mod tests {
         let s = EffectiveSpeed::PState(Frequency::ghz(2.0));
         assert_eq!(s.effective_frequency(), Frequency::ghz(2.0));
         assert!(!s.is_throttled());
-        let th = EffectiveSpeed::Throttled { f_min: Frequency::ghz(1.2), duty: 0.5 };
+        let th = EffectiveSpeed::Throttled {
+            f_min: Frequency::ghz(1.2),
+            duty: 0.5,
+        };
         assert!((th.effective_frequency().as_ghz() - 0.6).abs() < 1e-12);
         assert!(th.is_throttled());
     }

@@ -170,13 +170,13 @@ impl EventCounters {
     pub fn rate_features(&self) -> [f64; 7] {
         let t = self.wall_time.as_secs();
         [
-            self.icache_misses / t / 1e6,        // M misses/s
-            self.read_bandwidth().as_gbps(),     // GB/s
-            self.write_bandwidth().as_gbps(),    // GB/s
-            self.l3_miss_local / t / 1e6,        // M misses/s
-            self.l3_miss_remote / t / 1e6,       // M misses/s
-            self.cycles_active / t / 1e9,        // G cycles/s
-            self.instructions / t / 1e9,         // G instr/s
+            self.icache_misses / t / 1e6,     // M misses/s
+            self.read_bandwidth().as_gbps(),  // GB/s
+            self.write_bandwidth().as_gbps(), // GB/s
+            self.l3_miss_local / t / 1e6,     // M misses/s
+            self.l3_miss_remote / t / 1e6,    // M misses/s
+            self.cycles_active / t / 1e9,     // G cycles/s
+            self.instructions / t / 1e9,      // G instr/s
         ]
     }
 
@@ -200,13 +200,13 @@ mod tests {
     fn sample() -> EventCounters {
         EventCounters::synthesize(
             TimeSpan::secs(2.0),
-            4e9,   // instructions
-            2.0,   // GHz
-            8,     // threads
-            20e9,  // bytes read
-            10e9,  // bytes written
-            0.25,  // remote fraction
-            1.5,   // icache MPKI
+            4e9,  // instructions
+            2.0,  // GHz
+            8,    // threads
+            20e9, // bytes read
+            10e9, // bytes written
+            0.25, // remote fraction
+            1.5,  // icache MPKI
         )
     }
 

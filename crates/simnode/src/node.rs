@@ -167,7 +167,13 @@ impl Node {
         memory: MemorySubsystem,
     ) -> Self {
         let rapl = RaplController::new(PowerCaps::unlimited());
-        Self { topo, pstates, power, memory, rapl }
+        Self {
+            topo,
+            pstates,
+            power,
+            memory,
+            rapl,
+        }
     }
 
     /// The paper's testbed node: 2 × 12-core Haswell, nominal part.
@@ -254,8 +260,15 @@ impl Node {
             caps.cpu,
         );
         let power_bw = self.power.bw_ceiling(caps.dram, self.topo.sockets());
-        let bw_ceiling = self.memory.effective_ceiling(&placement, power_bw, remote_frac);
-        OperatingPoint { placement, speed, bw_ceiling, remote_frac }
+        let bw_ceiling = self
+            .memory
+            .effective_ceiling(&placement, power_bw, remote_frac);
+        OperatingPoint {
+            placement,
+            speed,
+            bw_ceiling,
+            remote_frac,
+        }
     }
 
     /// Execute `iterations` iterations of a workload and report measured
@@ -289,9 +302,9 @@ impl Node {
         let activity = workload.cpu_activity();
         let avg_pkg_power = match op.speed {
             EffectiveSpeed::PState(f) => self.power.pkg_power(active, f, activity),
-            EffectiveSpeed::Throttled { f_min, duty } => {
-                self.power.pkg_power_throttled(active, f_min, activity, duty)
-            }
+            EffectiveSpeed::Throttled { f_min, duty } => self
+                .power
+                .pkg_power_throttled(active, f_min, activity, duty),
         };
 
         // Account energy through the RAPL counters, reading deltas the way
@@ -453,9 +466,13 @@ mod tests {
     #[test]
     fn dram_cap_shrinks_bw_ceiling() {
         let mut node = Node::haswell();
-        let open = node.resolve(&ComputeKernel, 24, AffinityPolicy::Compact).bw_ceiling;
+        let open = node
+            .resolve(&ComputeKernel, 24, AffinityPolicy::Compact)
+            .bw_ceiling;
         node.set_caps(PowerCaps::new(Power::watts(500.0), Power::watts(15.0)));
-        let tight = node.resolve(&ComputeKernel, 24, AffinityPolicy::Compact).bw_ceiling;
+        let tight = node
+            .resolve(&ComputeKernel, 24, AffinityPolicy::Compact)
+            .bw_ceiling;
         assert!(tight < open);
     }
 }

@@ -90,7 +90,11 @@ impl PowerModel {
     pub fn pkg_power(&self, active_per_socket: &[usize], f: Frequency, activity: f64) -> Power {
         let mut total = Power::ZERO;
         for &n in active_per_socket {
-            let base = if n > 0 { self.socket_base } else { self.socket_idle };
+            let base = if n > 0 {
+                self.socket_base
+            } else {
+                self.socket_idle
+            };
             total += base * self.efficiency;
             total += self.core_power(f, activity) * n as f64;
         }
@@ -108,7 +112,11 @@ impl PowerModel {
     ) -> Power {
         let mut total = Power::ZERO;
         for &n in active_per_socket {
-            let base = if n > 0 { self.socket_base } else { self.socket_idle };
+            let base = if n > 0 {
+                self.socket_base
+            } else {
+                self.socket_idle
+            };
             total += base * self.efficiency;
             let per_core = self.core_static
                 + Power::watts(self.core_dyn_coeff * activity * duty * f_min.as_ghz().powi(3));
@@ -167,10 +175,16 @@ impl PowerModel {
         let active: usize = active_per_socket.iter().sum();
         let mut static_part = Power::ZERO;
         for &n in active_per_socket {
-            let base = if n > 0 { self.socket_base } else { self.socket_idle };
+            let base = if n > 0 {
+                self.socket_base
+            } else {
+                self.socket_idle
+            };
             static_part += (base + self.core_static * n as f64) * self.efficiency;
         }
-        let dyn_full = self.core_dyn_coeff * activity * f_min.as_ghz().powi(3)
+        let dyn_full = self.core_dyn_coeff
+            * activity
+            * f_min.as_ghz().powi(3)
             * active as f64
             * self.efficiency;
         let duty = if dyn_full > 0.0 {

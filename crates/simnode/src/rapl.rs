@@ -33,12 +33,18 @@ pub struct PowerCaps {
 impl PowerCaps {
     /// Caps high enough to never bind (used for uncapped reference runs).
     pub fn unlimited() -> Self {
-        Self { cpu: Power::watts(1e9), dram: Power::watts(1e9) }
+        Self {
+            cpu: Power::watts(1e9),
+            dram: Power::watts(1e9),
+        }
     }
 
     /// Construct caps; both must be positive.
     pub fn new(cpu: Power, dram: Power) -> Self {
-        assert!(cpu.as_watts() > 0.0 && dram.as_watts() > 0.0, "caps must be positive");
+        assert!(
+            cpu.as_watts() > 0.0 && dram.as_watts() > 0.0,
+            "caps must be positive"
+        );
         Self { cpu, dram }
     }
 

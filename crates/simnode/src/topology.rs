@@ -26,8 +26,14 @@ impl NodeTopology {
     /// Build a topology; both dimensions must be non-zero.
     pub fn new(sockets: usize, cores_per_socket: usize) -> Self {
         assert!(sockets > 0, "topology needs at least one socket");
-        assert!(cores_per_socket > 0, "topology needs at least one core per socket");
-        Self { sockets, cores_per_socket }
+        assert!(
+            cores_per_socket > 0,
+            "topology needs at least one core per socket"
+        );
+        Self {
+            sockets,
+            cores_per_socket,
+        }
     }
 
     /// The paper's testbed node: 2 × 12-core Haswell.

@@ -23,7 +23,9 @@ impl NodeWorkload for RandKernel {
         let f = op.frequency().as_ghz();
         let n = op.threads() as f64;
         let t_c = self.gcycles / (n * f);
-        let rate = (n * self.per_thread_bw).min(op.bw_ceiling.as_gbps()).max(1e-6);
+        let rate = (n * self.per_thread_bw)
+            .min(op.bw_ceiling.as_gbps())
+            .max(1e-6);
         TimeSpan::secs(t_c + self.mem_gb / rate)
     }
     fn traffic_per_iteration(&self, _op: &OperatingPoint) -> (f64, f64) {
@@ -54,13 +56,15 @@ fn kernel_strategy() -> impl Strategy<Value = RandKernel> {
         0.3f64..1.0,
         0.0f64..1.0,
     )
-        .prop_map(|(gcycles, mem_gb, per_thread_bw, activity, shared)| RandKernel {
-            gcycles,
-            mem_gb,
-            per_thread_bw,
-            activity,
-            shared,
-        })
+        .prop_map(
+            |(gcycles, mem_gb, per_thread_bw, activity, shared)| RandKernel {
+                gcycles,
+                mem_gb,
+                per_thread_bw,
+                activity,
+                shared,
+            },
+        )
 }
 
 fn policy_strategy() -> impl Strategy<Value = AffinityPolicy> {

@@ -56,7 +56,11 @@ impl Characterization {
             instructions += p.instructions();
         }
         Self {
-            arithmetic_intensity: if bytes > 0.0 { instructions / bytes } else { f64::INFINITY },
+            arithmetic_intensity: if bytes > 0.0 {
+                instructions / bytes
+            } else {
+                f64::INFINITY
+            },
             memory_time_share: (t_mem / total).clamp(0.0, 1.0),
             bandwidth_utilization: (demand_peak / op.bw_ceiling.as_gbps()).clamp(0.0, 1.0),
             serial_share: (t_serial / total).clamp(0.0, 1.0),
@@ -72,7 +76,11 @@ impl Characterization {
         let bytes = c.bytes_read + c.bytes_written;
         let ceiling = report.op.bw_ceiling.as_gbps();
         Self {
-            arithmetic_intensity: if bytes > 0.0 { c.instructions / bytes } else { f64::INFINITY },
+            arithmetic_intensity: if bytes > 0.0 {
+                c.instructions / bytes
+            } else {
+                f64::INFINITY
+            },
             memory_time_share: if ceiling > 0.0 {
                 ((bytes / 1e9 / ceiling) / report.total_time.as_secs()).clamp(0.0, 1.0)
             } else {
@@ -110,7 +118,11 @@ mod tests {
     #[test]
     fn compute_apps_have_high_intensity() {
         let c = characterize(&suite::comd(), 24);
-        assert!(c.is_compute_bound(), "CoMD intensity {}", c.arithmetic_intensity);
+        assert!(
+            c.is_compute_bound(),
+            "CoMD intensity {}",
+            c.arithmetic_intensity
+        );
         assert!(c.memory_time_share < 0.1);
         assert!(c.contention_share == 0.0);
     }
@@ -118,9 +130,17 @@ mod tests {
     #[test]
     fn memory_apps_have_low_intensity_high_bw() {
         let c = characterize(&suite::lu_mz(), 24);
-        assert!(!c.is_compute_bound(), "LU-MZ intensity {}", c.arithmetic_intensity);
+        assert!(
+            !c.is_compute_bound(),
+            "LU-MZ intensity {}",
+            c.arithmetic_intensity
+        );
         assert!(c.memory_time_share > 0.4, "share {}", c.memory_time_share);
-        assert!(c.bandwidth_utilization > 0.9, "util {}", c.bandwidth_utilization);
+        assert!(
+            c.bandwidth_utilization > 0.9,
+            "util {}",
+            c.bandwidth_utilization
+        );
     }
 
     #[test]
@@ -128,7 +148,11 @@ mod tests {
         let at_4 = characterize(&suite::sp_mz(), 4);
         let at_24 = characterize(&suite::sp_mz(), 24);
         assert!(at_24.contention_share > at_4.contention_share);
-        assert!(at_24.contention_share > 0.15, "share {}", at_24.contention_share);
+        assert!(
+            at_24.contention_share > 0.15,
+            "share {}",
+            at_24.contention_share
+        );
     }
 
     #[test]
@@ -158,6 +182,11 @@ mod tests {
         let black = Characterization::of_report(&report);
         let rel = (white.arithmetic_intensity - black.arithmetic_intensity).abs()
             / white.arithmetic_intensity;
-        assert!(rel < 0.05, "white {} black {}", white.arithmetic_intensity, black.arithmetic_intensity);
+        assert!(
+            rel < 0.05,
+            "white {} black {}",
+            white.arithmetic_intensity,
+            black.arithmetic_intensity
+        );
     }
 }

@@ -37,7 +37,11 @@ pub struct CommModel {
 impl Default for CommModel {
     fn default() -> Self {
         // Halo-exchange-like: mild growth with node count.
-        Self { alpha: 0.002, beta: 0.004, gamma: 0.5 }
+        Self {
+            alpha: 0.002,
+            beta: 0.004,
+            gamma: 0.5,
+        }
     }
 }
 
@@ -231,7 +235,11 @@ impl NodeWorkload for AppModel {
         if total <= 0.0 {
             return self.phases[0].shared_frac;
         }
-        self.phases.iter().map(|p| p.shared_frac * p.mem_gbytes).sum::<f64>() / total
+        self.phases
+            .iter()
+            .map(|p| p.shared_frac * p.mem_gbytes)
+            .sum::<f64>()
+            / total
     }
 
     fn icache_mpki(&self) -> f64 {
@@ -239,7 +247,11 @@ impl NodeWorkload for AppModel {
         if total <= 0.0 {
             return 0.5;
         }
-        self.phases.iter().map(|p| p.icache_mpki * p.instructions()).sum::<f64>() / total
+        self.phases
+            .iter()
+            .map(|p| p.icache_mpki * p.instructions())
+            .sum::<f64>()
+            / total
     }
 
     fn burst_bandwidth_demand(&self, op: &OperatingPoint) -> simkit::Bandwidth {
@@ -256,7 +268,11 @@ mod tests {
     fn compute_app() -> AppModel {
         AppModel::new(
             "test-compute",
-            vec![Phase { parallel_gcycles: 230.0, mem_gbytes: 0.5, ..Phase::default() }],
+            vec![Phase {
+                parallel_gcycles: 230.0,
+                mem_gbytes: 0.5,
+                ..Phase::default()
+            }],
         )
     }
 
@@ -330,8 +346,16 @@ mod tests {
     #[test]
     fn multi_phase_times_add() {
         let node = Node::haswell();
-        let p1 = Phase { parallel_gcycles: 100.0, mem_gbytes: 0.0, ..Phase::default() };
-        let p2 = Phase { parallel_gcycles: 50.0, mem_gbytes: 0.0, ..Phase::default() };
+        let p1 = Phase {
+            parallel_gcycles: 100.0,
+            mem_gbytes: 0.0,
+            ..Phase::default()
+        };
+        let p2 = Phase {
+            parallel_gcycles: 50.0,
+            mem_gbytes: 0.0,
+            ..Phase::default()
+        };
         let a1 = AppModel::new("a1", vec![p1.clone()]).with_odd_penalty(0.0);
         let a2 = AppModel::new("a2", vec![p2.clone()]).with_odd_penalty(0.0);
         let both = AppModel::new("both", vec![p1, p2]).with_odd_penalty(0.0);
@@ -342,8 +366,16 @@ mod tests {
 
     #[test]
     fn aggregate_traffic_sums_phases() {
-        let p1 = Phase { mem_gbytes: 4.0, write_fraction: 0.5, ..Phase::default() };
-        let p2 = Phase { mem_gbytes: 6.0, write_fraction: 0.0, ..Phase::default() };
+        let p1 = Phase {
+            mem_gbytes: 4.0,
+            write_fraction: 0.5,
+            ..Phase::default()
+        };
+        let p2 = Phase {
+            mem_gbytes: 6.0,
+            write_fraction: 0.0,
+            ..Phase::default()
+        };
         let app = AppModel::new("t", vec![p1, p2]);
         let node = Node::haswell();
         let op = node.resolve(&app, 4, AffinityPolicy::Compact);
@@ -354,8 +386,16 @@ mod tests {
 
     #[test]
     fn activity_blend_weighted_by_cycles() {
-        let hot = Phase { parallel_gcycles: 90.0, cpu_activity: 1.0, ..Phase::default() };
-        let cold = Phase { parallel_gcycles: 10.0, cpu_activity: 0.5, ..Phase::default() };
+        let hot = Phase {
+            parallel_gcycles: 90.0,
+            cpu_activity: 1.0,
+            ..Phase::default()
+        };
+        let cold = Phase {
+            parallel_gcycles: 10.0,
+            cpu_activity: 0.5,
+            ..Phase::default()
+        };
         let app = AppModel::new("blend", vec![hot, cold]);
         assert!((app.cpu_activity() - 0.95).abs() < 1e-12);
     }

@@ -41,7 +41,10 @@ impl ScalabilityClass {
     /// Classification with explicit thresholds (used by the threshold
     /// ablation study).
     pub fn from_ratio_with_thresholds(ratio: f64, linear_t: f64, parabolic_t: f64) -> Self {
-        assert!(ratio.is_finite() && ratio >= 0.0, "ratio must be finite and non-negative");
+        assert!(
+            ratio.is_finite() && ratio >= 0.0,
+            "ratio must be finite and non-negative"
+        );
         assert!(linear_t < parabolic_t, "thresholds must be ordered");
         if ratio < linear_t {
             ScalabilityClass::Linear
@@ -76,12 +79,30 @@ mod tests {
 
     #[test]
     fn thresholds_match_paper() {
-        assert_eq!(ScalabilityClass::from_half_all_ratio(0.5), ScalabilityClass::Linear);
-        assert_eq!(ScalabilityClass::from_half_all_ratio(0.69), ScalabilityClass::Linear);
-        assert_eq!(ScalabilityClass::from_half_all_ratio(0.7), ScalabilityClass::Logarithmic);
-        assert_eq!(ScalabilityClass::from_half_all_ratio(0.99), ScalabilityClass::Logarithmic);
-        assert_eq!(ScalabilityClass::from_half_all_ratio(1.0), ScalabilityClass::Parabolic);
-        assert_eq!(ScalabilityClass::from_half_all_ratio(1.8), ScalabilityClass::Parabolic);
+        assert_eq!(
+            ScalabilityClass::from_half_all_ratio(0.5),
+            ScalabilityClass::Linear
+        );
+        assert_eq!(
+            ScalabilityClass::from_half_all_ratio(0.69),
+            ScalabilityClass::Linear
+        );
+        assert_eq!(
+            ScalabilityClass::from_half_all_ratio(0.7),
+            ScalabilityClass::Logarithmic
+        );
+        assert_eq!(
+            ScalabilityClass::from_half_all_ratio(0.99),
+            ScalabilityClass::Logarithmic
+        );
+        assert_eq!(
+            ScalabilityClass::from_half_all_ratio(1.0),
+            ScalabilityClass::Parabolic
+        );
+        assert_eq!(
+            ScalabilityClass::from_half_all_ratio(1.8),
+            ScalabilityClass::Parabolic
+        );
     }
 
     #[test]

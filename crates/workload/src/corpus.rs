@@ -136,8 +136,12 @@ mod tests {
 
     fn measured_class(app: &AppModel) -> ScalabilityClass {
         let mut node = Node::haswell();
-        let all = node.execute(app, 24, AffinityPolicy::Scatter, 1).performance();
-        let half = node.execute(app, 12, AffinityPolicy::Scatter, 1).performance();
+        let all = node
+            .execute(app, 24, AffinityPolicy::Scatter, 1)
+            .performance();
+        let half = node
+            .execute(app, 12, AffinityPolicy::Scatter, 1)
+            .performance();
         ScalabilityClass::from_half_all_ratio(half / all)
     }
 
@@ -183,7 +187,13 @@ mod tests {
         for i in 0..8 {
             let app = gen_parabolic(&mut rng, i);
             let best = (1..=24)
-                .map(|n| (n, node.execute(&app, n, AffinityPolicy::Scatter, 1).performance()))
+                .map(|n| {
+                    (
+                        n,
+                        node.execute(&app, n, AffinityPolicy::Scatter, 1)
+                            .performance(),
+                    )
+                })
                 .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
                 .unwrap()
                 .0;

@@ -147,15 +147,18 @@ impl Phase {
     /// DRAM read/write bytes of one iteration.
     pub fn traffic_bytes(&self) -> (f64, f64) {
         let total = self.mem_gbytes * 1e9;
-        (total * (1.0 - self.write_fraction), total * self.write_fraction)
+        (
+            total * (1.0 - self.write_fraction),
+            total * self.write_fraction,
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use simnode::{AffinityPolicy, Node, NodeWorkload};
     use simkit::TimeSpan;
+    use simnode::{AffinityPolicy, Node, NodeWorkload};
 
     /// Minimal adapter so `Node::resolve` can be used to build operating
     /// points for phase-level tests.
@@ -196,7 +199,11 @@ mod tests {
 
     #[test]
     fn compute_phase_scales_linearly() {
-        let phase = Phase { parallel_gcycles: 230.0, mem_gbytes: 0.0, ..Phase::default() };
+        let phase = Phase {
+            parallel_gcycles: 230.0,
+            mem_gbytes: 0.0,
+            ..Phase::default()
+        };
         let t1 = phase.time_secs(&op_at(&phase, 1));
         let t24 = phase.time_secs(&op_at(&phase, 24));
         let speedup = t1 / t24;
@@ -249,7 +256,11 @@ mod tests {
 
     #[test]
     fn saturation_threads_math() {
-        let phase = Phase { per_thread_bw_gbps: 8.0, mem_gbytes: 10.0, ..Phase::default() };
+        let phase = Phase {
+            per_thread_bw_gbps: 8.0,
+            mem_gbytes: 10.0,
+            ..Phase::default()
+        };
         let sat = phase.saturation_threads(112.0, 2.3).unwrap();
         assert!((sat - 14.0).abs() < 1e-9);
         // Lower frequency → less demand per thread → later saturation.
@@ -259,13 +270,20 @@ mod tests {
 
     #[test]
     fn compute_phase_has_no_saturation() {
-        let phase = Phase { mem_gbytes: 0.0, ..Phase::default() };
+        let phase = Phase {
+            mem_gbytes: 0.0,
+            ..Phase::default()
+        };
         assert!(phase.saturation_threads(112.0, 2.3).is_none());
     }
 
     #[test]
     fn traffic_split_by_write_fraction() {
-        let phase = Phase { mem_gbytes: 10.0, write_fraction: 0.25, ..Phase::default() };
+        let phase = Phase {
+            mem_gbytes: 10.0,
+            write_fraction: 0.25,
+            ..Phase::default()
+        };
         let (r, w) = phase.traffic_bytes();
         assert!((r - 7.5e9).abs() < 1.0);
         assert!((w - 2.5e9).abs() < 1.0);
@@ -273,7 +291,11 @@ mod tests {
 
     #[test]
     fn frequency_stretches_cycle_terms() {
-        let phase = Phase { parallel_gcycles: 100.0, mem_gbytes: 0.0, ..Phase::default() };
+        let phase = Phase {
+            parallel_gcycles: 100.0,
+            mem_gbytes: 0.0,
+            ..Phase::default()
+        };
         let mut op = op_at(&phase, 12);
         let t_fast = phase.time_secs(&op);
         op.speed = simnode::dvfs::EffectiveSpeed::PState(simkit::Frequency::ghz(1.2));
@@ -295,7 +317,11 @@ mod tests {
 
     #[test]
     fn instructions_follow_ipc() {
-        let phase = Phase { parallel_gcycles: 10.0, ipc: 2.0, ..Phase::default() };
+        let phase = Phase {
+            parallel_gcycles: 10.0,
+            ipc: 2.0,
+            ..Phase::default()
+        };
         assert!((phase.instructions() - 10.0 * 2.0 * 1e9).abs() < 1.0);
     }
 }

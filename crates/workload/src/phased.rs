@@ -29,7 +29,10 @@ pub struct PhasePlan {
 impl PhasePlan {
     /// A uniform plan: every phase at the same count.
     pub fn uniform(phases: usize, threads: usize, policy: AffinityPolicy) -> Self {
-        Self { threads: vec![threads; phases], policy }
+        Self {
+            threads: vec![threads; phases],
+            policy,
+        }
     }
 }
 
@@ -83,11 +86,8 @@ pub fn execute_phased(
     for (phase, &threads) in app.phases().iter().zip(&plan.threads) {
         // Each phase runs as a single-phase application, inheriting the
         // parent's odd-concurrency penalty.
-        let single = AppModel::new(
-            format!("{}#phase", app.name()),
-            vec![phase.clone()],
-        )
-        .with_odd_penalty(app.odd_penalty());
+        let single = AppModel::new(format!("{}#phase", app.name()), vec![phase.clone()])
+            .with_odd_penalty(app.odd_penalty());
         let report = node.execute(&single, threads, plan.policy, iterations);
         total_time += report.total_time;
         pkg_energy += report.avg_pkg_power.as_watts() * report.total_time.as_secs();
@@ -145,7 +145,10 @@ mod tests {
         let tuned = execute_phased(
             &mut node,
             &app,
-            &PhasePlan { threads: vec![24, 10], policy: AffinityPolicy::Scatter },
+            &PhasePlan {
+                threads: vec![24, 10],
+                policy: AffinityPolicy::Scatter,
+            },
             1,
         );
         assert!(
@@ -160,7 +163,10 @@ mod tests {
     fn power_is_time_weighted_blend() {
         let mut node = Node::haswell();
         let app = suite::bt_mz();
-        let plan = PhasePlan { threads: vec![24, 8], policy: AffinityPolicy::Scatter };
+        let plan = PhasePlan {
+            threads: vec![24, 8],
+            policy: AffinityPolicy::Scatter,
+        };
         let r = execute_phased(&mut node, &app, &plan, 1);
         let lo = r
             .per_phase
@@ -180,7 +186,10 @@ mod tests {
         let mut node = Node::haswell();
         node.set_caps(PowerCaps::new(Power::watts(150.0), Power::watts(25.0)));
         let app = suite::bt_mz();
-        let plan = PhasePlan { threads: vec![24, 12], policy: AffinityPolicy::Scatter };
+        let plan = PhasePlan {
+            threads: vec![24, 12],
+            policy: AffinityPolicy::Scatter,
+        };
         let r = execute_phased(&mut node, &app, &plan, 1);
         for p in &r.per_phase {
             assert!(p.avg_pkg_power <= Power::watts(150.0) + Power::watts(1e-9));

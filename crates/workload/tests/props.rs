@@ -9,7 +9,8 @@ use simnode::{AffinityPolicy, Node, NodeWorkload};
 use workload::{corpus, ScalabilityClass};
 
 fn perf(node: &mut Node, app: &workload::AppModel, threads: usize) -> f64 {
-    node.execute(app, threads, AffinityPolicy::Scatter, 1).performance()
+    node.execute(app, threads, AffinityPolicy::Scatter, 1)
+        .performance()
 }
 
 proptest! {

@@ -25,7 +25,14 @@ fn main() {
     let mut clip = ClipScheduler::new(InflectionPredictor::train_default(42));
     let mut table = Table::new(
         "Campaign day 1 (cold knowledge DB, 1400 W site budget)",
-        &["job", "class", "nodes", "threads", "perf (it/s)", "power (W)"],
+        &[
+            "job",
+            "class",
+            "nodes",
+            "threads",
+            "perf (it/s)",
+            "power (W)",
+        ],
     );
     let mut perfs = Vec::new();
     for entry in table2_suite() {
@@ -51,7 +58,9 @@ fn main() {
     );
 
     // Persist what the cluster learned.
-    clip.knowledge().save(&db_path).expect("persist knowledge DB");
+    clip.knowledge()
+        .save(&db_path)
+        .expect("persist knowledge DB");
 
     // Day 2: a fresh scheduler process loads the database — zero profiling.
     let db = KnowledgeDb::load(&db_path).expect("reload knowledge DB");

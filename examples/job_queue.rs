@@ -35,10 +35,16 @@ fn main() {
         submit(suite::amg(), 7.0, 3),
     ];
 
-    println!("site budget: {:.0} W, 8 nodes, FCFS with constrained planning\n", budget.as_watts());
+    println!(
+        "site budget: {:.0} W, 8 nodes, FCFS with constrained planning\n",
+        budget.as_watts()
+    );
     let report = dispatcher.run(&mut cluster, &jobs);
 
-    println!("{:<10} {:>7} {:>7} {:>8} {:>6} {:>8} {:>10}", "job", "arrive", "start", "finish", "nodes", "threads", "grant (W)");
+    println!(
+        "{:<10} {:>7} {:>7} {:>8} {:>6} {:>8} {:>10}",
+        "job", "arrive", "start", "finish", "nodes", "threads", "grant (W)"
+    );
     for o in &report.outcomes {
         println!(
             "{:<10} {:>7.1} {:>7.1} {:>8.1} {:>6} {:>8} {:>10.0}",
@@ -53,5 +59,8 @@ fn main() {
     }
     println!("\nmakespan        : {:.1} s", report.makespan.as_secs());
     println!("mean queue wait : {:.1} s", report.mean_wait().as_secs());
-    println!("mean turnaround : {:.1} s", report.mean_turnaround().as_secs());
+    println!(
+        "mean turnaround : {:.1} s",
+        report.mean_turnaround().as_secs()
+    );
 }

@@ -1,0 +1,221 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use — [`Criterion`],
+//! benchmark groups, `iter`/`iter_batched`, [`BatchSize`], [`black_box`],
+//! and the `criterion_group!`/`criterion_main!` macros — backed by a simple
+//! median-of-runs timer instead of criterion's statistical machinery.
+//!
+//! When the binary is invoked by `cargo bench` (argv contains `--bench`),
+//! each benchmark is timed over multiple batches and a `name: median ns/iter`
+//! line is printed. Under `cargo test` (no `--bench` flag) every closure runs
+//! exactly once as a smoke test so the suite stays fast.
+
+use std::time::Instant;
+
+/// Re-exported for convenience; benches import it from either place.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The shim only uses it to pick
+/// a batch count, so the variants are interchangeable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One iteration per batch.
+    PerIteration,
+}
+
+/// Entry point handed to each benchmark function.
+pub struct Criterion {
+    timing: bool,
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Construct from argv: timing mode only under `cargo bench`.
+    pub fn from_args() -> Self {
+        let timing = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            timing,
+            sample_size: 10,
+        }
+    }
+
+    /// Default configuration (used by `criterion_group!` config forms).
+    pub fn default_config() -> Self {
+        Self::from_args()
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            timing: self.timing,
+            samples: self.sample_size,
+            report: None,
+        };
+        f(&mut bencher);
+        if let Some(ns) = bencher.report {
+            println!("{id}: {ns:.0} ns/iter");
+        } else {
+            println!("{id}: ok (smoke)");
+        }
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Lower or raise the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let saved = self.parent.sample_size;
+        if let Some(n) = self.sample_size {
+            self.parent.sample_size = n;
+        }
+        self.parent.bench_function(full, f);
+        self.parent.sample_size = saved;
+        self
+    }
+
+    /// Finish the group (a no-op; provided for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Runs and times the measured routine.
+pub struct Bencher {
+    timing: bool,
+    samples: usize,
+    report: Option<f64>,
+}
+
+impl Bencher {
+    /// Time `routine` directly.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if !self.timing {
+            black_box(routine());
+            return;
+        }
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            times.push(start.elapsed().as_nanos() as f64);
+        }
+        self.report = Some(median(&mut times));
+    }
+
+    /// Time `routine` over inputs built by `setup`, excluding setup cost.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if !self.timing {
+            black_box(routine(setup()));
+            return;
+        }
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            times.push(start.elapsed().as_nanos() as f64);
+        }
+        self.report = Some(median(&mut times));
+    }
+}
+
+fn median(times: &mut [f64]) -> f64 {
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// Group benchmark functions under one runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::from_args();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::from_args();
+            let _ = $config;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut count = 0;
+        let mut b = Bencher {
+            timing: false,
+            samples: 10,
+            report: None,
+        };
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+        assert!(b.report.is_none());
+    }
+
+    #[test]
+    fn timing_mode_reports_median() {
+        let mut b = Bencher {
+            timing: true,
+            samples: 5,
+            report: None,
+        };
+        b.iter_batched(|| 2u64, |x| x * 2, BatchSize::SmallInput);
+        assert!(b.report.is_some());
+    }
+}

@@ -1,0 +1,533 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! The container that builds this workspace has no crates.io access, so
+//! `syn`/`quote` are unavailable; the input item is parsed directly from the
+//! `proc_macro` token stream. Supported shapes — named-field structs, tuple
+//! structs (newtypes serialize transparently), unit structs, and enums with
+//! unit / newtype / tuple / struct variants (externally tagged) — cover the
+//! whole workspace. Generic types are rejected with a clear error.
+//!
+//! Recognized field attributes: `#[serde(skip)]` (field is not serialized
+//! and is rebuilt with `Default::default()`) and `#[serde(default)]` (field
+//! may be absent from the input).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Clone, Copy, PartialEq)]
+struct FieldAttrs {
+    skip: bool,
+    default: bool,
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derive `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derive `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, generate: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => generate(&item)
+            .parse()
+            .expect("serde_derive shim generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    skip_attrs_and_vis(&tokens, &mut pos);
+    let kind = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) if i.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(i)) if i.to_string() == "enum" => "enum",
+        other => {
+            return Err(format!(
+                "serde shim: expected struct or enum, found {other:?}"
+            ))
+        }
+    };
+    pos += 1;
+
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("serde shim: expected type name, found {other:?}")),
+    };
+    pos += 1;
+
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim: generic type `{name}` is not supported by the vendored derive"
+        ));
+    }
+
+    if kind == "struct" {
+        match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(g.stream())?,
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            other => Err(format!("serde shim: malformed struct body: {other:?}")),
+        }
+    } else {
+        match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            other => Err(format!("serde shim: malformed enum body: {other:?}")),
+        }
+    }
+}
+
+/// Advance past leading attributes and a visibility modifier.
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *pos += 2,
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *pos += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Read leading attributes, recording the `serde(...)` options we support.
+fn take_attrs(tokens: &[TokenTree], pos: &mut usize) -> FieldAttrs {
+    let mut attrs = FieldAttrs {
+        skip: false,
+        default: false,
+    };
+    while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(*pos + 1) {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if matches!(inner.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde") {
+                if let Some(TokenTree::Group(opts)) = inner.get(1) {
+                    for tt in opts.stream() {
+                        if let TokenTree::Ident(i) = tt {
+                            match i.to_string().as_str() {
+                                "skip" | "skip_serializing" | "skip_deserializing" => {
+                                    attrs.skip = true
+                                }
+                                "default" => attrs.default = true,
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        *pos += 2;
+    }
+    attrs
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let attrs = take_attrs(&tokens, &mut pos);
+        skip_attrs_and_vis(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => return Err(format!("serde shim: expected field name, found {other:?}")),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => {
+                return Err(format!(
+                    "serde shim: expected `:` after field, found {other:?}"
+                ))
+            }
+        }
+        // Skip the type: everything up to the next comma outside angle brackets.
+        let mut angle_depth = 0i32;
+        while let Some(tt) = tokens.get(pos) {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth = (angle_depth - 1).max(0),
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        fields.push(Field { name, attrs });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle_depth = 0i32;
+    let mut count = 1;
+    for tt in &tokens {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth = (angle_depth - 1).max(0),
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // A trailing comma does not introduce a new field.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        take_attrs(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => {
+                return Err(format!(
+                    "serde shim: expected variant name, found {other:?}"
+                ))
+            }
+        };
+        pos += 1;
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantShape::Struct(parse_named_fields(g.stream())?)
+            }
+            _ => VariantShape::Unit,
+        };
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            return Err("serde shim: explicit enum discriminants are not supported".into());
+        }
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.attrs.skip) {
+                let fname = &f.name;
+                pushes.push_str(&format!(
+                    "fields.push((\"{fname}\".to_string(), \
+                     ::serde::Serialize::serialize_value(&self.{fname})));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::Value {{\n\
+                         let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::serialize_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let items = (0..*arity)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Array(vec![{items}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::String(\"{vname}\".to_string()),\n"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let binders = (0..*arity)
+                            .map(|i| format!("x{i}"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let payload = if *arity == 1 {
+                            "::serde::Serialize::serialize_value(x0)".to_string()
+                        } else {
+                            let items = (0..*arity)
+                                .map(|i| format!("::serde::Serialize::serialize_value(x{i})"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!("::serde::Value::Array(vec![{items}])")
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binders}) => ::serde::Value::Object(vec![\
+                             (\"{vname}\".to_string(), {payload})]),\n"
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binders = fields
+                            .iter()
+                            .map(|f| f.name.clone())
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let items = fields
+                            .iter()
+                            .filter(|f| !f.attrs.skip)
+                            .map(|f| {
+                                format!(
+                                    "(\"{0}\".to_string(), ::serde::Serialize::serialize_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binders} }} => ::serde::Value::Object(vec![\
+                             (\"{vname}\".to_string(), ::serde::Value::Object(vec![{items}]))]),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}\n}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                let fname = &f.name;
+                if f.attrs.skip {
+                    inits.push_str(&format!("{fname}: ::core::default::Default::default(),\n"));
+                } else if f.attrs.default {
+                    inits.push_str(&format!(
+                        "{fname}: match v.get(\"{fname}\") {{\n\
+                             Some(x) => ::serde::Deserialize::deserialize_value(x)?,\n\
+                             None => ::core::default::Default::default(),\n\
+                         }},\n"
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{fname}: match v.get(\"{fname}\") {{\n\
+                             Some(x) => ::serde::Deserialize::deserialize_value(x)?,\n\
+                             None => ::serde::missing_field(\"{fname}\")?,\n\
+                         }},\n"
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                         if !matches!(v, ::serde::Value::Object(_)) {{\n\
+                             return ::core::result::Result::Err(::serde::Error::invalid_type(\"object\", v));\n\
+                         }}\n\
+                         ::core::result::Result::Ok({name} {{\n{inits}\n}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                     ::core::result::Result::Ok({name}(::serde::Deserialize::deserialize_value(v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let inits = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::deserialize_value(&items[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Array(items) if items.len() == {arity} => \
+                                 ::core::result::Result::Ok({name}({inits})),\n\
+                             _ => ::core::result::Result::Err(::serde::Error::invalid_type(\"array\", v)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize_value(_v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                     ::core::result::Result::Ok({name})\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => return ::core::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        if *arity == 1 {
+                            tagged.push_str(&format!(
+                                "if let Some(inner) = v.get(\"{vname}\") {{\n\
+                                     return ::core::result::Result::Ok({name}::{vname}(\
+                                         ::serde::Deserialize::deserialize_value(inner)?));\n\
+                                 }}\n"
+                            ));
+                        } else {
+                            let inits = (0..*arity)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::deserialize_value(&items[{i}])?")
+                                })
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            tagged.push_str(&format!(
+                                "if let Some(inner) = v.get(\"{vname}\") {{\n\
+                                     if let ::serde::Value::Array(items) = inner {{\n\
+                                         if items.len() == {arity} {{\n\
+                                             return ::core::result::Result::Ok({name}::{vname}({inits}));\n\
+                                         }}\n\
+                                     }}\n\
+                                     return ::core::result::Result::Err(::serde::Error::invalid_type(\"array\", inner));\n\
+                                 }}\n"
+                            ));
+                        }
+                    }
+                    VariantShape::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            let fname = &f.name;
+                            if f.attrs.skip {
+                                inits.push_str(&format!(
+                                    "{fname}: ::core::default::Default::default(),\n"
+                                ));
+                            } else {
+                                inits.push_str(&format!(
+                                    "{fname}: match inner.get(\"{fname}\") {{\n\
+                                         Some(x) => ::serde::Deserialize::deserialize_value(x)?,\n\
+                                         None => ::serde::missing_field(\"{fname}\")?,\n\
+                                     }},\n"
+                                ));
+                            }
+                        }
+                        tagged.push_str(&format!(
+                            "if let Some(inner) = v.get(\"{vname}\") {{\n\
+                                 return ::core::result::Result::Ok({name}::{vname} {{\n{inits}\n}});\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                         if let Some(s) = v.as_str() {{\n\
+                             match s {{\n{unit_arms}\n_ => {{}}\n}}\n\
+                         }}\n\
+                         {tagged}\
+                         ::core::result::Result::Err(::serde::Error::custom(\
+                             concat!(\"unknown variant for enum \", stringify!({name}))))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}

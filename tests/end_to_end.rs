@@ -19,7 +19,11 @@ fn performance(
 ) -> f64 {
     let mut planning = cluster.clone();
     let plan = scheduler.plan(&mut planning, app, budget);
-    assert!(plan.within_budget(budget), "{} broke the budget", scheduler.name());
+    assert!(
+        plan.within_budget(budget),
+        "{} broke the budget",
+        scheduler.name()
+    );
     let mut exec = cluster.clone();
     execute_plan(&mut exec, app, &plan, 2).performance()
 }
@@ -109,7 +113,11 @@ fn low_budget_average_improvement_over_20_percent() {
         }
     }
     let avg = simkit::stats::geomean(&wins);
-    assert!(avg > 1.20, "average low-budget improvement only {:+.1}%", (avg - 1.0) * 100.0);
+    assert!(
+        avg > 1.20,
+        "average low-budget improvement only {:+.1}%",
+        (avg - 1.0) * 100.0
+    );
 }
 
 #[test]
@@ -153,11 +161,8 @@ fn schedulers_are_independent_of_planning_order() {
 
 #[test]
 fn variability_coordination_helps_on_heterogeneous_fleets() {
-    let cluster = Cluster::with_variability(
-        8,
-        &cluster_sim::VariabilityModel::with_sigma(0.08),
-        11,
-    );
+    let cluster =
+        Cluster::with_variability(8, &cluster_sim::VariabilityModel::with_sigma(0.08), 11);
     let app = suite::comd();
     let budget = Power::watts(1400.0);
 

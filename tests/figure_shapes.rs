@@ -18,7 +18,8 @@ fn speedup_curve(app: &workload::AppModel, f_ghz: f64) -> Vec<f64> {
             AffinityPolicy::Scatter,
             Frequency::ghz(f_ghz),
         );
-        node.execute(app, 1, AffinityPolicy::Scatter, 1).performance()
+        node.execute(app, 1, AffinityPolicy::Scatter, 1)
+            .performance()
     };
     (1..=24)
         .map(|n| {
@@ -29,7 +30,9 @@ fn speedup_curve(app: &workload::AppModel, f_ghz: f64) -> Vec<f64> {
                 AffinityPolicy::Scatter,
                 Frequency::ghz(f_ghz),
             );
-            node.execute(app, n, AffinityPolicy::Scatter, 1).performance() / base
+            node.execute(app, n, AffinityPolicy::Scatter, 1)
+                .performance()
+                / base
         })
         .collect()
 }
@@ -53,7 +56,11 @@ fn fig2a_linear_speedup_is_ideal() {
 #[test]
 fn fig2b_logarithmic_bends_without_reversing() {
     let s = speedup_curve(&suite::stream_like(), 2.3);
-    assert!((s[3] - 4.0).abs() / 4.0 < 0.15, "early segment linear, got {:.2}", s[3]);
+    assert!(
+        (s[3] - 4.0).abs() / 4.0 < 0.15,
+        "early segment linear, got {:.2}",
+        s[3]
+    );
     let early_slope = (s[7] - s[3]) / 4.0;
     let late_slope = (s[23] - s[15]) / 8.0;
     assert!(
@@ -97,10 +104,26 @@ fn fig2_frequency_always_helps() {
         // 12-core point of the fast curve must beat the slow curve's when
         // both are referenced to the same baseline run.
         let mut node = Node::haswell();
-        DvfsController::pin_frequency(&mut node, &app, 12, AffinityPolicy::Scatter, Frequency::ghz(1.2));
-        let p_slow = node.execute(&app, 12, AffinityPolicy::Scatter, 1).performance();
-        DvfsController::pin_frequency(&mut node, &app, 12, AffinityPolicy::Scatter, Frequency::ghz(2.3));
-        let p_fast = node.execute(&app, 12, AffinityPolicy::Scatter, 1).performance();
+        DvfsController::pin_frequency(
+            &mut node,
+            &app,
+            12,
+            AffinityPolicy::Scatter,
+            Frequency::ghz(1.2),
+        );
+        let p_slow = node
+            .execute(&app, 12, AffinityPolicy::Scatter, 1)
+            .performance();
+        DvfsController::pin_frequency(
+            &mut node,
+            &app,
+            12,
+            AffinityPolicy::Scatter,
+            Frequency::ghz(2.3),
+        );
+        let p_fast = node
+            .execute(&app, 12, AffinityPolicy::Scatter, 1)
+            .performance();
         assert!(p_fast > p_slow, "{}: frequency must help", app.name());
         let _ = (slow, fast);
     }
@@ -117,7 +140,13 @@ fn fig3c_parabolic_optimum_tracks_budget() {
         node.set_caps(PowerCaps::new(Power::watts(cap_w), Power::watts(1e9)));
         let best = (2..=24)
             .step_by(2)
-            .map(|n| (n, node.execute(&app, n, AffinityPolicy::Scatter, 1).performance()))
+            .map(|n| {
+                (
+                    n,
+                    node.execute(&app, n, AffinityPolicy::Scatter, 1)
+                        .performance(),
+                )
+            })
             .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
             .unwrap()
             .0;

@@ -74,8 +74,7 @@ fn golden_power_calibration() {
     use simkit::{Bandwidth, Frequency, Power};
     let pm = simnode::PowerModel::haswell();
     // Socket TDP: 12 compute-bound cores at 2.3 GHz.
-    let socket =
-        pm.pkg_power(&[12, 0], Frequency::ghz(2.3), 1.0) - Power::watts(9.0);
+    let socket = pm.pkg_power(&[12, 0], Frequency::ghz(2.3), 1.0) - Power::watts(9.0);
     assert!((socket.as_watts() - 119.9).abs() < 0.5, "socket {socket}");
     // DRAM envelope: 6 W idle, 33 W fully loaded (two sockets).
     assert!((pm.dram_power(Bandwidth::ZERO, 2).as_watts() - 6.0).abs() < 1e-9);
@@ -101,7 +100,8 @@ fn golden_corpus_fingerprint() {
 /// Uncapped single-node performance pins for three representative apps.
 #[test]
 fn golden_uncapped_performance() {
-    let cases: &[(&str, fn() -> workload::AppModel, f64)] = &[
+    type Case = (&'static str, fn() -> workload::AppModel, f64);
+    let cases: &[Case] = &[
         ("CoMD", suite::comd as fn() -> workload::AppModel, 0.2458),
         ("LU-MZ", suite::lu_mz, 0.419),
         ("SP-MZ", suite::sp_mz, 0.1099),

@@ -103,7 +103,14 @@ fn knowledge_record_json_shape_is_stable() {
     let json = serde_json::to_value(&record).expect("to_value");
     assert!(json.get("np").is_some());
     let profile = json.get("profile").expect("profile field");
-    for field in ["app_name", "policy", "all_core", "half_core", "low_freq", "class"] {
+    for field in [
+        "app_name",
+        "policy",
+        "all_core",
+        "half_core",
+        "low_freq",
+        "class",
+    ] {
         assert!(profile.get(field).is_some(), "missing field {field}");
     }
 }
