@@ -23,14 +23,29 @@ impl PowerScheduler for AllIn {
         "All-In"
     }
 
-    fn plan(&mut self, cluster: &mut Cluster, _app: &AppModel, budget: Power) -> SchedulePlan {
-        let n = cluster.len();
+    fn plan(&mut self, cluster: &mut Cluster, app: &AppModel, budget: Power) -> SchedulePlan {
+        let all: Vec<usize> = (0..cluster.len()).collect();
+        self.plan_subset(cluster, app, budget, &all)
+    }
+
+    fn plan_subset(
+        &mut self,
+        cluster: &mut Cluster,
+        _app: &AppModel,
+        budget: Power,
+        allowed: &[usize],
+    ) -> SchedulePlan {
+        assert!(!allowed.is_empty(), "no nodes available");
+        // "All in" means all *usable* nodes: the full budget spreads over
+        // whatever the pool still holds.
+        let n = allowed.len();
         let per_node = budget / n as f64;
         let caps = naive_split(per_node);
+        let probe = allowed.first().copied().unwrap_or(0);
         let plan = SchedulePlan {
             scheduler: self.name().to_string(),
-            node_ids: (0..n).collect(),
-            threads_per_node: cluster.node(0).topology().total_cores(),
+            node_ids: allowed.to_vec(),
+            threads_per_node: cluster.node(probe).topology().total_cores(),
             policy: AffinityPolicy::Compact,
             caps: vec![caps; n],
         };
@@ -74,6 +89,20 @@ mod tests {
         let b = AllIn.plan(&mut cluster, &suite::tea_leaf(), budget);
         assert_eq!(a.caps, b.caps);
         assert_eq!(a.threads_per_node, b.threads_per_node);
+    }
+
+    #[test]
+    fn subset_spreads_full_budget_over_survivors() {
+        let mut cluster = Cluster::homogeneous(8);
+        cluster.fail_node(2);
+        cluster.fail_node(5);
+        let budget = Power::watts(1600.0);
+        let allowed = cluster.alive_nodes();
+        let plan = AllIn.plan_subset(&mut cluster, &suite::comd(), budget, &allowed);
+        assert_eq!(plan.nodes(), 6);
+        assert_eq!(plan.node_ids, allowed);
+        // The whole budget lands on the survivors, exactly.
+        assert!((plan.total_caps().as_watts() - budget.as_watts()).abs() < 1e-9);
     }
 
     #[test]

@@ -51,11 +51,24 @@ impl PowerScheduler for Coordinated {
     }
 
     fn plan(&mut self, cluster: &mut Cluster, app: &AppModel, budget: Power) -> SchedulePlan {
-        let total_cores = cluster.node(0).topology().total_cores();
+        let all: Vec<usize> = (0..cluster.len()).collect();
+        self.plan_subset(cluster, app, budget, &all)
+    }
+
+    fn plan_subset(
+        &mut self,
+        cluster: &mut Cluster,
+        app: &AppModel,
+        budget: Power,
+        allowed: &[usize],
+    ) -> SchedulePlan {
+        assert!(!allowed.is_empty(), "no nodes available");
+        let probe = allowed.first().copied().unwrap_or(0);
+        let total_cores = cluster.node(probe).topology().total_cores();
         let record = match self.db.get(app.name()) {
             Some(r) => r.clone(),
             None => {
-                let profile = self.profiler.profile(cluster.node_mut(0), app);
+                let profile = self.profiler.profile(cluster.node_mut(probe), app);
                 let r = KnowledgeRecord {
                     profile,
                     np: total_cores,
@@ -72,9 +85,8 @@ impl PowerScheduler for Coordinated {
         let floor = power_model.cpu_power(total_cores, power_model.f_min)
             + power_model.mem_power(bw_all * power_model.f_min / power_model.f_max);
 
-        let n_total = cluster.len();
         let affordable = (budget.as_watts() / floor.as_watts()).floor() as usize;
-        let n = affordable.clamp(1, n_total);
+        let n = affordable.clamp(1, allowed.len());
         let per_node = budget / n as f64;
 
         // CPU/memory coordination from the fitted model: the fixed-point
@@ -85,7 +97,7 @@ impl PowerScheduler for Coordinated {
 
         let plan = SchedulePlan {
             scheduler: self.name().to_string(),
-            node_ids: (0..n).collect(),
+            node_ids: allowed.iter().copied().take(n).collect(),
             threads_per_node: total_cores,
             policy: record.profile.policy,
             caps: vec![caps; n],
@@ -144,6 +156,18 @@ mod tests {
         assert!(plan.within_budget(budget));
         let report = execute_plan(&mut cluster, &app, &plan, 1);
         assert!(report.cluster_power <= budget + Power::watts(1.0));
+    }
+
+    #[test]
+    fn subset_profiles_on_a_surviving_node() {
+        let mut cluster = Cluster::homogeneous(8);
+        cluster.fail_node(0);
+        let mut s = Coordinated::new();
+        let allowed = cluster.alive_nodes();
+        let plan = s.plan_subset(&mut cluster, &suite::comd(), Power::watts(1400.0), &allowed);
+        assert!(!plan.node_ids.contains(&0));
+        assert!(plan.node_ids.iter().all(|id| allowed.contains(id)));
+        assert!(plan.within_budget(Power::watts(1400.0)));
     }
 
     #[test]

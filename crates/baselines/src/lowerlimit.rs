@@ -34,16 +34,28 @@ impl PowerScheduler for LowerLimit {
         "Lower-Limit"
     }
 
-    fn plan(&mut self, cluster: &mut Cluster, _app: &AppModel, budget: Power) -> SchedulePlan {
-        let n_total = cluster.len();
+    fn plan(&mut self, cluster: &mut Cluster, app: &AppModel, budget: Power) -> SchedulePlan {
+        let all: Vec<usize> = (0..cluster.len()).collect();
+        self.plan_subset(cluster, app, budget, &all)
+    }
+
+    fn plan_subset(
+        &mut self,
+        cluster: &mut Cluster,
+        _app: &AppModel,
+        budget: Power,
+        allowed: &[usize],
+    ) -> SchedulePlan {
+        assert!(!allowed.is_empty(), "no nodes available");
         let affordable = (budget.as_watts() / self.preset.as_watts()).floor() as usize;
-        let n = affordable.clamp(1, n_total);
+        let n = affordable.clamp(1, allowed.len());
         let per_node = budget / n as f64;
         let caps = naive_split(per_node);
+        let probe = allowed.first().copied().unwrap_or(0);
         let plan = SchedulePlan {
             scheduler: self.name().to_string(),
-            node_ids: (0..n).collect(),
-            threads_per_node: cluster.node(0).topology().total_cores(),
+            node_ids: allowed.iter().copied().take(n).collect(),
+            threads_per_node: cluster.node(probe).topology().total_cores(),
             policy: AffinityPolicy::Compact,
             caps: vec![caps; n],
         };
@@ -90,6 +102,25 @@ mod tests {
                 LowerLimit::default().plan(&mut cluster, &suite::amg(), Power::watts(budget));
             assert!(plan.within_budget(Power::watts(budget)), "budget {budget}");
         }
+    }
+
+    #[test]
+    fn subset_clamps_to_pool_and_holds_the_floor() {
+        let mut cluster = Cluster::homogeneous(8);
+        for dead in [0, 1, 2, 3, 4, 5] {
+            cluster.fail_node(dead);
+        }
+        // 900 W affords 5 nodes at the 180 W floor, but only 2 survive.
+        let allowed = cluster.alive_nodes();
+        let plan = LowerLimit::default().plan_subset(
+            &mut cluster,
+            &suite::comd(),
+            Power::watts(900.0),
+            &allowed,
+        );
+        assert_eq!(plan.nodes(), 2);
+        assert_eq!(plan.node_ids, vec![6, 7]);
+        assert!(plan.within_budget(Power::watts(900.0)));
     }
 
     #[test]

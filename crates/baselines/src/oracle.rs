@@ -45,10 +45,11 @@ struct Candidate {
 }
 
 impl Oracle {
-    fn candidates(&self, cluster: &Cluster, app: &AppModel) -> Vec<Candidate> {
-        let n_total = cluster.len();
-        let total_cores = cluster.node(0).topology().total_cores();
-        let node_counts: Vec<usize> = if app.preferred_node_counts().is_empty() {
+    fn candidates(&self, cluster: &Cluster, app: &AppModel, allowed: &[usize]) -> Vec<Candidate> {
+        let n_total = allowed.len();
+        let probe = allowed.first().copied().unwrap_or(0);
+        let total_cores = cluster.node(probe).topology().total_cores();
+        let mut node_counts: Vec<usize> = if app.preferred_node_counts().is_empty() {
             (1..=n_total).collect()
         } else {
             app.preferred_node_counts()
@@ -57,6 +58,11 @@ impl Oracle {
                 .filter(|&n| n <= n_total)
                 .collect()
         };
+        if node_counts.is_empty() {
+            // A shrunken pool can rule out every preferred decomposition;
+            // fall back to sweeping what the pool can still hold.
+            node_counts = (1..=n_total).collect();
+        }
         let mut threads: Vec<usize> = (2..=total_cores).step_by(2).collect();
         if !threads.contains(&total_cores) {
             threads.push(total_cores);
@@ -79,13 +85,13 @@ impl Oracle {
         out
     }
 
-    fn plan_of(candidate: &Candidate, budget: Power) -> SchedulePlan {
+    fn plan_of(candidate: &Candidate, budget: Power, allowed: &[usize]) -> SchedulePlan {
         let per_node = budget / candidate.nodes as f64;
         let dram = (per_node.as_watts() * candidate.dram_share).max(1.0);
         let cpu = (per_node.as_watts() - dram).max(1.0);
         SchedulePlan {
             scheduler: "Oracle".to_string(),
-            node_ids: (0..candidate.nodes).collect(),
+            node_ids: allowed.iter().copied().take(candidate.nodes).collect(),
             threads_per_node: candidate.threads,
             policy: candidate.policy,
             caps: vec![PowerCaps::new(Power::watts(cpu), Power::watts(dram)); candidate.nodes],
@@ -99,11 +105,23 @@ impl PowerScheduler for Oracle {
     }
 
     fn plan(&mut self, cluster: &mut Cluster, app: &AppModel, budget: Power) -> SchedulePlan {
-        let candidates = self.candidates(cluster, app);
+        let all: Vec<usize> = (0..cluster.len()).collect();
+        self.plan_subset(cluster, app, budget, &all)
+    }
+
+    fn plan_subset(
+        &mut self,
+        cluster: &mut Cluster,
+        app: &AppModel,
+        budget: Power,
+        allowed: &[usize],
+    ) -> SchedulePlan {
+        assert!(!allowed.is_empty(), "no nodes available");
+        let candidates = self.candidates(cluster, app, allowed);
         let iterations = self.eval_iterations;
         let base = cluster.clone();
         let scored: Vec<(f64, SchedulePlan)> = parallel_map(candidates, |cand| {
-            let plan = Self::plan_of(&cand, budget);
+            let plan = Self::plan_of(&cand, budget, allowed);
             let mut trial = base.clone();
             let report = execute_plan(&mut trial, app, &plan, iterations);
             (report.performance(), plan)
@@ -121,16 +139,18 @@ impl PowerScheduler for Oracle {
                 best = Some((perf, plan));
             }
         }
+        let probe = allowed.first().copied().unwrap_or(0);
         let plan = match best {
             Some((_, plan)) => plan,
             None => Self::plan_of(
                 &Candidate {
                     nodes: 1,
-                    threads: cluster.node(0).topology().total_cores(),
+                    threads: cluster.node(probe).topology().total_cores(),
                     policy: AffinityPolicy::Compact,
                     dram_share: 0.12,
                 },
                 budget,
+                allowed,
             ),
         };
         BudgetLedger::new(self.name(), budget).audit_plan(&plan);
@@ -193,6 +213,25 @@ mod tests {
             operf >= nperf * 0.999,
             "oracle {operf:.4} vs naive {nperf:.4}"
         );
+    }
+
+    #[test]
+    fn oracle_subset_searches_only_the_pool() {
+        let mut cluster = Cluster::homogeneous(8);
+        cluster.fail_node(0);
+        cluster.fail_node(1);
+        let allowed = cluster.alive_nodes();
+        // CoMD prefers 1/2/4/8 nodes; with 6 survivors the oracle may use
+        // at most 4 of them, drawn from the pool.
+        let plan = Oracle::default().plan_subset(
+            &mut cluster,
+            &suite::comd(),
+            Power::watts(1400.0),
+            &allowed,
+        );
+        assert!(plan.nodes() <= 6);
+        assert!(plan.node_ids.iter().all(|id| allowed.contains(id)));
+        assert!(plan.within_budget(Power::watts(1400.0)));
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Extension harness: schedulers under fault injection.
+//!
+//! Runs every §V-C comparison method through the same seeded fault
+//! timeline — a crash, a straggler, a burst of cap jitter, and slow drift,
+//! spread over the coordination epochs — on the paper testbed under one
+//! cluster budget. The degradation harness (`clip_core::degrade`)
+//! re-coordinates each method over the survivors after every pool change
+//! and classifies cap-jitter overshoot with the `BudgetLedger`.
+//!
+//! Reported per scheduler: pre-fault and post-recovery throughput, number
+//! of recoveries, mean time-to-recover, total reclaimed watts, and how
+//! many epochs drew over budget for reasons the ledger attributed to the
+//! injected jitter. Every run reproduces exactly from `(HARNESS_SEED,
+//! FaultPlan)`.
+//!
+//! `--smoke` runs a tiny 4-node, 3-epoch plan (one crash) so CI can gate
+//! on the full path in well under five seconds.
+
+use clip_bench::{comparison_methods, emit, testbed, HARNESS_SEED};
+use clip_core::degrade::{run_with_faults, FaultHarnessConfig};
+use cluster_sim::{Cluster, FaultEvent, FaultKind, FaultPlan};
+use simkit::table::Table;
+use simkit::Power;
+use workload::suite;
+
+fn full_plan() -> FaultPlan {
+    FaultPlan::new(vec![
+        FaultEvent {
+            at_epoch: 1,
+            node: 2,
+            kind: FaultKind::CapJitter { fraction: 0.06 },
+        },
+        FaultEvent {
+            at_epoch: 2,
+            node: 5,
+            kind: FaultKind::NodeCrash,
+        },
+        FaultEvent {
+            at_epoch: 3,
+            node: 1,
+            kind: FaultKind::SlowNode { factor: 1.20 },
+        },
+        FaultEvent {
+            at_epoch: 4,
+            node: 2,
+            kind: FaultKind::CapJitter { fraction: 0.0 },
+        },
+        FaultEvent {
+            at_epoch: 5,
+            node: 0,
+            kind: FaultKind::NodeCrash,
+        },
+        FaultEvent {
+            at_epoch: 6,
+            node: 4,
+            kind: FaultKind::VariabilityDrift { factor: 1.04 },
+        },
+    ])
+}
+
+fn smoke_plan() -> FaultPlan {
+    FaultPlan::new(vec![FaultEvent {
+        at_epoch: 1,
+        node: 1,
+        kind: FaultKind::NodeCrash,
+    }])
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    let (cluster_proto, faults, cfg, budget) = if smoke {
+        (
+            Cluster::with_variability(4, &cluster_sim::VariabilityModel::default(), HARNESS_SEED),
+            smoke_plan(),
+            FaultHarnessConfig {
+                epochs: 3,
+                iterations_per_epoch: 1,
+            },
+            Power::watts(800.0),
+        )
+    } else {
+        (
+            testbed(),
+            full_plan(),
+            FaultHarnessConfig {
+                epochs: 8,
+                iterations_per_epoch: 2,
+            },
+            Power::watts(1500.0),
+        )
+    };
+    let app = suite::comd();
+
+    let title = if smoke {
+        "Extension: fault injection (smoke: 4 nodes, 1 crash)".to_string()
+    } else {
+        format!(
+            "Extension: fault injection ({} W, 8 nodes, {} events)",
+            budget.as_watts(),
+            faults.len()
+        )
+    };
+    let mut table = Table::new(
+        &title,
+        &[
+            "scheduler",
+            "pre-fault (it/s)",
+            "post-fault (it/s)",
+            "recoveries",
+            "mean TTR (s)",
+            "reclaimed (W)",
+            "jitter overshoots",
+            "survivors",
+        ],
+    );
+
+    for method in comparison_methods().iter_mut() {
+        let mut cluster = cluster_proto.clone();
+        let report = run_with_faults(method.as_mut(), &mut cluster, &app, budget, &faults, &cfg);
+        let reclaimed: f64 = report
+            .recoveries
+            .iter()
+            .map(|r| r.reclaimed.as_watts())
+            .sum();
+        table.row(&[
+            report.scheduler.clone(),
+            format!("{:.3}", report.pre_fault_performance()),
+            format!("{:.3}", report.post_fault_performance()),
+            report.recoveries.len().to_string(),
+            report
+                .mean_time_to_recover()
+                .map(|t| format!("{:.2}", t.as_secs()))
+                .unwrap_or_else(|| "-".to_string()),
+            format!("{reclaimed:.0}"),
+            report.injected_overshoots.to_string(),
+            report.survivors.to_string(),
+        ]);
+    }
+    emit(&table);
+}

@@ -1,0 +1,405 @@
+//! Deterministic, seeded fault injection for the fleet.
+//!
+//! Production power-bounded clusters lose nodes, grow stragglers, and see
+//! their RAPL actuation drift — none of which the happy-path schedulers in
+//! `clip-core`/`baselines` would otherwise ever face. This module supplies
+//! the *what happens* half of the degradation story: a [`FaultPlan`] is a
+//! timeline of [`FaultEvent`]s, each firing at a coordination epoch against
+//! one node, and [`apply_event`] mutates the [`Cluster`] accordingly. The
+//! *how the scheduler reacts* half lives in `clip_core::degrade`.
+//!
+//! Determinism is the design center: a plan is plain data (serializable),
+//! the random generators draw only from a caller-seeded [`SimRng`], and
+//! applying a plan to a cluster built from the same seed replays the exact
+//! run — so any failing case is reproducible from its `(seed, FaultPlan)`
+//! pair alone.
+
+use crate::fleet::Cluster;
+use serde::{Deserialize, Serialize};
+use simkit::SimRng;
+
+/// The kinds of faults the injector can fire at a node.
+///
+/// `FaultKind` is a domain enum: `clip-lint` requires every `match` over it
+/// to be exhaustive, so adding a variant breaks loudly at every consumer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The node drops out of the pool entirely (kernel panic, PSU trip).
+    /// Its power budget must be reclaimed and redistributed.
+    NodeCrash,
+    /// The node turns straggler: its variability factor is multiplied by
+    /// `factor` (> 1 ⇒ it burns more power for the same work, so under a
+    /// uniform cap it runs slower and drags the barrier).
+    SlowNode {
+        /// Multiplier applied to the node's efficiency factor.
+        factor: f64,
+    },
+    /// The RAPL enforcement loop develops a signed actuation error: the
+    /// package cap it actually holds becomes `cap × (1 + fraction)`.
+    /// `fraction = 0` models the jitter window ending.
+    CapJitter {
+        /// Signed actuation-error fraction in (−1, 1).
+        fraction: f64,
+    },
+    /// Slow manufacturing-variability drift (aging, thermal paste, dust):
+    /// like [`FaultKind::SlowNode`] but gentler, and `factor` may be
+    /// slightly below 1 (a part can also settle in).
+    VariabilityDrift {
+        /// Multiplier applied to the node's efficiency factor.
+        factor: f64,
+    },
+}
+
+/// What applying an event did to the cluster — tells the scheduler whether
+/// re-coordination (re-running Algorithm 1) is warranted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultImpact {
+    /// The schedulable pool or its efficiency profile changed: the
+    /// scheduler should re-plan over the survivors.
+    PoolChanged,
+    /// Only cap actuation changed; the plan is still valid, but the ledger
+    /// should expect bounded overshoot.
+    ActuationOnly,
+    /// The event targeted a dead or out-of-range node (or would have
+    /// crashed the last survivor) and was dropped.
+    Ignored,
+}
+
+/// One timestamped fault: `kind` fires at node `node` when the harness
+/// reaches coordination epoch `at_epoch`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Coordination epoch (0-based) at which the fault fires.
+    pub at_epoch: usize,
+    /// Fleet index of the targeted node.
+    pub node: usize,
+    /// What happens to it.
+    pub kind: FaultKind,
+}
+
+/// A deterministic timeline of fault events, sorted by firing epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults (the happy path, for differential runs).
+    pub fn empty() -> Self {
+        Self { events: Vec::new() }
+    }
+
+    /// Build a plan from explicit events; they are sorted by
+    /// `(at_epoch, node)` so construction order never matters.
+    pub fn new(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| (e.at_epoch, e.node));
+        Self { events }
+    }
+
+    /// Sample a mixed fault timeline: crashes, stragglers, cap jitter, and
+    /// drift, spread over `epochs` coordination epochs on an `n_nodes`
+    /// fleet. Crashes are budgeted so at least one node always survives.
+    /// Equal `(rng seed, n_nodes, epochs)` yield equal plans.
+    pub fn random(rng: &mut SimRng, n_nodes: usize, epochs: usize) -> Self {
+        Self::random_with(rng, n_nodes, epochs, true)
+    }
+
+    /// Like [`FaultPlan::random`] but drawing only from strictly degrading
+    /// faults (crashes, stragglers, undershooting jitter, worsening
+    /// drift). Used by the differential-bound property test: a plan from
+    /// this generator can never make a scheduler *faster* than its
+    /// fault-free run.
+    pub fn random_degrading(rng: &mut SimRng, n_nodes: usize, epochs: usize) -> Self {
+        Self::random_with(rng, n_nodes, epochs, false)
+    }
+
+    fn random_with(rng: &mut SimRng, n_nodes: usize, epochs: usize, allow_upside: bool) -> Self {
+        assert!(n_nodes > 0, "fault plan needs a non-empty fleet");
+        assert!(epochs > 0, "fault plan needs at least one epoch");
+        let mut events = Vec::new();
+        // Crash budget: strictly fewer crashes than nodes, so the pool
+        // never empties even if every crash lands on a distinct node.
+        let mut crashes_left = n_nodes - 1;
+        let mut dead: Vec<bool> = vec![false; n_nodes];
+        for epoch in 0..epochs {
+            if !rng.chance(0.6) {
+                continue;
+            }
+            // The crash budget keeps at least one node alive, so the
+            // candidate pool is never empty.
+            let alive: Vec<usize> = dead
+                .iter()
+                .enumerate()
+                .filter(|(_, &d)| !d)
+                .map(|(i, _)| i)
+                .collect();
+            let node = *rng.choose(&alive);
+            let roll = rng.uniform();
+            let kind = if roll < 0.30 && crashes_left > 0 && alive.len() > 1 {
+                crashes_left -= 1;
+                if let Some(d) = dead.get_mut(node) {
+                    *d = true;
+                }
+                FaultKind::NodeCrash
+            } else if roll < 0.55 {
+                FaultKind::SlowNode {
+                    factor: rng.uniform_range(1.05, 1.30),
+                }
+            } else if roll < 0.80 {
+                let magnitude = rng.uniform_range(0.02, 0.10);
+                let fraction = if allow_upside && rng.chance(0.5) {
+                    magnitude
+                } else {
+                    -magnitude
+                };
+                FaultKind::CapJitter { fraction }
+            } else {
+                let lo = if allow_upside { 0.97 } else { 1.0 };
+                FaultKind::VariabilityDrift {
+                    factor: rng.uniform_range(lo, 1.08),
+                }
+            };
+            events.push(FaultEvent {
+                at_epoch: epoch,
+                node,
+                kind,
+            });
+        }
+        Self::new(events)
+    }
+
+    /// All events, in firing order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// The events that fire at the given epoch, in node order.
+    pub fn events_at(&self, epoch: usize) -> impl Iterator<Item = &FaultEvent> {
+        self.events.iter().filter(move |e| e.at_epoch == epoch)
+    }
+
+    /// Number of events in the plan.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the plan has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of crash events in the plan.
+    pub fn crash_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::NodeCrash))
+            .count()
+    }
+
+    /// One past the last epoch any event fires at (0 for an empty plan).
+    pub fn horizon(&self) -> usize {
+        self.events
+            .iter()
+            .map(|e| e.at_epoch + 1)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Apply one fault event to the cluster and report its impact.
+///
+/// Events against dead or out-of-range nodes are dropped (`Ignored`), as is
+/// a crash that would empty the pool — a plan is allowed to be speculative
+/// about a node that an earlier event already killed.
+pub fn apply_event(cluster: &mut Cluster, event: &FaultEvent) -> FaultImpact {
+    let id = event.node;
+    if id >= cluster.len() || !cluster.is_alive(id) {
+        return FaultImpact::Ignored;
+    }
+    match event.kind {
+        FaultKind::NodeCrash => {
+            if cluster.alive_len() <= 1 {
+                return FaultImpact::Ignored;
+            }
+            cluster.fail_node(id);
+            FaultImpact::PoolChanged
+        }
+        FaultKind::SlowNode { factor } => {
+            cluster.scale_node_efficiency(id, factor);
+            FaultImpact::PoolChanged
+        }
+        FaultKind::CapJitter { fraction } => {
+            cluster.set_cap_jitter(id, fraction);
+            FaultImpact::ActuationOnly
+        }
+        FaultKind::VariabilityDrift { factor } => {
+            cluster.scale_node_efficiency(id, factor);
+            FaultImpact::PoolChanged
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_plans_are_seed_deterministic() {
+        let mut a = SimRng::seed_from_u64(77);
+        let mut b = SimRng::seed_from_u64(77);
+        let pa = FaultPlan::random(&mut a, 8, 12);
+        let pb = FaultPlan::random(&mut b, 8, 12);
+        assert_eq!(pa, pb);
+        let mut c = SimRng::seed_from_u64(78);
+        // A neighbouring seed virtually never produces the same timeline.
+        assert_ne!(pa, FaultPlan::random(&mut c, 8, 12));
+    }
+
+    #[test]
+    fn random_plans_never_crash_every_node() {
+        for seed in 0..50 {
+            let mut rng = SimRng::seed_from_u64(seed);
+            let plan = FaultPlan::random(&mut rng, 4, 40);
+            assert!(plan.crash_count() < 4, "seed {seed} kills the whole pool");
+        }
+    }
+
+    #[test]
+    fn degrading_plans_have_no_upside_faults() {
+        for seed in 0..30 {
+            let mut rng = SimRng::seed_from_u64(seed);
+            let plan = FaultPlan::random_degrading(&mut rng, 6, 20);
+            for e in plan.events() {
+                match e.kind {
+                    FaultKind::NodeCrash => {}
+                    FaultKind::SlowNode { factor } => assert!(factor >= 1.0),
+                    FaultKind::CapJitter { fraction } => assert!(fraction < 0.0),
+                    FaultKind::VariabilityDrift { factor } => assert!(factor >= 1.0),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn events_sorted_and_filterable_by_epoch() {
+        let plan = FaultPlan::new(vec![
+            FaultEvent {
+                at_epoch: 3,
+                node: 0,
+                kind: FaultKind::NodeCrash,
+            },
+            FaultEvent {
+                at_epoch: 1,
+                node: 2,
+                kind: FaultKind::CapJitter { fraction: 0.05 },
+            },
+            FaultEvent {
+                at_epoch: 1,
+                node: 1,
+                kind: FaultKind::SlowNode { factor: 1.2 },
+            },
+        ]);
+        let epochs: Vec<usize> = plan.events().iter().map(|e| e.at_epoch).collect();
+        assert_eq!(epochs, vec![1, 1, 3]);
+        assert_eq!(plan.events_at(1).count(), 2);
+        assert_eq!(plan.events_at(2).count(), 0);
+        assert_eq!(plan.horizon(), 4);
+        assert_eq!(plan.len(), 3);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.crash_count(), 1);
+    }
+
+    #[test]
+    fn crash_event_removes_node_from_pool() {
+        let mut c = Cluster::homogeneous(3);
+        let impact = apply_event(
+            &mut c,
+            &FaultEvent {
+                at_epoch: 0,
+                node: 1,
+                kind: FaultKind::NodeCrash,
+            },
+        );
+        assert_eq!(impact, FaultImpact::PoolChanged);
+        assert_eq!(c.alive_nodes(), vec![0, 2]);
+    }
+
+    #[test]
+    fn events_on_dead_nodes_are_ignored() {
+        let mut c = Cluster::homogeneous(2);
+        c.fail_node(0);
+        let impact = apply_event(
+            &mut c,
+            &FaultEvent {
+                at_epoch: 0,
+                node: 0,
+                kind: FaultKind::SlowNode { factor: 1.5 },
+            },
+        );
+        assert_eq!(impact, FaultImpact::Ignored);
+        assert_eq!(c.efficiencies()[0], 1.0, "dead node untouched");
+    }
+
+    #[test]
+    fn crash_sparing_the_last_survivor_is_ignored() {
+        let mut c = Cluster::homogeneous(2);
+        c.fail_node(1);
+        let impact = apply_event(
+            &mut c,
+            &FaultEvent {
+                at_epoch: 0,
+                node: 0,
+                kind: FaultKind::NodeCrash,
+            },
+        );
+        assert_eq!(impact, FaultImpact::Ignored);
+        assert!(c.is_alive(0));
+    }
+
+    #[test]
+    fn straggler_and_drift_compound_multiplicatively() {
+        let mut c = Cluster::homogeneous(2);
+        apply_event(
+            &mut c,
+            &FaultEvent {
+                at_epoch: 0,
+                node: 0,
+                kind: FaultKind::SlowNode { factor: 1.2 },
+            },
+        );
+        apply_event(
+            &mut c,
+            &FaultEvent {
+                at_epoch: 1,
+                node: 0,
+                kind: FaultKind::VariabilityDrift { factor: 1.05 },
+            },
+        );
+        assert!((c.efficiencies()[0] - 1.26).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jitter_event_changes_actuation_only() {
+        let mut c = Cluster::homogeneous(2);
+        let impact = apply_event(
+            &mut c,
+            &FaultEvent {
+                at_epoch: 0,
+                node: 1,
+                kind: FaultKind::CapJitter { fraction: -0.06 },
+            },
+        );
+        assert_eq!(impact, FaultImpact::ActuationOnly);
+        assert_eq!(c.node(1).cap_jitter(), -0.06);
+        assert_eq!(c.alive_len(), 2, "jitter does not shrink the pool");
+    }
+
+    #[test]
+    fn plan_survives_serde_roundtrip() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let plan = FaultPlan::random(&mut rng, 8, 10);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+}

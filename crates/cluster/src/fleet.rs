@@ -25,6 +25,9 @@ use simnode::{Node, PowerCaps};
 pub struct Cluster {
     nodes: Vec<Node>,
     efficiencies: Vec<f64>,
+    /// Liveness flags; a crashed node stays in the fleet (indices are
+    /// stable) but must not be scheduled onto.
+    alive: Vec<bool>,
 }
 
 impl Cluster {
@@ -41,9 +44,11 @@ impl Cluster {
             .iter()
             .map(|&e| Node::haswell_with_efficiency(e))
             .collect();
+        let alive = vec![true; n];
         Self {
             nodes,
             efficiencies,
+            alive,
         }
     }
 
@@ -98,6 +103,55 @@ impl Cluster {
         let mut ranked: Vec<(usize, f64)> = self.efficiencies.iter().copied().enumerate().collect();
         ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
         ranked.into_iter().map(|(i, _)| i).collect()
+    }
+
+    /// Is node `i` still alive?
+    pub fn is_alive(&self, i: usize) -> bool {
+        self.alive[i]
+    }
+
+    /// Mark node `i` as crashed. Its index stays valid (the fleet does not
+    /// renumber) but [`crate::run_job`] refuses to schedule onto it. At
+    /// least one node must remain alive.
+    pub fn fail_node(&mut self, i: usize) {
+        assert!(i < self.alive.len(), "node {i} out of range");
+        let others_alive = (0..self.alive.len()).any(|j| j != i && self.alive[j]);
+        assert!(others_alive, "cannot crash the last alive node");
+        self.alive[i] = false;
+    }
+
+    /// Indices of the nodes still alive, in fleet order.
+    pub fn alive_nodes(&self) -> Vec<usize> {
+        (0..self.alive.len()).filter(|&i| self.alive[i]).collect()
+    }
+
+    /// Count of alive nodes.
+    pub fn alive_len(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Overwrite node `i`'s variability factor (both the scheduler-visible
+    /// entry and the node's own power model) — the knob slow-node and
+    /// drift faults turn. Factors > 1 burn more power for the same work.
+    pub fn set_node_efficiency(&mut self, i: usize, factor: f64) {
+        assert!(i < self.nodes.len(), "node {i} out of range");
+        self.nodes[i].set_efficiency(factor);
+        self.efficiencies[i] = factor;
+    }
+
+    /// Multiply node `i`'s variability factor — how straggle and drift
+    /// faults compound on whatever the node already was.
+    pub fn scale_node_efficiency(&mut self, i: usize, factor: f64) {
+        assert!(i < self.nodes.len(), "node {i} out of range");
+        let scaled = self.efficiencies[i] * factor;
+        self.set_node_efficiency(i, scaled);
+    }
+
+    /// Inject a RAPL actuation error on node `i` (see
+    /// [`simnode::Node::set_cap_jitter`]); 0 restores exact actuation.
+    pub fn set_cap_jitter(&mut self, i: usize, jitter: f64) {
+        assert!(i < self.nodes.len(), "node {i} out of range");
+        self.nodes[i].set_cap_jitter(jitter);
     }
 }
 
@@ -155,6 +209,47 @@ mod tests {
     fn cap_count_mismatch_rejected() {
         let mut c = Cluster::homogeneous(2);
         c.set_caps(&[PowerCaps::unlimited()]);
+    }
+
+    #[test]
+    fn fresh_fleet_is_fully_alive() {
+        let c = Cluster::paper_testbed(42);
+        assert_eq!(c.alive_len(), 8);
+        assert_eq!(c.alive_nodes(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn failed_node_leaves_the_pool_but_keeps_its_index() {
+        let mut c = Cluster::homogeneous(4);
+        c.fail_node(1);
+        assert!(!c.is_alive(1));
+        assert_eq!(c.alive_nodes(), vec![0, 2, 3]);
+        assert_eq!(c.alive_len(), 3);
+        assert_eq!(c.len(), 4, "the fleet does not renumber");
+    }
+
+    #[test]
+    #[should_panic(expected = "last alive node")]
+    fn last_alive_node_cannot_crash() {
+        let mut c = Cluster::homogeneous(2);
+        c.fail_node(0);
+        c.fail_node(1);
+    }
+
+    #[test]
+    fn node_efficiency_override_reaches_both_views() {
+        let mut c = Cluster::homogeneous(3);
+        c.set_node_efficiency(2, 1.2);
+        assert_eq!(c.efficiencies()[2], 1.2);
+        assert_eq!(c.node(2).power_model().efficiency, 1.2);
+    }
+
+    #[test]
+    fn cap_jitter_is_per_node() {
+        let mut c = Cluster::homogeneous(2);
+        c.set_cap_jitter(1, 0.05);
+        assert_eq!(c.node(0).cap_jitter(), 0.0);
+        assert_eq!(c.node(1).cap_jitter(), 0.05);
     }
 
     #[test]

@@ -143,6 +143,7 @@ pub fn run_job(cluster: &mut Cluster, spec: &JobSpec<'_>) -> JobReport {
     assert!(spec.iterations > 0, "job needs at least one iteration");
     for &id in &spec.node_ids {
         assert!(id < cluster.len(), "node {id} out of range");
+        assert!(cluster.is_alive(id), "node {id} has crashed");
     }
     let n_nodes = spec.node_ids.len();
     let scaled = spec.app.strong_scale(n_nodes);
@@ -355,6 +356,22 @@ mod tests {
         let spec = JobSpec {
             app: &app,
             node_ids: vec![5],
+            threads_per_node: 4,
+            policy: AffinityPolicy::Compact,
+            iterations: 1,
+        };
+        run_job(&mut cluster, &spec);
+    }
+
+    #[test]
+    #[should_panic(expected = "has crashed")]
+    fn crashed_node_cannot_run_jobs() {
+        let mut cluster = Cluster::homogeneous(3);
+        cluster.fail_node(1);
+        let app = suite::comd();
+        let spec = JobSpec {
+            app: &app,
+            node_ids: vec![0, 1],
             threads_per_node: 4,
             policy: AffinityPolicy::Compact,
             iterations: 1,

@@ -15,12 +15,17 @@
 //!   barrier-wait idling.
 //! - [`sweep`]: a small fork-join helper for parallel configuration sweeps
 //!   (used by the exhaustive Oracle baseline and the figure harnesses).
+//! - [`faults`]: deterministic, seeded fault injection — timelines of node
+//!   crashes, stragglers, cap-actuation jitter, and variability drift that
+//!   the degradation harness in `clip-core` replays against the fleet.
 
+pub mod faults;
 pub mod fleet;
 pub mod job;
 pub mod sweep;
 pub mod variability;
 
+pub use faults::{apply_event, FaultEvent, FaultImpact, FaultKind, FaultPlan};
 pub use fleet::Cluster;
 pub use job::{run_job, JobReport, JobSpec, NodeOutcome};
 pub use variability::VariabilityModel;

@@ -7,10 +7,17 @@
 //! with `std::thread::scope` (no `'static` bound on the closure) and
 //! returns results in input order.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
 /// Map `f` over `items` in parallel, preserving order. Falls back to a
 /// sequential loop for small inputs where spawning would dominate.
+///
+/// If `f` panics on any item, the first panic payload is re-raised on the
+/// calling thread verbatim — `assert!` messages from deep inside a sweep
+/// surface exactly as they would sequentially, instead of being masked by
+/// a poisoned-lock panic.
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -26,26 +33,53 @@ where
         .unwrap_or(4)
         .min(n);
 
-    // Work queue of (index, item); results gathered by index. A poisoned
-    // lock means a worker panicked mid-item; propagate the panic rather
-    // than return a partial sweep.
+    // Work queue of (index, item); results gathered by index. Each call of
+    // `f` runs under `catch_unwind`, so no lock is ever held across a
+    // panic and the locks below cannot poison; the first captured payload
+    // wins and is re-raised after the scope joins.
     let queue = Mutex::new(items.into_iter().enumerate().collect::<Vec<_>>());
     let results = Mutex::new(Vec::with_capacity(n));
+    let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    let aborted = AtomicBool::new(false);
 
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| loop {
-                let task = lock_or_panic(&queue).pop();
+                if aborted.load(Ordering::Relaxed) {
+                    break;
+                }
+                let task = match queue.lock() {
+                    Ok(mut q) => q.pop(),
+                    Err(_) => break,
+                };
                 match task {
-                    Some((idx, item)) => {
-                        let r = f(item);
-                        lock_or_panic(&results).push((idx, r));
-                    }
+                    Some((idx, item)) => match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                        Ok(r) => {
+                            if let Ok(mut out) = results.lock() {
+                                out.push((idx, r));
+                            }
+                        }
+                        Err(payload) => {
+                            aborted.store(true, Ordering::Relaxed);
+                            if let Ok(mut slot) = first_panic.lock() {
+                                slot.get_or_insert(payload);
+                            }
+                            break;
+                        }
+                    },
                     None => break,
                 }
             });
         }
     });
+
+    let payload = match first_panic.into_inner() {
+        Ok(slot) => slot,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
 
     let mut out = match results.into_inner() {
         Ok(out) => out,
@@ -53,13 +87,6 @@ where
     };
     out.sort_by_key(|(idx, _)| *idx);
     out.into_iter().map(|(_, r)| r).collect()
-}
-
-fn lock_or_panic<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    match m.lock() {
-        Ok(guard) => guard,
-        Err(_) => panic!("sweep worker panicked while holding the queue lock"),
-    }
 }
 
 #[cfg(test)]
@@ -95,5 +122,39 @@ mod tests {
     fn empty_input() {
         let out: Vec<u32> = parallel_map(Vec::<u32>::new(), |x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_panic_payload_reaches_the_caller() {
+        // Large enough to take the parallel path; the panic message from
+        // the failing item must arrive verbatim, not as a poisoned-lock
+        // panic.
+        let items: Vec<u64> = (0..64).collect();
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map(items, |x| {
+                assert!(x != 33, "boom at item {x}");
+                x
+            })
+        })
+        .expect_err("the sweep must propagate the worker panic");
+        let msg = caught
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| caught.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload should be a string");
+        assert!(msg.contains("boom at item 33"), "got: {msg}");
+    }
+
+    #[test]
+    fn sequential_path_panics_propagate_too() {
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map(vec![1, 2, 3], |x| {
+                assert!(x != 2, "small boom {x}");
+                x
+            })
+        })
+        .expect_err("sequential fallback must also panic");
+        let msg = caught.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("small boom 2"), "got: {msg}");
     }
 }

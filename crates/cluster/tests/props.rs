@@ -1,7 +1,8 @@
 //! Property-based tests for the cluster simulator: job-report invariants
-//! across random fleets, caps, and decompositions.
+//! across random fleets, caps, and decompositions, plus the conservation
+//! and differential bounds of the fault-injection layer.
 
-use cluster_sim::{run_job, Cluster, JobSpec, VariabilityModel};
+use cluster_sim::{run_job, Cluster, FaultPlan, JobSpec, VariabilityModel};
 use proptest::prelude::*;
 use simkit::{Power, SimRng};
 use simnode::{AffinityPolicy, PowerCaps};
@@ -170,5 +171,148 @@ proptest! {
                 "{}: caps {} vs budget {}", sched.name(), plan.total_caps(), budget);
             prop_assert_eq!(plan.caps.len(), plan.node_ids.len());
         }
+    }
+}
+
+/// Oracle performance on a clean 4-node fleet (the differential-bound
+/// reference). Computed once: the Oracle grid search dominates the cost.
+fn oracle_reference() -> f64 {
+    use std::sync::OnceLock;
+    static PERF: OnceLock<f64> = OnceLock::new();
+    *PERF.get_or_init(|| {
+        use baselines::Oracle;
+        use clip_core::{execute_plan, PowerScheduler};
+        let mut cluster = Cluster::homogeneous(4);
+        let app = workload::suite::comd();
+        let budget = Power::watts(700.0);
+        let plan = Oracle::default().plan(&mut cluster, &app, budget);
+        execute_plan(&mut cluster, &app, &plan, 1).performance()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Zero-sum reclamation: for a random fault plan, the watts reclaimed
+    /// from crashed nodes plus the watts the survivors still hold equal
+    /// the cluster budget during the degraded epoch, and one epoch later
+    /// the re-coordinated survivors hold the full budget again. All-In is
+    /// the probe scheduler because its caps sum to the budget *exactly*,
+    /// so conservation is an equality, not just a bound.
+    #[test]
+    fn crash_reclamation_is_zero_sum(
+        seed in any::<u64>(),
+        n_nodes in 2usize..=8,
+        epochs in 2usize..=6,
+        budget_w in 600.0f64..2000.0,
+    ) {
+        use baselines::AllIn;
+        use clip_core::{run_with_faults, FaultHarnessConfig, PowerScheduler};
+
+        let mut rng = SimRng::seed_from_u64(seed);
+        let faults = FaultPlan::random(&mut rng, n_nodes, epochs);
+        let mut cluster = Cluster::with_variability(
+            n_nodes,
+            &VariabilityModel::with_sigma(0.03),
+            seed,
+        );
+        let budget = Power::watts(budget_w);
+        let app = corpus::gen_linear(&mut rng, 0);
+        let mut sched = AllIn;
+        let report = run_with_faults(
+            &mut sched,
+            &mut cluster,
+            &app,
+            budget,
+            &faults,
+            &FaultHarnessConfig { epochs, iterations_per_epoch: 1 },
+        );
+
+        // Programmed caps never exceed the budget, in any epoch — degraded
+        // or recovered.
+        for e in &report.epochs {
+            prop_assert!(
+                e.caps_total.as_watts() <= budget.as_watts() + 1e-6,
+                "epoch {}: caps {} over budget {}", e.epoch, e.caps_total, budget
+            );
+        }
+
+        for r in &report.recoveries {
+            // Conservation during degradation: what the dead nodes gave up
+            // plus what the survivors kept is exactly the budget.
+            let fault = &report.epochs[r.fault_epoch];
+            prop_assert!(
+                (r.reclaimed.as_watts() + fault.caps_total.as_watts()
+                    - budget.as_watts()).abs() < 1e-6,
+                "epoch {}: reclaimed {} + held {} != budget {}",
+                r.fault_epoch, r.reclaimed, fault.caps_total, budget
+            );
+            // Within one coordination epoch the survivors hold the full
+            // budget again — unless that very epoch crashed another node,
+            // in which case its own recovery entry carries the balance.
+            let recovered = &report.epochs[r.recovered_epoch];
+            prop_assert!(recovered.replanned);
+            let crashed_again = report
+                .recoveries
+                .iter()
+                .any(|r2| r2.fault_epoch == r.recovered_epoch);
+            if !crashed_again {
+                prop_assert!(
+                    (recovered.caps_total.as_watts() - budget.as_watts()).abs() < 1e-6,
+                    "epoch {}: recovered caps {} != budget {}",
+                    r.recovered_epoch, recovered.caps_total, budget
+                );
+            }
+        }
+
+        // The fleet still re-coordinates to the full budget after the run.
+        prop_assert_eq!(report.survivors, cluster.alive_len());
+        let allowed = cluster.alive_nodes();
+        let settled = sched.plan_subset(&mut cluster, &app, budget, &allowed);
+        prop_assert!(
+            (settled.total_caps().as_watts() - budget.as_watts()).abs() < 1e-6,
+            "settled caps {} != budget {}", settled.total_caps(), budget
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Differential bound: CLIP running through a purely degrading fault
+    /// timeline (crashes, stragglers, undershooting caps, upward power
+    /// drift) never outperforms the fault-free Oracle on the same fleet.
+    /// Faults only take capacity away, so the clean optimum is a ceiling.
+    #[test]
+    fn clip_under_faults_never_beats_clean_oracle(seed in any::<u64>()) {
+        use clip_core::{run_with_faults, ClipScheduler, FaultHarnessConfig};
+
+        let ceiling = oracle_reference();
+        prop_assert!(ceiling > 0.0);
+
+        let mut rng = SimRng::seed_from_u64(seed);
+        let faults = FaultPlan::random_degrading(&mut rng, 4, 5);
+        let mut cluster = Cluster::homogeneous(4);
+        let mut sched = ClipScheduler::new(predictor().clone());
+        let app = workload::suite::comd();
+        let report = run_with_faults(
+            &mut sched,
+            &mut cluster,
+            &app,
+            Power::watts(700.0),
+            &faults,
+            &FaultHarnessConfig { epochs: 5, iterations_per_epoch: 1 },
+        );
+
+        // Grid granularity gives the Oracle a hair of slack; CLIP may tie
+        // but never meaningfully exceed it, in any epoch.
+        for e in &report.epochs {
+            prop_assert!(
+                e.performance <= ceiling * 1.001,
+                "epoch {} ({} events): {} it/s beats oracle {} it/s",
+                e.epoch, e.events_applied, e.performance, ceiling
+            );
+        }
+        prop_assert!(report.mean_performance() <= ceiling * 1.001);
     }
 }

@@ -53,6 +53,10 @@ pub enum AuditRule {
     NodeCap,
     /// Variability shifting changed the CPU or total power sum.
     ZeroSum,
+    /// Measured power exceeded the budget beyond any declared RAPL
+    /// actuation-jitter allowance: the overshoot cannot be blamed on the
+    /// hardware, so the plan itself must be wrong.
+    Actuation,
 }
 
 impl std::fmt::Display for AuditRule {
@@ -61,9 +65,21 @@ impl std::fmt::Display for AuditRule {
             AuditRule::ClusterBudget => "cluster-budget",
             AuditRule::NodeCap => "node-cap",
             AuditRule::ZeroSum => "zero-sum",
+            AuditRule::Actuation => "actuation",
         };
         f.write_str(s)
     }
+}
+
+/// Verdict of an actuation audit on measured (not programmed) power.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActuationCheck {
+    /// Measured power within the budget: actuation is nominal.
+    Nominal,
+    /// Measured power exceeds the budget, but by no more than the declared
+    /// injected-jitter allowance on the plan's CPU caps — a hardware
+    /// (injected) fault, not a scheduler bug.
+    InjectedJitter,
 }
 
 /// One observed conservation violation.
@@ -96,6 +112,9 @@ pub struct BudgetLedger {
     scheduler: String,
     cluster_budget: Power,
     node_cap: Option<Power>,
+    /// Declared RAPL actuation-error fraction the fault injector is
+    /// currently driving (0 = exact actuation expected).
+    injected_jitter: f64,
 }
 
 impl BudgetLedger {
@@ -105,6 +124,7 @@ impl BudgetLedger {
             scheduler: scheduler.to_string(),
             cluster_budget,
             node_cap: None,
+            injected_jitter: 0.0,
         }
     }
 
@@ -112,6 +132,18 @@ impl BudgetLedger {
     /// per-node capacity.
     pub fn with_node_cap(mut self, cap: Power) -> Self {
         self.node_cap = Some(cap);
+        self
+    }
+
+    /// Declare the injected RAPL actuation-error fraction currently in
+    /// force, so [`BudgetLedger::try_audit_actuation`] can tell bounded
+    /// hardware overshoot apart from a scheduler bug.
+    pub fn with_injected_jitter(mut self, fraction: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&fraction),
+            "jitter allowance must be in [0, 1)"
+        );
+        self.injected_jitter = fraction;
         self
     }
 
@@ -186,6 +218,52 @@ impl BudgetLedger {
             ));
         }
         Ok(())
+    }
+
+    /// Classify a *measured* cluster power reading against the budget,
+    /// without enforcing.
+    ///
+    /// Programmed caps are checked by [`BudgetLedger::try_audit_plan`];
+    /// this check closes the loop on what the hardware actually drew.
+    /// Overshoot up to `Σ cpu-caps × injected_jitter` is attributed to the
+    /// declared actuation fault ([`ActuationCheck::InjectedJitter`]);
+    /// anything beyond that is a genuine violation — the scheduler
+    /// programmed caps it had no right to.
+    pub fn try_audit_actuation(
+        &self,
+        plan: &SchedulePlan,
+        measured: Power,
+    ) -> Result<ActuationCheck, AuditViolation> {
+        let drawn = measured.as_watts();
+        if drawn <= self.cluster_budget.as_watts() + TOLERANCE_WATTS {
+            return Ok(ActuationCheck::Nominal);
+        }
+        let allowance: f64 =
+            plan.caps.iter().map(|c| c.cpu.as_watts()).sum::<f64>() * self.injected_jitter;
+        if drawn <= self.cluster_budget.as_watts() + allowance + TOLERANCE_WATTS {
+            return Ok(ActuationCheck::InjectedJitter);
+        }
+        Err(self.violation(
+            AuditRule::Actuation,
+            format!(
+                "measured {:.6} W over a {:.6} W budget exceeds the {:.3}% jitter allowance",
+                drawn,
+                self.cluster_budget.as_watts(),
+                self.injected_jitter * 100.0
+            ),
+        ))
+    }
+
+    /// Enforce the actuation check: violations panic in debug / count in
+    /// release; bounded overshoot is reported, not punished.
+    pub fn audit_actuation(&self, plan: &SchedulePlan, measured: Power) -> ActuationCheck {
+        match self.try_audit_actuation(plan, measured) {
+            Ok(check) => check,
+            Err(v) => {
+                enforce(&v);
+                ActuationCheck::Nominal
+            }
+        }
     }
 
     /// Enforce rules 1 and 2 on a finished plan.
@@ -307,6 +385,53 @@ mod tests {
         let ledger = BudgetLedger::new("t", Power::watts(100.0));
         let p = plan(vec![caps(150.0, 40.0)]);
         ledger.audit_plan(&p);
+    }
+
+    #[test]
+    fn nominal_actuation_within_budget() {
+        let ledger = BudgetLedger::new("t", Power::watts(400.0));
+        let p = plan(vec![caps(150.0, 40.0), caps(150.0, 40.0)]);
+        let check = ledger.try_audit_actuation(&p, Power::watts(375.0)).unwrap();
+        assert_eq!(check, ActuationCheck::Nominal);
+    }
+
+    #[test]
+    fn bounded_overshoot_attributed_to_injected_jitter() {
+        let ledger = BudgetLedger::new("t", Power::watts(380.0)).with_injected_jitter(0.05);
+        let p = plan(vec![caps(150.0, 40.0), caps(150.0, 40.0)]);
+        // 300 W of CPU caps × 5% = 15 W allowance; 390 W is 10 W over.
+        let check = ledger.try_audit_actuation(&p, Power::watts(390.0)).unwrap();
+        assert_eq!(check, ActuationCheck::InjectedJitter);
+    }
+
+    #[test]
+    fn overshoot_beyond_allowance_is_a_violation() {
+        let ledger = BudgetLedger::new("t", Power::watts(380.0)).with_injected_jitter(0.05);
+        let p = plan(vec![caps(150.0, 40.0), caps(150.0, 40.0)]);
+        let v = ledger
+            .try_audit_actuation(&p, Power::watts(400.0))
+            .unwrap_err();
+        assert_eq!(v.rule, AuditRule::Actuation);
+        assert!(v.to_string().contains("actuation"), "{v}");
+    }
+
+    #[test]
+    fn overshoot_without_declared_jitter_is_a_violation() {
+        let ledger = BudgetLedger::new("t", Power::watts(380.0));
+        let p = plan(vec![caps(150.0, 40.0), caps(150.0, 40.0)]);
+        let v = ledger
+            .try_audit_actuation(&p, Power::watts(381.0))
+            .unwrap_err();
+        assert_eq!(v.rule, AuditRule::Actuation);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "budget audit violation")]
+    fn enforcing_actuation_audit_panics_in_debug() {
+        let ledger = BudgetLedger::new("t", Power::watts(100.0));
+        let p = plan(vec![caps(150.0, 40.0)]);
+        ledger.audit_actuation(&p, Power::watts(200.0));
     }
 
     #[test]

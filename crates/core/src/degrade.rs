@@ -1,0 +1,560 @@
+//! The degradation path: running a scheduler through a fault timeline.
+//!
+//! [`run_with_faults`] is the re-coordination entry point the ISSUE's
+//! fault-injection layer plugs into. It advances a cluster through
+//! *coordination epochs*; at each epoch boundary it fires the epoch's
+//! [`cluster_sim::FaultEvent`]s, and whenever a fault changed the
+//! schedulable pool (a crash) or its efficiency profile (straggle, drift)
+//! it re-runs the scheduler — Algorithm 1 over the survivors — with the
+//! *full* cluster budget, reclaiming whatever the dead node held. Cap
+//! jitter does not trigger re-planning; instead the epoch's measured power
+//! is classified by [`BudgetLedger::audit_actuation`], which separates
+//! bounded injected overshoot from genuine scheduler bugs.
+//!
+//! Recovery is deliberately one epoch long: a crash mid-epoch degrades the
+//! remainder of that epoch (the dead node's ranks are dropped and its
+//! budget idles), and the scheduler re-coordinates at the next boundary.
+//! Time-to-recover is therefore the wall time of the degraded epoch — the
+//! metric the `ext_faults` bench harness reports.
+//!
+//! Everything here is deterministic: a `(seed, FaultPlan)` pair plus the
+//! scheduler's own configuration fully determines the report, which is the
+//! property the replay tests pin down.
+
+use crate::audit::{ActuationCheck, BudgetLedger};
+use crate::scheduler::{execute_plan, PowerScheduler};
+use cluster_sim::{apply_event, Cluster, FaultImpact, FaultKind, FaultPlan};
+use serde::{Deserialize, Serialize};
+use simkit::{Power, TimeSpan};
+use workload::AppModel;
+
+/// How long and how densely to run the fault harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultHarnessConfig {
+    /// Coordination epochs to simulate.
+    pub epochs: usize,
+    /// Job iterations executed per epoch.
+    pub iterations_per_epoch: usize,
+}
+
+impl Default for FaultHarnessConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 8,
+            iterations_per_epoch: 2,
+        }
+    }
+}
+
+/// What one coordination epoch looked like.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EpochRecord {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Whether the scheduler re-planned at this epoch's boundary.
+    pub replanned: bool,
+    /// Nodes that executed this epoch.
+    pub node_ids: Vec<usize>,
+    /// Sum of the programmed caps this epoch.
+    pub caps_total: Power,
+    /// Measured (barrier-blended) cluster power.
+    pub measured_power: Power,
+    /// Epoch performance, iterations per second.
+    pub performance: f64,
+    /// Epoch wall time.
+    pub epoch_time: TimeSpan,
+    /// Fault events that took effect this epoch.
+    pub events_applied: usize,
+    /// Fault events dropped (dead target, last-survivor crash).
+    pub events_ignored: usize,
+    /// The ledger attributed a budget overshoot to injected cap jitter.
+    pub injected_overshoot: bool,
+}
+
+/// One completed crash-recovery cycle.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Recovery {
+    /// Epoch at which the pool-changing fault fired.
+    pub fault_epoch: usize,
+    /// Epoch at whose boundary the scheduler re-coordinated.
+    pub recovered_epoch: usize,
+    /// Wall time spent degraded (the fault epoch's remainder).
+    pub time_to_recover: TimeSpan,
+    /// Power reclaimed from nodes that crashed in the fault epoch.
+    pub reclaimed: Power,
+}
+
+/// Full deterministic record of a scheduler run under a fault plan.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultRunReport {
+    /// The scheduler that was driven.
+    pub scheduler: String,
+    /// The cluster budget held throughout.
+    pub budget: Power,
+    /// Per-epoch records, in order.
+    pub epochs: Vec<EpochRecord>,
+    /// Completed crash-recovery cycles.
+    pub recoveries: Vec<Recovery>,
+    /// Epochs whose overshoot the ledger attributed to injected jitter.
+    pub injected_overshoots: usize,
+    /// Nodes alive when the run ended.
+    pub survivors: usize,
+}
+
+impl FaultRunReport {
+    /// Mean performance over all epochs.
+    pub fn mean_performance(&self) -> f64 {
+        if self.epochs.is_empty() {
+            return 0.0;
+        }
+        self.epochs.iter().map(|e| e.performance).sum::<f64>() / self.epochs.len() as f64
+    }
+
+    /// Mean performance over the epochs before the first fault took
+    /// effect (the whole run if no fault ever fired).
+    pub fn pre_fault_performance(&self) -> f64 {
+        let pre: Vec<f64> = self
+            .epochs
+            .iter()
+            .take_while(|e| e.events_applied == 0)
+            .map(|e| e.performance)
+            .collect();
+        if pre.is_empty() {
+            return 0.0;
+        }
+        pre.iter().sum::<f64>() / pre.len() as f64
+    }
+
+    /// Mean performance over the epochs after the last re-coordination
+    /// (0 when the scheduler never re-planned).
+    pub fn post_fault_performance(&self) -> f64 {
+        let last_replan = self
+            .epochs
+            .iter()
+            .rev()
+            .find(|e| e.replanned)
+            .map(|e| e.epoch);
+        let Some(from) = last_replan else {
+            return 0.0;
+        };
+        let post: Vec<f64> = self
+            .epochs
+            .iter()
+            .filter(|e| e.epoch >= from)
+            .map(|e| e.performance)
+            .collect();
+        if post.is_empty() {
+            return 0.0;
+        }
+        post.iter().sum::<f64>() / post.len() as f64
+    }
+
+    /// Mean time-to-recover over all completed recoveries.
+    pub fn mean_time_to_recover(&self) -> Option<TimeSpan> {
+        if self.recoveries.is_empty() {
+            return None;
+        }
+        let total: f64 = self
+            .recoveries
+            .iter()
+            .map(|r| r.time_to_recover.as_secs())
+            .sum();
+        Some(TimeSpan::secs(total / self.recoveries.len() as f64))
+    }
+}
+
+/// Drive `scheduler` through `faults` on `cluster` for `cfg.epochs`
+/// coordination epochs under a constant cluster `budget`.
+///
+/// Contract highlights, verified by the unit tests and the props suite:
+///
+/// - A pool-changing fault at epoch *e* triggers re-coordination at the
+///   boundary of epoch *e + 1*: the plan is rebuilt over the survivors
+///   with the full budget (the crashed node's share is reclaimed).
+/// - Every epoch's programmed caps are audited against the budget by a
+///   harness-level [`BudgetLedger`] — including the degraded remainder of
+///   a crash epoch, whose surviving caps are a subset of an audited plan.
+/// - Cap-jitter faults never trigger re-planning; their overshoot is
+///   classified (and tolerated) by the actuation audit instead.
+pub fn run_with_faults(
+    scheduler: &mut dyn PowerScheduler,
+    cluster: &mut Cluster,
+    app: &AppModel,
+    budget: Power,
+    faults: &FaultPlan,
+    cfg: &FaultHarnessConfig,
+) -> FaultRunReport {
+    assert!(cfg.epochs > 0, "need at least one epoch");
+    assert!(cfg.iterations_per_epoch > 0, "need at least one iteration");
+
+    let name = scheduler.name().to_string();
+    let alive = cluster.alive_nodes();
+    let mut plan = scheduler.plan_subset(cluster, app, budget, &alive);
+
+    let mut epochs: Vec<EpochRecord> = Vec::with_capacity(cfg.epochs);
+    let mut recoveries: Vec<Recovery> = Vec::new();
+    let mut injected_overshoots = 0usize;
+
+    // A pool-changing fault arms a re-plan for the next epoch boundary;
+    // the wall time and reclaimed watts of the degraded epoch ride along.
+    let mut pending: Option<(usize, Power)> = None;
+    let mut degraded_time = TimeSpan::ZERO;
+
+    for epoch in 0..cfg.epochs {
+        let mut replanned = false;
+
+        // 1. Recover from the previous epoch's pool change: Algorithm 1
+        //    over the survivors, full budget.
+        if let Some((fault_epoch, reclaimed)) = pending.take() {
+            let alive = cluster.alive_nodes();
+            plan = scheduler.plan_subset(cluster, app, budget, &alive);
+            replanned = true;
+            recoveries.push(Recovery {
+                fault_epoch,
+                recovered_epoch: epoch,
+                time_to_recover: degraded_time,
+                reclaimed,
+            });
+        }
+
+        // 2. Fire this epoch's faults.
+        let mut events_applied = 0usize;
+        let mut events_ignored = 0usize;
+        let mut reclaimed = Power::ZERO;
+        for event in faults.events_at(epoch) {
+            match apply_event(cluster, event) {
+                FaultImpact::PoolChanged => {
+                    events_applied += 1;
+                    if matches!(event.kind, FaultKind::NodeCrash) {
+                        // Drop the dead node's ranks for the remainder of
+                        // this epoch; its budget idles until re-plan.
+                        if let Some(pos) = plan.node_ids.iter().position(|&id| id == event.node) {
+                            plan.node_ids.remove(pos);
+                            reclaimed += plan.caps.remove(pos).total();
+                        }
+                    }
+                    let entry = pending.get_or_insert((epoch, Power::ZERO));
+                    entry.1 += reclaimed;
+                    reclaimed = Power::ZERO;
+                }
+                FaultImpact::ActuationOnly => events_applied += 1,
+                FaultImpact::Ignored => events_ignored += 1,
+            }
+        }
+
+        // A crash can empty the current plan (every participant died):
+        // re-coordinate immediately rather than skip the epoch.
+        if plan.node_ids.is_empty() {
+            let alive = cluster.alive_nodes();
+            plan = scheduler.plan_subset(cluster, app, budget, &alive);
+            replanned = true;
+            if let Some((fault_epoch, reclaimed)) = pending.take() {
+                recoveries.push(Recovery {
+                    fault_epoch,
+                    recovered_epoch: epoch,
+                    time_to_recover: TimeSpan::ZERO,
+                    reclaimed,
+                });
+            }
+        }
+
+        // 3. Execute the epoch under the (possibly degraded) plan, with a
+        //    harness-level audit of programmed and measured power.
+        let jitter = plan
+            .node_ids
+            .iter()
+            .map(|&id| cluster.node(id).cap_jitter().abs())
+            .fold(0.0, f64::max);
+        let ledger = BudgetLedger::new(&name, budget).with_injected_jitter(jitter);
+        ledger.audit_plan(&plan);
+
+        let report = execute_plan(cluster, app, &plan, cfg.iterations_per_epoch);
+        degraded_time = report.total_time;
+
+        let injected_overshoot = match ledger.audit_actuation(&plan, report.cluster_power) {
+            ActuationCheck::Nominal => false,
+            ActuationCheck::InjectedJitter => {
+                injected_overshoots += 1;
+                true
+            }
+        };
+
+        epochs.push(EpochRecord {
+            epoch,
+            replanned,
+            node_ids: plan.node_ids.clone(),
+            caps_total: plan.total_caps(),
+            measured_power: report.cluster_power,
+            performance: report.performance(),
+            epoch_time: report.total_time,
+            events_applied,
+            events_ignored,
+            injected_overshoot,
+        });
+    }
+
+    let survivors = cluster.alive_len();
+    FaultRunReport {
+        scheduler: name,
+        budget,
+        epochs,
+        recoveries,
+        injected_overshoots,
+        survivors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlr::InflectionPredictor;
+    use crate::scheduler::ClipScheduler;
+    use cluster_sim::FaultEvent;
+    use workload::suite;
+
+    fn clip() -> ClipScheduler {
+        ClipScheduler::new(InflectionPredictor::train_default(5))
+    }
+
+    fn crash(at_epoch: usize, node: usize) -> FaultEvent {
+        FaultEvent {
+            at_epoch,
+            node,
+            kind: FaultKind::NodeCrash,
+        }
+    }
+
+    #[test]
+    fn fault_free_run_never_replans() {
+        let mut cluster = Cluster::paper_testbed(7);
+        let mut sched = clip();
+        let app = suite::comd();
+        let report = run_with_faults(
+            &mut sched,
+            &mut cluster,
+            &app,
+            Power::watts(1500.0),
+            &FaultPlan::empty(),
+            &FaultHarnessConfig {
+                epochs: 4,
+                iterations_per_epoch: 1,
+            },
+        );
+        assert_eq!(report.epochs.len(), 4);
+        assert!(report.epochs.iter().all(|e| !e.replanned));
+        assert!(report.recoveries.is_empty());
+        assert_eq!(report.survivors, 8);
+        assert_eq!(report.injected_overshoots, 0);
+    }
+
+    #[test]
+    fn crash_recoordinates_within_one_epoch_and_reclaims_budget() {
+        let mut cluster = Cluster::paper_testbed(7);
+        let mut sched = clip();
+        let app = suite::comd();
+        let budget = Power::watts(2400.0);
+        let plan = FaultPlan::new(vec![crash(1, 3)]);
+        let report = run_with_faults(
+            &mut sched,
+            &mut cluster,
+            &app,
+            budget,
+            &plan,
+            &FaultHarnessConfig {
+                epochs: 4,
+                iterations_per_epoch: 1,
+            },
+        );
+        // Exactly one recovery, one epoch after the fault.
+        assert_eq!(report.recoveries.len(), 1);
+        let rec = &report.recoveries[0];
+        assert_eq!(rec.fault_epoch, 1);
+        assert_eq!(rec.recovered_epoch, 2);
+        assert!(rec.time_to_recover.as_secs() > 0.0);
+        assert!(rec.reclaimed.as_watts() > 0.0, "dead node held budget");
+        // The fault epoch ran without the dead node...
+        assert!(!report.epochs[1].node_ids.contains(&3));
+        // ...and the recovered epoch re-planned over survivors only, with
+        // the full budget back on the table.
+        let recovered = &report.epochs[2];
+        assert!(recovered.replanned);
+        assert!(!recovered.node_ids.contains(&3));
+        assert!(recovered.caps_total <= budget + Power::watts(1e-6));
+        assert!(
+            recovered.caps_total >= report.epochs[1].caps_total,
+            "re-coordination must reclaim the dead node's share"
+        );
+        assert_eq!(report.survivors, 7);
+    }
+
+    #[test]
+    fn multiple_crashes_all_recovered() {
+        let mut cluster = Cluster::paper_testbed(3);
+        let mut sched = clip();
+        let app = suite::amg();
+        let plan = FaultPlan::new(vec![crash(0, 1), crash(2, 5)]);
+        let report = run_with_faults(
+            &mut sched,
+            &mut cluster,
+            &app,
+            Power::watts(1800.0),
+            &plan,
+            &FaultHarnessConfig {
+                epochs: 5,
+                iterations_per_epoch: 1,
+            },
+        );
+        assert_eq!(report.recoveries.len(), 2);
+        assert_eq!(report.survivors, 6);
+        let last = report.epochs.last().unwrap();
+        assert!(!last.node_ids.contains(&1));
+        assert!(!last.node_ids.contains(&5));
+    }
+
+    #[test]
+    fn jitter_does_not_replan() {
+        let mut cluster = Cluster::paper_testbed(7);
+        let mut sched = clip();
+        let app = suite::comd();
+        let plan = FaultPlan::new(vec![FaultEvent {
+            at_epoch: 1,
+            node: 0,
+            kind: FaultKind::CapJitter { fraction: 0.05 },
+        }]);
+        let report = run_with_faults(
+            &mut sched,
+            &mut cluster,
+            &app,
+            Power::watts(1500.0),
+            &plan,
+            &FaultHarnessConfig {
+                epochs: 3,
+                iterations_per_epoch: 1,
+            },
+        );
+        assert!(report.epochs.iter().all(|e| !e.replanned));
+        assert!(report.recoveries.is_empty());
+    }
+
+    #[test]
+    fn straggler_triggers_recoordination() {
+        let mut cluster = Cluster::paper_testbed(7);
+        let mut sched = clip();
+        let app = suite::comd();
+        let plan = FaultPlan::new(vec![FaultEvent {
+            at_epoch: 0,
+            node: 2,
+            kind: FaultKind::SlowNode { factor: 1.25 },
+        }]);
+        let report = run_with_faults(
+            &mut sched,
+            &mut cluster,
+            &app,
+            Power::watts(1200.0),
+            &plan,
+            &FaultHarnessConfig {
+                epochs: 3,
+                iterations_per_epoch: 1,
+            },
+        );
+        assert!(report.epochs[1].replanned, "straggle must re-coordinate");
+        assert_eq!(report.survivors, 8, "straggle does not kill the node");
+    }
+
+    /// A deliberately tight scheduler whose CPU caps bind hard, so that
+    /// injected positive jitter produces real measured overshoot.
+    struct TightCaps;
+
+    impl PowerScheduler for TightCaps {
+        fn name(&self) -> &str {
+            "tight"
+        }
+
+        fn plan(
+            &mut self,
+            cluster: &mut Cluster,
+            _app: &workload::AppModel,
+            budget: Power,
+        ) -> crate::scheduler::SchedulePlan {
+            let n = cluster.len();
+            let per_node = budget / n as f64;
+            let dram = Power::watts(10.0);
+            crate::scheduler::SchedulePlan {
+                scheduler: self.name().to_string(),
+                node_ids: (0..n).collect(),
+                threads_per_node: cluster.node(0).topology().total_cores(),
+                policy: simnode::AffinityPolicy::Compact,
+                caps: vec![simnode::PowerCaps::new(per_node - dram, dram); n],
+            }
+        }
+    }
+
+    #[test]
+    fn injected_jitter_overshoot_is_classified_not_punished() {
+        // Tight caps on a compute-heavy app: +20% actuation error on every
+        // node pushes measured power over the budget. The ledger must
+        // attribute the overshoot to the declared injection (no panic in
+        // debug, no violation count) and the harness must not re-plan.
+        let mut cluster = Cluster::homogeneous(2);
+        let mut sched = TightCaps;
+        let app = suite::comd();
+        let budget = Power::watts(380.0);
+        let plan = FaultPlan::new(vec![
+            FaultEvent {
+                at_epoch: 1,
+                node: 0,
+                kind: FaultKind::CapJitter { fraction: 0.2 },
+            },
+            FaultEvent {
+                at_epoch: 1,
+                node: 1,
+                kind: FaultKind::CapJitter { fraction: 0.2 },
+            },
+        ]);
+        let report = run_with_faults(
+            &mut sched,
+            &mut cluster,
+            &app,
+            budget,
+            &plan,
+            &FaultHarnessConfig {
+                epochs: 3,
+                iterations_per_epoch: 1,
+            },
+        );
+        assert!(report.epochs[0].measured_power <= budget + Power::watts(1e-6));
+        assert!(
+            report.epochs[1].measured_power > budget,
+            "jitter must overshoot ({} vs {budget})",
+            report.epochs[1].measured_power
+        );
+        assert!(report.epochs[1].injected_overshoot);
+        assert!(report.injected_overshoots >= 1);
+        assert!(report.epochs.iter().all(|e| !e.replanned));
+        assert!(report.recoveries.is_empty());
+    }
+
+    #[test]
+    fn report_helpers_are_consistent() {
+        let mut cluster = Cluster::paper_testbed(7);
+        let mut sched = clip();
+        let app = suite::comd();
+        let plan = FaultPlan::new(vec![crash(1, 0)]);
+        let report = run_with_faults(
+            &mut sched,
+            &mut cluster,
+            &app,
+            Power::watts(1500.0),
+            &plan,
+            &FaultHarnessConfig {
+                epochs: 4,
+                iterations_per_epoch: 1,
+            },
+        );
+        assert!(report.mean_performance() > 0.0);
+        assert!(report.pre_fault_performance() > 0.0);
+        assert!(report.post_fault_performance() > 0.0);
+        let ttr = report.mean_time_to_recover().unwrap();
+        assert!(ttr.as_secs() > 0.0);
+    }
+}

@@ -29,16 +29,19 @@
 //! `baselines` crate) also implement, and [`knowledge::KnowledgeDb`] caches
 //! profiles so repeat jobs skip the profiling runs (§IV-B3).
 //!
-//! Three extensions go beyond the paper's evaluation while staying inside
+//! Four extensions go beyond the paper's evaluation while staying inside
 //! its design space: [`phased`] recommends per-phase concurrency (the §V-B
 //! BT-MZ treatment, generalized); [`runtime`] coordinates power for jobs
-//! with user-pinned node/thread counts (the §VII future-work item); and
+//! with user-pinned node/thread counts (the §VII future-work item);
 //! [`multijob`] shares one budget across concurrent jobs (the POWshed
-//! scenario of §VI, driven by CLIP's models).
+//! scenario of §VI, driven by CLIP's models); and [`degrade`] replays
+//! seeded fault timelines (`cluster_sim::faults`) against any scheduler,
+//! re-running Algorithm 1 over the survivors whenever the pool degrades.
 
 pub mod allocate;
 pub mod audit;
 pub mod coordinate;
+pub mod degrade;
 pub mod dispatch;
 pub mod knowledge;
 pub mod mlr;
@@ -55,7 +58,8 @@ pub mod tools;
 pub mod validate;
 
 pub use allocate::{choose_node_count, NodeBudgetRange};
-pub use audit::BudgetLedger;
+pub use audit::{ActuationCheck, BudgetLedger};
+pub use degrade::{run_with_faults, FaultHarnessConfig, FaultRunReport};
 pub use dispatch::{DispatchReport, Dispatcher, QueuedJob};
 pub use knowledge::KnowledgeDb;
 pub use mlr::InflectionPredictor;

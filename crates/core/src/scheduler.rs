@@ -67,6 +67,32 @@ pub trait PowerScheduler {
     /// Decide node count, concurrency, affinity and caps for `app` under
     /// a total cluster power budget.
     fn plan(&mut self, cluster: &mut Cluster, app: &AppModel, budget: Power) -> SchedulePlan;
+
+    /// Plan over a restricted node pool — the re-coordination entry point
+    /// the degradation harness calls after faults shrink or reshape the
+    /// fleet. `allowed` holds the usable node indices; the full `budget`
+    /// is still available (a dead node's share is reclaimed, not lost).
+    ///
+    /// The default implementation is a conservative fallback for external
+    /// implementors: it plans as if the whole cluster were available and
+    /// then re-maps the chosen slots onto the allowed pool, truncating if
+    /// the pool is smaller. It never exceeds the budget, but it does not
+    /// re-optimize for the pool either — every in-repo scheduler overrides
+    /// it with a genuine subset-aware plan.
+    fn plan_subset(
+        &mut self,
+        cluster: &mut Cluster,
+        app: &AppModel,
+        budget: Power,
+        allowed: &[usize],
+    ) -> SchedulePlan {
+        assert!(!allowed.is_empty(), "no nodes available");
+        let mut plan = self.plan(cluster, app, budget);
+        let n = plan.node_ids.len().min(allowed.len());
+        plan.node_ids = allowed.iter().copied().take(n).collect();
+        plan.caps.truncate(n);
+        plan
+    }
 }
 
 /// Program a plan's caps and execute the job.
@@ -150,14 +176,21 @@ impl ClipScheduler {
         self.profiles_performed
     }
 
-    /// Profile on the given cluster's node 0 (or return the cached record)
-    /// and predict the inflection point.
-    fn record_for(&mut self, cluster: &mut Cluster, app: &AppModel) -> KnowledgeRecord {
+    /// Profile on cluster node `probe` (or return the cached record) and
+    /// predict the inflection point. The probe node must be one the caller
+    /// is allowed to use — after a crash, profiling must not touch the
+    /// dead node.
+    fn record_for(
+        &mut self,
+        cluster: &mut Cluster,
+        app: &AppModel,
+        probe: usize,
+    ) -> KnowledgeRecord {
         if let Some(r) = self.db.get(app.name()) {
             return r.clone();
         }
         self.profiles_performed += 1;
-        let node = cluster.node_mut(0);
+        let node = cluster.node_mut(probe);
         let mut profile = self.profiler.profile(node, app);
         let np = if self.floor_even {
             self.predictor.predict(&profile)
@@ -168,7 +201,7 @@ impl ClipScheduler {
         if profile.class != ScalabilityClass::Linear {
             // Third sample configuration at the predicted point (§IV-B1).
             self.profiler
-                .sample_at(cluster.node_mut(0), app, &mut profile, np);
+                .sample_at(cluster.node_mut(probe), app, &mut profile, np);
         }
         let record = KnowledgeRecord { profile, np };
         self.db.insert(record.clone());
@@ -194,8 +227,9 @@ impl ClipScheduler {
         for &id in allowed_nodes {
             assert!(id < cluster.len(), "node {id} out of range");
         }
-        let total_cores = cluster.node(0).topology().total_cores();
-        let record = self.record_for(cluster, app);
+        let probe = allowed_nodes.first().copied().unwrap_or(0);
+        let total_cores = cluster.node(probe).topology().total_cores();
+        let record = self.record_for(cluster, app, probe);
         let perf_model = NodePerfModel::from_profile(&record.profile, record.np);
         let power_model = FittedPowerModel::fit(&record.profile);
 
@@ -249,51 +283,21 @@ impl PowerScheduler for ClipScheduler {
     }
 
     fn plan(&mut self, cluster: &mut Cluster, app: &AppModel, budget: Power) -> SchedulePlan {
-        let total_cores = cluster.node(0).topology().total_cores();
-        let record = self.record_for(cluster, app);
-        let perf_model = NodePerfModel::from_profile(&record.profile, record.np);
-        let power_model = FittedPowerModel::fit(&record.profile);
+        // The unrestricted plan is the constrained plan over the full pool:
+        // measure the whole fleet, activate the thriftiest nodes, and shift
+        // CPU budget onto leaky ones if the spread warrants it.
+        let all_ids: Vec<usize> = (0..cluster.len()).collect();
+        self.plan_constrained(cluster, app, budget, &all_ids)
+    }
 
-        let allocation = allocate_cluster(
-            budget,
-            cluster.len(),
-            app.preferred_node_counts(),
-            &record.profile,
-            &perf_model,
-            &power_model,
-            total_cores,
-        );
-        let n = allocation.nodes;
-        let uniform = allocation.node_config.caps;
-        let ledger = BudgetLedger::new(self.name(), budget);
-
-        let (node_ids, caps) = if self.coordinate_variability {
-            // Measure the whole fleet, activate the thriftiest nodes, and
-            // shift CPU budget onto leaky ones if the spread warrants it.
-            let all_ids: Vec<usize> = (0..cluster.len()).collect();
-            let factors = coordinate::measure_efficiencies(cluster, &all_ids);
-            let mut ranked: Vec<(usize, f64)> = all_ids.into_iter().zip(factors).collect();
-            ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
-            let selected: Vec<usize> = ranked.iter().take(n).map(|&(id, _)| id).collect();
-            let sel_factors: Vec<f64> = ranked.iter().take(n).map(|&(_, f)| f).collect();
-            let before = vec![uniform; sel_factors.len()];
-            let caps =
-                coordinate::coordinate_caps(uniform, &sel_factors, self.variability_threshold);
-            ledger.audit_shift(&before, &caps);
-            (selected, caps)
-        } else {
-            ((0..n).collect(), vec![uniform; n])
-        };
-
-        let plan = SchedulePlan {
-            scheduler: self.name().to_string(),
-            node_ids,
-            threads_per_node: allocation.node_config.threads,
-            policy: allocation.node_config.policy,
-            caps,
-        };
-        ledger.audit_plan(&plan);
-        plan
+    fn plan_subset(
+        &mut self,
+        cluster: &mut Cluster,
+        app: &AppModel,
+        budget: Power,
+        allowed: &[usize],
+    ) -> SchedulePlan {
+        self.plan_constrained(cluster, app, budget, allowed)
     }
 }
 
@@ -421,6 +425,43 @@ mod tests {
             let all_same = plan.caps.windows(2).all(|w| w[0] == w[1]);
             assert!(!all_same, "coordination should differentiate caps");
         }
+    }
+
+    #[test]
+    fn subset_plan_stays_inside_the_pool_and_keeps_the_budget() {
+        let mut cluster = Cluster::paper_testbed(13);
+        cluster.fail_node(0);
+        let mut clip = scheduler();
+        let app = suite::comd();
+        let budget = Power::watts(1400.0);
+        let allowed = cluster.alive_nodes();
+        let plan = clip.plan_subset(&mut cluster, &app, budget, &allowed);
+        assert!(plan.node_ids.iter().all(|id| allowed.contains(id)));
+        assert!(!plan.node_ids.contains(&0), "dead node must not be used");
+        assert!(plan.within_budget(budget));
+        assert!(plan.nodes() >= 1);
+    }
+
+    #[test]
+    fn subset_plan_profiles_on_an_allowed_node() {
+        // With node 0 crashed, profiling must probe an allowed node.
+        let mut cluster = Cluster::homogeneous(4);
+        cluster.fail_node(0);
+        let mut clip = scheduler();
+        let app = suite::tea_leaf();
+        let allowed = cluster.alive_nodes();
+        let plan = clip.plan_subset(&mut cluster, &app, Power::watts(800.0), &allowed);
+        assert_eq!(clip.profiles_performed(), 1);
+        assert!(!plan.node_ids.contains(&0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no nodes available")]
+    fn empty_subset_rejected() {
+        let mut cluster = Cluster::homogeneous(2);
+        let mut clip = scheduler();
+        let app = suite::comd();
+        clip.plan_subset(&mut cluster, &app, Power::watts(500.0), &[]);
     }
 
     #[test]

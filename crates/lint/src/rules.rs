@@ -18,11 +18,12 @@ use serde::Serialize;
 pub const UNIT_NAME_FRAGMENTS: [&str; 5] = ["watts", "power", "budget", "joules", "secs"];
 
 /// Domain enums whose matches must stay exhaustive.
-pub const DOMAIN_ENUMS: [&str; 4] = [
+pub const DOMAIN_ENUMS: [&str; 5] = [
     "ScalabilityClass",
     "HwEvent",
     "AffinityPolicy",
     "EffectiveSpeed",
+    "FaultKind",
 ];
 
 /// Keywords that may directly precede `[` without forming an index

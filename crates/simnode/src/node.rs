@@ -226,6 +226,26 @@ impl Node {
         self.rapl.set_caps(caps);
     }
 
+    /// Inject a signed RAPL actuation error (see
+    /// [`RaplController::set_actuation_jitter`]): subsequent executions
+    /// enforce `cpu_cap × (1 + jitter)`. Zero restores exact actuation.
+    pub fn set_cap_jitter(&mut self, jitter: f64) {
+        self.rapl.set_actuation_jitter(jitter);
+    }
+
+    /// The currently injected actuation-error fraction.
+    pub fn cap_jitter(&self) -> f64 {
+        self.rapl.actuation_jitter()
+    }
+
+    /// Overwrite the manufacturing-variability efficiency factor — the
+    /// fault layer uses this to model slow-node straggle and variability
+    /// drift (the part ages, its power appetite changes).
+    pub fn set_efficiency(&mut self, efficiency: f64) {
+        assert!(efficiency > 0.0, "efficiency must be positive");
+        self.power.efficiency = efficiency;
+    }
+
     /// Raw PKG energy register (wrapping, RAPL units) — the interface a
     /// power-meter daemon polls.
     pub fn rapl_pkg_raw(&self) -> u32 {
@@ -250,7 +270,7 @@ impl Node {
         threads: usize,
         policy: AffinityPolicy,
     ) -> OperatingPoint {
-        let caps = self.rapl.caps();
+        let caps = self.rapl.effective_caps();
         let placement = Placement::resolve(&self.topo, threads, policy);
         let remote_frac = placement.remote_fraction(workload.shared_data_fraction());
         let speed = self.power.max_speed_under_cap(
@@ -461,6 +481,88 @@ mod tests {
         let op = node.resolve(&ComputeKernel, 4, AffinityPolicy::Scatter);
         assert_eq!(op.placement.sockets_used(), 2);
         assert!(op.remote_frac > 0.0);
+    }
+
+    #[test]
+    fn jittered_actuation_stays_within_jitter_band() {
+        // With an injected actuation error of ±j the enforcement target
+        // moves to cap·(1+j): measured package power must never exceed
+        // cap·(1+|j|), and the jittered run must be indistinguishable from
+        // programming the scaled cap directly (the error is a shifted
+        // setpoint, not noise).
+        let cap = Power::watts(150.0);
+        for jitter in [-0.08, -0.03, 0.03, 0.08] {
+            let mut node = Node::haswell();
+            node.set_caps(PowerCaps::new(cap, Power::watts(50.0)));
+            node.set_cap_jitter(jitter);
+            let r = node.execute(&ComputeKernel, 24, AffinityPolicy::Compact, 1);
+            let hi = cap * (1.0 + jitter.abs()) + Power::watts(1e-9);
+            assert!(
+                r.avg_pkg_power <= hi,
+                "jitter {jitter}: pkg {} above {hi}",
+                r.avg_pkg_power
+            );
+
+            let mut shifted = Node::haswell();
+            shifted.set_caps(PowerCaps::new(cap * (1.0 + jitter), Power::watts(50.0)));
+            let s = shifted.execute(&ComputeKernel, 24, AffinityPolicy::Compact, 1);
+            assert_eq!(r.avg_pkg_power, s.avg_pkg_power, "jitter {jitter}");
+            assert_eq!(r.performance(), s.performance(), "jitter {jitter}");
+        }
+    }
+
+    #[test]
+    fn positive_jitter_overshoots_then_converges_back_to_cap() {
+        let cap = Power::watts(150.0);
+        let mut node = Node::haswell();
+        node.set_caps(PowerCaps::new(cap, Power::watts(50.0)));
+
+        node.set_cap_jitter(0.06);
+        let jittered = node.execute(&ComputeKernel, 24, AffinityPolicy::Compact, 1);
+        assert!(
+            jittered.avg_pkg_power > cap,
+            "positive jitter must overshoot the programmed cap"
+        );
+
+        // Jitter ends: the enforcement loop converges back to the cap.
+        node.set_cap_jitter(0.0);
+        let settled = node.execute(&ComputeKernel, 24, AffinityPolicy::Compact, 1);
+        assert!(
+            settled.avg_pkg_power <= cap + Power::watts(1e-9),
+            "after jitter clears the cap must bind again ({})",
+            settled.avg_pkg_power
+        );
+    }
+
+    #[test]
+    fn undershoot_jitter_slows_the_node() {
+        let cap = Power::watts(150.0);
+        let mut fair = Node::haswell();
+        fair.set_caps(PowerCaps::new(cap, Power::watts(50.0)));
+        let mut starved = Node::haswell();
+        starved.set_caps(PowerCaps::new(cap, Power::watts(50.0)));
+        starved.set_cap_jitter(-0.10);
+        let pf = fair
+            .execute(&ComputeKernel, 24, AffinityPolicy::Compact, 1)
+            .performance();
+        let ps = starved
+            .execute(&ComputeKernel, 24, AffinityPolicy::Compact, 1)
+            .performance();
+        assert!(ps < pf, "undershoot must cost performance ({ps} vs {pf})");
+    }
+
+    #[test]
+    fn set_efficiency_changes_power_appetite() {
+        let mut nominal = Node::haswell();
+        let mut leaky = Node::haswell();
+        leaky.set_efficiency(1.15);
+        let pn = nominal
+            .execute(&ComputeKernel, 24, AffinityPolicy::Compact, 1)
+            .avg_pkg_power;
+        let pl = leaky
+            .execute(&ComputeKernel, 24, AffinityPolicy::Compact, 1)
+            .avg_pkg_power;
+        assert!(pl > pn, "a degraded part burns more watts uncapped");
     }
 
     #[test]

@@ -98,6 +98,12 @@ pub struct RaplController {
     dram: EnergyCounter,
     /// Total wall time accounted so far (simulation bookkeeping, not an MSR).
     elapsed: TimeSpan,
+    /// Signed actuation-error fraction: the enforcement loop settles on
+    /// `cap × (1 + jitter)` instead of the programmed cap. Real RAPL
+    /// exhibits this as cap overshoot/undershoot under fast phase changes;
+    /// the fault-injection layer drives it deliberately. Zero = exact
+    /// actuation (the default).
+    actuation_jitter: f64,
 }
 
 impl RaplController {
@@ -108,6 +114,7 @@ impl RaplController {
             pkg: EnergyCounter::default(),
             dram: EnergyCounter::default(),
             elapsed: TimeSpan::ZERO,
+            actuation_jitter: 0.0,
         }
     }
 
@@ -119,6 +126,36 @@ impl RaplController {
     /// Write new caps (takes effect on the next resolved interval).
     pub fn set_caps(&mut self, caps: PowerCaps) {
         self.caps = caps;
+    }
+
+    /// Inject a signed actuation error: the package cap the enforcement
+    /// loop actually holds becomes `cpu × (1 + jitter)`. Must stay within
+    /// (−1, 1) so the effective cap remains positive; pass 0 to restore
+    /// exact actuation.
+    pub fn set_actuation_jitter(&mut self, jitter: f64) {
+        assert!(
+            jitter > -1.0 && jitter < 1.0,
+            "actuation jitter must be in (-1, 1)"
+        );
+        self.actuation_jitter = jitter;
+    }
+
+    /// The currently injected actuation-error fraction (0 = exact).
+    pub fn actuation_jitter(&self) -> f64 {
+        self.actuation_jitter
+    }
+
+    /// The caps the enforcement loop actually holds: the programmed CPU cap
+    /// scaled by the injected actuation error. DRAM actuation is modelled
+    /// as exact (bandwidth throttling reacts on a much slower timescale).
+    pub fn effective_caps(&self) -> PowerCaps {
+        if self.actuation_jitter == 0.0 {
+            return self.caps;
+        }
+        PowerCaps::new(
+            self.caps.cpu * (1.0 + self.actuation_jitter),
+            self.caps.dram,
+        )
     }
 
     /// Account an execution interval at the given average domain powers.
@@ -216,6 +253,44 @@ mod tests {
         c.add(Energy::joules(500.0));
         let p = RaplController::average_power(before, c.raw(), TimeSpan::secs(5.0));
         assert!((p.as_watts() - 100.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_jitter_actuates_exactly() {
+        let r = RaplController::new(PowerCaps::new(Power::watts(150.0), Power::watts(40.0)));
+        assert_eq!(r.actuation_jitter(), 0.0);
+        assert_eq!(r.effective_caps(), r.caps());
+    }
+
+    #[test]
+    fn positive_jitter_overshoots_cpu_cap_only() {
+        let mut r = RaplController::new(PowerCaps::new(Power::watts(100.0), Power::watts(40.0)));
+        r.set_actuation_jitter(0.05);
+        let eff = r.effective_caps();
+        assert!((eff.cpu.as_watts() - 105.0).abs() < 1e-12);
+        assert_eq!(eff.dram, Power::watts(40.0));
+    }
+
+    #[test]
+    fn negative_jitter_undershoots() {
+        let mut r = RaplController::new(PowerCaps::new(Power::watts(100.0), Power::watts(40.0)));
+        r.set_actuation_jitter(-0.08);
+        assert!((r.effective_caps().cpu.as_watts() - 92.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clearing_jitter_restores_exact_actuation() {
+        let mut r = RaplController::new(PowerCaps::new(Power::watts(100.0), Power::watts(40.0)));
+        r.set_actuation_jitter(0.10);
+        r.set_actuation_jitter(0.0);
+        assert_eq!(r.effective_caps(), r.caps());
+    }
+
+    #[test]
+    #[should_panic(expected = "actuation jitter")]
+    fn out_of_range_jitter_rejected() {
+        let mut r = RaplController::new(PowerCaps::new(Power::watts(100.0), Power::watts(40.0)));
+        r.set_actuation_jitter(-1.0);
     }
 
     #[test]

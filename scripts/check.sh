@@ -27,4 +27,10 @@ cargo run -p clip-lint --offline --quiet
 echo "==> cargo test"
 cargo test --workspace --offline -q
 
+# Gate the full fault-injection path end to end: scheduler -> fault plan ->
+# degraded epoch -> re-coordination -> ledger classification. The smoke
+# plan (4 nodes, one crash, 3 epochs) keeps this well under five seconds.
+echo "==> ext_faults --smoke"
+cargo run -p clip-bench --bin ext_faults --offline --quiet --release -- --smoke
+
 echo "All checks passed."

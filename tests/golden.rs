@@ -97,6 +97,121 @@ fn golden_corpus_fingerprint() {
     );
 }
 
+/// Fault-timeline pins: CLIP driven through a fixed four-event fault plan
+/// (cap jitter, a crash, a straggler, a second crash) on the seed-5 fleet.
+/// The whole trajectory is a pure function of `(seed, FaultPlan)`, so the
+/// re-coordination schedule and the reclaimed watts can be pinned exactly.
+#[test]
+fn golden_fault_timeline() {
+    use clip_core::{run_with_faults, ClipScheduler, FaultHarnessConfig};
+    use cluster_sim::{Cluster, FaultEvent, FaultKind, FaultPlan, VariabilityModel};
+    use simkit::Power;
+
+    let faults = FaultPlan::new(vec![
+        FaultEvent {
+            at_epoch: 1,
+            node: 2,
+            kind: FaultKind::CapJitter { fraction: 0.06 },
+        },
+        FaultEvent {
+            at_epoch: 2,
+            node: 5,
+            kind: FaultKind::NodeCrash,
+        },
+        FaultEvent {
+            at_epoch: 3,
+            node: 1,
+            kind: FaultKind::SlowNode { factor: 1.20 },
+        },
+        FaultEvent {
+            at_epoch: 5,
+            node: 0,
+            kind: FaultKind::NodeCrash,
+        },
+    ]);
+    let budget = Power::watts(1500.0);
+    let mut cluster = Cluster::with_variability(8, &VariabilityModel::default(), 5);
+    let mut sched = ClipScheduler::new(InflectionPredictor::train_default(5));
+    let report = run_with_faults(
+        &mut sched,
+        &mut cluster,
+        &suite::comd(),
+        budget,
+        &faults,
+        &FaultHarnessConfig {
+            epochs: 7,
+            iterations_per_epoch: 1,
+        },
+    );
+
+    // The re-coordination schedule: each pool change recovers exactly one
+    // epoch later. The straggle recovery reclaims nothing (the node lived).
+    assert_eq!(report.survivors, 6);
+    let schedule: Vec<(usize, usize)> = report
+        .recoveries
+        .iter()
+        .map(|r| (r.fault_epoch, r.recovered_epoch))
+        .collect();
+    assert_eq!(schedule, vec![(2, 3), (3, 4), (5, 6)]);
+    let reclaimed: Vec<f64> = report
+        .recoveries
+        .iter()
+        .map(|r| r.reclaimed.as_watts())
+        .collect();
+    assert!(
+        (reclaimed[0] - 193.563).abs() < 0.05,
+        "crash 1: {:?}",
+        reclaimed
+    );
+    assert!(reclaimed[1].abs() < 1e-9, "straggle: {:?}", reclaimed);
+    assert!(
+        (reclaimed[2] - 379.252).abs() < 0.05,
+        "crash 2: {:?}",
+        reclaimed
+    );
+
+    // Degraded epochs hold only the survivors' share of the budget;
+    // every recovered epoch holds the full budget again.
+    let caps: Vec<f64> = report
+        .epochs
+        .iter()
+        .map(|e| e.caps_total.as_watts())
+        .collect();
+    assert!(
+        (caps[2] - 1306.437).abs() < 0.05,
+        "degraded caps {:?}",
+        caps
+    );
+    assert!(
+        (caps[5] - 1120.748).abs() < 0.05,
+        "degraded caps {:?}",
+        caps
+    );
+    for &e in &[0, 1, 3, 4, 6] {
+        assert!((caps[e] - 1500.0).abs() < 1e-6, "epoch {e} caps {:?}", caps);
+    }
+
+    // The dead nodes never reappear; the straggler is dropped after its
+    // recovery replan.
+    for e in &report.epochs[3..] {
+        assert!(
+            !e.node_ids.contains(&5),
+            "epoch {}: {:?}",
+            e.epoch,
+            e.node_ids
+        );
+    }
+    assert!(!report.epochs[6].node_ids.contains(&0));
+    assert!(!report.epochs[4].node_ids.contains(&1));
+
+    // Throughput pins (CoMD iterations/s under the fixed seed).
+    let close = |got: f64, want: f64| (got - want).abs() / want < 0.01;
+    assert!(close(report.pre_fault_performance(), 1.5984), "pre-fault");
+    assert!(close(report.post_fault_performance(), 0.9762), "post-fault");
+    assert!(close(report.mean_performance(), 1.1803), "mean");
+    assert_eq!(report.injected_overshoots, 0);
+}
+
 /// Uncapped single-node performance pins for three representative apps.
 #[test]
 fn golden_uncapped_performance() {
