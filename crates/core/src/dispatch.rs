@@ -135,7 +135,9 @@ impl Dispatcher {
     pub fn run(&mut self, cluster: &mut Cluster, jobs: &[QueuedJob]) -> DispatchReport {
         assert!(!jobs.is_empty(), "empty submission list");
         assert!(
-            jobs.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+            jobs.iter()
+                .zip(jobs.iter().skip(1))
+                .all(|(a, b)| a.arrival <= b.arrival),
             "jobs must be sorted by arrival"
         );
 
@@ -147,7 +149,7 @@ impl Dispatcher {
 
         loop {
             // Admit everything that has arrived by `now`.
-            while next_arrival < jobs.len() && jobs[next_arrival].arrival <= now {
+            while jobs.get(next_arrival).is_some_and(|j| j.arrival <= now) {
                 pending.push_back(next_arrival);
                 next_arrival += 1;
             }
@@ -155,8 +157,7 @@ impl Dispatcher {
             // Try to start queued jobs (FCFS; optionally scan past a
             // blocked head).
             let mut idx = 0;
-            while idx < pending.len() {
-                let job_idx = pending[idx];
+            while let Some(&job_idx) = pending.get(idx) {
                 let free_nodes: Vec<usize> = (0..cluster.len())
                     .filter(|id| !running.iter().any(|r| r.node_ids.contains(id)))
                     .collect();
@@ -165,7 +166,9 @@ impl Dispatcher {
                 if free_nodes.is_empty() || free_power.as_watts() < 50.0 {
                     break; // nothing can start until something finishes
                 }
-                let job = &jobs[job_idx];
+                let Some(job) = jobs.get(job_idx) else {
+                    break; // pending holds valid job indices by construction
+                };
                 let mut plan =
                     self.scheduler
                         .plan_constrained(cluster, &job.app, free_power, &free_nodes);

@@ -8,7 +8,7 @@
 
 use crate::profile::ProfileData;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
 
@@ -22,9 +22,15 @@ pub struct KnowledgeRecord {
 }
 
 /// In-memory knowledge database with JSON persistence.
+///
+/// Keyed by a `BTreeMap` so iteration (serialization, [`names`]) is
+/// deterministic — the database feeds scheduler decisions, which must
+/// replay bit-identically from a `(seed, FaultPlan)` pair.
+///
+/// [`names`]: KnowledgeDb::names
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct KnowledgeDb {
-    records: HashMap<String, KnowledgeRecord>,
+    records: BTreeMap<String, KnowledgeRecord>,
 }
 
 impl KnowledgeDb {
@@ -53,11 +59,9 @@ impl KnowledgeDb {
         self.records.is_empty()
     }
 
-    /// Remembered application names, sorted.
+    /// Remembered application names, sorted (BTreeMap keys are ordered).
     pub fn names(&self) -> Vec<&str> {
-        let mut v: Vec<&str> = self.records.keys().map(String::as_str).collect();
-        v.sort_unstable();
-        v
+        self.records.keys().map(String::as_str).collect()
     }
 
     /// Persist to a JSON file.

@@ -54,8 +54,10 @@ impl ClassModel {
                 row
             })
             .collect();
+        // The ridge-regularized normal equations are never singular, but
+        // fall back to a zero model rather than panicking if they were.
         let beta = least_squares(&Matrix::from_rows(&design), targets, 1e-2)
-            .expect("ridge-regularized system is never singular");
+            .unwrap_or_else(|| vec![0.0; NUM_FEATURES + 1]);
         Self { means, stds, beta }
     }
 

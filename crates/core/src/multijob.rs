@@ -133,7 +133,9 @@ impl MultiJobScheduler {
             if used < n_total {
                 for j in 0..jobs.len() {
                     let mut cand = assign.clone();
-                    cand[j] += 1;
+                    if let Some(n) = cand.get_mut(j) {
+                        *n += 1;
+                    }
                     let u = utility(&cand, self);
                     if u > best_u + 1e-9 {
                         assign = cand;
@@ -146,7 +148,7 @@ impl MultiJobScheduler {
             // Move 2: transfer a node between jobs.
             if !improved {
                 'transfer: for from in 0..jobs.len() {
-                    if assign[from] <= 1 {
+                    if assign.get(from).is_none_or(|&n| n <= 1) {
                         continue;
                     }
                     for to in 0..jobs.len() {
@@ -154,8 +156,12 @@ impl MultiJobScheduler {
                             continue;
                         }
                         let mut cand = assign.clone();
-                        cand[from] -= 1;
-                        cand[to] += 1;
+                        if let Some(n) = cand.get_mut(from) {
+                            *n -= 1;
+                        }
+                        if let Some(n) = cand.get_mut(to) {
+                            *n += 1;
+                        }
                         let u = utility(&cand, self);
                         if u > best_u + 1e-9 {
                             assign = cand;

@@ -97,8 +97,11 @@ pub fn exhaustive_phase_plan(node: &mut Node, app: &AppModel) -> PhasePlan {
 }
 
 /// Convenience: the inflection point of a single phase, via sweep.
+/// Returns 1 when `phase_idx` is out of range.
 pub fn phase_inflection(node: &mut Node, app: &AppModel, phase_idx: usize) -> usize {
-    let phase = &app.phases()[phase_idx];
+    let Some(phase) = app.phases().get(phase_idx) else {
+        return 1;
+    };
     let single =
         AppModel::new("phase-probe", vec![phase.clone()]).with_odd_penalty(app.odd_penalty());
     let profile = SmartProfiler::default().profile(node, &single);

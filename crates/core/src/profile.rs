@@ -65,15 +65,15 @@ impl ProfileData {
     /// The eight MLR predictors of Table I: the seven all-core event rates
     /// plus the full/half performance ratio (Event 7).
     pub fn features(&self) -> [f64; 8] {
-        let r = self.all_core.report.counters.rate_features();
+        let [r0, r1, r2, r3, r4, r5, r6] = self.all_core.report.counters.rate_features();
         [
-            r[0],
-            r[1],
-            r[2],
-            r[3],
-            r[4],
-            r[5],
-            r[6],
+            r0,
+            r1,
+            r2,
+            r3,
+            r4,
+            r5,
+            r6,
             self.all_core.report.performance() / self.half_core.report.performance(),
         ]
     }

@@ -45,10 +45,11 @@ pub fn best_breakpoint(xs: &[f64], ys: &[f64], min_seg: usize) -> PiecewiseFit {
     // The breakpoint sample belongs to both segments (the segments join).
     // The candidate range is non-empty because `n >= 2 * min_seg`.
     let evaluate = |k: usize| -> PiecewiseFit {
-        let left = linear_fit(&xs[..=k], &ys[..=k]);
-        let right = linear_fit(&xs[k..], &ys[k..]);
-        let sse =
-            segment_sse(&xs[..=k], &ys[..=k], &left) + segment_sse(&xs[k..], &ys[k..], &right);
+        let (lx, ly) = (xs.get(..=k).unwrap_or(&[]), ys.get(..=k).unwrap_or(&[]));
+        let (rx, ry) = (xs.get(k..).unwrap_or(&[]), ys.get(k..).unwrap_or(&[]));
+        let left = linear_fit(lx, ly);
+        let right = linear_fit(rx, ry);
+        let sse = segment_sse(lx, ly, &left) + segment_sse(rx, ry, &right);
         PiecewiseFit {
             break_index: k,
             left,

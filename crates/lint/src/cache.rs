@@ -1,0 +1,117 @@
+//! A content-addressed parse cache.
+//!
+//! Parsing is pure in the file *content*, so results are keyed by an
+//! FNV-1a hash of the bytes and shared via [`Arc`]. Repeated analyses in
+//! one process (the golden tests re-run the pipeline; library callers may
+//! analyze between edits) skip re-lexing and re-parsing unchanged files.
+//! The cache is thread-safe: the parallel scan takes the lock only to
+//! probe and to publish, never while parsing.
+
+use crate::ast::{parse_unit, ParsedUnit};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// FNV-1a 64-bit content hash — deterministic across runs and platforms,
+/// unlike `std`'s randomly-seeded hasher.
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Cache statistics, for the CLI's diagnostics line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Parses served from the cache.
+    pub hits: u64,
+    /// Parses performed and inserted.
+    pub misses: u64,
+}
+
+/// Thread-safe content-hash → parse cache.
+#[derive(Debug, Default)]
+pub struct ParseCache {
+    entries: Mutex<BTreeMap<u64, Arc<ParsedUnit>>>,
+    stats: Mutex<CacheStats>,
+}
+
+impl ParseCache {
+    /// A fresh, empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parse `source`, reusing a cached unit when the content hash is
+    /// already known. Falls back to an uncached parse if a lock is
+    /// poisoned (a panicking writer must not wedge the analyzer).
+    pub fn parse(&self, source: &str) -> Arc<ParsedUnit> {
+        let key = content_hash(source.as_bytes());
+        if let Ok(map) = self.entries.lock() {
+            if let Some(unit) = map.get(&key) {
+                let unit = Arc::clone(unit);
+                drop(map);
+                if let Ok(mut stats) = self.stats.lock() {
+                    stats.hits += 1;
+                }
+                return unit;
+            }
+        }
+        let unit = Arc::new(parse_unit(source));
+        if let Ok(mut map) = self.entries.lock() {
+            map.insert(key, Arc::clone(&unit));
+        }
+        if let Ok(mut stats) = self.stats.lock() {
+            stats.misses += 1;
+        }
+        unit
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats.lock().map(|s| *s).unwrap_or_default()
+    }
+
+    /// Number of distinct cached contents.
+    pub fn len(&self) -> usize {
+        self.entries.lock().map(|m| m.len()).unwrap_or(0)
+    }
+
+    /// True when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_vectors() {
+        assert_eq!(content_hash(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(content_hash(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(content_hash(b"fn a() {}"), content_hash(b"fn b() {}"));
+    }
+
+    #[test]
+    fn second_parse_hits_and_shares() {
+        let cache = ParseCache::new();
+        let first = cache.parse("fn f() {}");
+        let second = cache.parse("fn f() {}");
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_contents_miss() {
+        let cache = ParseCache::new();
+        let _ = cache.parse("fn f() {}");
+        let _ = cache.parse("fn g() {}");
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2 });
+        assert_eq!(cache.len(), 2);
+    }
+}

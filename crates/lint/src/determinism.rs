@@ -1,0 +1,249 @@
+//! The determinism rule: no nondeterministic construct inside the
+//! replay-critical call subgraph.
+//!
+//! PR 2 made bit-identical replay of `(seed, FaultPlan)` runs a
+//! load-bearing property of every scheduler. Anything rooted at a
+//! `PowerScheduler::plan`/`plan_subset` impl or `degrade::run_with_faults`
+//! must therefore avoid:
+//!
+//! - `HashMap`/`HashSet` — iteration order varies run to run (the std
+//!   hasher is randomly seeded);
+//! - `Instant`/`SystemTime` — wall-clock reads leak host timing into
+//!   decisions; simulated time must be threaded explicitly;
+//! - `thread_rng` — unseeded randomness;
+//! - `par_iter`/`into_par_iter`/`par_bridge` — unordered parallel
+//!   reductions (the workspace's `parallel_map` is order-preserving and
+//!   allowed).
+//!
+//! The scope is computed transitively over the call graph, so a `HashMap`
+//! three helpers deep below `plan` is flagged while one in an offline
+//! report generator is not. Struct fields of the banned collection types
+//! are flagged when any method of the owning type is replay-critical.
+
+use crate::ast::ParsedSource;
+use crate::callgraph::CallGraph;
+use crate::rules::{Rule, Violation};
+use crate::symbols::{FnId, SymbolTable};
+use std::collections::BTreeSet;
+
+/// Banned identifier → why it breaks replay.
+const BANNED: [(&str, &str); 8] = [
+    (
+        "HashMap",
+        "iteration order is nondeterministic; use BTreeMap",
+    ),
+    (
+        "HashSet",
+        "iteration order is nondeterministic; use BTreeSet",
+    ),
+    (
+        "Instant",
+        "wall-clock reads break replay; thread simulated time instead",
+    ),
+    (
+        "SystemTime",
+        "wall-clock reads break replay; thread simulated time instead",
+    ),
+    (
+        "thread_rng",
+        "unseeded randomness breaks replay; use the seeded simkit rng",
+    ),
+    (
+        "par_iter",
+        "unordered parallel reduction breaks replay; use the order-preserving parallel_map",
+    ),
+    (
+        "into_par_iter",
+        "unordered parallel reduction breaks replay; use the order-preserving parallel_map",
+    ),
+    (
+        "par_bridge",
+        "unordered parallel reduction breaks replay; use the order-preserving parallel_map",
+    ),
+];
+
+fn banned_reason(ident: &str) -> Option<&'static str> {
+    BANNED
+        .iter()
+        .find(|(name, _)| *name == ident)
+        .map(|(_, why)| *why)
+}
+
+/// Run the determinism pass. `entries` are the scheduler entry points; the
+/// replay-critical set is everything the call graph reaches from them.
+pub fn check(
+    files: &[ParsedSource],
+    table: &SymbolTable,
+    graph: &CallGraph,
+    entries: &[FnId],
+) -> Vec<Violation> {
+    let critical = graph.reachable_from(entries);
+    let mut out = Vec::new();
+    let mut seen: BTreeSet<(FnId, String)> = BTreeSet::new();
+
+    // Banned identifiers inside replay-critical function bodies. One
+    // finding per (function, identifier): repeated uses in the same body
+    // are one decision, not many.
+    for (file_idx, file) in files.iter().enumerate() {
+        for (idx, t) in file.unit.tokens.iter().enumerate() {
+            if !t.is_ident {
+                continue;
+            }
+            let Some(why) = banned_reason(&t.text) else {
+                continue;
+            };
+            let Some(item_idx) = file.unit.index.enclosing_fn(idx) else {
+                continue; // not inside a fn body (use statement, field decl)
+            };
+            let Some(&id) = table.by_item.get(&(file_idx, item_idx)) else {
+                continue;
+            };
+            if !critical.contains(&id) {
+                continue;
+            }
+            let Some(f) = table.item(files, id) else {
+                continue;
+            };
+            if f.in_test {
+                continue;
+            }
+            if !seen.insert((id, t.text.clone())) {
+                continue;
+            }
+            out.push(Violation {
+                rule: Rule::Determinism,
+                file: file.path.clone(),
+                line: t.line,
+                name: t.text.clone(),
+                message: format!(
+                    "`{}` in `{}` is reachable from scheduler entry points: {}",
+                    t.text,
+                    table.label(files, id),
+                    why
+                ),
+            });
+        }
+    }
+
+    // Banned collection types in struct fields whose owning type has a
+    // replay-critical method: state stored nondeterministically leaks into
+    // every decision that iterates it.
+    let critical_types: BTreeSet<&str> = critical
+        .iter()
+        .filter_map(|&id| table.item(files, id))
+        .filter(|f| !f.in_test)
+        .filter_map(|f| f.owner.self_ty.as_deref())
+        .collect();
+    for file in files {
+        for s in &file.unit.index.structs {
+            if s.in_test || !critical_types.contains(s.name.as_str()) {
+                continue;
+            }
+            for field in &s.fields {
+                let Some(why) = banned_reason(&field.ty_primary) else {
+                    continue;
+                };
+                out.push(Violation {
+                    rule: Rule::Determinism,
+                    file: file.path.clone(),
+                    line: field.line,
+                    name: field.ty_primary.clone(),
+                    message: format!(
+                        "field `{}` of `{}` is a `{}` and `{}` has replay-critical methods: {}",
+                        field.name, s.name, field.ty_primary, s.name, why
+                    ),
+                });
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse_unit;
+    use std::sync::Arc;
+
+    fn run(sources: &[(&str, &str)]) -> Vec<Violation> {
+        let parsed: Vec<ParsedSource> = sources
+            .iter()
+            .map(|(path, src)| ParsedSource {
+                path: path.to_string(),
+                unit: Arc::new(parse_unit(src)),
+            })
+            .collect();
+        let table = SymbolTable::build(&parsed);
+        let graph = CallGraph::build(&parsed, &table);
+        let entries = table.entry_points(&parsed);
+        check(&parsed, &table, &graph, &entries)
+    }
+
+    #[test]
+    fn hashmap_in_reachable_helper_is_flagged() {
+        let v = run(&[(
+            "crates/core/src/s.rs",
+            "impl PowerScheduler for Clip { fn plan(&mut self) { helper(); } }\n\
+             fn helper() { let m: HashMap<u32, u32> = HashMap::new(); }",
+        )]);
+        assert_eq!(v.len(), 1);
+        let first = v.first().expect("one finding");
+        assert_eq!(first.rule, Rule::Determinism);
+        assert_eq!(first.name, "HashMap");
+        assert!(first.message.contains("helper"));
+    }
+
+    #[test]
+    fn hashmap_outside_critical_subgraph_is_clean() {
+        let v = run(&[(
+            "crates/core/src/s.rs",
+            "impl PowerScheduler for Clip { fn plan(&mut self) {} }\n\
+             fn offline_report() { let m: HashMap<u32, u32> = HashMap::new(); }",
+        )]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn instant_in_entry_body_is_flagged() {
+        let v = run(&[(
+            "crates/core/src/s.rs",
+            "impl PowerScheduler for Clip { fn plan(&mut self) { let t = Instant::now(); } }",
+        )]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.first().map(|v| v.name.as_str()), Some("Instant"));
+    }
+
+    #[test]
+    fn critical_struct_field_is_flagged() {
+        let v = run(&[(
+            "crates/core/src/s.rs",
+            "pub struct Db { pub records: HashMap<String, u32> }\n\
+             impl Db { fn lookup(&self) {} }\n\
+             impl PowerScheduler for Clip { fn plan(&mut self, db: &Db) { db.lookup(); } }",
+        )]);
+        assert_eq!(v.len(), 1);
+        let first = v.first().expect("one finding");
+        assert_eq!(first.name, "HashMap");
+        assert!(first.message.contains("records"));
+    }
+
+    #[test]
+    fn test_only_uses_are_clean() {
+        let v = run(&[(
+            "crates/core/src/s.rs",
+            "impl PowerScheduler for Clip { fn plan(&mut self) { helper(); } }\nfn helper() {}\n\
+             #[cfg(test)]\nmod tests { fn t() { let m: HashSet<u32> = HashSet::new(); } }",
+        )]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn repeated_use_in_one_fn_reports_once() {
+        let v = run(&[(
+            "crates/core/src/s.rs",
+            "fn run_with_faults() { let a = HashMap::new(); let b: HashMap<u8, u8> = HashMap::new(); }",
+        )]);
+        assert_eq!(v.len(), 1);
+    }
+}

@@ -3,24 +3,41 @@
 //! # clip-lint — workspace-specific static analysis
 //!
 //! `cargo clippy` enforces general Rust hygiene; this crate enforces the
-//! three invariants that are specific to a power-coordination codebase and
-//! that no general-purpose linter knows about:
+//! invariants that are specific to a power-coordination codebase and that
+//! no general-purpose linter knows about.
 //!
-//! 1. **Unit safety** — power, energy and time values cross function and
-//!    struct boundaries as `simkit` quantities, never as bare `f64` (a watt
-//!    added to a joule must not type-check).
-//! 2. **Panic freedom** — library code reachable from a long sweep must
-//!    not contain `unwrap`/`expect`/`panic!`/indexing panics.
-//! 3. **Exhaustiveness** — matches over the domain enums
-//!    (`ScalabilityClass`, `HwEvent`, …) list every variant, so adding a
-//!    variant is a compile error at every decision point rather than a
-//!    silent fall-through.
+//! Per-file rules (v1, [`rules`]):
 //!
-//! The binary walks `crates/*/src`, lexes each file with the hand-rolled
-//! token scanner in [`lexer`] (the build container has no `syn`), applies
-//! the rules in [`rules`], subtracts the reasoned allowlist
-//! (`clip-lint.allow` at the workspace root), and reports findings as
-//! `file:line` diagnostics or a machine-readable JSON document.
+//! 1. **unit-safety** — power, energy and time values cross function and
+//!    struct boundaries as `simkit` quantities, never as bare `f64`.
+//! 2. **panic-freedom** — library code must not contain
+//!    `unwrap`/`expect`/`panic!`/indexing panics.
+//! 3. **exhaustiveness** — matches over the domain enums list every
+//!    variant. The enum list is auto-discovered from `pub enum`
+//!    declarations deriving `Serialize` + `Clone` in the domain crates.
+//!
+//! Workspace-wide passes (v2), built on an item-level parser ([`ast`]), a
+//! symbol table ([`symbols`]) and a call graph ([`callgraph`]):
+//!
+//! 4. **determinism** ([`determinism`]) — no `HashMap`/`HashSet`/wall
+//!    clocks/unordered parallel reductions inside the replay-critical
+//!    subgraph rooted at the scheduler entry points.
+//! 5. **unit-taint** ([`dataflow`]) — bare `f64` quantities must not flow
+//!    through bindings, returns or call arguments into unit-named sinks,
+//!    across function and crate boundaries.
+//! 6. **ledger-coverage** ([`ledger`]) — every `PowerScheduler` impl's
+//!    `plan`/`plan_subset` transitively reaches `BudgetLedger`.
+//!
+//! The analyzer additionally annotates every *allowlisted* panic site with
+//! its blast radius: which scheduler entry points can reach it, via which
+//! call path. Allow entries whose panic sites are unreachable from every
+//! entry point are reported as `stale-unreachable` so the allowlist
+//! shrinks as code is refactored.
+//!
+//! Files parse in parallel via the workspace's order-preserving
+//! `parallel_map`; parses are cached by content hash ([`cache`]). Reports
+//! come out as JSON (schema [`REPORT_VERSION`], golden-pinned) or SARIF
+//! 2.1.0 ([`sarif`]) for CI annotation.
 //!
 //! Intentional escapes go in the allowlist, one per line:
 //!
@@ -31,20 +48,33 @@
 //! (rule, file suffix, violation name, and a `#` reason — the reason is
 //! required.)
 
+pub mod ast;
+pub mod cache;
+pub mod callgraph;
+pub mod dataflow;
+pub mod determinism;
+pub mod ledger;
 pub mod lexer;
 pub mod rules;
+pub mod sarif;
+pub mod symbols;
 
+use ast::ParsedSource;
+use cache::{CacheStats, ParseCache};
+use callgraph::CallGraph;
 use rules::{FileRules, Rule, Violation};
 use serde::Serialize;
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+use symbols::SymbolTable;
 
-/// Crates whose API surfaces must use quantity types (the unit-safety
-/// rule). `simkit` is excluded by design: it is the boundary where
-/// quantities wrap raw numbers.
+/// Crates whose API surfaces must use quantity types (the unit-safety and
+/// unit-taint rules). `simkit` is excluded by design: it is the boundary
+/// where quantities wrap raw numbers.
 pub const UNIT_SAFETY_CRATES: [&str; 4] = ["core", "cluster", "simnode", "baselines"];
 
 /// Format version of the JSON report.
-pub const REPORT_VERSION: u32 = 1;
+pub const REPORT_VERSION: u32 = 2;
 
 /// One allowlist entry: `rule file-suffix name  # reason`.
 #[derive(Debug, Clone)]
@@ -100,8 +130,12 @@ pub fn parse_allowlist(text: &str) -> (Vec<AllowEntry>, Vec<String>) {
 /// Rule counts for the report summary.
 #[derive(Debug, Clone, Copy, Default, Serialize)]
 pub struct Summary {
-    /// Files scanned.
+    /// Files scanned by the per-file rules.
     pub files_scanned: usize,
+    /// Functions indexed across the workspace.
+    pub functions: usize,
+    /// Scheduler entry points rooting the transitive passes.
+    pub entry_points: usize,
     /// Violations after allowlisting.
     pub total: usize,
     /// unit-safety violations.
@@ -110,8 +144,52 @@ pub struct Summary {
     pub panic_freedom: usize,
     /// exhaustiveness violations.
     pub exhaustiveness: usize,
+    /// determinism violations.
+    pub determinism: usize,
+    /// unit-taint violations.
+    pub unit_taint: usize,
+    /// ledger-coverage violations.
+    pub ledger_coverage: usize,
     /// Findings silenced by the allowlist.
     pub allowlisted: usize,
+}
+
+/// One entry-point → panic-site call path.
+#[derive(Debug, Clone, Serialize)]
+pub struct PanicRoute {
+    /// Label of the entry point (`Clip::plan`, `run_with_faults`, …).
+    pub entry: String,
+    /// Function labels along the shortest path, entry first, the function
+    /// containing the panic site last.
+    pub path: Vec<String>,
+}
+
+/// Blast radius of one allowlisted panic site.
+#[derive(Debug, Clone, Serialize)]
+pub struct PanicReachability {
+    /// Workspace-relative file of the panic site.
+    pub file: String,
+    /// 1-based line of the panic site.
+    pub line: u32,
+    /// Violation name (`unwrap`, `expect`, `panic`, `index`).
+    pub name: String,
+    /// Label of the function containing the site (empty at module scope).
+    pub function: String,
+    /// Entry points that can reach the site, with one shortest path each.
+    /// Empty means no scheduler entry point reaches this panic.
+    pub routes: Vec<PanicRoute>,
+}
+
+/// An allowlist entry whose every matched panic site is unreachable from
+/// all scheduler entry points — a candidate for pruning.
+#[derive(Debug, Clone, Serialize)]
+pub struct StaleUnreachable {
+    /// Rule name of the entry.
+    pub rule: String,
+    /// File suffix of the entry.
+    pub file: String,
+    /// Violation name of the entry.
+    pub name: String,
 }
 
 /// The machine-readable report (`clip-lint --json`).
@@ -121,17 +199,31 @@ pub struct Report {
     pub version: u32,
     /// Surviving violations, ordered by file then line.
     pub violations: Vec<Violation>,
+    /// Blast radius of every allowlisted panic site.
+    pub panic_reachability: Vec<PanicReachability>,
+    /// Allow entries whose panic sites no entry point reaches.
+    pub stale_unreachable: Vec<StaleUnreachable>,
     /// Aggregate counts.
     pub summary: Summary,
 }
 
-/// Build a report from raw findings and the allowlist. Returns the report
-/// plus the indices of allowlist entries that silenced nothing (stale).
+/// Output of [`build_report`].
+#[derive(Debug)]
+pub struct BuildOutput {
+    /// The report (transitive sections empty until [`analyze`] fills them).
+    pub report: Report,
+    /// Indices of allowlist entries that silenced nothing.
+    pub stale_allow: Vec<usize>,
+    /// Silenced findings, each with the allowlist entry index that matched.
+    pub allowlisted: Vec<(usize, Violation)>,
+}
+
+/// Apply the allowlist to raw findings and aggregate the summary.
 pub fn build_report(
     mut findings: Vec<Violation>,
     files_scanned: usize,
     allow: &[AllowEntry],
-) -> (Report, Vec<usize>) {
+) -> BuildOutput {
     findings.sort_by(|a, b| {
         a.file
             .cmp(&b.file)
@@ -139,7 +231,7 @@ pub fn build_report(
             .then_with(|| a.name.cmp(&b.name))
     });
     let mut used = vec![false; allow.len()];
-    let mut allowlisted = 0usize;
+    let mut allowlisted = Vec::new();
     let mut violations = Vec::new();
     for v in findings {
         let hit = allow.iter().enumerate().find(|(_, e)| {
@@ -150,7 +242,7 @@ pub fn build_report(
                 if let Some(flag) = used.get_mut(idx) {
                     *flag = true;
                 }
-                allowlisted += 1;
+                allowlisted.push((idx, v));
             }
             None => violations.push(v),
         }
@@ -158,7 +250,7 @@ pub fn build_report(
     let mut summary = Summary {
         files_scanned,
         total: violations.len(),
-        allowlisted,
+        allowlisted: allowlisted.len(),
         ..Summary::default()
     };
     for v in &violations {
@@ -166,26 +258,193 @@ pub fn build_report(
             Rule::UnitSafety => summary.unit_safety += 1,
             Rule::PanicFreedom => summary.panic_freedom += 1,
             Rule::Exhaustiveness => summary.exhaustiveness += 1,
+            Rule::Determinism => summary.determinism += 1,
+            Rule::UnitTaint => summary.unit_taint += 1,
+            Rule::LedgerCoverage => summary.ledger_coverage += 1,
         }
     }
-    let stale = used
+    let stale_allow = used
         .iter()
         .enumerate()
         .filter(|(_, &u)| !u)
         .map(|(i, _)| i)
         .collect();
-    (
-        Report {
+    BuildOutput {
+        report: Report {
             version: REPORT_VERSION,
             violations,
+            panic_reachability: Vec::new(),
+            stale_unreachable: Vec::new(),
             summary,
         },
-        stale,
-    )
+        stale_allow,
+        allowlisted,
+    }
 }
 
-/// Scan one source string as if it were the file `rel_path` (the testable
-/// core of the binary).
+/// One workspace source file handed to [`analyze`].
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path (`crates/<crate>/src/<file>.rs`).
+    pub path: String,
+    /// File contents.
+    pub source: String,
+}
+
+/// Result of a full workspace analysis.
+#[derive(Debug)]
+pub struct Analysis {
+    /// The v2 report.
+    pub report: Report,
+    /// Indices of allowlist entries that silenced nothing at all.
+    pub stale_allow: Vec<usize>,
+    /// Parse-cache hit/miss counters for this run.
+    pub cache: CacheStats,
+}
+
+/// Run the full pipeline over in-memory sources: parse (parallel, cached)
+/// → symbol table → per-file rules (parallel, with discovered enums) →
+/// call graph → transitive passes → allowlisted report with panic
+/// blast-radius annotations.
+pub fn analyze(sources: Vec<SourceFile>, allow: &[AllowEntry], cache: &ParseCache) -> Analysis {
+    let parsed: Vec<ParsedSource> = cluster_sim::sweep::parallel_map(sources, |s| ParsedSource {
+        path: s.path,
+        unit: cache.parse(&s.source),
+    });
+    let table = SymbolTable::build(&parsed);
+    let enums = table.domain_enums.clone();
+
+    // Per-file rules, file-parallel. Scope decided by path; lexing was
+    // already done during parsing.
+    let scanned: Vec<Option<Vec<Violation>>> = cluster_sim::sweep::parallel_map(
+        (0..parsed.len()).collect(),
+        |i: usize| -> Option<Vec<Violation>> {
+            let file = parsed.get(i)?;
+            let file_rules = rules_for_path(&file.path)?;
+            Some(rules::check_tokens_with_enums(
+                &file.path,
+                &file.unit.tokens,
+                file_rules,
+                &enums,
+            ))
+        },
+    );
+    let files_scanned = scanned.iter().flatten().count();
+    let mut findings: Vec<Violation> = scanned.into_iter().flatten().flatten().collect();
+
+    let graph = CallGraph::build(&parsed, &table);
+    let entries = table.entry_points(&parsed);
+    findings.extend(determinism::check(&parsed, &table, &graph, &entries));
+    findings.extend(dataflow::check(&parsed, &table));
+    findings.extend(ledger::check(&parsed, &table, &graph));
+
+    let BuildOutput {
+        mut report,
+        stale_allow,
+        allowlisted,
+    } = build_report(findings, files_scanned, allow);
+    report.summary.functions = table.fns.len();
+    report.summary.entry_points = entries.len();
+
+    // Blast radius of every allowlisted panic site: which entry points
+    // reach it, via which shortest call path.
+    let path_index: BTreeMap<&str, usize> = parsed
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.path.as_str(), i))
+        .collect();
+    let entry_trees: Vec<(
+        symbols::FnId,
+        BTreeMap<symbols::FnId, symbols::FnId>,
+        String,
+    )> = entries
+        .iter()
+        .map(|&e| (e, graph.parents_from(e), table.label(&parsed, e)))
+        .collect();
+    let mut reach: Vec<PanicReachability> = Vec::new();
+    // allow-entry index → true while every matched site is unreachable.
+    let mut all_unreachable: BTreeMap<usize, bool> = BTreeMap::new();
+    for (allow_idx, v) in &allowlisted {
+        if v.rule != Rule::PanicFreedom {
+            continue;
+        }
+        let mut function = String::new();
+        let mut routes = Vec::new();
+        let site_fn = path_index.get(v.file.as_str()).and_then(|&fi| {
+            let file = parsed.get(fi)?;
+            let item = callgraph::fn_in_file_at_line(file, v.line)?;
+            table.by_item.get(&(fi, item)).copied()
+        });
+        if let Some(id) = site_fn {
+            function = table.label(&parsed, id);
+            for (entry, parents, entry_label) in &entry_trees {
+                if let Some(path) = callgraph::route(*entry, id, parents) {
+                    routes.push(PanicRoute {
+                        entry: entry_label.clone(),
+                        path: path.iter().map(|&f| table.label(&parsed, f)).collect(),
+                    });
+                }
+            }
+        }
+        let reachable = !routes.is_empty();
+        all_unreachable
+            .entry(*allow_idx)
+            .and_modify(|u| *u &= !reachable)
+            .or_insert(!reachable);
+        reach.push(PanicReachability {
+            file: v.file.clone(),
+            line: v.line,
+            name: v.name.clone(),
+            function,
+            routes,
+        });
+    }
+    reach.sort_by(|a, b| {
+        a.file
+            .cmp(&b.file)
+            .then(a.line.cmp(&b.line))
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    reach.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.name == b.name);
+    report.panic_reachability = reach;
+    report.stale_unreachable = all_unreachable
+        .iter()
+        .filter(|(_, &unreachable)| unreachable)
+        .filter_map(|(&idx, _)| allow.get(idx))
+        .map(|e| StaleUnreachable {
+            rule: e.rule.clone(),
+            file: e.file.clone(),
+            name: e.name.clone(),
+        })
+        .collect();
+
+    Analysis {
+        report,
+        stale_allow,
+        cache: cache.stats(),
+    }
+}
+
+/// Read every workspace source under `root` and [`analyze`] it.
+pub fn analyze_workspace(
+    root: &Path,
+    allow: &[AllowEntry],
+    cache: &ParseCache,
+) -> std::io::Result<Analysis> {
+    let mut sources = Vec::new();
+    for rel in workspace_sources(root)? {
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        let source = std::fs::read_to_string(root.join(&rel))?;
+        sources.push(SourceFile {
+            path: rel_str,
+            source,
+        });
+    }
+    Ok(analyze(sources, allow, cache))
+}
+
+/// Scan one source string as if it were the file `rel_path` (the per-file
+/// subset of the pipeline, with the fallback enum list).
 pub fn scan_source(rel_path: &str, source: &str, rules: FileRules) -> Vec<Violation> {
     rules::check_tokens(rel_path, &lexer::lex(source), rules)
 }
@@ -287,10 +546,11 @@ mod tests {
                 reason: "stale".into(),
             },
         ];
-        let (report, stale) = build_report(findings, 1, &allow);
-        assert_eq!(report.summary.total, 0);
-        assert_eq!(report.summary.allowlisted, 2);
-        assert_eq!(stale, vec![1]);
+        let out = build_report(findings, 1, &allow);
+        assert_eq!(out.report.summary.total, 0);
+        assert_eq!(out.report.summary.allowlisted, 2);
+        assert_eq!(out.allowlisted.len(), 2);
+        assert_eq!(out.stale_allow, vec![1]);
     }
 
     #[test]
@@ -303,5 +563,108 @@ mod tests {
         assert!(rules_for_path("crates/bench/benches/sweep.rs").is_none());
         assert!(rules_for_path("crates/bench/src/bin/clip_sched.rs").is_none());
         assert!(rules_for_path("crates/lint/src/main.rs").is_none());
+    }
+
+    fn fixture_sources() -> Vec<SourceFile> {
+        vec![
+            SourceFile {
+                path: "crates/core/src/sched.rs".to_string(),
+                source: "impl PowerScheduler for Clip { fn plan(&mut self) { helper(); } }\n\
+                         fn helper() { let l = BudgetLedger::new(); let xs = vec![1]; \
+                         let v = xs[0]; }\n"
+                    .to_string(),
+            },
+            SourceFile {
+                path: "crates/core/src/offline.rs".to_string(),
+                source: "fn report() { let ys = vec![1]; let v = ys[0]; }\n".to_string(),
+            },
+        ]
+    }
+
+    #[test]
+    fn analyze_reports_panic_blast_radius() {
+        let allow = vec![
+            AllowEntry {
+                rule: "panic-freedom".into(),
+                file: "crates/core/src/sched.rs".into(),
+                name: "index".into(),
+                reason: "bounds asserted".into(),
+            },
+            AllowEntry {
+                rule: "panic-freedom".into(),
+                file: "crates/core/src/offline.rs".into(),
+                name: "index".into(),
+                reason: "bounds asserted".into(),
+            },
+        ];
+        let cache = ParseCache::new();
+        let analysis = analyze(fixture_sources(), &allow, &cache);
+        let report = &analysis.report;
+        assert_eq!(report.summary.total, 0, "{:?}", report.violations);
+        assert_eq!(report.summary.entry_points, 1);
+        assert_eq!(report.panic_reachability.len(), 2);
+
+        let reached = report
+            .panic_reachability
+            .iter()
+            .find(|p| p.file.ends_with("sched.rs"))
+            .expect("sched.rs site present");
+        assert_eq!(reached.function, "helper");
+        assert_eq!(reached.routes.len(), 1);
+        let route = reached.routes.first().expect("one route");
+        assert_eq!(route.entry, "Clip::plan");
+        assert_eq!(
+            route.path,
+            vec!["Clip::plan".to_string(), "helper".to_string()]
+        );
+
+        let unreached = report
+            .panic_reachability
+            .iter()
+            .find(|p| p.file.ends_with("offline.rs"))
+            .expect("offline.rs site present");
+        assert!(unreached.routes.is_empty());
+
+        // Only the unreachable entry is stale-unreachable.
+        assert_eq!(report.stale_unreachable.len(), 1);
+        let stale = report.stale_unreachable.first().expect("one");
+        assert_eq!(stale.file, "crates/core/src/offline.rs");
+    }
+
+    #[test]
+    fn analyze_uses_discovered_enums_for_exhaustiveness() {
+        let sources = vec![
+            SourceFile {
+                path: "crates/cluster/src/kinds.rs".to_string(),
+                source: "#[derive(Debug, Clone, Serialize)]\npub enum NewKind { A, B }\n"
+                    .to_string(),
+            },
+            SourceFile {
+                path: "crates/core/src/use_site.rs".to_string(),
+                source: "fn f(k: NewKind) -> u32 { match k { NewKind::A => 1, _ => 2 } }\n"
+                    .to_string(),
+            },
+        ];
+        let cache = ParseCache::new();
+        let analysis = analyze(sources, &[], &cache);
+        let v = &analysis.report.violations;
+        assert!(
+            v.iter()
+                .any(|v| v.rule == Rule::Exhaustiveness && v.name == "NewKind"),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn analyze_cache_round_trip() {
+        let cache = ParseCache::new();
+        let _ = analyze(fixture_sources(), &[], &cache);
+        let first = cache.stats();
+        assert_eq!(first.hits, 0);
+        assert_eq!(first.misses, 2);
+        let _ = analyze(fixture_sources(), &[], &cache);
+        let second = cache.stats();
+        assert_eq!(second.hits, 2);
+        assert_eq!(second.misses, 2);
     }
 }

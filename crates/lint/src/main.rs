@@ -1,20 +1,21 @@
-//! The `clip-lint` CLI: scan the workspace, apply the allowlist, report.
+//! The `clip-lint` CLI: analyze the workspace, apply the allowlist, report.
 //!
 //! ```text
-//! clip-lint [--json] [--allowlist PATH] [ROOT]
+//! clip-lint [--json] [--sarif PATH] [--allowlist PATH] [ROOT]
 //! ```
 //!
 //! Exits 0 when no violations survive the allowlist, 1 otherwise, 2 on
-//! usage or I/O errors. `scripts/check.sh` runs it as a hard gate.
+//! usage or I/O errors. `scripts/check.sh` runs it as a hard gate and
+//! records the analyzer wall-time it prints to stderr.
 
-use clip_lint::{
-    build_report, parse_allowlist, rules_for_path, scan_source, workspace_sources, AllowEntry,
-};
+use clip_lint::{cache::ParseCache, parse_allowlist, sarif, AllowEntry, Analysis};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
 
 struct Args {
     json: bool,
+    sarif: Option<PathBuf>,
     allowlist: Option<PathBuf>,
     root: Option<PathBuf>,
 }
@@ -22,6 +23,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         json: false,
+        sarif: None,
         allowlist: None,
         root: None,
     };
@@ -29,12 +31,19 @@ fn parse_args() -> Result<Args, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => args.json = true,
+            "--sarif" => {
+                let path = it.next().ok_or("--sarif needs a path")?;
+                args.sarif = Some(PathBuf::from(path));
+            }
             "--allowlist" => {
                 let path = it.next().ok_or("--allowlist needs a path")?;
                 args.allowlist = Some(PathBuf::from(path));
             }
             "--help" | "-h" => {
-                return Err("usage: clip-lint [--json] [--allowlist PATH] [ROOT]".to_string())
+                return Err(
+                    "usage: clip-lint [--json] [--sarif PATH] [--allowlist PATH] [ROOT]"
+                        .to_string(),
+                )
             }
             other if !other.starts_with('-') && args.root.is_none() => {
                 args.root = Some(PathBuf::from(other));
@@ -84,29 +93,42 @@ fn run() -> Result<bool, String> {
         Vec::new()
     };
 
-    let mut findings = Vec::new();
-    let mut files_scanned = 0usize;
-    for rel in
-        workspace_sources(&root).map_err(|e| format!("{}: {e}", root.join("crates").display()))?
-    {
-        let rel_str = rel.to_string_lossy().replace('\\', "/");
-        let Some(rules) = rules_for_path(&rel_str) else {
-            continue;
-        };
-        let source =
-            std::fs::read_to_string(root.join(&rel)).map_err(|e| format!("{rel_str}: {e}"))?;
-        files_scanned += 1;
-        findings.extend(scan_source(&rel_str, &source, rules));
-    }
+    let started = Instant::now();
+    let cache = ParseCache::new();
+    let Analysis {
+        report,
+        stale_allow,
+        cache: cache_stats,
+    } = clip_lint::analyze_workspace(&root, &allow, &cache)
+        .map_err(|e| format!("{}: {e}", root.display()))?;
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
 
-    let (report, stale) = build_report(findings, files_scanned, &allow);
-    for idx in &stale {
+    for idx in &stale_allow {
         if let Some(e) = allow.get(*idx) {
             eprintln!(
                 "clip-lint: warning: stale allowlist entry `{} {} {}` matched nothing",
                 e.rule, e.file, e.name
             );
         }
+    }
+    for stale in &report.stale_unreachable {
+        eprintln!(
+            "clip-lint: warning: allowlist entry `{} {} {}` is stale-unreachable: no \
+             scheduler entry point reaches its panic site — prune it",
+            stale.rule, stale.file, stale.name
+        );
+    }
+
+    if let Some(sarif_path) = &args.sarif {
+        let doc = sarif::to_sarif(&report);
+        let text = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+        if let Some(parent) = sarif_path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+            }
+        }
+        std::fs::write(sarif_path, text + "\n")
+            .map_err(|e| format!("{}: {e}", sarif_path.display()))?;
     }
 
     if args.json {
@@ -118,16 +140,36 @@ fn run() -> Result<bool, String> {
         }
         let s = &report.summary;
         println!(
-            "clip-lint: {} file(s), {} violation(s) ({} unit-safety, {} panic-freedom, \
-             {} exhaustiveness), {} allowlisted",
+            "clip-lint: {} file(s), {} fn(s), {} entry point(s), {} violation(s) \
+             ({} unit-safety, {} panic-freedom, {} exhaustiveness, {} determinism, \
+             {} unit-taint, {} ledger-coverage), {} allowlisted",
             s.files_scanned,
+            s.functions,
+            s.entry_points,
             s.total,
             s.unit_safety,
             s.panic_freedom,
             s.exhaustiveness,
+            s.determinism,
+            s.unit_taint,
+            s.ledger_coverage,
             s.allowlisted
         );
+        let reachable = report
+            .panic_reachability
+            .iter()
+            .filter(|p| !p.routes.is_empty())
+            .count();
+        println!(
+            "clip-lint: {} allowlisted panic site(s), {} reachable from scheduler entry points",
+            report.panic_reachability.len(),
+            reachable
+        );
     }
+    eprintln!(
+        "clip-lint: analyzed in {elapsed_ms:.1} ms (parse cache: {} hits, {} misses)",
+        cache_stats.hits, cache_stats.misses
+    );
     Ok(report.summary.total == 0)
 }
 

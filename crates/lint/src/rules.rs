@@ -1,4 +1,4 @@
-//! The three lint rules, operating on the token stream of one file.
+//! The per-file lint rules, operating on the token stream of one file.
 //!
 //! - **unit-safety**: `fn` parameters and `struct` fields whose names say
 //!   they carry power/energy/time (`*watts*`, `*power*`, `*budget*`,
@@ -9,7 +9,14 @@
 //!   `.expect(…)`, invoke `panic!`, or index slices with `[…]`.
 //! - **exhaustiveness**: a `match` that names a domain enum must not use a
 //!   bare `_` arm — new variants must fail to compile, not silently fall
-//!   through.
+//!   through. The enum list is auto-discovered by
+//!   [`crate::symbols::SymbolTable`]; [`DOMAIN_ENUMS`] remains as the
+//!   fallback for standalone per-file scans.
+//!
+//! The workspace-wide v2 rules (determinism, unit-taint, ledger-coverage)
+//! live in [`crate::determinism`], [`crate::dataflow`] and
+//! [`crate::ledger`]; their [`Rule`] variants are declared here so every
+//! finding shares one [`Violation`] shape and one allowlist keying scheme.
 
 use crate::lexer::Token;
 use serde::Serialize;
@@ -17,7 +24,10 @@ use serde::Serialize;
 /// Name fragments that mark a parameter/field as a physical quantity.
 pub const UNIT_NAME_FRAGMENTS: [&str; 5] = ["watts", "power", "budget", "joules", "secs"];
 
-/// Domain enums whose matches must stay exhaustive.
+/// Fallback list of domain enums whose matches must stay exhaustive, used
+/// only when no symbol table is available (standalone `check_tokens`).
+/// The workspace pipeline auto-discovers the live list from `pub enum`
+/// declarations deriving `Serialize` + `Clone` in the domain crates.
 pub const DOMAIN_ENUMS: [&str; 5] = [
     "ScalabilityClass",
     "HwEvent",
@@ -27,9 +37,10 @@ pub const DOMAIN_ENUMS: [&str; 5] = [
 ];
 
 /// Keywords that may directly precede `[` without forming an index
-/// expression (`for x in [..]`, `return [..]`, …).
-const NON_INDEX_KEYWORDS: [&str; 12] = [
+/// expression (`for x in [..]`, `return [..]`, `let [a, b] = …`, …).
+const NON_INDEX_KEYWORDS: [&str; 13] = [
     "in", "return", "if", "else", "match", "break", "continue", "as", "mut", "ref", "move", "box",
+    "let",
 ];
 
 /// Which rule fired.
@@ -41,6 +52,14 @@ pub enum Rule {
     PanicFreedom,
     /// Wildcard arm in a domain-enum match.
     Exhaustiveness,
+    /// Nondeterministic construct inside the replay-critical subgraph.
+    Determinism,
+    /// Bare-f64 value flowing into a power/energy-named sink across a
+    /// binding, return, or call boundary.
+    UnitTaint,
+    /// A `PowerScheduler` impl whose `plan`/`plan_subset` never reaches
+    /// `BudgetLedger`.
+    LedgerCoverage,
 }
 
 // Serialized as the stable kebab-case name, matching the allowlist key.
@@ -51,12 +70,43 @@ impl Serialize for Rule {
 }
 
 impl Rule {
+    /// Every rule, in report order (drives the SARIF rule descriptors).
+    pub const ALL: [Rule; 6] = [
+        Rule::UnitSafety,
+        Rule::PanicFreedom,
+        Rule::Exhaustiveness,
+        Rule::Determinism,
+        Rule::UnitTaint,
+        Rule::LedgerCoverage,
+    ];
+
+    /// One-line description for tooling surfaces (SARIF, docs).
+    pub fn description(&self) -> &'static str {
+        match self {
+            Rule::UnitSafety => "power/energy/time values must be simkit quantities, not bare f64",
+            Rule::PanicFreedom => "library code must not unwrap/expect/panic!/index",
+            Rule::Exhaustiveness => "matches over domain enums must list every variant",
+            Rule::Determinism => {
+                "no nondeterministic construct inside the replay-critical call subgraph"
+            }
+            Rule::UnitTaint => {
+                "bare f64 must not flow into unit-named sinks across function boundaries"
+            }
+            Rule::LedgerCoverage => {
+                "every PowerScheduler plan must transitively reach BudgetLedger"
+            }
+        }
+    }
+
     /// Stable kebab-case name (the JSON encoding and allowlist key).
     pub fn name(&self) -> &'static str {
         match self {
             Rule::UnitSafety => "unit-safety",
             Rule::PanicFreedom => "panic-freedom",
             Rule::Exhaustiveness => "exhaustiveness",
+            Rule::Determinism => "determinism",
+            Rule::UnitTaint => "unit-taint",
+            Rule::LedgerCoverage => "ledger-coverage",
         }
     }
 }
@@ -86,9 +136,21 @@ pub struct FileRules {
     pub library_rules: bool,
 }
 
-/// Scan one file's tokens. `file` is the workspace-relative path used in
-/// diagnostics.
+/// Scan one file's tokens with the fallback [`DOMAIN_ENUMS`] list. `file`
+/// is the workspace-relative path used in diagnostics.
 pub fn check_tokens(file: &str, tokens: &[Token], rules: FileRules) -> Vec<Violation> {
+    let enums: Vec<String> = DOMAIN_ENUMS.iter().map(|e| e.to_string()).collect();
+    check_tokens_with_enums(file, tokens, rules, &enums)
+}
+
+/// Scan one file's tokens against an explicit domain-enum list (the
+/// auto-discovered one in the workspace pipeline).
+pub fn check_tokens_with_enums(
+    file: &str,
+    tokens: &[Token],
+    rules: FileRules,
+    enums: &[String],
+) -> Vec<Violation> {
     let excluded = excluded_spans(tokens);
     let in_excluded = |idx: usize| excluded.iter().any(|&(s, e)| idx >= s && idx < e);
 
@@ -98,15 +160,15 @@ pub fn check_tokens(file: &str, tokens: &[Token], rules: FileRules) -> Vec<Viola
     }
     if rules.library_rules {
         check_panic_freedom(file, tokens, &in_excluded, &mut out);
-        check_exhaustiveness(file, tokens, &in_excluded, &mut out);
+        check_exhaustiveness(file, tokens, &in_excluded, enums, &mut out);
     }
     out.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.name.cmp(&b.name)));
     out
 }
 
 /// Token index ranges covered by `#[cfg(test)]` items (test modules or
-/// test-gated functions): the rules skip them.
-fn excluded_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
+/// test-gated functions): the rules and the item parser skip them.
+pub fn excluded_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
     let mut spans = Vec::new();
     let mut i = 0usize;
     while i < tokens.len() {
@@ -411,6 +473,7 @@ fn check_exhaustiveness(
     file: &str,
     tokens: &[Token],
     in_excluded: &dyn Fn(usize) -> bool,
+    enums: &[String],
     out: &mut Vec<Violation>,
 ) {
     let mut i = 0usize;
@@ -440,9 +503,9 @@ fn check_exhaustiveness(
         }
         let body_open = j;
         let body_close = matching_close(tokens, body_open, "{", "}");
-        let mentions: Vec<&str> = DOMAIN_ENUMS
+        let mentions: Vec<&str> = enums
             .iter()
-            .copied()
+            .map(String::as_str)
             .filter(|e| {
                 tokens
                     .get(i..body_close)

@@ -1,0 +1,143 @@
+//! SARIF 2.1.0 emission for CI annotation.
+//!
+//! Converts a [`crate::Report`] into the minimal SARIF document that code
+//! hosts render inline on pull requests: one run, one driver, one result
+//! per surviving violation with a physical location. Built by hand on the
+//! serde shim's insertion-ordered [`Value`] so the output is byte-stable.
+
+use crate::rules::Rule;
+use crate::Report;
+use serde::Value;
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn s(text: &str) -> Value {
+    Value::String(text.to_string())
+}
+
+/// Build the SARIF document for a report.
+pub fn to_sarif(report: &Report) -> Value {
+    let rules: Vec<Value> = Rule::ALL
+        .iter()
+        .map(|r| {
+            obj(vec![
+                ("id", s(r.name())),
+                ("shortDescription", obj(vec![("text", s(r.description()))])),
+            ])
+        })
+        .collect();
+    let results: Vec<Value> = report
+        .violations
+        .iter()
+        .map(|v| {
+            obj(vec![
+                ("ruleId", s(v.rule.name())),
+                ("level", s("error")),
+                ("message", obj(vec![("text", s(&v.message))])),
+                (
+                    "locations",
+                    Value::Array(vec![obj(vec![(
+                        "physicalLocation",
+                        obj(vec![
+                            ("artifactLocation", obj(vec![("uri", s(&v.file))])),
+                            (
+                                "region",
+                                obj(vec![("startLine", Value::U64(u64::from(v.line)))]),
+                            ),
+                        ]),
+                    )])]),
+                ),
+            ])
+        })
+        .collect();
+    obj(vec![
+        (
+            "$schema",
+            s("https://json.schemastore.org/sarif-2.1.0.json"),
+        ),
+        ("version", s("2.1.0")),
+        (
+            "runs",
+            Value::Array(vec![obj(vec![
+                (
+                    "tool",
+                    obj(vec![(
+                        "driver",
+                        obj(vec![
+                            ("name", s("clip-lint")),
+                            ("version", s(&format!("{}.0.0", crate::REPORT_VERSION))),
+                            ("rules", Value::Array(rules)),
+                        ]),
+                    )]),
+                ),
+                ("results", Value::Array(results)),
+            ])]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{Rule as R, Violation};
+    use crate::{Report, Summary, REPORT_VERSION};
+
+    fn report_with(violations: Vec<Violation>) -> Report {
+        Report {
+            version: REPORT_VERSION,
+            violations,
+            panic_reachability: Vec::new(),
+            stale_unreachable: Vec::new(),
+            summary: Summary::default(),
+        }
+    }
+
+    #[test]
+    fn sarif_shape() {
+        let report = report_with(vec![Violation {
+            rule: R::Determinism,
+            file: "crates/core/src/knowledge.rs".to_string(),
+            line: 12,
+            name: "HashMap".to_string(),
+            message: "nondeterministic".to_string(),
+        }]);
+        let doc = to_sarif(&report);
+        assert_eq!(doc.get("version").and_then(Value::as_str), Some("2.1.0"));
+        let runs = doc.get("runs").and_then(Value::as_array).expect("runs");
+        let run = runs.first().expect("one run");
+        let results = run
+            .get("results")
+            .and_then(Value::as_array)
+            .expect("results");
+        assert_eq!(results.len(), 1);
+        let result = results.first().expect("one result");
+        assert_eq!(
+            result.get("ruleId").and_then(Value::as_str),
+            Some("determinism")
+        );
+        let rules = run
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .and_then(|d| d.get("rules"))
+            .and_then(Value::as_array)
+            .expect("rules");
+        assert_eq!(rules.len(), Rule::ALL.len());
+    }
+
+    #[test]
+    fn empty_report_serializes() {
+        let doc = to_sarif(&report_with(Vec::new()));
+        let text = serde_json::to_string(&doc).expect("serialize");
+        assert!(
+            text.contains("\"results\": []") || text.contains("\"results\":[]"),
+            "{text}"
+        );
+    }
+}

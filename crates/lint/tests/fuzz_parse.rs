@@ -1,0 +1,50 @@
+//! Fuzz-style robustness tests: the lexer and item parser must accept
+//! arbitrary byte soup without panicking and terminate on every input.
+//! The analyzer runs over whatever the workspace contains — including
+//! half-edited files — so total functions are a hard requirement.
+
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary bytes (lossily decoded) never panic the lexer, and every
+    /// token's line number stays within the line count of the input.
+    #[test]
+    fn lexer_total_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let source = String::from_utf8_lossy(&bytes);
+        let tokens = clip_lint::lexer::lex(&source);
+        let lines = source.lines().count().max(1) as u32;
+        prop_assert!(tokens.iter().all(|t| t.line >= 1 && t.line <= lines));
+    }
+
+    /// The item parser is total on arbitrary bytes: no panics, and every
+    /// recorded function body span is a valid token range.
+    #[test]
+    fn parser_total_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let source = String::from_utf8_lossy(&bytes);
+        let unit = clip_lint::ast::parse_unit(&source);
+        for f in &unit.index.fns {
+            if let Some((lo, hi)) = f.body {
+                prop_assert!(lo <= hi && hi <= unit.tokens.len(), "span {lo}..{hi}");
+            }
+        }
+    }
+
+    /// Rust-ish fragments assembled from structural keywords stress the
+    /// nesting paths (impl/fn/brace matching) without ever panicking.
+    #[test]
+    fn parser_total_on_keyword_soup(words in proptest::collection::vec(
+        prop_oneof![
+            Just("fn"), Just("impl"), Just("struct"), Just("enum"), Just("for"),
+            Just("{"), Just("}"), Just("("), Just(")"), Just("<"), Just(">"),
+            Just("#[cfg(test)]"), Just("mod"), Just("pub"), Just("x"), Just(";"),
+        ],
+        0..64))
+    {
+        let source = words.join(" ");
+        let unit = clip_lint::ast::parse_unit(&source);
+        // Excluded (cfg(test)) spans must be well-formed ranges too.
+        for (lo, hi) in &unit.excluded {
+            prop_assert!(lo <= hi && *hi <= unit.tokens.len());
+        }
+    }
+}

@@ -1,73 +1,120 @@
-//! Golden test pinning the `clip-lint --json` report shape.
+//! Golden test pinning the `clip-lint --json` report shape (schema v2).
 //!
 //! Downstream tooling parses this document; any field rename, reorder or
 //! type change must show up here as a deliberate diff (and a bump of
-//! `REPORT_VERSION`).
+//! `REPORT_VERSION`). The fixture runs the full `analyze()` pipeline so
+//! the transitive sections — `panic_reachability` blast radius and
+//! `stale_unreachable` allowlist pruning — are pinned too.
 
-use clip_lint::rules::FileRules;
-use clip_lint::{build_report, parse_allowlist, scan_source};
+use clip_lint::cache::ParseCache;
+use clip_lint::{analyze, parse_allowlist, SourceFile};
 
-/// A fixture with one violation of each rule.
-const FIXTURE: &str = r#"
-pub fn drive(power_watts: f64, states: &[f64]) -> f64 {
-    let first = states.first().unwrap();
-    match class {
-        ScalabilityClass::Linear => first + power_watts,
-        _ => states[1],
+/// A scheduler whose `plan` reaches an allowlisted index through `helper`,
+/// plus one live unit-safety violation (`budget_watts`).
+const SCHED: &str = r#"
+pub struct Clip;
+impl PowerScheduler for Clip {
+    fn plan(&mut self, budget_watts: f64) {
+        helper();
     }
+}
+fn helper() {
+    let ledger = BudgetLedger::new();
+    let xs = vec![1];
+    let v = xs[0];
 }
 "#;
 
+/// Dead code: its allowlisted index is unreachable from any entry point.
+const OFFLINE: &str = r#"
+pub fn cold(states: &[f64]) -> f64 {
+    let Some(&first) = states.first() else { return 0.0; };
+    first + states[1]
+}
+"#;
+
+const ALLOW: &str = "\
+panic-freedom crates/core/src/sched.rs index  # helper index, reachable from Clip::plan
+panic-freedom crates/core/src/offline.rs index  # nothing calls cold()
+";
+
 const GOLDEN: &str = r#"{
-  "version": 1,
+  "version": 2,
   "violations": [
     {
       "rule": "unit-safety",
-      "file": "crates/core/src/fixture.rs",
-      "line": 2,
-      "name": "power_watts",
-      "message": "parameter `power_watts` is a bare f64; use a simkit quantity (Power/Energy/TimeSpan) or allowlist with a reason"
+      "file": "crates/core/src/sched.rs",
+      "line": 4,
+      "name": "budget_watts",
+      "message": "parameter `budget_watts` is a bare f64; use a simkit quantity (Power/Energy/TimeSpan) or allowlist with a reason"
+    }
+  ],
+  "panic_reachability": [
+    {
+      "file": "crates/core/src/offline.rs",
+      "line": 4,
+      "name": "index",
+      "function": "cold",
+      "routes": []
     },
     {
-      "rule": "exhaustiveness",
-      "file": "crates/core/src/fixture.rs",
-      "line": 6,
-      "name": "ScalabilityClass",
-      "message": "wildcard `_` arm in a match over `ScalabilityClass`; list every variant so new ones fail to compile"
-    },
+      "file": "crates/core/src/sched.rs",
+      "line": 11,
+      "name": "index",
+      "function": "helper",
+      "routes": [
+        {
+          "entry": "Clip::plan",
+          "path": [
+            "Clip::plan",
+            "helper"
+          ]
+        }
+      ]
+    }
+  ],
+  "stale_unreachable": [
     {
       "rule": "panic-freedom",
-      "file": "crates/core/src/fixture.rs",
-      "line": 6,
-      "name": "index",
-      "message": "`states[…]` indexing can panic; use .get()/iterators or allowlist with a bounds argument"
+      "file": "crates/core/src/offline.rs",
+      "name": "index"
     }
   ],
   "summary": {
-    "files_scanned": 1,
-    "total": 3,
+    "files_scanned": 2,
+    "functions": 3,
+    "entry_points": 1,
+    "total": 1,
     "unit_safety": 1,
-    "panic_freedom": 1,
-    "exhaustiveness": 1,
-    "allowlisted": 1
+    "panic_freedom": 0,
+    "exhaustiveness": 0,
+    "determinism": 0,
+    "unit_taint": 0,
+    "ledger_coverage": 0,
+    "allowlisted": 2
   }
 }"#;
 
 #[test]
 fn json_report_shape_is_stable() {
-    let findings = scan_source(
-        "crates/core/src/fixture.rs",
-        FIXTURE,
-        FileRules {
-            unit_safety: true,
-            library_rules: true,
-        },
-    );
-    let (allow, errors) =
-        parse_allowlist("panic-freedom crates/core/src/fixture.rs unwrap  # fixture escape\n");
+    let (allow, errors) = parse_allowlist(ALLOW);
     assert!(errors.is_empty(), "{errors:?}");
-    let (report, stale) = build_report(findings, 1, &allow);
-    assert!(stale.is_empty(), "allowlist entry should match the fixture");
-    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    let sources = vec![
+        SourceFile {
+            path: "crates/core/src/sched.rs".to_string(),
+            source: SCHED.to_string(),
+        },
+        SourceFile {
+            path: "crates/core/src/offline.rs".to_string(),
+            source: OFFLINE.to_string(),
+        },
+    ];
+    let cache = ParseCache::new();
+    let analysis = analyze(sources, &allow, &cache);
+    assert!(
+        analysis.stale_allow.is_empty(),
+        "both allowlist entries should match a finding"
+    );
+    let json = serde_json::to_string_pretty(&analysis.report).expect("report serializes");
     assert_eq!(json, GOLDEN);
 }

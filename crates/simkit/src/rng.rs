@@ -94,7 +94,11 @@ impl SimRng {
     /// Pick a uniformly random element of a non-empty slice.
     pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
         assert!(!items.is_empty(), "choose: empty slice");
-        &items[self.uniform_usize(0, items.len() - 1)]
+        let idx = self.uniform_usize(0, items.len() - 1);
+        let Some(item) = items.get(idx) else {
+            unreachable!("uniform_usize(0, len - 1) is within bounds")
+        };
+        item
     }
 
     /// Fisher–Yates shuffle in place.

@@ -48,11 +48,12 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
     let rank = (p / 100.0) * (v.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
+    let at = |i: usize| v.get(i).copied().unwrap_or(0.0);
     if lo == hi {
-        v[lo]
+        at(lo)
     } else {
         let w = rank - lo as f64;
-        v[lo] * (1.0 - w) + v[hi] * w
+        at(lo) * (1.0 - w) + at(hi) * w
     }
 }
 

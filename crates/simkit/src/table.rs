@@ -61,7 +61,9 @@ impl Table {
         let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
         for row in &self.rows {
             for (j, cell) in row.iter().enumerate() {
-                widths[j] = widths[j].max(cell.len());
+                if let Some(w) = widths.get_mut(j) {
+                    *w = (*w).max(cell.len());
+                }
             }
         }
         let mut out = String::new();
@@ -74,7 +76,8 @@ impl Table {
                 if j > 0 {
                     line.push_str("  ");
                 }
-                let _ = write!(line, "{cell:>width$}", width = widths[j]);
+                let width = widths.get(j).copied().unwrap_or(0);
+                let _ = write!(line, "{cell:>width$}");
             }
             line
         };

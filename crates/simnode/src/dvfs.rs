@@ -43,7 +43,8 @@ impl PStateTable {
 
     /// Highest available frequency.
     pub fn f_max(&self) -> Frequency {
-        *self.states.last().expect("non-empty")
+        // `states` is non-empty by construction (`new` asserts it).
+        self.states.last().copied().unwrap_or(Frequency::ghz(0.0))
     }
 
     /// Number of states.

@@ -21,8 +21,20 @@ cargo clippy --workspace --all-targets --offline -- -D warnings \
     -A clippy::indexing_slicing \
     -A clippy::panic
 
-echo "==> clip-lint"
-cargo run -p clip-lint --offline --quiet
+echo "==> clip-lint (JSON schema gate + SARIF)"
+# The analyzer prints its wall-time and parse-cache stats to stderr; the
+# SARIF document lands where CI uploaders expect it. The report schema
+# version is pinned by the golden test and double-checked here so drift
+# in `clip-lint --json` output can never ship silently.
+cargo run -p clip-lint --offline --quiet -- --sarif target/clip-lint.sarif
+report_version="$(cargo run -p clip-lint --offline --quiet -- --json \
+    | grep -o '"version": [0-9]*' | head -n1 | grep -o '[0-9]*')"
+if [ "$report_version" != "2" ]; then
+    echo "clip-lint report schema drifted: version=$report_version, expected 2" >&2
+    echo "(update crates/lint/tests/golden_json.rs and this gate together)" >&2
+    exit 1
+fi
+test -s target/clip-lint.sarif || { echo "missing target/clip-lint.sarif" >&2; exit 1; }
 
 echo "==> cargo test"
 cargo test --workspace --offline -q
