@@ -15,13 +15,33 @@
 //!
 //! `--smoke` runs a tiny 4-node, 3-epoch plan (one crash) so CI can gate
 //! on the full path in well under five seconds.
+//!
+//! `--trace <path>` writes every scheduler's run as JSONL trace events to
+//! `<path>` (one file, runs delimited by `run_started` records) for
+//! inspection with `clip-trace summary`/`diff`. Without the flag the
+//! no-op recorder is used and nothing is allocated.
 
 use clip_bench::{comparison_methods, emit, testbed, HARNESS_SEED};
-use clip_core::degrade::{run_with_faults, FaultHarnessConfig};
+use clip_core::degrade::{run_with_faults, run_with_faults_obs, FaultHarnessConfig};
+use clip_obs::{JsonlSink, TraceRecorder};
 use cluster_sim::{Cluster, FaultEvent, FaultKind, FaultPlan};
 use simkit::table::Table;
 use simkit::Power;
 use workload::suite;
+
+/// Value of `--trace <path>` (or `--trace=<path>`), if present.
+fn trace_arg() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if a == "--trace" {
+            return args.get(i + 1).cloned();
+        }
+        if let Some(path) = a.strip_prefix("--trace=") {
+            return Some(path.to_string());
+        }
+    }
+    None
+}
 
 fn full_plan() -> FaultPlan {
     FaultPlan::new(vec![
@@ -115,9 +135,31 @@ fn main() {
         ],
     );
 
+    let mut tracer = match trace_arg() {
+        Some(path) => match JsonlSink::create(&path) {
+            Ok(sink) => Some((path, TraceRecorder::new(sink))),
+            Err(err) => {
+                eprintln!("ext_faults: cannot open trace file: {err}");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+
     for method in comparison_methods().iter_mut() {
         let mut cluster = cluster_proto.clone();
-        let report = run_with_faults(method.as_mut(), &mut cluster, &app, budget, &faults, &cfg);
+        let report = match tracer.as_mut() {
+            Some((_, rec)) => run_with_faults_obs(
+                method.as_mut(),
+                &mut cluster,
+                &app,
+                budget,
+                &faults,
+                &cfg,
+                rec,
+            ),
+            None => run_with_faults(method.as_mut(), &mut cluster, &app, budget, &faults, &cfg),
+        };
         let reclaimed: f64 = report
             .recoveries
             .iter()
@@ -138,4 +180,18 @@ fn main() {
         ]);
     }
     emit(&table);
+
+    if let Some((path, rec)) = tracer {
+        let sink = rec.finish();
+        let failed = sink.failed_writes();
+        if let Err(err) = sink.close() {
+            eprintln!("ext_faults: trace close failed: {err}");
+            std::process::exit(2);
+        }
+        if failed > 0 {
+            eprintln!("ext_faults: {failed} trace line(s) failed to write");
+            std::process::exit(2);
+        }
+        eprintln!("ext_faults: trace written to {path}");
+    }
 }

@@ -206,6 +206,53 @@ impl FaultPlan {
     }
 }
 
+impl From<FaultKind> for clip_obs::FaultTag {
+    fn from(kind: FaultKind) -> Self {
+        match kind {
+            FaultKind::NodeCrash => clip_obs::FaultTag::Crash,
+            FaultKind::SlowNode { factor } => clip_obs::FaultTag::Straggler { factor },
+            FaultKind::CapJitter { fraction } => clip_obs::FaultTag::CapJitter { fraction },
+            FaultKind::VariabilityDrift { factor } => clip_obs::FaultTag::Drift { factor },
+        }
+    }
+}
+
+impl From<FaultImpact> for clip_obs::ImpactTag {
+    fn from(impact: FaultImpact) -> Self {
+        match impact {
+            FaultImpact::PoolChanged => clip_obs::ImpactTag::PoolChanged,
+            FaultImpact::ActuationOnly => clip_obs::ImpactTag::ActuationOnly,
+            FaultImpact::Ignored => clip_obs::ImpactTag::Ignored,
+        }
+    }
+}
+
+/// [`apply_event`] with telemetry: emits a
+/// [`clip_obs::TraceEvent::FaultApplied`] carrying the event and its
+/// resolved impact, and bumps the `faults_applied_total` /
+/// `faults_ignored_total` counters.
+pub fn apply_event_obs<R: clip_obs::Recorder>(
+    cluster: &mut Cluster,
+    event: &FaultEvent,
+    epoch: u64,
+    rec: &mut R,
+) -> FaultImpact {
+    let impact = apply_event(cluster, event);
+    if rec.enabled() {
+        let counter = match impact {
+            FaultImpact::PoolChanged | FaultImpact::ActuationOnly => "faults_applied_total",
+            FaultImpact::Ignored => "faults_ignored_total",
+        };
+        rec.counter_add(counter, 1);
+        rec.event_with(epoch, || clip_obs::TraceEvent::FaultApplied {
+            node: event.node,
+            kind: event.kind.into(),
+            impact: impact.into(),
+        });
+    }
+    impact
+}
+
 /// Apply one fault event to the cluster and report its impact.
 ///
 /// Events against dead or out-of-range nodes are dropped (`Ignored`), as is

@@ -97,6 +97,21 @@ impl Cluster {
         }
     }
 
+    /// [`Cluster::set_caps`] with telemetry: each node programs its caps
+    /// through [`Node::set_caps_obs`], emitting one `RaplProgrammed` trace
+    /// event per node (programmed vs jitter-adjusted effective cap).
+    pub fn set_caps_obs<R: clip_obs::Recorder>(
+        &mut self,
+        caps: &[PowerCaps],
+        epoch: u64,
+        rec: &mut R,
+    ) {
+        assert_eq!(caps.len(), self.nodes.len(), "one cap set per node");
+        for (id, (n, c)) in self.nodes.iter_mut().zip(caps).enumerate() {
+            n.set_caps_obs(*c, id, epoch, rec);
+        }
+    }
+
     /// Node indices sorted most-efficient-first (lowest factor first) —
     /// the order a variability-aware scheduler prefers to activate them in.
     pub fn nodes_by_efficiency(&self) -> Vec<usize> {

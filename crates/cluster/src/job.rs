@@ -139,6 +139,22 @@ impl JobReport {
 /// Execute a job on the cluster. Panics on an empty node set, a node index
 /// out of range, or zero iterations.
 pub fn run_job(cluster: &mut Cluster, spec: &JobSpec<'_>) -> JobReport {
+    run_job_obs(cluster, spec, 0, &mut clip_obs::NoopRecorder)
+}
+
+/// [`run_job`] with telemetry: every rank executes through
+/// [`simnode::Node::execute_obs`] (emitting `DvfsResolved` per node), and
+/// after barrier blending each participant contributes a
+/// [`clip_obs::TraceEvent::NodePowerSample`] pairing its programmed cap
+/// (setpoint) with its blended measured power, plus a
+/// `node_wait_fraction` histogram observation. With the
+/// [`clip_obs::NoopRecorder`] this is exactly `run_job`.
+pub fn run_job_obs<R: clip_obs::Recorder>(
+    cluster: &mut Cluster,
+    spec: &JobSpec<'_>,
+    epoch: u64,
+    rec: &mut R,
+) -> JobReport {
     assert!(!spec.node_ids.is_empty(), "job needs at least one node");
     assert!(spec.iterations > 0, "job needs at least one iteration");
     for &id in &spec.node_ids {
@@ -153,11 +169,14 @@ pub fn run_job(cluster: &mut Cluster, spec: &JobSpec<'_>) -> JobReport {
         .node_ids
         .iter()
         .map(|&id| {
-            let r = cluster.node_mut(id).execute(
+            let r = cluster.node_mut(id).execute_obs(
                 &scaled,
                 spec.threads_per_node,
                 spec.policy,
                 spec.iterations,
+                id,
+                epoch,
+                rec,
             );
             (id, r)
         })
@@ -200,6 +219,19 @@ pub fn run_job(cluster: &mut Cluster, spec: &JobSpec<'_>) -> JobReport {
         .iter()
         .map(|n| n.avg_power)
         .fold(Power::ZERO, Power::max);
+
+    if rec.enabled() {
+        for n in &per_node {
+            let caps = cluster.node(n.node_id).caps();
+            rec.event_with(epoch, || clip_obs::TraceEvent::NodePowerSample {
+                node: n.node_id,
+                setpoint: caps.cpu + caps.dram,
+                measured: n.avg_power,
+                wait_fraction: n.wait_fraction,
+            });
+            rec.observe("node_wait_fraction", n.wait_fraction);
+        }
+    }
 
     JobReport {
         app_name: spec.app.name().to_string(),

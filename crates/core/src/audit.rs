@@ -266,6 +266,35 @@ impl BudgetLedger {
         }
     }
 
+    /// [`BudgetLedger::audit_actuation`] with telemetry: emits an
+    /// [`clip_obs::TraceEvent::ActuationAudited`] carrying the verdict and
+    /// bumps `actuation_injected_total` when overshoot is attributed to
+    /// the declared jitter.
+    pub fn audit_actuation_obs<R: clip_obs::Recorder>(
+        &self,
+        plan: &SchedulePlan,
+        measured: Power,
+        epoch: u64,
+        rec: &mut R,
+    ) -> ActuationCheck {
+        let check = self.audit_actuation(plan, measured);
+        if rec.enabled() {
+            let verdict = match check {
+                ActuationCheck::Nominal => clip_obs::ActuationTag::Nominal,
+                ActuationCheck::InjectedJitter => {
+                    rec.counter_add("actuation_injected_total", 1);
+                    clip_obs::ActuationTag::InjectedJitter
+                }
+            };
+            rec.event_with(epoch, || clip_obs::TraceEvent::ActuationAudited {
+                budget: self.cluster_budget,
+                measured,
+                verdict,
+            });
+        }
+        check
+    }
+
     /// Enforce rules 1 and 2 on a finished plan.
     pub fn audit_plan(&self, plan: &SchedulePlan) {
         if let Err(v) = self.try_audit_plan(plan) {

@@ -22,8 +22,8 @@
 //! property the replay tests pin down.
 
 use crate::audit::{ActuationCheck, BudgetLedger};
-use crate::scheduler::{execute_plan, PowerScheduler};
-use cluster_sim::{apply_event, Cluster, FaultImpact, FaultKind, FaultPlan};
+use crate::scheduler::{execute_plan_obs, PowerScheduler};
+use cluster_sim::{apply_event_obs, Cluster, FaultImpact, FaultKind, FaultPlan};
 use serde::{Deserialize, Serialize};
 use simkit::{Power, TimeSpan};
 use workload::AppModel;
@@ -150,6 +150,15 @@ impl FaultRunReport {
     }
 
     /// Mean time-to-recover over all completed recoveries.
+    ///
+    /// Returns `None` — never a zero duration — when the run completed no
+    /// recovery cycle at all: a fault-free run, a run whose faults were all
+    /// ignored or actuation-only (nothing to recover from), or a run too
+    /// short for the re-coordination boundary to arrive (e.g. a
+    /// pool-changing fault in the final epoch leaves its recovery pending
+    /// forever). Callers must treat `None` as "no recovery observed", not
+    /// as instant recovery; averaging it as 0 s would fabricate a perfect
+    /// TTR for the worst possible outcome.
     pub fn mean_time_to_recover(&self) -> Option<TimeSpan> {
         if self.recoveries.is_empty() {
             return None;
@@ -184,12 +193,68 @@ pub fn run_with_faults(
     faults: &FaultPlan,
     cfg: &FaultHarnessConfig,
 ) -> FaultRunReport {
+    run_with_faults_obs(
+        scheduler,
+        cluster,
+        app,
+        budget,
+        faults,
+        cfg,
+        &mut clip_obs::NoopRecorder,
+    )
+}
+
+/// Emit the decision events a traced scheduler buffered during its last
+/// plan call, stamped with the current epoch.
+fn drain_decisions<R: clip_obs::Recorder>(
+    scheduler: &mut dyn PowerScheduler,
+    epoch: u64,
+    rec: &mut R,
+) {
+    if rec.enabled() {
+        for event in scheduler.drain_decisions() {
+            rec.event_with(epoch, || event);
+        }
+    }
+}
+
+/// [`run_with_faults`] with telemetry: the same deterministic harness,
+/// narrating every decision point into `rec` — `RunStarted`, the
+/// scheduler's own `CoordinateMeasured`/`AllocateChosen` buffer (enabled
+/// via [`PowerScheduler::set_tracing`]), `PlanComputed`/`PlanNode`/
+/// `RaplProgrammed`/`DvfsResolved`/`NodePowerSample` through the traced
+/// execution path, `FaultApplied`, `Recovered`, `ActuationAudited` and
+/// `EpochCompleted`, plus the run metrics (epoch/TTR histograms, fault and
+/// replan counters, budget-utilization observations).
+///
+/// With the [`clip_obs::NoopRecorder`] every hook compiles to nothing and
+/// this is exactly [`run_with_faults`] — the replay property tests pin
+/// that the recorder never changes a report.
+pub fn run_with_faults_obs<R: clip_obs::Recorder>(
+    scheduler: &mut dyn PowerScheduler,
+    cluster: &mut Cluster,
+    app: &AppModel,
+    budget: Power,
+    faults: &FaultPlan,
+    cfg: &FaultHarnessConfig,
+    rec: &mut R,
+) -> FaultRunReport {
     assert!(cfg.epochs > 0, "need at least one epoch");
     assert!(cfg.iterations_per_epoch > 0, "need at least one iteration");
 
     let name = scheduler.name().to_string();
     let alive = cluster.alive_nodes();
+    scheduler.set_tracing(rec.enabled());
+    if rec.enabled() {
+        rec.event_with(0, || clip_obs::TraceEvent::RunStarted {
+            scheduler: name.clone(),
+            budget,
+            nodes: alive.len(),
+            epochs: cfg.epochs as u64,
+        });
+    }
     let mut plan = scheduler.plan_subset(cluster, app, budget, &alive);
+    drain_decisions(scheduler, 0, rec);
 
     let mut epochs: Vec<EpochRecord> = Vec::with_capacity(cfg.epochs);
     let mut recoveries: Vec<Recovery> = Vec::new();
@@ -201,6 +266,7 @@ pub fn run_with_faults(
     let mut degraded_time = TimeSpan::ZERO;
 
     for epoch in 0..cfg.epochs {
+        let ep = epoch as u64;
         let mut replanned = false;
 
         // 1. Recover from the previous epoch's pool change: Algorithm 1
@@ -208,7 +274,17 @@ pub fn run_with_faults(
         if let Some((fault_epoch, reclaimed)) = pending.take() {
             let alive = cluster.alive_nodes();
             plan = scheduler.plan_subset(cluster, app, budget, &alive);
+            drain_decisions(scheduler, ep, rec);
             replanned = true;
+            if rec.enabled() {
+                rec.observe("ttr_secs", degraded_time.as_secs());
+                rec.event_with(ep, || clip_obs::TraceEvent::Recovered {
+                    fault_epoch: fault_epoch as u64,
+                    recovered_epoch: ep,
+                    time_to_recover: degraded_time,
+                    reclaimed,
+                });
+            }
             recoveries.push(Recovery {
                 fault_epoch,
                 recovered_epoch: epoch,
@@ -222,7 +298,7 @@ pub fn run_with_faults(
         let mut events_ignored = 0usize;
         let mut reclaimed = Power::ZERO;
         for event in faults.events_at(epoch) {
-            match apply_event(cluster, event) {
+            match apply_event_obs(cluster, event, ep, rec) {
                 FaultImpact::PoolChanged => {
                     events_applied += 1;
                     if matches!(event.kind, FaultKind::NodeCrash) {
@@ -247,8 +323,18 @@ pub fn run_with_faults(
         if plan.node_ids.is_empty() {
             let alive = cluster.alive_nodes();
             plan = scheduler.plan_subset(cluster, app, budget, &alive);
+            drain_decisions(scheduler, ep, rec);
             replanned = true;
             if let Some((fault_epoch, reclaimed)) = pending.take() {
+                if rec.enabled() {
+                    rec.observe("ttr_secs", 0.0);
+                    rec.event_with(ep, || clip_obs::TraceEvent::Recovered {
+                        fault_epoch: fault_epoch as u64,
+                        recovered_epoch: ep,
+                        time_to_recover: TimeSpan::ZERO,
+                        reclaimed,
+                    });
+                }
                 recoveries.push(Recovery {
                     fault_epoch,
                     recovered_epoch: epoch,
@@ -268,16 +354,43 @@ pub fn run_with_faults(
         let ledger = BudgetLedger::new(&name, budget).with_injected_jitter(jitter);
         ledger.audit_plan(&plan);
 
-        let report = execute_plan(cluster, app, &plan, cfg.iterations_per_epoch);
+        let report = execute_plan_obs(cluster, app, &plan, cfg.iterations_per_epoch, ep, rec);
         degraded_time = report.total_time;
 
-        let injected_overshoot = match ledger.audit_actuation(&plan, report.cluster_power) {
-            ActuationCheck::Nominal => false,
-            ActuationCheck::InjectedJitter => {
-                injected_overshoots += 1;
-                true
+        let injected_overshoot =
+            match ledger.audit_actuation_obs(&plan, report.cluster_power, ep, rec) {
+                ActuationCheck::Nominal => false,
+                ActuationCheck::InjectedJitter => {
+                    injected_overshoots += 1;
+                    true
+                }
+            };
+
+        if rec.enabled() {
+            rec.counter_add("epochs_total", 1);
+            if replanned {
+                rec.counter_add("replans_total", 1);
             }
-        };
+            rec.observe("epoch_time_secs", report.total_time.as_secs());
+            if budget.as_watts() > 0.0 {
+                rec.observe(
+                    "budget_utilization",
+                    report.cluster_power.as_watts() / budget.as_watts(),
+                );
+            }
+            let caps_total = plan.total_caps();
+            let measured = report.cluster_power;
+            let performance = report.performance();
+            let wall = report.total_time;
+            rec.event_with(ep, || clip_obs::TraceEvent::EpochCompleted {
+                budget,
+                caps_total,
+                measured,
+                performance,
+                wall,
+                replanned,
+            });
+        }
 
         epochs.push(EpochRecord {
             epoch,
@@ -294,6 +407,10 @@ pub fn run_with_faults(
     }
 
     let survivors = cluster.alive_len();
+    if rec.enabled() {
+        rec.gauge_set("survivors", survivors as f64);
+        scheduler.set_tracing(false);
+    }
     FaultRunReport {
         scheduler: name,
         budget,
@@ -556,5 +673,123 @@ mod tests {
         assert!(report.post_fault_performance() > 0.0);
         let ttr = report.mean_time_to_recover().unwrap();
         assert!(ttr.as_secs() > 0.0);
+    }
+
+    #[test]
+    fn ttr_is_none_for_zero_epoch_report() {
+        // The harness itself refuses epochs == 0, but a report can reach a
+        // consumer empty (deserialized, truncated, or hand-built): every
+        // helper must degrade gracefully rather than divide by zero.
+        let report = FaultRunReport {
+            scheduler: "empty".to_string(),
+            budget: Power::watts(1000.0),
+            epochs: Vec::new(),
+            recoveries: Vec::new(),
+            injected_overshoots: 0,
+            survivors: 0,
+        };
+        assert_eq!(report.mean_time_to_recover(), None);
+        assert_eq!(report.mean_performance(), 0.0);
+        assert_eq!(report.pre_fault_performance(), 0.0);
+        assert_eq!(report.post_fault_performance(), 0.0);
+    }
+
+    #[test]
+    fn zero_epoch_harness_config_is_rejected() {
+        let mut cluster = Cluster::paper_testbed(7);
+        let mut sched = clip();
+        let app = suite::comd();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_with_faults(
+                &mut sched,
+                &mut cluster,
+                &app,
+                Power::watts(1500.0),
+                &FaultPlan::empty(),
+                &FaultHarnessConfig {
+                    epochs: 0,
+                    iterations_per_epoch: 1,
+                },
+            )
+        }));
+        assert!(caught.is_err(), "epochs == 0 must be rejected up front");
+    }
+
+    #[test]
+    fn ttr_is_none_when_fault_free() {
+        // No faults → no recoveries → the TTR contract says None, never a
+        // zero TimeSpan masquerading as "instant recovery".
+        let mut cluster = Cluster::paper_testbed(7);
+        let mut sched = clip();
+        let app = suite::comd();
+        let report = run_with_faults(
+            &mut sched,
+            &mut cluster,
+            &app,
+            Power::watts(1500.0),
+            &FaultPlan::empty(),
+            &FaultHarnessConfig {
+                epochs: 3,
+                iterations_per_epoch: 1,
+            },
+        );
+        assert!(report.recoveries.is_empty());
+        assert_eq!(report.mean_time_to_recover(), None);
+    }
+
+    #[test]
+    fn ttr_is_none_when_crash_lands_in_final_epoch() {
+        // A pool-changing fault in the last epoch arms a re-plan that never
+        // fires: the run ends degraded, recovery stays pending, and the
+        // report must say None — not report a bogus recovery.
+        let mut cluster = Cluster::paper_testbed(7);
+        let mut sched = clip();
+        let app = suite::comd();
+        let report = run_with_faults(
+            &mut sched,
+            &mut cluster,
+            &app,
+            Power::watts(1500.0),
+            &FaultPlan::new(vec![crash(2, 4)]),
+            &FaultHarnessConfig {
+                epochs: 3,
+                iterations_per_epoch: 1,
+            },
+        );
+        assert_eq!(report.survivors, 7, "the crash itself still landed");
+        assert!(
+            report.epochs.iter().any(|e| e.events_applied > 0),
+            "the fault must have been applied"
+        );
+        assert!(report.recoveries.is_empty(), "recovery never observed");
+        assert_eq!(report.mean_time_to_recover(), None);
+    }
+
+    #[test]
+    fn ttr_is_none_when_faults_are_actuation_only() {
+        // CapJitter perturbs actuation but never changes the pool, so the
+        // harness has nothing to recover from.
+        let mut cluster = Cluster::paper_testbed(7);
+        let mut sched = clip();
+        let app = suite::comd();
+        let plan = FaultPlan::new(vec![FaultEvent {
+            at_epoch: 1,
+            node: 2,
+            kind: FaultKind::CapJitter { fraction: 0.05 },
+        }]);
+        let report = run_with_faults(
+            &mut sched,
+            &mut cluster,
+            &app,
+            Power::watts(1500.0),
+            &plan,
+            &FaultHarnessConfig {
+                epochs: 3,
+                iterations_per_epoch: 1,
+            },
+        );
+        assert!(report.epochs.iter().any(|e| e.events_applied > 0));
+        assert!(report.recoveries.is_empty());
+        assert_eq!(report.mean_time_to_recover(), None);
     }
 }

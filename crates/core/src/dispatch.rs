@@ -133,6 +133,21 @@ impl Dispatcher {
     /// Run a submission list to completion and report. Jobs must be sorted
     /// by arrival time.
     pub fn run(&mut self, cluster: &mut Cluster, jobs: &[QueuedJob]) -> DispatchReport {
+        self.run_obs(cluster, jobs, &mut clip_obs::NoopRecorder)
+    }
+
+    /// [`Dispatcher::run`] with telemetry: emits a
+    /// [`clip_obs::TraceEvent::JobDispatched`] for every job start, and
+    /// observes per-job `job_wait_secs` / `job_turnaround_secs` histograms
+    /// plus a `jobs_dispatched_total` counter. Event epochs carry the
+    /// dispatch order (0-based start index), which is deterministic for a
+    /// fixed submission list.
+    pub fn run_obs<R: clip_obs::Recorder>(
+        &mut self,
+        cluster: &mut Cluster,
+        jobs: &[QueuedJob],
+        rec: &mut R,
+    ) -> DispatchReport {
         assert!(!jobs.is_empty(), "empty submission list");
         assert!(
             jobs.iter()
@@ -177,7 +192,7 @@ impl Dispatcher {
                 // A plan always fits by construction; start the job.
                 let report = execute_plan(cluster, &job.app, &plan, job.iterations);
                 let finish = now + report.total_time;
-                outcomes.push(DispatchOutcome {
+                let outcome = DispatchOutcome {
                     job: job.app.name().to_string(),
                     arrival: job.arrival,
                     start: now,
@@ -186,7 +201,23 @@ impl Dispatcher {
                     threads: plan.threads_per_node,
                     granted_power: plan.total_caps(),
                     performance: report.performance(),
-                });
+                };
+                if rec.enabled() {
+                    let seq = outcomes.len() as u64;
+                    rec.counter_add("jobs_dispatched_total", 1);
+                    rec.observe("job_wait_secs", outcome.wait().as_secs());
+                    rec.observe("job_turnaround_secs", outcome.turnaround().as_secs());
+                    let name = outcome.job.clone();
+                    let granted = outcome.granted_power;
+                    let nodes = outcome.nodes;
+                    rec.event_with(seq, || clip_obs::TraceEvent::JobDispatched {
+                        job: name,
+                        start: now,
+                        nodes,
+                        granted,
+                    });
+                }
+                outcomes.push(outcome);
                 running.push(Running {
                     finish,
                     node_ids: plan.node_ids.clone(),

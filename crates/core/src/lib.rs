@@ -59,7 +59,7 @@ pub mod validate;
 
 pub use allocate::{choose_node_count, NodeBudgetRange};
 pub use audit::{ActuationCheck, BudgetLedger};
-pub use degrade::{run_with_faults, FaultHarnessConfig, FaultRunReport};
+pub use degrade::{run_with_faults, run_with_faults_obs, FaultHarnessConfig, FaultRunReport};
 pub use dispatch::{DispatchReport, Dispatcher, QueuedJob};
 pub use knowledge::KnowledgeDb;
 pub use mlr::InflectionPredictor;
@@ -69,4 +69,4 @@ pub use powerfit::FittedPowerModel;
 pub use profile::{ProfileData, SampleRun, SmartProfiler};
 pub use recommend::{recommend_node_config, NodeConfig};
 pub use runtime::{FixedLaunch, RuntimeCoordinator};
-pub use scheduler::{execute_plan, ClipScheduler, PowerScheduler, SchedulePlan};
+pub use scheduler::{execute_plan, execute_plan_obs, ClipScheduler, PowerScheduler, SchedulePlan};

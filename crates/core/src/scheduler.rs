@@ -21,7 +21,7 @@ use crate::mlr::InflectionPredictor;
 use crate::perfmodel::NodePerfModel;
 use crate::powerfit::FittedPowerModel;
 use crate::profile::SmartProfiler;
-use cluster_sim::{run_job, Cluster, JobReport, JobSpec};
+use cluster_sim::{run_job_obs, Cluster, JobReport, JobSpec};
 use serde::{Deserialize, Serialize};
 use simkit::Power;
 use simnode::{AffinityPolicy, PowerCaps};
@@ -93,6 +93,20 @@ pub trait PowerScheduler {
         plan.caps.truncate(n);
         plan
     }
+
+    /// Ask the scheduler to buffer trace events at its internal decision
+    /// points (coordinate, allocate) for the harness to drain after each
+    /// plan call. The default ignores the request — a scheduler with no
+    /// interesting decision points needs no tracing machinery.
+    fn set_tracing(&mut self, on: bool) {
+        let _ = on;
+    }
+
+    /// Hand over (and clear) the decision events buffered since the last
+    /// drain. The default returns an empty `Vec`, which allocates nothing.
+    fn drain_decisions(&mut self) -> Vec<clip_obs::TraceEvent> {
+        Vec::new()
+    }
 }
 
 /// Program a plan's caps and execute the job.
@@ -102,8 +116,50 @@ pub fn execute_plan(
     plan: &SchedulePlan,
     iterations: usize,
 ) -> JobReport {
+    execute_plan_obs(
+        cluster,
+        app,
+        plan,
+        iterations,
+        0,
+        &mut clip_obs::NoopRecorder,
+    )
+}
+
+/// [`execute_plan`] with telemetry: emits the committed plan as one
+/// [`clip_obs::TraceEvent::PlanComputed`] plus a
+/// [`clip_obs::TraceEvent::PlanNode`] per slot, programs caps through the
+/// traced actuation path (`RaplProgrammed` per node), and executes via
+/// [`cluster_sim::run_job_obs`] (`DvfsResolved` and `NodePowerSample` per
+/// node). With the [`clip_obs::NoopRecorder`] this is exactly
+/// `execute_plan`.
+pub fn execute_plan_obs<R: clip_obs::Recorder>(
+    cluster: &mut Cluster,
+    app: &AppModel,
+    plan: &SchedulePlan,
+    iterations: usize,
+    epoch: u64,
+    rec: &mut R,
+) -> JobReport {
+    if rec.enabled() {
+        rec.event_with(epoch, || clip_obs::TraceEvent::PlanComputed {
+            scheduler: plan.scheduler.clone(),
+            nodes: plan.nodes(),
+            threads_per_node: plan.threads_per_node,
+            caps_total: plan.total_caps(),
+        });
+        for (&node_id, caps) in plan.node_ids.iter().zip(&plan.caps) {
+            rec.event_with(epoch, || clip_obs::TraceEvent::PlanNode {
+                node: node_id,
+                cpu: caps.cpu,
+                dram: caps.dram,
+            });
+        }
+    }
     for (&node_id, &caps) in plan.node_ids.iter().zip(&plan.caps) {
-        cluster.node_mut(node_id).set_caps(caps);
+        cluster
+            .node_mut(node_id)
+            .set_caps_obs(caps, node_id, epoch, rec);
     }
     let spec = JobSpec {
         app,
@@ -112,7 +168,7 @@ pub fn execute_plan(
         policy: plan.policy,
         iterations,
     };
-    run_job(cluster, &spec)
+    run_job_obs(cluster, &spec, epoch, rec)
 }
 
 /// The CLIP scheduler (paper Algorithm 1).
@@ -144,6 +200,8 @@ pub struct ClipScheduler {
     /// ablation harness disables this.
     pub floor_even: bool,
     profiles_performed: usize,
+    trace_decisions: bool,
+    decisions: Vec<clip_obs::TraceEvent>,
 }
 
 impl ClipScheduler {
@@ -157,6 +215,8 @@ impl ClipScheduler {
             variability_threshold: 0.02,
             floor_even: true,
             profiles_performed: 0,
+            trace_decisions: false,
+            decisions: Vec::new(),
         }
     }
 
@@ -245,6 +305,13 @@ impl ClipScheduler {
         let n = allocation.nodes;
         let uniform = allocation.node_config.caps;
         let ledger = BudgetLedger::new(self.name(), budget);
+        if self.trace_decisions {
+            self.decisions.push(clip_obs::TraceEvent::AllocateChosen {
+                nodes: n,
+                threads: allocation.node_config.threads,
+                per_node_cap: uniform.total(),
+            });
+        }
 
         let (node_ids, caps) = if self.coordinate_variability {
             let factors = coordinate::measure_efficiencies(cluster, allowed_nodes);
@@ -253,6 +320,15 @@ impl ClipScheduler {
             ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
             let selected: Vec<usize> = ranked.iter().take(n).map(|&(id, _)| id).collect();
             let sel_factors: Vec<f64> = ranked.iter().take(n).map(|&(_, f)| f).collect();
+            if self.trace_decisions {
+                let spread = coordinate::spread(&sel_factors);
+                self.decisions
+                    .push(clip_obs::TraceEvent::CoordinateMeasured {
+                        pool: selected.clone(),
+                        spread,
+                        engaged: spread > self.variability_threshold,
+                    });
+            }
             let before = vec![uniform; sel_factors.len()];
             let caps =
                 coordinate::coordinate_caps(uniform, &sel_factors, self.variability_threshold);
@@ -298,6 +374,17 @@ impl PowerScheduler for ClipScheduler {
         allowed: &[usize],
     ) -> SchedulePlan {
         self.plan_constrained(cluster, app, budget, allowed)
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.trace_decisions = on;
+        if !on {
+            self.decisions.clear();
+        }
+    }
+
+    fn drain_decisions(&mut self) -> Vec<clip_obs::TraceEvent> {
+        std::mem::take(&mut self.decisions)
     }
 }
 

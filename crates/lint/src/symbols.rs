@@ -17,9 +17,10 @@ use crate::ast::{FnItem, ParsedSource};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Crates whose public serializable enums are domain enums (exhaustive
-/// matching enforced). `workload` hosts `ScalabilityClass`; the rest hold
-/// the simulator and fault enums.
-pub const DOMAIN_ENUM_CRATES: [&str; 5] = ["core", "cluster", "simnode", "workload", "baselines"];
+/// matching enforced). `workload` hosts `ScalabilityClass`; `obs` hosts
+/// the trace-event taxonomy; the rest hold the simulator and fault enums.
+pub const DOMAIN_ENUM_CRATES: [&str; 6] =
+    ["core", "cluster", "simnode", "workload", "baselines", "obs"];
 
 /// The scheduler trait whose `plan`/`plan_subset` implementations are the
 /// public entry points of the replay-critical subgraph.

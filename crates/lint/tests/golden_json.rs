@@ -33,6 +33,21 @@ pub fn cold(states: &[f64]) -> f64 {
 }
 "#;
 
+/// A telemetry-crate file: `ImpactTag` is auto-discovered as a domain enum
+/// (pub + Serialize + Clone in a `DOMAIN_ENUM_CRATES` member), so the
+/// wildcard arm below is a live exhaustiveness violation. Before `obs`
+/// joined the crate list this match was invisible to the linter.
+const OBS: &str = r#"
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ImpactTag { PoolChanged, ActuationOnly, Ignored }
+pub fn pool_changed(tag: ImpactTag) -> bool {
+    match tag {
+        ImpactTag::PoolChanged => true,
+        _ => false,
+    }
+}
+"#;
+
 const ALLOW: &str = "\
 panic-freedom crates/core/src/sched.rs index  # helper index, reachable from Clip::plan
 panic-freedom crates/core/src/offline.rs index  # nothing calls cold()
@@ -47,6 +62,13 @@ const GOLDEN: &str = r#"{
       "line": 4,
       "name": "budget_watts",
       "message": "parameter `budget_watts` is a bare f64; use a simkit quantity (Power/Energy/TimeSpan) or allowlist with a reason"
+    },
+    {
+      "rule": "exhaustiveness",
+      "file": "crates/obs/src/event.rs",
+      "line": 7,
+      "name": "ImpactTag",
+      "message": "wildcard `_` arm in a match over `ImpactTag`; list every variant so new ones fail to compile"
     }
   ],
   "panic_reachability": [
@@ -81,18 +103,114 @@ const GOLDEN: &str = r#"{
     }
   ],
   "summary": {
-    "files_scanned": 2,
-    "functions": 3,
+    "files_scanned": 3,
+    "functions": 4,
     "entry_points": 1,
-    "total": 1,
+    "total": 2,
     "unit_safety": 1,
     "panic_freedom": 0,
-    "exhaustiveness": 0,
+    "exhaustiveness": 1,
     "determinism": 0,
     "unit_taint": 0,
     "ledger_coverage": 0,
     "allowlisted": 2
   }
+}"#;
+
+/// The SARIF rendering of the same report, pinned for the CI
+/// annotation path (one result per surviving violation, all six rules
+/// declared on the driver).
+const GOLDEN_SARIF: &str = r#"{
+  "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+  "version": "2.1.0",
+  "runs": [
+    {
+      "tool": {
+        "driver": {
+          "name": "clip-lint",
+          "version": "2.0.0",
+          "rules": [
+            {
+              "id": "unit-safety",
+              "shortDescription": {
+                "text": "power/energy/time values must be simkit quantities, not bare f64"
+              }
+            },
+            {
+              "id": "panic-freedom",
+              "shortDescription": {
+                "text": "library code must not unwrap/expect/panic!/index"
+              }
+            },
+            {
+              "id": "exhaustiveness",
+              "shortDescription": {
+                "text": "matches over domain enums must list every variant"
+              }
+            },
+            {
+              "id": "determinism",
+              "shortDescription": {
+                "text": "no nondeterministic construct inside the replay-critical call subgraph"
+              }
+            },
+            {
+              "id": "unit-taint",
+              "shortDescription": {
+                "text": "bare f64 must not flow into unit-named sinks across function boundaries"
+              }
+            },
+            {
+              "id": "ledger-coverage",
+              "shortDescription": {
+                "text": "every PowerScheduler plan must transitively reach BudgetLedger"
+              }
+            }
+          ]
+        }
+      },
+      "results": [
+        {
+          "ruleId": "unit-safety",
+          "level": "error",
+          "message": {
+            "text": "parameter `budget_watts` is a bare f64; use a simkit quantity (Power/Energy/TimeSpan) or allowlist with a reason"
+          },
+          "locations": [
+            {
+              "physicalLocation": {
+                "artifactLocation": {
+                  "uri": "crates/core/src/sched.rs"
+                },
+                "region": {
+                  "startLine": 4
+                }
+              }
+            }
+          ]
+        },
+        {
+          "ruleId": "exhaustiveness",
+          "level": "error",
+          "message": {
+            "text": "wildcard `_` arm in a match over `ImpactTag`; list every variant so new ones fail to compile"
+          },
+          "locations": [
+            {
+              "physicalLocation": {
+                "artifactLocation": {
+                  "uri": "crates/obs/src/event.rs"
+                },
+                "region": {
+                  "startLine": 7
+                }
+              }
+            }
+          ]
+        }
+      ]
+    }
+  ]
 }"#;
 
 #[test]
@@ -108,6 +226,10 @@ fn json_report_shape_is_stable() {
             path: "crates/core/src/offline.rs".to_string(),
             source: OFFLINE.to_string(),
         },
+        SourceFile {
+            path: "crates/obs/src/event.rs".to_string(),
+            source: OBS.to_string(),
+        },
     ];
     let cache = ParseCache::new();
     let analysis = analyze(sources, &allow, &cache);
@@ -117,4 +239,7 @@ fn json_report_shape_is_stable() {
     );
     let json = serde_json::to_string_pretty(&analysis.report).expect("report serializes");
     assert_eq!(json, GOLDEN);
+    let sarif = serde_json::to_string_pretty(&clip_lint::sarif::to_sarif(&analysis.report))
+        .expect("sarif serializes");
+    assert_eq!(sarif, GOLDEN_SARIF);
 }

@@ -1,0 +1,448 @@
+//! `clip-trace`: offline analysis of clip-obs JSONL traces.
+//!
+//! ```text
+//! clip-trace summary <trace.jsonl>
+//! clip-trace diff <a.jsonl> <b.jsonl>
+//! ```
+//!
+//! `summary` reports, per run in the trace (a file may hold several — the
+//! `ext_faults` harness traces every comparison method into one file): the
+//! budget-utilization timeline, per-node power setpoint-vs-actual,
+//! time-to-recover breakdown, and histogram summaries from the final
+//! metrics snapshot.
+//!
+//! `diff` aligns two traces run-by-run (matching scheduler names in
+//! order) and reports per-epoch utilization/performance deltas and the
+//! TTR comparison — the workflow for before/after fault-handling changes.
+//!
+//! Exits 0 on success, 2 on usage, I/O or parse errors.
+
+use clip_obs::{TraceEvent, TraceRecord};
+use simkit::table::Table;
+use simkit::{Power, TimeSpan};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// One scheduler run sliced out of a trace file.
+struct Run {
+    scheduler: String,
+    budget: Power,
+    nodes: usize,
+    records: Vec<TraceRecord>,
+}
+
+/// Per-epoch execution row (from `EpochCompleted`).
+struct EpochRow {
+    epoch: u64,
+    caps_total: Power,
+    measured: Power,
+    performance: f64,
+    wall: TimeSpan,
+    replanned: bool,
+}
+
+/// Aggregated setpoint-vs-actual stats for one node.
+#[derive(Default)]
+struct NodeStat {
+    samples: usize,
+    setpoint_sum: f64,
+    measured_sum: f64,
+    measured_max: f64,
+}
+
+/// One completed recovery (from `Recovered`).
+struct TtrRow {
+    fault_epoch: u64,
+    recovered_epoch: u64,
+    ttr: TimeSpan,
+    reclaimed: Power,
+}
+
+fn load(path: &str) -> Result<Vec<TraceRecord>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut records = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec: TraceRecord =
+            serde_json::from_str(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        records.push(rec);
+    }
+    if records.is_empty() {
+        return Err(format!("{path}: no trace records"));
+    }
+    Ok(records)
+}
+
+/// Slice a record stream into runs at `RunStarted` boundaries. Records
+/// before the first boundary form an anonymous run.
+fn split_runs(records: Vec<TraceRecord>) -> Vec<Run> {
+    let mut runs: Vec<Run> = Vec::new();
+    for rec in records {
+        if let TraceEvent::RunStarted {
+            scheduler,
+            budget,
+            nodes,
+            ..
+        } = &rec.event
+        {
+            runs.push(Run {
+                scheduler: scheduler.clone(),
+                budget: *budget,
+                nodes: *nodes,
+                records: vec![rec],
+            });
+            continue;
+        }
+        match runs.last_mut() {
+            Some(run) => run.records.push(rec),
+            None => runs.push(Run {
+                scheduler: "(untagged)".to_string(),
+                budget: Power::ZERO,
+                nodes: 0,
+                records: vec![rec],
+            }),
+        }
+    }
+    runs
+}
+
+fn epoch_rows(run: &Run) -> Vec<EpochRow> {
+    run.records
+        .iter()
+        .filter_map(|r| match &r.event {
+            TraceEvent::EpochCompleted {
+                caps_total,
+                measured,
+                performance,
+                wall,
+                replanned,
+                ..
+            } => Some(EpochRow {
+                epoch: r.epoch,
+                caps_total: *caps_total,
+                measured: *measured,
+                performance: *performance,
+                wall: *wall,
+                replanned: *replanned,
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+fn node_stats(run: &Run) -> BTreeMap<usize, NodeStat> {
+    let mut stats: BTreeMap<usize, NodeStat> = BTreeMap::new();
+    for rec in &run.records {
+        if let TraceEvent::NodePowerSample {
+            node,
+            setpoint,
+            measured,
+            ..
+        } = &rec.event
+        {
+            let s = stats.entry(*node).or_default();
+            s.samples += 1;
+            s.setpoint_sum += setpoint.as_watts();
+            s.measured_sum += measured.as_watts();
+            s.measured_max = s.measured_max.max(measured.as_watts());
+        }
+    }
+    stats
+}
+
+fn ttr_rows(run: &Run) -> Vec<TtrRow> {
+    run.records
+        .iter()
+        .filter_map(|r| match &r.event {
+            TraceEvent::Recovered {
+                fault_epoch,
+                recovered_epoch,
+                time_to_recover,
+                reclaimed,
+            } => Some(TtrRow {
+                fault_epoch: *fault_epoch,
+                recovered_epoch: *recovered_epoch,
+                ttr: *time_to_recover,
+                reclaimed: *reclaimed,
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+fn fault_counts(run: &Run) -> (usize, usize) {
+    let mut applied = 0;
+    let mut ignored = 0;
+    for rec in &run.records {
+        if let TraceEvent::FaultApplied { impact, .. } = &rec.event {
+            match impact {
+                clip_obs::ImpactTag::Ignored => ignored += 1,
+                clip_obs::ImpactTag::PoolChanged | clip_obs::ImpactTag::ActuationOnly => {
+                    applied += 1
+                }
+            }
+        }
+    }
+    (applied, ignored)
+}
+
+fn metrics_snapshot(run: &Run) -> Option<&clip_obs::MetricRegistry> {
+    run.records.iter().rev().find_map(|r| match &r.event {
+        TraceEvent::MetricsSnapshot { metrics } => Some(metrics),
+        _ => None,
+    })
+}
+
+fn utilization(power: Power, budget: Power) -> f64 {
+    if budget.as_watts() > 0.0 {
+        power.as_watts() / budget.as_watts()
+    } else {
+        0.0
+    }
+}
+
+fn summarize_run(run: &Run) {
+    println!(
+        "run: {} (budget {:.1} W, {} nodes, {} records)",
+        run.scheduler,
+        run.budget.as_watts(),
+        run.nodes,
+        run.records.len()
+    );
+    let (applied, ignored) = fault_counts(run);
+    if applied + ignored > 0 {
+        println!("faults: {applied} applied, {ignored} ignored");
+    }
+
+    let rows = epoch_rows(run);
+    if !rows.is_empty() {
+        let mut table = Table::new(
+            "budget utilization timeline",
+            &[
+                "epoch",
+                "caps (W)",
+                "meas (W)",
+                "caps/budget",
+                "meas/budget",
+                "perf (it/s)",
+                "wall (s)",
+                "replan",
+            ],
+        );
+        for row in &rows {
+            table.row(&[
+                row.epoch.to_string(),
+                format!("{:.1}", row.caps_total.as_watts()),
+                format!("{:.1}", row.measured.as_watts()),
+                format!("{:.3}", utilization(row.caps_total, run.budget)),
+                format!("{:.3}", utilization(row.measured, run.budget)),
+                format!("{:.3}", row.performance),
+                format!("{:.1}", row.wall.as_secs()),
+                if row.replanned { "yes" } else { "" }.to_string(),
+            ]);
+        }
+        print!("{}", table.render());
+    }
+
+    let stats = node_stats(run);
+    if !stats.is_empty() {
+        let mut table = Table::new(
+            "per-node power: setpoint vs actual",
+            &[
+                "node",
+                "epochs",
+                "mean set (W)",
+                "mean act (W)",
+                "max act (W)",
+                "act/set",
+            ],
+        );
+        for (node, s) in &stats {
+            let n = s.samples.max(1) as f64;
+            let mean_set = s.setpoint_sum / n;
+            let mean_act = s.measured_sum / n;
+            let ratio = if mean_set > 0.0 {
+                mean_act / mean_set
+            } else {
+                0.0
+            };
+            table.row(&[
+                node.to_string(),
+                s.samples.to_string(),
+                format!("{mean_set:.1}"),
+                format!("{mean_act:.1}"),
+                format!("{:.1}", s.measured_max),
+                format!("{ratio:.3}"),
+            ]);
+        }
+        print!("{}", table.render());
+    }
+
+    let ttrs = ttr_rows(run);
+    if ttrs.is_empty() {
+        println!("recoveries: none");
+    } else {
+        let mut table = Table::new(
+            "time-to-recover breakdown",
+            &["fault epoch", "recovered", "TTR (s)", "reclaimed (W)"],
+        );
+        for t in &ttrs {
+            table.row(&[
+                t.fault_epoch.to_string(),
+                t.recovered_epoch.to_string(),
+                format!("{:.2}", t.ttr.as_secs()),
+                format!("{:.1}", t.reclaimed.as_watts()),
+            ]);
+        }
+        print!("{}", table.render());
+        let mean: f64 = ttrs.iter().map(|t| t.ttr.as_secs()).sum::<f64>() / ttrs.len() as f64;
+        println!("mean TTR: {mean:.2} s over {} recoveries", ttrs.len());
+    }
+    println!();
+}
+
+fn summarize_metrics(runs: &[Run]) {
+    let Some(metrics) = runs.iter().rev().find_map(metrics_snapshot) else {
+        return;
+    };
+    let mut table = Table::new(
+        "histogram summaries",
+        &["metric", "count", "mean", "p50", "p90", "max"],
+    );
+    for (name, hist) in metrics.histograms() {
+        table.row(&[
+            name.to_string(),
+            hist.count().to_string(),
+            format!("{:.3}", hist.mean()),
+            format!("{:.3}", hist.quantile(0.5).unwrap_or(0.0)),
+            format!("{:.3}", hist.quantile(0.9).unwrap_or(0.0)),
+            format!("{:.3}", hist.max().unwrap_or(0.0)),
+        ]);
+    }
+    if !table.is_empty() {
+        print!("{}", table.render());
+    }
+}
+
+fn cmd_summary(path: &str) -> Result<(), String> {
+    let runs = split_runs(load(path)?);
+    println!("trace: {path} ({} run(s))\n", runs.len());
+    for run in &runs {
+        summarize_run(run);
+    }
+    summarize_metrics(&runs);
+    Ok(())
+}
+
+fn diff_runs(a: &Run, b: &Run) {
+    println!(
+        "diff: {} (budget {:.1} W) vs {} (budget {:.1} W)",
+        a.scheduler,
+        a.budget.as_watts(),
+        b.scheduler,
+        b.budget.as_watts()
+    );
+    let rows_a = epoch_rows(a);
+    let rows_b = epoch_rows(b);
+    let mut table = Table::new(
+        "per-epoch utilization and performance",
+        &[
+            "epoch", "utilA", "utilB", "Δutil", "perfA", "perfB", "Δperf",
+        ],
+    );
+    let mut max_du: f64 = 0.0;
+    for (ra, rb) in rows_a.iter().zip(&rows_b) {
+        let ua = utilization(ra.measured, a.budget);
+        let ub = utilization(rb.measured, b.budget);
+        let du = ub - ua;
+        max_du = max_du.max(du.abs());
+        table.row(&[
+            format!("{}/{}", ra.epoch, rb.epoch),
+            format!("{ua:.3}"),
+            format!("{ub:.3}"),
+            format!("{du:+.3}"),
+            format!("{:.3}", ra.performance),
+            format!("{:.3}", rb.performance),
+            format!("{:+.3}", rb.performance - ra.performance),
+        ]);
+    }
+    print!("{}", table.render());
+    if rows_a.len() != rows_b.len() {
+        println!("epoch count differs: {} vs {}", rows_a.len(), rows_b.len());
+    }
+    println!("max |Δutil|: {max_du:.3}");
+
+    let mean_ttr = |rows: &[TtrRow]| -> Option<f64> {
+        if rows.is_empty() {
+            None
+        } else {
+            Some(rows.iter().map(|t| t.ttr.as_secs()).sum::<f64>() / rows.len() as f64)
+        }
+    };
+    let (ta, tb) = (ttr_rows(a), ttr_rows(b));
+    let show = |t: Option<f64>| t.map_or("-".to_string(), |v| format!("{v:.2} s"));
+    println!(
+        "recoveries: {} vs {}; mean TTR: {} vs {}",
+        ta.len(),
+        tb.len(),
+        show(mean_ttr(&ta)),
+        show(mean_ttr(&tb))
+    );
+
+    let (sa, sb) = (node_stats(a), node_stats(b));
+    let mut max_node_delta: f64 = 0.0;
+    for (node, stat_a) in &sa {
+        if let Some(stat_b) = sb.get(node) {
+            let ma = stat_a.measured_sum / stat_a.samples.max(1) as f64;
+            let mb = stat_b.measured_sum / stat_b.samples.max(1) as f64;
+            max_node_delta = max_node_delta.max((mb - ma).abs());
+        }
+    }
+    println!("max per-node mean-power delta: {max_node_delta:.1} W\n");
+}
+
+fn cmd_diff(path_a: &str, path_b: &str) -> Result<(), String> {
+    let runs_a = split_runs(load(path_a)?);
+    let runs_b = split_runs(load(path_b)?);
+    println!(
+        "diff: {path_a} ({} run(s)) vs {path_b} ({} run(s))\n",
+        runs_a.len(),
+        runs_b.len()
+    );
+    // Pair by scheduler name where possible, by position otherwise.
+    for (i, a) in runs_a.iter().enumerate() {
+        let b = runs_b
+            .iter()
+            .find(|r| r.scheduler == a.scheduler)
+            .or_else(|| runs_b.get(i));
+        match b {
+            Some(b) => diff_runs(a, b),
+            None => println!("run {} ({}) has no counterpart\n", i, a.scheduler),
+        }
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [cmd, path] if cmd == "summary" => cmd_summary(path),
+        [cmd, a, b] if cmd == "diff" => cmd_diff(a, b),
+        _ => Err(
+            "usage: clip-trace summary <trace.jsonl> | clip-trace diff <a.jsonl> <b.jsonl>"
+                .to_string(),
+        ),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("clip-trace: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! The structured trace vocabulary: every scheduler decision point as data.
+//!
+//! A trace is a sequence of [`TraceRecord`]s, each stamping one
+//! [`TraceEvent`] with a monotone sequence number and the coordination
+//! epoch of the deterministic sim clock — never wall time, so two
+//! identically seeded runs serialize to byte-identical JSONL.
+//!
+//! `clip-obs` sits below `cluster_sim` and `clip_core` in the dependency
+//! graph, so fault kinds and audit verdicts are mirrored here as obs-local
+//! tag enums ([`FaultTag`], [`ImpactTag`], [`ActuationTag`]); the owning
+//! crates provide the `From` conversions. All of these are domain enums
+//! under `clip-lint`: matches over them must stay exhaustive.
+
+use crate::metrics::MetricRegistry;
+use serde::{Deserialize, Serialize};
+use simkit::{Frequency, Power, TimeSpan};
+
+/// Obs-local mirror of `cluster_sim::FaultKind` (obs cannot depend on the
+/// cluster crate without inverting the instrumentation dependency).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultTag {
+    /// The node dropped out of the pool entirely.
+    Crash,
+    /// The node turned straggler; its efficiency factor was multiplied.
+    Straggler {
+        /// Multiplier applied to the node's efficiency factor.
+        factor: f64,
+    },
+    /// The RAPL enforcement loop developed a signed actuation error.
+    CapJitter {
+        /// Signed actuation-error fraction in (−1, 1).
+        fraction: f64,
+    },
+    /// Slow manufacturing-variability drift.
+    Drift {
+        /// Multiplier applied to the node's efficiency factor.
+        factor: f64,
+    },
+}
+
+/// Obs-local mirror of `cluster_sim::FaultImpact`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ImpactTag {
+    /// The schedulable pool or its efficiency profile changed.
+    PoolChanged,
+    /// Only cap actuation changed; the plan stayed valid.
+    ActuationOnly,
+    /// The event targeted a dead/out-of-range node and was dropped.
+    Ignored,
+}
+
+/// Obs-local mirror of `clip_core::audit::ActuationCheck`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ActuationTag {
+    /// Measured power within the budget.
+    Nominal,
+    /// Overshoot within the declared injected-jitter allowance.
+    InjectedJitter,
+}
+
+/// One telemetry event at a scheduler decision point.
+///
+/// Variants carry only primitives and `simkit` quantities so the trace is
+/// self-contained: `clip-trace` reconstructs timelines without linking the
+/// scheduler crates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A harness run began (one per scheduler per trace file).
+    RunStarted {
+        /// Scheduler name as used in the paper's figures.
+        scheduler: String,
+        /// Constant cluster budget held throughout the run.
+        budget: Power,
+        /// Fleet size at the start of the run.
+        nodes: usize,
+        /// Coordination epochs the harness will simulate.
+        epochs: u64,
+    },
+    /// Variability coordination measured the pool (§III-B2): the decision
+    /// whether to engage cap shifting.
+    CoordinateMeasured {
+        /// Node indices that were measured.
+        pool: Vec<usize>,
+        /// Relative efficiency spread across the pool.
+        spread: f64,
+        /// Whether the spread exceeded the threshold and shifting engaged.
+        engaged: bool,
+    },
+    /// Hierarchical allocation chose the cluster-level configuration
+    /// (Algorithm 1): node count, concurrency, uniform per-node cap.
+    AllocateChosen {
+        /// Participating node count.
+        nodes: usize,
+        /// OpenMP threads per node.
+        threads: usize,
+        /// Uniform per-node cap before variability shifting.
+        per_node_cap: Power,
+    },
+    /// A `plan`/`plan_subset` call returned.
+    PlanComputed {
+        /// Scheduler that produced the plan.
+        scheduler: String,
+        /// Participating node count.
+        nodes: usize,
+        /// OpenMP threads per node.
+        threads_per_node: usize,
+        /// Sum of the programmed caps.
+        caps_total: Power,
+    },
+    /// One node's slot in the committed plan.
+    PlanNode {
+        /// Fleet index of the node.
+        node: usize,
+        /// Programmed CPU (package) cap.
+        cpu: Power,
+        /// Programmed DRAM cap.
+        dram: Power,
+    },
+    /// A fault event fired against the cluster.
+    FaultApplied {
+        /// Targeted node.
+        node: usize,
+        /// What happened to it.
+        kind: FaultTag,
+        /// What applying it did to the pool.
+        impact: ImpactTag,
+    },
+    /// The scheduler re-coordinated after a pool change.
+    Recovered {
+        /// Epoch at which the pool-changing fault fired.
+        fault_epoch: u64,
+        /// Epoch at whose boundary the scheduler re-coordinated.
+        recovered_epoch: u64,
+        /// Wall time spent degraded.
+        time_to_recover: TimeSpan,
+        /// Power reclaimed from crashed nodes.
+        reclaimed: Power,
+    },
+    /// RAPL caps were programmed on a node (actuation layer).
+    RaplProgrammed {
+        /// Fleet index of the node.
+        node: usize,
+        /// Programmed CPU cap (the setpoint).
+        cpu: Power,
+        /// Programmed DRAM cap.
+        dram: Power,
+        /// The CPU cap the enforcement loop will actually hold (setpoint
+        /// shifted by any injected actuation jitter).
+        effective_cpu: Power,
+    },
+    /// DVFS resolved the operating point under the programmed caps.
+    DvfsResolved {
+        /// Fleet index of the node.
+        node: usize,
+        /// Thread count of the placement.
+        threads: usize,
+        /// Throughput-equivalent core frequency.
+        frequency: Frequency,
+        /// Whether the package cap forced duty-cycling below f_min.
+        throttled: bool,
+    },
+    /// Per-node power telemetry for one executed epoch: programmed
+    /// setpoint versus barrier-blended measured draw.
+    NodePowerSample {
+        /// Fleet index of the node.
+        node: usize,
+        /// Programmed total cap (CPU + DRAM setpoint).
+        setpoint: Power,
+        /// Measured barrier-blended average power.
+        measured: Power,
+        /// Fraction of the epoch spent waiting at the barrier.
+        wait_fraction: f64,
+    },
+    /// The ledger classified an epoch's measured power against the budget.
+    ActuationAudited {
+        /// The budget audited against.
+        budget: Power,
+        /// Measured cluster power.
+        measured: Power,
+        /// The ledger's verdict.
+        verdict: ActuationTag,
+    },
+    /// One coordination epoch finished executing.
+    EpochCompleted {
+        /// The cluster budget in force.
+        budget: Power,
+        /// Sum of the programmed caps this epoch.
+        caps_total: Power,
+        /// Measured cluster power.
+        measured: Power,
+        /// Epoch performance, iterations per second.
+        performance: f64,
+        /// Epoch wall time.
+        wall: TimeSpan,
+        /// Whether the scheduler re-planned at this epoch's boundary.
+        replanned: bool,
+    },
+    /// The queue dispatcher started a job.
+    JobDispatched {
+        /// Application name.
+        job: String,
+        /// Sim time the job started.
+        start: TimeSpan,
+        /// Nodes granted.
+        nodes: usize,
+        /// Power granted (sum of the trimmed caps).
+        granted: Power,
+    },
+    /// Final snapshot of the metric registry, emitted when a recorder is
+    /// closed so `clip-trace` can summarize histograms.
+    MetricsSnapshot {
+        /// The registry at close time.
+        metrics: MetricRegistry,
+    },
+}
+
+/// One line of a trace: an event stamped with its sequence number and the
+/// sim-clock epoch it belongs to.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Monotone per-recorder sequence number (total order of emission).
+    pub seq: u64,
+    /// Coordination epoch of the deterministic sim clock (0 outside any
+    /// epoch loop, e.g. one-shot plans).
+    pub epoch: u64,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_round_trip_through_json() {
+        let records = vec![
+            TraceRecord {
+                seq: 0,
+                epoch: 0,
+                event: TraceEvent::RunStarted {
+                    scheduler: "CLIP".to_string(),
+                    budget: Power::watts(1500.0),
+                    nodes: 8,
+                    epochs: 6,
+                },
+            },
+            TraceRecord {
+                seq: 1,
+                epoch: 2,
+                event: TraceEvent::FaultApplied {
+                    node: 3,
+                    kind: FaultTag::CapJitter { fraction: -0.05 },
+                    impact: ImpactTag::ActuationOnly,
+                },
+            },
+            TraceRecord {
+                seq: 2,
+                epoch: 3,
+                event: TraceEvent::Recovered {
+                    fault_epoch: 2,
+                    recovered_epoch: 3,
+                    time_to_recover: TimeSpan::secs(12.5),
+                    reclaimed: Power::watts(190.0),
+                },
+            },
+        ];
+        for rec in records {
+            let json = serde_json::to_string(&rec).expect("serialize");
+            let back: TraceRecord = serde_json::from_str(&json).expect("parse");
+            assert_eq!(back, rec);
+        }
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let rec = TraceRecord {
+            seq: 7,
+            epoch: 1,
+            event: TraceEvent::DvfsResolved {
+                node: 2,
+                threads: 24,
+                frequency: Frequency::ghz(1.9),
+                throttled: false,
+            },
+        };
+        let a = serde_json::to_string(&rec).expect("serialize");
+        let b = serde_json::to_string(&rec).expect("serialize");
+        assert_eq!(a, b);
+        assert!(a.contains("\"DvfsResolved\""), "{a}");
+    }
+}

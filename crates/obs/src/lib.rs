@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! # clip-obs — deterministic telemetry for the CLIP reproduction
+//!
+//! CLIP's evaluation (§IV of the paper) is built on time series: per-node
+//! power under RAPL caps, per-epoch performance, budget utilization. This
+//! crate is the observability pillar that records them — next to the bench
+//! (performance), faults (robustness) and clip-lint (correctness)
+//! subsystems — without ever perturbing what it observes:
+//!
+//! - [`metrics`]: counters, gauges and fixed-bucket histograms keyed by
+//!   `BTreeMap`, with Prometheus text exposition. No `HashMap`, no
+//!   `Instant`: the registry passes clip-lint's determinism rule and
+//!   serializes identically across identically seeded runs.
+//! - [`event`]: a structured [`TraceEvent`] for every scheduler decision
+//!   point — coordinate, allocate, per-node plan, fault application,
+//!   re-coordination, RAPL/DVFS actuation — stamped with the sim clock,
+//!   never wall time.
+//! - [`sink`]: pluggable [`TraceSink`]s (JSONL file, in-memory ring
+//!   buffer) fed pre-serialized lines, so byte-identical traces hold for
+//!   every sink.
+//! - [`recorder`]: the [`Recorder`] hook trait with an inlined no-op
+//!   default ([`NoopRecorder`]) — static dispatch, zero allocations when
+//!   telemetry is off — and the live [`TraceRecorder`].
+//!
+//! The `clip-trace` binary (in `src/bin/`) loads one or two JSONL traces
+//! and reports budget-utilization timelines, per-node setpoint-vs-actual
+//! power, time-to-recover breakdowns and histogram summaries.
+//!
+//! Determinism contract: identical `(seed, FaultPlan, scheduler config)`
+//! runs emit byte-identical traces. Everything that feeds a record —
+//! sequence numbers, sim epochs, event payloads, registry contents — is a
+//! pure function of the simulated run; the tests in `tests/trace_replay.rs`
+//! (workspace root) pin this with a golden hash.
+
+pub mod event;
+pub mod metrics;
+pub mod recorder;
+pub mod sink;
+
+pub use event::{ActuationTag, FaultTag, ImpactTag, TraceEvent, TraceRecord};
+pub use metrics::{Histogram, MetricKind, MetricRegistry};
+pub use recorder::{NoopRecorder, Recorder, TraceRecorder};
+pub use sink::{JsonlSink, RingSink, TraceSink};

@@ -1,0 +1,210 @@
+//! The recorder: the hook surface instrumented code talks to.
+//!
+//! [`Recorder`] is designed so the *disabled* path is free: every hook has
+//! an inlined empty default body, event payloads are built inside
+//! closures that the no-op recorder never calls, and dispatch is static —
+//! a function generic over `R: Recorder` monomorphizes to straight-line
+//! code with no allocation and no branch on the [`NoopRecorder`].
+//!
+//! [`TraceRecorder`] is the live implementation: it stamps events with a
+//! monotone sequence number and the caller's sim-clock epoch, serializes
+//! once, and forwards the line to a [`TraceSink`] while folding metric
+//! updates into its [`MetricRegistry`].
+
+use crate::event::{TraceEvent, TraceRecord};
+use crate::metrics::MetricRegistry;
+use crate::sink::TraceSink;
+
+/// Telemetry hook surface threaded through the scheduler stack.
+///
+/// Generic (not object-safe) on purpose: instrumented functions take
+/// `rec: &mut R` with `R: Recorder`, so the no-op instantiation compiles
+/// away. Event construction is deferred behind `FnOnce` so a disabled
+/// recorder never allocates the payload.
+pub trait Recorder {
+    /// Whether this recorder keeps anything. Instrumented code may use
+    /// this to skip loops that only emit telemetry.
+    fn enabled(&self) -> bool;
+
+    /// Record the event built by `make`, stamped with `epoch`. The
+    /// default does nothing and never calls `make`.
+    #[inline]
+    fn event_with<F: FnOnce() -> TraceEvent>(&mut self, epoch: u64, make: F) {
+        let _ = (epoch, &make);
+    }
+
+    /// Add to a counter metric.
+    #[inline]
+    fn counter_add(&mut self, name: &str, delta: u64) {
+        let _ = (name, delta);
+    }
+
+    /// Set a gauge metric.
+    #[inline]
+    fn gauge_set(&mut self, name: &str, value: f64) {
+        let _ = (name, value);
+    }
+
+    /// Record a histogram observation.
+    #[inline]
+    fn observe(&mut self, name: &str, value: f64) {
+        let _ = (name, value);
+    }
+}
+
+/// The zero-cost default: records nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// A live recorder over a [`TraceSink`].
+#[derive(Debug)]
+pub struct TraceRecorder<S: TraceSink> {
+    sink: S,
+    metrics: MetricRegistry,
+    seq: u64,
+}
+
+impl<S: TraceSink> TraceRecorder<S> {
+    /// A recorder writing to `sink`.
+    pub fn new(sink: S) -> Self {
+        Self {
+            sink,
+            metrics: MetricRegistry::new(),
+            seq: 0,
+        }
+    }
+
+    /// Read access to the accumulated metrics.
+    pub fn metrics(&self) -> &MetricRegistry {
+        &self.metrics
+    }
+
+    /// Records emitted so far.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Emit a final [`TraceEvent::MetricsSnapshot`], flush, and return the
+    /// sink. The snapshot makes histogram summaries available to
+    /// `clip-trace` without a side channel.
+    pub fn finish(mut self) -> S {
+        if !self.metrics.is_empty() {
+            let snapshot = TraceEvent::MetricsSnapshot {
+                metrics: self.metrics.clone(),
+            };
+            self.emit(u64::MAX, snapshot);
+        }
+        let _ = self.sink.flush();
+        self.sink
+    }
+
+    fn emit(&mut self, epoch: u64, event: TraceEvent) {
+        let record = TraceRecord {
+            seq: self.seq,
+            epoch,
+            event,
+        };
+        self.seq += 1;
+        // The shim's serializer is total over derived types; an error here
+        // would be a serializer bug, so the line is dropped rather than
+        // panicking inside an instrumented hot path.
+        if let Ok(line) = serde_json::to_string(&record) {
+            self.sink.record(&line);
+        }
+    }
+}
+
+impl<S: TraceSink> Recorder for TraceRecorder<S> {
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn event_with<F: FnOnce() -> TraceEvent>(&mut self, epoch: u64, make: F) {
+        self.emit(epoch, make());
+    }
+
+    fn counter_add(&mut self, name: &str, delta: u64) {
+        self.metrics.counter_add(name, delta);
+    }
+
+    fn gauge_set(&mut self, name: &str, value: f64) {
+        self.metrics.gauge_set(name, value);
+    }
+
+    fn observe(&mut self, name: &str, value: f64) {
+        self.metrics.observe(name, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::RingSink;
+    use simkit::Power;
+
+    fn sample_event(n: usize) -> TraceEvent {
+        TraceEvent::PlanNode {
+            node: n,
+            cpu: Power::watts(150.0),
+            dram: Power::watts(40.0),
+        }
+    }
+
+    #[test]
+    fn noop_recorder_never_builds_events() {
+        let mut rec = NoopRecorder;
+        assert!(!rec.enabled());
+        rec.event_with(0, || panic!("payload must not be built"));
+        rec.counter_add("x", 1);
+        rec.observe("y", 1.0);
+    }
+
+    #[test]
+    fn trace_recorder_stamps_monotone_seq() {
+        let mut rec = TraceRecorder::new(RingSink::new(16));
+        rec.event_with(0, || sample_event(0));
+        rec.event_with(3, || sample_event(1));
+        assert!(rec.enabled());
+        assert_eq!(rec.seq(), 2);
+        let sink = rec.finish();
+        let lines: Vec<&str> = sink.lines().collect();
+        assert_eq!(lines.len(), 2, "no snapshot when metrics are empty");
+        assert!(
+            lines[0].starts_with("{\"seq\": 0,\"epoch\": 0,") || lines[0].starts_with("{\"seq\":0")
+        );
+        assert!(lines[1].contains("\"node\": 1") || lines[1].contains("\"node\":1"));
+    }
+
+    #[test]
+    fn finish_appends_metrics_snapshot() {
+        let mut rec = TraceRecorder::new(RingSink::new(16));
+        rec.counter_add("epochs_total", 3);
+        rec.gauge_set("survivors", 7.0);
+        rec.event_with(1, || sample_event(0));
+        let sink = rec.finish();
+        let last = sink.lines().last().expect("snapshot line");
+        assert!(last.contains("MetricsSnapshot"), "{last}");
+        assert!(last.contains("epochs_total"), "{last}");
+    }
+
+    #[test]
+    fn identical_event_streams_serialize_identically() {
+        let run = || {
+            let mut rec = TraceRecorder::new(RingSink::new(64));
+            for (epoch, n) in [(0u64, 0usize), (1, 2), (2, 1)] {
+                rec.event_with(epoch, || sample_event(n));
+                rec.observe("epoch_time_secs", 10.0 + n as f64);
+            }
+            rec.finish().to_jsonl()
+        };
+        assert_eq!(run(), run());
+    }
+}

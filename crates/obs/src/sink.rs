@@ -1,0 +1,182 @@
+//! Pluggable trace sinks: where serialized trace lines go.
+//!
+//! The recorder serializes every [`crate::TraceRecord`] exactly once and
+//! hands the finished JSONL line to a [`TraceSink`]; sinks are dumb byte
+//! movers, so byte-identical traces are guaranteed by construction no
+//! matter which sink is plugged in. Two implementations ship: a buffered
+//! JSONL file writer for offline analysis with `clip-trace`, and a bounded
+//! in-memory ring buffer for tests and flight-recorder style capture.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// A destination for serialized trace lines (one JSON document per line,
+/// no trailing newline in `line`).
+pub trait TraceSink {
+    /// Accept one serialized record. Sinks must not fail the hot path:
+    /// I/O errors are counted, not propagated.
+    fn record(&mut self, line: &str);
+
+    /// Flush any buffered output.
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Buffered JSONL file sink.
+///
+/// Write errors never panic and never interrupt the run; they increment
+/// [`JsonlSink::failed_writes`], which callers check at close time.
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: BufWriter<File>,
+    failed_writes: u64,
+}
+
+impl JsonlSink {
+    /// Create (truncate) the trace file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self {
+            writer: BufWriter::new(file),
+            failed_writes: 0,
+        })
+    }
+
+    /// Lines that failed to write so far.
+    pub fn failed_writes(&self) -> u64 {
+        self.failed_writes
+    }
+
+    /// Flush and close, reporting the first deferred I/O failure.
+    pub fn close(mut self) -> std::io::Result<()> {
+        self.writer.flush()?;
+        if self.failed_writes > 0 {
+            return Err(std::io::Error::other(format!(
+                "{} trace line(s) failed to write",
+                self.failed_writes
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&mut self, line: &str) {
+        let ok = self
+            .writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .is_ok();
+        if !ok {
+            self.failed_writes += 1;
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+/// Bounded in-memory sink keeping the most recent `capacity` lines — a
+/// flight recorder: cheap to leave on, and after a failure the tail of the
+/// trace is right there in memory.
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    capacity: usize,
+    lines: VecDeque<String>,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` lines (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            lines: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// The retained lines, oldest first.
+    pub fn lines(&self) -> impl Iterator<Item = &str> {
+        self.lines.iter().map(String::as_str)
+    }
+
+    /// Number of retained lines.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Lines evicted after the ring filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The retained lines as one JSONL document (trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for line in &self.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, line: &str) {
+        if self.lines.len() == self.capacity {
+            self.lines.pop_front();
+            self.dropped += 1;
+        }
+        self.lines.push_back(line.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_the_most_recent_lines() {
+        let mut ring = RingSink::new(2);
+        ring.record("a");
+        ring.record("b");
+        ring.record("c");
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped(), 1);
+        assert_eq!(ring.to_jsonl(), "b\nc\n");
+        assert_eq!(ring.lines().collect::<Vec<_>>(), vec!["b", "c"]);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut ring = RingSink::new(0);
+        ring.record("x");
+        ring.record("y");
+        assert_eq!(ring.to_jsonl(), "y\n");
+    }
+
+    #[test]
+    fn jsonl_sink_writes_lines() {
+        let dir = std::env::temp_dir().join("clip_obs_sink_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("trace.jsonl");
+        let mut sink = JsonlSink::create(&path).expect("create");
+        sink.record("{\"seq\":0}");
+        sink.record("{\"seq\":1}");
+        assert_eq!(sink.failed_writes(), 0);
+        sink.close().expect("close");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(text, "{\"seq\":0}\n{\"seq\":1}\n");
+        std::fs::remove_file(&path).ok();
+    }
+}

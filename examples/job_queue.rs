@@ -6,9 +6,15 @@
 //! machine — the §IV-B3 job scheduler in action.
 //!
 //! Run with: `cargo run --release --example job_queue`
+//!
+//! The run is instrumented with `clip-obs`: dispatch events land in an
+//! in-memory ring buffer and the per-job wait/turnaround histograms are
+//! printed as a Prometheus text-format snapshot on exit — what a scrape
+//! endpoint would serve on a real cluster head node.
 
 use clip_core::dispatch::{Dispatcher, QueuedJob};
 use clip_core::{ClipScheduler, InflectionPredictor};
+use clip_obs::{RingSink, TraceRecorder};
 use cluster_sim::Cluster;
 use simkit::{Power, TimeSpan};
 use workload::suite;
@@ -39,7 +45,8 @@ fn main() {
         "site budget: {:.0} W, 8 nodes, FCFS with constrained planning\n",
         budget.as_watts()
     );
-    let report = dispatcher.run(&mut cluster, &jobs);
+    let mut rec = TraceRecorder::new(RingSink::new(256));
+    let report = dispatcher.run_obs(&mut cluster, &jobs, &mut rec);
 
     println!(
         "{:<10} {:>7} {:>7} {:>8} {:>6} {:>8} {:>10}",
@@ -63,4 +70,7 @@ fn main() {
         "mean turnaround : {:.1} s",
         report.mean_turnaround().as_secs()
     );
+
+    println!("\n== metrics snapshot (Prometheus text format) ==");
+    print!("{}", rec.metrics().prometheus());
 }

@@ -5,11 +5,32 @@
 //! 1200 W cluster budget, execute, and verify the budget held.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//!
+//! Pass `--trace <path>` to write the run as JSONL trace events (planning
+//! decisions, per-node RAPL programming, DVFS resolution, power samples)
+//! for inspection with `clip-trace summary <path>`.
 
-use clip_core::{execute_plan, ClipScheduler, InflectionPredictor, PowerScheduler};
+use clip_core::{
+    execute_plan, execute_plan_obs, ClipScheduler, InflectionPredictor, PowerScheduler,
+};
+use clip_obs::{JsonlSink, Recorder, TraceEvent, TraceRecorder};
 use cluster_sim::Cluster;
 use simkit::Power;
 use workload::suite;
+
+/// Value of `--trace <path>` (or `--trace=<path>`), if present.
+fn trace_arg() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if a == "--trace" {
+            return args.get(i + 1).cloned();
+        }
+        if let Some(path) = a.strip_prefix("--trace=") {
+            return Some(path.to_string());
+        }
+    }
+    None
+}
 
 fn main() {
     // 1. Train the MLR inflection-point predictor on the synthetic corpus
@@ -28,8 +49,28 @@ fn main() {
 
     // 4. Plan. The first call smart-profiles the application (3–4 short
     //    sample runs) and caches the result in the knowledge database.
+    // With `--trace`, the planner's decision points and every actuation
+    // step stream to a JSONL file; without it the no-op recorder costs
+    // nothing.
+    let mut tracer = trace_arg().map(|path| {
+        let sink = JsonlSink::create(&path).expect("open trace file");
+        (path, TraceRecorder::new(sink))
+    });
     let mut clip = ClipScheduler::new(predictor);
+    clip.set_tracing(tracer.is_some());
     let plan = clip.plan(&mut cluster, &app, budget);
+    if let Some((_, rec)) = tracer.as_mut() {
+        let nodes = cluster.len();
+        rec.event_with(0, || TraceEvent::RunStarted {
+            scheduler: plan.scheduler.clone(),
+            budget,
+            nodes,
+            epochs: 1,
+        });
+        for ev in clip.drain_decisions() {
+            rec.event_with(0, || ev);
+        }
+    }
 
     let record = clip.knowledge().get(app.name()).expect("profiled");
     println!("\napplication : {}", app.name());
@@ -55,11 +96,21 @@ fn main() {
     );
 
     // 5. Execute and report.
-    let report = execute_plan(&mut cluster, &app, &plan, 10);
+    let report = match tracer.as_mut() {
+        Some((_, rec)) => execute_plan_obs(&mut cluster, &app, &plan, 10, 0, rec),
+        None => execute_plan(&mut cluster, &app, &plan, 10),
+    };
     println!("\nexecution:");
     println!("  performance  : {:.4} iterations/s", report.performance());
     println!("  cluster power: {:.1} W", report.cluster_power.as_watts());
     println!("  imbalance    : {:.2}%", report.imbalance() * 100.0);
     assert!(report.cluster_power <= budget, "budget must hold");
     println!("\nbudget respected ✓");
+
+    if let Some((path, rec)) = tracer {
+        let sink = rec.finish();
+        assert_eq!(sink.failed_writes(), 0, "trace writes must succeed");
+        sink.close().expect("close trace file");
+        println!("trace written to {path} (inspect with `clip-trace summary {path}`)");
+    }
 }

@@ -45,4 +45,43 @@ cargo test --workspace --offline -q
 echo "==> ext_faults --smoke"
 cargo run -p clip-bench --bin ext_faults --offline --quiet --release -- --smoke
 
+# Trace smoke gate: the whole observability loop — traced run, JSONL on
+# disk, clip-trace parses it — plus a bound on tracing overhead. Timing
+# uses best-of-3 (minimum is the noise-robust statistic for wall time)
+# and allows 10% plus a 50 ms absolute floor so CI-machine jitter on a
+# sub-second workload can't flake the gate.
+echo "==> trace smoke (quickstart --trace + clip-trace summary + overhead)"
+cargo build --offline --quiet --release --example quickstart -p clip-repro
+cargo build --offline --quiet --release -p clip-obs --bin clip-trace
+trace_file="target/quickstart-smoke.jsonl"
+rm -f "$trace_file"
+
+now_ms() { python3 -c 'import time; print(int(time.monotonic()*1000))'; }
+best_ms() { # best_ms <runs> <cmd...>
+    local runs="$1"; shift
+    local best="" t0 t1 dt
+    for _ in $(seq "$runs"); do
+        t0="$(now_ms)"
+        "$@" > /dev/null
+        t1="$(now_ms)"
+        dt=$((t1 - t0))
+        if [ -z "$best" ] || [ "$dt" -lt "$best" ]; then best="$dt"; fi
+    done
+    echo "$best"
+}
+
+plain_ms="$(best_ms 3 target/release/examples/quickstart)"
+traced_ms="$(best_ms 3 target/release/examples/quickstart --trace "$trace_file")"
+test -s "$trace_file" || { echo "traced quickstart wrote no trace" >&2; exit 1; }
+
+target/release/clip-trace summary "$trace_file" | grep -q "budget 1200.0 W" \
+    || { echo "clip-trace summary did not parse the quickstart trace" >&2; exit 1; }
+
+limit_ms=$((plain_ms + plain_ms / 10 + 50))
+if [ "$traced_ms" -gt "$limit_ms" ]; then
+    echo "tracing overhead too high: traced ${traced_ms} ms vs untraced ${plain_ms} ms (limit ${limit_ms} ms)" >&2
+    exit 1
+fi
+echo "    trace ok: untraced ${plain_ms} ms, traced ${traced_ms} ms (limit ${limit_ms} ms)"
+
 echo "All checks passed."

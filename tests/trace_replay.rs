@@ -1,0 +1,156 @@
+//! Trace determinism: the observability layer is a pure observer.
+//!
+//! Two promises are pinned here:
+//!
+//! 1. **Byte-identical traces.** Identical seeded runs serialize to the
+//!    same JSONL bytes — not just equivalent events, the same bytes. This
+//!    is what makes `clip-trace diff` meaningful: any byte difference
+//!    between two traces is a behavioural difference, never serialization
+//!    noise.
+//! 2. **The recorder never changes the run.** Instrumented and
+//!    uninstrumented executions of the same `(seed, FaultPlan)` produce
+//!    identical `FaultRunReport`s — attaching a recorder must not perturb
+//!    a single allocation, cap, or epoch.
+//!
+//! A golden FNV-1a hash pins the exact trace bytes of one fixed-seed run,
+//! so an accidental event reorder, field rename, or float-formatting
+//! change shows up as a test failure rather than silently invalidating
+//! archived traces.
+
+use clip_core::{
+    run_with_faults, run_with_faults_obs, ClipScheduler, FaultHarnessConfig, InflectionPredictor,
+    PowerScheduler,
+};
+use clip_obs::{NoopRecorder, RingSink, TraceRecorder};
+use cluster_sim::{Cluster, FaultPlan, VariabilityModel};
+use proptest::prelude::*;
+use simkit::{Power, SimRng};
+use workload::suite;
+
+/// One shared predictor for all cases (training is the expensive part).
+fn predictor() -> &'static InflectionPredictor {
+    use std::sync::OnceLock;
+    static PRED: OnceLock<InflectionPredictor> = OnceLock::new();
+    PRED.get_or_init(|| InflectionPredictor::train_default(5))
+}
+
+fn harness_cfg() -> FaultHarnessConfig {
+    FaultHarnessConfig {
+        epochs: 4,
+        iterations_per_epoch: 1,
+    }
+}
+
+/// Run a seeded fault run with tracing and return (trace JSONL, report JSON).
+fn traced_run(seed: u64, scheduler: &mut dyn PowerScheduler) -> (String, String) {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let faults = FaultPlan::random(&mut rng, 8, 4);
+    let mut cluster = Cluster::with_variability(8, &VariabilityModel::default(), seed);
+    let mut rec = TraceRecorder::new(RingSink::new(8192));
+    let report = run_with_faults_obs(
+        scheduler,
+        &mut cluster,
+        &suite::comd(),
+        Power::watts(1500.0),
+        &faults,
+        &harness_cfg(),
+        &mut rec,
+    );
+    let sink = rec.finish();
+    assert_eq!(sink.dropped(), 0, "ring must be large enough for the run");
+    let report_json = serde_json::to_string(&report).expect("reports serialize");
+    (sink.to_jsonl(), report_json)
+}
+
+/// The same run with the no-op recorder.
+fn untraced_run(seed: u64, scheduler: &mut dyn PowerScheduler) -> String {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let faults = FaultPlan::random(&mut rng, 8, 4);
+    let mut cluster = Cluster::with_variability(8, &VariabilityModel::default(), seed);
+    let report = run_with_faults(
+        scheduler,
+        &mut cluster,
+        &suite::comd(),
+        Power::watts(1500.0),
+        &faults,
+        &harness_cfg(),
+    );
+    serde_json::to_string(&report).expect("reports serialize")
+}
+
+/// 64-bit FNV-1a — tiny, dependency-free, stable across platforms.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Identical seeded runs produce byte-identical JSONL traces.
+    #[test]
+    fn identical_seeds_give_byte_identical_traces(seed in any::<u64>()) {
+        let (trace_a, _) = traced_run(seed, &mut ClipScheduler::new(predictor().clone()));
+        let (trace_b, _) = traced_run(seed, &mut ClipScheduler::new(predictor().clone()));
+        prop_assert!(trace_a == trace_b, "seed {seed} traces diverged");
+        prop_assert!(!trace_a.is_empty(), "a traced run must emit events");
+    }
+
+    /// Attaching a recorder never changes what the scheduler does: the
+    /// instrumented report equals the uninstrumented one bit-for-bit.
+    #[test]
+    fn recorder_never_changes_the_run(seed in any::<u64>()) {
+        let (_, traced) = traced_run(seed, &mut ClipScheduler::new(predictor().clone()));
+        let untraced = untraced_run(seed, &mut ClipScheduler::new(predictor().clone()));
+        prop_assert!(traced == untraced,
+            "seed {seed}: recorder perturbed the run\ntraced:   {traced}\nuntraced: {untraced}");
+    }
+}
+
+/// The no-op recorder path and the explicit `NoopRecorder` argument are
+/// the same code path — a direct (non-proptest) spot check on one seed.
+#[test]
+fn explicit_noop_recorder_matches_plain_entry_point() {
+    let mut rng = SimRng::seed_from_u64(77);
+    let faults = FaultPlan::random(&mut rng, 8, 4);
+    let mut cluster = Cluster::with_variability(8, &VariabilityModel::default(), 77);
+    let mut sched = ClipScheduler::new(predictor().clone());
+    let report = run_with_faults_obs(
+        &mut sched,
+        &mut cluster,
+        &suite::comd(),
+        Power::watts(1500.0),
+        &faults,
+        &harness_cfg(),
+        &mut NoopRecorder,
+    );
+    let via_obs = serde_json::to_string(&report).expect("reports serialize");
+    let plain = untraced_run(77, &mut ClipScheduler::new(predictor().clone()));
+    assert_eq!(via_obs, plain);
+}
+
+/// Golden pin of the exact trace bytes for seed 41.
+///
+/// If this fails after an *intentional* trace-schema change (new event,
+/// field rename, reordered emission), re-pin by printing the new values:
+/// the assertion message carries the fresh hash and line count — update
+/// `GOLDEN_FNV`/`GOLDEN_LINES` to match and note the schema change in the
+/// commit. Archived traces from before the change will no longer diff
+/// cleanly against new ones.
+#[test]
+fn golden_trace_hash_for_seed_41() {
+    const GOLDEN_FNV: u64 = 0x69ba_cea6_1f97_cf21;
+    const GOLDEN_LINES: usize = 96;
+    let (trace, _) = traced_run(41, &mut ClipScheduler::new(predictor().clone()));
+    let hash = fnv1a(trace.as_bytes());
+    let lines = trace.lines().count();
+    assert_eq!(
+        (hash, lines),
+        (GOLDEN_FNV, GOLDEN_LINES),
+        "trace bytes changed: new hash {hash:#018x}, {lines} lines"
+    );
+}
