@@ -111,7 +111,7 @@ mod tests {
         let app = suite::amg();
         let budget = Power::watts(1200.0);
         let plan = AllIn.plan(&mut cluster, &app, budget);
-        let report = execute_plan(&mut cluster, &app, &plan, 1);
+        let report = execute_plan(&mut cluster, &app, &plan, 1, 0, &mut clip_obs::NoopRecorder);
         assert!(report.cluster_power <= budget + Power::watts(1.0));
     }
 }

@@ -154,7 +154,7 @@ mod tests {
         let budget = Power::watts(1100.0);
         let plan = s.plan(&mut cluster, &app, budget);
         assert!(plan.within_budget(budget));
-        let report = execute_plan(&mut cluster, &app, &plan, 1);
+        let report = execute_plan(&mut cluster, &app, &plan, 1, 0, &mut clip_obs::NoopRecorder);
         assert!(report.cluster_power <= budget + Power::watts(1.0));
     }
 
@@ -175,9 +175,9 @@ mod tests {
         let mut cluster = Cluster::homogeneous(8);
         let mut s = Coordinated::new();
         let app = suite::amg();
-        s.plan(&mut cluster, &app, Power::watts(1000.0));
+        let _ = s.plan(&mut cluster, &app, Power::watts(1000.0));
         let before = s.db.len();
-        s.plan(&mut cluster, &app, Power::watts(1500.0));
+        let _ = s.plan(&mut cluster, &app, Power::watts(1500.0));
         assert_eq!(s.db.len(), before);
     }
 }

@@ -123,7 +123,14 @@ impl PowerScheduler for Oracle {
         let scored: Vec<(f64, SchedulePlan)> = parallel_map(candidates, |cand| {
             let plan = Self::plan_of(&cand, budget, allowed);
             let mut trial = base.clone();
-            let report = execute_plan(&mut trial, app, &plan, iterations);
+            let report = execute_plan(
+                &mut trial,
+                app,
+                &plan,
+                iterations,
+                0,
+                &mut clip_obs::NoopRecorder,
+            );
             (report.performance(), plan)
         });
         // The grid is non-empty by construction (>= 1 node count, thread
@@ -199,7 +206,15 @@ mod tests {
         let budget = Power::watts(1400.0);
         let mut cluster = Cluster::homogeneous(8);
         let oplan = Oracle::default().plan(&mut cluster, &app, budget);
-        let operf = execute_plan(&mut cluster.clone(), &app, &oplan, 1).performance();
+        let operf = execute_plan(
+            &mut cluster.clone(),
+            &app,
+            &oplan,
+            1,
+            0,
+            &mut clip_obs::NoopRecorder,
+        )
+        .performance();
 
         let naive = SchedulePlan {
             scheduler: "naive".into(),
@@ -208,7 +223,15 @@ mod tests {
             policy: AffinityPolicy::Compact,
             caps: vec![crate::naive_split(budget / 8.0); 8],
         };
-        let nperf = execute_plan(&mut cluster.clone(), &app, &naive, 1).performance();
+        let nperf = execute_plan(
+            &mut cluster.clone(),
+            &app,
+            &naive,
+            1,
+            0,
+            &mut clip_obs::NoopRecorder,
+        )
+        .performance();
         assert!(
             operf >= nperf * 0.999,
             "oracle {operf:.4} vs naive {nperf:.4}"

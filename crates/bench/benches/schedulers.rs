@@ -31,13 +31,13 @@ fn bench_plan_cached(c: &mut Criterion) {
     group.bench_function("coordinated", |b| {
         let mut cluster = Cluster::paper_testbed(HARNESS_SEED);
         let mut s = Coordinated::new();
-        s.plan(&mut cluster, &app, budget); // warm the knowledge DB
+        let _ = s.plan(&mut cluster, &app, budget); // warm the knowledge DB
         b.iter(|| black_box(s.plan(&mut cluster, &app, budget)));
     });
     group.bench_function("clip", |b| {
         let mut cluster = Cluster::paper_testbed(HARNESS_SEED);
         let mut s = clip_scheduler();
-        s.plan(&mut cluster, &app, budget); // warm the knowledge DB
+        let _ = s.plan(&mut cluster, &app, budget); // warm the knowledge DB
         b.iter(|| black_box(s.plan(&mut cluster, &app, budget)));
     });
     group.finish();

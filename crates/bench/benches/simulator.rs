@@ -45,7 +45,7 @@ fn bench_cluster_job(c: &mut Criterion) {
                 || Cluster::paper_testbed(5),
                 |mut cluster| {
                     let spec = JobSpec::on_first_nodes(&app, nodes, 24, AffinityPolicy::Scatter, 1);
-                    black_box(run_job(&mut cluster, &spec))
+                    black_box(run_job(&mut cluster, &spec, 0, &mut clip_obs::NoopRecorder))
                 },
                 BatchSize::SmallInput,
             );

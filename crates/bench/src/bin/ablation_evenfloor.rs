@@ -40,7 +40,15 @@ fn main() {
             let mut planning = cluster.clone();
             let plan = clip.plan(&mut planning, &entry.app, budget);
             let mut exec = cluster.clone();
-            let perf = execute_plan(&mut exec, &entry.app, &plan, EVAL_ITERATIONS).performance();
+            let perf = execute_plan(
+                &mut exec,
+                &entry.app,
+                &plan,
+                EVAL_ITERATIONS,
+                0,
+                &mut clip_obs::NoopRecorder,
+            )
+            .performance();
             (plan.threads_per_node, perf)
         };
         let (t_even, p_even) = run(true);

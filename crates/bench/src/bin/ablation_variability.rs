@@ -42,7 +42,14 @@ fn main() {
             let mut planning = cluster.clone();
             let plan = clip.plan(&mut planning, &app, budget);
             let mut exec = cluster.clone();
-            let report = execute_plan(&mut exec, &app, &plan, EVAL_ITERATIONS);
+            let report = execute_plan(
+                &mut exec,
+                &app,
+                &plan,
+                EVAL_ITERATIONS,
+                0,
+                &mut clip_obs::NoopRecorder,
+            );
             (report.performance(), report.imbalance())
         };
 

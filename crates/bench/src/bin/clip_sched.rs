@@ -190,7 +190,14 @@ fn main() {
         );
     }
 
-    let report = execute_plan(&mut cluster, &app, &plan, args.iterations);
+    let report = execute_plan(
+        &mut cluster,
+        &app,
+        &plan,
+        args.iterations,
+        0,
+        &mut clip_obs::NoopRecorder,
+    );
     println!("result:");
     println!("  performance   : {:.4} iterations/s", report.performance());
     println!("  cluster power : {:.1} W", report.cluster_power.as_watts());

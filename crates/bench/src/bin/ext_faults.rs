@@ -22,7 +22,7 @@
 //! no-op recorder is used and nothing is allocated.
 
 use clip_bench::{comparison_methods, emit, testbed, HARNESS_SEED};
-use clip_core::degrade::{run_with_faults, run_with_faults_obs, FaultHarnessConfig};
+use clip_core::degrade::{run_with_faults, FaultHarnessConfig};
 use clip_obs::{JsonlSink, TraceRecorder};
 use cluster_sim::{Cluster, FaultEvent, FaultKind, FaultPlan};
 use simkit::table::Table;
@@ -149,7 +149,7 @@ fn main() {
     for method in comparison_methods().iter_mut() {
         let mut cluster = cluster_proto.clone();
         let report = match tracer.as_mut() {
-            Some((_, rec)) => run_with_faults_obs(
+            Some((_, rec)) => run_with_faults(
                 method.as_mut(),
                 &mut cluster,
                 &app,
@@ -158,7 +158,15 @@ fn main() {
                 &cfg,
                 rec,
             ),
-            None => run_with_faults(method.as_mut(), &mut cluster, &app, budget, &faults, &cfg),
+            None => run_with_faults(
+                method.as_mut(),
+                &mut cluster,
+                &app,
+                budget,
+                &faults,
+                &cfg,
+                &mut clip_obs::NoopRecorder,
+            ),
         };
         let reclaimed: f64 = report
             .recoveries

@@ -77,11 +77,12 @@ fn main() {
             let mut planning = cluster.clone();
             let plans = sched.plan_concurrent(&mut planning, jobs, budget);
             let mut exec = cluster.clone();
-            let smart = execute_concurrent(&mut exec, jobs, &plans, 2);
+            let smart = execute_concurrent(&mut exec, jobs, &plans, 2, &mut clip_obs::NoopRecorder);
 
             let eplans = equal_share_plans(jobs, 8, budget);
             let mut exec = cluster.clone();
-            let equal = execute_concurrent(&mut exec, jobs, &eplans, 2);
+            let equal =
+                execute_concurrent(&mut exec, jobs, &eplans, 2, &mut clip_obs::NoopRecorder);
 
             for (i, app) in jobs.iter().enumerate() {
                 let gain = smart[i].performance() / equal[i].performance();

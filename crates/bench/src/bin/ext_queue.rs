@@ -44,7 +44,7 @@ fn main() {
     let mut clip = clip_scheduler();
     clip.coordinate_variability = false;
     let mut dispatcher = Dispatcher::new(clip, budget);
-    let report = dispatcher.run(&mut cluster, &jobs);
+    let report = dispatcher.run(&mut cluster, &jobs, &mut clip_obs::NoopRecorder);
 
     let mut table = Table::new(
         "Extension: CLIP queue dispatch (1500 W, 8 nodes)",
@@ -80,7 +80,14 @@ fn main() {
     for job in &jobs {
         let start = now.max(job.arrival.as_secs());
         let plan = allin.plan(&mut cluster, &job.app, budget);
-        let r = execute_plan(&mut cluster, &job.app, &plan, job.iterations);
+        let r = execute_plan(
+            &mut cluster,
+            &job.app,
+            &plan,
+            job.iterations,
+            0,
+            &mut clip_obs::NoopRecorder,
+        );
         let finish = start + r.total_time.as_secs();
         waits.push(start - job.arrival.as_secs());
         turnarounds.push(finish - job.arrival.as_secs());

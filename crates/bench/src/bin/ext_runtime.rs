@@ -35,7 +35,15 @@ fn main() {
             let plan = rt.plan_fixed(&mut planning, &app, budget, launch);
             assert!(plan.within_budget(budget));
             let mut exec = cluster.clone();
-            let smart = execute_plan(&mut exec, &app, &plan, EVAL_ITERATIONS).performance();
+            let smart = execute_plan(
+                &mut exec,
+                &app,
+                &plan,
+                EVAL_ITERATIONS,
+                0,
+                &mut clip_obs::NoopRecorder,
+            )
+            .performance();
 
             let per_node = budget / nodes as f64;
             let dram = 30.0f64.min(per_node.as_watts() * 0.5).max(1.0);
@@ -53,7 +61,15 @@ fn main() {
                 ],
             };
             let mut exec = cluster.clone();
-            let naive = execute_plan(&mut exec, &app, &naive_plan, EVAL_ITERATIONS).performance();
+            let naive = execute_plan(
+                &mut exec,
+                &app,
+                &naive_plan,
+                EVAL_ITERATIONS,
+                0,
+                &mut clip_obs::NoopRecorder,
+            )
+            .performance();
 
             table.row(&[
                 format!("{nodes}n x {threads}t"),

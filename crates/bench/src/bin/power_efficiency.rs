@@ -35,7 +35,14 @@ fn main() {
             let mut planning = cluster.clone();
             let plan = m.plan(&mut planning, &entry.app, budget);
             let mut exec = cluster.clone();
-            let report = execute_plan(&mut exec, &entry.app, &plan, EVAL_ITERATIONS);
+            let report = execute_plan(
+                &mut exec,
+                &entry.app,
+                &plan,
+                EVAL_ITERATIONS,
+                0,
+                &mut clip_obs::NoopRecorder,
+            );
             rows.push((
                 m.name().to_string(),
                 report.performance(),

@@ -77,7 +77,15 @@ pub fn measure(
         app.name()
     );
     let mut execution = cluster.clone();
-    execute_plan(&mut execution, app, &plan, EVAL_ITERATIONS).performance()
+    execute_plan(
+        &mut execution,
+        app,
+        &plan,
+        EVAL_ITERATIONS,
+        0,
+        &mut clip_obs::NoopRecorder,
+    )
+    .performance()
 }
 
 /// The Figures 8–9 normalization reference: All-In with no power bound.

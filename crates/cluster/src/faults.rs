@@ -227,17 +227,24 @@ impl From<FaultImpact> for clip_obs::ImpactTag {
     }
 }
 
-/// [`apply_event`] with telemetry: emits a
+/// Apply one fault event to the cluster and report its impact.
+///
+/// Events against dead or out-of-range nodes are dropped (`Ignored`), as is
+/// a crash that would empty the pool — a plan is allowed to be speculative
+/// about a node that an earlier event already killed.
+///
+/// Generic over the telemetry recorder: emits a
 /// [`clip_obs::TraceEvent::FaultApplied`] carrying the event and its
 /// resolved impact, and bumps the `faults_applied_total` /
-/// `faults_ignored_total` counters.
-pub fn apply_event_obs<R: clip_obs::Recorder>(
+/// `faults_ignored_total` counters. With the [`clip_obs::NoopRecorder`]
+/// the hooks compile away.
+pub fn apply_event<R: clip_obs::Recorder>(
     cluster: &mut Cluster,
     event: &FaultEvent,
     epoch: u64,
     rec: &mut R,
 ) -> FaultImpact {
-    let impact = apply_event(cluster, event);
+    let impact = apply_event_inner(cluster, event);
     if rec.enabled() {
         let counter = match impact {
             FaultImpact::PoolChanged | FaultImpact::ActuationOnly => "faults_applied_total",
@@ -253,12 +260,7 @@ pub fn apply_event_obs<R: clip_obs::Recorder>(
     impact
 }
 
-/// Apply one fault event to the cluster and report its impact.
-///
-/// Events against dead or out-of-range nodes are dropped (`Ignored`), as is
-/// a crash that would empty the pool — a plan is allowed to be speculative
-/// about a node that an earlier event already killed.
-pub fn apply_event(cluster: &mut Cluster, event: &FaultEvent) -> FaultImpact {
+fn apply_event_inner(cluster: &mut Cluster, event: &FaultEvent) -> FaultImpact {
     let id = event.node;
     if id >= cluster.len() || !cluster.is_alive(id) {
         return FaultImpact::Ignored;
@@ -289,6 +291,11 @@ pub fn apply_event(cluster: &mut Cluster, event: &FaultEvent) -> FaultImpact {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Untraced shorthand: these tests exercise fault semantics, not telemetry.
+    fn apply_event(cluster: &mut Cluster, event: &FaultEvent) -> FaultImpact {
+        super::apply_event(cluster, event, 0, &mut clip_obs::NoopRecorder)
+    }
 
     #[test]
     fn random_plans_are_seed_deterministic() {

@@ -17,7 +17,7 @@ use simnode::{Node, PowerCaps};
 /// let mut cluster = Cluster::paper_testbed(42); // 8 Haswell nodes, σ = 3%
 /// let app = workload::suite::amg();
 /// let spec = JobSpec::on_first_nodes(&app, 4, 24, AffinityPolicy::Scatter, 2);
-/// let report = run_job(&mut cluster, &spec);
+/// let report = run_job(&mut cluster, &spec, 0, &mut clip_obs::NoopRecorder);
 /// assert_eq!(report.nodes_used, 4);
 /// assert!(report.performance() > 0.0);
 /// ```
@@ -94,21 +94,6 @@ impl Cluster {
         assert_eq!(caps.len(), self.nodes.len(), "one cap set per node");
         for (n, c) in self.nodes.iter_mut().zip(caps) {
             n.set_caps(*c);
-        }
-    }
-
-    /// [`Cluster::set_caps`] with telemetry: each node programs its caps
-    /// through [`Node::set_caps_obs`], emitting one `RaplProgrammed` trace
-    /// event per node (programmed vs jitter-adjusted effective cap).
-    pub fn set_caps_obs<R: clip_obs::Recorder>(
-        &mut self,
-        caps: &[PowerCaps],
-        epoch: u64,
-        rec: &mut R,
-    ) {
-        assert_eq!(caps.len(), self.nodes.len(), "one cap set per node");
-        for (id, (n, c)) in self.nodes.iter_mut().zip(caps).enumerate() {
-            n.set_caps_obs(*c, id, epoch, rec);
         }
     }
 

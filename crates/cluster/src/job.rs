@@ -70,6 +70,7 @@ pub struct NodeOutcome {
 }
 
 /// Outcome of a cluster job.
+#[must_use = "a job report carries the measured power and performance"]
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct JobReport {
     /// Application name.
@@ -138,18 +139,15 @@ impl JobReport {
 
 /// Execute a job on the cluster. Panics on an empty node set, a node index
 /// out of range, or zero iterations.
-pub fn run_job(cluster: &mut Cluster, spec: &JobSpec<'_>) -> JobReport {
-    run_job_obs(cluster, spec, 0, &mut clip_obs::NoopRecorder)
-}
-
-/// [`run_job`] with telemetry: every rank executes through
-/// [`simnode::Node::execute_obs`] (emitting `DvfsResolved` per node), and
-/// after barrier blending each participant contributes a
+///
+/// Generic over the telemetry recorder: every rank's resolved operating
+/// point is emitted as a [`clip_obs::TraceEvent::DvfsResolved`], and after
+/// barrier blending each participant contributes a
 /// [`clip_obs::TraceEvent::NodePowerSample`] pairing its programmed cap
-/// (setpoint) with its blended measured power, plus a
-/// `node_wait_fraction` histogram observation. With the
-/// [`clip_obs::NoopRecorder`] this is exactly `run_job`.
-pub fn run_job_obs<R: clip_obs::Recorder>(
+/// (setpoint) with its blended measured power, plus a `node_wait_fraction`
+/// histogram observation. With the [`clip_obs::NoopRecorder`] every hook
+/// compiles away.
+pub fn run_job<R: clip_obs::Recorder>(
     cluster: &mut Cluster,
     spec: &JobSpec<'_>,
     epoch: u64,
@@ -169,15 +167,21 @@ pub fn run_job_obs<R: clip_obs::Recorder>(
         .node_ids
         .iter()
         .map(|&id| {
-            let r = cluster.node_mut(id).execute_obs(
+            let r = cluster.node_mut(id).execute(
                 &scaled,
                 spec.threads_per_node,
                 spec.policy,
                 spec.iterations,
-                id,
-                epoch,
-                rec,
             );
+            if rec.enabled() {
+                let op = &r.op;
+                rec.event_with(epoch, || clip_obs::TraceEvent::DvfsResolved {
+                    node: id,
+                    threads: op.threads(),
+                    frequency: op.frequency(),
+                    throttled: op.speed.is_throttled(),
+                });
+            }
             (id, r)
         })
         .collect();
@@ -253,6 +257,11 @@ mod tests {
     use crate::variability::VariabilityModel;
     use simnode::PowerCaps;
     use workload::suite;
+
+    /// Untraced shorthand: these tests exercise job mechanics, not telemetry.
+    fn run_job(cluster: &mut Cluster, spec: &JobSpec<'_>) -> JobReport {
+        super::run_job(cluster, spec, 0, &mut clip_obs::NoopRecorder)
+    }
 
     #[test]
     fn single_node_job_matches_node_execution() {
@@ -392,7 +401,7 @@ mod tests {
             policy: AffinityPolicy::Compact,
             iterations: 1,
         };
-        run_job(&mut cluster, &spec);
+        let _ = run_job(&mut cluster, &spec);
     }
 
     #[test]
@@ -408,7 +417,7 @@ mod tests {
             policy: AffinityPolicy::Compact,
             iterations: 1,
         };
-        run_job(&mut cluster, &spec);
+        let _ = run_job(&mut cluster, &spec);
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod job;
 pub mod sweep;
 pub mod variability;
 
-pub use faults::{apply_event, apply_event_obs, FaultEvent, FaultImpact, FaultKind, FaultPlan};
+pub use faults::{apply_event, FaultEvent, FaultImpact, FaultKind, FaultPlan};
 pub use fleet::Cluster;
-pub use job::{run_job, run_job_obs, JobReport, JobSpec, NodeOutcome};
+pub use job::{run_job, JobReport, JobSpec, NodeOutcome};
 pub use variability::VariabilityModel;

@@ -89,22 +89,6 @@ where
     out.into_iter().map(|(_, r)| r).collect()
 }
 
-/// [`parallel_map`] with telemetry: bumps `sweep_calls_total` and
-/// `sweep_items_total` before fanning out. Only input-order aggregates are
-/// recorded — never per-worker or per-completion data, whose ordering
-/// depends on OS scheduling and would break trace byte-stability.
-pub fn parallel_map_obs<T, R, F, Rec>(items: Vec<T>, f: F, rec: &mut Rec) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-    Rec: clip_obs::Recorder,
-{
-    rec.counter_add("sweep_calls_total", 1);
-    rec.counter_add("sweep_items_total", items.len() as u64);
-    parallel_map(items, f)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

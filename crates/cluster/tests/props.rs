@@ -29,7 +29,7 @@ proptest! {
         let mut cluster =
             Cluster::with_variability(8, &VariabilityModel::with_sigma(sigma), seed);
         let spec = JobSpec::on_first_nodes(&app, nodes, threads, policy, 2);
-        let job = run_job(&mut cluster, &spec);
+        let job = run_job(&mut cluster, &spec, 0, &mut clip_obs::NoopRecorder);
 
         prop_assert_eq!(job.per_node.len(), nodes);
         for outcome in &job.per_node {
@@ -54,7 +54,7 @@ proptest! {
             Power::watts(cap_dram),
         ));
         let spec = JobSpec::on_first_nodes(&app, nodes, 24, AffinityPolicy::Scatter, 1);
-        let job = run_job(&mut cluster, &spec);
+        let job = run_job(&mut cluster, &spec, 0, &mut clip_obs::NoopRecorder);
 
         let sum: Power = job.per_node.iter().map(|n| n.avg_power).sum();
         prop_assert!((job.cluster_power.as_watts() - sum.as_watts()).abs() < 1e-6);
@@ -75,7 +75,7 @@ proptest! {
         let caps = PowerCaps::new(Power::watts(cap_cpu), Power::watts(cap_dram));
         cluster.set_uniform_caps(caps);
         let spec = JobSpec::on_first_nodes(&app, nodes, 24, AffinityPolicy::Scatter, 1);
-        let job = run_job(&mut cluster, &spec);
+        let job = run_job(&mut cluster, &spec, 0, &mut clip_obs::NoopRecorder);
         // Allow the static floor to exceed very small caps.
         let floor = {
             let pm = cluster.node(0).power_model();
@@ -111,8 +111,8 @@ proptest! {
         let spec = JobSpec::on_first_nodes(&app, nodes, 12, AffinityPolicy::Compact, 1);
         let mut c1 = Cluster::paper_testbed(seed);
         let mut c2 = Cluster::paper_testbed(seed);
-        let j1 = run_job(&mut c1, &spec);
-        let j2 = run_job(&mut c2, &spec);
+        let j1 = run_job(&mut c1, &spec, 0, &mut clip_obs::NoopRecorder);
+        let j2 = run_job(&mut c2, &spec, 0, &mut clip_obs::NoopRecorder);
         prop_assert_eq!(j1.total_time, j2.total_time);
         prop_assert_eq!(j1.cluster_power, j2.cluster_power);
     }
@@ -186,7 +186,7 @@ fn oracle_reference() -> f64 {
         let app = workload::suite::comd();
         let budget = Power::watts(700.0);
         let plan = Oracle::default().plan(&mut cluster, &app, budget);
-        execute_plan(&mut cluster, &app, &plan, 1).performance()
+        execute_plan(&mut cluster, &app, &plan, 1, 0, &mut clip_obs::NoopRecorder).performance()
     })
 }
 
@@ -226,6 +226,7 @@ proptest! {
             budget,
             &faults,
             &FaultHarnessConfig { epochs, iterations_per_epoch: 1 },
+            &mut clip_obs::NoopRecorder,
         );
 
         // Programmed caps never exceed the budget, in any epoch — degraded
@@ -302,6 +303,7 @@ proptest! {
             Power::watts(700.0),
             &faults,
             &FaultHarnessConfig { epochs: 5, iterations_per_epoch: 1 },
+            &mut clip_obs::NoopRecorder,
         );
 
         // Grid granularity gives the Oracle a hair of slack; CLIP may tie

@@ -256,28 +256,26 @@ impl BudgetLedger {
 
     /// Enforce the actuation check: violations panic in debug / count in
     /// release; bounded overshoot is reported, not punished.
-    pub fn audit_actuation(&self, plan: &SchedulePlan, measured: Power) -> ActuationCheck {
-        match self.try_audit_actuation(plan, measured) {
-            Ok(check) => check,
-            Err(v) => {
-                enforce(&v);
-                ActuationCheck::Nominal
-            }
-        }
-    }
-
-    /// [`BudgetLedger::audit_actuation`] with telemetry: emits an
+    ///
+    /// Generic over the telemetry recorder: emits an
     /// [`clip_obs::TraceEvent::ActuationAudited`] carrying the verdict and
     /// bumps `actuation_injected_total` when overshoot is attributed to
-    /// the declared jitter.
-    pub fn audit_actuation_obs<R: clip_obs::Recorder>(
+    /// the declared jitter. With the [`clip_obs::NoopRecorder`] the hooks
+    /// compile away.
+    pub fn audit_actuation<R: clip_obs::Recorder>(
         &self,
         plan: &SchedulePlan,
         measured: Power,
         epoch: u64,
         rec: &mut R,
     ) -> ActuationCheck {
-        let check = self.audit_actuation(plan, measured);
+        let check = match self.try_audit_actuation(plan, measured) {
+            Ok(check) => check,
+            Err(v) => {
+                enforce(&v);
+                ActuationCheck::Nominal
+            }
+        };
         if rec.enabled() {
             let verdict = match check {
                 ActuationCheck::Nominal => clip_obs::ActuationTag::Nominal,
@@ -460,7 +458,7 @@ mod tests {
     fn enforcing_actuation_audit_panics_in_debug() {
         let ledger = BudgetLedger::new("t", Power::watts(100.0));
         let p = plan(vec![caps(150.0, 40.0)]);
-        ledger.audit_actuation(&p, Power::watts(200.0));
+        let _ = ledger.audit_actuation(&p, Power::watts(200.0), 0, &mut clip_obs::NoopRecorder);
     }
 
     #[test]

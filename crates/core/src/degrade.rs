@@ -1,424 +1,110 @@
 //! The degradation path: running a scheduler through a fault timeline.
 //!
-//! [`run_with_faults`] is the re-coordination entry point the ISSUE's
-//! fault-injection layer plugs into. It advances a cluster through
-//! *coordination epochs*; at each epoch boundary it fires the epoch's
-//! [`cluster_sim::FaultEvent`]s, and whenever a fault changed the
-//! schedulable pool (a crash) or its efficiency profile (straggle, drift)
-//! it re-runs the scheduler — Algorithm 1 over the survivors — with the
-//! *full* cluster budget, reclaiming whatever the dead node held. Cap
-//! jitter does not trigger re-planning; instead the epoch's measured power
-//! is classified by [`BudgetLedger::audit_actuation`], which separates
-//! bounded injected overshoot from genuine scheduler bugs.
+//! [`run_with_faults`] is the re-coordination entry point the fault
+//! injection layer plugs into. Since the engine refactor it is a thin
+//! policy configuration of [`crate::engine::EpochEngine`]:
+//! [`FaultTimeline`] fires each epoch's [`cluster_sim::FaultEvent`]s at
+//! the engine's policy boundary, degrading the live plan when a crash
+//! removes one of its participants, and the engine supplies everything
+//! else — re-coordination over the survivors with the *full* budget
+//! (reclaiming whatever the dead node held), the per-epoch
+//! [`BudgetLedger`](crate::audit::BudgetLedger) plan and actuation
+//! audits, TTR accounting, and trace/metric emission.
 //!
-//! Recovery is deliberately one epoch long: a crash mid-epoch degrades the
-//! remainder of that epoch (the dead node's ranks are dropped and its
+//! Recovery is deliberately one epoch long: a crash mid-epoch degrades
+//! the remainder of that epoch (the dead node's ranks are dropped and its
 //! budget idles), and the scheduler re-coordinates at the next boundary.
 //! Time-to-recover is therefore the wall time of the degraded epoch — the
-//! metric the `ext_faults` bench harness reports.
+//! metric the `ext_faults` bench harness reports. Cap jitter never
+//! re-plans; the epoch's measured power is classified by the actuation
+//! audit, which separates bounded injected overshoot from genuine
+//! scheduler bugs.
 //!
 //! Everything here is deterministic: a `(seed, FaultPlan)` pair plus the
-//! scheduler's own configuration fully determines the report, which is the
-//! property the replay tests pin down.
+//! scheduler's own configuration fully determines the report, which is
+//! the property the replay tests pin down.
 
-use crate::audit::{ActuationCheck, BudgetLedger};
-use crate::scheduler::{execute_plan_obs, PowerScheduler};
-use cluster_sim::{apply_event_obs, Cluster, FaultImpact, FaultKind, FaultPlan};
-use serde::{Deserialize, Serialize};
-use simkit::{Power, TimeSpan};
+use crate::engine::{Boundary, EpochEngine, EpochPolicy};
+use crate::scheduler::{PowerScheduler, SchedulePlan};
+use clip_obs::Recorder;
+use cluster_sim::{apply_event, Cluster, FaultImpact, FaultKind, FaultPlan};
+use simkit::Power;
 use workload::AppModel;
 
-/// How long and how densely to run the fault harness.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct FaultHarnessConfig {
-    /// Coordination epochs to simulate.
-    pub epochs: usize,
-    /// Job iterations executed per epoch.
-    pub iterations_per_epoch: usize,
+pub use crate::engine::{EpochRecord, FaultHarnessConfig, FaultRunReport, Recovery};
+
+/// The fault-injection policy: fire a [`FaultPlan`]'s events at each
+/// epoch boundary, mutating the live plan when a crash removes one of its
+/// participants, and report what changed so the engine can arm the
+/// next-boundary re-coordination and the TTR clock.
+#[derive(Debug)]
+pub struct FaultTimeline<'p> {
+    faults: &'p FaultPlan,
 }
 
-impl Default for FaultHarnessConfig {
-    fn default() -> Self {
-        Self {
-            epochs: 8,
-            iterations_per_epoch: 2,
-        }
+impl<'p> FaultTimeline<'p> {
+    /// A policy replaying `faults` epoch by epoch.
+    pub fn new(faults: &'p FaultPlan) -> Self {
+        Self { faults }
     }
 }
 
-/// What one coordination epoch looked like.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct EpochRecord {
-    /// Epoch index (0-based).
-    pub epoch: usize,
-    /// Whether the scheduler re-planned at this epoch's boundary.
-    pub replanned: bool,
-    /// Nodes that executed this epoch.
-    pub node_ids: Vec<usize>,
-    /// Sum of the programmed caps this epoch.
-    pub caps_total: Power,
-    /// Measured (barrier-blended) cluster power.
-    pub measured_power: Power,
-    /// Epoch performance, iterations per second.
-    pub performance: f64,
-    /// Epoch wall time.
-    pub epoch_time: TimeSpan,
-    /// Fault events that took effect this epoch.
-    pub events_applied: usize,
-    /// Fault events dropped (dead target, last-survivor crash).
-    pub events_ignored: usize,
-    /// The ledger attributed a budget overshoot to injected cap jitter.
-    pub injected_overshoot: bool,
-}
-
-/// One completed crash-recovery cycle.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct Recovery {
-    /// Epoch at which the pool-changing fault fired.
-    pub fault_epoch: usize,
-    /// Epoch at whose boundary the scheduler re-coordinated.
-    pub recovered_epoch: usize,
-    /// Wall time spent degraded (the fault epoch's remainder).
-    pub time_to_recover: TimeSpan,
-    /// Power reclaimed from nodes that crashed in the fault epoch.
-    pub reclaimed: Power,
-}
-
-/// Full deterministic record of a scheduler run under a fault plan.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct FaultRunReport {
-    /// The scheduler that was driven.
-    pub scheduler: String,
-    /// The cluster budget held throughout.
-    pub budget: Power,
-    /// Per-epoch records, in order.
-    pub epochs: Vec<EpochRecord>,
-    /// Completed crash-recovery cycles.
-    pub recoveries: Vec<Recovery>,
-    /// Epochs whose overshoot the ledger attributed to injected jitter.
-    pub injected_overshoots: usize,
-    /// Nodes alive when the run ended.
-    pub survivors: usize,
-}
-
-impl FaultRunReport {
-    /// Mean performance over all epochs.
-    pub fn mean_performance(&self) -> f64 {
-        if self.epochs.is_empty() {
-            return 0.0;
-        }
-        self.epochs.iter().map(|e| e.performance).sum::<f64>() / self.epochs.len() as f64
-    }
-
-    /// Mean performance over the epochs before the first fault took
-    /// effect (the whole run if no fault ever fired).
-    pub fn pre_fault_performance(&self) -> f64 {
-        let pre: Vec<f64> = self
-            .epochs
-            .iter()
-            .take_while(|e| e.events_applied == 0)
-            .map(|e| e.performance)
-            .collect();
-        if pre.is_empty() {
-            return 0.0;
-        }
-        pre.iter().sum::<f64>() / pre.len() as f64
-    }
-
-    /// Mean performance over the epochs after the last re-coordination
-    /// (0 when the scheduler never re-planned).
-    pub fn post_fault_performance(&self) -> f64 {
-        let last_replan = self
-            .epochs
-            .iter()
-            .rev()
-            .find(|e| e.replanned)
-            .map(|e| e.epoch);
-        let Some(from) = last_replan else {
-            return 0.0;
-        };
-        let post: Vec<f64> = self
-            .epochs
-            .iter()
-            .filter(|e| e.epoch >= from)
-            .map(|e| e.performance)
-            .collect();
-        if post.is_empty() {
-            return 0.0;
-        }
-        post.iter().sum::<f64>() / post.len() as f64
-    }
-
-    /// Mean time-to-recover over all completed recoveries.
-    ///
-    /// Returns `None` — never a zero duration — when the run completed no
-    /// recovery cycle at all: a fault-free run, a run whose faults were all
-    /// ignored or actuation-only (nothing to recover from), or a run too
-    /// short for the re-coordination boundary to arrive (e.g. a
-    /// pool-changing fault in the final epoch leaves its recovery pending
-    /// forever). Callers must treat `None` as "no recovery observed", not
-    /// as instant recovery; averaging it as 0 s would fabricate a perfect
-    /// TTR for the worst possible outcome.
-    pub fn mean_time_to_recover(&self) -> Option<TimeSpan> {
-        if self.recoveries.is_empty() {
-            return None;
-        }
-        let total: f64 = self
-            .recoveries
-            .iter()
-            .map(|r| r.time_to_recover.as_secs())
-            .sum();
-        Some(TimeSpan::secs(total / self.recoveries.len() as f64))
-    }
-}
-
-/// Drive `scheduler` through `faults` on `cluster` for `cfg.epochs`
-/// coordination epochs under a constant cluster `budget`.
-///
-/// Contract highlights, verified by the unit tests and the props suite:
-///
-/// - A pool-changing fault at epoch *e* triggers re-coordination at the
-///   boundary of epoch *e + 1*: the plan is rebuilt over the survivors
-///   with the full budget (the crashed node's share is reclaimed).
-/// - Every epoch's programmed caps are audited against the budget by a
-///   harness-level [`BudgetLedger`] — including the degraded remainder of
-///   a crash epoch, whose surviving caps are a subset of an audited plan.
-/// - Cap-jitter faults never trigger re-planning; their overshoot is
-///   classified (and tolerated) by the actuation audit instead.
-pub fn run_with_faults(
-    scheduler: &mut dyn PowerScheduler,
-    cluster: &mut Cluster,
-    app: &AppModel,
-    budget: Power,
-    faults: &FaultPlan,
-    cfg: &FaultHarnessConfig,
-) -> FaultRunReport {
-    run_with_faults_obs(
-        scheduler,
-        cluster,
-        app,
-        budget,
-        faults,
-        cfg,
-        &mut clip_obs::NoopRecorder,
-    )
-}
-
-/// Emit the decision events a traced scheduler buffered during its last
-/// plan call, stamped with the current epoch.
-fn drain_decisions<R: clip_obs::Recorder>(
-    scheduler: &mut dyn PowerScheduler,
-    epoch: u64,
-    rec: &mut R,
-) {
-    if rec.enabled() {
-        for event in scheduler.drain_decisions() {
-            rec.event_with(epoch, || event);
-        }
-    }
-}
-
-/// [`run_with_faults`] with telemetry: the same deterministic harness,
-/// narrating every decision point into `rec` — `RunStarted`, the
-/// scheduler's own `CoordinateMeasured`/`AllocateChosen` buffer (enabled
-/// via [`PowerScheduler::set_tracing`]), `PlanComputed`/`PlanNode`/
-/// `RaplProgrammed`/`DvfsResolved`/`NodePowerSample` through the traced
-/// execution path, `FaultApplied`, `Recovered`, `ActuationAudited` and
-/// `EpochCompleted`, plus the run metrics (epoch/TTR histograms, fault and
-/// replan counters, budget-utilization observations).
-///
-/// With the [`clip_obs::NoopRecorder`] every hook compiles to nothing and
-/// this is exactly [`run_with_faults`] — the replay property tests pin
-/// that the recorder never changes a report.
-pub fn run_with_faults_obs<R: clip_obs::Recorder>(
-    scheduler: &mut dyn PowerScheduler,
-    cluster: &mut Cluster,
-    app: &AppModel,
-    budget: Power,
-    faults: &FaultPlan,
-    cfg: &FaultHarnessConfig,
-    rec: &mut R,
-) -> FaultRunReport {
-    assert!(cfg.epochs > 0, "need at least one epoch");
-    assert!(cfg.iterations_per_epoch > 0, "need at least one iteration");
-
-    let name = scheduler.name().to_string();
-    let alive = cluster.alive_nodes();
-    scheduler.set_tracing(rec.enabled());
-    if rec.enabled() {
-        rec.event_with(0, || clip_obs::TraceEvent::RunStarted {
-            scheduler: name.clone(),
-            budget,
-            nodes: alive.len(),
-            epochs: cfg.epochs as u64,
-        });
-    }
-    let mut plan = scheduler.plan_subset(cluster, app, budget, &alive);
-    drain_decisions(scheduler, 0, rec);
-
-    let mut epochs: Vec<EpochRecord> = Vec::with_capacity(cfg.epochs);
-    let mut recoveries: Vec<Recovery> = Vec::new();
-    let mut injected_overshoots = 0usize;
-
-    // A pool-changing fault arms a re-plan for the next epoch boundary;
-    // the wall time and reclaimed watts of the degraded epoch ride along.
-    let mut pending: Option<(usize, Power)> = None;
-    let mut degraded_time = TimeSpan::ZERO;
-
-    for epoch in 0..cfg.epochs {
-        let ep = epoch as u64;
-        let mut replanned = false;
-
-        // 1. Recover from the previous epoch's pool change: Algorithm 1
-        //    over the survivors, full budget.
-        if let Some((fault_epoch, reclaimed)) = pending.take() {
-            let alive = cluster.alive_nodes();
-            plan = scheduler.plan_subset(cluster, app, budget, &alive);
-            drain_decisions(scheduler, ep, rec);
-            replanned = true;
-            if rec.enabled() {
-                rec.observe("ttr_secs", degraded_time.as_secs());
-                rec.event_with(ep, || clip_obs::TraceEvent::Recovered {
-                    fault_epoch: fault_epoch as u64,
-                    recovered_epoch: ep,
-                    time_to_recover: degraded_time,
-                    reclaimed,
-                });
-            }
-            recoveries.push(Recovery {
-                fault_epoch,
-                recovered_epoch: epoch,
-                time_to_recover: degraded_time,
-                reclaimed,
-            });
-        }
-
-        // 2. Fire this epoch's faults.
-        let mut events_applied = 0usize;
-        let mut events_ignored = 0usize;
-        let mut reclaimed = Power::ZERO;
-        for event in faults.events_at(epoch) {
-            match apply_event_obs(cluster, event, ep, rec) {
+impl<R: Recorder> EpochPolicy<R> for FaultTimeline<'_> {
+    fn epoch_boundary(
+        &mut self,
+        cluster: &mut Cluster,
+        plan: &mut SchedulePlan,
+        epoch: usize,
+        rec: &mut R,
+    ) -> Boundary {
+        let mut b = Boundary::quiet();
+        for event in self.faults.events_at(epoch) {
+            match apply_event(cluster, event, epoch as u64, rec) {
                 FaultImpact::PoolChanged => {
-                    events_applied += 1;
+                    b.events_applied += 1;
                     if matches!(event.kind, FaultKind::NodeCrash) {
                         // Drop the dead node's ranks for the remainder of
                         // this epoch; its budget idles until re-plan.
                         if let Some(pos) = plan.node_ids.iter().position(|&id| id == event.node) {
                             plan.node_ids.remove(pos);
-                            reclaimed += plan.caps.remove(pos).total();
+                            b.reclaimed += plan.caps.remove(pos).total();
                         }
                     }
-                    let entry = pending.get_or_insert((epoch, Power::ZERO));
-                    entry.1 += reclaimed;
-                    reclaimed = Power::ZERO;
+                    b.pool_changed = true;
                 }
-                FaultImpact::ActuationOnly => events_applied += 1,
-                FaultImpact::Ignored => events_ignored += 1,
+                FaultImpact::ActuationOnly => b.events_applied += 1,
+                FaultImpact::Ignored => b.events_ignored += 1,
             }
         }
-
-        // A crash can empty the current plan (every participant died):
-        // re-coordinate immediately rather than skip the epoch.
-        if plan.node_ids.is_empty() {
-            let alive = cluster.alive_nodes();
-            plan = scheduler.plan_subset(cluster, app, budget, &alive);
-            drain_decisions(scheduler, ep, rec);
-            replanned = true;
-            if let Some((fault_epoch, reclaimed)) = pending.take() {
-                if rec.enabled() {
-                    rec.observe("ttr_secs", 0.0);
-                    rec.event_with(ep, || clip_obs::TraceEvent::Recovered {
-                        fault_epoch: fault_epoch as u64,
-                        recovered_epoch: ep,
-                        time_to_recover: TimeSpan::ZERO,
-                        reclaimed,
-                    });
-                }
-                recoveries.push(Recovery {
-                    fault_epoch,
-                    recovered_epoch: epoch,
-                    time_to_recover: TimeSpan::ZERO,
-                    reclaimed,
-                });
-            }
-        }
-
-        // 3. Execute the epoch under the (possibly degraded) plan, with a
-        //    harness-level audit of programmed and measured power.
-        let jitter = plan
-            .node_ids
-            .iter()
-            .map(|&id| cluster.node(id).cap_jitter().abs())
-            .fold(0.0, f64::max);
-        let ledger = BudgetLedger::new(&name, budget).with_injected_jitter(jitter);
-        ledger.audit_plan(&plan);
-
-        let report = execute_plan_obs(cluster, app, &plan, cfg.iterations_per_epoch, ep, rec);
-        degraded_time = report.total_time;
-
-        let injected_overshoot =
-            match ledger.audit_actuation_obs(&plan, report.cluster_power, ep, rec) {
-                ActuationCheck::Nominal => false,
-                ActuationCheck::InjectedJitter => {
-                    injected_overshoots += 1;
-                    true
-                }
-            };
-
-        if rec.enabled() {
-            rec.counter_add("epochs_total", 1);
-            if replanned {
-                rec.counter_add("replans_total", 1);
-            }
-            rec.observe("epoch_time_secs", report.total_time.as_secs());
-            if budget.as_watts() > 0.0 {
-                rec.observe(
-                    "budget_utilization",
-                    report.cluster_power.as_watts() / budget.as_watts(),
-                );
-            }
-            let caps_total = plan.total_caps();
-            let measured = report.cluster_power;
-            let performance = report.performance();
-            let wall = report.total_time;
-            rec.event_with(ep, || clip_obs::TraceEvent::EpochCompleted {
-                budget,
-                caps_total,
-                measured,
-                performance,
-                wall,
-                replanned,
-            });
-        }
-
-        epochs.push(EpochRecord {
-            epoch,
-            replanned,
-            node_ids: plan.node_ids.clone(),
-            caps_total: plan.total_caps(),
-            measured_power: report.cluster_power,
-            performance: report.performance(),
-            epoch_time: report.total_time,
-            events_applied,
-            events_ignored,
-            injected_overshoot,
-        });
+        b
     }
+}
 
-    let survivors = cluster.alive_len();
-    if rec.enabled() {
-        rec.gauge_set("survivors", survivors as f64);
-        scheduler.set_tracing(false);
-    }
-    FaultRunReport {
-        scheduler: name,
-        budget,
-        epochs,
-        recoveries,
-        injected_overshoots,
-        survivors,
-    }
+/// Drive `scheduler` through `faults` on `cluster` for `cfg.epochs`
+/// coordination epochs under a constant cluster `budget`, narrating every
+/// decision point into `rec`.
+///
+/// This is [`EpochEngine::run`] with a [`FaultTimeline`] policy; see the
+/// engine for the full per-epoch contract. Pass
+/// [`clip_obs::NoopRecorder`] for the untraced path — every telemetry
+/// hook compiles to nothing, and the replay property tests pin that the
+/// recorder never changes a report.
+pub fn run_with_faults<R: Recorder>(
+    scheduler: &mut dyn PowerScheduler,
+    cluster: &mut Cluster,
+    app: &AppModel,
+    budget: Power,
+    faults: &FaultPlan,
+    cfg: &FaultHarnessConfig,
+    rec: &mut R,
+) -> FaultRunReport {
+    EpochEngine::new(budget, rec).run(
+        scheduler,
+        cluster,
+        app,
+        &mut FaultTimeline::new(faults),
+        cfg,
+    )
 }
 
 #[cfg(test)]
@@ -439,6 +125,27 @@ mod tests {
             node,
             kind: FaultKind::NodeCrash,
         }
+    }
+
+    /// Untraced shorthand: the tests exercise harness semantics, not
+    /// telemetry, so they all run with the [`clip_obs::NoopRecorder`].
+    fn run_with_faults(
+        scheduler: &mut dyn PowerScheduler,
+        cluster: &mut Cluster,
+        app: &AppModel,
+        budget: Power,
+        faults: &FaultPlan,
+        cfg: &FaultHarnessConfig,
+    ) -> FaultRunReport {
+        super::run_with_faults(
+            scheduler,
+            cluster,
+            app,
+            budget,
+            faults,
+            cfg,
+            &mut clip_obs::NoopRecorder,
+        )
     }
 
     #[test]

@@ -12,8 +12,9 @@
 //! its acceptable range, instead of waiting for the whole machine. An
 //! optional backfill mode lets later jobs jump a blocked head if they fit.
 
+use crate::engine::EpochEngine;
 use crate::powerfit::FittedPowerModel;
-use crate::scheduler::{execute_plan, ClipScheduler, SchedulePlan};
+use crate::scheduler::{ClipScheduler, PowerScheduler, SchedulePlan};
 use cluster_sim::Cluster;
 use serde::{Deserialize, Serialize};
 use simkit::{Power, TimeSpan};
@@ -64,6 +65,7 @@ impl DispatchOutcome {
 }
 
 /// Aggregate statistics of a dispatched workload.
+#[must_use = "a dispatch report carries completion and wait statistics"]
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DispatchReport {
     /// Per-job outcomes, in completion order.
@@ -132,17 +134,18 @@ impl Dispatcher {
 
     /// Run a submission list to completion and report. Jobs must be sorted
     /// by arrival time.
-    pub fn run(&mut self, cluster: &mut Cluster, jobs: &[QueuedJob]) -> DispatchReport {
-        self.run_obs(cluster, jobs, &mut clip_obs::NoopRecorder)
-    }
-
-    /// [`Dispatcher::run`] with telemetry: emits a
-    /// [`clip_obs::TraceEvent::JobDispatched`] for every job start, and
-    /// observes per-job `job_wait_secs` / `job_turnaround_secs` histograms
-    /// plus a `jobs_dispatched_total` counter. Event epochs carry the
-    /// dispatch order (0-based start index), which is deterministic for a
-    /// fixed submission list.
-    pub fn run_obs<R: clip_obs::Recorder>(
+    ///
+    /// Each job start is one [`EpochEngine`] coordinate + execute pair —
+    /// the dispatcher is job arbitration layered on the engine's
+    /// primitives, with the engine's epoch stamp carrying the dispatch
+    /// order (0-based start index, deterministic for a fixed submission
+    /// list). With a tracing recorder this emits a
+    /// [`clip_obs::TraceEvent::JobDispatched`] for every start (plus the
+    /// engine's own plan/actuation events), and observes per-job
+    /// `job_wait_secs` / `job_turnaround_secs` histograms and a
+    /// `jobs_dispatched_total` counter; with the
+    /// [`clip_obs::NoopRecorder`] every hook compiles away.
+    pub fn run<R: clip_obs::Recorder>(
         &mut self,
         cluster: &mut Cluster,
         jobs: &[QueuedJob],
@@ -156,6 +159,8 @@ impl Dispatcher {
             "jobs must be sorted by arrival"
         );
 
+        let mut engine = EpochEngine::new(self.budget, rec);
+        self.scheduler.set_tracing(engine.recorder().enabled());
         let mut pending: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
         let mut next_arrival = 0usize;
         let mut running: Vec<Running> = Vec::new();
@@ -184,13 +189,18 @@ impl Dispatcher {
                 let Some(job) = jobs.get(job_idx) else {
                     break; // pending holds valid job indices by construction
                 };
-                let mut plan =
-                    self.scheduler
-                        .plan_constrained(cluster, &job.app, free_power, &free_nodes);
+                engine.set_epoch(outcomes.len() as u64);
+                let mut plan = engine.coordinate(
+                    &mut self.scheduler,
+                    cluster,
+                    &job.app,
+                    free_power,
+                    &free_nodes,
+                );
                 debug_assert!(plan.within_budget(free_power));
                 self.trim_grant(&mut plan, &job.app);
                 // A plan always fits by construction; start the job.
-                let report = execute_plan(cluster, &job.app, &plan, job.iterations);
+                let report = engine.execute(cluster, &job.app, &plan, job.iterations);
                 let finish = now + report.total_time;
                 let outcome = DispatchOutcome {
                     job: job.app.name().to_string(),
@@ -202,6 +212,7 @@ impl Dispatcher {
                     granted_power: plan.total_caps(),
                     performance: report.performance(),
                 };
+                let rec = engine.recorder();
                 if rec.enabled() {
                     let seq = outcomes.len() as u64;
                     rec.counter_add("jobs_dispatched_total", 1);
@@ -252,6 +263,7 @@ impl Dispatcher {
             .iter()
             .map(|o| o.finish)
             .fold(TimeSpan::ZERO, TimeSpan::max);
+        self.scheduler.set_tracing(false);
         DispatchReport { outcomes, makespan }
     }
 }
@@ -281,7 +293,11 @@ mod tests {
     #[test]
     fn single_job_runs_immediately() {
         let mut cluster = Cluster::homogeneous(8);
-        let report = dispatcher(1600.0).run(&mut cluster, &batch(vec![suite::comd()]));
+        let report = dispatcher(1600.0).run(
+            &mut cluster,
+            &batch(vec![suite::comd()]),
+            &mut clip_obs::NoopRecorder,
+        );
         assert_eq!(report.outcomes.len(), 1);
         assert_eq!(report.outcomes[0].wait(), TimeSpan::ZERO);
         assert!(report.makespan > TimeSpan::ZERO);
@@ -296,7 +312,7 @@ mod tests {
             suite::sp_mz(),
             suite::tea_leaf(),
         ]);
-        let report = dispatcher(1400.0).run(&mut cluster, &jobs);
+        let report = dispatcher(1400.0).run(&mut cluster, &jobs, &mut clip_obs::NoopRecorder);
         assert_eq!(report.outcomes.len(), 4);
         let names: std::collections::HashSet<&str> =
             report.outcomes.iter().map(|o| o.job.as_str()).collect();
@@ -312,7 +328,7 @@ mod tests {
             suite::comd().with_preferred_node_counts(vec![1, 2, 4]),
             suite::amg().with_preferred_node_counts(vec![1, 2, 4]),
         ]);
-        let report = dispatcher(1800.0).run(&mut cluster, &jobs);
+        let report = dispatcher(1800.0).run(&mut cluster, &jobs, &mut clip_obs::NoopRecorder);
         let a = &report.outcomes[0];
         let b = &report.outcomes[1];
         let overlap = a.start < b.finish && b.start < a.finish;
@@ -339,7 +355,7 @@ mod tests {
                 iterations: 2,
             },
         ];
-        let report = dispatcher(520.0).run(&mut cluster, &jobs);
+        let report = dispatcher(520.0).run(&mut cluster, &jobs, &mut clip_obs::NoopRecorder);
         let second = report
             .outcomes
             .iter()
@@ -353,7 +369,7 @@ mod tests {
     fn turnaround_stats_consistent() {
         let mut cluster = Cluster::homogeneous(8);
         let jobs = batch(vec![suite::comd(), suite::tea_leaf(), suite::lu_mz()]);
-        let report = dispatcher(1400.0).run(&mut cluster, &jobs);
+        let report = dispatcher(1400.0).run(&mut cluster, &jobs, &mut clip_obs::NoopRecorder);
         for o in &report.outcomes {
             assert!(o.finish >= o.start);
             assert!(o.start >= o.arrival);
@@ -379,7 +395,7 @@ mod tests {
             },
         ];
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            dispatcher(1000.0).run(&mut cluster, &jobs)
+            dispatcher(1000.0).run(&mut cluster, &jobs, &mut clip_obs::NoopRecorder)
         }));
         assert!(result.is_err(), "unsorted arrivals must be rejected");
     }

@@ -1,0 +1,709 @@
+//! The recorder-generic epoch engine: CLIP's one control cycle, owned in
+//! one place.
+//!
+//! The paper's contribution is a single loop — measure → coordinate →
+//! allocate → actuate → audit (Algorithm 1, Eqs. 4–9) — yet the repo grew
+//! four copies of it (`degrade`, `dispatch`, `multijob`, `phased`), each
+//! with a parallel `_obs` telemetry twin. [`EpochEngine`] collapses them:
+//! it owns the canonical per-epoch cycle
+//!
+//! 1. policy boundary — external events fire ([`EpochPolicy::epoch_boundary`]:
+//!    faults, arrivals, phase switches), possibly degrading the live plan;
+//! 2. re-coordination over the survivors when the previous boundary
+//!    changed the pool (full budget — a dead node's share is reclaimed);
+//! 3. plan / `plan_subset` through the [`PowerScheduler`] trait, draining
+//!    the scheduler's buffered decision events;
+//! 4. RAPL/DVFS actuation + job execution through [`execute_plan`] — the
+//!    single actuation path;
+//! 5. ledger plan audit and actuation audit (injected jitter classified,
+//!    not punished);
+//! 6. trace/metric emission, gated on [`Recorder::enabled`].
+//!
+//! What differs between callers is a policy: fault handling + TTR
+//! accounting ([`crate::degrade::FaultTimeline`]), job arbitration
+//! (`dispatch`/`multijob` drive [`EpochEngine::coordinate`] and
+//! [`EpochEngine::execute`] directly), and epoch-level phase transitions
+//! ([`PhaseSchedule`]). The recorder is a generic parameter end-to-end:
+//! with [`NoopRecorder`] every hook compiles away, and a borrowed
+//! `&mut TraceRecorder` works through the blanket `Recorder for &mut R`
+//! impl. The golden FNV trace pin and the bit-identical replay tests prove
+//! the engine reproduces the pre-refactor harness byte for byte.
+
+use crate::audit::{ActuationCheck, BudgetLedger};
+use crate::scheduler::{execute_plan, PowerScheduler, SchedulePlan};
+use clip_obs::{NoopRecorder, Recorder};
+use cluster_sim::{Cluster, JobReport};
+use serde::{Deserialize, Serialize};
+use simkit::{Power, TimeSpan};
+use workload::AppModel;
+
+/// How long and how densely to run the epoch loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultHarnessConfig {
+    /// Coordination epochs to simulate.
+    pub epochs: usize,
+    /// Job iterations executed per epoch.
+    pub iterations_per_epoch: usize,
+}
+
+impl Default for FaultHarnessConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 8,
+            iterations_per_epoch: 2,
+        }
+    }
+}
+
+/// What one coordination epoch looked like.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EpochRecord {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Whether the scheduler re-planned at this epoch's boundary.
+    pub replanned: bool,
+    /// Nodes that executed this epoch.
+    pub node_ids: Vec<usize>,
+    /// Sum of the programmed caps this epoch.
+    pub caps_total: Power,
+    /// Measured (barrier-blended) cluster power.
+    pub measured_power: Power,
+    /// Epoch performance, iterations per second.
+    pub performance: f64,
+    /// Epoch wall time.
+    pub epoch_time: TimeSpan,
+    /// Fault events that took effect this epoch.
+    pub events_applied: usize,
+    /// Fault events dropped (dead target, last-survivor crash).
+    pub events_ignored: usize,
+    /// The ledger attributed a budget overshoot to injected cap jitter.
+    pub injected_overshoot: bool,
+}
+
+/// One completed crash-recovery cycle.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Recovery {
+    /// Epoch at which the pool-changing fault fired.
+    pub fault_epoch: usize,
+    /// Epoch at whose boundary the scheduler re-coordinated.
+    pub recovered_epoch: usize,
+    /// Wall time spent degraded (the fault epoch's remainder).
+    pub time_to_recover: TimeSpan,
+    /// Power reclaimed from nodes that crashed in the fault epoch.
+    pub reclaimed: Power,
+}
+
+/// Full deterministic record of a scheduler run through the epoch engine.
+///
+/// The name predates the engine (the fault harness produced it first) and
+/// is kept for serialization compatibility with the pinned replay reports.
+#[must_use = "a run report carries the audit verdicts and must be inspected"]
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultRunReport {
+    /// The scheduler that was driven.
+    pub scheduler: String,
+    /// The cluster budget held throughout.
+    pub budget: Power,
+    /// Per-epoch records, in order.
+    pub epochs: Vec<EpochRecord>,
+    /// Completed crash-recovery cycles.
+    pub recoveries: Vec<Recovery>,
+    /// Epochs whose overshoot the ledger attributed to injected jitter.
+    pub injected_overshoots: usize,
+    /// Nodes alive when the run ended.
+    pub survivors: usize,
+}
+
+impl FaultRunReport {
+    /// Mean performance over all epochs.
+    pub fn mean_performance(&self) -> f64 {
+        if self.epochs.is_empty() {
+            return 0.0;
+        }
+        self.epochs.iter().map(|e| e.performance).sum::<f64>() / self.epochs.len() as f64
+    }
+
+    /// Mean performance over the epochs before the first fault took
+    /// effect (the whole run if no fault ever fired).
+    pub fn pre_fault_performance(&self) -> f64 {
+        let pre: Vec<f64> = self
+            .epochs
+            .iter()
+            .take_while(|e| e.events_applied == 0)
+            .map(|e| e.performance)
+            .collect();
+        if pre.is_empty() {
+            return 0.0;
+        }
+        pre.iter().sum::<f64>() / pre.len() as f64
+    }
+
+    /// Mean performance over the epochs after the last re-coordination
+    /// (0 when the scheduler never re-planned).
+    pub fn post_fault_performance(&self) -> f64 {
+        let last_replan = self
+            .epochs
+            .iter()
+            .rev()
+            .find(|e| e.replanned)
+            .map(|e| e.epoch);
+        let Some(from) = last_replan else {
+            return 0.0;
+        };
+        let post: Vec<f64> = self
+            .epochs
+            .iter()
+            .filter(|e| e.epoch >= from)
+            .map(|e| e.performance)
+            .collect();
+        if post.is_empty() {
+            return 0.0;
+        }
+        post.iter().sum::<f64>() / post.len() as f64
+    }
+
+    /// Mean time-to-recover over all completed recoveries.
+    ///
+    /// Returns `None` — never a zero duration — when the run completed no
+    /// recovery cycle at all: a fault-free run, a run whose faults were all
+    /// ignored or actuation-only (nothing to recover from), or a run too
+    /// short for the re-coordination boundary to arrive (e.g. a
+    /// pool-changing fault in the final epoch leaves its recovery pending
+    /// forever). Callers must treat `None` as "no recovery observed", not
+    /// as instant recovery; averaging it as 0 s would fabricate a perfect
+    /// TTR for the worst possible outcome.
+    pub fn mean_time_to_recover(&self) -> Option<TimeSpan> {
+        if self.recoveries.is_empty() {
+            return None;
+        }
+        let total: f64 = self
+            .recoveries
+            .iter()
+            .map(|r| r.time_to_recover.as_secs())
+            .sum();
+        Some(TimeSpan::secs(total / self.recoveries.len() as f64))
+    }
+}
+
+/// What a policy's epoch boundary did to the cluster and the live plan —
+/// the engine folds this into its recovery arming and the epoch record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Boundary {
+    /// External events that took effect this epoch.
+    pub events_applied: usize,
+    /// External events dropped (dead target, last-survivor crash).
+    pub events_ignored: usize,
+    /// The schedulable pool (or its efficiency profile) changed: the
+    /// engine arms a full-budget re-coordination over the survivors at the
+    /// *next* epoch boundary.
+    pub pool_changed: bool,
+    /// Watts reclaimed from plan slots the boundary removed (a crashed
+    /// node's share); rides along with the armed re-plan.
+    pub reclaimed: Power,
+    /// The workload itself changed (an epoch-level phase transition):
+    /// re-coordinate at *this* boundary, immediately.
+    pub replan_now: bool,
+}
+
+impl Boundary {
+    /// A boundary at which nothing happened.
+    pub const fn quiet() -> Self {
+        Self {
+            events_applied: 0,
+            events_ignored: 0,
+            pool_changed: false,
+            reclaimed: Power::ZERO,
+            replan_now: false,
+        }
+    }
+}
+
+impl Default for Boundary {
+    fn default() -> Self {
+        Self::quiet()
+    }
+}
+
+/// What a driver plugs into the canonical cycle: the per-epoch variation
+/// points. Everything else — re-coordination, actuation, audit, telemetry,
+/// TTR accounting — is the engine's.
+pub trait EpochPolicy<R: Recorder> {
+    /// Fire this epoch's external events (faults, arrivals, phase
+    /// switches) against the cluster, mutating the live `plan` when an
+    /// event removed one of its participants (the degraded remainder of
+    /// the epoch runs without it). Returns the boundary summary the engine
+    /// folds into recovery arming and the epoch record.
+    fn epoch_boundary(
+        &mut self,
+        cluster: &mut Cluster,
+        plan: &mut SchedulePlan,
+        epoch: usize,
+        rec: &mut R,
+    ) -> Boundary {
+        let _ = (cluster, plan, epoch, rec);
+        Boundary::quiet()
+    }
+
+    /// The workload for `epoch`, or `None` to keep the run's base app.
+    /// Phase-transition policies override this; the engine clones the
+    /// returned model only when it differs from the base.
+    fn app_for_epoch(&self, epoch: usize) -> Option<&AppModel> {
+        let _ = epoch;
+        None
+    }
+}
+
+/// The trivial policy: no external events, a single phase. Running the
+/// engine with it is the fault-free happy path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SteadyState;
+
+impl<R: Recorder> EpochPolicy<R> for SteadyState {}
+
+/// Epoch-level phase transitions: the workload switches model at fixed
+/// epoch boundaries (e.g. a solver alternating assembly and sweep stages),
+/// and the engine re-coordinates at every switch — the `phased`
+/// recommendation path expressed as an engine policy.
+///
+/// Stages are `(first_epoch, app)` pairs; epochs before the first stage
+/// run the base app. Within-iteration phase concurrency stays node-level
+/// (`workload::execute_phased`); this policy covers transitions at the
+/// coordination-epoch scale, where re-planning is warranted.
+#[derive(Debug, Clone)]
+pub struct PhaseSchedule {
+    stages: Vec<(usize, AppModel)>,
+}
+
+impl PhaseSchedule {
+    /// Build from `(first_epoch, app)` stages; sorted by starting epoch so
+    /// construction order never matters.
+    pub fn new(mut stages: Vec<(usize, AppModel)>) -> Self {
+        stages.sort_by_key(|&(start, _)| start);
+        Self { stages }
+    }
+
+    /// True when a stage starts exactly at `epoch`.
+    fn switches_at(&self, epoch: usize) -> bool {
+        self.stages.iter().any(|&(start, _)| start == epoch)
+    }
+}
+
+impl<R: Recorder> EpochPolicy<R> for PhaseSchedule {
+    fn epoch_boundary(
+        &mut self,
+        _cluster: &mut Cluster,
+        _plan: &mut SchedulePlan,
+        epoch: usize,
+        _rec: &mut R,
+    ) -> Boundary {
+        // The epoch-0 plan is already coordinated for the first stage's
+        // app, so only later switches force an immediate re-plan.
+        Boundary {
+            replan_now: epoch > 0 && self.switches_at(epoch),
+            ..Boundary::quiet()
+        }
+    }
+
+    fn app_for_epoch(&self, epoch: usize) -> Option<&AppModel> {
+        self.stages
+            .iter()
+            .rev()
+            .find(|&&(start, _)| start <= epoch)
+            .map(|(_, app)| app)
+    }
+}
+
+/// The recorder-generic epoch engine.
+///
+/// Owns the cluster budget, the current epoch stamp and the recorder; the
+/// scheduler is borrowed per call so drivers (like the dispatcher) can
+/// consult their scheduler between engine calls. Construct with a
+/// [`NoopRecorder`] for the zero-cost untraced path, or with
+/// `&mut TraceRecorder` to narrate every decision point.
+#[derive(Debug)]
+pub struct EpochEngine<R: Recorder = NoopRecorder> {
+    budget: Power,
+    rec: R,
+    epoch: u64,
+}
+
+impl<R: Recorder> EpochEngine<R> {
+    /// An engine auditing against `budget`, recording into `rec`.
+    pub fn new(budget: Power, rec: R) -> Self {
+        Self {
+            budget,
+            rec,
+            epoch: 0,
+        }
+    }
+
+    /// The budget every audited epoch is held to.
+    pub fn budget(&self) -> Power {
+        self.budget
+    }
+
+    /// The epoch stamp applied to emitted events.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Set the epoch stamp for subsequent [`EpochEngine::coordinate`] /
+    /// [`EpochEngine::execute`] calls (drivers with their own notion of
+    /// progress, like the dispatcher's start index, set it per step).
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// Direct access to the recorder, for driver-level events and metrics.
+    pub fn recorder(&mut self) -> &mut R {
+        &mut self.rec
+    }
+
+    /// Tear down, returning the recorder.
+    pub fn into_recorder(self) -> R {
+        self.rec
+    }
+
+    /// Coordinate: run Algorithm 1 over `allowed` with `budget` through
+    /// the scheduler and drain its buffered decision events at the current
+    /// epoch stamp.
+    pub fn coordinate(
+        &mut self,
+        scheduler: &mut dyn PowerScheduler,
+        cluster: &mut Cluster,
+        app: &AppModel,
+        budget: Power,
+        allowed: &[usize],
+    ) -> SchedulePlan {
+        let plan = scheduler.plan_subset(cluster, app, budget, allowed);
+        if self.rec.enabled() {
+            for event in scheduler.drain_decisions() {
+                self.rec.event_with(self.epoch, || event);
+            }
+        }
+        plan
+    }
+
+    /// Actuate and execute a plan at the current epoch stamp: program the
+    /// caps (RAPL), resolve DVFS, run the job — the single actuation path.
+    pub fn execute(
+        &mut self,
+        cluster: &mut Cluster,
+        app: &AppModel,
+        plan: &SchedulePlan,
+        iterations: usize,
+    ) -> JobReport {
+        execute_plan(cluster, app, plan, iterations, self.epoch, &mut self.rec)
+    }
+
+    /// Drive `scheduler` through `policy` on `cluster` for `cfg.epochs`
+    /// coordination epochs under the engine's budget — the canonical
+    /// cycle.
+    ///
+    /// Contract highlights, verified by the degradation unit tests and the
+    /// props suite:
+    ///
+    /// - A pool-changing boundary at epoch *e* triggers re-coordination at
+    ///   the boundary of epoch *e + 1*: the plan is rebuilt over the
+    ///   survivors with the full budget (a crashed node's share is
+    ///   reclaimed, not lost), and the degraded epoch's wall time is the
+    ///   recovery's TTR.
+    /// - Every epoch's programmed caps are audited against the budget by a
+    ///   harness-level [`BudgetLedger`] — including the degraded remainder
+    ///   of a crash epoch, whose surviving caps are a subset of an audited
+    ///   plan.
+    /// - Actuation-only boundaries (cap jitter) never re-plan; their
+    ///   overshoot is classified (and tolerated) by the actuation audit.
+    /// - A `replan_now` boundary (phase transition) re-coordinates at that
+    ///   same epoch, for the epoch's own app.
+    pub fn run<P: EpochPolicy<R>>(
+        &mut self,
+        scheduler: &mut dyn PowerScheduler,
+        cluster: &mut Cluster,
+        app: &AppModel,
+        policy: &mut P,
+        cfg: &FaultHarnessConfig,
+    ) -> FaultRunReport {
+        assert!(cfg.epochs > 0, "need at least one epoch");
+        assert!(cfg.iterations_per_epoch > 0, "need at least one iteration");
+
+        let name = scheduler.name().to_string();
+        let alive = cluster.alive_nodes();
+        scheduler.set_tracing(self.rec.enabled());
+        if self.rec.enabled() {
+            self.rec.event_with(0, || clip_obs::TraceEvent::RunStarted {
+                scheduler: name.clone(),
+                budget: self.budget,
+                nodes: alive.len(),
+                epochs: cfg.epochs as u64,
+            });
+        }
+        self.epoch = 0;
+        let staged = policy.app_for_epoch(0).cloned();
+        let mut plan = self.coordinate(
+            scheduler,
+            cluster,
+            staged.as_ref().unwrap_or(app),
+            self.budget,
+            &alive,
+        );
+
+        let mut epochs: Vec<EpochRecord> = Vec::with_capacity(cfg.epochs);
+        let mut recoveries: Vec<Recovery> = Vec::new();
+        let mut injected_overshoots = 0usize;
+
+        // A pool-changing boundary arms a re-plan for the next epoch
+        // boundary; the wall time and reclaimed watts of the degraded
+        // epoch ride along.
+        let mut pending: Option<(usize, Power)> = None;
+        let mut degraded_time = TimeSpan::ZERO;
+
+        for epoch in 0..cfg.epochs {
+            let ep = epoch as u64;
+            self.epoch = ep;
+            let mut replanned = false;
+            let staged = policy.app_for_epoch(epoch).cloned();
+            let app_e = staged.as_ref().unwrap_or(app);
+
+            // 1. Recover from the previous epoch's pool change: Algorithm 1
+            //    over the survivors, full budget.
+            if let Some((fault_epoch, reclaimed)) = pending.take() {
+                let alive = cluster.alive_nodes();
+                plan = self.coordinate(scheduler, cluster, app_e, self.budget, &alive);
+                replanned = true;
+                if self.rec.enabled() {
+                    self.rec.observe("ttr_secs", degraded_time.as_secs());
+                    self.rec.event_with(ep, || clip_obs::TraceEvent::Recovered {
+                        fault_epoch: fault_epoch as u64,
+                        recovered_epoch: ep,
+                        time_to_recover: degraded_time,
+                        reclaimed,
+                    });
+                }
+                recoveries.push(Recovery {
+                    fault_epoch,
+                    recovered_epoch: epoch,
+                    time_to_recover: degraded_time,
+                    reclaimed,
+                });
+            }
+
+            // 2. The policy boundary: fire this epoch's external events.
+            let boundary = policy.epoch_boundary(cluster, &mut plan, epoch, &mut self.rec);
+            if boundary.pool_changed {
+                let entry = pending.get_or_insert((epoch, Power::ZERO));
+                entry.1 += boundary.reclaimed;
+            }
+
+            // A crash can empty the current plan (every participant died):
+            // re-coordinate immediately rather than skip the epoch.
+            if plan.node_ids.is_empty() {
+                let alive = cluster.alive_nodes();
+                plan = self.coordinate(scheduler, cluster, app_e, self.budget, &alive);
+                replanned = true;
+                if let Some((fault_epoch, reclaimed)) = pending.take() {
+                    if self.rec.enabled() {
+                        self.rec.observe("ttr_secs", 0.0);
+                        self.rec.event_with(ep, || clip_obs::TraceEvent::Recovered {
+                            fault_epoch: fault_epoch as u64,
+                            recovered_epoch: ep,
+                            time_to_recover: TimeSpan::ZERO,
+                            reclaimed,
+                        });
+                    }
+                    recoveries.push(Recovery {
+                        fault_epoch,
+                        recovered_epoch: epoch,
+                        time_to_recover: TimeSpan::ZERO,
+                        reclaimed,
+                    });
+                }
+            } else if boundary.replan_now {
+                // A phase transition re-plans at this boundary, for this
+                // epoch's own app; nothing was lost, so no recovery cycle.
+                let alive = cluster.alive_nodes();
+                plan = self.coordinate(scheduler, cluster, app_e, self.budget, &alive);
+                replanned = true;
+            }
+
+            // 3. Execute the epoch under the (possibly degraded) plan,
+            //    with a harness-level audit of programmed and measured
+            //    power.
+            let jitter = plan
+                .node_ids
+                .iter()
+                .map(|&id| cluster.node(id).cap_jitter().abs())
+                .fold(0.0, f64::max);
+            let ledger = BudgetLedger::new(&name, self.budget).with_injected_jitter(jitter);
+            ledger.audit_plan(&plan);
+
+            let report = self.execute(cluster, app_e, &plan, cfg.iterations_per_epoch);
+            degraded_time = report.total_time;
+
+            let injected_overshoot =
+                match ledger.audit_actuation(&plan, report.cluster_power, ep, &mut self.rec) {
+                    ActuationCheck::Nominal => false,
+                    ActuationCheck::InjectedJitter => {
+                        injected_overshoots += 1;
+                        true
+                    }
+                };
+
+            if self.rec.enabled() {
+                self.rec.counter_add("epochs_total", 1);
+                if replanned {
+                    self.rec.counter_add("replans_total", 1);
+                }
+                self.rec
+                    .observe("epoch_time_secs", report.total_time.as_secs());
+                if self.budget.as_watts() > 0.0 {
+                    self.rec.observe(
+                        "budget_utilization",
+                        report.cluster_power.as_watts() / self.budget.as_watts(),
+                    );
+                }
+                let budget = self.budget;
+                let caps_total = plan.total_caps();
+                let measured = report.cluster_power;
+                let performance = report.performance();
+                let wall = report.total_time;
+                self.rec
+                    .event_with(ep, || clip_obs::TraceEvent::EpochCompleted {
+                        budget,
+                        caps_total,
+                        measured,
+                        performance,
+                        wall,
+                        replanned,
+                    });
+            }
+
+            epochs.push(EpochRecord {
+                epoch,
+                replanned,
+                node_ids: plan.node_ids.clone(),
+                caps_total: plan.total_caps(),
+                measured_power: report.cluster_power,
+                performance: report.performance(),
+                epoch_time: report.total_time,
+                events_applied: boundary.events_applied,
+                events_ignored: boundary.events_ignored,
+                injected_overshoot,
+            });
+        }
+
+        let survivors = cluster.alive_len();
+        if self.rec.enabled() {
+            self.rec.gauge_set("survivors", survivors as f64);
+            scheduler.set_tracing(false);
+        }
+        FaultRunReport {
+            scheduler: name,
+            budget: self.budget,
+            epochs,
+            recoveries,
+            injected_overshoots,
+            survivors,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlr::InflectionPredictor;
+    use crate::scheduler::ClipScheduler;
+    use workload::suite;
+
+    fn clip() -> ClipScheduler {
+        ClipScheduler::new(InflectionPredictor::train_default(5))
+    }
+
+    #[test]
+    fn steady_state_run_matches_fault_free_degrade() {
+        let mut cluster = Cluster::paper_testbed(7);
+        let mut sched = clip();
+        let app = suite::comd();
+        let cfg = FaultHarnessConfig {
+            epochs: 4,
+            iterations_per_epoch: 1,
+        };
+        let report = EpochEngine::new(Power::watts(1500.0), NoopRecorder).run(
+            &mut sched,
+            &mut cluster,
+            &app,
+            &mut SteadyState,
+            &cfg,
+        );
+        assert_eq!(report.epochs.len(), 4);
+        assert!(report.epochs.iter().all(|e| !e.replanned));
+        assert!(report.recoveries.is_empty());
+        assert_eq!(report.survivors, 8);
+    }
+
+    #[test]
+    fn phase_schedule_replans_at_each_stage_switch() {
+        let mut cluster = Cluster::paper_testbed(7);
+        let mut sched = clip();
+        // Stage 0 is compute-bound, stage 2 switches to a memory-bound
+        // model with a different best configuration.
+        let base = suite::comd();
+        let mut policy = PhaseSchedule::new(vec![(2, suite::lu_mz())]);
+        let cfg = FaultHarnessConfig {
+            epochs: 4,
+            iterations_per_epoch: 1,
+        };
+        let report = EpochEngine::new(Power::watts(1500.0), NoopRecorder).run(
+            &mut sched,
+            &mut cluster,
+            &base,
+            &mut policy,
+            &cfg,
+        );
+        assert_eq!(report.epochs.len(), 4);
+        assert!(!report.epochs[1].replanned);
+        assert!(report.epochs[2].replanned, "stage switch must re-plan");
+        assert!(!report.epochs[3].replanned, "no switch, no re-plan");
+        assert!(report.recoveries.is_empty(), "a phase switch loses nothing");
+    }
+
+    #[test]
+    fn phase_schedule_selects_the_stage_app() {
+        let policy = PhaseSchedule::new(vec![(3, suite::lu_mz()), (1, suite::amg())]);
+        let p = |e: usize| {
+            <PhaseSchedule as EpochPolicy<NoopRecorder>>::app_for_epoch(&policy, e)
+                .map(|a| a.name().to_string())
+        };
+        assert_eq!(p(0), None, "before the first stage the base app runs");
+        assert_eq!(p(1).as_deref(), Some("AMG"));
+        assert_eq!(p(2).as_deref(), Some("AMG"));
+        assert_eq!(p(3).as_deref(), Some("LU-MZ"));
+        assert_eq!(p(9).as_deref(), Some("LU-MZ"));
+    }
+
+    #[test]
+    fn coordinate_and_execute_primitives_compose() {
+        // The dispatcher/multijob shape: coordinate over a pool, then
+        // actuate+execute the grant — without the full epoch loop.
+        let mut cluster = Cluster::paper_testbed(7);
+        let mut sched = clip();
+        let app = suite::amg();
+        let budget = Power::watts(1400.0);
+        let mut engine = EpochEngine::new(budget, NoopRecorder);
+        let allowed: Vec<usize> = (0..cluster.len()).collect();
+        let plan = engine.coordinate(&mut sched, &mut cluster, &app, budget, &allowed);
+        assert!(plan.within_budget(budget));
+        let report = engine.execute(&mut cluster, &app, &plan, 2);
+        assert!(report.performance() > 0.0);
+        assert!(report.cluster_power <= budget + Power::watts(1.0));
+    }
+
+    #[test]
+    fn engine_epoch_stamp_is_caller_controlled() {
+        let mut engine: EpochEngine = EpochEngine::new(Power::watts(100.0), NoopRecorder);
+        assert_eq!(engine.epoch(), 0);
+        engine.set_epoch(7);
+        assert_eq!(engine.epoch(), 7);
+        assert_eq!(engine.budget(), Power::watts(100.0));
+    }
+}

@@ -37,12 +37,19 @@
 //! scenario of §VI, driven by CLIP's models); and [`degrade`] replays
 //! seeded fault timelines (`cluster_sim::faults`) against any scheduler,
 //! re-running Algorithm 1 over the survivors whenever the pool degrades.
+//!
+//! All of them drive one mechanism: [`engine::EpochEngine`], the
+//! recorder-generic owner of the canonical per-epoch cycle (fault
+//! application → re-coordination → planning → RAPL/DVFS actuation → job
+//! execution → ledger audit → trace emission). The harnesses above are
+//! thin [`engine::EpochPolicy`] configurations of it.
 
 pub mod allocate;
 pub mod audit;
 pub mod coordinate;
 pub mod degrade;
 pub mod dispatch;
+pub mod engine;
 pub mod knowledge;
 pub mod mlr;
 pub mod multijob;
@@ -59,8 +66,12 @@ pub mod validate;
 
 pub use allocate::{choose_node_count, NodeBudgetRange};
 pub use audit::{ActuationCheck, BudgetLedger};
-pub use degrade::{run_with_faults, run_with_faults_obs, FaultHarnessConfig, FaultRunReport};
+pub use degrade::{run_with_faults, FaultTimeline};
 pub use dispatch::{DispatchReport, Dispatcher, QueuedJob};
+pub use engine::{
+    Boundary, EpochEngine, EpochPolicy, FaultHarnessConfig, FaultRunReport, PhaseSchedule,
+    SteadyState,
+};
 pub use knowledge::KnowledgeDb;
 pub use mlr::InflectionPredictor;
 pub use multijob::{execute_concurrent, MultiJobScheduler};
@@ -69,4 +80,4 @@ pub use powerfit::FittedPowerModel;
 pub use profile::{ProfileData, SampleRun, SmartProfiler};
 pub use recommend::{recommend_node_config, NodeConfig};
 pub use runtime::{FixedLaunch, RuntimeCoordinator};
-pub use scheduler::{execute_plan, execute_plan_obs, ClipScheduler, PowerScheduler, SchedulePlan};
+pub use scheduler::{execute_plan, ClipScheduler, PowerScheduler, SchedulePlan};

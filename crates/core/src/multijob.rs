@@ -13,13 +13,14 @@
 //! Everything is model-driven: the search never executes the applications,
 //! in keeping with CLIP's no-exhaustive-search design.
 
+use crate::engine::EpochEngine;
 use crate::knowledge::{KnowledgeDb, KnowledgeRecord};
 use crate::mlr::InflectionPredictor;
 use crate::perfmodel::NodePerfModel;
 use crate::powerfit::FittedPowerModel;
 use crate::profile::SmartProfiler;
 use crate::recommend::recommend_node_config;
-use crate::scheduler::{execute_plan, SchedulePlan};
+use crate::scheduler::SchedulePlan;
 use cluster_sim::{Cluster, JobReport};
 use simkit::Power;
 use workload::{AppModel, ScalabilityClass};
@@ -208,11 +209,17 @@ impl MultiJobScheduler {
 
 /// Execute concurrent plans (disjoint node sets run independently in the
 /// simulator) and return the per-job reports.
-pub fn execute_concurrent(
+///
+/// Actuation goes through the [`EpochEngine`]'s single execute path, one
+/// engine epoch per job (the job's index in `jobs`), under a budget equal
+/// to the sum of the granted caps; a tracing recorder therefore sees each
+/// job's plan, RAPL programming and power samples stamped with its index.
+pub fn execute_concurrent<R: clip_obs::Recorder>(
     cluster: &mut Cluster,
     jobs: &[AppModel],
     plans: &[SchedulePlan],
     iterations: usize,
+    rec: &mut R,
 ) -> Vec<JobReport> {
     assert_eq!(jobs.len(), plans.len());
     // Verify disjointness — overlapping sets would share hardware, which
@@ -223,9 +230,15 @@ pub fn execute_concurrent(
             assert!(seen.insert(id), "node {id} assigned to two jobs");
         }
     }
+    let budget: Power = plans.iter().map(|p| p.total_caps()).sum();
+    let mut engine = EpochEngine::new(budget, rec);
     jobs.iter()
         .zip(plans)
-        .map(|(app, plan)| execute_plan(cluster, app, plan, iterations))
+        .enumerate()
+        .map(|(i, (app, plan))| {
+            engine.set_epoch(i as u64);
+            engine.execute(cluster, app, plan, iterations)
+        })
         .collect()
 }
 
@@ -237,6 +250,23 @@ mod tests {
 
     fn scheduler() -> MultiJobScheduler {
         MultiJobScheduler::new(InflectionPredictor::train_default(5))
+    }
+
+    /// Untraced shorthand — these tests exercise allocation semantics,
+    /// not telemetry.
+    fn execute_concurrent(
+        cluster: &mut Cluster,
+        jobs: &[AppModel],
+        plans: &[SchedulePlan],
+        iterations: usize,
+    ) -> Vec<JobReport> {
+        super::execute_concurrent(
+            cluster,
+            jobs,
+            plans,
+            iterations,
+            &mut clip_obs::NoopRecorder,
+        )
     }
 
     #[test]

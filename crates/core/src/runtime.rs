@@ -180,7 +180,14 @@ mod tests {
         let budget = Power::watts(1100.0);
         let plan = rt.plan_fixed(&mut cluster, &suite::lu_mz(), budget, launch);
         assert!(plan.within_budget(budget));
-        let report = execute_plan(&mut cluster, &suite::lu_mz(), &plan, 2);
+        let report = execute_plan(
+            &mut cluster,
+            &suite::lu_mz(),
+            &plan,
+            2,
+            0,
+            &mut clip_obs::NoopRecorder,
+        );
         assert!(report.cluster_power <= budget + Power::watts(1.0));
     }
 
@@ -202,7 +209,8 @@ mod tests {
         let mut planning = cluster.clone();
         let plan = rt.plan_fixed(&mut planning, &app, budget, launch);
         let mut exec = cluster.clone();
-        let coordinated = execute_plan(&mut exec, &app, &plan, 2).performance();
+        let coordinated =
+            execute_plan(&mut exec, &app, &plan, 2, 0, &mut clip_obs::NoopRecorder).performance();
 
         let naive_caps = simnode::PowerCaps::new(
             Power::watts(budget.as_watts() / 4.0 - 30.0),
@@ -216,7 +224,15 @@ mod tests {
             caps: vec![naive_caps; 4],
         };
         let mut exec = cluster.clone();
-        let naive = execute_plan(&mut exec, &app, &naive_plan, 2).performance();
+        let naive = execute_plan(
+            &mut exec,
+            &app,
+            &naive_plan,
+            2,
+            0,
+            &mut clip_obs::NoopRecorder,
+        )
+        .performance();
         assert!(
             coordinated >= naive * 0.98,
             "coordinated {coordinated:.4} vs naive {naive:.4}"
@@ -251,9 +267,9 @@ mod tests {
             threads_per_node: 12,
             policy: None,
         };
-        rt.plan_fixed(&mut cluster, &app, Power::watts(900.0), l1);
+        let _ = rt.plan_fixed(&mut cluster, &app, Power::watts(900.0), l1);
         assert_eq!(rt.knowledge().len(), 1);
-        rt.plan_fixed(&mut cluster, &app, Power::watts(1400.0), l2);
+        let _ = rt.plan_fixed(&mut cluster, &app, Power::watts(1400.0), l2);
         assert_eq!(rt.knowledge().len(), 1, "second launch reuses the profile");
     }
 
@@ -267,6 +283,6 @@ mod tests {
             threads_per_node: 24,
             policy: None,
         };
-        rt.plan_fixed(&mut cluster, &suite::comd(), Power::watts(900.0), launch);
+        let _ = rt.plan_fixed(&mut cluster, &suite::comd(), Power::watts(900.0), launch);
     }
 }

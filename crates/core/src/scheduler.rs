@@ -21,13 +21,14 @@ use crate::mlr::InflectionPredictor;
 use crate::perfmodel::NodePerfModel;
 use crate::powerfit::FittedPowerModel;
 use crate::profile::SmartProfiler;
-use cluster_sim::{run_job_obs, Cluster, JobReport, JobSpec};
+use cluster_sim::{run_job, Cluster, JobReport, JobSpec};
 use serde::{Deserialize, Serialize};
 use simkit::Power;
 use simnode::{AffinityPolicy, PowerCaps};
 use workload::{AppModel, ScalabilityClass};
 
 /// A fully resolved scheduling decision.
+#[must_use = "a plan does nothing until executed or audited"]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SchedulePlan {
     /// Which scheduler produced this plan.
@@ -109,31 +110,17 @@ pub trait PowerScheduler {
     }
 }
 
-/// Program a plan's caps and execute the job.
-pub fn execute_plan(
-    cluster: &mut Cluster,
-    app: &AppModel,
-    plan: &SchedulePlan,
-    iterations: usize,
-) -> JobReport {
-    execute_plan_obs(
-        cluster,
-        app,
-        plan,
-        iterations,
-        0,
-        &mut clip_obs::NoopRecorder,
-    )
-}
-
-/// [`execute_plan`] with telemetry: emits the committed plan as one
+/// Program a plan's caps and execute the job — the engine's single
+/// actuation path (every harness, dispatcher and bench goes through here).
+///
+/// Generic over the telemetry recorder: emits the committed plan as one
 /// [`clip_obs::TraceEvent::PlanComputed`] plus a
-/// [`clip_obs::TraceEvent::PlanNode`] per slot, programs caps through the
-/// traced actuation path (`RaplProgrammed` per node), and executes via
-/// [`cluster_sim::run_job_obs`] (`DvfsResolved` and `NodePowerSample` per
-/// node). With the [`clip_obs::NoopRecorder`] this is exactly
-/// `execute_plan`.
-pub fn execute_plan_obs<R: clip_obs::Recorder>(
+/// [`clip_obs::TraceEvent::PlanNode`] per slot, a
+/// [`clip_obs::TraceEvent::RaplProgrammed`] per node as its caps are
+/// written (programmed vs. jitter-adjusted effective cap), and executes
+/// via [`cluster_sim::run_job`] (`DvfsResolved` and `NodePowerSample` per
+/// node). With the [`clip_obs::NoopRecorder`] every hook compiles away.
+pub fn execute_plan<R: clip_obs::Recorder>(
     cluster: &mut Cluster,
     app: &AppModel,
     plan: &SchedulePlan,
@@ -157,9 +144,17 @@ pub fn execute_plan_obs<R: clip_obs::Recorder>(
         }
     }
     for (&node_id, &caps) in plan.node_ids.iter().zip(&plan.caps) {
-        cluster
-            .node_mut(node_id)
-            .set_caps_obs(caps, node_id, epoch, rec);
+        let node = cluster.node_mut(node_id);
+        node.set_caps(caps);
+        if rec.enabled() {
+            let effective = node.effective_caps();
+            rec.event_with(epoch, || clip_obs::TraceEvent::RaplProgrammed {
+                node: node_id,
+                cpu: caps.cpu,
+                dram: caps.dram,
+                effective_cpu: effective.cpu,
+            });
+        }
     }
     let spec = JobSpec {
         app,
@@ -168,7 +163,7 @@ pub fn execute_plan_obs<R: clip_obs::Recorder>(
         policy: plan.policy,
         iterations,
     };
-    run_job_obs(cluster, &spec, epoch, rec)
+    run_job(cluster, &spec, epoch, rec)
 }
 
 /// The CLIP scheduler (paper Algorithm 1).
@@ -184,7 +179,7 @@ pub fn execute_plan_obs<R: clip_obs::Recorder>(
 /// let budget = Power::watts(1200.0);
 /// let plan = clip.plan(&mut cluster, &app, budget);
 /// assert!(plan.within_budget(budget));
-/// let report = execute_plan(&mut cluster, &app, &plan, 5);
+/// let report = execute_plan(&mut cluster, &app, &plan, 5, 0, &mut clip_obs::NoopRecorder);
 /// assert!(report.cluster_power <= budget);
 /// ```
 #[derive(Debug, Clone)]
@@ -456,9 +451,9 @@ mod tests {
         let mut cluster = Cluster::homogeneous(8);
         let mut clip = scheduler();
         let app = suite::tea_leaf();
-        clip.plan(&mut cluster, &app, Power::watts(1500.0));
+        let _ = clip.plan(&mut cluster, &app, Power::watts(1500.0));
         assert_eq!(clip.profiles_performed(), 1);
-        clip.plan(&mut cluster, &app, Power::watts(900.0));
+        let _ = clip.plan(&mut cluster, &app, Power::watts(900.0));
         assert_eq!(clip.profiles_performed(), 1, "second plan must hit the DB");
         assert_eq!(clip.knowledge().len(), 1);
     }
@@ -470,7 +465,7 @@ mod tests {
         let app = suite::amg();
         let budget = Power::watts(1400.0);
         let plan = clip.plan(&mut cluster, &app, budget);
-        let report = execute_plan(&mut cluster, &app, &plan, 2);
+        let report = execute_plan(&mut cluster, &app, &plan, 2, 0, &mut clip_obs::NoopRecorder);
         assert!(
             report.cluster_power <= budget + Power::watts(1.0),
             "measured {} vs budget {}",
@@ -548,7 +543,7 @@ mod tests {
         let mut cluster = Cluster::homogeneous(2);
         let mut clip = scheduler();
         let app = suite::comd();
-        clip.plan_subset(&mut cluster, &app, Power::watts(500.0), &[]);
+        let _ = clip.plan_subset(&mut cluster, &app, Power::watts(500.0), &[]);
     }
 
     #[test]

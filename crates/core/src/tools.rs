@@ -188,8 +188,8 @@ mod tests {
         let mut node = Node::haswell();
         let app = suite::comd();
         let mut meter = PowerMeterReader::attach(&node);
-        node.execute(&app, 24, AffinityPolicy::Compact, 1);
-        node.execute(&app, 12, AffinityPolicy::Compact, 1);
+        let _ = node.execute(&app, 24, AffinityPolicy::Compact, 1);
+        let _ = node.execute(&app, 12, AffinityPolicy::Compact, 1);
         let reading = meter.read(&node).expect("time passed");
         // The blended average sits between the two runs' powers.
         assert!(reading.pkg.as_watts() > 100.0 && reading.pkg.as_watts() < 250.0);

@@ -51,7 +51,7 @@ proptest! {
         let mut clip = ClipScheduler::new(predictor().clone());
         clip.coordinate_variability = false;
         let mut d = Dispatcher::new(clip, Power::watts(budget_w));
-        let report = d.run(&mut cluster, &jobs);
+        let report = d.run(&mut cluster, &jobs, &mut clip_obs::NoopRecorder);
 
         prop_assert_eq!(report.outcomes.len(), count);
         for o in &report.outcomes {
@@ -74,7 +74,7 @@ proptest! {
         let mut clip = ClipScheduler::new(predictor().clone());
         clip.coordinate_variability = false;
         let mut d = Dispatcher::new(clip, Power::watts(budget_w));
-        let report = d.run(&mut cluster, &jobs);
+        let report = d.run(&mut cluster, &jobs, &mut clip_obs::NoopRecorder);
 
         // Instantaneous accounting: at every job-start instant, sum the
         // grants of all jobs active at that instant (starts are the only
@@ -108,7 +108,7 @@ proptest! {
         let mut clip = ClipScheduler::new(predictor().clone());
         clip.coordinate_variability = false;
         let mut d = Dispatcher::new(clip, Power::watts(1200.0));
-        let report = d.run(&mut cluster, &jobs);
+        let report = d.run(&mut cluster, &jobs, &mut clip_obs::NoopRecorder);
 
         let mut by_arrival = report.outcomes.clone();
         by_arrival.sort_by(|a, b| {

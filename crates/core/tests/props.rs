@@ -46,7 +46,7 @@ proptest! {
         prop_assert!(plan.nodes() >= 1 && plan.nodes() <= 8);
         prop_assert!(plan.threads_per_node >= 1 && plan.threads_per_node <= 24);
         // Executing the plan also keeps measured power within budget.
-        let report = execute_plan(&mut cluster, &app, &plan, 1);
+        let report = execute_plan(&mut cluster, &app, &plan, 1, 0, &mut clip_obs::NoopRecorder);
         prop_assert!(
             report.cluster_power <= Power::watts(budget_w) + Power::watts(1.0),
             "measured {} vs budget {budget_w}", report.cluster_power
@@ -66,7 +66,7 @@ proptest! {
             let mut planning = cluster.clone();
             let plan = clip.plan(&mut planning, &app, Power::watts(w));
             let mut exec = cluster.clone();
-            execute_plan(&mut exec, &app, &plan, 1).performance()
+            execute_plan(&mut exec, &app, &plan, 1, 0, &mut clip_obs::NoopRecorder).performance()
         };
         let slow = run(&mut clip, lo_w);
         let fast = run(&mut clip, lo_w + extra_w);

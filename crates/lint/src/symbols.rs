@@ -26,11 +26,21 @@ pub const DOMAIN_ENUM_CRATES: [&str; 6] =
 /// public entry points of the replay-critical subgraph.
 pub const SCHEDULER_TRAIT: &str = "PowerScheduler";
 
-/// Free functions that are additional entry points (the fault harness).
+/// Free functions that are additional entry points (the fault harness;
+/// since the engine refactor a thin wrapper over [`ENTRY_ENGINE_TYPE`]).
 pub const ENTRY_FREE_FNS: [&str; 1] = ["run_with_faults"];
 
 /// Entry-point method names on [`SCHEDULER_TRAIT`].
 pub const ENTRY_METHODS: [&str; 2] = ["plan", "plan_subset"];
+
+/// The engine owning the canonical epoch cycle: its public cycle methods
+/// root the replay-critical subgraph directly, so harnesses that call the
+/// engine without going through `run_with_faults` (the dispatcher,
+/// multijob) stay inside the determinism and blast-radius passes.
+pub const ENTRY_ENGINE_TYPE: &str = "EpochEngine";
+
+/// Entry-point method names on [`ENTRY_ENGINE_TYPE`].
+pub const ENTRY_ENGINE_METHODS: [&str; 3] = ["coordinate", "execute", "run"];
 
 /// Global function id: index into [`SymbolTable::fns`].
 pub type FnId = usize;
@@ -138,8 +148,8 @@ impl SymbolTable {
     }
 
     /// Entry points: non-test `PowerScheduler::plan`/`plan_subset` impls
-    /// (and trait defaults) plus the free fault-harness functions. Sorted
-    /// by id.
+    /// (and trait defaults), the free fault-harness functions, and the
+    /// `EpochEngine` cycle methods. Sorted by id.
     pub fn entry_points(&self, files: &[ParsedSource]) -> Vec<FnId> {
         let mut out = Vec::new();
         for id in 0..self.fns.len() {
@@ -154,7 +164,9 @@ impl SymbolTable {
                     || f.owner.in_trait_decl.as_deref() == Some(SCHEDULER_TRAIT));
             let is_free_entry =
                 ENTRY_FREE_FNS.contains(&f.name.as_str()) && f.owner.self_ty.is_none();
-            if is_sched_method || is_free_entry {
+            let is_engine_method = ENTRY_ENGINE_METHODS.contains(&f.name.as_str())
+                && f.owner.self_ty.as_deref() == Some(ENTRY_ENGINE_TYPE);
+            if is_sched_method || is_free_entry || is_engine_method {
                 out.push(id);
             }
         }
@@ -226,6 +238,28 @@ mod tests {
         let entries = table.entry_points(&parsed);
         let labels: Vec<String> = entries.iter().map(|&id| table.label(&parsed, id)).collect();
         assert_eq!(labels, vec!["Clip::plan", "run_with_faults"]);
+    }
+
+    #[test]
+    fn entry_points_find_engine_cycle_methods() {
+        let (parsed, table) = build(&[(
+            "crates/core/src/engine.rs",
+            "impl EpochEngine { pub fn run(&mut self) {} pub fn coordinate(&mut self) {} \
+             pub fn execute(&mut self) {} pub fn budget(&self) {} }\n\
+             impl Dispatcher { pub fn run(&mut self) {} }",
+        )]);
+        let entries = table.entry_points(&parsed);
+        let labels: Vec<String> = entries.iter().map(|&id| table.label(&parsed, id)).collect();
+        // Cycle methods only, and only on EpochEngine: accessors and other
+        // types' `run` methods are not roots.
+        assert_eq!(
+            labels,
+            vec![
+                "EpochEngine::run",
+                "EpochEngine::coordinate",
+                "EpochEngine::execute"
+            ]
+        );
     }
 
     #[test]

@@ -33,6 +33,18 @@ pub fn cold(states: &[f64]) -> f64 {
 }
 "#;
 
+/// The epoch engine: its cycle methods are entry points in their own
+/// right, so `helper`'s allowlisted index gains a second blast-radius
+/// route that does not pass through any `PowerScheduler` impl.
+const ENGINE: &str = r#"
+pub struct EpochEngine;
+impl EpochEngine {
+    pub fn run(&mut self) {
+        helper();
+    }
+}
+"#;
+
 /// A telemetry-crate file: `ImpactTag` is auto-discovered as a domain enum
 /// (pub + Serialize + Clone in a `DOMAIN_ENUM_CRATES` member), so the
 /// wildcard arm below is a live exhaustiveness violation. Before `obs`
@@ -91,6 +103,13 @@ const GOLDEN: &str = r#"{
             "Clip::plan",
             "helper"
           ]
+        },
+        {
+          "entry": "EpochEngine::run",
+          "path": [
+            "EpochEngine::run",
+            "helper"
+          ]
         }
       ]
     }
@@ -103,9 +122,9 @@ const GOLDEN: &str = r#"{
     }
   ],
   "summary": {
-    "files_scanned": 3,
-    "functions": 4,
-    "entry_points": 1,
+    "files_scanned": 4,
+    "functions": 5,
+    "entry_points": 2,
     "total": 2,
     "unit_safety": 1,
     "panic_freedom": 0,
@@ -225,6 +244,10 @@ fn json_report_shape_is_stable() {
         SourceFile {
             path: "crates/core/src/offline.rs".to_string(),
             source: OFFLINE.to_string(),
+        },
+        SourceFile {
+            path: "crates/core/src/engine.rs".to_string(),
+            source: ENGINE.to_string(),
         },
         SourceFile {
             path: "crates/obs/src/event.rs".to_string(),

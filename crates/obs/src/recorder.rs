@@ -52,6 +52,37 @@ pub trait Recorder {
     }
 }
 
+/// Forwarding impl so a recorder can be passed by mutable reference into
+/// APIs that take the recorder by value (e.g. `EpochEngine<R: Recorder>`):
+/// `EpochEngine::new(budget, &mut my_tracer)` works without giving up
+/// ownership of the tracer.
+impl<R: Recorder> Recorder for &mut R {
+    #[inline]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    #[inline]
+    fn event_with<F: FnOnce() -> TraceEvent>(&mut self, epoch: u64, make: F) {
+        (**self).event_with(epoch, make);
+    }
+
+    #[inline]
+    fn counter_add(&mut self, name: &str, delta: u64) {
+        (**self).counter_add(name, delta);
+    }
+
+    #[inline]
+    fn gauge_set(&mut self, name: &str, value: f64) {
+        (**self).gauge_set(name, value);
+    }
+
+    #[inline]
+    fn observe(&mut self, name: &str, value: f64) {
+        (**self).observe(name, value);
+    }
+}
+
 /// The zero-cost default: records nothing.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoopRecorder;

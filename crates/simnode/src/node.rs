@@ -86,6 +86,7 @@ impl OperatingPoint {
 }
 
 /// Measured outcome of executing a workload for some iterations.
+#[must_use = "an execution report carries the resolved operating point and measured power"]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExecutionReport {
     /// Iterations executed.
@@ -226,28 +227,11 @@ impl Node {
         self.rapl.set_caps(caps);
     }
 
-    /// [`Node::set_caps`] with telemetry: emits a
-    /// [`clip_obs::TraceEvent::RaplProgrammed`] carrying the programmed
-    /// caps alongside what the controller will actually enforce (the
-    /// jittered effective cap). `node_id` identifies this node in the
-    /// trace; the node itself does not know its fleet index.
-    pub fn set_caps_obs<R: clip_obs::Recorder>(
-        &mut self,
-        caps: PowerCaps,
-        node_id: usize,
-        epoch: u64,
-        rec: &mut R,
-    ) {
-        self.rapl.set_caps(caps);
-        if rec.enabled() {
-            let effective = self.rapl.effective_caps();
-            rec.event_with(epoch, || clip_obs::TraceEvent::RaplProgrammed {
-                node: node_id,
-                cpu: caps.cpu,
-                dram: caps.dram,
-                effective_cpu: effective.cpu,
-            });
-        }
+    /// The caps the controller will actually enforce: the programmed caps
+    /// with any injected actuation error applied. Telemetry layers pair
+    /// this with [`Node::caps`] to report setpoint vs. enforcement.
+    pub fn effective_caps(&self) -> PowerCaps {
+        self.rapl.effective_caps()
     }
 
     /// Inject a signed RAPL actuation error (see
@@ -381,35 +365,6 @@ impl Node {
             burst_bandwidth,
             op,
         }
-    }
-
-    /// [`Node::execute`] with telemetry: emits a
-    /// [`clip_obs::TraceEvent::DvfsResolved`] describing the operating
-    /// point the DVFS/RAPL stack settled on (resolved frequency and
-    /// whether the cap forced duty-cycle throttling below the P-state
-    /// ladder). The execution itself is byte-for-byte `execute`.
-    #[allow(clippy::too_many_arguments)]
-    pub fn execute_obs<W: NodeWorkload + ?Sized, R: clip_obs::Recorder>(
-        &mut self,
-        workload: &W,
-        threads: usize,
-        policy: AffinityPolicy,
-        iterations: usize,
-        node_id: usize,
-        epoch: u64,
-        rec: &mut R,
-    ) -> ExecutionReport {
-        let report = self.execute(workload, threads, policy, iterations);
-        if rec.enabled() {
-            let op = &report.op;
-            rec.event_with(epoch, || clip_obs::TraceEvent::DvfsResolved {
-                node: node_id,
-                threads: op.threads(),
-                frequency: op.frequency(),
-                throttled: op.speed.is_throttled(),
-            });
-        }
-        report
     }
 }
 

@@ -39,7 +39,14 @@ fn main() {
         let mut planning = cluster.clone();
         let plan = clip.plan(&mut planning, &entry.app, budget);
         let mut exec = cluster.clone();
-        let report = execute_plan(&mut exec, &entry.app, &plan, 5);
+        let report = execute_plan(
+            &mut exec,
+            &entry.app,
+            &plan,
+            5,
+            0,
+            &mut clip_obs::NoopRecorder,
+        );
         let record = clip.knowledge().get(entry.app.name()).expect("profiled");
         perfs.push(report.performance());
         table.row(&[
@@ -72,7 +79,17 @@ fn main() {
         let mut planning = cluster.clone();
         let plan = clip2.plan(&mut planning, &entry.app, budget);
         let mut exec = cluster.clone();
-        day2.push(execute_plan(&mut exec, &entry.app, &plan, 5).performance());
+        day2.push(
+            execute_plan(
+                &mut exec,
+                &entry.app,
+                &plan,
+                5,
+                0,
+                &mut clip_obs::NoopRecorder,
+            )
+            .performance(),
+        );
     }
     println!("campaign summary:");
     println!("  geomean perf day 1 : {:.4} it/s", geomean(&perfs));

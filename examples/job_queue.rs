@@ -45,8 +45,10 @@ fn main() {
         "site budget: {:.0} W, 8 nodes, FCFS with constrained planning\n",
         budget.as_watts()
     );
-    let mut rec = TraceRecorder::new(RingSink::new(256));
-    let report = dispatcher.run_obs(&mut cluster, &jobs, &mut rec);
+    // The engine-backed dispatcher narrates each job's full plan and
+    // actuation, so size the ring for the whole morning.
+    let mut rec = TraceRecorder::new(RingSink::new(1024));
+    let report = dispatcher.run(&mut cluster, &jobs, &mut rec);
 
     println!(
         "{:<10} {:>7} {:>7} {:>8} {:>6} {:>8} {:>10}",

@@ -42,12 +42,21 @@ fn main() {
         let mut planning = cluster.clone();
         let plan = clip.plan(&mut planning, &app, budget);
         let mut exec = cluster.clone();
-        let perf = execute_plan(&mut exec, &app, &plan, 5).performance();
+        let perf =
+            execute_plan(&mut exec, &app, &plan, 5, 0, &mut clip_obs::NoopRecorder).performance();
 
         let mut planning = cluster.clone();
         let naive_plan = allin.plan(&mut planning, &app, budget);
         let mut exec = cluster.clone();
-        let naive = execute_plan(&mut exec, &app, &naive_plan, 5).performance();
+        let naive = execute_plan(
+            &mut exec,
+            &app,
+            &naive_plan,
+            5,
+            0,
+            &mut clip_obs::NoopRecorder,
+        )
+        .performance();
 
         table.row(&[
             budget_w.to_string(),

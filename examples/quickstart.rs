@@ -10,10 +10,8 @@
 //! decisions, per-node RAPL programming, DVFS resolution, power samples)
 //! for inspection with `clip-trace summary <path>`.
 
-use clip_core::{
-    execute_plan, execute_plan_obs, ClipScheduler, InflectionPredictor, PowerScheduler,
-};
-use clip_obs::{JsonlSink, Recorder, TraceEvent, TraceRecorder};
+use clip_core::{execute_plan, ClipScheduler, InflectionPredictor, PowerScheduler};
+use clip_obs::{JsonlSink, NoopRecorder, Recorder, TraceEvent, TraceRecorder};
 use cluster_sim::Cluster;
 use simkit::Power;
 use workload::suite;
@@ -95,10 +93,12 @@ fn main() {
         budget.as_watts()
     );
 
-    // 5. Execute and report.
+    // 5. Execute and report. `execute_plan` is generic over the recorder:
+    //    the same entry point serves the traced and untraced paths (the
+    //    no-op recorder compiles every telemetry hook away).
     let report = match tracer.as_mut() {
-        Some((_, rec)) => execute_plan_obs(&mut cluster, &app, &plan, 10, 0, rec),
-        None => execute_plan(&mut cluster, &app, &plan, 10),
+        Some((_, rec)) => execute_plan(&mut cluster, &app, &plan, 10, 0, rec),
+        None => execute_plan(&mut cluster, &app, &plan, 10, 0, &mut NoopRecorder),
     };
     println!("\nexecution:");
     println!("  performance  : {:.4} iterations/s", report.performance());

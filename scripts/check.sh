@@ -36,6 +36,16 @@ if [ "$report_version" != "2" ]; then
 fi
 test -s target/clip-lint.sarif || { echo "missing target/clip-lint.sarif" >&2; exit 1; }
 
+# Ratchet: the `_obs` duplicate-API era is over. Every recorder hook is a
+# generic parameter on the one canonical entry point; a reappearing
+# `*_obs` function or method would mean the split is creeping back in.
+# (The `clip_obs` crate name itself is fine — only item names are gated.)
+echo "==> no _obs duplicate APIs"
+if grep -rnE '\b(fn|struct|enum|trait|type|mod) [A-Za-z0-9_]*_obs\b' crates --include='*.rs'; then
+    echo "found a *_obs item: fold it into the recorder-generic API instead" >&2
+    exit 1
+fi
+
 echo "==> cargo test"
 cargo test --workspace --offline -q
 
@@ -74,7 +84,11 @@ plain_ms="$(best_ms 3 target/release/examples/quickstart)"
 traced_ms="$(best_ms 3 target/release/examples/quickstart --trace "$trace_file")"
 test -s "$trace_file" || { echo "traced quickstart wrote no trace" >&2; exit 1; }
 
-target/release/clip-trace summary "$trace_file" | grep -q "budget 1200.0 W" \
+# Capture the whole summary before grepping: piping straight into
+# `grep -q` lets grep exit at first match and break the pipe under
+# `pipefail` once the trace narrates more than one buffer's worth.
+summary="$(target/release/clip-trace summary "$trace_file")"
+grep -q "budget 1200.0 W" <<< "$summary" \
     || { echo "clip-trace summary did not parse the quickstart trace" >&2; exit 1; }
 
 limit_ms=$((plain_ms + plain_ms / 10 + 50))

@@ -25,7 +25,7 @@ fn performance(
         scheduler.name()
     );
     let mut exec = cluster.clone();
-    execute_plan(&mut exec, app, &plan, 2).performance()
+    execute_plan(&mut exec, app, &plan, 2, 0, &mut clip_obs::NoopRecorder).performance()
 }
 
 #[test]
@@ -151,7 +151,7 @@ fn schedulers_are_independent_of_planning_order() {
 
     let mut warmed = clip();
     let mut planning = cluster.clone();
-    warmed.plan(&mut planning, &apps[1], budget);
+    let _ = warmed.plan(&mut planning, &apps[1], budget);
     let mut planning = cluster.clone();
     let plan_after = warmed.plan(&mut planning, &apps[0], budget);
 
@@ -172,7 +172,7 @@ fn variability_coordination_helps_on_heterogeneous_fleets() {
         let mut planning = cluster.clone();
         let plan = s.plan(&mut planning, &app, budget);
         let mut exec = cluster.clone();
-        execute_plan(&mut exec, &app, &plan, 2).performance()
+        execute_plan(&mut exec, &app, &plan, 2, 0, &mut clip_obs::NoopRecorder).performance()
     };
     let on = run(true);
     let off = run(false);

@@ -142,6 +142,7 @@ fn golden_fault_timeline() {
             epochs: 7,
             iterations_per_epoch: 1,
         },
+        &mut clip_obs::NoopRecorder,
     );
 
     // The re-coordination schedule: each pool change recovers exactly one

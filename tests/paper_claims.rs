@@ -22,7 +22,7 @@ fn perf(s: &mut dyn PowerScheduler, cluster: &Cluster, app: &workload::AppModel,
     let plan = s.plan(&mut planning, app, budget);
     assert!(plan.within_budget(budget));
     let mut exec = cluster.clone();
-    execute_plan(&mut exec, app, &plan, 2).performance()
+    execute_plan(&mut exec, app, &plan, 2, 0, &mut clip_obs::NoopRecorder).performance()
 }
 
 /// §V-C observation 1: "CLIP achieves similar performance as All-In for
@@ -170,7 +170,15 @@ fn contribution_1_energy_efficiency() {
             let mut planning = cluster.clone();
             let plan = s.plan(&mut planning, &entry.app, budget);
             let mut exec = cluster.clone();
-            execute_plan(&mut exec, &entry.app, &plan, 2).energy_per_iteration()
+            execute_plan(
+                &mut exec,
+                &entry.app,
+                &plan,
+                2,
+                0,
+                &mut clip_obs::NoopRecorder,
+            )
+            .energy_per_iteration()
         };
         let c = energy_of(&mut clip());
         let best_other = [

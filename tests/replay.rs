@@ -31,6 +31,7 @@ fn replay_json(seed: u64, scheduler: &mut dyn PowerScheduler) -> String {
             epochs: 6,
             iterations_per_epoch: 2,
         },
+        &mut clip_obs::NoopRecorder,
     );
     serde_json::to_string(&report).expect("fault reports serialize")
 }

@@ -34,7 +34,7 @@ fn job_report_roundtrip_preserves_measurements() {
     let mut cluster = Cluster::paper_testbed(5);
     let app = suite::amg();
     let spec = JobSpec::on_first_nodes(&app, 4, 24, AffinityPolicy::Scatter, 3);
-    let report = run_job(&mut cluster, &spec);
+    let report = run_job(&mut cluster, &spec, 0, &mut clip_obs::NoopRecorder);
     let json = serde_json::to_string(&report).expect("serialize report");
     let back: cluster_sim::JobReport = serde_json::from_str(&json).expect("deserialize");
     assert_eq!(report.total_time, back.total_time);

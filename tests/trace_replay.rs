@@ -18,8 +18,8 @@
 //! archived traces.
 
 use clip_core::{
-    run_with_faults, run_with_faults_obs, ClipScheduler, FaultHarnessConfig, InflectionPredictor,
-    PowerScheduler,
+    run_with_faults, ClipScheduler, EpochEngine, FaultHarnessConfig, FaultTimeline,
+    InflectionPredictor, PowerScheduler,
 };
 use clip_obs::{NoopRecorder, RingSink, TraceRecorder};
 use cluster_sim::{Cluster, FaultPlan, VariabilityModel};
@@ -47,7 +47,7 @@ fn traced_run(seed: u64, scheduler: &mut dyn PowerScheduler) -> (String, String)
     let faults = FaultPlan::random(&mut rng, 8, 4);
     let mut cluster = Cluster::with_variability(8, &VariabilityModel::default(), seed);
     let mut rec = TraceRecorder::new(RingSink::new(8192));
-    let report = run_with_faults_obs(
+    let report = run_with_faults(
         scheduler,
         &mut cluster,
         &suite::comd(),
@@ -74,6 +74,7 @@ fn untraced_run(seed: u64, scheduler: &mut dyn PowerScheduler) -> String {
         Power::watts(1500.0),
         &faults,
         &harness_cfg(),
+        &mut NoopRecorder,
     );
     serde_json::to_string(&report).expect("reports serialize")
 }
@@ -111,26 +112,49 @@ proptest! {
     }
 }
 
-/// The no-op recorder path and the explicit `NoopRecorder` argument are
-/// the same code path — a direct (non-proptest) spot check on one seed.
+/// Driving the engine directly with a [`FaultTimeline`] policy is the
+/// same code path as [`run_with_faults`] — the harness entry point is a
+/// pure convenience wrapper, byte for byte.
 #[test]
-fn explicit_noop_recorder_matches_plain_entry_point() {
+fn engine_with_fault_timeline_matches_run_with_faults() {
     let mut rng = SimRng::seed_from_u64(77);
     let faults = FaultPlan::random(&mut rng, 8, 4);
     let mut cluster = Cluster::with_variability(8, &VariabilityModel::default(), 77);
     let mut sched = ClipScheduler::new(predictor().clone());
-    let report = run_with_faults_obs(
+    let report = EpochEngine::new(Power::watts(1500.0), &mut NoopRecorder).run(
         &mut sched,
         &mut cluster,
         &suite::comd(),
-        Power::watts(1500.0),
-        &faults,
+        &mut FaultTimeline::new(&faults),
         &harness_cfg(),
-        &mut NoopRecorder,
     );
-    let via_obs = serde_json::to_string(&report).expect("reports serialize");
+    let via_engine = serde_json::to_string(&report).expect("reports serialize");
     let plain = untraced_run(77, &mut ClipScheduler::new(predictor().clone()));
-    assert_eq!(via_obs, plain);
+    assert_eq!(via_engine, plain);
+}
+
+/// The traced engine path reproduces the wrapper's trace bytes exactly,
+/// not just its report: equivalence holds at the event-emission level.
+#[test]
+fn engine_trace_bytes_match_run_with_faults_trace() {
+    let seed = 41;
+    let (wrapper_trace, _) = traced_run(seed, &mut ClipScheduler::new(predictor().clone()));
+
+    let mut rng = SimRng::seed_from_u64(seed);
+    let faults = FaultPlan::random(&mut rng, 8, 4);
+    let mut cluster = Cluster::with_variability(8, &VariabilityModel::default(), seed);
+    let mut sched = ClipScheduler::new(predictor().clone());
+    let mut rec = TraceRecorder::new(RingSink::new(8192));
+    let _ = EpochEngine::new(Power::watts(1500.0), &mut rec).run(
+        &mut sched,
+        &mut cluster,
+        &suite::comd(),
+        &mut FaultTimeline::new(&faults),
+        &harness_cfg(),
+    );
+    let sink = rec.finish();
+    assert_eq!(sink.dropped(), 0);
+    assert_eq!(sink.to_jsonl(), wrapper_trace);
 }
 
 /// Golden pin of the exact trace bytes for seed 41.
