@@ -33,6 +33,12 @@ const CALL_KEYWORDS: [&str; 16] = [
     "unsafe", "where", "mut", "ref",
 ];
 
+/// True when `name` is a keyword that can precede `(` without being a
+/// call site (shared with the concurrency lock-event scanner).
+pub(crate) fn is_call_keyword(name: &str) -> bool {
+    CALL_KEYWORDS.contains(&name)
+}
+
 /// The workspace call graph: adjacency sets per [`FnId`].
 #[derive(Debug, Default)]
 pub struct CallGraph {

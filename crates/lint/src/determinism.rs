@@ -10,10 +10,15 @@
 //!   hasher is randomly seeded);
 //! - `Instant`/`SystemTime` — wall-clock reads leak host timing into
 //!   decisions; simulated time must be threaded explicitly;
-//! - `thread_rng` — unseeded randomness;
-//! - `par_iter`/`into_par_iter`/`par_bridge` — unordered parallel
-//!   reductions (the workspace's `parallel_map` is order-preserving and
-//!   allowed).
+//! - `thread_rng` — unseeded randomness.
+//!
+//! `par_iter`/`into_par_iter`/`par_bridge` were banned outright in v2;
+//! v3 relaxes them to an **obligation**: a parallel construct in the
+//! replay-critical subgraph passes when the enclosing function's parallel
+//! regions are clean under the [`crate::concurrency`] shared-state and
+//! commutativity rules, and is flagged only when that function is in the
+//! concurrency pass's dirty set (order-independence could not be shown).
+//! The workspace's `parallel_map` is order-preserving and always allowed.
 //!
 //! The scope is computed transitively over the call graph, so a `HashMap`
 //! three helpers deep below `plan` is flagged while one in an offline
@@ -27,7 +32,7 @@ use crate::symbols::{FnId, SymbolTable};
 use std::collections::BTreeSet;
 
 /// Banned identifier → why it breaks replay.
-const BANNED: [(&str, &str); 8] = [
+const BANNED: [(&str, &str); 5] = [
     (
         "HashMap",
         "iteration order is nondeterministic; use BTreeMap",
@@ -48,19 +53,11 @@ const BANNED: [(&str, &str); 8] = [
         "thread_rng",
         "unseeded randomness breaks replay; use the seeded simkit rng",
     ),
-    (
-        "par_iter",
-        "unordered parallel reduction breaks replay; use the order-preserving parallel_map",
-    ),
-    (
-        "into_par_iter",
-        "unordered parallel reduction breaks replay; use the order-preserving parallel_map",
-    ),
-    (
-        "par_bridge",
-        "unordered parallel reduction breaks replay; use the order-preserving parallel_map",
-    ),
 ];
+
+/// Parallel constructs carrying the v3 proof obligation: flagged only
+/// when the enclosing function is in the concurrency pass's dirty set.
+const RELAXED: [&str; 3] = ["par_iter", "into_par_iter", "par_bridge"];
 
 fn banned_reason(ident: &str) -> Option<&'static str> {
     BANNED
@@ -71,11 +68,15 @@ fn banned_reason(ident: &str) -> Option<&'static str> {
 
 /// Run the determinism pass. `entries` are the scheduler entry points; the
 /// replay-critical set is everything the call graph reaches from them.
+/// `dirty` is the concurrency pass's set of functions whose parallel
+/// regions have unresolved shared-state or commutativity findings — the
+/// input to the v3 relaxation of the parallelism ban.
 pub fn check(
     files: &[ParsedSource],
     table: &SymbolTable,
     graph: &CallGraph,
     entries: &[FnId],
+    dirty: &BTreeSet<FnId>,
 ) -> Vec<Violation> {
     let critical = graph.reachable_from(entries);
     let mut out = Vec::new();
@@ -89,9 +90,11 @@ pub fn check(
             if !t.is_ident {
                 continue;
             }
-            let Some(why) = banned_reason(&t.text) else {
+            let relaxed = RELAXED.contains(&t.text.as_str());
+            let why = banned_reason(&t.text);
+            if why.is_none() && !relaxed {
                 continue;
-            };
+            }
             let Some(item_idx) = file.unit.index.enclosing_fn(idx) else {
                 continue; // not inside a fn body (use statement, field decl)
             };
@@ -107,20 +110,35 @@ pub fn check(
             if f.in_test {
                 continue;
             }
+            // v3 relaxation: a parallel construct passes when the
+            // concurrency rules proved its regions order-independent.
+            if relaxed && !dirty.contains(&id) {
+                continue;
+            }
             if !seen.insert((id, t.text.clone())) {
                 continue;
             }
-            out.push(Violation {
-                rule: Rule::Determinism,
-                file: file.path.clone(),
-                line: t.line,
-                name: t.text.clone(),
-                message: format!(
+            let message = match why {
+                Some(why) => format!(
                     "`{}` in `{}` is reachable from scheduler entry points: {}",
                     t.text,
                     table.label(files, id),
                     why
                 ),
+                None => format!(
+                    "`{}` in `{}` is replay-critical and its parallel regions have \
+                     unresolved shared-state/commutativity findings; discharge those \
+                     to unlock the relaxation",
+                    t.text,
+                    table.label(files, id),
+                ),
+            };
+            out.push(Violation {
+                rule: Rule::Determinism,
+                file: file.path.clone(),
+                line: t.line,
+                name: t.text.clone(),
+                message,
             });
         }
     }
@@ -167,6 +185,11 @@ mod tests {
     use std::sync::Arc;
 
     fn run(sources: &[(&str, &str)]) -> Vec<Violation> {
+        run_with_dirty(sources, &[])
+    }
+
+    /// `dirty_fns` are function names whose ids go into the dirty set.
+    fn run_with_dirty(sources: &[(&str, &str)], dirty_fns: &[&str]) -> Vec<Violation> {
         let parsed: Vec<ParsedSource> = sources
             .iter()
             .map(|(path, src)| ParsedSource {
@@ -177,7 +200,19 @@ mod tests {
         let table = SymbolTable::build(&parsed);
         let graph = CallGraph::build(&parsed, &table);
         let entries = table.entry_points(&parsed);
-        check(&parsed, &table, &graph, &entries)
+        let dirty: BTreeSet<FnId> = table
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(_, sym)| {
+                parsed
+                    .get(sym.file)
+                    .and_then(|f| f.unit.index.fns.get(sym.item))
+                    .is_some_and(|f| dirty_fns.contains(&f.name.as_str()))
+            })
+            .map(|(id, _)| id)
+            .collect();
+        check(&parsed, &table, &graph, &entries, &dirty)
     }
 
     #[test]
@@ -235,6 +270,46 @@ mod tests {
             "impl PowerScheduler for Clip { fn plan(&mut self) { helper(); } }\nfn helper() {}\n\
              #[cfg(test)]\nmod tests { fn t() { let m: HashSet<u32> = HashSet::new(); } }",
         )]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn clean_par_iter_in_critical_subgraph_passes() {
+        // v3 relaxation: the parallel construct is replay-critical but
+        // its regions carry no concurrency findings (empty dirty set).
+        let v = run(&[(
+            "crates/core/src/s.rs",
+            "impl PowerScheduler for Clip { fn plan(&mut self) { let x = rows.par_iter(); } }",
+        )]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn dirty_par_iter_in_critical_subgraph_is_flagged() {
+        let v = run_with_dirty(
+            &[(
+                "crates/core/src/s.rs",
+                "impl PowerScheduler for Clip { fn plan(&mut self) { let x = rows.par_iter(); } }",
+            )],
+            &["plan"],
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        let first = v.first().expect("one finding");
+        assert_eq!(first.name, "par_iter");
+        assert!(first.message.contains("unresolved shared-state"));
+    }
+
+    #[test]
+    fn dirty_par_iter_outside_critical_subgraph_is_clean() {
+        // Dirty regions outside the replay-critical subgraph are the
+        // concurrency rules' findings to report, not determinism's.
+        let v = run_with_dirty(
+            &[(
+                "crates/core/src/s.rs",
+                "fn offline() { let x = rows.par_iter(); }",
+            )],
+            &["offline"],
+        );
         assert!(v.is_empty(), "{v:?}");
     }
 

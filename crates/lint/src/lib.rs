@@ -28,11 +28,27 @@
 //! 6. **ledger-coverage** ([`ledger`]) — every `PowerScheduler` impl's
 //!    `plan`/`plan_subset` transitively reaches `BudgetLedger`.
 //!
-//! The analyzer additionally annotates every *allowlisted* panic site with
-//! its blast radius: which scheduler entry points can reach it, via which
-//! call path. Allow entries whose panic sites are unreachable from every
-//! entry point are reported as `stale-unreachable` so the allowlist
-//! shrinks as code is refactored.
+//! Concurrency-safety passes (v3, [`concurrency`]) — the proof obligation
+//! that replaces the v2 blanket parallelism ban:
+//!
+//! 7. **shared-state** — mutable state (interior-mutable types, mutable
+//!    statics) reachable from closures passed across parallel boundaries,
+//!    found directly or transitively through the call graph.
+//! 8. **commutativity** — order-sensitive folds (accumulation, captured
+//!    sinks) inside parallel regions; indexed write-back is the blessed
+//!    escape.
+//! 9. **lock-discipline** — lock pairs acquired in inconsistent order
+//!    across the call graph (deadlock cycles).
+//!
+//! When rules 7–8 are clean for a function, the determinism rule admits
+//! `par_iter`-style constructs in its replay-critical body (the v3
+//! relaxation); otherwise they are flagged as before.
+//!
+//! The analyzer additionally annotates every *allowlisted* panic site and
+//! every shared-state race site with its blast radius: which scheduler
+//! entry points can reach it, via which call path. Allow entries whose
+//! panic sites are unreachable from every entry point are reported as
+//! `stale-unreachable` so the allowlist shrinks as code is refactored.
 //!
 //! Files parse in parallel via the workspace's order-preserving
 //! `parallel_map`; parses are cached by content hash ([`cache`]). Reports
@@ -51,6 +67,7 @@
 pub mod ast;
 pub mod cache;
 pub mod callgraph;
+pub mod concurrency;
 pub mod dataflow;
 pub mod determinism;
 pub mod ledger;
@@ -74,7 +91,7 @@ use symbols::SymbolTable;
 pub const UNIT_SAFETY_CRATES: [&str; 4] = ["core", "cluster", "simnode", "baselines"];
 
 /// Format version of the JSON report.
-pub const REPORT_VERSION: u32 = 2;
+pub const REPORT_VERSION: u32 = 3;
 
 /// One allowlist entry: `rule file-suffix name  # reason`.
 #[derive(Debug, Clone)]
@@ -150,34 +167,41 @@ pub struct Summary {
     pub unit_taint: usize,
     /// ledger-coverage violations.
     pub ledger_coverage: usize,
+    /// shared-state violations.
+    pub shared_state: usize,
+    /// commutativity violations.
+    pub commutativity: usize,
+    /// lock-discipline violations.
+    pub lock_discipline: usize,
     /// Findings silenced by the allowlist.
     pub allowlisted: usize,
 }
 
-/// One entry-point → panic-site call path.
+/// One entry-point → site call path.
 #[derive(Debug, Clone, Serialize)]
-pub struct PanicRoute {
+pub struct CallRoute {
     /// Label of the entry point (`Clip::plan`, `run_with_faults`, …).
     pub entry: String,
     /// Function labels along the shortest path, entry first, the function
-    /// containing the panic site last.
+    /// containing the site last.
     pub path: Vec<String>,
 }
 
-/// Blast radius of one allowlisted panic site.
+/// Blast radius of one annotated site: an allowlisted panic, or a
+/// shared-state race (allowlisted or not).
 #[derive(Debug, Clone, Serialize)]
-pub struct PanicReachability {
-    /// Workspace-relative file of the panic site.
+pub struct SiteReachability {
+    /// Workspace-relative file of the site.
     pub file: String,
-    /// 1-based line of the panic site.
+    /// 1-based line of the site.
     pub line: u32,
-    /// Violation name (`unwrap`, `expect`, `panic`, `index`).
+    /// Violation name (`unwrap`, `expect`, a shared-state ident, …).
     pub name: String,
     /// Label of the function containing the site (empty at module scope).
     pub function: String,
     /// Entry points that can reach the site, with one shortest path each.
-    /// Empty means no scheduler entry point reaches this panic.
-    pub routes: Vec<PanicRoute>,
+    /// Empty means no scheduler entry point reaches this site.
+    pub routes: Vec<CallRoute>,
 }
 
 /// An allowlist entry whose every matched panic site is unreachable from
@@ -200,7 +224,11 @@ pub struct Report {
     /// Surviving violations, ordered by file then line.
     pub violations: Vec<Violation>,
     /// Blast radius of every allowlisted panic site.
-    pub panic_reachability: Vec<PanicReachability>,
+    pub panic_reachability: Vec<SiteReachability>,
+    /// Blast radius of every shared-state race site — surviving *and*
+    /// allowlisted, so an allow entry never hides which entry points can
+    /// reach the race.
+    pub race_reachability: Vec<SiteReachability>,
     /// Allow entries whose panic sites no entry point reaches.
     pub stale_unreachable: Vec<StaleUnreachable>,
     /// Aggregate counts.
@@ -261,6 +289,9 @@ pub fn build_report(
             Rule::Determinism => summary.determinism += 1,
             Rule::UnitTaint => summary.unit_taint += 1,
             Rule::LedgerCoverage => summary.ledger_coverage += 1,
+            Rule::SharedState => summary.shared_state += 1,
+            Rule::Commutativity => summary.commutativity += 1,
+            Rule::LockDiscipline => summary.lock_discipline += 1,
         }
     }
     let stale_allow = used
@@ -274,6 +305,7 @@ pub fn build_report(
             version: REPORT_VERSION,
             violations,
             panic_reachability: Vec::new(),
+            race_reachability: Vec::new(),
             stale_unreachable: Vec::new(),
             summary,
         },
@@ -294,7 +326,7 @@ pub struct SourceFile {
 /// Result of a full workspace analysis.
 #[derive(Debug)]
 pub struct Analysis {
-    /// The v2 report.
+    /// The v3 report.
     pub report: Report,
     /// Indices of allowlist entries that silenced nothing at all.
     pub stale_allow: Vec<usize>,
@@ -304,9 +336,15 @@ pub struct Analysis {
 
 /// Run the full pipeline over in-memory sources: parse (parallel, cached)
 /// → symbol table → per-file rules (parallel, with discovered enums) →
-/// call graph → transitive passes → allowlisted report with panic
-/// blast-radius annotations.
-pub fn analyze(sources: Vec<SourceFile>, allow: &[AllowEntry], cache: &ParseCache) -> Analysis {
+/// call graph → transitive passes → allowlisted report with panic and
+/// race blast-radius annotations.
+///
+/// Sources are sorted by path first so `FnId` numbering — and therefore
+/// every route and report byte — is independent of input order; together
+/// with the order-preserving `parallel_map` this is what makes the
+/// analysis pass its own shared-state and commutativity rules.
+pub fn analyze(mut sources: Vec<SourceFile>, allow: &[AllowEntry], cache: &ParseCache) -> Analysis {
+    sources.sort_by(|a, b| a.path.cmp(&b.path));
     let parsed: Vec<ParsedSource> = cluster_sim::sweep::parallel_map(sources, |s| ParsedSource {
         path: s.path,
         unit: cache.parse(&s.source),
@@ -334,7 +372,20 @@ pub fn analyze(sources: Vec<SourceFile>, allow: &[AllowEntry], cache: &ParseCach
 
     let graph = CallGraph::build(&parsed, &table);
     let entries = table.entry_points(&parsed);
-    findings.extend(determinism::check(&parsed, &table, &graph, &entries));
+    // The concurrency pass runs first: its dirty set (functions whose
+    // parallel regions have raw shared-state/commutativity findings)
+    // gates the determinism rule's v3 parallelism relaxation. Raw, not
+    // post-allowlist: allowlisting a race discharges the shared-state
+    // finding, not the stricter replay-determinism obligation.
+    let conc = concurrency::check(&parsed, &table, &graph);
+    findings.extend(determinism::check(
+        &parsed,
+        &table,
+        &graph,
+        &entries,
+        &conc.dirty,
+    ));
+    findings.extend(conc.violations);
     findings.extend(dataflow::check(&parsed, &table));
     findings.extend(ledger::check(&parsed, &table, &graph));
 
@@ -346,8 +397,8 @@ pub fn analyze(sources: Vec<SourceFile>, allow: &[AllowEntry], cache: &ParseCach
     report.summary.functions = table.fns.len();
     report.summary.entry_points = entries.len();
 
-    // Blast radius of every allowlisted panic site: which entry points
-    // reach it, via which shortest call path.
+    // Blast radius of every allowlisted panic site and every shared-state
+    // race site: which entry points reach it, via which shortest path.
     let path_index: BTreeMap<&str, usize> = parsed
         .iter()
         .enumerate()
@@ -361,13 +412,7 @@ pub fn analyze(sources: Vec<SourceFile>, allow: &[AllowEntry], cache: &ParseCach
         .iter()
         .map(|&e| (e, graph.parents_from(e), table.label(&parsed, e)))
         .collect();
-    let mut reach: Vec<PanicReachability> = Vec::new();
-    // allow-entry index → true while every matched site is unreachable.
-    let mut all_unreachable: BTreeMap<usize, bool> = BTreeMap::new();
-    for (allow_idx, v) in &allowlisted {
-        if v.rule != Rule::PanicFreedom {
-            continue;
-        }
+    let site_reach = |v: &Violation| -> SiteReachability {
         let mut function = String::new();
         let mut routes = Vec::new();
         let site_fn = path_index.get(v.file.as_str()).and_then(|&fi| {
@@ -379,34 +424,59 @@ pub fn analyze(sources: Vec<SourceFile>, allow: &[AllowEntry], cache: &ParseCach
             function = table.label(&parsed, id);
             for (entry, parents, entry_label) in &entry_trees {
                 if let Some(path) = callgraph::route(*entry, id, parents) {
-                    routes.push(PanicRoute {
+                    routes.push(CallRoute {
                         entry: entry_label.clone(),
                         path: path.iter().map(|&f| table.label(&parsed, f)).collect(),
                     });
                 }
             }
         }
-        let reachable = !routes.is_empty();
-        all_unreachable
-            .entry(*allow_idx)
-            .and_modify(|u| *u &= !reachable)
-            .or_insert(!reachable);
-        reach.push(PanicReachability {
+        SiteReachability {
             file: v.file.clone(),
             line: v.line,
             name: v.name.clone(),
             function,
             routes,
+        }
+    };
+    let finish = |mut reach: Vec<SiteReachability>| -> Vec<SiteReachability> {
+        reach.sort_by(|a, b| {
+            a.file
+                .cmp(&b.file)
+                .then(a.line.cmp(&b.line))
+                .then_with(|| a.name.cmp(&b.name))
         });
+        reach.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.name == b.name);
+        reach
+    };
+
+    let mut reach: Vec<SiteReachability> = Vec::new();
+    // allow-entry index → true while every matched site is unreachable.
+    let mut all_unreachable: BTreeMap<usize, bool> = BTreeMap::new();
+    for (allow_idx, v) in &allowlisted {
+        if v.rule != Rule::PanicFreedom {
+            continue;
+        }
+        let site = site_reach(v);
+        let reachable = !site.routes.is_empty();
+        all_unreachable
+            .entry(*allow_idx)
+            .and_modify(|u| *u &= !reachable)
+            .or_insert(!reachable);
+        reach.push(site);
     }
-    reach.sort_by(|a, b| {
-        a.file
-            .cmp(&b.file)
-            .then(a.line.cmp(&b.line))
-            .then_with(|| a.name.cmp(&b.name))
-    });
-    reach.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.name == b.name);
-    report.panic_reachability = reach;
+    report.panic_reachability = finish(reach);
+
+    // Races are annotated whether allowlisted or not: the allowlist can
+    // accept a race, but never hide its blast radius.
+    let races: Vec<SiteReachability> = report
+        .violations
+        .iter()
+        .chain(allowlisted.iter().map(|(_, v)| v))
+        .filter(|v| v.rule == Rule::SharedState)
+        .map(site_reach)
+        .collect();
+    report.race_reachability = finish(races);
     report.stale_unreachable = all_unreachable
         .iter()
         .filter(|(_, &unreachable)| unreachable)

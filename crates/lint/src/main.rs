@@ -1,12 +1,15 @@
 //! The `clip-lint` CLI: analyze the workspace, apply the allowlist, report.
 //!
 //! ```text
-//! clip-lint [--json] [--sarif PATH] [--allowlist PATH] [ROOT]
+//! clip-lint [--json] [--sarif PATH] [--allowlist PATH] [--timings PATH]
+//!           [--schema-version] [ROOT]
 //! ```
 //!
 //! Exits 0 when no violations survive the allowlist, 1 otherwise, 2 on
-//! usage or I/O errors. `scripts/check.sh` runs it as a hard gate and
-//! records the analyzer wall-time it prints to stderr.
+//! usage or I/O errors. `scripts/check.sh` runs it as a hard gate:
+//! `--schema-version` prints the bare report version (its schema gate),
+//! and `--timings` writes wall-time plus parse-cache stats as JSON (its
+//! `BENCH_lint.json` ratchet input).
 
 use clip_lint::{cache::ParseCache, parse_allowlist, sarif, AllowEntry, Analysis};
 use std::path::{Path, PathBuf};
@@ -15,22 +18,27 @@ use std::time::Instant;
 
 struct Args {
     json: bool,
+    schema_version: bool,
     sarif: Option<PathBuf>,
     allowlist: Option<PathBuf>,
+    timings: Option<PathBuf>,
     root: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         json: false,
+        schema_version: false,
         sarif: None,
         allowlist: None,
+        timings: None,
         root: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => args.json = true,
+            "--schema-version" => args.schema_version = true,
             "--sarif" => {
                 let path = it.next().ok_or("--sarif needs a path")?;
                 args.sarif = Some(PathBuf::from(path));
@@ -39,9 +47,14 @@ fn parse_args() -> Result<Args, String> {
                 let path = it.next().ok_or("--allowlist needs a path")?;
                 args.allowlist = Some(PathBuf::from(path));
             }
+            "--timings" => {
+                let path = it.next().ok_or("--timings needs a path")?;
+                args.timings = Some(PathBuf::from(path));
+            }
             "--help" | "-h" => {
                 return Err(
-                    "usage: clip-lint [--json] [--sarif PATH] [--allowlist PATH] [ROOT]"
+                    "usage: clip-lint [--json] [--sarif PATH] [--allowlist PATH] \
+                     [--timings PATH] [--schema-version] [ROOT]"
                         .to_string(),
                 )
             }
@@ -71,6 +84,12 @@ fn find_workspace_root(start: &Path) -> Option<PathBuf> {
 
 fn run() -> Result<bool, String> {
     let args = parse_args()?;
+    if args.schema_version {
+        // The bare number, nothing else: `scripts/check.sh` compares it
+        // verbatim instead of grepping the JSON report.
+        println!("{}", clip_lint::REPORT_VERSION);
+        return Ok(true);
+    }
     let root = match args.root {
         Some(r) => r,
         None => {
@@ -142,7 +161,8 @@ fn run() -> Result<bool, String> {
         println!(
             "clip-lint: {} file(s), {} fn(s), {} entry point(s), {} violation(s) \
              ({} unit-safety, {} panic-freedom, {} exhaustiveness, {} determinism, \
-             {} unit-taint, {} ledger-coverage), {} allowlisted",
+             {} unit-taint, {} ledger-coverage, {} shared-state, {} commutativity, \
+             {} lock-discipline), {} allowlisted",
             s.files_scanned,
             s.functions,
             s.entry_points,
@@ -153,6 +173,9 @@ fn run() -> Result<bool, String> {
             s.determinism,
             s.unit_taint,
             s.ledger_coverage,
+            s.shared_state,
+            s.commutativity,
+            s.lock_discipline,
             s.allowlisted
         );
         let reachable = report
@@ -165,11 +188,42 @@ fn run() -> Result<bool, String> {
             report.panic_reachability.len(),
             reachable
         );
+        let race_reachable = report
+            .race_reachability
+            .iter()
+            .filter(|p| !p.routes.is_empty())
+            .count();
+        println!(
+            "clip-lint: {} shared-state race site(s), {} reachable from scheduler entry points",
+            report.race_reachability.len(),
+            race_reachable
+        );
     }
     eprintln!(
         "clip-lint: analyzed in {elapsed_ms:.1} ms (parse cache: {} hits, {} misses)",
         cache_stats.hits, cache_stats.misses
     );
+    if let Some(timings_path) = &args.timings {
+        let total = cache_stats.hits + cache_stats.misses;
+        let hit_rate = if total == 0 {
+            0.0
+        } else {
+            cache_stats.hits as f64 / total as f64
+        };
+        let text = format!(
+            "{{\n  \"wall_ms\": {elapsed_ms:.1},\n  \"cache_hits\": {},\n  \
+             \"cache_misses\": {},\n  \"cache_hit_rate\": {hit_rate:.3},\n  \
+             \"files_scanned\": {}\n}}\n",
+            cache_stats.hits, cache_stats.misses, report.summary.files_scanned
+        );
+        if let Some(parent) = timings_path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+            }
+        }
+        std::fs::write(timings_path, text)
+            .map_err(|e| format!("{}: {e}", timings_path.display()))?;
+    }
     Ok(report.summary.total == 0)
 }
 

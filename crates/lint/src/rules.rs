@@ -15,8 +15,10 @@
 //!
 //! The workspace-wide v2 rules (determinism, unit-taint, ledger-coverage)
 //! live in [`crate::determinism`], [`crate::dataflow`] and
-//! [`crate::ledger`]; their [`Rule`] variants are declared here so every
-//! finding shares one [`Violation`] shape and one allowlist keying scheme.
+//! [`crate::ledger`], and the v3 concurrency rules (shared-state,
+//! commutativity, lock-discipline) in [`crate::concurrency`]; their
+//! [`Rule`] variants are declared here so every finding shares one
+//! [`Violation`] shape and one allowlist keying scheme.
 
 use crate::lexer::Token;
 use serde::Serialize;
@@ -60,6 +62,14 @@ pub enum Rule {
     /// A `PowerScheduler` impl whose `plan`/`plan_subset` never reaches
     /// `BudgetLedger`.
     LedgerCoverage,
+    /// Mutable state reachable from a closure passed across a parallel
+    /// boundary.
+    SharedState,
+    /// Order-sensitive fold (accumulation, shared sink) inside a
+    /// parallel region.
+    Commutativity,
+    /// Lock pair acquired in inconsistent order across the call graph.
+    LockDiscipline,
 }
 
 // Serialized as the stable kebab-case name, matching the allowlist key.
@@ -71,13 +81,16 @@ impl Serialize for Rule {
 
 impl Rule {
     /// Every rule, in report order (drives the SARIF rule descriptors).
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 9] = [
         Rule::UnitSafety,
         Rule::PanicFreedom,
         Rule::Exhaustiveness,
         Rule::Determinism,
         Rule::UnitTaint,
         Rule::LedgerCoverage,
+        Rule::SharedState,
+        Rule::Commutativity,
+        Rule::LockDiscipline,
     ];
 
     /// One-line description for tooling surfaces (SARIF, docs).
@@ -95,6 +108,13 @@ impl Rule {
             Rule::LedgerCoverage => {
                 "every PowerScheduler plan must transitively reach BudgetLedger"
             }
+            Rule::SharedState => {
+                "no mutable state reachable from closures crossing a parallel boundary"
+            }
+            Rule::Commutativity => {
+                "parallel folds must be order-independent (indexed write-back or allowlisted)"
+            }
+            Rule::LockDiscipline => "locks must be acquired in one global order (no cycles)",
         }
     }
 
@@ -107,6 +127,9 @@ impl Rule {
             Rule::Determinism => "determinism",
             Rule::UnitTaint => "unit-taint",
             Rule::LedgerCoverage => "ledger-coverage",
+            Rule::SharedState => "shared-state",
+            Rule::Commutativity => "commutativity",
+            Rule::LockDiscipline => "lock-discipline",
         }
     }
 }

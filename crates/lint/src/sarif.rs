@@ -94,6 +94,7 @@ mod tests {
             version: REPORT_VERSION,
             violations,
             panic_reachability: Vec::new(),
+            race_reachability: Vec::new(),
             stale_unreachable: Vec::new(),
             summary: Summary::default(),
         }

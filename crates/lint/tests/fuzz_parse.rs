@@ -47,4 +47,53 @@ proptest! {
             prop_assert!(lo <= hi && *hi <= unit.tokens.len());
         }
     }
+
+    /// Closure-shaped soup stresses the v3 capture-parsing path: pipes in
+    /// every position (closure heads, match-arm alternation, bitwise or),
+    /// `move`, compound assignments, `static` items and generic bounds.
+    /// The parser must stay total and every recorded closure/static span
+    /// must be well-formed.
+    #[test]
+    fn closure_parsing_total_on_pipe_soup(words in proptest::collection::vec(
+        prop_oneof![
+            Just("|"), Just("||"), Just("move"), Just("=>"), Just("=") ,
+            Just("+="), Just("-="), Just("*="), Just("/="), Just("%="),
+            Just("static"), Just("mut"), Just("let"), Just("fn"), Just("where"),
+            Just("Fn"), Just("Sync"), Just("Send"), Just(":"), Just("+"),
+            Just("{"), Just("}"), Just("("), Just(")"), Just("["), Just("]"),
+            Just("<"), Just(">"), Just(","), Just(";"), Just("x"), Just("y"),
+        ],
+        0..96))
+    {
+        let source = words.join(" ");
+        let unit = clip_lint::ast::parse_unit(&source);
+        let n = unit.tokens.len();
+        for c in &unit.index.closures {
+            let (lo, hi) = c.body;
+            prop_assert!(lo <= hi && hi < n.max(1), "closure span {lo}..={hi} of {n}");
+            prop_assert!(c.line >= 1);
+            // Params are identifier words, never punctuation.
+            prop_assert!(c.params.iter().all(|p| !p.is_empty()));
+        }
+        for s in &unit.index.statics {
+            prop_assert!(!s.name.is_empty());
+        }
+        for f in &unit.index.fns {
+            // Generic-bound collection must never invent empty names.
+            prop_assert!(f.generic_bounds.iter().all(|(name, _)| !name.is_empty()));
+        }
+    }
+
+    /// Arbitrary bytes through the whole v3 surface: closures, statics and
+    /// generic bounds recorded from byte soup keep their invariants.
+    #[test]
+    fn closure_index_total_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let source = String::from_utf8_lossy(&bytes);
+        let unit = clip_lint::ast::parse_unit(&source);
+        let n = unit.tokens.len();
+        for c in &unit.index.closures {
+            let (lo, hi) = c.body;
+            prop_assert!(lo <= hi && hi < n.max(1), "closure span {lo}..={hi} of {n}");
+        }
+    }
 }

@@ -1,10 +1,12 @@
-//! Golden test pinning the `clip-lint --json` report shape (schema v2).
+//! Golden test pinning the `clip-lint --json` report shape (schema v3).
 //!
 //! Downstream tooling parses this document; any field rename, reorder or
 //! type change must show up here as a deliberate diff (and a bump of
 //! `REPORT_VERSION`). The fixture runs the full `analyze()` pipeline so
-//! the transitive sections — `panic_reachability` blast radius and
-//! `stale_unreachable` allowlist pruning — are pinned too.
+//! the transitive sections — `panic_reachability` and `race_reachability`
+//! blast radius and `stale_unreachable` allowlist pruning — are pinned
+//! too, and all three v3 concurrency rule families (shared-state,
+//! commutativity, lock-discipline) emit findings on the fixture.
 
 use clip_lint::cache::ParseCache;
 use clip_lint::{analyze, parse_allowlist, SourceFile};
@@ -60,14 +62,83 @@ pub fn pool_changed(tag: ImpactTag) -> bool {
 }
 "#;
 
+/// The concurrency fixture: a `parallel_map`-shaped fork-join helper
+/// (auto-discovered as a parallel boundary from its `Fn… + Sync` bound),
+/// an `EpochEngine::coordinate` entry point whose parallel closure races
+/// on a static through a callee (shared-state, with a blast-radius route)
+/// and accumulates into a captured float (commutativity), and a lock pair
+/// acquired in both orders (lock-discipline).
+const CONC: &str = r#"
+pub fn parallel_map<T: Send, R: Send, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    F: Fn(T) -> R + Sync,
+{
+    loop {}
+}
+
+pub struct Racy {
+    pub hits: Mutex<u64>,
+    pub slots: Mutex<u64>,
+}
+
+impl Racy {
+    pub fn forward(&self) {
+        self.hits.lock();
+        self.slots.lock();
+    }
+    pub fn backward(&self) {
+        self.slots.lock();
+        self.hits.lock();
+    }
+}
+
+static TOTAL: AtomicU64 = AtomicU64::new(0);
+
+fn bump() {
+    TOTAL.fetch_add(1);
+}
+
+impl EpochEngine {
+    pub fn coordinate(&mut self, racks: Vec<u64>) {
+        let mut acc = 0.0;
+        parallel_map(racks, |r| {
+            bump();
+            acc += 1.0;
+            r
+        });
+    }
+}
+"#;
+
 const ALLOW: &str = "\
 panic-freedom crates/core/src/sched.rs index  # helper index, reachable from Clip::plan
 panic-freedom crates/core/src/offline.rs index  # nothing calls cold()
 ";
 
 const GOLDEN: &str = r#"{
-  "version": 2,
+  "version": 3,
   "violations": [
+    {
+      "rule": "lock-discipline",
+      "file": "crates/cluster/src/shard.rs",
+      "line": 17,
+      "name": "Racy.hits",
+      "message": "lock-order cycle: `Racy.hits` and `Racy.slots` are acquired in inconsistent order (deadlock risk once regions run in parallel); impose one acquisition order"
+    },
+    {
+      "rule": "shared-state",
+      "file": "crates/cluster/src/shard.rs",
+      "line": 34,
+      "name": "TOTAL",
+      "message": "closure passed to `parallel_map` reaches interior-mutable static `TOTAL` via `bump`: shared mutable state across a parallel boundary"
+    },
+    {
+      "rule": "commutativity",
+      "file": "crates/cluster/src/shard.rs",
+      "line": 36,
+      "name": "acc",
+      "message": "order-sensitive accumulation into captured `acc` inside a closure passed to `parallel_map`; use indexed write-back or allowlist with a reason"
+    },
     {
       "rule": "unit-safety",
       "file": "crates/core/src/sched.rs",
@@ -98,17 +169,33 @@ const GOLDEN: &str = r#"{
       "function": "helper",
       "routes": [
         {
+          "entry": "EpochEngine::run",
+          "path": [
+            "EpochEngine::run",
+            "helper"
+          ]
+        },
+        {
           "entry": "Clip::plan",
           "path": [
             "Clip::plan",
             "helper"
           ]
-        },
+        }
+      ]
+    }
+  ],
+  "race_reachability": [
+    {
+      "file": "crates/cluster/src/shard.rs",
+      "line": 34,
+      "name": "TOTAL",
+      "function": "EpochEngine::coordinate",
+      "routes": [
         {
-          "entry": "EpochEngine::run",
+          "entry": "EpochEngine::coordinate",
           "path": [
-            "EpochEngine::run",
-            "helper"
+            "EpochEngine::coordinate"
           ]
         }
       ]
@@ -122,22 +209,25 @@ const GOLDEN: &str = r#"{
     }
   ],
   "summary": {
-    "files_scanned": 4,
-    "functions": 5,
-    "entry_points": 2,
-    "total": 2,
+    "files_scanned": 5,
+    "functions": 10,
+    "entry_points": 3,
+    "total": 5,
     "unit_safety": 1,
     "panic_freedom": 0,
     "exhaustiveness": 1,
     "determinism": 0,
     "unit_taint": 0,
     "ledger_coverage": 0,
+    "shared_state": 1,
+    "commutativity": 1,
+    "lock_discipline": 1,
     "allowlisted": 2
   }
 }"#;
 
 /// The SARIF rendering of the same report, pinned for the CI
-/// annotation path (one result per surviving violation, all six rules
+/// annotation path (one result per surviving violation, all nine rules
 /// declared on the driver).
 const GOLDEN_SARIF: &str = r#"{
   "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
@@ -147,7 +237,7 @@ const GOLDEN_SARIF: &str = r#"{
       "tool": {
         "driver": {
           "name": "clip-lint",
-          "version": "2.0.0",
+          "version": "3.0.0",
           "rules": [
             {
               "id": "unit-safety",
@@ -184,11 +274,86 @@ const GOLDEN_SARIF: &str = r#"{
               "shortDescription": {
                 "text": "every PowerScheduler plan must transitively reach BudgetLedger"
               }
+            },
+            {
+              "id": "shared-state",
+              "shortDescription": {
+                "text": "no mutable state reachable from closures crossing a parallel boundary"
+              }
+            },
+            {
+              "id": "commutativity",
+              "shortDescription": {
+                "text": "parallel folds must be order-independent (indexed write-back or allowlisted)"
+              }
+            },
+            {
+              "id": "lock-discipline",
+              "shortDescription": {
+                "text": "locks must be acquired in one global order (no cycles)"
+              }
             }
           ]
         }
       },
       "results": [
+        {
+          "ruleId": "lock-discipline",
+          "level": "error",
+          "message": {
+            "text": "lock-order cycle: `Racy.hits` and `Racy.slots` are acquired in inconsistent order (deadlock risk once regions run in parallel); impose one acquisition order"
+          },
+          "locations": [
+            {
+              "physicalLocation": {
+                "artifactLocation": {
+                  "uri": "crates/cluster/src/shard.rs"
+                },
+                "region": {
+                  "startLine": 17
+                }
+              }
+            }
+          ]
+        },
+        {
+          "ruleId": "shared-state",
+          "level": "error",
+          "message": {
+            "text": "closure passed to `parallel_map` reaches interior-mutable static `TOTAL` via `bump`: shared mutable state across a parallel boundary"
+          },
+          "locations": [
+            {
+              "physicalLocation": {
+                "artifactLocation": {
+                  "uri": "crates/cluster/src/shard.rs"
+                },
+                "region": {
+                  "startLine": 34
+                }
+              }
+            }
+          ]
+        },
+        {
+          "ruleId": "commutativity",
+          "level": "error",
+          "message": {
+            "text": "order-sensitive accumulation into captured `acc` inside a closure passed to `parallel_map`; use indexed write-back or allowlist with a reason"
+          },
+          "locations": [
+            {
+              "physicalLocation": {
+                "artifactLocation": {
+                  "uri": "crates/cluster/src/shard.rs"
+                },
+                "region": {
+                  "startLine": 36
+                }
+              }
+            }
+          ]
+        },
         {
           "ruleId": "unit-safety",
           "level": "error",
@@ -252,6 +417,10 @@ fn json_report_shape_is_stable() {
         SourceFile {
             path: "crates/obs/src/event.rs".to_string(),
             source: OBS.to_string(),
+        },
+        SourceFile {
+            path: "crates/cluster/src/shard.rs".to_string(),
+            source: CONC.to_string(),
         },
     ];
     let cache = ParseCache::new();

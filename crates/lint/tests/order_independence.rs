@@ -1,0 +1,93 @@
+//! Property: the full analysis is order-independent — clip-lint passes
+//! its own concurrency rules in practice, not just in review. The
+//! pipeline parses file-parallel via `parallel_map` and shares an FNV
+//! parse cache across runs; neither the order the files arrive in nor
+//! the cache's hot/cold state may change a single byte of the JSON
+//! report. (`analyze` sorts sources by path before numbering functions,
+//! which is what makes route selection canonical.)
+
+use clip_lint::cache::ParseCache;
+use clip_lint::{analyze, SourceFile};
+use proptest::prelude::*;
+
+/// A fixture with findings from every rule generation: v1 per-file
+/// (unit-safety), v2 transitive (panic blast radius), and all three v3
+/// concurrency families, so the report has non-trivial content in every
+/// section that could depend on traversal order.
+fn fixture() -> Vec<SourceFile> {
+    let mk = |path: &str, source: &str| SourceFile {
+        path: path.to_string(),
+        source: source.to_string(),
+    };
+    vec![
+        mk(
+            "crates/core/src/sched.rs",
+            "impl PowerScheduler for Clip { fn plan(&mut self, budget_watts: f64) { helper(); } }\n\
+             fn helper() { let l = BudgetLedger::new(); let xs = vec![1]; let v = xs[0]; }\n",
+        ),
+        mk(
+            "crates/core/src/engine.rs",
+            "pub struct EpochEngine;\nimpl EpochEngine { pub fn run(&mut self) { helper(); } }\n",
+        ),
+        mk(
+            "crates/core/src/offline.rs",
+            "pub fn cold(states: &[f64]) -> f64 { states[1] }\n",
+        ),
+        mk(
+            "crates/cluster/src/shard.rs",
+            "pub fn parallel_map<T: Send, R: Send, F>(items: Vec<T>, f: F) -> Vec<R> \
+             where F: Fn(T) -> R + Sync { loop {} }\n\
+             static TOTAL: AtomicU64 = AtomicU64::new(0);\n\
+             fn bump() { TOTAL.fetch_add(1); }\n\
+             impl EpochEngine { pub fn coordinate(&mut self, racks: Vec<u64>) {\n\
+             let mut acc = 0.0;\n\
+             parallel_map(racks, |r| { bump(); acc += 1.0; r });\n} }\n",
+        ),
+        mk(
+            "crates/cluster/src/locks.rs",
+            "pub struct Pair { a: Mutex<u32>, b: Mutex<u32> }\nimpl Pair {\n\
+             pub fn forward(&self) { self.a.lock(); self.b.lock(); }\n\
+             pub fn backward(&self) { self.b.lock(); self.a.lock(); }\n}\n",
+        ),
+        mk(
+            "crates/obs/src/event.rs",
+            "#[derive(Debug, Clone, Serialize)]\npub enum Tag { A, B }\n\
+             pub fn f(t: Tag) -> bool { match t { Tag::A => true, _ => false } }\n",
+        ),
+    ]
+}
+
+fn report_json(sources: Vec<SourceFile>, cache: &ParseCache) -> String {
+    let analysis = analyze(sources, &[], cache);
+    serde_json::to_string_pretty(&analysis.report).expect("report serializes")
+}
+
+proptest! {
+    /// Any permutation of the file list, against a cold cache and against
+    /// a cache pre-warmed by a full prior run, yields the byte-identical
+    /// report.
+    #[test]
+    fn shuffled_files_and_cache_state_are_invisible(
+        keys in proptest::collection::vec(any::<u64>(), 6)
+    ) {
+        let baseline = report_json(fixture(), &ParseCache::new());
+
+        let files = fixture();
+        let mut order: Vec<usize> = (0..files.len()).collect();
+        order.sort_by_key(|&i| (keys.get(i).copied().unwrap_or(0), i));
+        let shuffled: Vec<SourceFile> =
+            order.iter().filter_map(|&i| files.get(i).cloned()).collect();
+        prop_assert_eq!(shuffled.len(), files.len());
+
+        // Cold cache, shuffled input.
+        let cold = report_json(shuffled.clone(), &ParseCache::new());
+        prop_assert_eq!(&cold, &baseline);
+
+        // Hot cache: every parse is a hit the second time around.
+        let cache = ParseCache::new();
+        let _ = report_json(fixture(), &cache);
+        let hot = report_json(shuffled, &cache);
+        prop_assert_eq!(&hot, &baseline);
+        prop_assert!(cache.stats().hits >= 6, "second run must hit the cache");
+    }
+}

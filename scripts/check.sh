@@ -21,20 +21,44 @@ cargo clippy --workspace --all-targets --offline -- -D warnings \
     -A clippy::indexing_slicing \
     -A clippy::panic
 
-echo "==> clip-lint (JSON schema gate + SARIF)"
-# The analyzer prints its wall-time and parse-cache stats to stderr; the
-# SARIF document lands where CI uploaders expect it. The report schema
-# version is pinned by the golden test and double-checked here so drift
-# in `clip-lint --json` output can never ship silently.
-cargo run -p clip-lint --offline --quiet -- --sarif target/clip-lint.sarif
-report_version="$(cargo run -p clip-lint --offline --quiet -- --json \
-    | grep -o '"version": [0-9]*' | head -n1 | grep -o '[0-9]*')"
-if [ "$report_version" != "2" ]; then
-    echo "clip-lint report schema drifted: version=$report_version, expected 2" >&2
+echo "==> clip-lint (schema gate + SARIF + wall-time ratchet)"
+# The report schema version is pinned by the golden test and
+# double-checked here — `--schema-version` prints the bare number, so the
+# gate no longer greps the JSON report. The analysis run writes its
+# wall-time and parse-cache stats to target/clip-lint-timings.json; the
+# ratchet below records them into BENCH_lint.json and fails the build if
+# the analyzer has grown past 2x its pinned wall-time baseline.
+report_version="$(cargo run -p clip-lint --offline --quiet -- --schema-version)"
+if [ "$report_version" != "3" ]; then
+    echo "clip-lint report schema drifted: version=$report_version, expected 3" >&2
     echo "(update crates/lint/tests/golden_json.rs and this gate together)" >&2
     exit 1
 fi
+cargo run -p clip-lint --offline --quiet -- \
+    --sarif target/clip-lint.sarif --timings target/clip-lint-timings.json
 test -s target/clip-lint.sarif || { echo "missing target/clip-lint.sarif" >&2; exit 1; }
+python3 - <<'PY'
+import json, sys
+
+bench = json.load(open("BENCH_lint.json"))
+cur = json.load(open("target/clip-lint-timings.json"))
+baseline = bench["baseline_wall_ms"]
+limit = 2.0 * baseline
+if cur["wall_ms"] > limit:
+    sys.exit(
+        f"clip-lint wall-time ratchet: {cur['wall_ms']:.1f} ms exceeds "
+        f"2x the {baseline:.1f} ms baseline (limit {limit:.1f} ms); "
+        "speed the analyzer up or re-pin BENCH_lint.json deliberately"
+    )
+bench["last"] = cur
+with open("BENCH_lint.json", "w") as f:
+    json.dump(bench, f, indent=2)
+    f.write("\n")
+print(
+    f"    lint ok: {cur['wall_ms']:.1f} ms (limit {limit:.1f} ms), "
+    f"cache hit-rate {cur['cache_hit_rate']:.0%} over {cur['files_scanned']} files"
+)
+PY
 
 # Ratchet: the `_obs` duplicate-API era is over. Every recorder hook is a
 # generic parameter on the one canonical entry point; a reappearing
