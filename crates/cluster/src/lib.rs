@@ -18,14 +18,20 @@
 //! - [`faults`]: deterministic, seeded fault injection — timelines of node
 //!   crashes, stragglers, cap-actuation jitter, and variability drift that
 //!   the degradation harness in `clip-core` replays against the fleet.
+//! - [`shard`]: rack-level fleet partitioning — the racks × nodes-per-rack
+//!   topology, global↔rack-local index translation, per-rack variability
+//!   seeds, and fault-plan routing for the two-level coordinator in
+//!   `clip_core::hierarchy` (ROADMAP item 1).
 
 pub mod faults;
 pub mod fleet;
 pub mod job;
+pub mod shard;
 pub mod sweep;
 pub mod variability;
 
 pub use faults::{apply_event, FaultEvent, FaultImpact, FaultKind, FaultPlan};
 pub use fleet::Cluster;
 pub use job::{run_job, JobReport, JobSpec, NodeOutcome};
+pub use shard::{split_faults, RackTopology, ShardedFleet};
 pub use variability::VariabilityModel;

@@ -24,14 +24,38 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    parallel_map_with(items, None, f)
+}
+
+/// [`parallel_map`] with an explicit worker count.
+///
+/// `workers: None` keeps the default heuristic (sequential under 5 items,
+/// otherwise one thread per core); `Some(1)` forces the sequential path;
+/// `Some(k)` spawns `min(k, items.len())` threads even for small inputs.
+/// The schedule-independence replay tests drive the same sharded campaign
+/// through 1, 2 and N workers and assert byte-identical traces — the
+/// explicit count is what makes that sweep expressible.
+pub fn parallel_map_with<T, R, F>(items: Vec<T>, workers: Option<usize>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
     let n = items.len();
-    if n <= 4 {
+    let sequential = match workers {
+        Some(w) => w <= 1 || n <= 1,
+        None => n <= 4,
+    };
+    if sequential {
         return items.into_iter().map(f).collect();
     }
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n);
+    let workers = match workers {
+        Some(w) => w.min(n),
+        None => std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+            .min(n),
+    };
 
     // Work queue of (index, item); results gathered by index. Each call of
     // `f` runs under `catch_unwind`, so no lock is ever held across a
@@ -116,6 +140,22 @@ mod tests {
         });
         assert_eq!(out.len(), 500);
         assert_eq!(counter.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn explicit_worker_counts_agree_with_sequential() {
+        let items: Vec<u64> = (0..37).collect();
+        let seq = parallel_map_with(items.clone(), Some(1), |x| x * 3);
+        for workers in [2usize, 3, 8] {
+            let par = parallel_map_with(items.clone(), Some(workers), |x| x * 3);
+            assert_eq!(par, seq, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn explicit_workers_parallelize_small_inputs() {
+        let out = parallel_map_with(vec![1, 2, 3], Some(2), |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
     }
 
     #[test]

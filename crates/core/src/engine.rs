@@ -313,6 +313,56 @@ impl<R: Recorder> EpochPolicy<R> for PhaseSchedule {
     }
 }
 
+/// Mutable state threaded through one engine run: the live plan plus the
+/// accumulating report fields.
+///
+/// Produced by [`EpochEngine::begin_run`], advanced by
+/// [`EpochEngine::prepare_epoch`] / [`EpochEngine::settle_epoch`], and
+/// consumed by [`EpochEngine::finish_run`]. [`EpochEngine::run`] drives the
+/// four phases back to back; the sharded coordinator in
+/// [`crate::hierarchy`] instead holds one `RunState` per rack so the
+/// sequential prepare/settle phases can interleave across racks around a
+/// parallel execute phase.
+pub struct RunState {
+    name: String,
+    /// The live plan the current epoch executes under.
+    pub plan: SchedulePlan,
+    epochs: Vec<EpochRecord>,
+    recoveries: Vec<Recovery>,
+    injected_overshoots: usize,
+    // A pool-changing boundary arms a re-plan for the next epoch
+    // boundary; the wall time and reclaimed watts of the degraded
+    // epoch ride along.
+    pending: Option<(usize, Power)>,
+    degraded_time: TimeSpan,
+}
+
+impl RunState {
+    /// Completed crash-recovery cycles so far.
+    pub fn recoveries(&self) -> &[Recovery] {
+        &self.recoveries
+    }
+
+    /// Per-epoch records so far.
+    pub fn epochs(&self) -> &[EpochRecord] {
+        &self.epochs
+    }
+}
+
+/// The sequential prologue's product for one epoch: everything the
+/// execute phase needs, computed before the plan runs (planning, plan
+/// audit and boundary trace emission stay in [`EpochEngine::prepare_epoch`];
+/// the actuation audit and epoch record land in
+/// [`EpochEngine::settle_epoch`]).
+pub struct EpochPrep {
+    replanned: bool,
+    boundary: Boundary,
+    /// The epoch's staged app override, if the policy switched phases;
+    /// the execute phase runs `staged.as_ref().unwrap_or(base_app)`.
+    pub staged: Option<AppModel>,
+    ledger: BudgetLedger,
+}
+
 /// The recorder-generic epoch engine.
 ///
 /// Owns the cluster budget, the current epoch stamp and the recorder; the
@@ -352,6 +402,14 @@ impl<R: Recorder> EpochEngine<R> {
     /// progress, like the dispatcher's start index, set it per step).
     pub fn set_epoch(&mut self, epoch: u64) {
         self.epoch = epoch;
+    }
+
+    /// Re-target the budget every subsequent epoch is audited against.
+    /// The cluster-level arbiter re-grants per-rack budgets each epoch;
+    /// callers that shrink the budget mid-run must force a re-plan before
+    /// the next plan audit (a stale plan may overshoot the new bound).
+    pub fn set_budget(&mut self, budget: Power) {
+        self.budget = budget;
     }
 
     /// Direct access to the recorder, for driver-level events and metrics.
@@ -424,6 +482,31 @@ impl<R: Recorder> EpochEngine<R> {
         policy: &mut P,
         cfg: &FaultHarnessConfig,
     ) -> FaultRunReport {
+        let mut state = self.begin_run(scheduler, cluster, app, policy, cfg);
+        for epoch in 0..cfg.epochs {
+            let prep = self.prepare_epoch(&mut state, scheduler, cluster, app, policy, epoch);
+            let report = self.execute(
+                cluster,
+                prep.staged.as_ref().unwrap_or(app),
+                &state.plan,
+                cfg.iterations_per_epoch,
+            );
+            self.settle_epoch(&mut state, prep, &report, epoch);
+        }
+        self.finish_run(state, scheduler, cluster)
+    }
+
+    /// Phase 1 of the cycle: validate the config, announce the run,
+    /// coordinate the epoch-0 plan over the live pool. Returns the run
+    /// state the remaining phases thread through.
+    pub fn begin_run<P: EpochPolicy<R>>(
+        &mut self,
+        scheduler: &mut dyn PowerScheduler,
+        cluster: &mut Cluster,
+        app: &AppModel,
+        policy: &mut P,
+        cfg: &FaultHarnessConfig,
+    ) -> RunState {
         assert!(cfg.epochs > 0, "need at least one epoch");
         assert!(cfg.iterations_per_epoch > 0, "need at least one iteration");
 
@@ -440,169 +523,215 @@ impl<R: Recorder> EpochEngine<R> {
         }
         self.epoch = 0;
         let staged = policy.app_for_epoch(0).cloned();
-        let mut plan = self.coordinate(
+        let plan = self.coordinate(
             scheduler,
             cluster,
             staged.as_ref().unwrap_or(app),
             self.budget,
             &alive,
         );
+        RunState {
+            name,
+            plan,
+            epochs: Vec::with_capacity(cfg.epochs),
+            recoveries: Vec::new(),
+            injected_overshoots: 0,
+            pending: None,
+            degraded_time: TimeSpan::ZERO,
+        }
+    }
 
-        let mut epochs: Vec<EpochRecord> = Vec::with_capacity(cfg.epochs);
-        let mut recoveries: Vec<Recovery> = Vec::new();
-        let mut injected_overshoots = 0usize;
+    /// Phase 2, the sequential epoch prologue: recover from an armed pool
+    /// change, fire the policy boundary, re-plan when forced, audit the
+    /// plan against the budget. Everything that plans, audits or emits
+    /// boundary trace events happens here, before the execute phase.
+    pub fn prepare_epoch<P: EpochPolicy<R>>(
+        &mut self,
+        state: &mut RunState,
+        scheduler: &mut dyn PowerScheduler,
+        cluster: &mut Cluster,
+        app: &AppModel,
+        policy: &mut P,
+        epoch: usize,
+    ) -> EpochPrep {
+        let ep = epoch as u64;
+        self.epoch = ep;
+        let mut replanned = false;
+        let staged = policy.app_for_epoch(epoch).cloned();
+        let app_e = staged.as_ref().unwrap_or(app);
 
-        // A pool-changing boundary arms a re-plan for the next epoch
-        // boundary; the wall time and reclaimed watts of the degraded
-        // epoch ride along.
-        let mut pending: Option<(usize, Power)> = None;
-        let mut degraded_time = TimeSpan::ZERO;
-
-        for epoch in 0..cfg.epochs {
-            let ep = epoch as u64;
-            self.epoch = ep;
-            let mut replanned = false;
-            let staged = policy.app_for_epoch(epoch).cloned();
-            let app_e = staged.as_ref().unwrap_or(app);
-
-            // 1. Recover from the previous epoch's pool change: Algorithm 1
-            //    over the survivors, full budget.
-            if let Some((fault_epoch, reclaimed)) = pending.take() {
-                let alive = cluster.alive_nodes();
-                plan = self.coordinate(scheduler, cluster, app_e, self.budget, &alive);
-                replanned = true;
-                if self.rec.enabled() {
-                    self.rec.observe("ttr_secs", degraded_time.as_secs());
-                    self.rec.event_with(ep, || clip_obs::TraceEvent::Recovered {
-                        fault_epoch: fault_epoch as u64,
-                        recovered_epoch: ep,
-                        time_to_recover: degraded_time,
-                        reclaimed,
-                    });
-                }
-                recoveries.push(Recovery {
-                    fault_epoch,
-                    recovered_epoch: epoch,
+        // 1. Recover from the previous epoch's pool change: Algorithm 1
+        //    over the survivors, full budget.
+        if let Some((fault_epoch, reclaimed)) = state.pending.take() {
+            let alive = cluster.alive_nodes();
+            state.plan = self.coordinate(scheduler, cluster, app_e, self.budget, &alive);
+            replanned = true;
+            if self.rec.enabled() {
+                self.rec.observe("ttr_secs", state.degraded_time.as_secs());
+                let degraded_time = state.degraded_time;
+                self.rec.event_with(ep, || clip_obs::TraceEvent::Recovered {
+                    fault_epoch: fault_epoch as u64,
+                    recovered_epoch: ep,
                     time_to_recover: degraded_time,
                     reclaimed,
                 });
             }
+            state.recoveries.push(Recovery {
+                fault_epoch,
+                recovered_epoch: epoch,
+                time_to_recover: state.degraded_time,
+                reclaimed,
+            });
+        }
 
-            // 2. The policy boundary: fire this epoch's external events.
-            let boundary = policy.epoch_boundary(cluster, &mut plan, epoch, &mut self.rec);
-            if boundary.pool_changed {
-                let entry = pending.get_or_insert((epoch, Power::ZERO));
-                entry.1 += boundary.reclaimed;
-            }
+        // 2. The policy boundary: fire this epoch's external events.
+        let boundary = policy.epoch_boundary(cluster, &mut state.plan, epoch, &mut self.rec);
+        if boundary.pool_changed {
+            let entry = state.pending.get_or_insert((epoch, Power::ZERO));
+            entry.1 += boundary.reclaimed;
+        }
 
-            // A crash can empty the current plan (every participant died):
-            // re-coordinate immediately rather than skip the epoch.
-            if plan.node_ids.is_empty() {
-                let alive = cluster.alive_nodes();
-                plan = self.coordinate(scheduler, cluster, app_e, self.budget, &alive);
-                replanned = true;
-                if let Some((fault_epoch, reclaimed)) = pending.take() {
-                    if self.rec.enabled() {
-                        self.rec.observe("ttr_secs", 0.0);
-                        self.rec.event_with(ep, || clip_obs::TraceEvent::Recovered {
-                            fault_epoch: fault_epoch as u64,
-                            recovered_epoch: ep,
-                            time_to_recover: TimeSpan::ZERO,
-                            reclaimed,
-                        });
-                    }
-                    recoveries.push(Recovery {
-                        fault_epoch,
-                        recovered_epoch: epoch,
+        // A crash can empty the current plan (every participant died):
+        // re-coordinate immediately rather than skip the epoch.
+        if state.plan.node_ids.is_empty() {
+            let alive = cluster.alive_nodes();
+            state.plan = self.coordinate(scheduler, cluster, app_e, self.budget, &alive);
+            replanned = true;
+            if let Some((fault_epoch, reclaimed)) = state.pending.take() {
+                if self.rec.enabled() {
+                    self.rec.observe("ttr_secs", 0.0);
+                    self.rec.event_with(ep, || clip_obs::TraceEvent::Recovered {
+                        fault_epoch: fault_epoch as u64,
+                        recovered_epoch: ep,
                         time_to_recover: TimeSpan::ZERO,
                         reclaimed,
                     });
                 }
-            } else if boundary.replan_now {
-                // A phase transition re-plans at this boundary, for this
-                // epoch's own app; nothing was lost, so no recovery cycle.
-                let alive = cluster.alive_nodes();
-                plan = self.coordinate(scheduler, cluster, app_e, self.budget, &alive);
-                replanned = true;
+                state.recoveries.push(Recovery {
+                    fault_epoch,
+                    recovered_epoch: epoch,
+                    time_to_recover: TimeSpan::ZERO,
+                    reclaimed,
+                });
             }
-
-            // 3. Execute the epoch under the (possibly degraded) plan,
-            //    with a harness-level audit of programmed and measured
-            //    power.
-            let jitter = plan
-                .node_ids
-                .iter()
-                .map(|&id| cluster.node(id).cap_jitter().abs())
-                .fold(0.0, f64::max);
-            let ledger = BudgetLedger::new(&name, self.budget).with_injected_jitter(jitter);
-            ledger.audit_plan(&plan);
-
-            let report = self.execute(cluster, app_e, &plan, cfg.iterations_per_epoch);
-            degraded_time = report.total_time;
-
-            let injected_overshoot =
-                match ledger.audit_actuation(&plan, report.cluster_power, ep, &mut self.rec) {
-                    ActuationCheck::Nominal => false,
-                    ActuationCheck::InjectedJitter => {
-                        injected_overshoots += 1;
-                        true
-                    }
-                };
-
-            if self.rec.enabled() {
-                self.rec.counter_add("epochs_total", 1);
-                if replanned {
-                    self.rec.counter_add("replans_total", 1);
-                }
-                self.rec
-                    .observe("epoch_time_secs", report.total_time.as_secs());
-                if self.budget.as_watts() > 0.0 {
-                    self.rec.observe(
-                        "budget_utilization",
-                        report.cluster_power.as_watts() / self.budget.as_watts(),
-                    );
-                }
-                let budget = self.budget;
-                let caps_total = plan.total_caps();
-                let measured = report.cluster_power;
-                let performance = report.performance();
-                let wall = report.total_time;
-                self.rec
-                    .event_with(ep, || clip_obs::TraceEvent::EpochCompleted {
-                        budget,
-                        caps_total,
-                        measured,
-                        performance,
-                        wall,
-                        replanned,
-                    });
-            }
-
-            epochs.push(EpochRecord {
-                epoch,
-                replanned,
-                node_ids: plan.node_ids.clone(),
-                caps_total: plan.total_caps(),
-                measured_power: report.cluster_power,
-                performance: report.performance(),
-                epoch_time: report.total_time,
-                events_applied: boundary.events_applied,
-                events_ignored: boundary.events_ignored,
-                injected_overshoot,
-            });
+        } else if boundary.replan_now {
+            // A phase transition re-plans at this boundary, for this
+            // epoch's own app; nothing was lost, so no recovery cycle.
+            let alive = cluster.alive_nodes();
+            state.plan = self.coordinate(scheduler, cluster, app_e, self.budget, &alive);
+            replanned = true;
         }
 
+        // 3. Audit the (possibly degraded) plan the epoch will execute
+        //    under against the budget.
+        let jitter = state
+            .plan
+            .node_ids
+            .iter()
+            .map(|&id| cluster.node(id).cap_jitter().abs())
+            .fold(0.0, f64::max);
+        let ledger = BudgetLedger::new(&state.name, self.budget).with_injected_jitter(jitter);
+        ledger.audit_plan(&state.plan);
+
+        EpochPrep {
+            replanned,
+            boundary,
+            staged,
+            ledger,
+        }
+    }
+
+    /// Phase 3's counterpart, the sequential epoch epilogue: classify the
+    /// measured power against the audited plan, emit the epoch metrics and
+    /// trace event, append the epoch record. The execute phase itself —
+    /// [`EpochEngine::execute`] on `prep.staged`/`state.plan` — happens
+    /// between `prepare_epoch` and this call, and is the only part a
+    /// sharded coordinator runs in parallel.
+    pub fn settle_epoch(
+        &mut self,
+        state: &mut RunState,
+        prep: EpochPrep,
+        report: &JobReport,
+        epoch: usize,
+    ) {
+        let ep = epoch as u64;
+        state.degraded_time = report.total_time;
+
+        let injected_overshoot =
+            match prep
+                .ledger
+                .audit_actuation(&state.plan, report.cluster_power, ep, &mut self.rec)
+            {
+                ActuationCheck::Nominal => false,
+                ActuationCheck::InjectedJitter => {
+                    state.injected_overshoots += 1;
+                    true
+                }
+            };
+
+        if self.rec.enabled() {
+            self.rec.counter_add("epochs_total", 1);
+            if prep.replanned {
+                self.rec.counter_add("replans_total", 1);
+            }
+            self.rec
+                .observe("epoch_time_secs", report.total_time.as_secs());
+            if self.budget.as_watts() > 0.0 {
+                self.rec.observe(
+                    "budget_utilization",
+                    report.cluster_power.as_watts() / self.budget.as_watts(),
+                );
+            }
+            let budget = self.budget;
+            let caps_total = state.plan.total_caps();
+            let measured = report.cluster_power;
+            let performance = report.performance();
+            let wall = report.total_time;
+            let replanned = prep.replanned;
+            self.rec
+                .event_with(ep, || clip_obs::TraceEvent::EpochCompleted {
+                    budget,
+                    caps_total,
+                    measured,
+                    performance,
+                    wall,
+                    replanned,
+                });
+        }
+
+        state.epochs.push(EpochRecord {
+            epoch,
+            replanned: prep.replanned,
+            node_ids: state.plan.node_ids.clone(),
+            caps_total: state.plan.total_caps(),
+            measured_power: report.cluster_power,
+            performance: report.performance(),
+            epoch_time: report.total_time,
+            events_applied: prep.boundary.events_applied,
+            events_ignored: prep.boundary.events_ignored,
+            injected_overshoot,
+        });
+    }
+
+    /// Phase 4: close out the run — final survivor gauge, tracing off,
+    /// assemble the report.
+    pub fn finish_run(
+        &mut self,
+        state: RunState,
+        scheduler: &mut dyn PowerScheduler,
+        cluster: &Cluster,
+    ) -> FaultRunReport {
         let survivors = cluster.alive_len();
         if self.rec.enabled() {
             self.rec.gauge_set("survivors", survivors as f64);
             scheduler.set_tracing(false);
         }
         FaultRunReport {
-            scheduler: name,
+            scheduler: state.name,
             budget: self.budget,
-            epochs,
-            recoveries,
-            injected_overshoots,
+            epochs: state.epochs,
+            recoveries: state.recoveries,
+            injected_overshoots: state.injected_overshoots,
             survivors,
         }
     }

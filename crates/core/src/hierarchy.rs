@@ -1,0 +1,899 @@
+//! Two-level coordination: rack-level epoch engines under a cluster-level
+//! budget arbiter (ROADMAP item 1).
+//!
+//! The paper frames CLIP's coordinate→allocate→recommend cycle as
+//! hierarchical by construction (§III); its evaluation stops at one
+//! 8-node group. [`run_sharded`] scales the cycle out: a
+//! [`ShardedFleet`](cluster_sim::ShardedFleet) partitions the fleet into
+//! racks, each rack runs its own [`EpochEngine`] through the existing
+//! [`EpochPolicy`] machinery ([`RackTimeline`] replays the rack's slice of
+//! the global fault plan), and a [`BudgetArbiter`] splits the global power
+//! bound across racks each epoch, shifting slack watts from
+//! under-demanding racks to constrained ones — the inter-group
+//! redistribution of Medhat et al., with EcoShift's demand-driven
+//! reallocation as the receiving rule. Every grant change is zero-sum
+//! audited by a [`BudgetLedger`] shift audit.
+//!
+//! # Determinism under parallel execution
+//!
+//! Each epoch is a strict three-phase cycle:
+//!
+//! 1. **prepare** (sequential, rack-index order): rack crashes fire, the
+//!    arbiter re-grants, each live rack plans and audits via
+//!    [`EpochEngine::prepare_epoch`] — everything that touches the
+//!    process-wide audit counters, the scheduler's decision buffer, or a
+//!    trace sink happens here;
+//! 2. **execute** (parallel): [`EpochEngine::execute`] per rack via
+//!    [`parallel_map_with`](cluster_sim::sweep::parallel_map_with). The
+//!    closure owns its rack wholesale (cluster, engine, recorder) and
+//!    writes results back into the moved-in rack value — no shared
+//!    accumulation, no interior mutability, which is exactly the shape
+//!    clip-lint's shared-state and commutativity rules prove (§13's proof
+//!    obligation; `run_sharded` is a registered replay-critical entry
+//!    point);
+//! 3. **settle** (sequential, rack-index order): actuation audits, epoch
+//!    records and trace emission via [`EpochEngine::settle_epoch`], then
+//!    the arbiter rebalances on the demands just reported.
+//!
+//! Results merge in rack-index order regardless of worker count or
+//! submission order, so traces, ledger audits and golden hashes are
+//! byte-identical across thread schedules — the replay-equivalence suite
+//! (`crates/cluster/tests/shard_equivalence.rs`, `tests/replay.rs`) pins
+//! a 1-rack sharded run against the flat engine bit for bit.
+
+use crate::audit::BudgetLedger;
+use crate::degrade::FaultTimeline;
+use crate::engine::{
+    Boundary, EpochEngine, EpochPolicy, EpochPrep, FaultHarnessConfig, FaultRunReport, RunState,
+};
+use crate::scheduler::{PowerScheduler, SchedulePlan};
+use clip_obs::Recorder;
+use cluster_sim::sweep::parallel_map_with;
+use cluster_sim::{split_faults, Cluster, FaultPlan, JobReport, ShardedFleet};
+use serde::{Deserialize, Serialize};
+use simkit::{Power, SimRng};
+use simnode::PowerCaps;
+use workload::AppModel;
+
+/// Grant deltas below this are noise, not a re-plan trigger (mirrors the
+/// ledger's audit tolerance).
+const GRANT_TOLERANCE_WATTS: f64 = 1e-6;
+
+/// How a sharded campaign is shaped and paced.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShardConfig {
+    /// Coordination epochs to simulate.
+    pub epochs: usize,
+    /// Job iterations executed per epoch in every rack.
+    pub iterations_per_epoch: usize,
+    /// Fraction of a rack's slack watts the arbiter shifts per epoch
+    /// (Medhat-style gradual redistribution), in `[0, 1]`.
+    pub shift_fraction: f64,
+    /// Worker threads for the parallel execute phase; `None` uses one per
+    /// core, `Some(1)` forces sequential execution. The replay suite runs
+    /// the same campaign at several counts and asserts byte-identity.
+    pub workers: Option<usize>,
+    /// When set, the execute phase submits racks in a seeded shuffled
+    /// order each epoch (results still merge in rack-index order) — the
+    /// schedule-independence tests drive this.
+    pub shuffle_seed: Option<u64>,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 8,
+            iterations_per_epoch: 2,
+            shift_fraction: 0.5,
+            workers: None,
+            shuffle_seed: None,
+        }
+    }
+}
+
+impl ShardConfig {
+    /// The per-rack engine config this campaign drives each rack with.
+    pub fn rack_config(&self) -> FaultHarnessConfig {
+        FaultHarnessConfig {
+            epochs: self.epochs,
+            iterations_per_epoch: self.iterations_per_epoch,
+        }
+    }
+}
+
+/// A whole-rack failure: at `at_epoch`'s boundary the rack drops out of
+/// the campaign and the arbiter returns its grant to the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RackFault {
+    /// Epoch at whose boundary the rack dies.
+    pub at_epoch: usize,
+    /// Rack index.
+    pub rack: usize,
+}
+
+/// The fault policy of one rack: replay the rack's slice of the global
+/// fault plan (already translated to rack-local indices by
+/// [`cluster_sim::split_faults`]), plus an arbiter-driven re-plan trigger
+/// for epochs whose grant changed.
+#[derive(Debug)]
+pub struct RackTimeline {
+    faults: FaultPlan,
+    force_replan: bool,
+}
+
+impl RackTimeline {
+    /// A policy replaying `faults` (rack-local indices) epoch by epoch.
+    pub fn new(faults: FaultPlan) -> Self {
+        Self {
+            faults,
+            force_replan: false,
+        }
+    }
+
+    /// Arm an immediate re-plan at the next epoch boundary: the arbiter
+    /// changed this rack's budget, so the standing plan is stale.
+    pub fn force_replan(&mut self) {
+        self.force_replan = true;
+    }
+}
+
+impl<R: Recorder> EpochPolicy<R> for RackTimeline {
+    fn epoch_boundary(
+        &mut self,
+        cluster: &mut Cluster,
+        plan: &mut SchedulePlan,
+        epoch: usize,
+        rec: &mut R,
+    ) -> Boundary {
+        let mut timeline = FaultTimeline::new(&self.faults);
+        let mut b = timeline.epoch_boundary(cluster, plan, epoch, rec);
+        b.replan_now |= std::mem::take(&mut self.force_replan);
+        b
+    }
+
+    fn app_for_epoch(&self, epoch: usize) -> Option<&AppModel> {
+        let _ = epoch;
+        None
+    }
+}
+
+/// The cluster-level layer of the hierarchy: owns the global power bound
+/// and each rack's current grant, and shifts slack between racks each
+/// epoch based on the demand (programmed caps) the racks report up.
+///
+/// The shifting rule is Medhat-style gradual redistribution: every rack
+/// whose grant exceeds its demand donates `shift_fraction` of the slack;
+/// the pooled watts go to constrained racks (demand at or above grant),
+/// split by alive-node weight. No receivers → the donation round is
+/// cancelled (grants unchanged). Every applied change is zero-sum by
+/// construction and audited by [`BudgetLedger::audit_shift`].
+#[derive(Debug, Clone)]
+pub struct BudgetArbiter {
+    budget: Power,
+    shift_fraction: f64,
+    grants: Vec<Power>,
+}
+
+impl BudgetArbiter {
+    /// Split `budget` across racks proportionally to `weights` (alive
+    /// node counts), with the last nonzero-weight rack absorbing the
+    /// floating-point remainder so the grants sum to `budget` exactly.
+    pub fn new(budget: Power, weights: &[usize], shift_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&shift_fraction),
+            "shift fraction must be in [0, 1]"
+        );
+        let grants = proportional_split(budget.as_watts(), weights)
+            .into_iter()
+            .map(Power::watts)
+            .collect();
+        Self {
+            budget,
+            shift_fraction,
+            grants,
+        }
+    }
+
+    /// The global bound the grants always sum to (dead racks hold zero).
+    pub fn budget(&self) -> Power {
+        self.budget
+    }
+
+    /// Current per-rack grants, in rack order.
+    pub fn grants(&self) -> &[Power] {
+        &self.grants
+    }
+
+    /// Retire a dead rack: zero its grant and immediately redistribute
+    /// the reclaimed watts to the live racks (by alive-node weight), so
+    /// survivors see the budget within the same epoch. Returns the watts
+    /// reclaimed from the dead rack.
+    pub fn retire_rack(&mut self, rack: usize, alive: &[usize], live: &[bool]) -> Power {
+        let before = self.grant_caps();
+        let reclaimed = self.grants.get(rack).copied().unwrap_or(Power::ZERO);
+        if let Some(g) = self.grants.get_mut(rack) {
+            *g = Power::ZERO;
+        }
+        let weights: Vec<usize> = alive
+            .iter()
+            .zip(live)
+            .map(|(&a, &l)| if l { a } else { 0 })
+            .collect();
+        let shares = proportional_split(reclaimed.as_watts(), &weights);
+        for (g, share) in self.grants.iter_mut().zip(&shares) {
+            *g += Power::watts(*share);
+        }
+        self.audit_shift(&before);
+        reclaimed
+    }
+
+    /// One Medhat-style rebalance round over the demands the racks
+    /// reported this epoch. Returns the new grants (also stored).
+    pub fn rebalance(&mut self, demands: &[Power], alive: &[usize], live: &[bool]) -> &[Power] {
+        let before = self.grant_caps();
+        let n = self.grants.len();
+        let mut donations = vec![0.0f64; n];
+        let mut pool = 0.0f64;
+        let mut receivers: Vec<usize> = Vec::new();
+        for (r, grant) in self.grants.iter().enumerate() {
+            let is_live = live.get(r).copied().unwrap_or(false);
+            if !is_live {
+                continue;
+            }
+            let demand = demands.get(r).copied().unwrap_or(Power::ZERO);
+            let slack = grant.as_watts() - demand.as_watts();
+            if slack > GRANT_TOLERANCE_WATTS {
+                let d = slack * self.shift_fraction;
+                if let Some(slot) = donations.get_mut(r) {
+                    *slot = d;
+                }
+                pool += d;
+            } else {
+                // Demand at (or above) the grant: this rack is
+                // power-constrained and wants more.
+                receivers.push(r);
+            }
+        }
+        if pool <= GRANT_TOLERANCE_WATTS || receivers.is_empty() {
+            return &self.grants;
+        }
+        let weights: Vec<usize> = (0..n)
+            .map(|r| {
+                if receivers.contains(&r) {
+                    alive.get(r).copied().unwrap_or(0)
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let shares = proportional_split(pool, &weights);
+        for ((g, donated), share) in self.grants.iter_mut().zip(&donations).zip(&shares) {
+            *g = Power::watts(g.as_watts() - donated + share);
+        }
+        self.audit_shift(&before);
+        &self.grants
+    }
+
+    fn grant_caps(&self) -> Vec<PowerCaps> {
+        // Struct literal, not `PowerCaps::new`: a dead rack's grant is a
+        // legitimate zero, and the shift audit only compares sums.
+        self.grants
+            .iter()
+            .map(|&g| PowerCaps {
+                cpu: g,
+                dram: Power::ZERO,
+            })
+            .collect()
+    }
+
+    /// Zero-sum proof: every grant change preserves the global bound,
+    /// checked through the same ledger machinery that audits intra-rack
+    /// cap shifting.
+    fn audit_shift(&self, before: &[PowerCaps]) {
+        let after = self.grant_caps();
+        BudgetLedger::new("arbiter", self.budget).audit_shift(before, &after);
+    }
+}
+
+/// Split `total` watts over `weights`, zero where the weight is zero, the
+/// last nonzero-weight slot absorbing the rounding remainder so the parts
+/// sum to `total` exactly.
+fn proportional_split(total: f64, weights: &[usize]) -> Vec<f64> {
+    let weight_sum: usize = weights.iter().sum();
+    if weight_sum == 0 {
+        return vec![0.0; weights.len()];
+    }
+    let last_nonzero = weights.iter().rposition(|&w| w > 0);
+    let mut parts = vec![0.0; weights.len()];
+    let mut assigned = 0.0f64;
+    for (i, (&w, part)) in weights.iter().zip(parts.iter_mut()).enumerate() {
+        if w == 0 {
+            continue;
+        }
+        if Some(i) == last_nonzero {
+            *part = total - assigned;
+        } else {
+            *part = total * (w as f64) / (weight_sum as f64);
+            assigned += *part;
+        }
+    }
+    parts
+}
+
+/// One rack's worth of campaign state, moved wholesale through the
+/// parallel execute phase: the rack owns its cluster, scheduler, engine
+/// (and therefore recorder), policy and run state, so the execute closure
+/// touches nothing outside the value it was handed.
+struct RackRun<R: Recorder> {
+    rack: usize,
+    cluster: Cluster,
+    scheduler: Box<dyn PowerScheduler + Send>,
+    engine: EpochEngine<R>,
+    policy: RackTimeline,
+    state: Option<RunState>,
+    base_app: AppModel,
+    prep: Option<EpochPrep>,
+    outcome: Option<JobReport>,
+    live: bool,
+    iterations: usize,
+    granted: Power,
+    last_demand: Power,
+    crashed_at: Option<usize>,
+    reclaimed: Power,
+    done: Option<FaultRunReport>,
+}
+
+/// One rack's slice of a [`ShardRunReport`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RackReport {
+    /// Rack index.
+    pub rack: usize,
+    /// The rack's final budget grant (zero if the rack died).
+    pub granted: Power,
+    /// Epoch at which the whole rack crashed, if it did.
+    pub crashed_at: Option<usize>,
+    /// Watts the arbiter reclaimed from this rack when it died.
+    pub reclaimed: Power,
+    /// The rack engine's full run report (epochs, recoveries, TTR).
+    pub report: FaultRunReport,
+}
+
+/// Full deterministic record of a sharded campaign: a pure function of
+/// (fleet seed, topology, fault plans, config), which is what the
+/// cross-thread-count replay gate hashes.
+#[must_use = "a shard report carries per-rack audit verdicts and must be inspected"]
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardRunReport {
+    /// The global power bound.
+    pub budget: Power,
+    /// Coordination epochs simulated.
+    pub epochs: usize,
+    /// Per-rack reports, in rack-index order.
+    pub racks: Vec<RackReport>,
+    /// Alive nodes across live racks when the campaign ended.
+    pub survivors: usize,
+}
+
+impl ShardRunReport {
+    /// Mean per-epoch performance summed over live racks (the cluster
+    /// aggregate the 10k-node campaign prints).
+    pub fn aggregate_performance(&self) -> f64 {
+        self.racks
+            .iter()
+            .filter(|r| r.crashed_at.is_none())
+            .map(|r| r.report.mean_performance())
+            .sum()
+    }
+}
+
+/// Drive a sharded fleet through a fault campaign under one global power
+/// bound: one [`EpochEngine`] per rack, grants arbitrated per epoch,
+/// rack-level executes fanned out via `parallel_map_with`.
+///
+/// `make_scheduler` builds rack `r`'s scheduler (called once per rack, in
+/// rack order, before the campaign starts). `recorders` supplies one
+/// recorder per rack (rack order); they are returned, in rack order,
+/// alongside the report so traced campaigns can recover their sinks.
+/// `faults` uses *global* node indices and is routed through rack
+/// boundaries by [`cluster_sim::split_faults`]; `rack_faults` kill whole
+/// racks at epoch boundaries. `cluster_rec` narrates the arbiter's
+/// decisions ([`clip_obs::TraceEvent::ShardRunStarted`] /
+/// `RackGranted` / `RackCrashed`).
+#[allow(clippy::too_many_arguments)]
+pub fn run_sharded<R, C, F>(
+    fleet: ShardedFleet,
+    make_scheduler: F,
+    app: &AppModel,
+    budget: Power,
+    faults: &FaultPlan,
+    rack_faults: &[RackFault],
+    cfg: &ShardConfig,
+    recorders: Vec<R>,
+    cluster_rec: &mut C,
+) -> (ShardRunReport, Vec<R>)
+where
+    R: Recorder + Send,
+    C: Recorder,
+    F: FnMut(usize) -> Box<dyn PowerScheduler + Send>,
+{
+    let mut make_scheduler = make_scheduler;
+    let topo = fleet.topology();
+    assert!(cfg.epochs > 0, "need at least one epoch");
+    assert_eq!(
+        recorders.len(),
+        topo.racks(),
+        "one recorder per rack, in rack order"
+    );
+
+    let rack_plans = split_faults(&topo, faults);
+    let clusters = fleet.into_racks();
+    let alive_counts: Vec<usize> = clusters.iter().map(Cluster::alive_len).collect();
+    let mut arbiter = BudgetArbiter::new(budget, &alive_counts, cfg.shift_fraction);
+    let rack_cfg = cfg.rack_config();
+
+    if cluster_rec.enabled() {
+        let racks = topo.racks();
+        let nodes = topo.total_nodes();
+        let epochs = cfg.epochs as u64;
+        cluster_rec.event_with(0, || clip_obs::TraceEvent::ShardRunStarted {
+            budget,
+            racks,
+            nodes,
+            epochs,
+        });
+    }
+
+    // Build every rack runner in rack order: scheduler, engine (owning
+    // the rack's recorder and initial grant), fault policy, and the
+    // epoch-0 coordinated plan via `begin_run`.
+    let mut runs: Vec<RackRun<R>> = Vec::with_capacity(topo.racks());
+    for (rack, ((mut cluster, rec), plan)) in clusters
+        .into_iter()
+        .zip(recorders)
+        .zip(rack_plans)
+        .enumerate()
+    {
+        let granted = arbiter.grants().get(rack).copied().unwrap_or(Power::ZERO);
+        if cluster_rec.enabled() {
+            let alive = cluster.alive_len();
+            cluster_rec.event_with(0, || clip_obs::TraceEvent::RackGranted {
+                rack,
+                granted,
+                demand: Power::ZERO,
+                alive,
+            });
+        }
+        let mut scheduler = make_scheduler(rack);
+        let mut engine = EpochEngine::new(granted, rec);
+        let mut policy = RackTimeline::new(plan);
+        let state = engine.begin_run(&mut *scheduler, &mut cluster, app, &mut policy, &rack_cfg);
+        runs.push(RackRun {
+            rack,
+            cluster,
+            scheduler,
+            engine,
+            policy,
+            state: Some(state),
+            base_app: app.clone(),
+            prep: None,
+            outcome: None,
+            live: true,
+            iterations: cfg.iterations_per_epoch,
+            granted,
+            last_demand: Power::ZERO,
+            crashed_at: None,
+            reclaimed: Power::ZERO,
+            done: None,
+        });
+    }
+
+    for epoch in 0..cfg.epochs {
+        let ep = epoch as u64;
+
+        // Phase 0 (sequential): whole-rack crashes at this boundary. The
+        // dead rack's engine is closed out and its grant returns to the
+        // pool, redistributed to the survivors *within this epoch*.
+        for fault in rack_faults.iter().filter(|f| f.at_epoch == epoch) {
+            let live_racks = runs.iter().filter(|r| r.live).count();
+            let Some(run) = runs.get_mut(fault.rack) else {
+                continue;
+            };
+            if !run.live || live_racks <= 1 {
+                // Mirrors the node-level rule: never crash the last
+                // survivor; the event is dropped.
+                continue;
+            }
+            run.live = false;
+            run.crashed_at = Some(epoch);
+            if let Some(state) = run.state.take() {
+                run.done = Some(
+                    run.engine
+                        .finish_run(state, &mut *run.scheduler, &run.cluster),
+                );
+            }
+            let alive: Vec<usize> = runs.iter().map(|r| r.cluster.alive_len()).collect();
+            let live: Vec<bool> = runs.iter().map(|r| r.live).collect();
+            let reclaimed = arbiter.retire_rack(fault.rack, &alive, &live);
+            if let Some(run) = runs.get_mut(fault.rack) {
+                run.reclaimed = reclaimed;
+                run.granted = Power::ZERO;
+            }
+            if cluster_rec.enabled() {
+                let rack = fault.rack;
+                cluster_rec.event_with(ep, || clip_obs::TraceEvent::RackCrashed {
+                    rack,
+                    at_epoch: ep,
+                    reclaimed,
+                });
+            }
+            apply_grants(&mut runs, &arbiter, cluster_rec, ep);
+        }
+
+        // Phase 1 (sequential, rack order): plan + audit each live rack.
+        for run in runs.iter_mut().filter(|r| r.live) {
+            if let Some(state) = run.state.as_mut() {
+                let prep = run.engine.prepare_epoch(
+                    state,
+                    &mut *run.scheduler,
+                    &mut run.cluster,
+                    &run.base_app,
+                    &mut run.policy,
+                    epoch,
+                );
+                run.prep = Some(prep);
+            }
+        }
+
+        // Phase 2 (parallel): execute every live rack's epoch. Each rack
+        // value is moved into the closure and written back whole — the
+        // indexed write-back shape clip-lint's commutativity rule admits.
+        // Submission order may be shuffled; the merge below restores rack
+        // order, so thread count and submission order leave no trace.
+        let order = submission_order(runs.len(), cfg.shuffle_seed, epoch);
+        let mut slots: Vec<Option<RackRun<R>>> = runs.into_iter().map(Some).collect();
+        let submitted: Vec<RackRun<R>> = order
+            .iter()
+            .filter_map(|&i| slots.get_mut(i).and_then(Option::take))
+            .collect();
+        let mut executed = parallel_map_with(submitted, cfg.workers, |mut run: RackRun<R>| {
+            if run.live {
+                if let (Some(state), Some(prep)) = (run.state.as_ref(), run.prep.as_ref()) {
+                    let app_e = prep.staged.as_ref().unwrap_or(&run.base_app);
+                    let report =
+                        run.engine
+                            .execute(&mut run.cluster, app_e, &state.plan, run.iterations);
+                    run.outcome = Some(report);
+                }
+            }
+            run
+        });
+        executed.sort_by_key(|r| r.rack);
+        runs = executed;
+
+        // Phase 3 (sequential, rack order): settle each live rack and
+        // collect its demand for the arbiter.
+        for run in runs.iter_mut().filter(|r| r.live) {
+            if let (Some(state), Some(prep), Some(report)) =
+                (run.state.as_mut(), run.prep.take(), run.outcome.take())
+            {
+                run.last_demand = state.plan.total_caps();
+                run.engine.settle_epoch(state, prep, &report, epoch);
+            }
+        }
+
+        // Phase 4 (sequential): the arbiter shifts slack on the demands
+        // just reported; changed grants take effect next epoch.
+        if epoch + 1 < cfg.epochs {
+            let demands: Vec<Power> = runs.iter().map(|r| r.last_demand).collect();
+            let alive: Vec<usize> = runs.iter().map(|r| r.cluster.alive_len()).collect();
+            let live: Vec<bool> = runs.iter().map(|r| r.live).collect();
+            arbiter.rebalance(&demands, &alive, &live);
+            apply_grants(&mut runs, &arbiter, cluster_rec, ep);
+        }
+    }
+
+    // Close out the survivors and merge per-rack reports in rack order.
+    let mut racks_out: Vec<RackReport> = Vec::with_capacity(runs.len());
+    let mut recorders_out: Vec<R> = Vec::with_capacity(runs.len());
+    let mut survivors = 0usize;
+    for mut run in runs {
+        if run.live {
+            if let Some(state) = run.state.take() {
+                run.done = Some(
+                    run.engine
+                        .finish_run(state, &mut *run.scheduler, &run.cluster),
+                );
+            }
+        }
+        let report = run.done.take().unwrap_or(FaultRunReport {
+            scheduler: String::new(),
+            budget: run.granted,
+            epochs: Vec::new(),
+            recoveries: Vec::new(),
+            injected_overshoots: 0,
+            survivors: 0,
+        });
+        if run.live {
+            survivors += report.survivors;
+        }
+        racks_out.push(RackReport {
+            rack: run.rack,
+            granted: run.granted,
+            crashed_at: run.crashed_at,
+            reclaimed: run.reclaimed,
+            report,
+        });
+        recorders_out.push(run.engine.into_recorder());
+    }
+
+    (
+        ShardRunReport {
+            budget,
+            epochs: cfg.epochs,
+            racks: racks_out,
+            survivors,
+        },
+        recorders_out,
+    )
+}
+
+/// Push the arbiter's current grants down into the rack engines: any rack
+/// whose grant moved beyond tolerance re-targets its engine budget, arms
+/// a forced re-plan for its next boundary, and is narrated on the
+/// cluster-level recorder.
+fn apply_grants<R: Recorder, C: Recorder>(
+    runs: &mut [RackRun<R>],
+    arbiter: &BudgetArbiter,
+    cluster_rec: &mut C,
+    epoch: u64,
+) {
+    for (run, &grant) in runs.iter_mut().zip(arbiter.grants()) {
+        if !run.live {
+            continue;
+        }
+        if (grant.as_watts() - run.granted.as_watts()).abs() <= GRANT_TOLERANCE_WATTS {
+            continue;
+        }
+        run.granted = grant;
+        run.engine.set_budget(grant);
+        run.policy.force_replan();
+        if cluster_rec.enabled() {
+            let rack = run.rack;
+            let demand = run.last_demand;
+            let alive = run.cluster.alive_len();
+            cluster_rec.event_with(epoch, || clip_obs::TraceEvent::RackGranted {
+                rack,
+                granted: grant,
+                demand,
+                alive,
+            });
+        }
+    }
+}
+
+/// The execute phase's submission order for `epoch`: identity unless a
+/// shuffle seed asks for a seeded permutation (distinct per epoch).
+fn submission_order(n: usize, shuffle_seed: Option<u64>, epoch: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    if let Some(seed) = shuffle_seed {
+        let mut rng =
+            SimRng::seed_from_u64(seed ^ (epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        rng.shuffle(&mut order);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlr::InflectionPredictor;
+    use crate::scheduler::ClipScheduler;
+    use clip_obs::NoopRecorder;
+    use cluster_sim::{RackTopology, VariabilityModel};
+    use workload::suite;
+
+    fn fleet(racks: usize, nodes_per_rack: usize, seed: u64) -> ShardedFleet {
+        ShardedFleet::with_variability(
+            RackTopology::new(racks, nodes_per_rack),
+            &VariabilityModel::default(),
+            seed,
+        )
+    }
+
+    fn clip_factory() -> impl FnMut(usize) -> Box<dyn PowerScheduler + Send> {
+        let predictor = InflectionPredictor::train_default(5);
+        move |_rack| Box::new(ClipScheduler::new(predictor.clone()))
+    }
+
+    fn noop_recorders(racks: usize) -> Vec<NoopRecorder> {
+        (0..racks).map(|_| NoopRecorder).collect()
+    }
+
+    #[test]
+    fn sharded_campaign_runs_every_rack_every_epoch() {
+        let cfg = ShardConfig {
+            epochs: 4,
+            iterations_per_epoch: 1,
+            ..ShardConfig::default()
+        };
+        let (report, _) = run_sharded(
+            fleet(3, 4, 11),
+            clip_factory(),
+            &suite::comd(),
+            Power::watts(2400.0),
+            &FaultPlan::empty(),
+            &[],
+            &cfg,
+            noop_recorders(3),
+            &mut NoopRecorder,
+        );
+        assert_eq!(report.racks.len(), 3);
+        assert_eq!(report.survivors, 12);
+        for rack in &report.racks {
+            assert_eq!(rack.report.epochs.len(), 4);
+            assert!(rack.crashed_at.is_none());
+            assert!(rack.report.mean_performance() > 0.0);
+        }
+        assert!(report.aggregate_performance() > 0.0);
+    }
+
+    #[test]
+    fn grants_always_sum_to_the_global_bound() {
+        let budget = Power::watts(3000.0);
+        let mut arb = BudgetArbiter::new(budget, &[4, 4, 2], 0.5);
+        let sum = |g: &[Power]| -> f64 { g.iter().map(|p| p.as_watts()).sum() };
+        assert!((sum(arb.grants()) - 3000.0).abs() < 1e-9);
+        // Rack 0 has slack, rack 2 is constrained.
+        arb.rebalance(
+            &[
+                Power::watts(800.0),
+                Power::watts(1200.0),
+                Power::watts(600.0),
+            ],
+            &[4, 4, 2],
+            &[true, true, true],
+        );
+        assert!((sum(arb.grants()) - 3000.0).abs() < 1e-6);
+        // Retiring a rack keeps the sum on the survivors.
+        arb.retire_rack(1, &[4, 0, 2], &[true, false, true]);
+        assert!((sum(arb.grants()) - 3000.0).abs() < 1e-6);
+        assert_eq!(arb.grants().get(1).copied(), Some(Power::ZERO));
+    }
+
+    #[test]
+    fn slack_moves_toward_constrained_racks() {
+        let budget = Power::watts(2000.0);
+        let mut arb = BudgetArbiter::new(budget, &[4, 4], 0.5);
+        let g0 = arb.grants().first().copied().unwrap_or(Power::ZERO);
+        // Rack 0 demands almost nothing; rack 1 wants its whole grant.
+        arb.rebalance(
+            &[Power::watts(200.0), Power::watts(1000.0)],
+            &[4, 4],
+            &[true, true],
+        );
+        let g0_after = arb.grants().first().copied().unwrap_or(Power::ZERO);
+        let g1_after = arb.grants().get(1).copied().unwrap_or(Power::ZERO);
+        assert!(g0_after < g0, "the idle rack must donate");
+        assert!(g1_after > g0, "the constrained rack must receive");
+    }
+
+    #[test]
+    fn no_receiver_means_no_shift() {
+        let mut arb = BudgetArbiter::new(Power::watts(2000.0), &[4, 4], 0.5);
+        let before: Vec<Power> = arb.grants().to_vec();
+        // Everyone has slack; nobody is constrained.
+        arb.rebalance(
+            &[Power::watts(100.0), Power::watts(100.0)],
+            &[4, 4],
+            &[true, true],
+        );
+        assert_eq!(arb.grants(), before.as_slice());
+    }
+
+    #[test]
+    fn rack_crash_redistributes_within_the_same_epoch() {
+        let cfg = ShardConfig {
+            epochs: 5,
+            iterations_per_epoch: 1,
+            ..ShardConfig::default()
+        };
+        let budget = Power::watts(3000.0);
+        let (report, _) = run_sharded(
+            fleet(3, 4, 23),
+            clip_factory(),
+            &suite::comd(),
+            budget,
+            &FaultPlan::empty(),
+            &[RackFault {
+                at_epoch: 2,
+                rack: 1,
+            }],
+            &cfg,
+            noop_recorders(3),
+            &mut NoopRecorder,
+        );
+        let dead = report.racks.get(1).expect("rack 1 exists");
+        assert_eq!(dead.crashed_at, Some(2));
+        assert!(dead.reclaimed.as_watts() > 0.0, "the dead rack held watts");
+        assert_eq!(dead.granted, Power::ZERO);
+        assert_eq!(dead.report.epochs.len(), 2, "ran epochs 0 and 1 only");
+        // Survivors' final grants absorb the whole bound.
+        let live_total: f64 = report
+            .racks
+            .iter()
+            .filter(|r| r.crashed_at.is_none())
+            .map(|r| r.granted.as_watts())
+            .sum();
+        assert!((live_total - budget.as_watts()).abs() < 1e-6);
+        // And they re-planned at the crash epoch (forced by the grant
+        // change), within one epoch of the fault.
+        for rack in report.racks.iter().filter(|r| r.crashed_at.is_none()) {
+            let replanned_at_2 = rack
+                .report
+                .epochs
+                .iter()
+                .any(|e| e.epoch == 2 && e.replanned);
+            assert!(replanned_at_2, "rack {} must re-plan at epoch 2", rack.rack);
+        }
+        assert_eq!(report.survivors, 8);
+    }
+
+    #[test]
+    fn last_live_rack_cannot_be_crashed() {
+        let cfg = ShardConfig {
+            epochs: 3,
+            iterations_per_epoch: 1,
+            ..ShardConfig::default()
+        };
+        let (report, _) = run_sharded(
+            fleet(2, 4, 5),
+            clip_factory(),
+            &suite::comd(),
+            Power::watts(2000.0),
+            &FaultPlan::empty(),
+            &[
+                RackFault {
+                    at_epoch: 1,
+                    rack: 0,
+                },
+                RackFault {
+                    at_epoch: 2,
+                    rack: 1,
+                },
+            ],
+            &cfg,
+            noop_recorders(2),
+            &mut NoopRecorder,
+        );
+        let crashed: Vec<Option<usize>> = report.racks.iter().map(|r| r.crashed_at).collect();
+        assert_eq!(crashed, vec![Some(1), None], "the last rack must survive");
+        assert_eq!(report.survivors, 4);
+    }
+
+    #[test]
+    fn worker_count_never_changes_the_report() {
+        let base = ShardConfig {
+            epochs: 4,
+            iterations_per_epoch: 1,
+            ..ShardConfig::default()
+        };
+        let run = |workers: Option<usize>| {
+            let cfg = ShardConfig { workers, ..base };
+            let (report, _) = run_sharded(
+                fleet(4, 2, 97),
+                clip_factory(),
+                &suite::amg(),
+                Power::watts(2200.0),
+                &FaultPlan::empty(),
+                &[],
+                &cfg,
+                noop_recorders(4),
+                &mut NoopRecorder,
+            );
+            serde_json::to_string(&report).expect("report serializes")
+        };
+        let sequential = run(Some(1));
+        assert_eq!(run(Some(2)), sequential);
+        assert_eq!(run(None), sequential);
+    }
+}

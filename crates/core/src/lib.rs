@@ -50,6 +50,7 @@ pub mod coordinate;
 pub mod degrade;
 pub mod dispatch;
 pub mod engine;
+pub mod hierarchy;
 pub mod knowledge;
 pub mod mlr;
 pub mod multijob;
@@ -71,6 +72,9 @@ pub use dispatch::{DispatchReport, Dispatcher, QueuedJob};
 pub use engine::{
     Boundary, EpochEngine, EpochPolicy, FaultHarnessConfig, FaultRunReport, PhaseSchedule,
     SteadyState,
+};
+pub use hierarchy::{
+    run_sharded, BudgetArbiter, RackFault, RackReport, RackTimeline, ShardConfig, ShardRunReport,
 };
 pub use knowledge::KnowledgeDb;
 pub use mlr::InflectionPredictor;

@@ -26,9 +26,10 @@ pub const DOMAIN_ENUM_CRATES: [&str; 6] =
 /// public entry points of the replay-critical subgraph.
 pub const SCHEDULER_TRAIT: &str = "PowerScheduler";
 
-/// Free functions that are additional entry points (the fault harness;
-/// since the engine refactor a thin wrapper over [`ENTRY_ENGINE_TYPE`]).
-pub const ENTRY_FREE_FNS: [&str; 1] = ["run_with_faults"];
+/// Free functions that are additional entry points (the fault harness —
+/// since the engine refactor a thin wrapper over [`ENTRY_ENGINE_TYPE`] —
+/// and the sharded two-level campaign coordinator).
+pub const ENTRY_FREE_FNS: [&str; 2] = ["run_with_faults", "run_sharded"];
 
 /// Entry-point method names on [`SCHEDULER_TRAIT`].
 pub const ENTRY_METHODS: [&str; 2] = ["plan", "plan_subset"];
@@ -39,8 +40,18 @@ pub const ENTRY_METHODS: [&str; 2] = ["plan", "plan_subset"];
 /// multijob) stay inside the determinism and blast-radius passes.
 pub const ENTRY_ENGINE_TYPE: &str = "EpochEngine";
 
-/// Entry-point method names on [`ENTRY_ENGINE_TYPE`].
-pub const ENTRY_ENGINE_METHODS: [&str; 3] = ["coordinate", "execute", "run"];
+/// Entry-point method names on [`ENTRY_ENGINE_TYPE`] — the monolithic
+/// cycle plus the split begin/prepare/settle/finish phases the sharded
+/// coordinator interleaves across racks.
+pub const ENTRY_ENGINE_METHODS: [&str; 7] = [
+    "coordinate",
+    "execute",
+    "run",
+    "begin_run",
+    "prepare_epoch",
+    "settle_epoch",
+    "finish_run",
+];
 
 /// Global function id: index into [`SymbolTable::fns`].
 pub type FnId = usize;

@@ -58,6 +58,22 @@ struct TtrRow {
     reclaimed: Power,
 }
 
+/// One arbiter grant decision (from `RackGranted`).
+struct GrantRow {
+    epoch: u64,
+    rack: usize,
+    granted: Power,
+    demand: Power,
+    alive: usize,
+}
+
+/// One whole-rack failure (from `RackCrashed`).
+struct RackCrashRow {
+    rack: usize,
+    at_epoch: u64,
+    reclaimed: Power,
+}
+
 fn load(path: &str) -> Result<Vec<TraceRecord>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let mut records = Vec::new();
@@ -89,6 +105,24 @@ fn split_runs(records: Vec<TraceRecord>) -> Vec<Run> {
         {
             runs.push(Run {
                 scheduler: scheduler.clone(),
+                budget: *budget,
+                nodes: *nodes,
+                records: vec![rec],
+            });
+            continue;
+        }
+        // The cluster-level arbiter stream of a sharded campaign is its
+        // own run: RackGranted/RackCrashed records that follow summarize
+        // per-rack, not per-node.
+        if let TraceEvent::ShardRunStarted {
+            budget,
+            racks,
+            nodes,
+            ..
+        } = &rec.event
+        {
+            runs.push(Run {
+                scheduler: format!("(arbiter over {racks} racks)"),
                 budget: *budget,
                 nodes: *nodes,
                 records: vec![rec],
@@ -172,6 +206,45 @@ fn ttr_rows(run: &Run) -> Vec<TtrRow> {
         .collect()
 }
 
+fn grant_rows(run: &Run) -> Vec<GrantRow> {
+    run.records
+        .iter()
+        .filter_map(|r| match &r.event {
+            TraceEvent::RackGranted {
+                rack,
+                granted,
+                demand,
+                alive,
+            } => Some(GrantRow {
+                epoch: r.epoch,
+                rack: *rack,
+                granted: *granted,
+                demand: *demand,
+                alive: *alive,
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+fn rack_crash_rows(run: &Run) -> Vec<RackCrashRow> {
+    run.records
+        .iter()
+        .filter_map(|r| match &r.event {
+            TraceEvent::RackCrashed {
+                rack,
+                at_epoch,
+                reclaimed,
+            } => Some(RackCrashRow {
+                rack: *rack,
+                at_epoch: *at_epoch,
+                reclaimed: *reclaimed,
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
 fn fault_counts(run: &Run) -> (usize, usize) {
     let mut applied = 0;
     let mut ignored = 0;
@@ -214,6 +287,40 @@ fn summarize_run(run: &Run) {
     let (applied, ignored) = fault_counts(run);
     if applied + ignored > 0 {
         println!("faults: {applied} applied, {ignored} ignored");
+    }
+
+    let grants = grant_rows(run);
+    if !grants.is_empty() {
+        let mut table = Table::new(
+            "per-rack budget grants",
+            &[
+                "epoch",
+                "rack",
+                "granted (W)",
+                "demand (W)",
+                "alive",
+                "grant/budget",
+            ],
+        );
+        for g in &grants {
+            table.row(&[
+                g.epoch.to_string(),
+                g.rack.to_string(),
+                format!("{:.1}", g.granted.as_watts()),
+                format!("{:.1}", g.demand.as_watts()),
+                g.alive.to_string(),
+                format!("{:.3}", utilization(g.granted, run.budget)),
+            ]);
+        }
+        print!("{}", table.render());
+    }
+    for c in &rack_crash_rows(run) {
+        println!(
+            "rack {} crashed at epoch {} (reclaimed {:.1} W for survivors)",
+            c.rack,
+            c.at_epoch,
+            c.reclaimed.as_watts()
+        );
     }
 
     let rows = epoch_rows(run);

@@ -206,6 +206,40 @@ pub enum TraceEvent {
         /// Power granted (sum of the trimmed caps).
         granted: Power,
     },
+    /// A sharded (two-level) campaign began: the cluster-level arbiter
+    /// took the global bound over a rack topology.
+    ShardRunStarted {
+        /// Global power bound split across the racks.
+        budget: Power,
+        /// Number of racks.
+        racks: usize,
+        /// Total nodes across the racks.
+        nodes: usize,
+        /// Coordination epochs the campaign will simulate.
+        epochs: u64,
+    },
+    /// The arbiter granted (or re-granted) one rack's share of the global
+    /// bound at an epoch boundary.
+    RackGranted {
+        /// Rack index.
+        rack: usize,
+        /// The rack's budget from this epoch on.
+        granted: Power,
+        /// The rack's reported demand (programmed caps) driving the grant.
+        demand: Power,
+        /// Alive nodes in the rack at grant time.
+        alive: usize,
+    },
+    /// An entire rack dropped out of the campaign; its grant returns to
+    /// the arbiter's pool for redistribution to the survivors.
+    RackCrashed {
+        /// Rack index.
+        rack: usize,
+        /// Epoch at which the rack died.
+        at_epoch: u64,
+        /// Watts reclaimed from the dead rack's grant.
+        reclaimed: Power,
+    },
     /// Final snapshot of the metric registry, emitted when a recorder is
     /// closed so `clip-trace` can summarize histograms.
     MetricsSnapshot {

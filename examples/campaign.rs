@@ -8,15 +8,132 @@
 //! between "days", and reports campaign-level statistics.
 //!
 //! Run with: `cargo run --release --example campaign`
+//!
+//! A second mode scales the campaign out to ROADMAP item 1's fleet:
+//! `--shard` runs a seeded hierarchical campaign — rack-level
+//! [`clip_core::EpochEngine`]s under the cluster-level
+//! [`clip_core::BudgetArbiter`] — over 100 racks × 100 nodes for
+//! 10 epochs × 10 iterations: one million node-job executions under a
+//! single 1.75 MW bound, with node faults and a whole-rack crash along the
+//! way. The run prints an FNV-1a fingerprint of the serialized
+//! [`clip_core::ShardRunReport`]; `scripts/check.sh` re-runs the smoke
+//! variant at two worker counts and fails if the fingerprints differ.
+//!
+//!   cargo run --release --example campaign -- --shard [--smoke] [--threads N]
 
-use clip_core::{execute_plan, ClipScheduler, InflectionPredictor, KnowledgeDb, PowerScheduler};
-use cluster_sim::Cluster;
+use clip_core::{
+    execute_plan, run_sharded, ClipScheduler, InflectionPredictor, KnowledgeDb, PowerScheduler,
+    RackFault, ShardConfig,
+};
+use cluster_sim::{Cluster, FaultPlan, RackTopology, ShardedFleet, VariabilityModel};
 use simkit::stats::geomean;
 use simkit::table::Table;
-use simkit::Power;
-use workload::suite::table2_suite;
+use simkit::{Power, SimRng};
+use workload::suite::{self, table2_suite};
+
+/// 64-bit FNV-1a over the serialized report: the campaign's fingerprint.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The sharded fleet campaign (`--shard`): smoke = 4×4 nodes, full =
+/// 100×100. Deterministic in everything but wall time.
+fn sharded_campaign(smoke: bool, threads: Option<usize>) {
+    const SEED: u64 = 2017;
+    const WATTS_PER_NODE: f64 = 175.0;
+    let (topo, epochs, iterations) = if smoke {
+        (RackTopology::new(4, 4), 4, 2)
+    } else {
+        (RackTopology::new(100, 100), 10, 10)
+    };
+    let budget = Power::watts(topo.total_nodes() as f64 * WATTS_PER_NODE);
+    let fleet = ShardedFleet::with_variability(topo, &VariabilityModel::default(), SEED);
+    let mut rng = SimRng::seed_from_u64(SEED);
+    let faults = FaultPlan::random(&mut rng, topo.total_nodes(), epochs);
+    // One whole rack dies mid-campaign; the arbiter hands its watts to the
+    // survivors the same epoch.
+    let rack_faults = [RackFault {
+        at_epoch: epochs / 2,
+        rack: 1,
+    }];
+    let cfg = ShardConfig {
+        epochs,
+        iterations_per_epoch: iterations,
+        shift_fraction: 0.5,
+        workers: threads,
+        shuffle_seed: None,
+    };
+
+    // One predictor trained once; every rack's scheduler clones it.
+    let predictor = InflectionPredictor::train_default(5);
+    let started = std::time::Instant::now();
+    let (report, _) = run_sharded(
+        fleet,
+        |_rack| Box::new(ClipScheduler::new(predictor.clone())),
+        &suite::comd(),
+        budget,
+        &faults,
+        &rack_faults,
+        &cfg,
+        (0..topo.racks()).map(|_| clip_obs::NoopRecorder).collect(),
+        &mut clip_obs::NoopRecorder,
+    );
+    let elapsed = started.elapsed();
+
+    let crashed: Vec<usize> = report
+        .racks
+        .iter()
+        .filter(|r| r.crashed_at.is_some())
+        .map(|r| r.rack)
+        .collect();
+    let reclaimed: f64 = report.racks.iter().map(|r| r.reclaimed.as_watts()).sum();
+    let jobs = topo.total_nodes() * epochs * iterations;
+    println!(
+        "sharded campaign: {} racks x {} nodes, {} epochs x {} iterations ({} node-jobs)",
+        topo.racks(),
+        topo.rack_len(0),
+        epochs,
+        iterations,
+        jobs
+    );
+    println!(
+        "  budget            : {:.0} W ({} W/node)",
+        budget.as_watts(),
+        WATTS_PER_NODE
+    );
+    println!("  survivors         : {} nodes", report.survivors);
+    println!("  crashed racks     : {crashed:?} ({reclaimed:.0} W reclaimed)");
+    println!(
+        "  aggregate perf    : {:.4} it/s over live racks",
+        report.aggregate_performance()
+    );
+    println!("  wall time         : {:.2} s", elapsed.as_secs_f64());
+    let json = serde_json::to_string(&report).expect("shard reports serialize");
+    println!(
+        "  report fnv        : {:#018x} ({} bytes)",
+        fnv1a(json.as_bytes()),
+        json.len()
+    );
+}
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--shard") {
+        let smoke = args.iter().any(|a| a == "--smoke");
+        let threads = args
+            .iter()
+            .position(|a| a == "--threads")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<usize>().ok());
+        sharded_campaign(smoke, threads);
+        return;
+    }
+
     let budget = Power::watts(1400.0);
     let cluster = Cluster::paper_testbed(42);
     let db_path = std::env::temp_dir().join("clip_campaign_knowledge.json");

@@ -79,6 +79,23 @@ cargo test --workspace --offline -q
 echo "==> ext_faults --smoke"
 cargo run -p clip-bench --bin ext_faults --offline --quiet --release -- --smoke
 
+# Sharded-campaign smoke gate: the hierarchical campaign (rack-level
+# engines under the budget arbiter, parallel execute phase) must replay
+# bit-identically across worker counts. The example prints an FNV-1a
+# fingerprint of the serialized ShardRunReport; any schedule-dependent
+# byte shows up as a fingerprint mismatch.
+echo "==> sharded campaign smoke (replay across worker counts)"
+cargo build --offline --quiet --release --example campaign -p clip-repro
+fnv_seq="$(target/release/examples/campaign --shard --smoke --threads 1 | grep 'report fnv')"
+fnv_par="$(target/release/examples/campaign --shard --smoke --threads 4 | grep 'report fnv')"
+if [ -z "$fnv_seq" ] || [ "$fnv_seq" != "$fnv_par" ]; then
+    echo "sharded campaign diverged across worker counts:" >&2
+    echo "  threads=1: ${fnv_seq}" >&2
+    echo "  threads=4: ${fnv_par}" >&2
+    exit 1
+fi
+echo "    shard ok:${fnv_seq#*:}"
+
 # Trace smoke gate: the whole observability loop — traced run, JSONL on
 # disk, clip-trace parses it — plus a bound on tracing overhead. Timing
 # uses best-of-3 (minimum is the noise-robust statistic for wall time)

@@ -213,6 +213,139 @@ fn golden_fault_timeline() {
     assert_eq!(report.injected_overshoots, 0);
 }
 
+/// Cross-rack fault pins: a 3-rack sharded campaign (seed-5 fleet, 3000 W
+/// global bound) through a node crash, cap jitter, a straggler, and a
+/// whole-rack crash at epoch 3. The hierarchy makes the trajectory a pure
+/// function of `(seed, topology, FaultPlan, RackFault)`, so the arbiter's
+/// redistribution — who reclaims what, and when the survivors re-plan —
+/// pins exactly.
+#[test]
+fn golden_rack_crash_timeline() {
+    use clip_core::{run_sharded, ClipScheduler, RackFault, ShardConfig};
+    use clip_obs::NoopRecorder;
+    use cluster_sim::{
+        FaultEvent, FaultKind, FaultPlan, RackTopology, ShardedFleet, VariabilityModel,
+    };
+    use simkit::Power;
+
+    let topo = RackTopology::new(3, 4);
+    let fleet = ShardedFleet::with_variability(topo, &VariabilityModel::default(), 5);
+    // Global node indices: node 5 is rack 1 local 1; node 9 is rack 2
+    // local 1. The rack-0 crash at epoch 3 retires a whole rack.
+    let faults = FaultPlan::new(vec![
+        FaultEvent {
+            at_epoch: 1,
+            node: 5,
+            kind: FaultKind::NodeCrash,
+        },
+        FaultEvent {
+            at_epoch: 2,
+            node: 2,
+            kind: FaultKind::CapJitter { fraction: 0.06 },
+        },
+        FaultEvent {
+            at_epoch: 4,
+            node: 9,
+            kind: FaultKind::SlowNode { factor: 1.2 },
+        },
+    ]);
+    let cfg = ShardConfig {
+        epochs: 6,
+        iterations_per_epoch: 1,
+        shift_fraction: 0.5,
+        workers: None,
+        shuffle_seed: None,
+    };
+    let pred = InflectionPredictor::train_default(5);
+    let budget = Power::watts(3000.0);
+    let (report, _) = run_sharded(
+        fleet,
+        |_rack| Box::new(ClipScheduler::new(pred.clone())),
+        &suite::comd(),
+        budget,
+        &faults,
+        &[RackFault {
+            at_epoch: 3,
+            rack: 0,
+        }],
+        &cfg,
+        vec![NoopRecorder, NoopRecorder, NoopRecorder],
+        &mut NoopRecorder,
+    );
+
+    // Rack 0 dies at epoch 3 having run epochs 0..=2; the watts it held
+    // (its even share plus the slack it had absorbed from rack 1's
+    // degraded demand) return to the pool the same epoch.
+    let dead = report.racks.first().expect("rack 0 exists");
+    assert_eq!(dead.crashed_at, Some(3));
+    assert_eq!(dead.report.epochs.len(), 3);
+    assert_eq!(dead.granted, Power::ZERO);
+    assert!(
+        (dead.reclaimed.as_watts() - 1061.514).abs() < 0.05,
+        "reclaimed {:.3}",
+        dead.reclaimed.as_watts()
+    );
+
+    // Rack 1 lost node 5 at epoch 1 and recovered one epoch later,
+    // reclaiming the dead node's cap share — the flat engine's TTR
+    // contract, unchanged inside a shard.
+    let r1 = report.racks.get(1).expect("rack 1 exists");
+    let ttr: Vec<(usize, usize)> = r1
+        .report
+        .recoveries
+        .iter()
+        .map(|r| (r.fault_epoch, r.recovered_epoch))
+        .collect();
+    assert_eq!(ttr, vec![(1, 2)]);
+    let reclaimed_node = r1
+        .report
+        .recoveries
+        .first()
+        .map(|r| r.reclaimed.as_watts())
+        .unwrap_or_default();
+    assert!((reclaimed_node - 246.056).abs() < 0.05, "{reclaimed_node}");
+
+    // The straggler on rack 2 forces a replan but reclaims nothing.
+    let r2 = report.racks.get(2).expect("rack 2 exists");
+    let straggle: Vec<(usize, usize, f64)> = r2
+        .report
+        .recoveries
+        .iter()
+        .map(|r| (r.fault_epoch, r.recovered_epoch, r.reclaimed.as_watts()))
+        .collect();
+    assert_eq!(straggle.len(), 1);
+    assert_eq!((straggle[0].0, straggle[0].1), (4, 5));
+    assert!(straggle[0].2.abs() < 1e-9);
+
+    // Redistribution: the survivors' final grants absorb the whole bound,
+    // split by the arbiter's demand-driven shifting (not evenly — rack 1
+    // runs degraded and rack 2 at full strength).
+    assert!((r1.granted.as_watts() - 1331.907).abs() < 0.05);
+    assert!((r2.granted.as_watts() - 1668.094).abs() < 0.05);
+    assert!(
+        (r1.granted.as_watts() + r2.granted.as_watts() - budget.as_watts()).abs() < 1e-6,
+        "survivor grants must sum to the global bound"
+    );
+
+    // Both survivors re-planned at the crash epoch — redistribution lands
+    // within one epoch of the rack fault.
+    for rack in [r1, r2] {
+        assert!(
+            rack.report
+                .epochs
+                .iter()
+                .any(|e| e.epoch == 3 && e.replanned),
+            "rack {} must re-plan at the crash epoch",
+            rack.rack
+        );
+    }
+
+    // Survivors and aggregate throughput under the fixed seed.
+    assert_eq!(report.survivors, 7);
+    let agg = report.aggregate_performance();
+    assert!((agg - 1.5613).abs() / 1.5613 < 0.01, "aggregate {agg:.4}");
+}
+
 /// Uncapped single-node performance pins for three representative apps.
 #[test]
 fn golden_uncapped_performance() {

@@ -72,6 +72,98 @@ fn different_seeds_actually_diverge() {
     assert_ne!(a, b, "seeds 41 and 42 produced identical fault runs");
 }
 
+/// One sharded campaign under a fixed seed: a 4-rack fleet with a global
+/// fault plan, a mid-campaign whole-rack crash, and per-rack tracing.
+/// Returns the concatenated per-rack JSONL traces (rack order), the
+/// cluster-level arbiter trace, and the serialized [`ShardRunReport`].
+fn sharded_replay(
+    seed: u64,
+    workers: Option<usize>,
+    shuffle_seed: Option<u64>,
+) -> (String, String) {
+    use clip_core::{run_sharded, RackFault, ShardConfig};
+    use clip_obs::{RingSink, TraceRecorder};
+    use cluster_sim::{RackTopology, ShardedFleet};
+
+    let topo = RackTopology::new(4, 3);
+    let fleet = ShardedFleet::with_variability(topo, &VariabilityModel::default(), seed);
+    let mut rng = SimRng::seed_from_u64(seed);
+    let faults = FaultPlan::random(&mut rng, topo.total_nodes(), 5);
+    let cfg = ShardConfig {
+        epochs: 5,
+        iterations_per_epoch: 1,
+        shift_fraction: 0.5,
+        workers,
+        shuffle_seed,
+    };
+    let pred = InflectionPredictor::train_default(5);
+    let recorders: Vec<TraceRecorder<RingSink>> = (0..topo.racks())
+        .map(|_| TraceRecorder::new(RingSink::new(8192)))
+        .collect();
+    let mut cluster_rec = TraceRecorder::new(RingSink::new(8192));
+    let (report, recs) = run_sharded(
+        fleet,
+        |_rack| Box::new(ClipScheduler::new(pred.clone())),
+        &suite::comd(),
+        Power::watts(2200.0),
+        &faults,
+        &[RackFault {
+            at_epoch: 2,
+            rack: 3,
+        }],
+        &cfg,
+        recorders,
+        &mut cluster_rec,
+    );
+    let mut trace = String::new();
+    for rec in recs {
+        let sink = rec.finish();
+        assert_eq!(sink.dropped(), 0, "rack ring overflowed");
+        trace.push_str(&sink.to_jsonl());
+    }
+    let arbiter_sink = cluster_rec.finish();
+    assert_eq!(arbiter_sink.dropped(), 0, "arbiter ring overflowed");
+    trace.push_str(&arbiter_sink.to_jsonl());
+    let report_json = serde_json::to_string(&report).expect("shard reports serialize");
+    (trace, report_json)
+}
+
+/// Schedule independence: worker count and submission order are invisible
+/// in the output. The same sharded campaign run sequentially, on two
+/// workers, on one-per-core, and with a seeded-shuffled submission order
+/// produces byte-identical traces and an identical report — the parallel
+/// execute phase leaves no schedule fingerprint.
+#[test]
+fn sharded_campaign_is_schedule_independent() {
+    let (trace_1, report_1) = sharded_replay(31, Some(1), None);
+    assert!(!trace_1.is_empty(), "a traced campaign must emit events");
+    for (workers, shuffle) in [
+        (Some(2), None),
+        (None, None),
+        (Some(2), Some(0xD15C_u64)),
+        (None, Some(41)),
+    ] {
+        let (trace_n, report_n) = sharded_replay(31, workers, shuffle);
+        assert_eq!(
+            trace_1, trace_n,
+            "trace bytes diverged at workers={workers:?} shuffle={shuffle:?}"
+        );
+        assert_eq!(
+            report_1, report_n,
+            "report diverged at workers={workers:?} shuffle={shuffle:?}"
+        );
+    }
+}
+
+/// And the sharded replay promise itself: two independent runs of the same
+/// `(seed, topology, FaultPlan, RackFault)` campaign are bit-identical.
+#[test]
+fn sharded_campaign_replays_bit_identically() {
+    let a = sharded_replay(88, None, None);
+    let b = sharded_replay(88, None, None);
+    assert_eq!(a, b, "same sharded campaign must replay bit-identically");
+}
+
 #[test]
 fn fault_plan_is_pure_function_of_seed() {
     // The plan alone — before any cluster is involved — replays exactly,
