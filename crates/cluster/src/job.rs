@@ -20,6 +20,7 @@ use crate::fleet::Cluster;
 use serde::{Deserialize, Serialize};
 use simkit::{Power, TimeSpan};
 use simnode::{AffinityPolicy, ExecutionReport};
+use std::borrow::Cow;
 use workload::AppModel;
 
 /// What to run and how.
@@ -27,8 +28,10 @@ use workload::AppModel;
 pub struct JobSpec<'a> {
     /// The (unscaled) application.
     pub app: &'a AppModel,
-    /// Indices of the participating nodes.
-    pub node_ids: Vec<usize>,
+    /// Indices of the participating nodes. Borrowed in the engine's
+    /// per-epoch dispatch (the plan already owns the ids — hot-alloc);
+    /// owned when the caller builds an ad-hoc set.
+    pub node_ids: Cow<'a, [usize]>,
     /// OpenMP threads per node.
     pub threads_per_node: usize,
     /// Thread affinity policy on every node.
@@ -48,7 +51,7 @@ impl<'a> JobSpec<'a> {
     ) -> Self {
         Self {
             app,
-            node_ids: (0..nodes).collect(),
+            node_ids: Cow::Owned((0..nodes).collect()),
             threads_per_node,
             policy,
             iterations,
@@ -155,7 +158,7 @@ pub fn run_job<R: clip_obs::Recorder>(
 ) -> JobReport {
     assert!(!spec.node_ids.is_empty(), "job needs at least one node");
     assert!(spec.iterations > 0, "job needs at least one iteration");
-    for &id in &spec.node_ids {
+    for &id in spec.node_ids.iter() {
         assert!(id < cluster.len(), "node {id} out of range");
         assert!(cluster.is_alive(id), "node {id} has crashed");
     }
@@ -379,7 +382,7 @@ mod tests {
         let app = suite::mini_md();
         let spec = JobSpec {
             app: &app,
-            node_ids: vec![1, 3],
+            node_ids: vec![1, 3].into(),
             threads_per_node: 12,
             policy: AffinityPolicy::Compact,
             iterations: 1,
@@ -396,7 +399,7 @@ mod tests {
         let app = suite::comd();
         let spec = JobSpec {
             app: &app,
-            node_ids: vec![5],
+            node_ids: vec![5].into(),
             threads_per_node: 4,
             policy: AffinityPolicy::Compact,
             iterations: 1,
@@ -412,7 +415,7 @@ mod tests {
         let app = suite::comd();
         let spec = JobSpec {
             app: &app,
-            node_ids: vec![0, 1],
+            node_ids: vec![0, 1].into(),
             threads_per_node: 4,
             policy: AffinityPolicy::Compact,
             iterations: 1,

@@ -245,8 +245,10 @@ pub trait EpochPolicy<R: Recorder> {
     }
 
     /// The workload for `epoch`, or `None` to keep the run's base app.
-    /// Phase-transition policies override this; the engine clones the
-    /// returned model only when it differs from the base.
+    /// Phase-transition policies override this; the engine stages a clone
+    /// in [`RunState`] and re-clones only when the returned model differs
+    /// from what is already staged, so steady epochs inside one phase pay
+    /// no allocation.
     fn app_for_epoch(&self, epoch: usize) -> Option<&AppModel> {
         let _ = epoch;
         None
@@ -327,6 +329,9 @@ pub struct RunState {
     name: String,
     /// The live plan the current epoch executes under.
     pub plan: SchedulePlan,
+    // The staged app override for the current epoch, re-cloned only when
+    // the policy switches phases (clone-on-change).
+    staged: Option<AppModel>,
     epochs: Vec<EpochRecord>,
     recoveries: Vec<Recovery>,
     injected_overshoots: usize,
@@ -343,6 +348,12 @@ impl RunState {
         &self.recoveries
     }
 
+    /// The current epoch's staged app override, if the policy switched
+    /// phases; the execute phase runs `staged().unwrap_or(base_app)`.
+    pub fn staged(&self) -> Option<&AppModel> {
+        self.staged.as_ref()
+    }
+
     /// Per-epoch records so far.
     pub fn epochs(&self) -> &[EpochRecord] {
         &self.epochs
@@ -357,9 +368,6 @@ impl RunState {
 pub struct EpochPrep {
     replanned: bool,
     boundary: Boundary,
-    /// The epoch's staged app override, if the policy switched phases;
-    /// the execute phase runs `staged.as_ref().unwrap_or(base_app)`.
-    pub staged: Option<AppModel>,
     ledger: BudgetLedger,
 }
 
@@ -487,7 +495,7 @@ impl<R: Recorder> EpochEngine<R> {
             let prep = self.prepare_epoch(&mut state, scheduler, cluster, app, policy, epoch);
             let report = self.execute(
                 cluster,
-                prep.staged.as_ref().unwrap_or(app),
+                state.staged().unwrap_or(app),
                 &state.plan,
                 cfg.iterations_per_epoch,
             );
@@ -533,6 +541,7 @@ impl<R: Recorder> EpochEngine<R> {
         RunState {
             name,
             plan,
+            staged,
             epochs: Vec::with_capacity(cfg.epochs),
             recoveries: Vec::new(),
             injected_overshoots: 0,
@@ -557,8 +566,16 @@ impl<R: Recorder> EpochEngine<R> {
         let ep = epoch as u64;
         self.epoch = ep;
         let mut replanned = false;
-        let staged = policy.app_for_epoch(epoch).cloned();
-        let app_e = staged.as_ref().unwrap_or(app);
+        // Stage this epoch's app override, re-cloning only when the
+        // policy's choice differs from what is already staged: steady
+        // epochs inside one phase reuse the staged model (this `.cloned()`
+        // used to run every epoch — the engine's top hot-alloc finding).
+        match (policy.app_for_epoch(epoch), state.staged.as_ref()) {
+            (Some(want), Some(cur)) if want == cur => {}
+            (Some(want), _) => state.staged = Some(want.clone()),
+            (None, _) => state.staged = None,
+        }
+        let app_e = state.staged.as_ref().unwrap_or(app);
 
         // 1. Recover from the previous epoch's pool change: Algorithm 1
         //    over the survivors, full budget.
@@ -636,7 +653,6 @@ impl<R: Recorder> EpochEngine<R> {
         EpochPrep {
             replanned,
             boundary,
-            staged,
             ledger,
         }
     }
@@ -644,7 +660,7 @@ impl<R: Recorder> EpochEngine<R> {
     /// Phase 3's counterpart, the sequential epoch epilogue: classify the
     /// measured power against the audited plan, emit the epoch metrics and
     /// trace event, append the epoch record. The execute phase itself —
-    /// [`EpochEngine::execute`] on `prep.staged`/`state.plan` — happens
+    /// [`EpochEngine::execute`] on `state.staged()`/`state.plan` — happens
     /// between `prepare_epoch` and this call, and is the only part a
     /// sharded coordinator runs in parallel.
     pub fn settle_epoch(

@@ -172,6 +172,20 @@ pub struct BudgetArbiter {
     budget: Power,
     shift_fraction: f64,
     grants: Vec<Power>,
+    scratch: ArbiterScratch,
+}
+
+/// Reusable buffers for the arbiter's per-epoch work. `rebalance` runs
+/// every epoch on the sharded hot path (hot-alloc), so the donation /
+/// weight / share vectors and the audit snapshots are kept here and
+/// refilled with `clear()` + `resize`/`extend` instead of collected anew.
+#[derive(Debug, Clone, Default)]
+struct ArbiterScratch {
+    donations: Vec<f64>,
+    weights: Vec<usize>,
+    shares: Vec<f64>,
+    before: Vec<PowerCaps>,
+    after: Vec<PowerCaps>,
 }
 
 impl BudgetArbiter {
@@ -183,14 +197,19 @@ impl BudgetArbiter {
             (0.0..=1.0).contains(&shift_fraction),
             "shift fraction must be in [0, 1]"
         );
-        let grants = proportional_split(budget.as_watts(), weights)
-            .into_iter()
-            .map(Power::watts)
-            .collect();
+        let mut shares = Vec::new();
+        proportional_split(budget.as_watts(), weights, &mut shares);
+        let grants = shares.iter().copied().map(Power::watts).collect();
         Self {
             budget,
             shift_fraction,
             grants,
+            // Seed the scratch with the construction-time share buffer so
+            // the first rebalance starts from a warm allocation.
+            scratch: ArbiterScratch {
+                shares,
+                ..ArbiterScratch::default()
+            },
         }
     }
 
@@ -209,32 +228,42 @@ impl BudgetArbiter {
     /// survivors see the budget within the same epoch. Returns the watts
     /// reclaimed from the dead rack.
     pub fn retire_rack(&mut self, rack: usize, alive: &[usize], live: &[bool]) -> Power {
-        let before = self.grant_caps();
+        // Take the scratch so its buffers can be filled while `self` is
+        // mutably borrowed; restored before every return.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        caps_of(&self.grants, &mut scratch.before);
         let reclaimed = self.grants.get(rack).copied().unwrap_or(Power::ZERO);
         if let Some(g) = self.grants.get_mut(rack) {
             *g = Power::ZERO;
         }
-        let weights: Vec<usize> = alive
-            .iter()
-            .zip(live)
-            .map(|(&a, &l)| if l { a } else { 0 })
-            .collect();
-        let shares = proportional_split(reclaimed.as_watts(), &weights);
-        for (g, share) in self.grants.iter_mut().zip(&shares) {
+        scratch.weights.clear();
+        scratch
+            .weights
+            .extend(alive.iter().zip(live).map(|(&a, &l)| if l { a } else { 0 }));
+        proportional_split(reclaimed.as_watts(), &scratch.weights, &mut scratch.shares);
+        for (g, share) in self.grants.iter_mut().zip(&scratch.shares) {
             *g += Power::watts(*share);
         }
-        self.audit_shift(&before);
+        caps_of(&self.grants, &mut scratch.after);
+        self.audit_shift(&scratch.before, &scratch.after);
+        self.scratch = scratch;
         reclaimed
     }
 
     /// One Medhat-style rebalance round over the demands the racks
     /// reported this epoch. Returns the new grants (also stored).
     pub fn rebalance(&mut self, demands: &[Power], alive: &[usize], live: &[bool]) -> &[Power] {
-        let before = self.grant_caps();
+        // Take the scratch so its buffers can be filled while `self` is
+        // mutably borrowed; restored before every return.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        caps_of(&self.grants, &mut scratch.before);
         let n = self.grants.len();
-        let mut donations = vec![0.0f64; n];
+        scratch.donations.clear();
+        scratch.donations.resize(n, 0.0);
+        scratch.weights.clear();
+        scratch.weights.resize(n, 0);
         let mut pool = 0.0f64;
-        let mut receivers: Vec<usize> = Vec::new();
+        let mut has_receivers = false;
         for (r, grant) in self.grants.iter().enumerate() {
             let is_live = live.get(r).copied().unwrap_or(false);
             if !is_live {
@@ -244,67 +273,70 @@ impl BudgetArbiter {
             let slack = grant.as_watts() - demand.as_watts();
             if slack > GRANT_TOLERANCE_WATTS {
                 let d = slack * self.shift_fraction;
-                if let Some(slot) = donations.get_mut(r) {
+                if let Some(slot) = scratch.donations.get_mut(r) {
                     *slot = d;
                 }
                 pool += d;
             } else {
                 // Demand at (or above) the grant: this rack is
-                // power-constrained and wants more.
-                receivers.push(r);
+                // power-constrained and wants more. Its receive weight is
+                // its alive-node count; non-receivers stay zero-weighted.
+                if let Some(w) = scratch.weights.get_mut(r) {
+                    *w = alive.get(r).copied().unwrap_or(0);
+                }
+                has_receivers = true;
             }
         }
-        if pool <= GRANT_TOLERANCE_WATTS || receivers.is_empty() {
+        if pool <= GRANT_TOLERANCE_WATTS || !has_receivers {
+            self.scratch = scratch;
             return &self.grants;
         }
-        let weights: Vec<usize> = (0..n)
-            .map(|r| {
-                if receivers.contains(&r) {
-                    alive.get(r).copied().unwrap_or(0)
-                } else {
-                    0
-                }
-            })
-            .collect();
-        let shares = proportional_split(pool, &weights);
-        for ((g, donated), share) in self.grants.iter_mut().zip(&donations).zip(&shares) {
+        proportional_split(pool, &scratch.weights, &mut scratch.shares);
+        for ((g, donated), share) in self
+            .grants
+            .iter_mut()
+            .zip(&scratch.donations)
+            .zip(&scratch.shares)
+        {
             *g = Power::watts(g.as_watts() - donated + share);
         }
-        self.audit_shift(&before);
+        caps_of(&self.grants, &mut scratch.after);
+        self.audit_shift(&scratch.before, &scratch.after);
+        self.scratch = scratch;
         &self.grants
-    }
-
-    fn grant_caps(&self) -> Vec<PowerCaps> {
-        // Struct literal, not `PowerCaps::new`: a dead rack's grant is a
-        // legitimate zero, and the shift audit only compares sums.
-        self.grants
-            .iter()
-            .map(|&g| PowerCaps {
-                cpu: g,
-                dram: Power::ZERO,
-            })
-            .collect()
     }
 
     /// Zero-sum proof: every grant change preserves the global bound,
     /// checked through the same ledger machinery that audits intra-rack
     /// cap shifting.
-    fn audit_shift(&self, before: &[PowerCaps]) {
-        let after = self.grant_caps();
-        BudgetLedger::new("arbiter", self.budget).audit_shift(before, &after);
+    fn audit_shift(&self, before: &[PowerCaps], after: &[PowerCaps]) {
+        BudgetLedger::new("arbiter", self.budget).audit_shift(before, after);
     }
 }
 
-/// Split `total` watts over `weights`, zero where the weight is zero, the
-/// last nonzero-weight slot absorbing the rounding remainder so the parts
-/// sum to `total` exactly.
-fn proportional_split(total: f64, weights: &[usize]) -> Vec<f64> {
+/// Snapshot `grants` as [`PowerCaps`] into `out` for the shift audit.
+/// Struct literal, not `PowerCaps::new`: a dead rack's grant is a
+/// legitimate zero, and the shift audit only compares sums.
+fn caps_of(grants: &[Power], out: &mut Vec<PowerCaps>) {
+    out.clear();
+    out.extend(grants.iter().map(|&g| PowerCaps {
+        cpu: g,
+        dram: Power::ZERO,
+    }));
+}
+
+/// Split `total` watts over `weights` into `parts` (cleared and refilled,
+/// so callers can reuse the buffer — this runs on the per-epoch rebalance
+/// path), zero where the weight is zero, the last nonzero-weight slot
+/// absorbing the rounding remainder so the parts sum to `total` exactly.
+fn proportional_split(total: f64, weights: &[usize], parts: &mut Vec<f64>) {
+    parts.clear();
+    parts.resize(weights.len(), 0.0);
     let weight_sum: usize = weights.iter().sum();
     if weight_sum == 0 {
-        return vec![0.0; weights.len()];
+        return;
     }
     let last_nonzero = weights.iter().rposition(|&w| w > 0);
-    let mut parts = vec![0.0; weights.len()];
     let mut assigned = 0.0f64;
     for (i, (&w, part)) in weights.iter().zip(parts.iter_mut()).enumerate() {
         if w == 0 {
@@ -317,7 +349,6 @@ fn proportional_split(total: f64, weights: &[usize]) -> Vec<f64> {
             assigned += *part;
         }
     }
-    parts
 }
 
 /// One rack's worth of campaign state, moved wholesale through the
@@ -487,6 +518,14 @@ where
         });
     }
 
+    // Per-epoch scratch, hoisted out of the epoch loop (hot-alloc):
+    // refilled with clear() + extend each phase instead of collected anew.
+    let mut order: Vec<usize> = Vec::new();
+    let mut slots: Vec<Option<RackRun<R>>> = Vec::new();
+    let mut demands: Vec<Power> = Vec::with_capacity(runs.len());
+    let mut alive: Vec<usize> = Vec::with_capacity(runs.len());
+    let mut live: Vec<bool> = Vec::with_capacity(runs.len());
+
     for epoch in 0..cfg.epochs {
         let ep = epoch as u64;
 
@@ -511,8 +550,10 @@ where
                         .finish_run(state, &mut *run.scheduler, &run.cluster),
                 );
             }
-            let alive: Vec<usize> = runs.iter().map(|r| r.cluster.alive_len()).collect();
-            let live: Vec<bool> = runs.iter().map(|r| r.live).collect();
+            alive.clear();
+            alive.extend(runs.iter().map(|r| r.cluster.alive_len()));
+            live.clear();
+            live.extend(runs.iter().map(|r| r.live));
             let reclaimed = arbiter.retire_rack(fault.rack, &alive, &live);
             if let Some(run) = runs.get_mut(fault.rack) {
                 run.reclaimed = reclaimed;
@@ -548,17 +589,24 @@ where
         // value is moved into the closure and written back whole — the
         // indexed write-back shape clip-lint's commutativity rule admits.
         // Submission order may be shuffled; the merge below restores rack
-        // order, so thread count and submission order leave no trace.
-        let order = submission_order(runs.len(), cfg.shuffle_seed, epoch);
-        let mut slots: Vec<Option<RackRun<R>>> = runs.into_iter().map(Some).collect();
-        let submitted: Vec<RackRun<R>> = order
-            .iter()
-            .filter_map(|&i| slots.get_mut(i).and_then(Option::take))
-            .collect();
+        // order, so thread count and submission order leave no trace. The
+        // identity order (no shuffle seed) hands the racks straight to the
+        // pool without the per-epoch slot dance.
+        let submitted: Vec<RackRun<R>> = if cfg.shuffle_seed.is_some() {
+            submission_order(&mut order, runs.len(), cfg.shuffle_seed, epoch);
+            slots.clear();
+            slots.extend(runs.into_iter().map(Some));
+            order
+                .iter()
+                .filter_map(|&i| slots.get_mut(i).and_then(Option::take))
+                .collect()
+        } else {
+            runs
+        };
         let mut executed = parallel_map_with(submitted, cfg.workers, |mut run: RackRun<R>| {
-            if run.live {
-                if let (Some(state), Some(prep)) = (run.state.as_ref(), run.prep.as_ref()) {
-                    let app_e = prep.staged.as_ref().unwrap_or(&run.base_app);
+            if run.live && run.prep.is_some() {
+                if let Some(state) = run.state.as_ref() {
+                    let app_e = state.staged().unwrap_or(&run.base_app);
                     let report =
                         run.engine
                             .execute(&mut run.cluster, app_e, &state.plan, run.iterations);
@@ -584,9 +632,12 @@ where
         // Phase 4 (sequential): the arbiter shifts slack on the demands
         // just reported; changed grants take effect next epoch.
         if epoch + 1 < cfg.epochs {
-            let demands: Vec<Power> = runs.iter().map(|r| r.last_demand).collect();
-            let alive: Vec<usize> = runs.iter().map(|r| r.cluster.alive_len()).collect();
-            let live: Vec<bool> = runs.iter().map(|r| r.live).collect();
+            demands.clear();
+            demands.extend(runs.iter().map(|r| r.last_demand));
+            alive.clear();
+            alive.extend(runs.iter().map(|r| r.cluster.alive_len()));
+            live.clear();
+            live.extend(runs.iter().map(|r| r.live));
             arbiter.rebalance(&demands, &alive, &live);
             apply_grants(&mut runs, &arbiter, cluster_rec, ep);
         }
@@ -671,16 +722,18 @@ fn apply_grants<R: Recorder, C: Recorder>(
     }
 }
 
-/// The execute phase's submission order for `epoch`: identity unless a
-/// shuffle seed asks for a seeded permutation (distinct per epoch).
-fn submission_order(n: usize, shuffle_seed: Option<u64>, epoch: usize) -> Vec<usize> {
-    let mut order: Vec<usize> = (0..n).collect();
+/// The execute phase's submission order for `epoch`, filled into the
+/// reused `order` buffer (hot-alloc — this runs every shuffled epoch):
+/// identity unless a shuffle seed asks for a seeded permutation
+/// (distinct per epoch).
+fn submission_order(order: &mut Vec<usize>, n: usize, shuffle_seed: Option<u64>, epoch: usize) {
+    order.clear();
+    order.extend(0..n);
     if let Some(seed) = shuffle_seed {
         let mut rng =
             SimRng::seed_from_u64(seed ^ (epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        rng.shuffle(&mut order);
+        rng.shuffle(order);
     }
-    order
 }
 
 #[cfg(test)]

@@ -158,7 +158,9 @@ pub fn execute_plan<R: clip_obs::Recorder>(
     }
     let spec = JobSpec {
         app,
-        node_ids: plan.node_ids.clone(),
+        // Borrowed, not cloned: the plan owns the ids for the epoch and
+        // the job only reads them (hot-alloc — this ran every epoch).
+        node_ids: std::borrow::Cow::Borrowed(&plan.node_ids),
         threads_per_node: plan.threads_per_node,
         policy: plan.policy,
         iterations,

@@ -1,0 +1,690 @@
+//! The hot-path cost analysis (v4): allocation and serialization lints
+//! over the engine's epoch loop, with a per-entry-point site budget.
+//!
+//! CLIP's premise is that coordination overhead stays negligible relative
+//! to the epoch length; BENCH_engine.json showed the traced engine paying
+//! 24× over the no-op path, all per-event JSON serialization and
+//! per-epoch heap churn. This pass makes that cost a proven, ratcheted
+//! property instead of a benchmark regression someone notices later.
+//!
+//! ## The hot set
+//!
+//! The hot set is every function reachable on the call graph from the
+//! epoch-loop entry points:
+//!
+//! - the per-epoch phase methods `EpochEngine::{execute, prepare_epoch,
+//!   settle_epoch}` — their whole bodies run once per epoch;
+//! - the drivers `EpochEngine::run` and `run_sharded` — hot only inside
+//!   their **epoch loop** (the `for`/`while` loop whose header mentions
+//!   `epoch`); code before the loop is setup, code after is report
+//!   construction, and neither runs per epoch. A driver with no
+//!   recognizable epoch loop is treated as hot throughout (the safe
+//!   over-approximation).
+//!
+//! Reachability stops at three deliberate barriers:
+//!
+//! - **setup phases** — `begin_run`/`finish_run` run once per run, not
+//!   per epoch; they are the blessed hoist destination, so allocation
+//!   inside them is the *fix* for a hot-alloc finding, never a finding.
+//! - **the planning boundary** — `coordinate`/`plan`/`plan_subset`.
+//!   Algorithm 1's planning cost is amortized over re-coordinations (it
+//!   runs on pool changes and phase boundaries, not every epoch), and
+//!   pricing the whole scheduler stack as per-epoch would drown the real
+//!   per-epoch findings in noise.
+//! - **`enabled()`-gated spans** — the consequent block of any
+//!   `if … enabled() … { … }` is the recorder's pay-when-tracing
+//!   boundary; calls and allocations inside it are exempt, and the pass
+//!   does not descend through them. An *ungated* recorder call, by
+//!   contrast, is descended into and its `serde_json` serialization
+//!   fires hot-serde — that asymmetry is the whole point of the rule.
+//!
+//! ## The rules
+//!
+//! - **hot-alloc** — a heap-allocating call (`Vec::new`, `vec!`,
+//!   `collect`, `to_string`, `format!`, `String::from`, `Box::new`,
+//!   `clone`/`cloned`, …) at a hot site. The diagnostic carries the
+//!   `via` call chain from the entry point, like the v3 race reports.
+//! - **hot-serde** — any `serde_json` mention at a hot site outside a
+//!   gated span: per-event serialization that runs even when nobody is
+//!   tracing.
+//!
+//! ## The budget
+//!
+//! [`check`] also returns a per-entry-point table of *raw* (pre-
+//! allowlist) site counts. The golden report and `self_clean.rs` pin the
+//! table, so a new hot-path allocation fails CI even when it is
+//! allowlisted — the ratchet moves only by editing the pin, with the
+//! allow entry's reason on record.
+
+use crate::ast::{matching_close, FnItem, ParsedSource};
+use crate::callgraph::{self, CallGraph};
+use crate::lexer::Token;
+use crate::rules::{Rule, Violation};
+use crate::symbols::{FnId, SymbolTable, ENTRY_ENGINE_TYPE};
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Per-epoch phase methods on [`ENTRY_ENGINE_TYPE`]: hot throughout.
+const HOT_PHASE_METHODS: [&str; 3] = ["execute", "prepare_epoch", "settle_epoch"];
+
+/// Epoch-loop drivers: `EpochEngine::run` plus the free sharded
+/// coordinator. Hot only inside their epoch loop.
+const DRIVER_METHODS: [&str; 1] = ["run"];
+const DRIVER_FREE_FNS: [&str; 1] = ["run_sharded"];
+
+/// Once-per-run phases — the blessed hoist destination. Not descended.
+const SETUP_METHODS: [&str; 2] = ["begin_run", "finish_run"];
+
+/// The planning boundary: amortized over re-coordinations, not
+/// per-epoch. Not descended.
+const PLANNING_METHODS: [&str; 3] = ["coordinate", "plan", "plan_subset"];
+
+/// Types whose `::new`/`::with_capacity`/`::from` constructors allocate.
+const ALLOC_TYPES: [&str; 8] = [
+    "Vec", "String", "Box", "VecDeque", "BTreeMap", "BTreeSet", "HashMap", "HashSet",
+];
+
+/// Allocating associated-function names on [`ALLOC_TYPES`].
+const ALLOC_TYPE_FNS: [&str; 3] = ["new", "with_capacity", "from"];
+
+/// Allocating macros (`vec![…]`, `format!(…)`).
+const ALLOC_MACROS: [&str; 2] = ["vec", "format"];
+
+/// Allocating method names (`.collect()`, `.collect::<Vec<_>>()`,
+/// `.to_string()`, `.clone()`, …).
+const ALLOC_METHODS: [&str; 6] = [
+    "collect",
+    "to_string",
+    "to_owned",
+    "to_vec",
+    "clone",
+    "cloned",
+];
+
+/// One row of the per-entry-point budget table: raw (pre-allowlist) hot
+/// site counts reachable from one epoch-loop entry point.
+#[derive(Debug, Clone, Serialize)]
+pub struct EntryCost {
+    /// Entry-point label (`EpochEngine::execute`, `run_sharded`, …).
+    pub entry: String,
+    /// Heap-allocation sites reachable on the entry's hot subgraph.
+    pub alloc_sites: usize,
+    /// Ungated `serde_json` sites reachable on the entry's hot subgraph.
+    pub serde_sites: usize,
+}
+
+/// Output of [`check`].
+#[derive(Debug, Default)]
+pub struct CostOutput {
+    /// hot-alloc and hot-serde findings, pre-allowlist.
+    pub violations: Vec<Violation>,
+    /// Per-entry-point raw site counts, sorted by entry label.
+    pub budget: Vec<EntryCost>,
+}
+
+/// Token-index spans `(open_brace, close_brace)`; membership is strictly
+/// between the braces.
+type Spans = Vec<(usize, usize)>;
+
+/// What one hot function contributes: its ungated hot-span callees and
+/// its own alloc/serde sites.
+#[derive(Debug, Default)]
+struct FnCost {
+    callees: BTreeSet<FnId>,
+    /// (line, pattern name) per allocation site.
+    alloc: Vec<(u32, String)>,
+    /// Line per ungated `serde_json` site.
+    serde: Vec<u32>,
+}
+
+fn in_spans(spans: &Spans, idx: usize) -> bool {
+    spans.iter().any(|&(open, close)| idx > open && idx < close)
+}
+
+fn in_test_span(file: &ParsedSource, idx: usize) -> bool {
+    file.unit
+        .excluded
+        .iter()
+        .any(|&(start, end)| idx >= start && idx < end)
+}
+
+/// `if … enabled() … { … }` consequent blocks between `lo..=hi`. The
+/// condition must contain an `enabled(` call and no negation (`!x` or
+/// `x != y` conditions gate the *disabled* path, which is exactly where
+/// cost matters).
+fn gated_spans(tokens: &[Token], lo: usize, hi: usize) -> Spans {
+    let mut spans = Spans::new();
+    let mut i = lo;
+    while i <= hi {
+        let Some(tok) = tokens.get(i) else { break };
+        if tok.is_ident && tok.text == "if" {
+            let mut depth = 0i32;
+            let mut saw_enabled = false;
+            let mut negated = false;
+            let mut open = None;
+            let mut j = i + 1;
+            while j <= hi {
+                let Some(t) = tokens.get(j) else { break };
+                if t.is("(") || t.is("[") {
+                    depth += 1;
+                } else if t.is(")") || t.is("]") {
+                    depth -= 1;
+                } else if depth == 0 && t.is("{") {
+                    open = Some(j);
+                    break;
+                } else if depth == 0 && t.is(";") {
+                    break;
+                } else if t.is_ident
+                    && t.text == "enabled"
+                    && tokens.get(j + 1).is_some_and(|p| p.is("("))
+                {
+                    saw_enabled = true;
+                } else if t.is("!") && !tokens.get(j + 1).is_some_and(|p| p.is("=")) {
+                    negated = true;
+                }
+                j += 1;
+            }
+            if let Some(open) = open {
+                if saw_enabled && !negated {
+                    let close = matching_close(tokens, open, "{", "}");
+                    spans.push((open, close));
+                    i = close;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Epoch-loop body spans in a driver between `lo..=hi`: `for`/`while`
+/// loops whose header mentions an `epoch` ident, plus bare `loop` blocks
+/// (headerless, so assumed hot in the safe direction).
+fn epoch_loop_spans(tokens: &[Token], lo: usize, hi: usize) -> Spans {
+    let mut spans = Spans::new();
+    let mut i = lo;
+    while i <= hi {
+        let Some(t) = tokens.get(i) else { break };
+        if t.is_ident && (t.text == "for" || t.text == "while" || t.text == "loop") {
+            let bare_loop = t.text == "loop";
+            let mut depth = 0i32;
+            let mut epochish = bare_loop;
+            let mut open = None;
+            let mut j = i + 1;
+            while j <= hi {
+                let Some(h) = tokens.get(j) else { break };
+                if h.is("(") || h.is("[") {
+                    depth += 1;
+                } else if h.is(")") || h.is("]") {
+                    depth -= 1;
+                } else if depth == 0 && h.is("{") {
+                    open = Some(j);
+                    break;
+                } else if depth == 0 && h.is(";") {
+                    break;
+                } else if h.is_ident && h.text.contains("epoch") {
+                    epochish = true;
+                }
+                j += 1;
+            }
+            if let Some(open) = open {
+                if epochish {
+                    let close = matching_close(tokens, open, "{", "}");
+                    spans.push((open, close));
+                    i = close;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+fn is_engine_method(item: &FnItem, names: &[&str]) -> bool {
+    names.contains(&item.name.as_str()) && item.owner.self_ty.as_deref() == Some(ENTRY_ENGINE_TYPE)
+}
+
+fn is_driver(item: &FnItem) -> bool {
+    is_engine_method(item, &DRIVER_METHODS)
+        || (DRIVER_FREE_FNS.contains(&item.name.as_str()) && item.owner.self_ty.is_none())
+}
+
+/// True when descent must stop at `callee`: setup phases and the
+/// planning boundary.
+fn is_barrier(files: &[ParsedSource], table: &SymbolTable, callee: FnId) -> bool {
+    let Some(item) = fn_item(files, table, callee) else {
+        return false;
+    };
+    is_engine_method(item, &SETUP_METHODS) || PLANNING_METHODS.contains(&item.name.as_str())
+}
+
+fn fn_item<'a>(files: &'a [ParsedSource], table: &SymbolTable, id: FnId) -> Option<&'a FnItem> {
+    let sym = table.fns.get(id)?;
+    files.get(sym.file)?.unit.index.fns.get(sym.item)
+}
+
+/// The allocation pattern name at ident token `i`, if any.
+fn alloc_pattern(tokens: &[Token], i: usize) -> Option<String> {
+    let t = tokens.get(i)?;
+    if !t.is_ident {
+        return None;
+    }
+    let name = t.text.as_str();
+    let prev = i.checked_sub(1).and_then(|p| tokens.get(p));
+    // `vec![…]` / `format!(…)`.
+    if ALLOC_MACROS.contains(&name) && tokens.get(i + 1).is_some_and(|n| n.is("!")) {
+        return Some(format!("{name}!"));
+    }
+    // `Vec :: new (`, `String :: from (`, `Box :: new (`, …
+    if ALLOC_TYPES.contains(&name)
+        && tokens.get(i + 1).is_some_and(|n| n.is(":"))
+        && tokens.get(i + 2).is_some_and(|n| n.is(":"))
+    {
+        let method = tokens.get(i + 3)?;
+        if method.is_ident
+            && ALLOC_TYPE_FNS.contains(&method.text.as_str())
+            && tokens.get(i + 4).is_some_and(|n| n.is("("))
+        {
+            return Some(format!("{name}::{}", method.text));
+        }
+    }
+    // `.collect(` / `.collect::<Vec<_>>(` / `.to_string(` / `.clone(` …
+    if prev.is_some_and(|p| p.is(".")) && ALLOC_METHODS.contains(&name) {
+        let direct = tokens.get(i + 1).is_some_and(|n| n.is("("));
+        let turbofish = tokens.get(i + 1).is_some_and(|n| n.is(":"))
+            && tokens.get(i + 2).is_some_and(|n| n.is(":"));
+        if direct || turbofish {
+            return Some(name.to_string());
+        }
+    }
+    None
+}
+
+/// Scan one function's hot spans for callees and cost sites.
+fn analyze_fn(files: &[ParsedSource], table: &SymbolTable, id: FnId) -> FnCost {
+    let mut out = FnCost::default();
+    let Some(sym) = table.fns.get(id) else {
+        return out;
+    };
+    let Some(file) = files.get(sym.file) else {
+        return out;
+    };
+    let Some(item) = file.unit.index.fns.get(sym.item) else {
+        return out;
+    };
+    let Some((lo, hi)) = item.body else {
+        return out;
+    };
+    let tokens = &file.unit.tokens;
+    let gated = gated_spans(tokens, lo, hi);
+    let hot = if is_driver(item) {
+        let loops = epoch_loop_spans(tokens, lo, hi);
+        if loops.is_empty() {
+            vec![(lo, hi)]
+        } else {
+            loops
+        }
+    } else {
+        vec![(lo, hi)]
+    };
+    // Cost sites are reported only for in-scope library files; descent
+    // still happens everywhere so a helper in an out-of-scope file never
+    // hides its callees.
+    let in_scope = crate::rules_for_path(&file.path).is_some();
+
+    for i in lo..=hi {
+        let Some(t) = tokens.get(i) else { break };
+        if !t.is_ident || !in_spans(&hot, i) || in_spans(&gated, i) || in_test_span(file, i) {
+            continue;
+        }
+        let prev = i.checked_sub(1).and_then(|p| tokens.get(p));
+        // Call sites: `name (` that is not a declaration.
+        if tokens.get(i + 1).is_some_and(|n| n.is("("))
+            && !prev.is_some_and(|p| p.is_ident && p.text == "fn")
+        {
+            for callee in
+                callgraph::resolve_call(tokens, i, &file.unit.index, sym.item, files, table)
+            {
+                if !is_barrier(files, table, callee) {
+                    out.callees.insert(callee);
+                }
+            }
+        }
+        if in_scope {
+            if let Some(pattern) = alloc_pattern(tokens, i) {
+                out.alloc.push((t.line, pattern));
+            }
+            if t.text == "serde_json" {
+                out.serde.push(t.line);
+            }
+        }
+    }
+    out
+}
+
+/// The call chain from the nearest hot root to `id`, for diagnostics.
+fn via_path(
+    files: &[ParsedSource],
+    table: &SymbolTable,
+    id: FnId,
+    roots: &BTreeSet<FnId>,
+    parents: &BTreeMap<FnId, FnId>,
+) -> String {
+    let mut chain = vec![id];
+    let mut cur = id;
+    while !roots.contains(&cur) {
+        match parents.get(&cur) {
+            Some(&p) => {
+                cur = p;
+                chain.push(p);
+            }
+            None => break,
+        }
+        if chain.len() > parents.len() + 2 {
+            break;
+        }
+    }
+    chain.reverse();
+    chain
+        .iter()
+        .map(|&f| table.label(files, f))
+        .collect::<Vec<_>>()
+        .join(" -> ")
+}
+
+/// Run the hot-path cost analysis: compute the hot set, flag allocation
+/// and serialization sites on it, and build the per-entry budget table.
+pub fn check(files: &[ParsedSource], table: &SymbolTable, _graph: &CallGraph) -> CostOutput {
+    // Hot roots: the phase methods and the drivers.
+    let mut roots = BTreeSet::new();
+    for (id, _) in table.fns.iter().enumerate() {
+        let Some(item) = fn_item(files, table, id) else {
+            continue;
+        };
+        if is_engine_method(item, &HOT_PHASE_METHODS) || is_driver(item) {
+            roots.insert(id);
+        }
+    }
+
+    // BFS over ungated hot-span callees; the costs cache doubles as the
+    // per-function scan memo for the per-entry budget below.
+    let mut costs: BTreeMap<FnId, FnCost> = BTreeMap::new();
+    let mut parents: BTreeMap<FnId, FnId> = BTreeMap::new();
+    let mut visited: BTreeSet<FnId> = roots.clone();
+    let mut queue: VecDeque<FnId> = roots.iter().copied().collect();
+    while let Some(id) = queue.pop_front() {
+        let cost = analyze_fn(files, table, id);
+        for &callee in &cost.callees {
+            if visited.insert(callee) {
+                parents.insert(callee, id);
+                queue.push_back(callee);
+            }
+        }
+        costs.insert(id, cost);
+    }
+
+    let mut violations = Vec::new();
+    for (&id, cost) in &costs {
+        if cost.alloc.is_empty() && cost.serde.is_empty() {
+            continue;
+        }
+        let Some(sym) = table.fns.get(id) else {
+            continue;
+        };
+        let Some(file) = files.get(sym.file) else {
+            continue;
+        };
+        let via = via_path(files, table, id, &roots, &parents);
+        for (line, pattern) in &cost.alloc {
+            violations.push(Violation {
+                rule: Rule::HotAlloc,
+                file: file.path.clone(),
+                line: *line,
+                name: pattern.clone(),
+                message: format!(
+                    "per-epoch heap allocation `{pattern}` on the engine hot path (via {via}); \
+                     hoist it to begin_run/setup, reuse a buffer, or add a reasoned allow entry"
+                ),
+            });
+        }
+        for line in &cost.serde {
+            violations.push(Violation {
+                rule: Rule::HotSerde,
+                file: file.path.clone(),
+                line: *line,
+                name: "serde_json".to_string(),
+                message: format!(
+                    "serde_json serialization on the engine hot path (via {via}) outside an \
+                     enabled()-gated recorder block; tracing cost must be pay-when-enabled"
+                ),
+            });
+        }
+    }
+
+    // Per-entry budget: each root re-walks the memoized callee sets, so
+    // the counts reflect exactly what that entry point can reach.
+    let mut budget = Vec::new();
+    for &root in &roots {
+        let mut seen = BTreeSet::from([root]);
+        let mut queue = VecDeque::from([root]);
+        let mut alloc_sites = 0usize;
+        let mut serde_sites = 0usize;
+        while let Some(id) = queue.pop_front() {
+            let Some(cost) = costs.get(&id) else {
+                continue;
+            };
+            alloc_sites += cost.alloc.len();
+            serde_sites += cost.serde.len();
+            for &callee in &cost.callees {
+                if seen.insert(callee) {
+                    queue.push_back(callee);
+                }
+            }
+        }
+        budget.push(EntryCost {
+            entry: table.label(files, root),
+            alloc_sites,
+            serde_sites,
+        });
+    }
+    budget.sort_by(|a, b| a.entry.cmp(&b.entry));
+
+    CostOutput { violations, budget }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse_unit;
+    use crate::symbols::SymbolTable;
+    use std::sync::Arc;
+
+    fn run(sources: &[(&str, &str)]) -> CostOutput {
+        let parsed: Vec<ParsedSource> = sources
+            .iter()
+            .map(|(path, src)| ParsedSource {
+                path: path.to_string(),
+                unit: Arc::new(parse_unit(src)),
+            })
+            .collect();
+        let table = SymbolTable::build(&parsed);
+        let graph = CallGraph::build(&parsed, &table);
+        check(&parsed, &table, &graph)
+    }
+
+    fn names(out: &CostOutput, rule: Rule) -> Vec<&str> {
+        out.violations
+            .iter()
+            .filter(|v| v.rule == rule)
+            .map(|v| v.name.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn alloc_in_phase_method_is_flagged() {
+        let out = run(&[(
+            "crates/core/src/a.rs",
+            "impl EpochEngine { fn execute(&mut self) { let v: Vec<u64> = Vec::new(); } }",
+        )]);
+        assert_eq!(names(&out, Rule::HotAlloc), vec!["Vec::new"]);
+    }
+
+    #[test]
+    fn macro_and_collect_forms_are_flagged() {
+        let out = run(&[(
+            "crates/core/src/a.rs",
+            "impl EpochEngine { fn settle_epoch(&mut self) { \
+             let a = vec![1]; let b = format!(\"x\"); \
+             let c = xs.iter().collect::<Vec<_>>(); let d = s.to_string(); } }",
+        )]);
+        let mut got = names(&out, Rule::HotAlloc);
+        got.sort();
+        assert_eq!(got, vec!["collect", "format!", "to_string", "vec!"]);
+    }
+
+    #[test]
+    fn alloc_hoisted_to_begin_run_is_clean() {
+        let out = run(&[(
+            "crates/core/src/a.rs",
+            "impl EpochEngine { fn begin_run(&mut self) { let v = vec![1, 2, 3]; } \
+             fn run(&mut self) { self.begin_run(); for epoch in 0..cfg.epochs { self.step(); } } \
+             fn step(&mut self) {} }",
+        )]);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+    }
+
+    #[test]
+    fn driver_setup_outside_epoch_loop_is_clean() {
+        let out = run(&[(
+            "crates/core/src/a.rs",
+            "fn run_sharded() { let runs: Vec<u8> = racks.iter().collect(); \
+             for epoch in 0..cfg.epochs { helper(); } \
+             let report = runs.iter().map(|r| r.done()).collect(); } \
+             fn helper() { let scratch = vec![0.0; 8]; }",
+        )]);
+        // Only the transitive vec! in helper is hot; both collects are
+        // setup/report construction outside the epoch loop.
+        assert_eq!(names(&out, Rule::HotAlloc), vec!["vec!"]);
+    }
+
+    #[test]
+    fn transitive_alloc_carries_via_chain() {
+        let out = run(&[(
+            "crates/core/src/a.rs",
+            "impl EpochEngine { fn execute(&mut self) { helper(); } } \
+             fn helper() { inner(); } fn inner() { let s = x.to_string(); }",
+        )]);
+        let v = out.violations.first().expect("one finding");
+        assert_eq!(v.rule, Rule::HotAlloc);
+        assert!(
+            v.message
+                .contains("EpochEngine::execute -> helper -> inner"),
+            "{}",
+            v.message
+        );
+    }
+
+    #[test]
+    fn planning_boundary_is_not_descended() {
+        let out = run(&[(
+            "crates/core/src/a.rs",
+            "impl EpochEngine { fn execute(&mut self) { self.coordinate(); } \
+             fn coordinate(&mut self) { let caps = nodes.iter().collect(); } }",
+        )]);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+    }
+
+    #[test]
+    fn gated_serde_is_clean_ungated_is_flagged() {
+        let gated = run(&[(
+            "crates/core/src/a.rs",
+            "impl EpochEngine { fn execute(&mut self) { \
+             if self.rec.enabled() { let s = serde_json::to_string(&x); } } }",
+        )]);
+        assert!(gated.violations.is_empty(), "{:?}", gated.violations);
+        let ungated = run(&[(
+            "crates/core/src/a.rs",
+            "impl EpochEngine { fn execute(&mut self) { \
+             let s = serde_json::to_string(&x); } }",
+        )]);
+        assert_eq!(names(&ungated, Rule::HotSerde), vec!["serde_json"]);
+    }
+
+    #[test]
+    fn gated_span_is_not_descended_but_ungated_call_is() {
+        let src = |gate: &str| {
+            format!(
+                "impl EpochEngine {{ fn settle_epoch(&mut self) {{ {gate} }} }} \
+                 fn emit() {{ let line = serde_json::to_string(&record); }}"
+            )
+        };
+        let gated = run(&[("crates/core/src/a.rs", &src("if rec.enabled() { emit(); }"))]);
+        assert!(gated.violations.is_empty(), "{:?}", gated.violations);
+        let ungated = run(&[("crates/core/src/a.rs", &src("emit();"))]);
+        assert_eq!(names(&ungated, Rule::HotSerde), vec!["serde_json"]);
+    }
+
+    #[test]
+    fn negated_enabled_gate_does_not_exempt() {
+        let out = run(&[(
+            "crates/core/src/a.rs",
+            "impl EpochEngine { fn execute(&mut self) { \
+             if !self.rec.enabled() { let s = x.to_string(); } } }",
+        )]);
+        assert_eq!(names(&out, Rule::HotAlloc), vec!["to_string"]);
+    }
+
+    #[test]
+    fn clone_on_hot_path_is_flagged() {
+        let out = run(&[(
+            "crates/core/src/a.rs",
+            "impl EpochEngine { fn prepare_epoch(&mut self) { \
+             let ids = self.plan.node_ids.clone(); } }",
+        )]);
+        assert_eq!(names(&out, Rule::HotAlloc), vec!["clone"]);
+    }
+
+    #[test]
+    fn budget_counts_sites_per_entry_point() {
+        let out = run(&[(
+            "crates/core/src/a.rs",
+            "impl EpochEngine { fn execute(&mut self) { helper(); } \
+             fn settle_epoch(&mut self) { let s = x.to_string(); } } \
+             fn helper() { let a = vec![1]; let b = Vec::new(); }",
+        )]);
+        let by_entry: BTreeMap<&str, (usize, usize)> = out
+            .budget
+            .iter()
+            .map(|e| (e.entry.as_str(), (e.alloc_sites, e.serde_sites)))
+            .collect();
+        assert_eq!(by_entry["EpochEngine::execute"], (2, 0));
+        assert_eq!(by_entry["EpochEngine::settle_epoch"], (1, 0));
+    }
+
+    #[test]
+    fn out_of_scope_files_descend_but_do_not_report() {
+        // main.rs is out of scope for cost sites, but a helper it calls
+        // in a library file still reports.
+        let out = run(&[
+            (
+                "crates/core/src/a.rs",
+                "impl EpochEngine { fn execute(&mut self) { helper(); } } \
+                 fn helper() { inner(); }",
+            ),
+            ("crates/lint/src/main.rs", "fn inner() { let s = vec![1]; }"),
+        ]);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+    }
+
+    #[test]
+    fn test_spans_are_exempt() {
+        let out = run(&[(
+            "crates/core/src/a.rs",
+            "impl EpochEngine { fn execute(&mut self) {} } \
+             #[cfg(test)] mod tests { fn execute_helper() { let v = vec![1]; } }",
+        )]);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+    }
+}

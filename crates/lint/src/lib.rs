@@ -44,6 +44,22 @@
 //! `par_iter`-style constructs in its replay-critical body (the v3
 //! relaxation); otherwise they are flagged as before.
 //!
+//! Hot-path cost passes (v4, [`costmodel`]) — the per-epoch overhead
+//! ratchet for ROADMAP item 4:
+//!
+//! 10. **hot-alloc** — heap-allocating calls (`Vec::new`, `vec!`,
+//!     `collect`, `to_string`, `clone`, …) reachable from the epoch-loop
+//!     entry points and not hoisted to `begin_run`/setup or hidden behind
+//!     an `enabled()` gate, reported with their `via` call chain.
+//! 11. **hot-serde** — `serde_json` serialization on a hot path outside
+//!     an `enabled()`-gated recorder block: per-event cost that is paid
+//!     even when nobody is tracing.
+//!
+//! The report additionally pins a per-entry-point budget table of raw
+//! hot allocation/serialization site counts ([`Report::cost`]), so a new
+//! hot-path allocation fails CI even when allowlisted — the ratchet
+//! moves only by re-pinning the golden with the reason on record.
+//!
 //! The analyzer additionally annotates every *allowlisted* panic site and
 //! every shared-state race site with its blast radius: which scheduler
 //! entry points can reach it, via which call path. Allow entries whose
@@ -68,6 +84,7 @@ pub mod ast;
 pub mod cache;
 pub mod callgraph;
 pub mod concurrency;
+pub mod costmodel;
 pub mod dataflow;
 pub mod determinism;
 pub mod ledger;
@@ -91,7 +108,7 @@ use symbols::SymbolTable;
 pub const UNIT_SAFETY_CRATES: [&str; 4] = ["core", "cluster", "simnode", "baselines"];
 
 /// Format version of the JSON report.
-pub const REPORT_VERSION: u32 = 3;
+pub const REPORT_VERSION: u32 = 4;
 
 /// One allowlist entry: `rule file-suffix name  # reason`.
 #[derive(Debug, Clone)]
@@ -173,6 +190,10 @@ pub struct Summary {
     pub commutativity: usize,
     /// lock-discipline violations.
     pub lock_discipline: usize,
+    /// hot-alloc violations.
+    pub hot_alloc: usize,
+    /// hot-serde violations.
+    pub hot_serde: usize,
     /// Findings silenced by the allowlist.
     pub allowlisted: usize,
 }
@@ -231,6 +252,11 @@ pub struct Report {
     pub race_reachability: Vec<SiteReachability>,
     /// Allow entries whose panic sites no entry point reaches.
     pub stale_unreachable: Vec<StaleUnreachable>,
+    /// Per-entry-point hot-path budget: raw (pre-allowlist) allocation
+    /// and serialization site counts reachable from each epoch-loop
+    /// entry point. Golden-pinned, so hot-path cost only ratchets
+    /// deliberately.
+    pub cost: Vec<costmodel::EntryCost>,
     /// Aggregate counts.
     pub summary: Summary,
 }
@@ -292,6 +318,8 @@ pub fn build_report(
             Rule::SharedState => summary.shared_state += 1,
             Rule::Commutativity => summary.commutativity += 1,
             Rule::LockDiscipline => summary.lock_discipline += 1,
+            Rule::HotAlloc => summary.hot_alloc += 1,
+            Rule::HotSerde => summary.hot_serde += 1,
         }
     }
     let stale_allow = used
@@ -307,6 +335,7 @@ pub fn build_report(
             panic_reachability: Vec::new(),
             race_reachability: Vec::new(),
             stale_unreachable: Vec::new(),
+            cost: Vec::new(),
             summary,
         },
         stale_allow,
@@ -388,6 +417,8 @@ pub fn analyze(mut sources: Vec<SourceFile>, allow: &[AllowEntry], cache: &Parse
     findings.extend(conc.violations);
     findings.extend(dataflow::check(&parsed, &table));
     findings.extend(ledger::check(&parsed, &table, &graph));
+    let cost = costmodel::check(&parsed, &table, &graph);
+    findings.extend(cost.violations);
 
     let BuildOutput {
         mut report,
@@ -396,6 +427,7 @@ pub fn analyze(mut sources: Vec<SourceFile>, allow: &[AllowEntry], cache: &Parse
     } = build_report(findings, files_scanned, allow);
     report.summary.functions = table.fns.len();
     report.summary.entry_points = entries.len();
+    report.cost = cost.budget;
 
     // Blast radius of every allowlisted panic site and every shared-state
     // race site: which entry points reach it, via which shortest path.

@@ -162,7 +162,7 @@ fn run() -> Result<bool, String> {
             "clip-lint: {} file(s), {} fn(s), {} entry point(s), {} violation(s) \
              ({} unit-safety, {} panic-freedom, {} exhaustiveness, {} determinism, \
              {} unit-taint, {} ledger-coverage, {} shared-state, {} commutativity, \
-             {} lock-discipline), {} allowlisted",
+             {} lock-discipline, {} hot-alloc, {} hot-serde), {} allowlisted",
             s.files_scanned,
             s.functions,
             s.entry_points,
@@ -176,6 +176,8 @@ fn run() -> Result<bool, String> {
             s.shared_state,
             s.commutativity,
             s.lock_discipline,
+            s.hot_alloc,
+            s.hot_serde,
             s.allowlisted
         );
         let reachable = report
@@ -198,6 +200,12 @@ fn run() -> Result<bool, String> {
             report.race_reachability.len(),
             race_reachable
         );
+        for e in &report.cost {
+            println!(
+                "clip-lint: hot-path budget: {} — {} alloc site(s), {} serde site(s)",
+                e.entry, e.alloc_sites, e.serde_sites
+            );
+        }
     }
     eprintln!(
         "clip-lint: analyzed in {elapsed_ms:.1} ms (parse cache: {} hits, {} misses)",

@@ -15,9 +15,10 @@
 //!
 //! The workspace-wide v2 rules (determinism, unit-taint, ledger-coverage)
 //! live in [`crate::determinism`], [`crate::dataflow`] and
-//! [`crate::ledger`], and the v3 concurrency rules (shared-state,
-//! commutativity, lock-discipline) in [`crate::concurrency`]; their
-//! [`Rule`] variants are declared here so every finding shares one
+//! [`crate::ledger`], the v3 concurrency rules (shared-state,
+//! commutativity, lock-discipline) in [`crate::concurrency`], and the v4
+//! hot-path cost rules (hot-alloc, hot-serde) in [`crate::costmodel`];
+//! their [`Rule`] variants are declared here so every finding shares one
 //! [`Violation`] shape and one allowlist keying scheme.
 
 use crate::lexer::Token;
@@ -70,6 +71,12 @@ pub enum Rule {
     Commutativity,
     /// Lock pair acquired in inconsistent order across the call graph.
     LockDiscipline,
+    /// Heap allocation executed per epoch/per event on the engine's hot
+    /// path instead of hoisted to `begin_run`/setup.
+    HotAlloc,
+    /// `serde_json` serialization on a hot path outside an
+    /// `enabled()`-gated recorder payload region.
+    HotSerde,
 }
 
 // Serialized as the stable kebab-case name, matching the allowlist key.
@@ -81,7 +88,7 @@ impl Serialize for Rule {
 
 impl Rule {
     /// Every rule, in report order (drives the SARIF rule descriptors).
-    pub const ALL: [Rule; 9] = [
+    pub const ALL: [Rule; 11] = [
         Rule::UnitSafety,
         Rule::PanicFreedom,
         Rule::Exhaustiveness,
@@ -91,6 +98,8 @@ impl Rule {
         Rule::SharedState,
         Rule::Commutativity,
         Rule::LockDiscipline,
+        Rule::HotAlloc,
+        Rule::HotSerde,
     ];
 
     /// One-line description for tooling surfaces (SARIF, docs).
@@ -115,6 +124,12 @@ impl Rule {
                 "parallel folds must be order-independent (indexed write-back or allowlisted)"
             }
             Rule::LockDiscipline => "locks must be acquired in one global order (no cycles)",
+            Rule::HotAlloc => {
+                "no per-epoch heap allocation on the engine hot path; hoist to begin_run/setup"
+            }
+            Rule::HotSerde => {
+                "hot-path serialization must stay behind the enabled()-gated recorder boundary"
+            }
         }
     }
 
@@ -130,6 +145,8 @@ impl Rule {
             Rule::SharedState => "shared-state",
             Rule::Commutativity => "commutativity",
             Rule::LockDiscipline => "lock-discipline",
+            Rule::HotAlloc => "hot-alloc",
+            Rule::HotSerde => "hot-serde",
         }
     }
 }

@@ -96,6 +96,7 @@ mod tests {
             panic_reachability: Vec::new(),
             race_reachability: Vec::new(),
             stale_unreachable: Vec::new(),
+            cost: Vec::new(),
             summary: Summary::default(),
         }
     }

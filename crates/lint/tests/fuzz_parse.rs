@@ -96,4 +96,48 @@ proptest! {
             prop_assert!(lo <= hi && hi < n.max(1), "closure span {lo}..={hi} of {n}");
         }
     }
+
+    /// Method-chain soup stresses the v4 cost-model token patterns —
+    /// turbofish `.collect::<Vec<_>>()`, `vec![…]`/`format!(…)` macro
+    /// forms, chained `.to_string().clone()`, `enabled()` gates, epoch
+    /// loop headers — through the full pipeline: lexing, item parsing and
+    /// the hot-path cost analysis over an `EpochEngine::execute` wrapper
+    /// must stay total on every assembly, including unbalanced ones that
+    /// truncate the body or swallow the impl close.
+    #[test]
+    fn cost_analysis_total_on_chain_soup(words in proptest::collection::vec(
+        prop_oneof![
+            Just("."), Just("collect"), Just("to_string"), Just("to_owned"),
+            Just("to_vec"), Just("clone"), Just("cloned"), Just(":"), Just("<"),
+            Just(">"), Just("Vec"), Just("String"), Just("_"), Just("vec"),
+            Just("format"), Just("!"), Just("["), Just("]"), Just("("), Just(")"),
+            Just("{"), Just("}"), Just("serde_json"), Just("enabled"), Just("if"),
+            Just("for"), Just("epoch"), Just("in"), Just("loop"), Just(";"),
+            Just("x"), Just(","), Just("="),
+        ],
+        0..96))
+    {
+        let soup = words.join(" ");
+        let source = format!(
+            "pub struct EpochEngine;\nimpl EpochEngine {{ pub fn execute(&mut self) {{ {soup} }} }}\n"
+        );
+        let sources = vec![clip_lint::SourceFile {
+            path: "crates/core/src/soup.rs".to_string(),
+            source,
+        }];
+        let cache = clip_lint::cache::ParseCache::new();
+        let analysis = clip_lint::analyze(sources, &[], &cache);
+        // Whatever the soup produced, the budget table stays well-formed
+        // and consistent with the violation list: no unnamed entries, and
+        // never fewer budgeted sites than surviving hot-path findings.
+        for e in &analysis.report.cost {
+            prop_assert!(!e.entry.is_empty());
+        }
+        let budget_total: usize = analysis.report.cost.iter()
+            .map(|e| e.alloc_sites + e.serde_sites)
+            .sum();
+        prop_assert!(
+            budget_total >= analysis.report.summary.hot_alloc + analysis.report.summary.hot_serde
+        );
+    }
 }

@@ -1,12 +1,13 @@
-//! Golden test pinning the `clip-lint --json` report shape (schema v3).
+//! Golden test pinning the `clip-lint --json` report shape (schema v4).
 //!
 //! Downstream tooling parses this document; any field rename, reorder or
 //! type change must show up here as a deliberate diff (and a bump of
 //! `REPORT_VERSION`). The fixture runs the full `analyze()` pipeline so
 //! the transitive sections — `panic_reachability` and `race_reachability`
-//! blast radius and `stale_unreachable` allowlist pruning — are pinned
-//! too, and all three v3 concurrency rule families (shared-state,
-//! commutativity, lock-discipline) emit findings on the fixture.
+//! blast radius, `stale_unreachable` allowlist pruning, and the v4 `cost`
+//! budget table — are pinned too. All three v3 concurrency rule families
+//! (shared-state, commutativity, lock-discipline) and both v4 cost
+//! families (hot-alloc, hot-serde) emit findings on the fixture.
 
 use clip_lint::cache::ParseCache;
 use clip_lint::{analyze, parse_allowlist, SourceFile};
@@ -37,12 +38,23 @@ pub fn cold(states: &[f64]) -> f64 {
 
 /// The epoch engine: its cycle methods are entry points in their own
 /// right, so `helper`'s allowlisted index gains a second blast-radius
-/// route that does not pass through any `PowerScheduler` impl.
+/// route that does not pass through any `PowerScheduler` impl. The epoch
+/// loop also exercises both v4 cost families: a per-epoch `collect`
+/// (hot-alloc, plus a transitive `vec!` through `helper`), an
+/// `enabled()`-gated `serde_json` call (clean), and an ungated one
+/// (hot-serde).
 const ENGINE: &str = r#"
 pub struct EpochEngine;
 impl EpochEngine {
     pub fn run(&mut self) {
-        helper();
+        for epoch in 0..10 {
+            helper();
+            let ids: Vec<u64> = (0..4).collect();
+            if self.recorder.enabled() {
+                let gated = serde_json::to_string(&ids);
+            }
+            let line = serde_json::to_string(&ids);
+        }
     }
 }
 "#;
@@ -116,7 +128,7 @@ panic-freedom crates/core/src/offline.rs index  # nothing calls cold()
 ";
 
 const GOLDEN: &str = r#"{
-  "version": 3,
+  "version": 4,
   "violations": [
     {
       "rule": "lock-discipline",
@@ -140,11 +152,32 @@ const GOLDEN: &str = r#"{
       "message": "order-sensitive accumulation into captured `acc` inside a closure passed to `parallel_map`; use indexed write-back or allowlist with a reason"
     },
     {
+      "rule": "hot-alloc",
+      "file": "crates/core/src/engine.rs",
+      "line": 7,
+      "name": "collect",
+      "message": "per-epoch heap allocation `collect` on the engine hot path (via EpochEngine::run); hoist it to begin_run/setup, reuse a buffer, or add a reasoned allow entry"
+    },
+    {
+      "rule": "hot-serde",
+      "file": "crates/core/src/engine.rs",
+      "line": 11,
+      "name": "serde_json",
+      "message": "serde_json serialization on the engine hot path (via EpochEngine::run) outside an enabled()-gated recorder block; tracing cost must be pay-when-enabled"
+    },
+    {
       "rule": "unit-safety",
       "file": "crates/core/src/sched.rs",
       "line": 4,
       "name": "budget_watts",
       "message": "parameter `budget_watts` is a bare f64; use a simkit quantity (Power/Energy/TimeSpan) or allowlist with a reason"
+    },
+    {
+      "rule": "hot-alloc",
+      "file": "crates/core/src/sched.rs",
+      "line": 10,
+      "name": "vec!",
+      "message": "per-epoch heap allocation `vec!` on the engine hot path (via EpochEngine::run -> helper); hoist it to begin_run/setup, reuse a buffer, or add a reasoned allow entry"
     },
     {
       "rule": "exhaustiveness",
@@ -208,11 +241,18 @@ const GOLDEN: &str = r#"{
       "name": "index"
     }
   ],
+  "cost": [
+    {
+      "entry": "EpochEngine::run",
+      "alloc_sites": 2,
+      "serde_sites": 1
+    }
+  ],
   "summary": {
     "files_scanned": 5,
     "functions": 10,
     "entry_points": 3,
-    "total": 5,
+    "total": 8,
     "unit_safety": 1,
     "panic_freedom": 0,
     "exhaustiveness": 1,
@@ -222,12 +262,14 @@ const GOLDEN: &str = r#"{
     "shared_state": 1,
     "commutativity": 1,
     "lock_discipline": 1,
+    "hot_alloc": 2,
+    "hot_serde": 1,
     "allowlisted": 2
   }
 }"#;
 
 /// The SARIF rendering of the same report, pinned for the CI
-/// annotation path (one result per surviving violation, all nine rules
+/// annotation path (one result per surviving violation, all eleven rules
 /// declared on the driver).
 const GOLDEN_SARIF: &str = r#"{
   "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
@@ -237,7 +279,7 @@ const GOLDEN_SARIF: &str = r#"{
       "tool": {
         "driver": {
           "name": "clip-lint",
-          "version": "3.0.0",
+          "version": "4.0.0",
           "rules": [
             {
               "id": "unit-safety",
@@ -291,6 +333,18 @@ const GOLDEN_SARIF: &str = r#"{
               "id": "lock-discipline",
               "shortDescription": {
                 "text": "locks must be acquired in one global order (no cycles)"
+              }
+            },
+            {
+              "id": "hot-alloc",
+              "shortDescription": {
+                "text": "no per-epoch heap allocation on the engine hot path; hoist to begin_run/setup"
+              }
+            },
+            {
+              "id": "hot-serde",
+              "shortDescription": {
+                "text": "hot-path serialization must stay behind the enabled()-gated recorder boundary"
               }
             }
           ]
@@ -355,6 +409,44 @@ const GOLDEN_SARIF: &str = r#"{
           ]
         },
         {
+          "ruleId": "hot-alloc",
+          "level": "error",
+          "message": {
+            "text": "per-epoch heap allocation `collect` on the engine hot path (via EpochEngine::run); hoist it to begin_run/setup, reuse a buffer, or add a reasoned allow entry"
+          },
+          "locations": [
+            {
+              "physicalLocation": {
+                "artifactLocation": {
+                  "uri": "crates/core/src/engine.rs"
+                },
+                "region": {
+                  "startLine": 7
+                }
+              }
+            }
+          ]
+        },
+        {
+          "ruleId": "hot-serde",
+          "level": "error",
+          "message": {
+            "text": "serde_json serialization on the engine hot path (via EpochEngine::run) outside an enabled()-gated recorder block; tracing cost must be pay-when-enabled"
+          },
+          "locations": [
+            {
+              "physicalLocation": {
+                "artifactLocation": {
+                  "uri": "crates/core/src/engine.rs"
+                },
+                "region": {
+                  "startLine": 11
+                }
+              }
+            }
+          ]
+        },
+        {
           "ruleId": "unit-safety",
           "level": "error",
           "message": {
@@ -368,6 +460,25 @@ const GOLDEN_SARIF: &str = r#"{
                 },
                 "region": {
                   "startLine": 4
+                }
+              }
+            }
+          ]
+        },
+        {
+          "ruleId": "hot-alloc",
+          "level": "error",
+          "message": {
+            "text": "per-epoch heap allocation `vec!` on the engine hot path (via EpochEngine::run -> helper); hoist it to begin_run/setup, reuse a buffer, or add a reasoned allow entry"
+          },
+          "locations": [
+            {
+              "physicalLocation": {
+                "artifactLocation": {
+                  "uri": "crates/core/src/sched.rs"
+                },
+                "region": {
+                  "startLine": 10
                 }
               }
             }

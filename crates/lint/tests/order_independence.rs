@@ -11,9 +11,11 @@ use clip_lint::{analyze, SourceFile};
 use proptest::prelude::*;
 
 /// A fixture with findings from every rule generation: v1 per-file
-/// (unit-safety), v2 transitive (panic blast radius), and all three v3
-/// concurrency families, so the report has non-trivial content in every
-/// section that could depend on traversal order.
+/// (unit-safety), v2 transitive (panic blast radius), all three v3
+/// concurrency families, and the v4 cost families (a per-epoch `collect`
+/// plus ungated `serde_json` inside the engine's epoch loop, which also
+/// populates the budget table), so the report has non-trivial content in
+/// every section that could depend on traversal order.
 fn fixture() -> Vec<SourceFile> {
     let mk = |path: &str, source: &str| SourceFile {
         path: path.to_string(),
@@ -27,7 +29,10 @@ fn fixture() -> Vec<SourceFile> {
         ),
         mk(
             "crates/core/src/engine.rs",
-            "pub struct EpochEngine;\nimpl EpochEngine { pub fn run(&mut self) { helper(); } }\n",
+            "pub struct EpochEngine;\nimpl EpochEngine { pub fn run(&mut self) {\n\
+             for epoch in 0..8 { helper();\n\
+             let ids: Vec<u64> = (0..4).collect();\n\
+             let line = serde_json::to_string(&ids); } } }\n",
         ),
         mk(
             "crates/core/src/offline.rs",

@@ -1,9 +1,17 @@
 //! The analyzer's own workspace is its first customer: the seed tree must
 //! pass every rule — including the v3 concurrency rules clip-lint's own
-//! file-parallel pipeline is subject to — and the allowlist must carry no
-//! dead weight. PR 5's engine unification obsoleted several panic sites;
-//! this test pins that the pruned allowlist stays pruned: zero
-//! stale-unreachable entries and zero entries that match nothing.
+//! file-parallel pipeline is subject to and the v4 hot-path cost rules —
+//! and the allowlist must carry no dead weight. PR 5's engine unification
+//! obsoleted several panic sites; this test pins that the pruned
+//! allowlist stays pruned: zero stale-unreachable entries and zero
+//! entries that match nothing.
+//!
+//! The v4 budget ratchet also lives here: the per-entry-point allocation
+//! site counts below are the post-fix numbers recorded when the hot-alloc
+//! rule landed. A new allocation on an engine hot path raises a count and
+//! fails this test — either hoist the allocation (preferred) or add a
+//! reasoned allow entry AND consciously raise the pinned budget in the
+//! same change.
 
 use clip_lint::cache::ParseCache;
 use clip_lint::parse_allowlist;
@@ -48,5 +56,42 @@ fn seed_tree_is_clean_with_no_stale_allow_entries() {
     assert!(
         stale.is_empty(),
         "allow entries matching nothing: {stale:?}"
+    );
+}
+
+/// The per-entry-point allocation budget ratchet (see module doc). The
+/// numbers are the workspace's post-fix hot-path allocation site counts;
+/// `run_sharded` subsumes the engine entries because the sharded driver
+/// reaches every engine phase plus the arbiter and fork-join scaffolding.
+#[test]
+fn hot_path_budgets_hold_the_ratchet() {
+    let root = workspace_root();
+    let allow_text =
+        std::fs::read_to_string(root.join("clip-lint.allow")).expect("allowlist readable");
+    let (allow, errors) = parse_allowlist(&allow_text);
+    assert!(errors.is_empty(), "allowlist parses: {errors:?}");
+
+    let cache = ParseCache::new();
+    let analysis = clip_lint::analyze_workspace(&root, &allow, &cache).expect("workspace analyzes");
+
+    let budgets: Vec<(String, usize, usize)> = analysis
+        .report
+        .cost
+        .iter()
+        .map(|e| (e.entry.clone(), e.alloc_sites, e.serde_sites))
+        .collect();
+    let pinned: Vec<(String, usize, usize)> = [
+        ("EpochEngine::execute", 9, 0),
+        ("EpochEngine::prepare_epoch", 6, 0),
+        ("EpochEngine::run", 17, 0),
+        ("EpochEngine::settle_epoch", 3, 0),
+        ("run_sharded", 25, 0),
+    ]
+    .into_iter()
+    .map(|(e, a, s)| (e.to_string(), a, s))
+    .collect();
+    assert_eq!(
+        budgets, pinned,
+        "hot-path budget moved; hoist the new allocation or raise the pin deliberately"
     );
 }

@@ -100,6 +100,10 @@ pub struct TraceRecorder<S: TraceSink> {
     sink: S,
     metrics: MetricRegistry,
     seq: u64,
+    /// Serialization buffer reused across [`emit`](Self::emit) calls so a
+    /// traced run pays one allocation per high-water line length, not one
+    /// per record.
+    line_buf: String,
 }
 
 impl<S: TraceSink> TraceRecorder<S> {
@@ -109,6 +113,7 @@ impl<S: TraceSink> TraceRecorder<S> {
             sink,
             metrics: MetricRegistry::new(),
             seq: 0,
+            line_buf: String::new(),
         }
     }
 
@@ -146,8 +151,8 @@ impl<S: TraceSink> TraceRecorder<S> {
         // The shim's serializer is total over derived types; an error here
         // would be a serializer bug, so the line is dropped rather than
         // panicking inside an instrumented hot path.
-        if let Ok(line) = serde_json::to_string(&record) {
-            self.sink.record(&line);
+        if serde_json::to_string_into(&record, &mut self.line_buf).is_ok() {
+            self.sink.record(&self.line_buf);
         }
     }
 }

@@ -133,9 +133,17 @@ impl RingSink {
 
 impl TraceSink for RingSink {
     fn record(&mut self, line: &str) {
+        // Once the ring is full, recycle the evicted line's String instead
+        // of freeing it and allocating a fresh one: steady-state recording
+        // into a full ring then allocates only on line-length growth.
         if self.lines.len() == self.capacity {
-            self.lines.pop_front();
-            self.dropped += 1;
+            if let Some(mut slot) = self.lines.pop_front() {
+                self.dropped += 1;
+                slot.clear();
+                slot.push_str(line);
+                self.lines.push_back(slot);
+                return;
+            }
         }
         self.lines.push_back(line.to_string());
     }

@@ -2,7 +2,8 @@
 //!
 //! Renders and parses JSON against the vendored `serde` shim's [`Value`]
 //! data model. Covers the workspace's surface: [`to_string`],
-//! [`to_string_pretty`], [`to_value`], [`from_str`], and [`from_value`].
+//! [`to_string_into`], [`to_string_pretty`], [`to_value`], [`from_str`],
+//! and [`from_value`].
 //!
 //! Output is deterministic: object fields keep their serialization order
 //! (struct declaration order; maps are pre-sorted by the shim), and floats
@@ -14,8 +15,19 @@ pub use serde::{Error, Value};
 /// Serialize a value to a compact JSON string.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
-    write_value(&mut out, &value.serialize_value(), None, 0);
+    to_string_into(value, &mut out)?;
     Ok(out)
+}
+
+/// Serialize a value as compact JSON into a caller-owned buffer.
+///
+/// Clears `out` first, so the buffer (and its capacity) can be reused
+/// across calls — the per-epoch trace recorder serializes thousands of
+/// records and must not pay a fresh `String` allocation for each one.
+pub fn to_string_into<T: Serialize + ?Sized>(value: &T, out: &mut String) -> Result<(), Error> {
+    out.clear();
+    write_value(out, &value.serialize_value(), None, 0);
+    Ok(())
 }
 
 /// Serialize a value to a human-readable, two-space-indented JSON string.
