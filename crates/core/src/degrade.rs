@@ -53,6 +53,7 @@ impl<R: Recorder> EpochPolicy<R> for FaultTimeline<'_> {
     fn epoch_boundary(
         &mut self,
         cluster: &mut Cluster,
+        _scheduler: &mut dyn PowerScheduler,
         plan: &mut SchedulePlan,
         epoch: usize,
         rec: &mut R,

@@ -15,6 +15,7 @@
 use crate::engine::EpochEngine;
 use crate::powerfit::FittedPowerModel;
 use crate::scheduler::{ClipScheduler, PowerScheduler, SchedulePlan};
+use clip_serve::ArrivalPlan;
 use cluster_sim::Cluster;
 use serde::{Deserialize, Serialize};
 use simkit::{Power, TimeSpan};
@@ -266,6 +267,43 @@ impl Dispatcher {
         self.scheduler.set_tracing(false);
         DispatchReport { outcomes, makespan }
     }
+
+    /// Run a pre-resolved open-loop [`ArrivalPlan`] through the
+    /// dispatcher: every event becomes a [`QueuedJob`] whose application
+    /// is drawn from `catalog` and whose arrival time is
+    /// `at_epoch × seconds_per_epoch`. The closed batch queue is the
+    /// degenerate plan whose events all carry epoch 0 — both the batch
+    /// examples and the service harness now share one arrival
+    /// vocabulary.
+    ///
+    /// # Panics
+    /// When the plan is empty or an event references an application
+    /// outside `catalog`.
+    pub fn run_plan<R: clip_obs::Recorder>(
+        &mut self,
+        cluster: &mut Cluster,
+        plan: &ArrivalPlan,
+        catalog: &[AppModel],
+        seconds_per_epoch: TimeSpan,
+        rec: &mut R,
+    ) -> DispatchReport {
+        let mut jobs: Vec<QueuedJob> = Vec::with_capacity(plan.len());
+        for ev in plan.events() {
+            assert!(
+                ev.app < catalog.len(),
+                "arrival names an app outside the catalog"
+            );
+            let Some(app) = catalog.get(ev.app) else {
+                continue;
+            };
+            jobs.push(QueuedJob {
+                app: app.clone(),
+                arrival: TimeSpan::secs(ev.at_epoch as f64 * seconds_per_epoch.as_secs()),
+                iterations: ev.iterations,
+            });
+        }
+        self.run(cluster, &jobs, rec)
+    }
 }
 
 #[cfg(test)]
@@ -288,6 +326,52 @@ mod tests {
                 iterations: 3,
             })
             .collect()
+    }
+
+    #[test]
+    fn run_plan_matches_equivalent_queued_jobs() {
+        // The closed queue is the degenerate arrival plan: resolving the
+        // same submissions through either entry must yield one report.
+        let catalog = vec![suite::comd(), suite::lu_mz()];
+        let jobs: Vec<QueuedJob> = vec![
+            QueuedJob {
+                app: suite::comd(),
+                arrival: TimeSpan::ZERO,
+                iterations: 3,
+            },
+            QueuedJob {
+                app: suite::lu_mz(),
+                arrival: TimeSpan::secs(4.0),
+                iterations: 2,
+            },
+        ];
+        let plan = ArrivalPlan::new(vec![
+            clip_serve::ArrivalEvent {
+                at_epoch: 0,
+                tenant: 0,
+                app: 0,
+                iterations: 3,
+            },
+            clip_serve::ArrivalEvent {
+                at_epoch: 2,
+                tenant: 0,
+                app: 1,
+                iterations: 2,
+            },
+        ]);
+        let mut cluster_a = Cluster::homogeneous(8);
+        let a = dispatcher(1500.0).run(&mut cluster_a, &jobs, &mut clip_obs::NoopRecorder);
+        let mut cluster_b = Cluster::homogeneous(8);
+        let b = dispatcher(1500.0).run_plan(
+            &mut cluster_b,
+            &plan,
+            &catalog,
+            TimeSpan::secs(2.0),
+            &mut clip_obs::NoopRecorder,
+        );
+        let ja = serde_json::to_string(&a).expect("serializes");
+        let jb = serde_json::to_string(&b).expect("serializes");
+        assert_eq!(ja, jb, "one dispatch path, two spellings");
     }
 
     #[test]

@@ -203,6 +203,12 @@ pub struct Boundary {
     /// The workload itself changed (an epoch-level phase transition):
     /// re-coordinate at *this* boundary, immediately.
     pub replan_now: bool,
+    /// The policy re-drew the engine's power envelope (e.g. the service
+    /// autoscaler re-split the cluster budget between its grant and the
+    /// reserve): the engine audits every subsequent epoch against this
+    /// budget. Policies that move the budget must also set `replan_now`
+    /// when it shrank — a stale plan may overshoot the new bound.
+    pub budget: Option<Power>,
 }
 
 impl Boundary {
@@ -214,6 +220,7 @@ impl Boundary {
             pool_changed: false,
             reclaimed: Power::ZERO,
             replan_now: false,
+            budget: None,
         }
     }
 }
@@ -231,16 +238,20 @@ pub trait EpochPolicy<R: Recorder> {
     /// Fire this epoch's external events (faults, arrivals, phase
     /// switches) against the cluster, mutating the live `plan` when an
     /// event removed one of its participants (the degraded remainder of
-    /// the epoch runs without it). Returns the boundary summary the engine
-    /// folds into recovery arming and the epoch record.
+    /// the epoch runs without it). The `scheduler` is the run's planner,
+    /// lent so admission-style policies can solve trial feasibility
+    /// checks at the boundary (holistic power-flow before accepting
+    /// work); ordinary policies ignore it. Returns the boundary summary
+    /// the engine folds into recovery arming and the epoch record.
     fn epoch_boundary(
         &mut self,
         cluster: &mut Cluster,
+        scheduler: &mut dyn PowerScheduler,
         plan: &mut SchedulePlan,
         epoch: usize,
         rec: &mut R,
     ) -> Boundary {
-        let _ = (cluster, plan, epoch, rec);
+        let _ = (cluster, scheduler, plan, epoch, rec);
         Boundary::quiet()
     }
 
@@ -248,10 +259,30 @@ pub trait EpochPolicy<R: Recorder> {
     /// Phase-transition policies override this; the engine stages a clone
     /// in [`RunState`] and re-clones only when the returned model differs
     /// from what is already staged, so steady epochs inside one phase pay
-    /// no allocation.
+    /// no allocation. Re-queried after every [`Self::epoch_boundary`], so
+    /// a boundary that activates a different job takes effect the same
+    /// epoch.
     fn app_for_epoch(&self, epoch: usize) -> Option<&AppModel> {
         let _ = epoch;
         None
+    }
+
+    /// Narrow the node pool a re-coordination may plan over. The engine
+    /// passes every freshly computed alive-node list through this hook
+    /// before planning; pool-owning policies (the service autoscaler)
+    /// retain only their members. Implementations must leave `pool`
+    /// non-empty — when the intersection would be empty, keep the full
+    /// pool (planning over strangers beats planning over nothing).
+    fn restrict_pool(&self, pool: &mut Vec<usize>) {
+        let _ = pool;
+    }
+
+    /// Observe one settled epoch: the execute phase's `report` for
+    /// `epoch`, after the engine's actuation audit. Service policies
+    /// advance job progress and record completions/latency here; the
+    /// default does nothing.
+    fn epoch_settled(&mut self, report: &JobReport, epoch: usize, rec: &mut R) {
+        let _ = (report, epoch, rec);
     }
 }
 
@@ -294,6 +325,7 @@ impl<R: Recorder> EpochPolicy<R> for PhaseSchedule {
     fn epoch_boundary(
         &mut self,
         _cluster: &mut Cluster,
+        _scheduler: &mut dyn PowerScheduler,
         _plan: &mut SchedulePlan,
         epoch: usize,
         _rec: &mut R,
@@ -343,6 +375,21 @@ pub struct RunState {
 }
 
 impl RunState {
+    /// Stage `epoch`'s app override, re-cloning only when the policy's
+    /// choice differs from what is already staged: steady epochs inside
+    /// one phase reuse the staged model (this `.cloned()` used to run
+    /// every epoch — the engine's top hot-alloc finding). Called before
+    /// the boundary (the recovery re-plan needs an app) and again after
+    /// it, so a boundary that switches the active job re-stages in the
+    /// same epoch.
+    fn stage<R: Recorder, P: EpochPolicy<R> + ?Sized>(&mut self, policy: &P, epoch: usize) {
+        match (policy.app_for_epoch(epoch), self.staged.as_ref()) {
+            (Some(want), Some(cur)) if want == cur => {}
+            (Some(want), _) => self.staged = Some(want.clone()),
+            (None, _) => self.staged = None,
+        }
+    }
+
     /// Completed crash-recovery cycles so far.
     pub fn recoveries(&self) -> &[Recovery] {
         &self.recoveries
@@ -499,7 +546,7 @@ impl<R: Recorder> EpochEngine<R> {
                 &state.plan,
                 cfg.iterations_per_epoch,
             );
-            self.settle_epoch(&mut state, prep, &report, epoch);
+            self.settle_epoch(&mut state, prep, &report, policy, epoch);
         }
         self.finish_run(state, scheduler, cluster)
     }
@@ -519,7 +566,7 @@ impl<R: Recorder> EpochEngine<R> {
         assert!(cfg.iterations_per_epoch > 0, "need at least one iteration");
 
         let name = scheduler.name().to_string();
-        let alive = cluster.alive_nodes();
+        let mut alive = cluster.alive_nodes();
         scheduler.set_tracing(self.rec.enabled());
         if self.rec.enabled() {
             self.rec.event_with(0, || clip_obs::TraceEvent::RunStarted {
@@ -529,6 +576,9 @@ impl<R: Recorder> EpochEngine<R> {
                 epochs: cfg.epochs as u64,
             });
         }
+        // The RunStarted event reports the fleet; the epoch-0 plan is
+        // drawn over whatever pool the policy owns.
+        policy.restrict_pool(&mut alive);
         self.epoch = 0;
         let staged = policy.app_for_epoch(0).cloned();
         let plan = self.coordinate(
@@ -566,21 +616,14 @@ impl<R: Recorder> EpochEngine<R> {
         let ep = epoch as u64;
         self.epoch = ep;
         let mut replanned = false;
-        // Stage this epoch's app override, re-cloning only when the
-        // policy's choice differs from what is already staged: steady
-        // epochs inside one phase reuse the staged model (this `.cloned()`
-        // used to run every epoch — the engine's top hot-alloc finding).
-        match (policy.app_for_epoch(epoch), state.staged.as_ref()) {
-            (Some(want), Some(cur)) if want == cur => {}
-            (Some(want), _) => state.staged = Some(want.clone()),
-            (None, _) => state.staged = None,
-        }
+        state.stage::<R, _>(policy, epoch);
         let app_e = state.staged.as_ref().unwrap_or(app);
 
         // 1. Recover from the previous epoch's pool change: Algorithm 1
         //    over the survivors, full budget.
         if let Some((fault_epoch, reclaimed)) = state.pending.take() {
-            let alive = cluster.alive_nodes();
+            let mut alive = cluster.alive_nodes();
+            policy.restrict_pool(&mut alive);
             state.plan = self.coordinate(scheduler, cluster, app_e, self.budget, &alive);
             replanned = true;
             if self.rec.enabled() {
@@ -602,16 +645,25 @@ impl<R: Recorder> EpochEngine<R> {
         }
 
         // 2. The policy boundary: fire this epoch's external events.
-        let boundary = policy.epoch_boundary(cluster, &mut state.plan, epoch, &mut self.rec);
+        let boundary =
+            policy.epoch_boundary(cluster, scheduler, &mut state.plan, epoch, &mut self.rec);
         if boundary.pool_changed {
             let entry = state.pending.get_or_insert((epoch, Power::ZERO));
             entry.1 += boundary.reclaimed;
         }
+        // The boundary may have re-drawn the power envelope (autoscaling)
+        // or switched the active job; both take effect this epoch.
+        if let Some(granted) = boundary.budget {
+            self.budget = granted;
+        }
+        state.stage::<R, _>(policy, epoch);
+        let app_e = state.staged.as_ref().unwrap_or(app);
 
         // A crash can empty the current plan (every participant died):
         // re-coordinate immediately rather than skip the epoch.
         if state.plan.node_ids.is_empty() {
-            let alive = cluster.alive_nodes();
+            let mut alive = cluster.alive_nodes();
+            policy.restrict_pool(&mut alive);
             state.plan = self.coordinate(scheduler, cluster, app_e, self.budget, &alive);
             replanned = true;
             if let Some((fault_epoch, reclaimed)) = state.pending.take() {
@@ -634,7 +686,8 @@ impl<R: Recorder> EpochEngine<R> {
         } else if boundary.replan_now {
             // A phase transition re-plans at this boundary, for this
             // epoch's own app; nothing was lost, so no recovery cycle.
-            let alive = cluster.alive_nodes();
+            let mut alive = cluster.alive_nodes();
+            policy.restrict_pool(&mut alive);
             state.plan = self.coordinate(scheduler, cluster, app_e, self.budget, &alive);
             replanned = true;
         }
@@ -659,15 +712,18 @@ impl<R: Recorder> EpochEngine<R> {
 
     /// Phase 3's counterpart, the sequential epoch epilogue: classify the
     /// measured power against the audited plan, emit the epoch metrics and
-    /// trace event, append the epoch record. The execute phase itself —
-    /// [`EpochEngine::execute`] on `state.staged()`/`state.plan` — happens
-    /// between `prepare_epoch` and this call, and is the only part a
-    /// sharded coordinator runs in parallel.
-    pub fn settle_epoch(
+    /// trace event, append the epoch record, and hand the settled report
+    /// to the policy ([`EpochPolicy::epoch_settled`] — job progress and
+    /// completion accounting for service policies). The execute phase
+    /// itself — [`EpochEngine::execute`] on `state.staged()`/`state.plan`
+    /// — happens between `prepare_epoch` and this call, and is the only
+    /// part a sharded coordinator runs in parallel.
+    pub fn settle_epoch<P: EpochPolicy<R> + ?Sized>(
         &mut self,
         state: &mut RunState,
         prep: EpochPrep,
         report: &JobReport,
+        policy: &mut P,
         epoch: usize,
     ) {
         let ep = epoch as u64;
@@ -727,6 +783,8 @@ impl<R: Recorder> EpochEngine<R> {
             events_ignored: prep.boundary.events_ignored,
             injected_overshoot,
         });
+
+        policy.epoch_settled(report, epoch, &mut self.rec);
     }
 
     /// Phase 4: close out the run — final survivor gauge, tracing off,

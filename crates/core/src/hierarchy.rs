@@ -47,7 +47,9 @@ use crate::engine::{
     Boundary, EpochEngine, EpochPolicy, EpochPrep, FaultHarnessConfig, FaultRunReport, RunState,
 };
 use crate::scheduler::{PowerScheduler, SchedulePlan};
+use crate::service::ServiceTimeline;
 use clip_obs::Recorder;
+use clip_serve::ServiceReport;
 use cluster_sim::sweep::parallel_map_with;
 use cluster_sim::{split_faults, Cluster, FaultPlan, JobReport, ShardedFleet};
 use serde::{Deserialize, Serialize};
@@ -114,11 +116,14 @@ pub struct RackFault {
 /// The fault policy of one rack: replay the rack's slice of the global
 /// fault plan (already translated to rack-local indices by
 /// [`cluster_sim::split_faults`]), plus an arbiter-driven re-plan trigger
-/// for epochs whose grant changed.
+/// for epochs whose grant changed. Optionally stacks an open-loop
+/// [`ServiceTimeline`] on top, so a rack serves multi-tenant arrival
+/// load while the fault plan and the arbiter act on it.
 #[derive(Debug)]
 pub struct RackTimeline {
     faults: FaultPlan,
     force_replan: bool,
+    service: Option<ServiceTimeline>,
 }
 
 impl RackTimeline {
@@ -127,6 +132,18 @@ impl RackTimeline {
         Self {
             faults,
             force_replan: false,
+            service: None,
+        }
+    }
+
+    /// A rack policy that also drives an open-loop service: faults fire
+    /// first at every boundary, then the service admits/preempts/scales
+    /// over the survivors.
+    pub fn with_service(faults: FaultPlan, service: ServiceTimeline) -> Self {
+        Self {
+            faults,
+            force_replan: false,
+            service: Some(service),
         }
     }
 
@@ -135,25 +152,64 @@ impl RackTimeline {
     pub fn force_replan(&mut self) {
         self.force_replan = true;
     }
+
+    /// Follow an arbiter re-grant: the service's power envelope moves to
+    /// the rack's new grant; the next boundary re-splits (and audits) the
+    /// service grant against it.
+    pub fn regrant(&mut self, envelope: Power) {
+        if let Some(s) = self.service.as_mut() {
+            s.set_cluster_budget(envelope);
+        }
+    }
+
+    /// Take the stacked service policy back out (end of campaign).
+    pub fn take_service(&mut self) -> Option<ServiceTimeline> {
+        self.service.take()
+    }
 }
 
 impl<R: Recorder> EpochPolicy<R> for RackTimeline {
     fn epoch_boundary(
         &mut self,
         cluster: &mut Cluster,
+        scheduler: &mut dyn PowerScheduler,
         plan: &mut SchedulePlan,
         epoch: usize,
         rec: &mut R,
     ) -> Boundary {
         let mut timeline = FaultTimeline::new(&self.faults);
-        let mut b = timeline.epoch_boundary(cluster, plan, epoch, rec);
+        let mut b = timeline.epoch_boundary(cluster, scheduler, plan, epoch, rec);
+        if let Some(service) = self.service.as_mut() {
+            // Faults fired above; the service decides over the survivors.
+            // It never changes node liveness, so the fault boundary's
+            // pool_changed/reclaimed verdicts stand untouched.
+            let s = service.service_boundary(cluster, scheduler, epoch, rec);
+            b.events_applied += s.events_applied;
+            b.events_ignored += s.events_ignored;
+            b.replan_now |= s.replan_now;
+            if s.budget.is_some() {
+                b.budget = s.budget;
+            }
+        }
         b.replan_now |= std::mem::take(&mut self.force_replan);
         b
     }
 
     fn app_for_epoch(&self, epoch: usize) -> Option<&AppModel> {
         let _ = epoch;
-        None
+        self.service.as_ref().and_then(ServiceTimeline::active_app)
+    }
+
+    fn restrict_pool(&self, pool: &mut Vec<usize>) {
+        if let Some(s) = self.service.as_ref() {
+            s.restrict(pool);
+        }
+    }
+
+    fn epoch_settled(&mut self, report: &JobReport, epoch: usize, rec: &mut R) {
+        if let Some(s) = self.service.as_mut() {
+            s.settled(report, epoch, rec);
+        }
     }
 }
 
@@ -447,6 +503,48 @@ where
     C: Recorder,
     F: FnMut(usize) -> Box<dyn PowerScheduler + Send>,
 {
+    let (report, _services, recorders) = run_sharded_service(
+        fleet,
+        make_scheduler,
+        app,
+        budget,
+        faults,
+        rack_faults,
+        cfg,
+        None,
+        recorders,
+        cluster_rec,
+    );
+    (report, recorders)
+}
+
+/// [`run_sharded`] with an optional open-loop service per rack: when
+/// `services` is `Some`, it must hold one [`ServiceTimeline`] per rack
+/// (rack order), each rack's policy becomes
+/// [`RackTimeline::with_service`], and every arbiter re-grant moves that
+/// rack's service power envelope ([`RackTimeline::regrant`]) so the
+/// grant/reserve re-split stays zero-sum under the arbiter's audits.
+/// Returns the per-rack [`ServiceReport`]s (in rack order, `None` for
+/// racks that ran no service) between the shard report and the
+/// recorders.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sharded_service<R, C, F>(
+    fleet: ShardedFleet,
+    make_scheduler: F,
+    app: &AppModel,
+    budget: Power,
+    faults: &FaultPlan,
+    rack_faults: &[RackFault],
+    cfg: &ShardConfig,
+    services: Option<Vec<ServiceTimeline>>,
+    recorders: Vec<R>,
+    cluster_rec: &mut C,
+) -> (ShardRunReport, Vec<Option<ServiceReport>>, Vec<R>)
+where
+    R: Recorder + Send,
+    C: Recorder,
+    F: FnMut(usize) -> Box<dyn PowerScheduler + Send>,
+{
     let mut make_scheduler = make_scheduler;
     let topo = fleet.topology();
     assert!(cfg.epochs > 0, "need at least one epoch");
@@ -455,6 +553,14 @@ where
         topo.racks(),
         "one recorder per rack, in rack order"
     );
+    if let Some(list) = services.as_ref() {
+        assert_eq!(
+            list.len(),
+            topo.racks(),
+            "one service timeline per rack, in rack order"
+        );
+    }
+    let mut service_iter = services.map(Vec::into_iter);
 
     let rack_plans = split_faults(&topo, faults);
     let clusters = fleet.into_racks();
@@ -495,8 +601,18 @@ where
             });
         }
         let mut scheduler = make_scheduler(rack);
-        let mut engine = EpochEngine::new(granted, rec);
-        let mut policy = RackTimeline::new(plan);
+        let mut policy = match service_iter.as_mut().and_then(Iterator::next) {
+            Some(svc) => RackTimeline::with_service(plan, svc),
+            None => RackTimeline::new(plan),
+        };
+        // A service rack starts inside its own grant/reserve split of the
+        // arbiter grant; its envelope follows every re-grant.
+        policy.regrant(granted);
+        let engine_budget = policy
+            .service
+            .as_ref()
+            .map_or(granted, |s| s.grant().min(granted));
+        let mut engine = EpochEngine::new(engine_budget, rec);
         let state = engine.begin_run(&mut *scheduler, &mut cluster, app, &mut policy, &rack_cfg);
         runs.push(RackRun {
             rack,
@@ -625,7 +741,8 @@ where
                 (run.state.as_mut(), run.prep.take(), run.outcome.take())
             {
                 run.last_demand = state.plan.total_caps();
-                run.engine.settle_epoch(state, prep, &report, epoch);
+                run.engine
+                    .settle_epoch(state, prep, &report, &mut run.policy, epoch);
             }
         }
 
@@ -645,6 +762,7 @@ where
 
     // Close out the survivors and merge per-rack reports in rack order.
     let mut racks_out: Vec<RackReport> = Vec::with_capacity(runs.len());
+    let mut services_out: Vec<Option<ServiceReport>> = Vec::with_capacity(runs.len());
     let mut recorders_out: Vec<R> = Vec::with_capacity(runs.len());
     let mut survivors = 0usize;
     for mut run in runs {
@@ -674,6 +792,7 @@ where
             reclaimed: run.reclaimed,
             report,
         });
+        services_out.push(run.policy.take_service().map(ServiceTimeline::into_report));
         recorders_out.push(run.engine.into_recorder());
     }
 
@@ -684,6 +803,7 @@ where
             racks: racks_out,
             survivors,
         },
+        services_out,
         recorders_out,
     )
 }
@@ -707,6 +827,7 @@ fn apply_grants<R: Recorder, C: Recorder>(
         }
         run.granted = grant;
         run.engine.set_budget(grant);
+        run.policy.regrant(grant);
         run.policy.force_replan();
         if cluster_rec.enabled() {
             let rack = run.rack;

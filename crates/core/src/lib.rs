@@ -62,6 +62,7 @@ pub mod pwl;
 pub mod recommend;
 pub mod runtime;
 pub mod scheduler;
+pub mod service;
 pub mod tools;
 pub mod validate;
 
@@ -74,7 +75,8 @@ pub use engine::{
     SteadyState,
 };
 pub use hierarchy::{
-    run_sharded, BudgetArbiter, RackFault, RackReport, RackTimeline, ShardConfig, ShardRunReport,
+    run_sharded, run_sharded_service, BudgetArbiter, RackFault, RackReport, RackTimeline,
+    ShardConfig, ShardRunReport,
 };
 pub use knowledge::KnowledgeDb;
 pub use mlr::InflectionPredictor;
@@ -85,3 +87,4 @@ pub use profile::{ProfileData, SampleRun, SmartProfiler};
 pub use recommend::{recommend_node_config, NodeConfig};
 pub use runtime::{FixedLaunch, RuntimeCoordinator};
 pub use scheduler::{execute_plan, ClipScheduler, PowerScheduler, SchedulePlan};
+pub use service::{run_service, ServiceRunReport, ServiceTimeline};

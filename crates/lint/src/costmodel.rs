@@ -68,9 +68,12 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 const HOT_PHASE_METHODS: [&str; 3] = ["execute", "prepare_epoch", "settle_epoch"];
 
 /// Epoch-loop drivers: `EpochEngine::run` plus the free sharded
-/// coordinator. Hot only inside their epoch loop.
+/// coordinators (`run_sharded` is a loop-less wrapper over
+/// `run_sharded_service`, so it is hot throughout — the safe
+/// over-approximation — while the service coordinator owns the epoch
+/// loop). Hot only inside their epoch loop.
 const DRIVER_METHODS: [&str; 1] = ["run"];
-const DRIVER_FREE_FNS: [&str; 1] = ["run_sharded"];
+const DRIVER_FREE_FNS: [&str; 2] = ["run_sharded", "run_sharded_service"];
 
 /// Once-per-run phases — the blessed hoist destination. Not descended.
 const SETUP_METHODS: [&str; 2] = ["begin_run", "finish_run"];

@@ -19,8 +19,15 @@ use std::collections::{BTreeMap, BTreeSet};
 /// Crates whose public serializable enums are domain enums (exhaustive
 /// matching enforced). `workload` hosts `ScalabilityClass`; `obs` hosts
 /// the trace-event taxonomy; the rest hold the simulator and fault enums.
-pub const DOMAIN_ENUM_CRATES: [&str; 6] =
-    ["core", "cluster", "simnode", "workload", "baselines", "obs"];
+pub const DOMAIN_ENUM_CRATES: [&str; 7] = [
+    "core",
+    "cluster",
+    "simnode",
+    "workload",
+    "baselines",
+    "obs",
+    "serve",
+];
 
 /// The scheduler trait whose `plan`/`plan_subset` implementations are the
 /// public entry points of the replay-critical subgraph.
@@ -28,8 +35,14 @@ pub const SCHEDULER_TRAIT: &str = "PowerScheduler";
 
 /// Free functions that are additional entry points (the fault harness —
 /// since the engine refactor a thin wrapper over [`ENTRY_ENGINE_TYPE`] —
-/// and the sharded two-level campaign coordinator).
-pub const ENTRY_FREE_FNS: [&str; 2] = ["run_with_faults", "run_sharded"];
+/// the sharded two-level campaign coordinators, and the open-loop
+/// service harness).
+pub const ENTRY_FREE_FNS: [&str; 4] = [
+    "run_with_faults",
+    "run_sharded",
+    "run_sharded_service",
+    "run_service",
+];
 
 /// Entry-point method names on [`SCHEDULER_TRAIT`].
 pub const ENTRY_METHODS: [&str; 2] = ["plan", "plan_subset"];

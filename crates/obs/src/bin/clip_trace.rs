@@ -74,6 +74,43 @@ struct RackCrashRow {
     reclaimed: Power,
 }
 
+/// Per-tenant service rollup (from the `Job*`/`SloEvaluated` events an
+/// open-loop service run emits).
+#[derive(Default)]
+struct TenantStat {
+    arrived: usize,
+    admitted: usize,
+    degraded: usize,
+    rejected_infeasible: usize,
+    rejected_hopeless: usize,
+    preempted: usize,
+    slo_total: usize,
+    slo_met: usize,
+    latencies: Vec<f64>,
+}
+
+impl TenantStat {
+    /// Nearest-rank percentile over the observed completion latencies.
+    fn percentile(&self, q: f64) -> Option<f64> {
+        if self.latencies.is_empty() {
+            return None;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        let rank = ((q / 100.0) * n as f64).ceil() as usize;
+        sorted.get(rank.saturating_sub(1).min(n - 1)).copied()
+    }
+}
+
+/// One autoscaling decision (from `PoolScaled`).
+struct PoolRow {
+    epoch: u64,
+    before: usize,
+    after: usize,
+    granted: Power,
+}
+
 fn load(path: &str) -> Result<Vec<TraceRecord>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let mut records = Vec::new();
@@ -245,6 +282,70 @@ fn rack_crash_rows(run: &Run) -> Vec<RackCrashRow> {
         .collect()
 }
 
+fn tenant_stats(run: &Run) -> BTreeMap<String, TenantStat> {
+    let mut stats: BTreeMap<String, TenantStat> = BTreeMap::new();
+    for rec in &run.records {
+        match &rec.event {
+            TraceEvent::JobArrived { tenant, .. } => {
+                stats.entry(tenant.clone()).or_default().arrived += 1;
+            }
+            TraceEvent::JobAdmitted {
+                tenant, degraded, ..
+            } => {
+                let s = stats.entry(tenant.clone()).or_default();
+                s.admitted += 1;
+                if *degraded {
+                    s.degraded += 1;
+                }
+            }
+            TraceEvent::JobRejected { tenant, reason, .. } => {
+                let s = stats.entry(tenant.clone()).or_default();
+                match reason {
+                    clip_obs::RejectTag::Infeasible => s.rejected_infeasible += 1,
+                    clip_obs::RejectTag::SloHopeless => s.rejected_hopeless += 1,
+                }
+            }
+            TraceEvent::JobPreempted { tenant, .. } => {
+                stats.entry(tenant.clone()).or_default().preempted += 1;
+            }
+            TraceEvent::SloEvaluated {
+                tenant,
+                latency,
+                met,
+                ..
+            } => {
+                let s = stats.entry(tenant.clone()).or_default();
+                s.slo_total += 1;
+                if *met {
+                    s.slo_met += 1;
+                }
+                s.latencies.push(latency.as_secs());
+            }
+            _ => {}
+        }
+    }
+    stats
+}
+
+fn pool_rows(run: &Run) -> Vec<PoolRow> {
+    run.records
+        .iter()
+        .filter_map(|r| match &r.event {
+            TraceEvent::PoolScaled {
+                nodes_before,
+                nodes_after,
+                granted,
+            } => Some(PoolRow {
+                epoch: r.epoch,
+                before: *nodes_before,
+                after: *nodes_after,
+                granted: *granted,
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
 fn fault_counts(run: &Run) -> (usize, usize) {
     let mut applied = 0;
     let mut ignored = 0;
@@ -287,6 +388,65 @@ fn summarize_run(run: &Run) {
     let (applied, ignored) = fault_counts(run);
     if applied + ignored > 0 {
         println!("faults: {applied} applied, {ignored} ignored");
+    }
+
+    let tenants = tenant_stats(run);
+    if !tenants.is_empty() {
+        let fmt_s = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.1}"));
+        let mut table = Table::new(
+            "service: per-tenant admission and SLO",
+            &[
+                "tenant",
+                "arrived",
+                "admitted",
+                "degraded",
+                "rej infeas",
+                "rej slo",
+                "preempted",
+                "SLO met",
+                "p50 (s)",
+                "p95 (s)",
+                "p99 (s)",
+            ],
+        );
+        for (name, s) in &tenants {
+            table.row(&[
+                name.clone(),
+                s.arrived.to_string(),
+                s.admitted.to_string(),
+                s.degraded.to_string(),
+                s.rejected_infeasible.to_string(),
+                s.rejected_hopeless.to_string(),
+                s.preempted.to_string(),
+                format!("{}/{}", s.slo_met, s.slo_total),
+                fmt_s(s.percentile(50.0)),
+                fmt_s(s.percentile(95.0)),
+                fmt_s(s.percentile(99.0)),
+            ]);
+        }
+        print!("{}", table.render());
+        let (met, total) = tenants
+            .values()
+            .fold((0, 0), |(m, t), s| (m + s.slo_met, t + s.slo_total));
+        if total > 0 {
+            println!(
+                "overall SLO attainment: {:.1}% ({met}/{total} evaluated)",
+                100.0 * met as f64 / total as f64
+            );
+        }
+    }
+    let pools = pool_rows(run);
+    if let (Some(first), Some(last)) = (pools.first(), pools.last()) {
+        let path: Vec<String> = std::iter::once(first.before.to_string())
+            .chain(pools.iter().map(|p| p.after.to_string()))
+            .collect();
+        println!(
+            "pool scalings: {} ({} nodes), final grant {:.1} W at epoch {}",
+            pools.len(),
+            path.join("→"),
+            last.granted.as_watts(),
+            last.epoch
+        );
     }
 
     let grants = grant_rows(run);
@@ -507,7 +667,56 @@ fn diff_runs(a: &Run, b: &Run) {
             max_node_delta = max_node_delta.max((mb - ma).abs());
         }
     }
-    println!("max per-node mean-power delta: {max_node_delta:.1} W\n");
+    println!("max per-node mean-power delta: {max_node_delta:.1} W");
+
+    // Service-level comparison: tenants paired by name across the runs.
+    let (ta_svc, tb_svc) = (tenant_stats(a), tenant_stats(b));
+    if !ta_svc.is_empty() || !tb_svc.is_empty() {
+        let attain = |s: &TenantStat| -> Option<f64> {
+            (s.slo_total > 0).then(|| 100.0 * s.slo_met as f64 / s.slo_total as f64)
+        };
+        let show_pc = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.1}%"));
+        let mut table = Table::new(
+            "service: per-tenant SLO and admission deltas",
+            &[
+                "tenant",
+                "SLO% A",
+                "SLO% B",
+                "rej A",
+                "rej B",
+                "p95 A",
+                "p95 B",
+                "Δp95 (s)",
+            ],
+        );
+        let empty = TenantStat::default();
+        let names: std::collections::BTreeSet<&String> =
+            ta_svc.keys().chain(tb_svc.keys()).collect();
+        for name in names {
+            let (stat_a, stat_b) = (
+                ta_svc.get(name).unwrap_or(&empty),
+                tb_svc.get(name).unwrap_or(&empty),
+            );
+            let rej = |s: &TenantStat| s.rejected_infeasible + s.rejected_hopeless;
+            let (p95a, p95b) = (stat_a.percentile(95.0), stat_b.percentile(95.0));
+            let dp95 = match (p95a, p95b) {
+                (Some(x), Some(y)) => format!("{:+.1}", y - x),
+                _ => "-".to_string(),
+            };
+            table.row(&[
+                name.clone(),
+                show_pc(attain(stat_a)),
+                show_pc(attain(stat_b)),
+                rej(stat_a).to_string(),
+                rej(stat_b).to_string(),
+                p95a.map_or("-".to_string(), |x| format!("{x:.1}")),
+                p95b.map_or("-".to_string(), |x| format!("{x:.1}")),
+                dp95,
+            ]);
+        }
+        print!("{}", table.render());
+    }
+    println!();
 }
 
 fn cmd_diff(path_a: &str, path_b: &str) -> Result<(), String> {

@@ -58,6 +58,16 @@ pub enum ActuationTag {
     InjectedJitter,
 }
 
+/// Obs-local mirror of `clip_serve::RejectReason` (obs sits below the
+/// service crate in the dependency graph; `clip-serve` provides `From`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectTag {
+    /// No power-feasible plan existed on the service pool.
+    Infeasible,
+    /// The queue ahead already guaranteed a blown SLO.
+    SloHopeless,
+}
+
 /// One telemetry event at a scheduler decision point.
 ///
 /// Variants carry only primitives and `simkit` quantities so the trace is
@@ -239,6 +249,72 @@ pub enum TraceEvent {
         at_epoch: u64,
         /// Watts reclaimed from the dead rack's grant.
         reclaimed: Power,
+    },
+    /// An open-loop service job arrived (before any admission decision).
+    JobArrived {
+        /// Monotone job id within the service run.
+        job: u64,
+        /// Tenant name.
+        tenant: String,
+        /// Application name.
+        app: String,
+        /// Iterations of work the job carries.
+        iterations: u64,
+    },
+    /// Admission accepted a job into the service queue.
+    JobAdmitted {
+        /// Monotone job id within the service run.
+        job: u64,
+        /// Tenant name.
+        tenant: String,
+        /// Queue depth after the job joined.
+        queued: usize,
+        /// Whether the feasibility trial only fit a degraded
+        /// (smaller-than-pool) plan.
+        degraded: bool,
+    },
+    /// Admission turned a job away.
+    JobRejected {
+        /// Monotone job id within the service run.
+        job: u64,
+        /// Tenant name.
+        tenant: String,
+        /// Why admission refused it.
+        reason: RejectTag,
+    },
+    /// A higher-priority tenant preempted the running job.
+    JobPreempted {
+        /// The job that lost the pool.
+        job: u64,
+        /// Tenant name of the preempted job.
+        tenant: String,
+        /// The job that took over.
+        by: u64,
+        /// Iterations the preempted job still owes.
+        remaining_iterations: u64,
+    },
+    /// The service autoscaler resized its node pool and re-drew its
+    /// zero-sum share of the cluster budget.
+    PoolScaled {
+        /// Pool size before the decision.
+        nodes_before: usize,
+        /// Pool size after the decision.
+        nodes_after: usize,
+        /// Service power grant after the decision.
+        granted: Power,
+    },
+    /// A completed job's latency was judged against its tenant's SLO.
+    SloEvaluated {
+        /// Monotone job id within the service run.
+        job: u64,
+        /// Tenant name.
+        tenant: String,
+        /// Arrival → completion latency, queueing included.
+        latency: TimeSpan,
+        /// The tenant's SLO.
+        slo: TimeSpan,
+        /// Whether the latency met the SLO.
+        met: bool,
     },
     /// Final snapshot of the metric registry, emitted when a recorder is
     /// closed so `clip-trace` can summarize histograms.

@@ -38,7 +38,7 @@ pub mod metrics;
 pub mod recorder;
 pub mod sink;
 
-pub use event::{ActuationTag, FaultTag, ImpactTag, TraceEvent, TraceRecord};
+pub use event::{ActuationTag, FaultTag, ImpactTag, RejectTag, TraceEvent, TraceRecord};
 pub use metrics::{Histogram, MetricKind, MetricRegistry};
 pub use recorder::{NoopRecorder, Recorder, TraceRecorder};
 pub use sink::{JsonlSink, RingSink, TraceSink};

@@ -1,0 +1,113 @@
+#![warn(missing_docs)]
+
+//! # clip-serve — open-loop multi-tenant service workload for CLIP
+//!
+//! CLIP's Algorithm 1 was evaluated on a closed, drained queue; ROADMAP
+//! item 2 re-runs it as a continuous control loop under arrival-driven
+//! load. This crate holds the workload side of that loop — everything
+//! that exists *before* a scheduler sees a job:
+//!
+//! - [`Tenant`]: a service customer with a priority and a latency SLO.
+//! - [`ArrivalPlan`]: a seeded, deterministic open-loop arrival stream —
+//!   per-tenant Poisson processes ([`ArrivalPlan::poisson`]) or an
+//!   explicit trace ([`ArrivalPlan::new`]) — resolved down to a sorted
+//!   event list so replay is byte-identical for a fixed seed.
+//! - [`ServiceConfig`]: the admission/preemption/autoscaling knobs the
+//!   `clip_core::service::ServiceTimeline` policy runs under.
+//! - [`report`]: per-job and per-tenant outcome records — latency
+//!   percentiles and SLO attainment, the service-level metrics the paper's
+//!   time-to-solution numbers do not capture.
+//!
+//! The control loop itself (admission feasibility against the power
+//! budget, priority preemption, pool autoscaling with zero-sum ledger
+//! audits) lives in `clip_core`, which depends on this crate for the
+//! vocabulary types. Everything here is plain data: no clocks, no
+//! randomness beyond the caller-supplied [`simkit::SimRng`], so the same
+//! `(seed, rates, horizon)` triple always yields the same plan.
+
+pub mod arrival;
+pub mod report;
+pub mod tenant;
+
+pub use arrival::{ArrivalEvent, ArrivalPlan};
+pub use report::{JobOutcome, JobRecord, RejectReason, ServiceReport, TenantReport};
+pub use tenant::Tenant;
+
+use serde::{Deserialize, Serialize};
+use simkit::Power;
+
+/// Knobs of the service harness: pool sizing, autoscaling thresholds, and
+/// the preemption grace window.
+///
+/// The pool is the contiguous prefix of node ids the service may plan
+/// over; its power envelope is `watts_per_node × pool size`, clamped to
+/// the cluster budget, and every grow/shrink moves watts between the
+/// service grant and the cluster reserve zero-sum (audited through
+/// `BudgetLedger`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceConfig {
+    /// Smallest pool the autoscaler may shrink to.
+    pub min_nodes: usize,
+    /// Largest pool the autoscaler may grow to.
+    pub max_nodes: usize,
+    /// Pool size at service start.
+    pub initial_nodes: usize,
+    /// Power the service requests per pool node; the grant is
+    /// `watts_per_node × pool`, clamped to the cluster budget.
+    pub watts_per_node: Power,
+    /// Queue depth at or above which the pool grows by `scale_step`.
+    pub grow_queue: usize,
+    /// Queue depth at or below which the pool shrinks by `scale_step`.
+    pub shrink_queue: usize,
+    /// Nodes added or removed per autoscaling decision.
+    pub scale_step: usize,
+    /// Fraction of a tenant's SLO a queued higher-priority job may wait
+    /// before it preempts a lower-priority running job.
+    pub preempt_grace: f64,
+    /// Iterations of progress one engine epoch grants the active job.
+    pub iterations_per_epoch: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            min_nodes: 1,
+            max_nodes: 8,
+            initial_nodes: 2,
+            watts_per_node: Power::watts(180.0),
+            grow_queue: 3,
+            shrink_queue: 0,
+            scale_step: 1,
+            preempt_grace: 0.5,
+            iterations_per_epoch: 1,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Panic with a clear message on inconsistent knob combinations.
+    pub fn validate(&self) {
+        assert!(self.min_nodes >= 1, "min_nodes must be at least 1");
+        assert!(
+            self.min_nodes <= self.initial_nodes && self.initial_nodes <= self.max_nodes,
+            "pool bounds must satisfy min <= initial <= max"
+        );
+        assert!(self.scale_step >= 1, "scale_step must be at least 1");
+        assert!(
+            self.iterations_per_epoch >= 1,
+            "iterations_per_epoch must be at least 1"
+        );
+        assert!(
+            self.watts_per_node.as_watts() > 0.0,
+            "watts_per_node must be positive"
+        );
+        assert!(
+            self.preempt_grace >= 0.0,
+            "preempt_grace must be non-negative"
+        );
+        assert!(
+            self.shrink_queue < self.grow_queue,
+            "shrink_queue must sit below grow_queue"
+        );
+    }
+}

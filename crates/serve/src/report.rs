@@ -1,0 +1,302 @@
+//! Service-level outcome records: per-job fates and per-tenant
+//! latency/SLO statistics.
+
+use crate::tenant::Tenant;
+use serde::{Deserialize, Serialize};
+use simkit::TimeSpan;
+
+/// Why the admission controller turned a job away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// No power-feasible plan exists on the current pool under the
+    /// service grant (the holistic feasibility check failed).
+    Infeasible,
+    /// A plan exists, but the queue ahead already guarantees the SLO is
+    /// blown before the job could start.
+    SloHopeless,
+}
+
+impl From<RejectReason> for clip_obs::RejectTag {
+    fn from(r: RejectReason) -> Self {
+        match r {
+            RejectReason::Infeasible => clip_obs::RejectTag::Infeasible,
+            RejectReason::SloHopeless => clip_obs::RejectTag::SloHopeless,
+        }
+    }
+}
+
+/// Final fate of one submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum JobOutcome {
+    /// Still queued or running when the horizon ended.
+    Unfinished,
+    /// Ran to completion.
+    Completed {
+        /// Arrival → completion, queueing included.
+        latency: TimeSpan,
+        /// Whether `latency` met the tenant's SLO.
+        slo_met: bool,
+    },
+    /// Turned away at admission.
+    Rejected {
+        /// Why admission refused it.
+        reason: RejectReason,
+    },
+}
+
+/// Ledger entry for one submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Monotone job id, assigned at arrival.
+    pub job: u64,
+    /// Index into the run's tenant list.
+    pub tenant: usize,
+    /// Index into the run's application catalog.
+    pub app: usize,
+    /// Iterations of work the job carried.
+    pub iterations: usize,
+    /// Epoch the job arrived at.
+    pub arrival_epoch: usize,
+    /// Times the job was preempted while running.
+    pub preemptions: u32,
+    /// Whether admission accepted it on a degraded (smaller-than-pool)
+    /// plan.
+    pub degraded: bool,
+    /// Final fate.
+    pub outcome: JobOutcome,
+}
+
+/// Aggregated service statistics for one tenant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantReport {
+    /// The tenant (name, priority, SLO).
+    pub tenant: Tenant,
+    /// Jobs that arrived.
+    pub submitted: usize,
+    /// Jobs admission accepted.
+    pub admitted: usize,
+    /// Jobs admission turned away.
+    pub rejected: usize,
+    /// Preemption events suffered by this tenant's jobs.
+    pub preemptions: usize,
+    /// Jobs that ran to completion inside the horizon.
+    pub completed: usize,
+    /// Completed jobs whose latency met the SLO.
+    pub slo_met: usize,
+    /// Completion latencies in seconds, sorted ascending.
+    pub latencies: Vec<f64>,
+}
+
+impl TenantReport {
+    /// Nearest-rank latency percentile in seconds; `q` is in percent
+    /// (e.g. `95.0`). `None` when no job completed.
+    pub fn latency_percentile(&self, q: f64) -> Option<f64> {
+        if self.latencies.is_empty() {
+            return None;
+        }
+        let n = self.latencies.len();
+        let rank = ((q / 100.0) * n as f64).ceil() as usize;
+        self.latencies
+            .get(rank.saturating_sub(1).min(n - 1))
+            .copied()
+    }
+
+    /// Fraction of completed jobs that met the SLO; `None` when no job
+    /// completed (attainment over nothing is undefined, not 100%).
+    pub fn slo_attainment(&self) -> Option<f64> {
+        if self.completed == 0 {
+            return None;
+        }
+        Some(self.slo_met as f64 / self.completed as f64)
+    }
+}
+
+/// The service-level report of one run: what happened to every job, and
+/// the per-tenant rollup.
+#[must_use = "a service report carries latency and SLO statistics"]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceReport {
+    /// Per-tenant statistics, in tenant-list order.
+    pub tenants: Vec<TenantReport>,
+    /// Every submitted job, in job-id order.
+    pub jobs: Vec<JobRecord>,
+    /// Autoscaling decisions taken (pool size changes).
+    pub pool_scalings: usize,
+    /// Pool size when the run ended.
+    pub final_pool: usize,
+}
+
+impl ServiceReport {
+    /// Roll a job ledger up into per-tenant statistics. Jobs whose
+    /// tenant index is out of range are counted under no tenant (they
+    /// cannot occur for ledgers built by the service policy).
+    pub fn from_jobs(
+        tenants: &[Tenant],
+        jobs: Vec<JobRecord>,
+        pool_scalings: usize,
+        final_pool: usize,
+    ) -> Self {
+        let mut rollup: Vec<TenantReport> = tenants
+            .iter()
+            .map(|t| TenantReport {
+                tenant: t.clone(),
+                submitted: 0,
+                admitted: 0,
+                rejected: 0,
+                preemptions: 0,
+                completed: 0,
+                slo_met: 0,
+                latencies: Vec::new(),
+            })
+            .collect();
+        for job in &jobs {
+            let Some(t) = rollup.get_mut(job.tenant) else {
+                continue;
+            };
+            t.submitted += 1;
+            t.preemptions += job.preemptions as usize;
+            match job.outcome {
+                JobOutcome::Rejected { .. } => t.rejected += 1,
+                JobOutcome::Unfinished => t.admitted += 1,
+                JobOutcome::Completed { latency, slo_met } => {
+                    t.admitted += 1;
+                    t.completed += 1;
+                    if slo_met {
+                        t.slo_met += 1;
+                    }
+                    t.latencies.push(latency.as_secs());
+                }
+            }
+        }
+        for t in &mut rollup {
+            t.latencies.sort_by(f64::total_cmp);
+        }
+        Self {
+            tenants: rollup,
+            jobs,
+            pool_scalings,
+            final_pool,
+        }
+    }
+
+    /// Total jobs that completed across all tenants.
+    pub fn completed(&self) -> usize {
+        self.tenants.iter().map(|t| t.completed).sum()
+    }
+
+    /// Overall SLO attainment across all completed jobs; `None` when
+    /// nothing completed.
+    pub fn overall_slo_attainment(&self) -> Option<f64> {
+        let done = self.completed();
+        if done == 0 {
+            return None;
+        }
+        let met: usize = self.tenants.iter().map(|t| t.slo_met).sum();
+        Some(met as f64 / done as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tenant(name: &str, priority: u8, slo_secs: f64) -> Tenant {
+        Tenant::new(name, priority, TimeSpan::secs(slo_secs))
+    }
+
+    fn completed(job: u64, tenant: usize, latency: f64, slo_met: bool) -> JobRecord {
+        JobRecord {
+            job,
+            tenant,
+            app: 0,
+            iterations: 1,
+            arrival_epoch: 0,
+            preemptions: 0,
+            degraded: false,
+            outcome: JobOutcome::Completed {
+                latency: TimeSpan::secs(latency),
+                slo_met,
+            },
+        }
+    }
+
+    #[test]
+    fn rollup_counts_every_fate() {
+        let tenants = vec![tenant("gold", 3, 10.0), tenant("bronze", 1, 100.0)];
+        let mut jobs = vec![
+            completed(0, 0, 5.0, true),
+            completed(1, 0, 20.0, false),
+            completed(2, 1, 50.0, true),
+        ];
+        jobs.push(JobRecord {
+            job: 3,
+            tenant: 1,
+            app: 1,
+            iterations: 2,
+            arrival_epoch: 4,
+            preemptions: 2,
+            degraded: true,
+            outcome: JobOutcome::Rejected {
+                reason: RejectReason::Infeasible,
+            },
+        });
+        jobs.push(JobRecord {
+            job: 4,
+            tenant: 0,
+            app: 0,
+            iterations: 1,
+            arrival_epoch: 9,
+            preemptions: 0,
+            degraded: false,
+            outcome: JobOutcome::Unfinished,
+        });
+        let report = ServiceReport::from_jobs(&tenants, jobs, 2, 3);
+        let gold = &report.tenants[0];
+        assert_eq!(
+            (gold.submitted, gold.admitted, gold.completed, gold.slo_met),
+            (3, 3, 2, 1)
+        );
+        let bronze = &report.tenants[1];
+        assert_eq!((bronze.submitted, bronze.rejected), (2, 1));
+        assert_eq!(bronze.preemptions, 2);
+        assert_eq!(report.completed(), 3);
+        let overall = report.overall_slo_attainment().expect("jobs completed");
+        assert!((overall - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(report.pool_scalings, 2);
+        assert_eq!(report.final_pool, 3);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank_on_sorted_latencies() {
+        let tenants = vec![tenant("t", 1, 10.0)];
+        let jobs = (0..10)
+            .map(|i| completed(i, 0, (10 - i) as f64, true))
+            .collect();
+        let report = ServiceReport::from_jobs(&tenants, jobs, 0, 1);
+        let t = &report.tenants[0];
+        assert_eq!(t.latencies.first().copied(), Some(1.0), "sorted ascending");
+        assert_eq!(t.latency_percentile(50.0), Some(5.0));
+        assert_eq!(t.latency_percentile(95.0), Some(10.0));
+        assert_eq!(t.latency_percentile(99.0), Some(10.0));
+        assert_eq!(t.slo_attainment(), Some(1.0));
+    }
+
+    #[test]
+    fn empty_tenant_degrades_to_none() {
+        let report = ServiceReport::from_jobs(&[tenant("idle", 1, 5.0)], Vec::new(), 0, 1);
+        let t = &report.tenants[0];
+        assert_eq!(t.latency_percentile(50.0), None);
+        assert_eq!(t.slo_attainment(), None);
+        assert_eq!(report.overall_slo_attainment(), None);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let tenants = vec![tenant("gold", 3, 10.0)];
+        let jobs = vec![completed(0, 0, 5.0, true)];
+        let report = ServiceReport::from_jobs(&tenants, jobs, 1, 2);
+        let json = serde_json::to_string(&report).expect("serializes");
+        let back: ServiceReport = serde_json::from_str(&json).expect("parses");
+        assert_eq!(report, back);
+    }
+}

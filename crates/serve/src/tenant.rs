@@ -1,0 +1,33 @@
+//! Tenants: the service customers whose jobs arrive open-loop.
+
+use serde::{Deserialize, Serialize};
+use simkit::TimeSpan;
+
+/// A service tenant: a named customer class with a scheduling priority
+/// and a per-job latency SLO.
+///
+/// Priority is ordinal — higher wins admission-queue position and may
+/// preempt a running lower-priority job once its grace window expires.
+/// The SLO is a bound on *latency* (arrival → completion, queueing
+/// included), the service-level metric the paper's time-to-solution
+/// numbers do not capture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tenant {
+    /// Display name (e.g. `"gold"`).
+    pub name: String,
+    /// Ordinal priority; higher preempts lower.
+    pub priority: u8,
+    /// Per-job latency SLO, arrival to completion.
+    pub slo: TimeSpan,
+}
+
+impl Tenant {
+    /// A tenant with the given name, priority and latency SLO.
+    pub fn new(name: &str, priority: u8, slo: TimeSpan) -> Self {
+        Self {
+            name: name.to_string(),
+            priority,
+            slo,
+        }
+    }
+}

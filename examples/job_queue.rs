@@ -5,6 +5,11 @@
 //! are free, trims the grant to what the job can draw, and space-shares the
 //! machine — the §IV-B3 job scheduler in action.
 //!
+//! The submission stream is a `clip_serve::ArrivalPlan` — the same arrival
+//! vocabulary the open-loop service harness (`examples/service.rs`) uses,
+//! resolved here at one second per epoch. A closed batch queue is just the
+//! degenerate plan whose events all carry epoch 0.
+//!
 //! Run with: `cargo run --release --example job_queue`
 //!
 //! The run is instrumented with `clip-obs`: dispatch events land in an
@@ -12,12 +17,13 @@
 //! printed as a Prometheus text-format snapshot on exit — what a scrape
 //! endpoint would serve on a real cluster head node.
 
-use clip_core::dispatch::{Dispatcher, QueuedJob};
+use clip_core::dispatch::Dispatcher;
 use clip_core::{ClipScheduler, InflectionPredictor};
 use clip_obs::{RingSink, TraceRecorder};
+use clip_serve::{ArrivalEvent, ArrivalPlan};
 use cluster_sim::Cluster;
 use simkit::{Power, TimeSpan};
-use workload::suite;
+use workload::{suite, AppModel};
 
 fn main() {
     let mut cluster = Cluster::homogeneous(8);
@@ -27,19 +33,32 @@ fn main() {
     clip.coordinate_variability = false; // homogeneous fleet
     let mut dispatcher = Dispatcher::new(clip, budget);
 
-    let submit = |app: workload::AppModel, t: f64, iters: usize| QueuedJob {
-        // Half-machine decompositions so jobs can space-share.
-        app: app.with_preferred_node_counts(vec![1, 2, 4]),
-        arrival: TimeSpan::secs(t),
-        iterations: iters,
+    // Half-machine decompositions so jobs can space-share.
+    let catalog: Vec<AppModel> = [
+        suite::comd(),
+        suite::sp_mz(),
+        suite::lu_mz(),
+        suite::tea_leaf(),
+        suite::amg(),
+    ]
+    .into_iter()
+    .map(|app| app.with_preferred_node_counts(vec![1, 2, 4]))
+    .collect();
+
+    // The morning's arrivals, one epoch = one second of queue time.
+    let arrive = |at_epoch: usize, app: usize| ArrivalEvent {
+        at_epoch,
+        tenant: 0,
+        app,
+        iterations: 3,
     };
-    let jobs = vec![
-        submit(suite::comd(), 0.0, 3),
-        submit(suite::sp_mz(), 0.0, 3),
-        submit(suite::lu_mz(), 2.0, 3),
-        submit(suite::tea_leaf(), 5.0, 3),
-        submit(suite::amg(), 7.0, 3),
-    ];
+    let plan = ArrivalPlan::new(vec![
+        arrive(0, 0),
+        arrive(0, 1),
+        arrive(2, 2),
+        arrive(5, 3),
+        arrive(7, 4),
+    ]);
 
     println!(
         "site budget: {:.0} W, 8 nodes, FCFS with constrained planning\n",
@@ -48,7 +67,7 @@ fn main() {
     // The engine-backed dispatcher narrates each job's full plan and
     // actuation, so size the ring for the whole morning.
     let mut rec = TraceRecorder::new(RingSink::new(1024));
-    let report = dispatcher.run(&mut cluster, &jobs, &mut rec);
+    let report = dispatcher.run_plan(&mut cluster, &plan, &catalog, TimeSpan::secs(1.0), &mut rec);
 
     println!(
         "{:<10} {:>7} {:>7} {:>8} {:>6} {:>8} {:>10}",

@@ -154,4 +154,40 @@ if [ "$traced_ms" -gt "$limit_ms" ]; then
 fi
 echo "    trace ok: untraced ${plain_ms} ms, traced ${traced_ms} ms (limit ${limit_ms} ms)"
 
+# Service smoke gate: the open-loop multi-tenant campaign end to end —
+# per-tenant SLO tables, the sharded per-rack service run replaying
+# bit-identically across worker counts (FNV fingerprint), the golden SLO
+# line, and a traced run that clip-trace can digest, under the same
+# 5x + 20 ms overhead bound as the quickstart gate.
+echo "==> service smoke (SLO attainment + replay across worker counts + trace)"
+cargo build --offline --quiet --release --example service -p clip-repro
+svc_seq="$(target/release/examples/service --smoke --threads 1 | grep 'report fnv')"
+svc_par="$(target/release/examples/service --smoke --threads 4 | grep 'report fnv')"
+if [ -z "$svc_seq" ] || [ "$svc_seq" != "$svc_par" ]; then
+    echo "sharded service campaign diverged across worker counts:" >&2
+    echo "  threads=1: ${svc_seq}" >&2
+    echo "  threads=4: ${svc_par}" >&2
+    exit 1
+fi
+svc_out="$(target/release/examples/service --smoke)"
+grep -q "overall SLO attainment (CLIP): 100.0% (4/23 admitted, 4 scalings, final pool 8)" <<< "$svc_out" \
+    || { echo "service smoke SLO line drifted (update tests/golden.rs and this gate together)" >&2; exit 1; }
+
+svc_trace="target/service-smoke.jsonl"
+rm -f "$svc_trace"
+svc_plain_ms="$(best_ms 3 target/release/examples/service --smoke)"
+svc_traced_ms="$(best_ms 3 target/release/examples/service --smoke --trace "$svc_trace")"
+test -s "$svc_trace" || { echo "traced service run wrote no trace" >&2; exit 1; }
+svc_summary="$(target/release/clip-trace summary "$svc_trace")"
+grep -q "per-tenant admission and SLO" <<< "$svc_summary" \
+    || { echo "clip-trace summary did not parse the service trace" >&2; exit 1; }
+grep -q "pool scalings: 4" <<< "$svc_summary" \
+    || { echo "clip-trace summary lost the autoscaling timeline" >&2; exit 1; }
+svc_limit_ms=$((svc_plain_ms * 5 + 20))
+if [ "$svc_traced_ms" -gt "$svc_limit_ms" ]; then
+    echo "service tracing overhead too high: traced ${svc_traced_ms} ms vs untraced ${svc_plain_ms} ms (limit ${svc_limit_ms} ms)" >&2
+    exit 1
+fi
+echo "    service ok:${svc_seq#*:}, untraced ${svc_plain_ms} ms, traced ${svc_traced_ms} ms (limit ${svc_limit_ms} ms)"
+
 echo "All checks passed."

@@ -346,6 +346,93 @@ fn golden_rack_crash_timeline() {
     assert!((agg - 1.5613).abs() / 1.5613 < 0.01, "aggregate {agg:.4}");
 }
 
+/// Open-loop service pins: the smoke-scale CLIP service run from
+/// `examples/service.rs` (three tenants, seeded Poisson arrivals, 2400 W
+/// envelope, 12 epochs on the seed-7 testbed). The whole trajectory —
+/// admissions, the one silver preemption, the autoscaler's climb from 4
+/// to 8 nodes, and every completion latency — is a pure function of the
+/// seed, so the service-level outcomes pin exactly. `scripts/check.sh`
+/// greps the example's "overall SLO attainment" line against the same
+/// numbers.
+#[test]
+fn golden_service_slo_attainment() {
+    use clip_core::service::{run_service, ServiceTimeline};
+    use clip_core::ClipScheduler;
+    use clip_serve::{ArrivalPlan, ServiceConfig, Tenant};
+    use cluster_sim::Cluster;
+    use simkit::{Power, SimRng, TimeSpan};
+
+    let tenants = vec![
+        Tenant::new("gold", 3, TimeSpan::secs(30.0)),
+        Tenant::new("silver", 2, TimeSpan::secs(60.0)),
+        Tenant::new("bronze", 1, TimeSpan::secs(120.0)),
+    ];
+    let catalog = vec![suite::comd(), suite::amg(), suite::tea_leaf()];
+    let mut rng = SimRng::seed_from_u64(2017);
+    let plan = ArrivalPlan::poisson(&mut rng, &[0.35, 0.5, 0.7], catalog.len(), 12, (2, 8));
+    let timeline = ServiceTimeline::new(
+        tenants,
+        catalog,
+        plan,
+        ServiceConfig {
+            min_nodes: 2,
+            max_nodes: 8,
+            initial_nodes: 4,
+            watts_per_node: Power::watts(300.0),
+            grow_queue: 2,
+            shrink_queue: 0,
+            scale_step: 1,
+            preempt_grace: 0.05,
+            iterations_per_epoch: 2,
+        },
+        Power::watts(2400.0),
+    );
+    let mut cluster = Cluster::paper_testbed(7);
+    let mut sched = ClipScheduler::new(InflectionPredictor::train_default(5));
+    let report = run_service(
+        &mut sched,
+        &mut cluster,
+        &suite::comd(),
+        timeline,
+        12,
+        &mut clip_obs::NoopRecorder,
+    );
+    let svc = report.service;
+
+    // Per-tenant (submitted, admitted, rejected, preemptions, completed).
+    let rows: Vec<(usize, usize, usize, usize, usize)> = svc
+        .tenants
+        .iter()
+        .map(|t| {
+            (
+                t.submitted,
+                t.admitted,
+                t.rejected,
+                t.preemptions,
+                t.completed,
+            )
+        })
+        .collect();
+    assert_eq!(
+        rows,
+        vec![(3, 3, 0, 0, 3), (11, 11, 0, 1, 0), (9, 9, 0, 0, 1)],
+        "per-tenant service outcomes drifted"
+    );
+
+    // Everything that completed met its SLO under the smoke load.
+    assert_eq!(svc.completed(), 4);
+    assert_eq!(svc.overall_slo_attainment(), Some(1.0));
+
+    // Gold's worst completion latency under the fixed seed.
+    let gold = svc.tenants.first().expect("gold exists");
+    let p95 = gold.latency_percentile(95.0).expect("gold completed jobs");
+    assert!((p95 - 5.2).abs() < 0.1, "gold p95 {p95:.2} drifted");
+
+    // The autoscaler climbed 4→8 one node at a time and stayed there.
+    assert_eq!(svc.pool_scalings, 4);
+    assert_eq!(svc.final_pool, 8);
+}
+
 /// Uncapped single-node performance pins for three representative apps.
 #[test]
 fn golden_uncapped_performance() {

@@ -164,6 +164,193 @@ fn sharded_campaign_replays_bit_identically() {
     assert_eq!(a, b, "same sharded campaign must replay bit-identically");
 }
 
+/// One sharded *service* campaign: per-rack open-loop service timelines
+/// (tenants, Poisson arrivals, admission, preemption, autoscaling) under
+/// the budget arbiter, with node faults and a mid-campaign rack crash.
+/// Returns the serialized `(ShardRunReport, Vec<Option<ServiceReport>>)`.
+fn sharded_service_replay(seed: u64, workers: Option<usize>, shuffle_seed: Option<u64>) -> String {
+    use clip_core::service::ServiceTimeline;
+    use clip_core::{run_sharded_service, RackFault, ShardConfig};
+    use clip_serve::{ArrivalPlan, ServiceConfig, Tenant};
+    use cluster_sim::{RackTopology, ShardedFleet};
+    use simkit::TimeSpan;
+
+    let topo = RackTopology::new(3, 4);
+    let fleet = ShardedFleet::with_variability(topo, &VariabilityModel::default(), seed);
+    let mut rng = SimRng::seed_from_u64(seed);
+    let faults = FaultPlan::random(&mut rng, topo.total_nodes(), 6);
+    let cfg = ShardConfig {
+        epochs: 6,
+        iterations_per_epoch: 2,
+        shift_fraction: 0.5,
+        workers,
+        shuffle_seed,
+    };
+    let tenants = vec![
+        Tenant::new("gold", 3, TimeSpan::secs(40.0)),
+        Tenant::new("bronze", 1, TimeSpan::secs(400.0)),
+    ];
+    let catalog = vec![suite::comd(), suite::amg()];
+    let svc_cfg = ServiceConfig {
+        min_nodes: 2,
+        max_nodes: 4,
+        initial_nodes: 3,
+        watts_per_node: Power::watts(300.0),
+        grow_queue: 2,
+        shrink_queue: 0,
+        scale_step: 1,
+        preempt_grace: 0.25,
+        iterations_per_epoch: 2,
+    };
+    let services: Vec<ServiceTimeline> = (0..topo.racks())
+        .map(|r| {
+            let mut prng = SimRng::seed_from_u64(seed ^ (r as u64 + 1));
+            let plan = ArrivalPlan::poisson(&mut prng, &[0.4, 0.6], catalog.len(), 6, (2, 5));
+            ServiceTimeline::new(
+                tenants.clone(),
+                catalog.clone(),
+                plan,
+                svc_cfg,
+                Power::watts(900.0),
+            )
+        })
+        .collect();
+    let pred = InflectionPredictor::train_default(5);
+    let (report, service_reports, _recs) = run_sharded_service(
+        fleet,
+        |_rack| Box::new(ClipScheduler::new(pred.clone())),
+        &suite::comd(),
+        Power::watts(2700.0),
+        &faults,
+        &[RackFault {
+            at_epoch: 3,
+            rack: 2,
+        }],
+        &cfg,
+        Some(services),
+        (0..topo.racks()).map(|_| clip_obs::NoopRecorder).collect(),
+        &mut clip_obs::NoopRecorder,
+    );
+    let report_json = serde_json::to_string(&report).expect("shard reports serialize");
+    let service_json = serde_json::to_string(&service_reports).expect("service reports serialize");
+    format!("{report_json}{service_json}")
+}
+
+/// The service campaign is schedule-independent too: worker count and a
+/// seeded-shuffled submission order leave no fingerprint in the shard
+/// report or any rack's service report (admission decisions, latencies,
+/// pool scalings included).
+#[test]
+fn sharded_service_campaign_is_schedule_independent() {
+    let base = sharded_service_replay(77, Some(1), None);
+    assert!(
+        base.contains("\"tenant\""),
+        "service reports must carry per-tenant outcomes"
+    );
+    for (workers, shuffle) in [
+        (Some(2), None),
+        (None, None),
+        (Some(2), Some(0xBEE5_u64)),
+        (None, Some(13)),
+    ] {
+        let rerun = sharded_service_replay(77, workers, shuffle);
+        assert_eq!(
+            base, rerun,
+            "service campaign diverged at workers={workers:?} shuffle={shuffle:?}"
+        );
+    }
+}
+
+/// And the replay promise: the same seeded service campaign twice is
+/// bit-identical, and its admission/preemption/autoscaling budget moves
+/// keep every ledger audit zero-sum (the process-wide violation counter
+/// does not advance).
+#[test]
+fn sharded_service_campaign_replays_with_clean_audits() {
+    let before = clip_core::audit::violation_count();
+    let a = sharded_service_replay(123, None, None);
+    let b = sharded_service_replay(123, None, None);
+    assert_eq!(a, b, "same service campaign must replay bit-identically");
+    assert_eq!(
+        clip_core::audit::violation_count(),
+        before,
+        "service grant re-splits must stay zero-sum"
+    );
+}
+
+mod service_zero_sum {
+    use super::*;
+    use clip_core::service::{run_service, ServiceTimeline};
+    use clip_serve::{ArrivalPlan, ServiceConfig, Tenant};
+    use proptest::prelude::*;
+    use simkit::TimeSpan;
+
+    /// One single-engine service run from a random seed and envelope.
+    fn run_once(seed: u64, envelope_w: f64, grow_queue: usize) {
+        let tenants = vec![
+            Tenant::new("gold", 3, TimeSpan::secs(50.0)),
+            Tenant::new("bronze", 1, TimeSpan::secs(500.0)),
+        ];
+        let catalog = vec![suite::comd(), suite::amg()];
+        let mut rng = SimRng::seed_from_u64(seed);
+        let plan = ArrivalPlan::poisson(&mut rng, &[0.5, 0.8], catalog.len(), 8, (1, 6));
+        let timeline = ServiceTimeline::new(
+            tenants,
+            catalog,
+            plan,
+            ServiceConfig {
+                min_nodes: 2,
+                max_nodes: 8,
+                initial_nodes: 4,
+                watts_per_node: Power::watts(300.0),
+                grow_queue,
+                shrink_queue: 0,
+                scale_step: 2,
+                preempt_grace: 0.1,
+                iterations_per_epoch: 2,
+            },
+            Power::watts(envelope_w),
+        );
+        let mut cluster = Cluster::paper_testbed(seed);
+        let pred = InflectionPredictor::train_default(5);
+        let report = run_service(
+            &mut ClipScheduler::new(pred),
+            &mut cluster,
+            &suite::comd(),
+            timeline,
+            8,
+            &mut clip_obs::NoopRecorder,
+        );
+        assert!(
+            report.service.final_pool >= 2,
+            "autoscaler shrank below min_nodes"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Every admission, preemption, and pool-scaling grant re-split
+        /// across a randomized service run is zero-sum: the process-wide
+        /// ledger violation counter never advances, whatever the seed,
+        /// envelope, or autoscaler aggressiveness.
+        #[test]
+        fn service_budget_moves_are_always_zero_sum(
+            seed in 0u64..1_000_000,
+            envelope_w in 900.0f64..3000.0,
+            grow_queue in 1usize..4,
+        ) {
+            let before = clip_core::audit::violation_count();
+            run_once(seed, envelope_w, grow_queue);
+            prop_assert_eq!(
+                clip_core::audit::violation_count(),
+                before,
+                "a service budget re-split broke the zero-sum audit"
+            );
+        }
+    }
+}
+
 #[test]
 fn fault_plan_is_pure_function_of_seed() {
     // The plan alone — before any cluster is involved — replays exactly,
