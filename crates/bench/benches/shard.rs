@@ -19,6 +19,11 @@
 //! The hierarchy buys per-rack budget arbitration (a *capability*, not a
 //! speedup) at a bounded, measured cost; these numbers pin that bound.
 //!
+//! The `*_traced` rows run the same sharded campaign with one unfiltered
+//! [`clip_obs::TraceRecorder`] per rack plus the cluster recorder, all
+//! writing binary frames into flight-recorder rings — the always-on
+//! telemetry cost at fleet scale.
+//!
 //! The driver records these numbers in `BENCH_shard.json`.
 
 use clip_bench::HARNESS_SEED;
@@ -26,7 +31,7 @@ use clip_core::{
     run_sharded, run_with_faults, ClipScheduler, FaultHarnessConfig, InflectionPredictor,
     PowerScheduler, ShardConfig,
 };
-use clip_obs::NoopRecorder;
+use clip_obs::{NoopRecorder, RingSink, TraceRecorder};
 use cluster_sim::{Cluster, FaultPlan, RackTopology, ShardedFleet, VariabilityModel};
 use criterion::{criterion_group, criterion_main, Criterion};
 use simkit::Power;
@@ -87,12 +92,48 @@ fn sharded_campaign(pred: &InflectionPredictor, racks: usize, nodes_per_rack: us
     report.aggregate_performance()
 }
 
+/// The same sharded campaign with live tracing: one unfiltered
+/// [`TraceRecorder`] over a flight-recorder ring per rack plus one for
+/// the cluster arbiter — the cost of leaving telemetry on at fleet scale.
+fn sharded_campaign_traced(
+    pred: &InflectionPredictor,
+    racks: usize,
+    nodes_per_rack: usize,
+) -> (f64, usize) {
+    let topo = RackTopology::new(racks, nodes_per_rack);
+    let fleet = ShardedFleet::with_variability(topo, &VariabilityModel::default(), HARNESS_SEED);
+    let recorders: Vec<TraceRecorder<RingSink>> = (0..racks)
+        .map(|_| TraceRecorder::new(RingSink::new(8192)))
+        .collect();
+    let mut cluster_rec = TraceRecorder::new(RingSink::new(8192));
+    let (report, recs) = run_sharded(
+        fleet,
+        |_rack| Box::new(ClipScheduler::new(pred.clone())) as Box<dyn PowerScheduler + Send>,
+        &suite::comd(),
+        Power::watts(topo.total_nodes() as f64 * WATTS_PER_NODE),
+        &FaultPlan::empty(),
+        &[],
+        &shard_cfg(),
+        recorders,
+        &mut cluster_rec,
+    );
+    let frames = recs
+        .into_iter()
+        .chain(std::iter::once(cluster_rec))
+        .map(|rec| rec.finish().len())
+        .sum();
+    (report.aggregate_performance(), frames)
+}
+
 fn bench_shard_8(c: &mut Criterion) {
     let pred = predictor();
     let mut group = c.benchmark_group("shard_8");
     group.bench_function("flat", |b| b.iter(|| black_box(flat_campaign(&pred, 8))));
     group.bench_function("sharded_1x8", |b| {
         b.iter(|| black_box(sharded_campaign(&pred, 1, 8)))
+    });
+    group.bench_function("sharded_1x8_traced", |b| {
+        b.iter(|| black_box(sharded_campaign_traced(&pred, 1, 8)))
     });
     group.finish();
 }
@@ -104,6 +145,9 @@ fn bench_shard_256(c: &mut Criterion) {
     group.bench_function("flat", |b| b.iter(|| black_box(flat_campaign(&pred, 256))));
     group.bench_function("sharded_16x16", |b| {
         b.iter(|| black_box(sharded_campaign(&pred, 16, 16)))
+    });
+    group.bench_function("sharded_16x16_traced", |b| {
+        b.iter(|| black_box(sharded_campaign_traced(&pred, 16, 16)))
     });
     group.finish();
 }

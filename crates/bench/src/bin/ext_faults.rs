@@ -16,14 +16,15 @@
 //! `--smoke` runs a tiny 4-node, 3-epoch plan (one crash) so CI can gate
 //! on the full path in well under five seconds.
 //!
-//! `--trace <path>` writes every scheduler's run as JSONL trace events to
+//! `--trace <path>` writes every scheduler's run as binary trace frames to
 //! `<path>` (one file, runs delimited by `run_started` records) for
-//! inspection with `clip-trace summary`/`diff`. Without the flag the
-//! no-op recorder is used and nothing is allocated.
+//! inspection with `clip-trace summary`/`diff` (or `clip-trace export` for
+//! JSONL). Without the flag the no-op recorder is used and nothing is
+//! allocated.
 
 use clip_bench::{comparison_methods, emit, testbed, HARNESS_SEED};
 use clip_core::degrade::{run_with_faults, FaultHarnessConfig};
-use clip_obs::{JsonlSink, TraceRecorder};
+use clip_obs::{BinarySink, TraceRecorder};
 use cluster_sim::{Cluster, FaultEvent, FaultKind, FaultPlan};
 use simkit::table::Table;
 use simkit::Power;
@@ -136,7 +137,7 @@ fn main() {
     );
 
     let mut tracer = match trace_arg() {
-        Some(path) => match JsonlSink::create(&path) {
+        Some(path) => match BinarySink::create(&path) {
             Ok(sink) => Some((path, TraceRecorder::new(sink))),
             Err(err) => {
                 eprintln!("ext_faults: cannot open trace file: {err}");
@@ -197,7 +198,7 @@ fn main() {
             std::process::exit(2);
         }
         if failed > 0 {
-            eprintln!("ext_faults: {failed} trace line(s) failed to write");
+            eprintln!("ext_faults: {failed} trace write(s) failed");
             std::process::exit(2);
         }
         eprintln!("ext_faults: trace written to {path}");

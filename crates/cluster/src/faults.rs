@@ -251,10 +251,12 @@ pub fn apply_event<R: clip_obs::Recorder>(
             FaultImpact::Ignored => "faults_ignored_total",
         };
         rec.counter_add(counter, 1);
-        rec.event_with(epoch, || clip_obs::TraceEvent::FaultApplied {
-            node: event.node,
-            kind: event.kind.into(),
-            impact: impact.into(),
+        rec.event_with(epoch, clip_obs::EventClass::Fault, || {
+            clip_obs::TraceEvent::FaultApplied {
+                node: event.node,
+                kind: event.kind.into(),
+                impact: impact.into(),
+            }
         });
     }
     impact

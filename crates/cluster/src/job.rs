@@ -176,13 +176,15 @@ pub fn run_job<R: clip_obs::Recorder>(
                 spec.policy,
                 spec.iterations,
             );
-            if rec.enabled() {
+            if rec.enabled_for(clip_obs::EventClass::Actuation) {
                 let op = &r.op;
-                rec.event_with(epoch, || clip_obs::TraceEvent::DvfsResolved {
-                    node: id,
-                    threads: op.threads(),
-                    frequency: op.frequency(),
-                    throttled: op.speed.is_throttled(),
+                rec.event_with(epoch, clip_obs::EventClass::Actuation, || {
+                    clip_obs::TraceEvent::DvfsResolved {
+                        node: id,
+                        threads: op.threads(),
+                        frequency: op.frequency(),
+                        throttled: op.speed.is_throttled(),
+                    }
                 });
             }
             (id, r)
@@ -230,11 +232,13 @@ pub fn run_job<R: clip_obs::Recorder>(
     if rec.enabled() {
         for n in &per_node {
             let caps = cluster.node(n.node_id).caps();
-            rec.event_with(epoch, || clip_obs::TraceEvent::NodePowerSample {
-                node: n.node_id,
-                setpoint: caps.cpu + caps.dram,
-                measured: n.avg_power,
-                wait_fraction: n.wait_fraction,
+            rec.event_with(epoch, clip_obs::EventClass::Actuation, || {
+                clip_obs::TraceEvent::NodePowerSample {
+                    node: n.node_id,
+                    setpoint: caps.cpu + caps.dram,
+                    measured: n.avg_power,
+                    wait_fraction: n.wait_fraction,
+                }
             });
             rec.observe("node_wait_fraction", n.wait_fraction);
         }

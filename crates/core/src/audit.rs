@@ -284,10 +284,12 @@ impl BudgetLedger {
                     clip_obs::ActuationTag::InjectedJitter
                 }
             };
-            rec.event_with(epoch, || clip_obs::TraceEvent::ActuationAudited {
-                budget: self.cluster_budget,
-                measured,
-                verdict,
+            rec.event_with(epoch, clip_obs::EventClass::Actuation, || {
+                clip_obs::TraceEvent::ActuationAudited {
+                    budget: self.cluster_budget,
+                    measured,
+                    verdict,
+                }
             });
         }
         check

@@ -161,7 +161,11 @@ impl Dispatcher {
         );
 
         let mut engine = EpochEngine::new(self.budget, rec);
-        self.scheduler.set_tracing(engine.recorder().enabled());
+        self.scheduler.set_tracing(
+            engine
+                .recorder()
+                .enabled_for(clip_obs::EventClass::Scheduler),
+        );
         let mut pending: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
         let mut next_arrival = 0usize;
         let mut running: Vec<Running> = Vec::new();
@@ -222,11 +226,13 @@ impl Dispatcher {
                     let name = outcome.job.clone();
                     let granted = outcome.granted_power;
                     let nodes = outcome.nodes;
-                    rec.event_with(seq, || clip_obs::TraceEvent::JobDispatched {
-                        job: name,
-                        start: now,
-                        nodes,
-                        granted,
+                    rec.event_with(seq, clip_obs::EventClass::Scheduler, || {
+                        clip_obs::TraceEvent::JobDispatched {
+                            job: name,
+                            start: now,
+                            nodes,
+                            granted,
+                        }
                     });
                 }
                 outcomes.push(outcome);

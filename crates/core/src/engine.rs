@@ -491,7 +491,11 @@ impl<R: Recorder> EpochEngine<R> {
         let plan = scheduler.plan_subset(cluster, app, budget, allowed);
         if self.rec.enabled() {
             for event in scheduler.drain_decisions() {
-                self.rec.event_with(self.epoch, || event);
+                // Drained events are already built, so the class comes off
+                // the event itself; event_with still filters before
+                // encoding.
+                let class = event.class();
+                self.rec.event_with(self.epoch, class, || event);
             }
         }
         plan
@@ -567,13 +571,15 @@ impl<R: Recorder> EpochEngine<R> {
 
         let name = scheduler.name().to_string();
         let mut alive = cluster.alive_nodes();
-        scheduler.set_tracing(self.rec.enabled());
-        if self.rec.enabled() {
-            self.rec.event_with(0, || clip_obs::TraceEvent::RunStarted {
-                scheduler: name.clone(),
-                budget: self.budget,
-                nodes: alive.len(),
-                epochs: cfg.epochs as u64,
+        scheduler.set_tracing(self.rec.enabled_for(clip_obs::EventClass::Scheduler));
+        if self.rec.enabled_for(clip_obs::EventClass::Scheduler) {
+            self.rec.event_with(0, clip_obs::EventClass::Scheduler, || {
+                clip_obs::TraceEvent::RunStarted {
+                    scheduler: name.clone(),
+                    budget: self.budget,
+                    nodes: alive.len(),
+                    epochs: cfg.epochs as u64,
+                }
             });
         }
         // The RunStarted event reports the fleet; the epoch-0 plan is
@@ -629,11 +635,13 @@ impl<R: Recorder> EpochEngine<R> {
             if self.rec.enabled() {
                 self.rec.observe("ttr_secs", state.degraded_time.as_secs());
                 let degraded_time = state.degraded_time;
-                self.rec.event_with(ep, || clip_obs::TraceEvent::Recovered {
-                    fault_epoch: fault_epoch as u64,
-                    recovered_epoch: ep,
-                    time_to_recover: degraded_time,
-                    reclaimed,
+                self.rec.event_with(ep, clip_obs::EventClass::Fault, || {
+                    clip_obs::TraceEvent::Recovered {
+                        fault_epoch: fault_epoch as u64,
+                        recovered_epoch: ep,
+                        time_to_recover: degraded_time,
+                        reclaimed,
+                    }
                 });
             }
             state.recoveries.push(Recovery {
@@ -669,11 +677,13 @@ impl<R: Recorder> EpochEngine<R> {
             if let Some((fault_epoch, reclaimed)) = state.pending.take() {
                 if self.rec.enabled() {
                     self.rec.observe("ttr_secs", 0.0);
-                    self.rec.event_with(ep, || clip_obs::TraceEvent::Recovered {
-                        fault_epoch: fault_epoch as u64,
-                        recovered_epoch: ep,
-                        time_to_recover: TimeSpan::ZERO,
-                        reclaimed,
+                    self.rec.event_with(ep, clip_obs::EventClass::Fault, || {
+                        clip_obs::TraceEvent::Recovered {
+                            fault_epoch: fault_epoch as u64,
+                            recovered_epoch: ep,
+                            time_to_recover: TimeSpan::ZERO,
+                            reclaimed,
+                        }
                     });
                 }
                 state.recoveries.push(Recovery {
@@ -761,13 +771,15 @@ impl<R: Recorder> EpochEngine<R> {
             let wall = report.total_time;
             let replanned = prep.replanned;
             self.rec
-                .event_with(ep, || clip_obs::TraceEvent::EpochCompleted {
-                    budget,
-                    caps_total,
-                    measured,
-                    performance,
-                    wall,
-                    replanned,
+                .event_with(ep, clip_obs::EventClass::Scheduler, || {
+                    clip_obs::TraceEvent::EpochCompleted {
+                        budget,
+                        caps_total,
+                        measured,
+                        performance,
+                        wall,
+                        replanned,
+                    }
                 });
         }
 

@@ -568,15 +568,17 @@ where
     let mut arbiter = BudgetArbiter::new(budget, &alive_counts, cfg.shift_fraction);
     let rack_cfg = cfg.rack_config();
 
-    if cluster_rec.enabled() {
+    if cluster_rec.enabled_for(clip_obs::EventClass::Shard) {
         let racks = topo.racks();
         let nodes = topo.total_nodes();
         let epochs = cfg.epochs as u64;
-        cluster_rec.event_with(0, || clip_obs::TraceEvent::ShardRunStarted {
-            budget,
-            racks,
-            nodes,
-            epochs,
+        cluster_rec.event_with(0, clip_obs::EventClass::Shard, || {
+            clip_obs::TraceEvent::ShardRunStarted {
+                budget,
+                racks,
+                nodes,
+                epochs,
+            }
         });
     }
 
@@ -591,13 +593,15 @@ where
         .enumerate()
     {
         let granted = arbiter.grants().get(rack).copied().unwrap_or(Power::ZERO);
-        if cluster_rec.enabled() {
+        if cluster_rec.enabled_for(clip_obs::EventClass::Shard) {
             let alive = cluster.alive_len();
-            cluster_rec.event_with(0, || clip_obs::TraceEvent::RackGranted {
-                rack,
-                granted,
-                demand: Power::ZERO,
-                alive,
+            cluster_rec.event_with(0, clip_obs::EventClass::Shard, || {
+                clip_obs::TraceEvent::RackGranted {
+                    rack,
+                    granted,
+                    demand: Power::ZERO,
+                    alive,
+                }
             });
         }
         let mut scheduler = make_scheduler(rack);
@@ -675,12 +679,14 @@ where
                 run.reclaimed = reclaimed;
                 run.granted = Power::ZERO;
             }
-            if cluster_rec.enabled() {
+            if cluster_rec.enabled_for(clip_obs::EventClass::Shard) {
                 let rack = fault.rack;
-                cluster_rec.event_with(ep, || clip_obs::TraceEvent::RackCrashed {
-                    rack,
-                    at_epoch: ep,
-                    reclaimed,
+                cluster_rec.event_with(ep, clip_obs::EventClass::Shard, || {
+                    clip_obs::TraceEvent::RackCrashed {
+                        rack,
+                        at_epoch: ep,
+                        reclaimed,
+                    }
                 });
             }
             apply_grants(&mut runs, &arbiter, cluster_rec, ep);
@@ -829,15 +835,17 @@ fn apply_grants<R: Recorder, C: Recorder>(
         run.engine.set_budget(grant);
         run.policy.regrant(grant);
         run.policy.force_replan();
-        if cluster_rec.enabled() {
+        if cluster_rec.enabled_for(clip_obs::EventClass::Shard) {
             let rack = run.rack;
             let demand = run.last_demand;
             let alive = run.cluster.alive_len();
-            cluster_rec.event_with(epoch, || clip_obs::TraceEvent::RackGranted {
-                rack,
-                granted: grant,
-                demand,
-                alive,
+            cluster_rec.event_with(epoch, clip_obs::EventClass::Shard, || {
+                clip_obs::TraceEvent::RackGranted {
+                    rack,
+                    granted: grant,
+                    demand,
+                    alive,
+                }
             });
         }
     }

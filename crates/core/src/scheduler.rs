@@ -128,31 +128,37 @@ pub fn execute_plan<R: clip_obs::Recorder>(
     epoch: u64,
     rec: &mut R,
 ) -> JobReport {
-    if rec.enabled() {
-        rec.event_with(epoch, || clip_obs::TraceEvent::PlanComputed {
-            scheduler: plan.scheduler.clone(),
-            nodes: plan.nodes(),
-            threads_per_node: plan.threads_per_node,
-            caps_total: plan.total_caps(),
+    if rec.enabled_for(clip_obs::EventClass::Scheduler) {
+        rec.event_with(epoch, clip_obs::EventClass::Scheduler, || {
+            clip_obs::TraceEvent::PlanComputed {
+                scheduler: plan.scheduler.clone(),
+                nodes: plan.nodes(),
+                threads_per_node: plan.threads_per_node,
+                caps_total: plan.total_caps(),
+            }
         });
         for (&node_id, caps) in plan.node_ids.iter().zip(&plan.caps) {
-            rec.event_with(epoch, || clip_obs::TraceEvent::PlanNode {
-                node: node_id,
-                cpu: caps.cpu,
-                dram: caps.dram,
+            rec.event_with(epoch, clip_obs::EventClass::Scheduler, || {
+                clip_obs::TraceEvent::PlanNode {
+                    node: node_id,
+                    cpu: caps.cpu,
+                    dram: caps.dram,
+                }
             });
         }
     }
     for (&node_id, &caps) in plan.node_ids.iter().zip(&plan.caps) {
         let node = cluster.node_mut(node_id);
         node.set_caps(caps);
-        if rec.enabled() {
+        if rec.enabled_for(clip_obs::EventClass::Actuation) {
             let effective = node.effective_caps();
-            rec.event_with(epoch, || clip_obs::TraceEvent::RaplProgrammed {
-                node: node_id,
-                cpu: caps.cpu,
-                dram: caps.dram,
-                effective_cpu: effective.cpu,
+            rec.event_with(epoch, clip_obs::EventClass::Actuation, || {
+                clip_obs::TraceEvent::RaplProgrammed {
+                    node: node_id,
+                    cpu: caps.cpu,
+                    dram: caps.dram,
+                    effective_cpu: effective.cpu,
+                }
             });
         }
     }

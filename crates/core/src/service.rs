@@ -33,7 +33,7 @@
 use crate::audit::BudgetLedger;
 use crate::engine::{Boundary, EpochEngine, EpochPolicy, FaultHarnessConfig, FaultRunReport};
 use crate::scheduler::{PowerScheduler, SchedulePlan};
-use clip_obs::{Recorder, TraceEvent};
+use clip_obs::{EventClass, Recorder, TraceEvent};
 use clip_serve::{
     ArrivalPlan, JobOutcome, JobRecord, RejectReason, ServiceConfig, ServiceReport, Tenant,
 };
@@ -258,7 +258,7 @@ impl ServiceTimeline {
             .map_or((0, TimeSpan::ZERO), |t| (t.priority, t.slo));
         scheduler.set_tracing(false);
         let trial: SchedulePlan = scheduler.plan_subset(cluster, app, self.grant, &self.pool);
-        scheduler.set_tracing(rec.enabled());
+        scheduler.set_tracing(rec.enabled_for(EventClass::Scheduler));
         let feasible = !trial.node_ids.is_empty()
             && trial.within_budget(self.grant)
             && trial.total_caps() >= FREE_POWER_FLOOR;
@@ -318,7 +318,7 @@ impl ServiceTimeline {
             self.next_job += 1;
             let priority = self.tenants.get(ev.tenant).map_or(0, |t| t.priority);
             if rec.enabled() {
-                rec.event_with(ep, || TraceEvent::JobArrived {
+                rec.event_with(ep, EventClass::Service, || TraceEvent::JobArrived {
                     job,
                     tenant: tenant_name(&self.tenants, ev.tenant),
                     app: app_name(&self.catalog, ev.app),
@@ -355,7 +355,7 @@ impl ServiceTimeline {
                     });
                     b.events_applied += 1;
                     if rec.enabled() {
-                        rec.event_with(ep, || TraceEvent::JobAdmitted {
+                        rec.event_with(ep, EventClass::Service, || TraceEvent::JobAdmitted {
                             job,
                             tenant: tenant_name(&self.tenants, ev.tenant),
                             queued: self.queue.len(),
@@ -368,7 +368,7 @@ impl ServiceTimeline {
                     record.outcome = JobOutcome::Rejected { reason };
                     b.events_ignored += 1;
                     if rec.enabled() {
-                        rec.event_with(ep, || TraceEvent::JobRejected {
+                        rec.event_with(ep, EventClass::Service, || TraceEvent::JobRejected {
                             job,
                             tenant: tenant_name(&self.tenants, ev.tenant),
                             reason: reason.into(),
@@ -395,7 +395,7 @@ impl ServiceTimeline {
                             j.preemptions += 1;
                         }
                         if rec.enabled() {
-                            rec.event_with(ep, || TraceEvent::JobPreempted {
+                            rec.event_with(ep, EventClass::Service, || TraceEvent::JobPreempted {
                                 job: old.job,
                                 tenant: tenant_name(&self.tenants, old.tenant),
                                 by: cand.job,
@@ -457,7 +457,7 @@ impl ServiceTimeline {
             self.scalings += 1;
             b.replan_now = true;
             if rec.enabled() {
-                rec.event_with(ep, || TraceEvent::PoolScaled {
+                rec.event_with(ep, EventClass::Service, || TraceEvent::PoolScaled {
                     nodes_before: pool_before,
                     nodes_after: self.pool.len(),
                     granted: self.grant,
@@ -498,12 +498,14 @@ impl ServiceTimeline {
                     };
                 }
                 if rec.enabled() {
-                    rec.event_with(epoch as u64, || TraceEvent::SloEvaluated {
-                        job: done.job,
-                        tenant: tenant_name(&self.tenants, done.tenant),
-                        latency: TimeSpan::secs(latency),
-                        slo,
-                        met,
+                    rec.event_with(epoch as u64, EventClass::Service, || {
+                        TraceEvent::SloEvaluated {
+                            job: done.job,
+                            tenant: tenant_name(&self.tenants, done.tenant),
+                            latency: TimeSpan::secs(latency),
+                            slo,
+                            met,
+                        }
                     });
                     rec.observe("service_latency_secs", latency);
                     rec.counter_add("service_jobs_completed_total", 1);

@@ -31,12 +31,13 @@
 //!   runs on pool changes and phase boundaries, not every epoch), and
 //!   pricing the whole scheduler stack as per-epoch would drown the real
 //!   per-epoch findings in noise.
-//! - **`enabled()`-gated spans** — the consequent block of any
-//!   `if … enabled() … { … }` is the recorder's pay-when-tracing
-//!   boundary; calls and allocations inside it are exempt, and the pass
-//!   does not descend through them. An *ungated* recorder call, by
-//!   contrast, is descended into and its `serde_json` serialization
-//!   fires hot-serde — that asymmetry is the whole point of the rule.
+//! - **`enabled()`/`enabled_for()`-gated spans** — the consequent block
+//!   of any `if … enabled() … { … }` or `if … enabled_for(…) … { … }` is
+//!   the recorder's pay-when-tracing boundary; calls and allocations
+//!   inside it are exempt, and the pass does not descend through them.
+//!   An *ungated* recorder call, by contrast, is descended into and its
+//!   serialization — `serde_json` or binary frame encoding — fires
+//!   hot-serde; that asymmetry is the whole point of the rule.
 //!
 //! ## The rules
 //!
@@ -44,7 +45,8 @@
 //!   `collect`, `to_string`, `format!`, `String::from`, `Box::new`,
 //!   `clone`/`cloned`, …) at a hot site. The diagnostic carries the
 //!   `via` call chain from the entry point, like the v3 race reports.
-//! - **hot-serde** — any `serde_json` mention at a hot site outside a
+//! - **hot-serde** — any `serde_json` mention or bare wire-encode call
+//!   (`encode`, `encode_frame`, `write_frame`) at a hot site outside a
 //!   gated span: per-event serialization that runs even when nobody is
 //!   tracing.
 //!
@@ -104,6 +106,13 @@ const ALLOC_METHODS: [&str; 6] = [
     "cloned",
 ];
 
+/// Binary trace-encoding calls (`FrameEncoder::encode`,
+/// `wire::encode_frame`, `TraceSink::write_frame`). Like `serde_json`,
+/// per-event frame encoding is pay-when-tracing cost: it belongs inside
+/// an `enabled()`/`enabled_for()`-gated span (or behind the recorder's
+/// own `event_with` filter), never bare on the epoch loop.
+const WIRE_ENCODE_FNS: [&str; 3] = ["encode", "encode_frame", "write_frame"];
+
 /// One row of the per-entry-point budget table: raw (pre-allowlist) hot
 /// site counts reachable from one epoch-loop entry point.
 #[derive(Debug, Clone, Serialize)]
@@ -136,8 +145,9 @@ struct FnCost {
     callees: BTreeSet<FnId>,
     /// (line, pattern name) per allocation site.
     alloc: Vec<(u32, String)>,
-    /// Line per ungated `serde_json` site.
-    serde: Vec<u32>,
+    /// (line, pattern name) per ungated serialization site —
+    /// `serde_json` mentions and bare wire-encode calls alike.
+    serde: Vec<(u32, String)>,
 }
 
 fn in_spans(spans: &Spans, idx: usize) -> bool {
@@ -151,10 +161,13 @@ fn in_test_span(file: &ParsedSource, idx: usize) -> bool {
         .any(|&(start, end)| idx >= start && idx < end)
 }
 
-/// `if … enabled() … { … }` consequent blocks between `lo..=hi`. The
-/// condition must contain an `enabled(` call and no negation (`!x` or
-/// `x != y` conditions gate the *disabled* path, which is exactly where
-/// cost matters).
+/// `if … enabled() … { … }` / `if … enabled_for(…) … { … }` consequent
+/// blocks between `lo..=hi`. The condition must contain an `enabled(` or
+/// `enabled_for(` call and no negation (`!x` or `x != y` conditions gate
+/// the *disabled* path, which is exactly where cost matters). The
+/// class-filtered form is the same pay-when-tracing boundary as the
+/// blanket one: `enabled_for` is a bitset test, so the consequent runs
+/// only for classes the trace filter admits.
 fn gated_spans(tokens: &[Token], lo: usize, hi: usize) -> Spans {
     let mut spans = Spans::new();
     let mut i = lo;
@@ -178,7 +191,7 @@ fn gated_spans(tokens: &[Token], lo: usize, hi: usize) -> Spans {
                 } else if depth == 0 && t.is(";") {
                     break;
                 } else if t.is_ident
-                    && t.text == "enabled"
+                    && (t.text == "enabled" || t.text == "enabled_for")
                     && tokens.get(j + 1).is_some_and(|p| p.is("("))
                 {
                     saw_enabled = true;
@@ -360,7 +373,16 @@ fn analyze_fn(files: &[ParsedSource], table: &SymbolTable, id: FnId) -> FnCost {
                 out.alloc.push((t.line, pattern));
             }
             if t.text == "serde_json" {
-                out.serde.push(t.line);
+                out.serde.push((t.line, "serde_json".to_string()));
+            }
+            // Bare binary encoding: `enc.encode(…)`, `encode_frame(…)`,
+            // `sink.write_frame(…)` outside a gated span. Declarations
+            // (`fn write_frame`) are not call sites.
+            if WIRE_ENCODE_FNS.contains(&t.text.as_str())
+                && tokens.get(i + 1).is_some_and(|n| n.is("("))
+                && !prev.is_some_and(|p| p.is_ident && p.text == "fn")
+            {
+                out.serde.push((t.line, t.text.clone()));
             }
         }
     }
@@ -452,15 +474,16 @@ pub fn check(files: &[ParsedSource], table: &SymbolTable, _graph: &CallGraph) ->
                 ),
             });
         }
-        for line in &cost.serde {
+        for (line, pattern) in &cost.serde {
             violations.push(Violation {
                 rule: Rule::HotSerde,
                 file: file.path.clone(),
                 line: *line,
-                name: "serde_json".to_string(),
+                name: pattern.clone(),
                 message: format!(
-                    "serde_json serialization on the engine hot path (via {via}) outside an \
-                     enabled()-gated recorder block; tracing cost must be pay-when-enabled"
+                    "`{pattern}` serialization on the engine hot path (via {via}) outside an \
+                     enabled()/enabled_for()-gated recorder block; tracing cost must be \
+                     pay-when-enabled"
                 ),
             });
         }
@@ -627,6 +650,49 @@ mod tests {
         assert!(gated.violations.is_empty(), "{:?}", gated.violations);
         let ungated = run(&[("crates/core/src/a.rs", &src("emit();"))]);
         assert_eq!(names(&ungated, Rule::HotSerde), vec!["serde_json"]);
+    }
+
+    #[test]
+    fn enabled_for_gate_exempts_like_enabled() {
+        let gated = run(&[(
+            "crates/core/src/a.rs",
+            "impl EpochEngine { fn execute(&mut self) { \
+             if rec.enabled_for(EventClass::Actuation) { let s = ev.to_string(); emit(); } } } \
+             fn emit() { let line = serde_json::to_string(&record); }",
+        )]);
+        assert!(gated.violations.is_empty(), "{:?}", gated.violations);
+    }
+
+    #[test]
+    fn ungated_wire_encode_is_flagged_gated_is_clean() {
+        let ungated = run(&[(
+            "crates/core/src/a.rs",
+            "impl EpochEngine { fn execute(&mut self) { \
+             self.enc.encode(seq, epoch, &event, &mut buf); \
+             self.sink.write_frame(&buf); } }",
+        )]);
+        let mut got = names(&ungated, Rule::HotSerde);
+        got.sort();
+        assert_eq!(got, vec!["encode", "write_frame"]);
+        let gated = run(&[(
+            "crates/core/src/a.rs",
+            "impl EpochEngine { fn execute(&mut self) { \
+             if self.rec.enabled_for(EventClass::Scheduler) { \
+             self.enc.encode(seq, epoch, &event, &mut buf); \
+             self.sink.write_frame(&buf); } } }",
+        )]);
+        assert!(gated.violations.is_empty(), "{:?}", gated.violations);
+    }
+
+    #[test]
+    fn wire_encode_declaration_is_not_a_call_site() {
+        // A nested declaration inside the hot span is not a call.
+        let out = run(&[(
+            "crates/core/src/a.rs",
+            "impl EpochEngine { fn execute(&mut self) { \
+             fn write_frame(frame: &[u8]) {} } }",
+        )]);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
     }
 
     #[test]

@@ -128,7 +128,8 @@ impl Rule {
                 "no per-epoch heap allocation on the engine hot path; hoist to begin_run/setup"
             }
             Rule::HotSerde => {
-                "hot-path serialization must stay behind the enabled()-gated recorder boundary"
+                "hot-path serialization (JSON or binary frames) must stay behind the \
+                 enabled()/enabled_for()-gated recorder boundary"
             }
         }
     }

@@ -163,7 +163,7 @@ const GOLDEN: &str = r#"{
       "file": "crates/core/src/engine.rs",
       "line": 11,
       "name": "serde_json",
-      "message": "serde_json serialization on the engine hot path (via EpochEngine::run) outside an enabled()-gated recorder block; tracing cost must be pay-when-enabled"
+      "message": "`serde_json` serialization on the engine hot path (via EpochEngine::run) outside an enabled()/enabled_for()-gated recorder block; tracing cost must be pay-when-enabled"
     },
     {
       "rule": "unit-safety",
@@ -344,7 +344,7 @@ const GOLDEN_SARIF: &str = r#"{
             {
               "id": "hot-serde",
               "shortDescription": {
-                "text": "hot-path serialization must stay behind the enabled()-gated recorder boundary"
+                "text": "hot-path serialization (JSON or binary frames) must stay behind the enabled()/enabled_for()-gated recorder boundary"
               }
             }
           ]
@@ -431,7 +431,7 @@ const GOLDEN_SARIF: &str = r#"{
           "ruleId": "hot-serde",
           "level": "error",
           "message": {
-            "text": "serde_json serialization on the engine hot path (via EpochEngine::run) outside an enabled()-gated recorder block; tracing cost must be pay-when-enabled"
+            "text": "`serde_json` serialization on the engine hot path (via EpochEngine::run) outside an enabled()/enabled_for()-gated recorder block; tracing cost must be pay-when-enabled"
           },
           "locations": [
             {

@@ -1,9 +1,16 @@
-//! `clip-trace`: offline analysis of clip-obs JSONL traces.
+//! `clip-trace`: offline analysis of clip-obs traces, binary or JSONL.
 //!
 //! ```text
-//! clip-trace summary <trace.jsonl>
-//! clip-trace diff <a.jsonl> <b.jsonl>
+//! clip-trace summary <trace>
+//! clip-trace diff <a> <b>
+//! clip-trace export <trace> <out.jsonl>
 //! ```
+//!
+//! Every command sniffs the input: files starting with the `CLPT` stream
+//! header decode through the binary wire format (what `BinarySink`
+//! writes); anything else parses as JSONL, one record per line. The two
+//! forms are interchangeable here — `summary` on a binary trace and on
+//! its `export`ed JSONL print identical reports.
 //!
 //! `summary` reports, per run in the trace (a file may hold several — the
 //! `ext_faults` harness traces every comparison method into one file): the
@@ -15,9 +22,14 @@
 //! order) and reports per-epoch utilization/performance deltas and the
 //! TTR comparison — the workflow for before/after fault-handling changes.
 //!
+//! `export` re-serializes a trace as JSONL through the same deterministic
+//! serializer the old per-event JSONL sink used, so the output is
+//! byte-for-byte what that sink would have written — existing JSONL
+//! tooling and golden FNV pins keep working against exported traces.
+//!
 //! Exits 0 on success, 2 on usage, I/O or parse errors.
 
-use clip_obs::{TraceEvent, TraceRecord};
+use clip_obs::{wire, TraceEvent, TraceRecord};
 use simkit::table::Table;
 use simkit::{Power, TimeSpan};
 use std::collections::BTreeMap;
@@ -112,16 +124,22 @@ struct PoolRow {
 }
 
 fn load(path: &str) -> Result<Vec<TraceRecord>, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let mut records = Vec::new();
-    for (lineno, line) in text.lines().enumerate() {
-        if line.trim().is_empty() {
-            continue;
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let records = if wire::is_binary_trace(&bytes) {
+        wire::decode_stream(&bytes).map_err(|e| format!("{path}: {e}"))?
+    } else {
+        let text = String::from_utf8(bytes).map_err(|e| format!("{path}: {e}"))?;
+        let mut records = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let rec: TraceRecord =
+                serde_json::from_str(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+            records.push(rec);
         }
-        let rec: TraceRecord =
-            serde_json::from_str(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
-        records.push(rec);
-    }
+        records
+    };
     if records.is_empty() {
         return Err(format!("{path}: no trace records"));
     }
@@ -741,13 +759,31 @@ fn cmd_diff(path_a: &str, path_b: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Re-serialize a trace (binary or JSONL) as JSONL, byte-for-byte what
+/// the old per-event JSONL sink produced for the same records.
+fn cmd_export(input: &str, output: &str) -> Result<(), String> {
+    let records = load(input)?;
+    let mut out = String::new();
+    let mut line = String::new();
+    for rec in &records {
+        serde_json::to_string_into(rec, &mut line).map_err(|e| format!("{input}: {e}"))?;
+        out.push_str(&line);
+        out.push('\n');
+    }
+    std::fs::write(output, &out).map_err(|e| format!("{output}: {e}"))?;
+    println!("exported {} record(s) to {output}", records.len());
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.as_slice() {
         [cmd, path] if cmd == "summary" => cmd_summary(path),
         [cmd, a, b] if cmd == "diff" => cmd_diff(a, b),
+        [cmd, input, output] if cmd == "export" => cmd_export(input, output),
         _ => Err(
-            "usage: clip-trace summary <trace.jsonl> | clip-trace diff <a.jsonl> <b.jsonl>"
+            "usage: clip-trace summary <trace> | clip-trace diff <a> <b> | \
+             clip-trace export <trace> <out.jsonl>"
                 .to_string(),
         ),
     }

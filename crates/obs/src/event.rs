@@ -68,6 +68,63 @@ pub enum RejectTag {
     SloHopeless,
 }
 
+/// The five recording classes a [`TraceEvent`] can belong to, the unit of
+/// filtering in [`crate::TraceFilter`]: a recorder can keep, say, fault
+/// and service events while dropping per-node actuation detail, and the
+/// dropped classes cost one branch and zero allocation at the emit site.
+///
+/// A domain enum under `clip-lint`: matches must stay exhaustive, so a
+/// new event variant cannot be left unclassified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EventClass {
+    /// Coordination and planning: run/epoch lifecycle, allocate/plan
+    /// decisions, dispatcher grants, the closing metrics snapshot.
+    Scheduler,
+    /// Per-node actuation detail: RAPL programming, DVFS resolution,
+    /// power samples, audit verdicts.
+    Actuation,
+    /// Fault injection and recovery.
+    Fault,
+    /// Open-loop service lifecycle: arrivals, admission, preemption,
+    /// autoscaling, SLO verdicts.
+    Service,
+    /// Sharded-campaign arbitration: rack grants and crashes.
+    Shard,
+}
+
+impl EventClass {
+    /// All classes, in declaration (= bit) order.
+    pub const ALL: [EventClass; 5] = [
+        EventClass::Scheduler,
+        EventClass::Actuation,
+        EventClass::Fault,
+        EventClass::Service,
+        EventClass::Shard,
+    ];
+
+    /// The class's bit in a [`crate::TraceFilter`] bitset.
+    pub(crate) fn bit(self) -> u8 {
+        match self {
+            EventClass::Scheduler => 1 << 0,
+            EventClass::Actuation => 1 << 1,
+            EventClass::Fault => 1 << 2,
+            EventClass::Service => 1 << 3,
+            EventClass::Shard => 1 << 4,
+        }
+    }
+
+    /// Short lowercase label (`scheduler`, `actuation`, …).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventClass::Scheduler => "scheduler",
+            EventClass::Actuation => "actuation",
+            EventClass::Fault => "fault",
+            EventClass::Service => "service",
+            EventClass::Shard => "shard",
+        }
+    }
+}
+
 /// One telemetry event at a scheduler decision point.
 ///
 /// Variants carry only primitives and `simkit` quantities so the trace is
@@ -322,6 +379,36 @@ pub enum TraceEvent {
         /// The registry at close time.
         metrics: MetricRegistry,
     },
+}
+
+impl TraceEvent {
+    /// The recording class this event belongs to (the filtering unit).
+    pub fn class(&self) -> EventClass {
+        match self {
+            TraceEvent::RunStarted { .. }
+            | TraceEvent::CoordinateMeasured { .. }
+            | TraceEvent::AllocateChosen { .. }
+            | TraceEvent::PlanComputed { .. }
+            | TraceEvent::PlanNode { .. }
+            | TraceEvent::EpochCompleted { .. }
+            | TraceEvent::JobDispatched { .. }
+            | TraceEvent::MetricsSnapshot { .. } => EventClass::Scheduler,
+            TraceEvent::RaplProgrammed { .. }
+            | TraceEvent::DvfsResolved { .. }
+            | TraceEvent::NodePowerSample { .. }
+            | TraceEvent::ActuationAudited { .. } => EventClass::Actuation,
+            TraceEvent::FaultApplied { .. } | TraceEvent::Recovered { .. } => EventClass::Fault,
+            TraceEvent::JobArrived { .. }
+            | TraceEvent::JobAdmitted { .. }
+            | TraceEvent::JobRejected { .. }
+            | TraceEvent::JobPreempted { .. }
+            | TraceEvent::PoolScaled { .. }
+            | TraceEvent::SloEvaluated { .. } => EventClass::Service,
+            TraceEvent::ShardRunStarted { .. }
+            | TraceEvent::RackGranted { .. }
+            | TraceEvent::RackCrashed { .. } => EventClass::Shard,
+        }
+    }
 }
 
 /// One line of a trace: an event stamped with its sequence number and the

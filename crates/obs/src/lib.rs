@@ -16,29 +16,42 @@
 //!   point — coordinate, allocate, per-node plan, fault application,
 //!   re-coordination, RAPL/DVFS actuation — stamped with the sim clock,
 //!   never wall time.
-//! - [`sink`]: pluggable [`TraceSink`]s (JSONL file, in-memory ring
-//!   buffer) fed pre-serialized lines, so byte-identical traces hold for
-//!   every sink.
+//! - [`wire`]: the binary frame codec — varint-length-prefixed,
+//!   FNV-checksummed, schema-versioned frames encoding each record once
+//!   into a reused buffer, with total (panic-free) decoding.
+//! - [`sink`]: pluggable batch-oriented [`TraceSink`]s fed encoded
+//!   frames: [`BinarySink`] (buffered file, bounded
+//!   flush-on-N-frames/K-bytes) and [`RingSink`] (in-memory flight
+//!   recorder). JSONL is an *export* format (`clip-trace export`), no
+//!   longer a sink.
 //! - [`recorder`]: the [`Recorder`] hook trait with an inlined no-op
 //!   default ([`NoopRecorder`]) — static dispatch, zero allocations when
-//!   telemetry is off — and the live [`TraceRecorder`].
+//!   telemetry is off — and the live [`TraceRecorder`], class-filtered by
+//!   a [`TraceFilter`] bitset over [`EventClass`].
 //!
-//! The `clip-trace` binary (in `src/bin/`) loads one or two JSONL traces
+//! The `clip-trace` binary (in `src/bin/`) loads binary or JSONL traces
 //! and reports budget-utilization timelines, per-node setpoint-vs-actual
-//! power, time-to-recover breakdowns and histogram summaries.
+//! power, time-to-recover breakdowns and histogram summaries; its
+//! `export` subcommand converts a binary trace to the JSONL the old
+//! pipeline wrote, byte for byte.
 //!
-//! Determinism contract: identical `(seed, FaultPlan, scheduler config)`
-//! runs emit byte-identical traces. Everything that feeds a record —
-//! sequence numbers, sim epochs, event payloads, registry contents — is a
-//! pure function of the simulated run; the tests in `tests/trace_replay.rs`
-//! (workspace root) pin this with a golden hash.
+//! Determinism contract: identical `(seed, FaultPlan, scheduler config,
+//! TraceFilter)` runs emit byte-identical traces. Everything that feeds a
+//! record — sequence numbers, sim epochs, event payloads, registry
+//! contents — is a pure function of the simulated run; the tests in
+//! `tests/trace_replay.rs` (workspace root) pin this with a golden hash
+//! over the JSONL export.
 
 pub mod event;
 pub mod metrics;
 pub mod recorder;
 pub mod sink;
+pub mod wire;
 
-pub use event::{ActuationTag, FaultTag, ImpactTag, RejectTag, TraceEvent, TraceRecord};
+pub use event::{
+    ActuationTag, EventClass, FaultTag, ImpactTag, RejectTag, TraceEvent, TraceRecord,
+};
 pub use metrics::{Histogram, MetricKind, MetricRegistry};
-pub use recorder::{NoopRecorder, Recorder, TraceRecorder};
-pub use sink::{JsonlSink, RingSink, TraceSink};
+pub use recorder::{NoopRecorder, Recorder, TraceFilter, TraceRecorder};
+pub use sink::{BinarySink, RingSink, TraceSink};
+pub use wire::WireError;

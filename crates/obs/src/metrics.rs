@@ -145,6 +145,31 @@ impl Histogram {
     pub fn bucket_counts(&self) -> &[u64] {
         &self.counts
     }
+
+    /// The raw running maximum, `NEG_INFINITY` when empty — the wire
+    /// codec needs the exact field value so a decoded histogram compares
+    /// equal to the original.
+    pub(crate) fn raw_max(&self) -> f64 {
+        self.max
+    }
+
+    /// Reassemble a histogram from its wire-decoded raw fields without
+    /// re-validating bounds: the codec round-trips whatever was encoded.
+    pub(crate) fn from_raw_parts(
+        bounds: Vec<f64>,
+        counts: Vec<u64>,
+        sum: f64,
+        count: u64,
+        max: f64,
+    ) -> Self {
+        Self {
+            bounds,
+            counts,
+            sum,
+            count,
+            max,
+        }
+    }
 }
 
 /// Deterministic registry of named metrics.
@@ -166,13 +191,23 @@ impl MetricRegistry {
     }
 
     /// Add `delta` to a counter, creating it at zero on first touch.
+    /// The lookup-first shape keeps the steady-state path (key already
+    /// present) free of the `String` allocation `entry()` would force.
     pub fn counter_add(&mut self, name: &str, delta: u64) {
-        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += delta;
+        } else {
+            self.counters.insert(name.to_string(), delta);
+        }
     }
 
     /// Set a gauge.
     pub fn gauge_set(&mut self, name: &str, value: f64) {
-        self.gauges.insert(name.to_string(), value);
+        if let Some(g) = self.gauges.get_mut(name) {
+            *g = value;
+        } else {
+            self.gauges.insert(name.to_string(), value);
+        }
     }
 
     /// Pre-register a histogram with explicit bucket bounds. Observing an
@@ -185,10 +220,13 @@ impl MetricRegistry {
 
     /// Record one observation into a histogram.
     pub fn observe(&mut self, name: &str, value: f64) {
-        self.histograms
-            .entry(name.to_string())
-            .or_insert_with(Histogram::with_default_bounds)
-            .observe(value);
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.observe(value);
+        } else {
+            let mut h = Histogram::with_default_bounds();
+            h.observe(value);
+            self.histograms.insert(name.to_string(), h);
+        }
     }
 
     /// A counter's current value (`None` if never touched).
@@ -209,6 +247,22 @@ impl MetricRegistry {
     /// All histograms, in name order.
     pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
         self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// All counters, in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All gauges, in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> + '_ {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Insert a wire-decoded histogram verbatim (no default-bucket
+    /// fallback, no bound validation).
+    pub(crate) fn insert_histogram_raw(&mut self, name: String, h: Histogram) {
+        self.histograms.insert(name, h);
     }
 
     /// True when nothing has been recorded.

@@ -1,23 +1,31 @@
-//! Pluggable trace sinks: where serialized trace lines go.
+//! Pluggable trace sinks: where encoded binary frames go.
 //!
-//! The recorder serializes every [`crate::TraceRecord`] exactly once and
-//! hands the finished JSONL line to a [`TraceSink`]; sinks are dumb byte
-//! movers, so byte-identical traces are guaranteed by construction no
-//! matter which sink is plugged in. Two implementations ship: a buffered
-//! JSONL file writer for offline analysis with `clip-trace`, and a bounded
-//! in-memory ring buffer for tests and flight-recorder style capture.
+//! The recorder encodes every [`crate::TraceRecord`] exactly once into a
+//! reused frame buffer (see [`crate::wire`]) and hands the finished frame
+//! to a [`TraceSink`]; sinks are dumb byte movers, so byte-identical
+//! traces are guaranteed by construction no matter which sink is plugged
+//! in. Two implementations ship: [`BinarySink`], a batching file writer
+//! with bounded flush-on-N-frames/K-bytes semantics, and [`RingSink`], a
+//! bounded in-memory ring buffer for tests and flight-recorder capture.
+//! JSONL is no longer a sink: it is an export format, produced offline by
+//! `clip-trace export` or [`RingSink::to_jsonl`].
 
+use crate::event::TraceRecord;
+use crate::wire;
 use std::collections::VecDeque;
 use std::fs::File;
-use std::io::{BufWriter, Write};
+use std::io::Write;
 use std::path::Path;
 
-/// A destination for serialized trace lines (one JSON document per line,
-/// no trailing newline in `line`).
+/// A destination for encoded trace frames.
+///
+/// `write_frame` receives one complete frame (length prefix + payload +
+/// checksum) and must not fail the hot path: I/O errors are counted by
+/// the sink and surfaced at close time, never propagated per frame.
 pub trait TraceSink {
-    /// Accept one serialized record. Sinks must not fail the hot path:
-    /// I/O errors are counted, not propagated.
-    fn record(&mut self, line: &str);
+    /// Accept one encoded frame. The slice is only valid for the call;
+    /// sinks that retain frames must copy.
+    fn write_frame(&mut self, frame: &[u8]);
 
     /// Flush any buffered output.
     fn flush(&mut self) -> std::io::Result<()> {
@@ -25,37 +33,83 @@ pub trait TraceSink {
     }
 }
 
-/// Buffered JSONL file sink.
+/// How many buffered frames trigger a [`BinarySink`] flush by default.
+pub const DEFAULT_FLUSH_FRAMES: usize = 256;
+
+/// How many buffered bytes trigger a [`BinarySink`] flush by default.
+pub const DEFAULT_FLUSH_BYTES: usize = 64 * 1024;
+
+/// Batching binary trace file sink.
+///
+/// Frames accumulate in an internal buffer and reach the file in batches:
+/// a write is issued when either `max_frames` frames or `max_bytes` bytes
+/// are pending, whichever comes first, so a traced epoch loop performs a
+/// handful of syscalls instead of one per event. The stream opens with
+/// the wire header (magic + schema version) so readers can sniff the
+/// format.
 ///
 /// Write errors never panic and never interrupt the run; they increment
-/// [`JsonlSink::failed_writes`], which callers check at close time.
+/// [`BinarySink::failed_writes`], which callers check at close time.
 #[derive(Debug)]
-pub struct JsonlSink {
-    writer: BufWriter<File>,
+pub struct BinarySink {
+    file: File,
+    buf: Vec<u8>,
+    pending_frames: usize,
+    max_frames: usize,
+    max_bytes: usize,
     failed_writes: u64,
 }
 
-impl JsonlSink {
-    /// Create (truncate) the trace file at `path`.
+impl BinarySink {
+    /// Create (truncate) the binary trace file at `path` with the default
+    /// flush thresholds, writing the stream header.
     pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Self::with_thresholds(path, DEFAULT_FLUSH_FRAMES, DEFAULT_FLUSH_BYTES)
+    }
+
+    /// Create the trace file with explicit flush thresholds (both clamped
+    /// to at least one frame / one byte).
+    pub fn with_thresholds(
+        path: impl AsRef<Path>,
+        max_frames: usize,
+        max_bytes: usize,
+    ) -> std::io::Result<Self> {
         let file = File::create(path)?;
+        let mut buf = Vec::with_capacity(max_bytes.clamp(1, 1 << 20));
+        wire::write_stream_header(&mut buf);
         Ok(Self {
-            writer: BufWriter::new(file),
+            file,
+            buf,
+            pending_frames: 0,
+            max_frames: max_frames.max(1),
+            max_bytes: max_bytes.max(1),
             failed_writes: 0,
         })
     }
 
-    /// Lines that failed to write so far.
+    /// Flush batches that failed to reach the file so far.
     pub fn failed_writes(&self) -> u64 {
         self.failed_writes
     }
 
+    fn drain(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        if self.file.write_all(&self.buf).is_err() {
+            self.failed_writes += 1;
+        }
+        self.buf.clear();
+        self.pending_frames = 0;
+    }
+
     /// Flush and close, reporting the first deferred I/O failure.
     pub fn close(mut self) -> std::io::Result<()> {
-        self.writer.flush()?;
+        self.drain();
+        self.file.flush()?;
         if self.failed_writes > 0 {
             return Err(std::io::Error::other(format!(
-                "{} trace line(s) failed to write",
+                "{} trace batch(es) failed to write",
                 self.failed_writes
             )));
         }
@@ -63,128 +117,230 @@ impl JsonlSink {
     }
 }
 
-impl TraceSink for JsonlSink {
-    fn record(&mut self, line: &str) {
-        let ok = self
-            .writer
-            .write_all(line.as_bytes())
-            .and_then(|()| self.writer.write_all(b"\n"))
-            .is_ok();
-        if !ok {
-            self.failed_writes += 1;
+impl TraceSink for BinarySink {
+    fn write_frame(&mut self, frame: &[u8]) {
+        self.buf.extend_from_slice(frame);
+        self.pending_frames += 1;
+        if self.pending_frames >= self.max_frames || self.buf.len() >= self.max_bytes {
+            self.drain();
         }
     }
 
     fn flush(&mut self) -> std::io::Result<()> {
-        self.writer.flush()
+        self.drain();
+        self.file.flush()
     }
 }
 
-/// Bounded in-memory sink keeping the most recent `capacity` lines — a
-/// flight recorder: cheap to leave on, and after a failure the tail of the
-/// trace is right there in memory.
+/// Bounded in-memory sink keeping the most recent `capacity` frames — a
+/// flight recorder: cheap to leave on, and after a failure the tail of
+/// the trace is right there in memory.
+///
+/// Frames live contiguously in one flat byte buffer with a span table on
+/// top: recording a frame is an `extend_from_slice` with no per-frame
+/// allocation, and dropping the sink frees two buffers instead of one per
+/// frame. Evicted frames leave a dead prefix that is compacted — a single
+/// move of the live bytes — only once it outgrows the live region, so the
+/// ring holds at most ~2x its live bytes and compaction cost amortizes to
+/// O(1) per byte recorded.
 #[derive(Debug, Clone)]
 pub struct RingSink {
     capacity: usize,
-    lines: VecDeque<String>,
+    buf: Vec<u8>,
+    /// `(offset, len)` into `buf` per retained frame, oldest first.
+    spans: VecDeque<(usize, usize)>,
+    /// Dead bytes at the front of `buf` left behind by evicted frames.
+    dead: usize,
     dropped: u64,
 }
 
 impl RingSink {
-    /// A ring holding at most `capacity` lines (at least 1).
+    /// A ring holding at most `capacity` frames (at least 1).
     pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        // Pre-size for typical ~32-byte frames so a short recording never
+        // climbs a realloc ladder; the pre-allocation is clamped so huge
+        // rings start small and grow only if actually filled.
+        let slots = capacity.min(1024);
         Self {
-            capacity: capacity.max(1),
-            lines: VecDeque::new(),
+            capacity,
+            buf: Vec::with_capacity(slots * 32),
+            spans: VecDeque::with_capacity(slots),
+            dead: 0,
             dropped: 0,
         }
     }
 
-    /// The retained lines, oldest first.
-    pub fn lines(&self) -> impl Iterator<Item = &str> {
-        self.lines.iter().map(String::as_str)
+    /// The retained frames, oldest first.
+    pub fn frames(&self) -> impl Iterator<Item = &[u8]> {
+        self.spans
+            .iter()
+            .map(|&(off, len)| self.buf.get(off..off + len).unwrap_or(&[]))
     }
 
-    /// Number of retained lines.
+    /// Number of retained frames.
     pub fn len(&self) -> usize {
-        self.lines.len()
+        self.spans.len()
     }
 
     /// True when nothing has been retained.
     pub fn is_empty(&self) -> bool {
-        self.lines.is_empty()
+        self.spans.is_empty()
     }
 
-    /// Lines evicted after the ring filled.
+    /// Frames evicted after the ring filled.
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
 
-    /// The retained lines as one JSONL document (trailing newline).
+    /// Decode the retained frames back into records, oldest first.
+    /// Frames come from the recorder's own encoder, so decoding cannot
+    /// fail in practice; a corrupt frame trips the debug assertion in
+    /// test builds and is skipped in release (where it would otherwise
+    /// surface as a golden-fingerprint mismatch anyway).
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.frames()
+            .filter_map(|f| match wire::decode_frame(f) {
+                Ok((record, rest)) => {
+                    debug_assert!(rest.is_empty(), "ring slot holds exactly one frame");
+                    Some(record)
+                }
+                Err(err) => {
+                    debug_assert!(false, "ring frame decodes: {err}");
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// The retained records as one JSONL document (trailing newline) —
+    /// the export path the golden FNV pins run over. Serialization goes
+    /// through the same deterministic serializer the old per-event JSONL
+    /// sink used, so the bytes are identical to what that path produced.
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
-        for line in &self.lines {
-            out.push_str(line);
-            out.push('\n');
+        let mut line = String::new();
+        for record in self.records() {
+            if serde_json::to_string_into(&record, &mut line).is_ok() {
+                out.push_str(&line);
+                out.push('\n');
+            }
         }
         out
     }
 }
 
 impl TraceSink for RingSink {
-    fn record(&mut self, line: &str) {
-        // Once the ring is full, recycle the evicted line's String instead
-        // of freeing it and allocating a fresh one: steady-state recording
-        // into a full ring then allocates only on line-length growth.
-        if self.lines.len() == self.capacity {
-            if let Some(mut slot) = self.lines.pop_front() {
+    fn write_frame(&mut self, frame: &[u8]) {
+        if self.spans.len() == self.capacity {
+            if let Some((_, len)) = self.spans.pop_front() {
+                self.dead += len;
                 self.dropped += 1;
-                slot.clear();
-                slot.push_str(line);
-                self.lines.push_back(slot);
-                return;
             }
         }
-        self.lines.push_back(line.to_string());
+        // Compact once the dead prefix outweighs the live bytes: one move
+        // of the live region, amortized over at least as many bytes
+        // appended since the last compaction.
+        if self.dead > self.buf.len().saturating_sub(self.dead) {
+            self.buf.drain(..self.dead);
+            for span in &mut self.spans {
+                span.0 -= self.dead;
+            }
+            self.dead = 0;
+        }
+        self.spans.push_back((self.buf.len(), frame.len()));
+        self.buf.extend_from_slice(frame);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::event::{TraceEvent, TraceRecord};
+    use simkit::Power;
+
+    fn frame(seq: u64) -> Vec<u8> {
+        wire::encode_frame(&TraceRecord {
+            seq,
+            epoch: 0,
+            event: TraceEvent::PlanNode {
+                node: seq as usize,
+                cpu: Power::watts(150.0),
+                dram: Power::watts(40.0),
+            },
+        })
+    }
 
     #[test]
-    fn ring_keeps_the_most_recent_lines() {
+    fn ring_keeps_the_most_recent_frames() {
         let mut ring = RingSink::new(2);
-        ring.record("a");
-        ring.record("b");
-        ring.record("c");
+        ring.write_frame(&frame(0));
+        ring.write_frame(&frame(1));
+        ring.write_frame(&frame(2));
         assert_eq!(ring.len(), 2);
         assert_eq!(ring.dropped(), 1);
-        assert_eq!(ring.to_jsonl(), "b\nc\n");
-        assert_eq!(ring.lines().collect::<Vec<_>>(), vec!["b", "c"]);
+        let seqs: Vec<u64> = ring.records().iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![1, 2]);
     }
 
     #[test]
     fn zero_capacity_clamps_to_one() {
         let mut ring = RingSink::new(0);
-        ring.record("x");
-        ring.record("y");
-        assert_eq!(ring.to_jsonl(), "y\n");
+        ring.write_frame(&frame(0));
+        ring.write_frame(&frame(1));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.records()[0].seq, 1);
     }
 
     #[test]
-    fn jsonl_sink_writes_lines() {
+    fn ring_jsonl_matches_direct_serialization() {
+        let mut ring = RingSink::new(8);
+        ring.write_frame(&frame(0));
+        ring.write_frame(&frame(1));
+        let expected: String = ring
+            .records()
+            .iter()
+            .map(|r| serde_json::to_string(r).expect("serialize") + "\n")
+            .collect();
+        assert_eq!(ring.to_jsonl(), expected);
+    }
+
+    #[test]
+    fn binary_sink_writes_a_decodable_stream() {
         let dir = std::env::temp_dir().join("clip_obs_sink_test");
         std::fs::create_dir_all(&dir).expect("tmp dir");
-        let path = dir.join("trace.jsonl");
-        let mut sink = JsonlSink::create(&path).expect("create");
-        sink.record("{\"seq\":0}");
-        sink.record("{\"seq\":1}");
+        let path = dir.join("trace.bin");
+        let mut sink = BinarySink::with_thresholds(&path, 2, 1 << 16).expect("create");
+        for seq in 0..5u64 {
+            sink.write_frame(&frame(seq));
+        }
         assert_eq!(sink.failed_writes(), 0);
         sink.close().expect("close");
-        let text = std::fs::read_to_string(&path).expect("read back");
-        assert_eq!(text, "{\"seq\":0}\n{\"seq\":1}\n");
+        let bytes = std::fs::read(&path).expect("read back");
+        assert!(wire::is_binary_trace(&bytes));
+        let records = wire::decode_stream(&bytes).expect("decode");
+        let seqs: Vec<u64> = records.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn binary_sink_batches_until_thresholds() {
+        let dir = std::env::temp_dir().join("clip_obs_sink_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("batch.bin");
+        {
+            let mut sink = BinarySink::with_thresholds(&path, 1000, 1 << 20).expect("create");
+            sink.write_frame(&frame(0));
+            // Below both thresholds: nothing past the header reaches disk
+            // until an explicit flush.
+            let on_disk = std::fs::metadata(&path).expect("stat").len();
+            assert_eq!(on_disk, 0, "batched frame must still be pending");
+            sink.flush().expect("flush");
+            let flushed = std::fs::metadata(&path).expect("stat").len();
+            assert!(flushed > 0);
+            sink.close().expect("close");
+        }
         std::fs::remove_file(&path).ok();
     }
 }

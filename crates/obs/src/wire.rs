@@ -1,0 +1,1042 @@
+//! The binary trace wire format: compact, checksummed, self-describing.
+//!
+//! One JSON string per event made `engine_traced` pay ~21× over the no-op
+//! recorder, all of it float formatting and per-record allocation. The
+//! wire format replaces the hot path: each [`TraceRecord`] becomes one
+//! *frame* — a varint-length-prefixed payload followed by a 32-bit FNV-1a
+//! checksum of that payload — encoded into a caller-owned, reused buffer
+//! with no intermediate allocation. JSONL survives as an *export* format
+//! (`clip-trace export`), produced offline by decoding frames and
+//! re-serializing through the same deterministic serializer as before, so
+//! golden FNV pins over JSONL migrate byte-for-byte.
+//!
+//! ## Layout
+//!
+//! A binary trace *stream* (what [`crate::BinarySink`] writes) is:
+//!
+//! ```text
+//! "CLPT"  u16-LE schema version  frame*
+//! ```
+//!
+//! and each frame is:
+//!
+//! ```text
+//! varint(payload_len)  payload  u32-LE fnv1a32(payload)
+//! ```
+//!
+//! The payload is `varint(seq) varint(epoch) u8 event-tag fields…` with
+//! primitives encoded as:
+//!
+//! - unsigned integers: LEB128 varints;
+//! - `f64` (and `Power`/`TimeSpan`/`Frequency`/`Energy` quantities as
+//!   their canonical unit): the 8 little-endian bytes of `to_bits`, so
+//!   every float round-trips exactly (NaNs and infinities included);
+//! - `bool`: one byte, `0`/`1`;
+//! - strings: varint byte length + UTF-8 bytes;
+//! - sequences: varint element count + elements.
+//!
+//! Event tags are the declaration order of [`TraceEvent`]'s variants;
+//! sub-enums carry their own tag byte. Everything is a pure function of
+//! the record, so identically seeded runs produce byte-identical frame
+//! streams — the determinism contract the JSONL path pinned carries over
+//! unchanged.
+//!
+//! ## Corruption handling
+//!
+//! Decoding is total: a truncated buffer, a bad magic, an unknown schema
+//! version, a checksum mismatch, or an unknown tag each yield a distinct
+//! [`WireError`] instead of a panic, and decoding stops at the first bad
+//! frame.
+
+use crate::event::{ActuationTag, FaultTag, ImpactTag, RejectTag, TraceEvent, TraceRecord};
+use crate::metrics::{Histogram, MetricRegistry};
+use simkit::{Frequency, Power, TimeSpan};
+
+/// The four magic bytes opening every binary trace stream.
+pub const MAGIC: [u8; 4] = *b"CLPT";
+
+/// Wire schema version, bumped on any layout change.
+pub const SCHEMA_VERSION: u16 = 1;
+
+const FNV_BASIS: u32 = 0x811c_9dc5;
+const FNV_PRIME: u32 = 0x0100_0193;
+
+/// 32-bit FNV-1a over `bytes` — the per-frame payload checksum.
+pub fn fnv1a32(bytes: &[u8]) -> u32 {
+    let mut hash = FNV_BASIS;
+    for &b in bytes {
+        hash ^= u32::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Why a buffer failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended inside a header, length prefix, payload or
+    /// checksum.
+    Truncated,
+    /// The stream does not open with [`MAGIC`].
+    BadMagic,
+    /// The stream's schema version is not [`SCHEMA_VERSION`].
+    UnsupportedVersion(u16),
+    /// A frame's payload hashed to something other than its trailer.
+    BadChecksum {
+        /// Checksum stored in the frame trailer.
+        stored: u32,
+        /// Checksum computed over the received payload.
+        computed: u32,
+    },
+    /// An event or sub-enum tag byte outside the known range.
+    BadTag(u8),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// A frame's payload was longer than its fields — bytes the decoder
+    /// cannot attribute, so the frame is treated as corrupt.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated trace stream"),
+            WireError::BadMagic => write!(f, "not a binary trace (bad magic)"),
+            WireError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported wire schema version {v} (expected {SCHEMA_VERSION})"
+                )
+            }
+            WireError::BadChecksum { stored, computed } => write!(
+                f,
+                "frame checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            WireError::BadTag(t) => write!(f, "unknown wire tag byte {t:#04x}"),
+            WireError::BadUtf8 => write!(f, "invalid UTF-8 in string field"),
+            WireError::TrailingBytes => write!(f, "frame payload has unattributed trailing bytes"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// True when `bytes` opens with the binary-stream magic — the sniff
+/// `clip-trace` uses to pick the decoder.
+pub fn is_binary_trace(bytes: &[u8]) -> bool {
+    bytes.starts_with(&MAGIC)
+}
+
+/// Append the stream header (magic + schema version) to `out`.
+pub fn write_stream_header(out: &mut Vec<u8>) {
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&SCHEMA_VERSION.to_le_bytes());
+}
+
+/// Validate and strip the stream header, returning the frame bytes.
+pub fn strip_stream_header(bytes: &[u8]) -> Result<&[u8], WireError> {
+    if !is_binary_trace(bytes) {
+        return Err(WireError::BadMagic);
+    }
+    let mut version_bytes = bytes.iter().copied().skip(MAGIC.len());
+    let (Some(lo), Some(hi)) = (version_bytes.next(), version_bytes.next()) else {
+        return Err(WireError::Truncated);
+    };
+    let version = u16::from_le_bytes([lo, hi]);
+    if version != SCHEMA_VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    bytes.get(MAGIC.len() + 2..).ok_or(WireError::Truncated)
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn put_usize(out: &mut Vec<u8>, v: usize) {
+    put_varint(out, v as u64);
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(u8::from(v));
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_usize(out, s.len());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_power(out: &mut Vec<u8>, p: Power) {
+    put_f64(out, p.as_watts());
+}
+
+fn put_span(out: &mut Vec<u8>, t: TimeSpan) {
+    put_f64(out, t.as_secs());
+}
+
+fn put_freq(out: &mut Vec<u8>, f: Frequency) {
+    put_f64(out, f.as_ghz());
+}
+
+fn put_fault(out: &mut Vec<u8>, kind: FaultTag) {
+    match kind {
+        FaultTag::Crash => out.push(0),
+        FaultTag::Straggler { factor } => {
+            out.push(1);
+            put_f64(out, factor);
+        }
+        FaultTag::CapJitter { fraction } => {
+            out.push(2);
+            put_f64(out, fraction);
+        }
+        FaultTag::Drift { factor } => {
+            out.push(3);
+            put_f64(out, factor);
+        }
+    }
+}
+
+fn put_histogram(out: &mut Vec<u8>, h: &Histogram) {
+    put_usize(out, h.bounds().len());
+    for &b in h.bounds() {
+        put_f64(out, b);
+    }
+    put_usize(out, h.bucket_counts().len());
+    for &c in h.bucket_counts() {
+        put_varint(out, c);
+    }
+    put_f64(out, h.sum());
+    put_varint(out, h.count());
+    put_f64(out, h.raw_max());
+}
+
+fn put_metrics(out: &mut Vec<u8>, m: &MetricRegistry) {
+    put_usize(out, m.counters().count());
+    for (name, value) in m.counters() {
+        put_str(out, name);
+        put_varint(out, value);
+    }
+    put_usize(out, m.gauges().count());
+    for (name, value) in m.gauges() {
+        put_str(out, name);
+        put_f64(out, value);
+    }
+    put_usize(out, m.histograms().count());
+    for (name, h) in m.histograms() {
+        put_str(out, name);
+        put_histogram(out, h);
+    }
+}
+
+fn put_event(out: &mut Vec<u8>, event: &TraceEvent) {
+    match event {
+        TraceEvent::RunStarted {
+            scheduler,
+            budget,
+            nodes,
+            epochs,
+        } => {
+            out.push(0);
+            put_str(out, scheduler);
+            put_power(out, *budget);
+            put_usize(out, *nodes);
+            put_varint(out, *epochs);
+        }
+        TraceEvent::CoordinateMeasured {
+            pool,
+            spread,
+            engaged,
+        } => {
+            out.push(1);
+            put_usize(out, pool.len());
+            for &n in pool {
+                put_usize(out, n);
+            }
+            put_f64(out, *spread);
+            put_bool(out, *engaged);
+        }
+        TraceEvent::AllocateChosen {
+            nodes,
+            threads,
+            per_node_cap,
+        } => {
+            out.push(2);
+            put_usize(out, *nodes);
+            put_usize(out, *threads);
+            put_power(out, *per_node_cap);
+        }
+        TraceEvent::PlanComputed {
+            scheduler,
+            nodes,
+            threads_per_node,
+            caps_total,
+        } => {
+            out.push(3);
+            put_str(out, scheduler);
+            put_usize(out, *nodes);
+            put_usize(out, *threads_per_node);
+            put_power(out, *caps_total);
+        }
+        TraceEvent::PlanNode { node, cpu, dram } => {
+            out.push(4);
+            put_usize(out, *node);
+            put_power(out, *cpu);
+            put_power(out, *dram);
+        }
+        TraceEvent::FaultApplied { node, kind, impact } => {
+            out.push(5);
+            put_usize(out, *node);
+            put_fault(out, *kind);
+            out.push(match impact {
+                ImpactTag::PoolChanged => 0,
+                ImpactTag::ActuationOnly => 1,
+                ImpactTag::Ignored => 2,
+            });
+        }
+        TraceEvent::Recovered {
+            fault_epoch,
+            recovered_epoch,
+            time_to_recover,
+            reclaimed,
+        } => {
+            out.push(6);
+            put_varint(out, *fault_epoch);
+            put_varint(out, *recovered_epoch);
+            put_span(out, *time_to_recover);
+            put_power(out, *reclaimed);
+        }
+        TraceEvent::RaplProgrammed {
+            node,
+            cpu,
+            dram,
+            effective_cpu,
+        } => {
+            out.push(7);
+            put_usize(out, *node);
+            put_power(out, *cpu);
+            put_power(out, *dram);
+            put_power(out, *effective_cpu);
+        }
+        TraceEvent::DvfsResolved {
+            node,
+            threads,
+            frequency,
+            throttled,
+        } => {
+            out.push(8);
+            put_usize(out, *node);
+            put_usize(out, *threads);
+            put_freq(out, *frequency);
+            put_bool(out, *throttled);
+        }
+        TraceEvent::NodePowerSample {
+            node,
+            setpoint,
+            measured,
+            wait_fraction,
+        } => {
+            out.push(9);
+            put_usize(out, *node);
+            put_power(out, *setpoint);
+            put_power(out, *measured);
+            put_f64(out, *wait_fraction);
+        }
+        TraceEvent::ActuationAudited {
+            budget,
+            measured,
+            verdict,
+        } => {
+            out.push(10);
+            put_power(out, *budget);
+            put_power(out, *measured);
+            out.push(match verdict {
+                ActuationTag::Nominal => 0,
+                ActuationTag::InjectedJitter => 1,
+            });
+        }
+        TraceEvent::EpochCompleted {
+            budget,
+            caps_total,
+            measured,
+            performance,
+            wall,
+            replanned,
+        } => {
+            out.push(11);
+            put_power(out, *budget);
+            put_power(out, *caps_total);
+            put_power(out, *measured);
+            put_f64(out, *performance);
+            put_span(out, *wall);
+            put_bool(out, *replanned);
+        }
+        TraceEvent::JobDispatched {
+            job,
+            start,
+            nodes,
+            granted,
+        } => {
+            out.push(12);
+            put_str(out, job);
+            put_span(out, *start);
+            put_usize(out, *nodes);
+            put_power(out, *granted);
+        }
+        TraceEvent::ShardRunStarted {
+            budget,
+            racks,
+            nodes,
+            epochs,
+        } => {
+            out.push(13);
+            put_power(out, *budget);
+            put_usize(out, *racks);
+            put_usize(out, *nodes);
+            put_varint(out, *epochs);
+        }
+        TraceEvent::RackGranted {
+            rack,
+            granted,
+            demand,
+            alive,
+        } => {
+            out.push(14);
+            put_usize(out, *rack);
+            put_power(out, *granted);
+            put_power(out, *demand);
+            put_usize(out, *alive);
+        }
+        TraceEvent::RackCrashed {
+            rack,
+            at_epoch,
+            reclaimed,
+        } => {
+            out.push(15);
+            put_usize(out, *rack);
+            put_varint(out, *at_epoch);
+            put_power(out, *reclaimed);
+        }
+        TraceEvent::JobArrived {
+            job,
+            tenant,
+            app,
+            iterations,
+        } => {
+            out.push(16);
+            put_varint(out, *job);
+            put_str(out, tenant);
+            put_str(out, app);
+            put_varint(out, *iterations);
+        }
+        TraceEvent::JobAdmitted {
+            job,
+            tenant,
+            queued,
+            degraded,
+        } => {
+            out.push(17);
+            put_varint(out, *job);
+            put_str(out, tenant);
+            put_usize(out, *queued);
+            put_bool(out, *degraded);
+        }
+        TraceEvent::JobRejected {
+            job,
+            tenant,
+            reason,
+        } => {
+            out.push(18);
+            put_varint(out, *job);
+            put_str(out, tenant);
+            out.push(match reason {
+                RejectTag::Infeasible => 0,
+                RejectTag::SloHopeless => 1,
+            });
+        }
+        TraceEvent::JobPreempted {
+            job,
+            tenant,
+            by,
+            remaining_iterations,
+        } => {
+            out.push(19);
+            put_varint(out, *job);
+            put_str(out, tenant);
+            put_varint(out, *by);
+            put_varint(out, *remaining_iterations);
+        }
+        TraceEvent::PoolScaled {
+            nodes_before,
+            nodes_after,
+            granted,
+        } => {
+            out.push(20);
+            put_usize(out, *nodes_before);
+            put_usize(out, *nodes_after);
+            put_power(out, *granted);
+        }
+        TraceEvent::SloEvaluated {
+            job,
+            tenant,
+            latency,
+            slo,
+            met,
+        } => {
+            out.push(21);
+            put_varint(out, *job);
+            put_str(out, tenant);
+            put_span(out, *latency);
+            put_span(out, *slo);
+            put_bool(out, *met);
+        }
+        TraceEvent::MetricsSnapshot { metrics } => {
+            out.push(22);
+            put_metrics(out, metrics);
+        }
+    }
+}
+
+/// Frame encoder with an internal payload scratch buffer, so encoding a
+/// record costs zero allocations at steady state: both the scratch and
+/// the caller's frame buffer are reused across calls.
+#[derive(Debug, Default)]
+pub struct FrameEncoder {
+    payload: Vec<u8>,
+}
+
+impl FrameEncoder {
+    /// A fresh encoder. The scratch is pre-sized past every fixed-size
+    /// event so steady-state encoding (and the first few frames) never
+    /// reallocates it.
+    pub fn new() -> Self {
+        Self {
+            payload: Vec::with_capacity(256),
+        }
+    }
+
+    /// Encode one record as a complete frame into `out` (cleared first):
+    /// varint payload length, payload, FNV-1a32 payload checksum.
+    pub fn encode(&mut self, seq: u64, epoch: u64, event: &TraceEvent, out: &mut Vec<u8>) {
+        self.payload.clear();
+        put_varint(&mut self.payload, seq);
+        put_varint(&mut self.payload, epoch);
+        put_event(&mut self.payload, event);
+        out.clear();
+        put_usize(out, self.payload.len());
+        out.extend_from_slice(&self.payload);
+        out.extend_from_slice(&fnv1a32(&self.payload).to_le_bytes());
+    }
+
+    /// Encode a [`TraceEvent::MetricsSnapshot`] frame directly from a
+    /// registry reference — byte-identical to building the owning event
+    /// and calling [`encode`](Self::encode), without cloning the registry
+    /// (closing a recorder stays cheap however many metrics it holds).
+    pub fn encode_metrics_snapshot(
+        &mut self,
+        seq: u64,
+        epoch: u64,
+        metrics: &MetricRegistry,
+        out: &mut Vec<u8>,
+    ) {
+        self.payload.clear();
+        put_varint(&mut self.payload, seq);
+        put_varint(&mut self.payload, epoch);
+        self.payload.push(22);
+        put_metrics(&mut self.payload, metrics);
+        out.clear();
+        put_usize(out, self.payload.len());
+        out.extend_from_slice(&self.payload);
+        out.extend_from_slice(&fnv1a32(&self.payload).to_le_bytes());
+    }
+}
+
+/// Encode one record as a standalone frame (convenience for tests and
+/// cold paths; the hot path holds a [`FrameEncoder`]).
+pub fn encode_frame(record: &TraceRecord) -> Vec<u8> {
+    let mut enc = FrameEncoder::new();
+    let mut out = Vec::new();
+    enc.encode(record.seq, record.epoch, &record.event, &mut out);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let out = self
+            .buf
+            .get(self.pos..self.pos.saturating_add(n))
+            .ok_or(WireError::Truncated)?;
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn byte(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn varint(&mut self) -> Result<u64, WireError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.byte()?;
+            if shift >= 64 {
+                return Err(WireError::TrailingBytes);
+            }
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    fn usize(&mut self) -> Result<usize, WireError> {
+        Ok(self.varint()? as usize)
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        let bytes = self.take(8)?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(bytes);
+        Ok(f64::from_bits(u64::from_le_bytes(raw)))
+    }
+
+    fn bool(&mut self) -> Result<bool, WireError> {
+        Ok(self.byte()? != 0)
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.usize()?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    fn power(&mut self) -> Result<Power, WireError> {
+        Ok(Power::watts(self.f64()?))
+    }
+
+    fn span(&mut self) -> Result<TimeSpan, WireError> {
+        Ok(TimeSpan::secs(self.f64()?))
+    }
+
+    fn freq(&mut self) -> Result<Frequency, WireError> {
+        Ok(Frequency::ghz(self.f64()?))
+    }
+
+    fn fault(&mut self) -> Result<FaultTag, WireError> {
+        match self.byte()? {
+            0 => Ok(FaultTag::Crash),
+            1 => Ok(FaultTag::Straggler {
+                factor: self.f64()?,
+            }),
+            2 => Ok(FaultTag::CapJitter {
+                fraction: self.f64()?,
+            }),
+            3 => Ok(FaultTag::Drift {
+                factor: self.f64()?,
+            }),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+
+    fn histogram(&mut self) -> Result<Histogram, WireError> {
+        let n_bounds = self.usize()?;
+        let mut bounds = Vec::with_capacity(n_bounds.min(1024));
+        for _ in 0..n_bounds {
+            bounds.push(self.f64()?);
+        }
+        let n_counts = self.usize()?;
+        let mut counts = Vec::with_capacity(n_counts.min(1024));
+        for _ in 0..n_counts {
+            counts.push(self.varint()?);
+        }
+        let sum = self.f64()?;
+        let count = self.varint()?;
+        let max = self.f64()?;
+        Ok(Histogram::from_raw_parts(bounds, counts, sum, count, max))
+    }
+
+    fn metrics(&mut self) -> Result<MetricRegistry, WireError> {
+        let mut reg = MetricRegistry::new();
+        for _ in 0..self.usize()? {
+            let name = self.string()?;
+            let value = self.varint()?;
+            reg.counter_add(&name, value);
+        }
+        for _ in 0..self.usize()? {
+            let name = self.string()?;
+            let value = self.f64()?;
+            reg.gauge_set(&name, value);
+        }
+        for _ in 0..self.usize()? {
+            let name = self.string()?;
+            let h = self.histogram()?;
+            reg.insert_histogram_raw(name, h);
+        }
+        Ok(reg)
+    }
+
+    fn event(&mut self) -> Result<TraceEvent, WireError> {
+        let tag = self.byte()?;
+        let event = match tag {
+            0 => TraceEvent::RunStarted {
+                scheduler: self.string()?,
+                budget: self.power()?,
+                nodes: self.usize()?,
+                epochs: self.varint()?,
+            },
+            1 => {
+                let len = self.usize()?;
+                let mut pool = Vec::with_capacity(len.min(4096));
+                for _ in 0..len {
+                    pool.push(self.usize()?);
+                }
+                TraceEvent::CoordinateMeasured {
+                    pool,
+                    spread: self.f64()?,
+                    engaged: self.bool()?,
+                }
+            }
+            2 => TraceEvent::AllocateChosen {
+                nodes: self.usize()?,
+                threads: self.usize()?,
+                per_node_cap: self.power()?,
+            },
+            3 => TraceEvent::PlanComputed {
+                scheduler: self.string()?,
+                nodes: self.usize()?,
+                threads_per_node: self.usize()?,
+                caps_total: self.power()?,
+            },
+            4 => TraceEvent::PlanNode {
+                node: self.usize()?,
+                cpu: self.power()?,
+                dram: self.power()?,
+            },
+            5 => TraceEvent::FaultApplied {
+                node: self.usize()?,
+                kind: self.fault()?,
+                impact: match self.byte()? {
+                    0 => ImpactTag::PoolChanged,
+                    1 => ImpactTag::ActuationOnly,
+                    2 => ImpactTag::Ignored,
+                    t => return Err(WireError::BadTag(t)),
+                },
+            },
+            6 => TraceEvent::Recovered {
+                fault_epoch: self.varint()?,
+                recovered_epoch: self.varint()?,
+                time_to_recover: self.span()?,
+                reclaimed: self.power()?,
+            },
+            7 => TraceEvent::RaplProgrammed {
+                node: self.usize()?,
+                cpu: self.power()?,
+                dram: self.power()?,
+                effective_cpu: self.power()?,
+            },
+            8 => TraceEvent::DvfsResolved {
+                node: self.usize()?,
+                threads: self.usize()?,
+                frequency: self.freq()?,
+                throttled: self.bool()?,
+            },
+            9 => TraceEvent::NodePowerSample {
+                node: self.usize()?,
+                setpoint: self.power()?,
+                measured: self.power()?,
+                wait_fraction: self.f64()?,
+            },
+            10 => TraceEvent::ActuationAudited {
+                budget: self.power()?,
+                measured: self.power()?,
+                verdict: match self.byte()? {
+                    0 => ActuationTag::Nominal,
+                    1 => ActuationTag::InjectedJitter,
+                    t => return Err(WireError::BadTag(t)),
+                },
+            },
+            11 => TraceEvent::EpochCompleted {
+                budget: self.power()?,
+                caps_total: self.power()?,
+                measured: self.power()?,
+                performance: self.f64()?,
+                wall: self.span()?,
+                replanned: self.bool()?,
+            },
+            12 => TraceEvent::JobDispatched {
+                job: self.string()?,
+                start: self.span()?,
+                nodes: self.usize()?,
+                granted: self.power()?,
+            },
+            13 => TraceEvent::ShardRunStarted {
+                budget: self.power()?,
+                racks: self.usize()?,
+                nodes: self.usize()?,
+                epochs: self.varint()?,
+            },
+            14 => TraceEvent::RackGranted {
+                rack: self.usize()?,
+                granted: self.power()?,
+                demand: self.power()?,
+                alive: self.usize()?,
+            },
+            15 => TraceEvent::RackCrashed {
+                rack: self.usize()?,
+                at_epoch: self.varint()?,
+                reclaimed: self.power()?,
+            },
+            16 => TraceEvent::JobArrived {
+                job: self.varint()?,
+                tenant: self.string()?,
+                app: self.string()?,
+                iterations: self.varint()?,
+            },
+            17 => TraceEvent::JobAdmitted {
+                job: self.varint()?,
+                tenant: self.string()?,
+                queued: self.usize()?,
+                degraded: self.bool()?,
+            },
+            18 => TraceEvent::JobRejected {
+                job: self.varint()?,
+                tenant: self.string()?,
+                reason: match self.byte()? {
+                    0 => RejectTag::Infeasible,
+                    1 => RejectTag::SloHopeless,
+                    t => return Err(WireError::BadTag(t)),
+                },
+            },
+            19 => TraceEvent::JobPreempted {
+                job: self.varint()?,
+                tenant: self.string()?,
+                by: self.varint()?,
+                remaining_iterations: self.varint()?,
+            },
+            20 => TraceEvent::PoolScaled {
+                nodes_before: self.usize()?,
+                nodes_after: self.usize()?,
+                granted: self.power()?,
+            },
+            21 => TraceEvent::SloEvaluated {
+                job: self.varint()?,
+                tenant: self.string()?,
+                latency: self.span()?,
+                slo: self.span()?,
+                met: self.bool()?,
+            },
+            22 => TraceEvent::MetricsSnapshot {
+                metrics: self.metrics()?,
+            },
+            t => return Err(WireError::BadTag(t)),
+        };
+        Ok(event)
+    }
+}
+
+/// Decode one frame from the front of `bytes`, returning the record and
+/// the unread remainder.
+pub fn decode_frame(bytes: &[u8]) -> Result<(TraceRecord, &[u8]), WireError> {
+    let mut outer = Cursor::new(bytes);
+    let payload_len = outer.usize()?;
+    let payload = outer.take(payload_len)?;
+    let stored_bytes = outer.take(4)?;
+    let mut raw = [0u8; 4];
+    raw.copy_from_slice(stored_bytes);
+    let stored = u32::from_le_bytes(raw);
+    let computed = fnv1a32(payload);
+    if stored != computed {
+        return Err(WireError::BadChecksum { stored, computed });
+    }
+    let mut cur = Cursor::new(payload);
+    let seq = cur.varint()?;
+    let epoch = cur.varint()?;
+    let event = cur.event()?;
+    if cur.remaining() != 0 {
+        return Err(WireError::TrailingBytes);
+    }
+    Ok((
+        TraceRecord { seq, epoch, event },
+        bytes.get(outer.pos..).unwrap_or(&[]),
+    ))
+}
+
+/// Decode a headerless sequence of frames (what a [`crate::RingSink`]
+/// holds) into records, stopping with an error at the first bad frame.
+pub fn decode_frames(mut bytes: &[u8]) -> Result<Vec<TraceRecord>, WireError> {
+    let mut out = Vec::new();
+    while !bytes.is_empty() {
+        let (record, rest) = decode_frame(bytes)?;
+        out.push(record);
+        bytes = rest;
+    }
+    Ok(out)
+}
+
+/// Decode a complete binary trace stream: header, then frames.
+pub fn decode_stream(bytes: &[u8]) -> Result<Vec<TraceRecord>, WireError> {
+    decode_frames(strip_stream_header(bytes)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceRecord {
+        TraceRecord {
+            seq: 3,
+            epoch: 1,
+            event: TraceEvent::EpochCompleted {
+                budget: Power::watts(1200.0),
+                caps_total: Power::watts(1180.5),
+                measured: Power::watts(1104.25),
+                performance: 0.0625,
+                wall: TimeSpan::secs(3.5),
+                replanned: true,
+            },
+        }
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        let record = sample();
+        let frame = encode_frame(&record);
+        let (back, rest) = decode_frame(&frame).expect("decode");
+        assert_eq!(back, record);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn stream_round_trips_with_header() {
+        let mut stream = Vec::new();
+        write_stream_header(&mut stream);
+        let records = vec![
+            sample(),
+            TraceRecord {
+                seq: 4,
+                epoch: 2,
+                event: TraceEvent::FaultApplied {
+                    node: 5,
+                    kind: FaultTag::CapJitter { fraction: -0.07 },
+                    impact: ImpactTag::ActuationOnly,
+                },
+            },
+        ];
+        for r in &records {
+            stream.extend_from_slice(&encode_frame(r));
+        }
+        assert!(is_binary_trace(&stream));
+        assert_eq!(decode_stream(&stream).expect("decode"), records);
+    }
+
+    #[test]
+    fn truncated_frame_is_rejected() {
+        let frame = encode_frame(&sample());
+        for cut in 0..frame.len() {
+            let err = decode_frame(&frame[..cut]).expect_err("truncation must fail");
+            assert!(matches!(err, WireError::Truncated), "cut at {cut}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_fails_checksum() {
+        let mut frame = encode_frame(&sample());
+        // Flip a bit in the payload (skip the 1-byte length prefix).
+        frame[2] ^= 0x40;
+        let err = decode_frame(&frame).expect_err("corruption must fail");
+        assert!(matches!(err, WireError::BadChecksum { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let mut stream = Vec::new();
+        write_stream_header(&mut stream);
+        stream[4] = 0xFF;
+        assert_eq!(
+            decode_stream(&stream).expect_err("version must be checked"),
+            WireError::UnsupportedVersion(0x00FF)
+        );
+    }
+
+    #[test]
+    fn non_magic_bytes_are_not_a_binary_trace() {
+        assert!(!is_binary_trace(b"{\"seq\": 0}"));
+        assert_eq!(
+            strip_stream_header(b"{\"seq\": 0}").expect_err("jsonl is not binary"),
+            WireError::BadMagic
+        );
+    }
+
+    #[test]
+    fn varints_round_trip_at_the_boundaries() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut cur = Cursor::new(&buf);
+            assert_eq!(cur.varint().expect("decode"), v);
+            assert_eq!(cur.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn metrics_snapshot_round_trips_exactly() {
+        let mut reg = MetricRegistry::new();
+        reg.counter_add("epochs_total", 12);
+        reg.gauge_set("survivors", 7.0);
+        reg.observe("epoch_time_secs", 3.25);
+        reg.observe("epoch_time_secs", 900.0);
+        let record = TraceRecord {
+            seq: 0,
+            epoch: u64::MAX,
+            event: TraceEvent::MetricsSnapshot {
+                metrics: reg.clone(),
+            },
+        };
+        let (back, _) = decode_frame(&encode_frame(&record)).expect("decode");
+        assert_eq!(back, record);
+        // An *empty* histogram's max is -inf; raw-bits encoding must
+        // preserve it exactly.
+        let mut empty = MetricRegistry::new();
+        empty.register_histogram("never_observed", vec![1.0, 2.0]);
+        let record = TraceRecord {
+            seq: 1,
+            epoch: 0,
+            event: TraceEvent::MetricsSnapshot { metrics: empty },
+        };
+        let (back, _) = decode_frame(&encode_frame(&record)).expect("decode");
+        assert_eq!(back, record);
+    }
+}

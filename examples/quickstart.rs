@@ -6,12 +6,13 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 //!
-//! Pass `--trace <path>` to write the run as JSONL trace events (planning
+//! Pass `--trace <path>` to write the run as binary trace frames (planning
 //! decisions, per-node RAPL programming, DVFS resolution, power samples)
-//! for inspection with `clip-trace summary <path>`.
+//! for inspection with `clip-trace summary <path>` or JSONL export via
+//! `clip-trace export <path> <out.jsonl>`.
 
 use clip_core::{execute_plan, ClipScheduler, InflectionPredictor, PowerScheduler};
-use clip_obs::{JsonlSink, NoopRecorder, Recorder, TraceEvent, TraceRecorder};
+use clip_obs::{BinarySink, EventClass, NoopRecorder, Recorder, TraceEvent, TraceRecorder};
 use cluster_sim::Cluster;
 use simkit::Power;
 use workload::suite;
@@ -48,25 +49,31 @@ fn main() {
     // 4. Plan. The first call smart-profiles the application (3–4 short
     //    sample runs) and caches the result in the knowledge database.
     // With `--trace`, the planner's decision points and every actuation
-    // step stream to a JSONL file; without it the no-op recorder costs
-    // nothing.
+    // step stream to a binary trace file; without it the no-op recorder
+    // costs nothing.
     let mut tracer = trace_arg().map(|path| {
-        let sink = JsonlSink::create(&path).expect("open trace file");
+        let sink = BinarySink::create(&path).expect("open trace file");
         (path, TraceRecorder::new(sink))
     });
     let mut clip = ClipScheduler::new(predictor);
-    clip.set_tracing(tracer.is_some());
+    clip.set_tracing(
+        tracer
+            .as_ref()
+            .map(|(_, rec)| rec.enabled_for(EventClass::Scheduler))
+            .unwrap_or(false),
+    );
     let plan = clip.plan(&mut cluster, &app, budget);
     if let Some((_, rec)) = tracer.as_mut() {
         let nodes = cluster.len();
-        rec.event_with(0, || TraceEvent::RunStarted {
+        rec.event_with(0, EventClass::Scheduler, || TraceEvent::RunStarted {
             scheduler: plan.scheduler.clone(),
             budget,
             nodes,
             epochs: 1,
         });
         for ev in clip.drain_decisions() {
-            rec.event_with(0, || ev);
+            let class = ev.class();
+            rec.event_with(0, class, || ev);
         }
     }
 
@@ -111,6 +118,6 @@ fn main() {
         let sink = rec.finish();
         assert_eq!(sink.failed_writes(), 0, "trace writes must succeed");
         sink.close().expect("close trace file");
-        println!("trace written to {path} (inspect with `clip-trace summary {path}`)");
+        println!("binary trace written to {path} (inspect with `clip-trace summary {path}`)");
     }
 }

@@ -28,7 +28,7 @@ use clip_core::service::{run_service, ServiceTimeline};
 use clip_core::{
     run_sharded_service, ClipScheduler, InflectionPredictor, PowerScheduler, RackFault, ShardConfig,
 };
-use clip_obs::{JsonlSink, Recorder, TraceRecorder};
+use clip_obs::{BinarySink, Recorder, TraceRecorder};
 use clip_serve::{ArrivalPlan, ServiceConfig, ServiceReport, Tenant};
 use cluster_sim::{Cluster, FaultPlan, RackTopology, ShardedFleet, VariabilityModel};
 use simkit::{Power, SimRng, TimeSpan};
@@ -268,9 +268,9 @@ fn main() {
 
     // Optional traced CLIP run first: the full decision narrative —
     // arrivals, admissions, rejections, preemptions, pool scalings, SLO
-    // verdicts — lands in a JSONL trace for clip-trace to digest.
+    // verdicts — lands in a binary trace for clip-trace to digest.
     if let Some(path) = trace {
-        let sink = JsonlSink::create(&path).expect("open trace file");
+        let sink = BinarySink::create(&path).expect("open trace file");
         let mut rec = TraceRecorder::new(sink);
         let mut clip = ClipScheduler::new(InflectionPredictor::train_default(5));
         let _ = run_one(&mut clip, epochs, &mut rec);

@@ -109,17 +109,18 @@ if [ -z "$fnv_seq" ] || [ "$fnv_seq" != "$fnv_par" ]; then
 fi
 echo "    shard ok:${fnv_seq#*:}"
 
-# Trace smoke gate: the whole observability loop — traced run, JSONL on
-# disk, clip-trace parses it — plus a bound on tracing overhead. Timing
-# uses best-of-3 (minimum is the noise-robust statistic for wall time).
-# After the v4 hot-alloc pass moved trace serialization onto reused
-# buffers, traced runs hold well under 5x untraced, so the gate is a
-# multiplicative 5x with a 20 ms absolute floor to keep millisecond-scale
+# Trace smoke gate: the whole observability loop — traced run, binary
+# frames on disk, clip-trace reads them natively, `clip-trace export`
+# emits JSONL that summarizes identically — plus a bound on tracing
+# overhead. Timing uses best-of-3 (minimum is the noise-robust statistic
+# for wall time). With the binary frame pipeline (no per-event JSON),
+# traced runs hold near the untraced baseline, so the gate is a
+# multiplicative 2x with a 10 ms absolute floor to keep millisecond-scale
 # jitter on the sub-second workload from flaking it.
-echo "==> trace smoke (quickstart --trace + clip-trace summary + overhead)"
+echo "==> trace smoke (quickstart --trace + clip-trace summary/export + overhead)"
 cargo build --offline --quiet --release --example quickstart -p clip-repro
 cargo build --offline --quiet --release -p clip-obs --bin clip-trace
-trace_file="target/quickstart-smoke.jsonl"
+trace_file="target/quickstart-smoke.trace"
 rm -f "$trace_file"
 
 now_ms() { python3 -c 'import time; print(int(time.monotonic()*1000))'; }
@@ -147,7 +148,22 @@ summary="$(target/release/clip-trace summary "$trace_file")"
 grep -q "budget 1200.0 W" <<< "$summary" \
     || { echo "clip-trace summary did not parse the quickstart trace" >&2; exit 1; }
 
-limit_ms=$((plain_ms * 5 + 20))
+# Export migration gate: the JSONL export of a binary trace must carry
+# every record (clip-trace parses it) and summarize byte-identically to
+# the binary original — the invariant archived-trace tooling and the
+# golden FNV pins depend on.
+export_file="target/quickstart-smoke.jsonl"
+rm -f "$export_file"
+target/release/clip-trace export "$trace_file" "$export_file" > /dev/null
+test -s "$export_file" || { echo "clip-trace export wrote no JSONL" >&2; exit 1; }
+exported_summary="$(target/release/clip-trace summary "$export_file")"
+# First line names the input file; everything after it must match exactly.
+if [ "$(tail -n +2 <<< "$summary")" != "$(tail -n +2 <<< "$exported_summary")" ]; then
+    echo "clip-trace summary differs between binary trace and its JSONL export" >&2
+    exit 1
+fi
+
+limit_ms=$((plain_ms * 2 + 10))
 if [ "$traced_ms" -gt "$limit_ms" ]; then
     echo "tracing overhead too high: traced ${traced_ms} ms vs untraced ${plain_ms} ms (limit ${limit_ms} ms)" >&2
     exit 1
@@ -157,8 +173,9 @@ echo "    trace ok: untraced ${plain_ms} ms, traced ${traced_ms} ms (limit ${lim
 # Service smoke gate: the open-loop multi-tenant campaign end to end —
 # per-tenant SLO tables, the sharded per-rack service run replaying
 # bit-identically across worker counts (FNV fingerprint), the golden SLO
-# line, and a traced run that clip-trace can digest, under the same
-# 5x + 20 ms overhead bound as the quickstart gate.
+# line, and a traced run writing binary frames that clip-trace digests
+# natively, under the same 2x + 10 ms overhead bound as the quickstart
+# gate.
 echo "==> service smoke (SLO attainment + replay across worker counts + trace)"
 cargo build --offline --quiet --release --example service -p clip-repro
 svc_seq="$(target/release/examples/service --smoke --threads 1 | grep 'report fnv')"
@@ -173,7 +190,7 @@ svc_out="$(target/release/examples/service --smoke)"
 grep -q "overall SLO attainment (CLIP): 100.0% (4/23 admitted, 4 scalings, final pool 8)" <<< "$svc_out" \
     || { echo "service smoke SLO line drifted (update tests/golden.rs and this gate together)" >&2; exit 1; }
 
-svc_trace="target/service-smoke.jsonl"
+svc_trace="target/service-smoke.trace"
 rm -f "$svc_trace"
 svc_plain_ms="$(best_ms 3 target/release/examples/service --smoke)"
 svc_traced_ms="$(best_ms 3 target/release/examples/service --smoke --trace "$svc_trace")"
@@ -183,7 +200,7 @@ grep -q "per-tenant admission and SLO" <<< "$svc_summary" \
     || { echo "clip-trace summary did not parse the service trace" >&2; exit 1; }
 grep -q "pool scalings: 4" <<< "$svc_summary" \
     || { echo "clip-trace summary lost the autoscaling timeline" >&2; exit 1; }
-svc_limit_ms=$((svc_plain_ms * 5 + 20))
+svc_limit_ms=$((svc_plain_ms * 2 + 10))
 if [ "$svc_traced_ms" -gt "$svc_limit_ms" ]; then
     echo "service tracing overhead too high: traced ${svc_traced_ms} ms vs untraced ${svc_plain_ms} ms (limit ${svc_limit_ms} ms)" >&2
     exit 1

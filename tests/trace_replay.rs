@@ -157,6 +157,79 @@ fn engine_trace_bytes_match_run_with_faults_trace() {
     assert_eq!(sink.to_jsonl(), wrapper_trace);
 }
 
+/// Class-filtered recording stays deterministic under parallel execution:
+/// the same seed with the same `TraceFilter` yields byte-identical binary
+/// frames whether the racks run sequentially, on two workers, or
+/// one-per-core — and filtering actually drops records (the filtered
+/// trace is a strict subset of the unfiltered one).
+#[test]
+fn filtered_sharded_frames_are_identical_across_worker_counts() {
+    use clip_core::{run_sharded, RackFault, ShardConfig};
+    use clip_obs::{EventClass, TraceFilter};
+    use cluster_sim::{RackTopology, ShardedFleet};
+
+    fn campaign(workers: Option<usize>, filter: TraceFilter) -> (Vec<u8>, usize) {
+        let seed = 31;
+        let topo = RackTopology::new(4, 3);
+        let fleet = ShardedFleet::with_variability(topo, &VariabilityModel::default(), seed);
+        let mut rng = SimRng::seed_from_u64(seed);
+        let faults = FaultPlan::random(&mut rng, topo.total_nodes(), 5);
+        let cfg = ShardConfig {
+            epochs: 5,
+            iterations_per_epoch: 1,
+            shift_fraction: 0.5,
+            workers,
+            shuffle_seed: None,
+        };
+        let recorders: Vec<TraceRecorder<RingSink>> = (0..topo.racks())
+            .map(|_| TraceRecorder::with_filter(RingSink::new(8192), filter))
+            .collect();
+        let mut cluster_rec = TraceRecorder::with_filter(RingSink::new(8192), filter);
+        let (_, recs) = run_sharded(
+            fleet,
+            |_rack| Box::new(ClipScheduler::new(predictor().clone())),
+            &suite::comd(),
+            Power::watts(2200.0),
+            &faults,
+            &[RackFault {
+                at_epoch: 2,
+                rack: 3,
+            }],
+            &cfg,
+            recorders,
+            &mut cluster_rec,
+        );
+        let mut frames = Vec::new();
+        let mut records = 0;
+        for rec in recs.into_iter().chain(std::iter::once(cluster_rec)) {
+            let sink = rec.finish();
+            assert_eq!(sink.dropped(), 0, "ring overflowed");
+            records += sink.len();
+            for frame in sink.frames() {
+                frames.extend_from_slice(frame);
+            }
+        }
+        (frames, records)
+    }
+
+    let filter = TraceFilter::only(EventClass::Scheduler).with(EventClass::Shard);
+    let (frames_1, n_1) = campaign(Some(1), filter);
+    assert!(n_1 > 0, "a filtered campaign must still emit events");
+    for workers in [Some(2), None] {
+        let (frames_n, n_n) = campaign(workers, filter);
+        assert_eq!(
+            (frames_1.as_slice(), n_1),
+            (frames_n.as_slice(), n_n),
+            "filtered frames diverged at workers={workers:?}"
+        );
+    }
+    let (_, n_all) = campaign(Some(1), TraceFilter::ALL);
+    assert!(
+        n_1 < n_all,
+        "filter must drop records: {n_1} filtered vs {n_all} unfiltered"
+    );
+}
+
 /// Golden pin of the exact trace bytes for seed 41.
 ///
 /// If this fails after an *intentional* trace-schema change (new event,
